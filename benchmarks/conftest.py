@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one table or figure from the experiment
+index in DESIGN.md.  Conventions:
+
+- every benchmark runs its experiment exactly once via
+  :func:`bench_once` (pytest-benchmark's ``pedantic`` mode) — these are
+  system experiments, not micro-benchmarks, and a single deterministic
+  run is the measurement;
+- each prints the paper-style table/series (visible with ``pytest -s``,
+  and appended to ``benchmarks/results/`` for EXPERIMENTS.md);
+- each asserts the qualitative *shape* the source text reports (who
+  wins, by roughly what factor, where the crossover falls), never the
+  authors' absolute testbed numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

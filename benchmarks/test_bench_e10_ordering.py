@@ -1,0 +1,104 @@
+"""E10 — tuple-ordering protocol: overhead and necessity (thesis §3.3).
+
+Two questions the design section raises:
+
+1. *Is the protocol necessary?*  Run the engine on a jittery network
+   with a 2-router pool, protocol on vs. off: off must exhibit the
+   Figure 8 missed/duplicate results, on must be exactly-once.
+2. *What does it cost?*  The punctuation interval trades signalling
+   traffic (messages ∝ 1/interval) against release delay (tuples are
+   buffered for ~1 punctuation interval): the thesis suggests ~20 ms.
+   The sweep quantifies both sides.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import bench_once, emit
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.broker import Broker
+from repro.core.biclique import BicliqueEngine
+from repro.harness import check_exactly_once, reference_join, render_table
+from repro.simulation import JitterNetwork, SeededRng, Simulator
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+WINDOW = TimeWindow(seconds=5.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+DURATION = 30.0
+RATE = 40.0
+
+
+def run_simulated(*, ordered: bool, punctuation_interval: float,
+                  jitter: float = 0.3, seed: int = 1):
+    sim = Simulator()
+    network = JitterNetwork(base=0.002, jitter=jitter,
+                            rng=SeededRng(seed, "e10-net"))
+    broker = Broker(sim, network)
+    engine = BicliqueEngine(
+        BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2, routers=2,
+                       routing="random", archive_period=1.0,
+                       punctuation_interval=punctuation_interval,
+                       ordered=ordered, expiry_slack=3.0),
+        PREDICATE, broker=broker)
+    workload = EquiJoinWorkload(keys=UniformKeys(40), seed=seed)
+    arrivals = list(workload.arrivals(ConstantRate(RATE), DURATION))
+    for t in arrivals:
+        sim.schedule_at(t.ts, lambda t=t: engine.ingest(t))
+    sim.run()
+    engine.punctuate_all()
+    sim.run()
+    for joiner in engine.joiners.values():
+        joiner.flush()
+
+    r = [t for t in arrivals if t.relation == "R"]
+    s = [t for t in arrivals if t.relation == "S"]
+    check = check_exactly_once(
+        engine.results, reference_join(r, s, PREDICATE, WINDOW))
+    # Mean release delay: produced_at - the later input's event time
+    # includes network + buffering-until-punctuation.
+    latency = engine.latency.summary()
+    return {
+        "check": check,
+        "punctuation_messages": engine.network_stats.punctuation_messages,
+        "mean_latency": latency.mean,
+    }
+
+
+def run_experiment():
+    sweep = {interval: run_simulated(ordered=True,
+                                     punctuation_interval=interval)
+             for interval in (0.02, 0.1, 0.5)}
+    off = run_simulated(ordered=False, punctuation_interval=0.1)
+    return sweep, off
+
+
+def test_e10_ordering(benchmark):
+    sweep, off = bench_once(benchmark, run_experiment)
+
+    rows = [[f"{interval * 1000:.0f}", data["punctuation_messages"],
+             f"{data['mean_latency'] * 1000:.0f}",
+             "yes" if data["check"].ok else "NO"]
+            for interval, data in sorted(sweep.items())]
+    rows.append(["(protocol off)", off["punctuation_messages"],
+                 f"{off['mean_latency'] * 1000:.0f}",
+                 f"NO: {off['check'].duplicates} dup / "
+                 f"{off['check'].missing} missing"])
+    emit("e10_ordering", render_table(
+        ["punctuation (ms)", "punct msgs", "mean latency (ms)", "exact"],
+        rows, title="E10: ordering protocol — cost and necessity "
+                    "(2 routers, jittery network)"))
+
+    # Necessity: protocol off loses/duplicates results; on never does.
+    assert not off["check"].ok
+    assert off["check"].duplicates + off["check"].missing > 0
+    for data in sweep.values():
+        assert data["check"].ok, data["check"]
+
+    # Cost: punctuation traffic scales ~1/interval...
+    msgs = {interval: data["punctuation_messages"]
+            for interval, data in sweep.items()}
+    assert msgs[0.02] == pytest.approx(5 * msgs[0.1], rel=0.15)
+    assert msgs[0.1] == pytest.approx(5 * msgs[0.5], rel=0.15)
+    # ...and buffering delay grows with the interval.
+    assert sweep[0.5]["mean_latency"] > sweep[0.02]["mean_latency"]

@@ -1,0 +1,94 @@
+"""E11 (extension) — windowed vs. full-history joins.
+
+§2.2 notes that systems in this class also support joins "over full or
+partial-historical states of the stream".  This ablation quantifies
+what the sliding window — and with it Theorem-1 discarding — buys:
+
+- windowed state plateaus after one window extent (memory is bounded by
+  the live set);
+- full-history state grows linearly with the stream, and per-probe work
+  grows with it, so sustainable capacity decays over time;
+- the windowed result set is exactly the recent-pairs subset of the
+  full-history result set.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import bench_once, emit
+
+from repro import (
+    BicliqueConfig,
+    EquiJoinPredicate,
+    FullHistoryWindow,
+    StreamJoinEngine,
+    TimeWindow,
+)
+from repro.core.streams import merge_by_time
+from repro.harness import render_table
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+PREDICATE = EquiJoinPredicate("k", "k")
+DURATION = 40.0
+SAMPLE_EVERY = 5.0  # stream-seconds between memory samples
+
+
+def run_one(window):
+    workload = EquiJoinWorkload(keys=UniformKeys(300), seed=1111)
+    r_stream, s_stream = workload.materialise(ConstantRate(150.0), DURATION)
+    engine = StreamJoinEngine(
+        BicliqueConfig(window=window, r_joiners=2, s_joiners=2,
+                       routing="hash", archive_period=2.0,
+                       punctuation_interval=0.5),
+        PREDICATE)
+    samples = []
+    next_sample = SAMPLE_EVERY
+    for t in merge_by_time(r_stream, s_stream):
+        if t.ts >= next_sample:
+            samples.append(
+                (next_sample,
+                 engine.engine.memory_snapshot().total_live_bytes))
+            next_sample += SAMPLE_EVERY
+        engine.engine.ingest(t)
+    engine.engine.finish()
+    return {
+        "samples": samples,
+        "results": {res.key for res in engine.engine.results},
+        "comparisons": engine.engine.total_comparisons(),
+        "stored_final": engine.engine.total_stored_tuples(),
+    }
+
+
+def run_experiment():
+    return {
+        "windowed": run_one(TimeWindow(seconds=5.0)),
+        "full-history": run_one(FullHistoryWindow()),
+    }
+
+
+def test_e11_full_history(benchmark):
+    outcomes = bench_once(benchmark, run_experiment)
+
+    win = dict(outcomes["windowed"]["samples"])
+    full = dict(outcomes["full-history"]["samples"])
+    rows = [[f"{t:.0f}", win[t], full[t]] for t in sorted(win)]
+    emit("e11_full_history", render_table(
+        ["stream time (s)", "windowed bytes", "full-history bytes"],
+        rows, title="E11: live state growth — 5 s window vs. full history"))
+
+    # Windowed memory plateaus after the window fills: the second half
+    # of the run stays within a narrow band.
+    late = [v for t, v in win.items() if t >= 15.0]
+    assert max(late) <= 1.25 * min(late)
+
+    # Full-history memory grows ~linearly with the stream.
+    assert full[40.0 - SAMPLE_EVERY] > 3 * full[10.0]
+    assert full[40.0 - SAMPLE_EVERY] == pytest.approx(
+        (40.0 - SAMPLE_EVERY) / 10.0 * full[10.0], rel=0.25)
+
+    # The windowed results are exactly the recent subset.
+    assert outcomes["windowed"]["results"] < outcomes["full-history"]["results"]
+
+    # Full-history probing does strictly more comparison work.
+    assert outcomes["full-history"]["comparisons"] > \
+        2 * outcomes["windowed"]["comparisons"]

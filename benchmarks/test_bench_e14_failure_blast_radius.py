@@ -1,0 +1,103 @@
+"""E14 (extension) — failure blast radius of the no-replication design.
+
+The join-biclique stores each tuple exactly once; §3.1 argues the
+microservice units are "independently isolated ... and resilient to
+failure".  The flip side of no replication is that a crashed unit's
+window state is simply gone.  This experiment quantifies that trade:
+
+- crash one of the ``n`` R-side units mid-run (stateless restart on its
+  durable subscription),
+- measure the fraction of reference results lost, and where the lost
+  pairs live in time,
+- verify the self-healing bound: every pair whose *older* member
+  arrived at least one window after the crash is produced.
+
+Expected shape: losses are confined to pairs overlapping the crash
+window and shrink ~1/n with more units (only one unit's partition is
+lost); nothing is ever duplicated.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import bench_once, emit
+
+from repro import BicliqueConfig, BicliqueEngine, EquiJoinPredicate, TimeWindow
+from repro.core.streams import merge_by_time
+from repro.harness import check_exactly_once, reference_join, render_table
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+WINDOW = TimeWindow(seconds=5.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+DURATION = 40.0
+CRASH_AT_FRACTION = 0.5
+
+
+def run_one(units_per_side: int):
+    workload = EquiJoinWorkload(keys=UniformKeys(40), seed=1414)
+    r_stream, s_stream = workload.materialise(ConstantRate(80.0), DURATION)
+    arrivals = list(merge_by_time(r_stream, s_stream))
+    crash_index = int(len(arrivals) * CRASH_AT_FRACTION)
+    crash_ts = arrivals[crash_index].ts
+
+    engine = BicliqueEngine(
+        BicliqueConfig(window=WINDOW, r_joiners=units_per_side,
+                       s_joiners=units_per_side, routing="hash",
+                       archive_period=1.0, punctuation_interval=0.2),
+        PREDICATE)
+    for t in arrivals[:crash_index]:
+        engine.ingest(t)
+    engine.fail_unit("R0")
+    for t in arrivals[crash_index:]:
+        engine.ingest(t)
+    engine.finish()
+
+    expected = reference_join(r_stream, s_stream, PREDICATE, WINDOW)
+    check = check_exactly_once(engine.results, expected)
+    produced = {res.key for res in engine.results}
+    ts_of = {t.ident: t.ts for t in arrivals}
+    missing = expected - produced
+    healed_pairs = {pair for pair in expected
+                    if min(ts_of[pair[0]], ts_of[pair[1]])
+                    >= crash_ts + WINDOW.seconds}
+    return {
+        "check": check,
+        "loss_fraction": len(missing) / len(expected),
+        "missing_all_pre_crash": all(
+            min(ts_of[p[0]], ts_of[p[1]]) < crash_ts for p in missing),
+        "healed_complete": healed_pairs <= produced,
+        "crash_ts": crash_ts,
+    }
+
+
+def run_experiment():
+    return {units: run_one(units) for units in (1, 2, 4)}
+
+
+def test_e14_failure_blast_radius(benchmark):
+    outcomes = bench_once(benchmark, run_experiment)
+
+    rows = [[units, f"{data['loss_fraction']:.2%}",
+             data["check"].duplicates,
+             "yes" if data["healed_complete"] else "NO"]
+            for units, data in sorted(outcomes.items())]
+    emit("e14_failure_blast_radius", render_table(
+        ["R units", "results lost", "duplicates", "healed after 1 window"],
+        rows, title="E14: blast radius of one R-unit crash at t=50% "
+                    "(no-replication design)"))
+
+    for units, data in outcomes.items():
+        # Never duplicates or fabrications; losses are real but bounded.
+        assert data["check"].duplicates == 0
+        assert data["check"].spurious == 0
+        # Every lost pair involves pre-crash state.
+        assert data["missing_all_pre_crash"]
+        # Self-healing: one window after the crash, results are exact.
+        assert data["healed_complete"]
+        # The loss is window-bounded: well under the crash window's
+        # share of the run.
+        assert data["loss_fraction"] < 0.35
+
+    # More units shrink the blast radius (~1/n of keys lost).
+    assert outcomes[4]["loss_fraction"] < outcomes[1]["loss_fraction"]
+    assert outcomes[2]["loss_fraction"] < outcomes[1]["loss_fraction"]

@@ -1,0 +1,86 @@
+"""E2 [reconstructed] — memory efficiency: biclique vs. matrix.
+
+The BiStream headline: the join-biclique stores every tuple exactly
+once, so total memory is independent of the number of units and linear
+in the window; the join-matrix replicates each R tuple across its row
+(``cols`` copies) and each S tuple down its column (``rows`` copies),
+so memory inflates by ~√p on a square grid and *grows when scaling*.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import bench_once, emit
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.harness import render_table, run_biclique, run_matrix
+from repro.matrix import MatrixConfig
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+PREDICATE = EquiJoinPredicate("k", "k")
+GRIDS = {4: (2, 2), 9: (3, 3), 16: (4, 4)}
+
+
+def run_experiment():
+    workload = EquiJoinWorkload(keys=UniformKeys(1000), seed=202,
+                                payload_bytes=128)
+    r_stream, s_stream = workload.materialise(ConstantRate(300.0), 20.0)
+
+    by_units = {}
+    for units, (rows, cols) in GRIDS.items():
+        b = run_biclique(
+            BicliqueConfig(window=TimeWindow(10.0), r_joiners=units // 2,
+                           s_joiners=units - units // 2, routing="hash",
+                           archive_period=2.0, punctuation_interval=0.5),
+            PREDICATE, r_stream, s_stream, verify=False)
+        m = run_matrix(
+            MatrixConfig(window=TimeWindow(10.0), rows=rows, cols=cols,
+                         partitioning="hash", archive_period=2.0),
+            PREDICATE, r_stream, s_stream, verify=False)
+        by_units[units] = (b, m)
+
+    by_window = {}
+    for seconds in (2.0, 5.0, 10.0):
+        by_window[seconds] = run_biclique(
+            BicliqueConfig(window=TimeWindow(seconds), r_joiners=2,
+                           s_joiners=2, routing="hash", archive_period=1.0,
+                           punctuation_interval=0.5),
+            PREDICATE, r_stream, s_stream, verify=False)
+    return by_units, by_window
+
+
+def test_e2_memory_comparison(benchmark):
+    by_units, by_window = bench_once(benchmark, run_experiment)
+
+    rows = []
+    for units, (b, m) in sorted(by_units.items()):
+        rows.append([units, b.peak_live_bytes, m.peak_live_bytes,
+                     f"{m.peak_live_bytes / b.peak_live_bytes:.2f}x"])
+    table1 = render_table(
+        ["units", "biclique bytes", "matrix bytes", "matrix/biclique"],
+        rows, title="E2a: peak live memory vs. units (10 s window)")
+
+    rows = [[f"{sec:g}", stats.peak_live_bytes]
+            for sec, stats in sorted(by_window.items())]
+    table2 = render_table(["window (s)", "biclique peak bytes"], rows,
+                          title="E2b: biclique memory vs. window size")
+    emit("e2_memory_comparison", table1 + "\n\n" + table2)
+
+    # Biclique memory is flat in the unit count (each tuple stored once).
+    peaks = [b.peak_live_bytes for b, _ in by_units.values()]
+    assert max(peaks) <= 1.15 * min(peaks)
+
+    # Matrix memory inflates by ~√p (= rows = cols on a square grid).
+    for units, (b, m) in by_units.items():
+        expected = GRIDS[units][0]  # replication factor on a square grid
+        ratio = m.peak_live_bytes / b.peak_live_bytes
+        assert ratio == pytest.approx(expected, rel=0.25), (units, ratio)
+
+    # Matrix memory *grows* as the deployment scales; biclique's doesn't.
+    assert by_units[16][1].peak_live_bytes > \
+        1.5 * by_units[4][1].peak_live_bytes
+
+    # Biclique memory is ~linear in the window extent.
+    w2 = by_window[2.0].peak_live_bytes
+    w10 = by_window[10.0].peak_live_bytes
+    assert w10 == pytest.approx(5 * w2, rel=0.35)

@@ -1,0 +1,67 @@
+"""E3 [reconstructed] — processing latency vs. offered load.
+
+Latency is measured on the discrete-event cluster: each delivery queues
+behind the pod's earlier work, so as the offered rate approaches a
+deployment's capacity, queueing delay — and hence result latency —
+grows sharply; adding joiners pushes the knee to the right.  This is
+the standard latency/throughput trade-off the paper's latency figures
+report.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once, emit
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.cluster import ClusterConfig, CostModel, SimulatedCluster
+from repro.harness import render_table
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+RATES = [10.0, 25.0, 40.0]
+DURATION = 60.0
+#: Calibrated so one joiner per side saturates near 32 t/s.
+COST = CostModel().scaled(550.0)
+
+
+def run_point(rate: float, joiners_per_side: int):
+    workload = EquiJoinWorkload(keys=UniformKeys(300), seed=303)
+    profile = ConstantRate(rate)
+    cluster = SimulatedCluster(
+        BicliqueConfig(window=TimeWindow(seconds=20.0),
+                       r_joiners=joiners_per_side,
+                       s_joiners=joiners_per_side, routers=1,
+                       routing="hash", archive_period=4.0,
+                       punctuation_interval=0.05),
+        EquiJoinPredicate("k", "k"),
+        ClusterConfig(cost_model=COST, metrics_interval=10.0,
+                      timeline_interval=30.0))
+    cluster.run(workload.arrivals(profile, DURATION), DURATION,
+                rate_fn=profile.rate)
+    return cluster.engine.latency.summary()
+
+
+def run_experiment():
+    return {(rate, joiners): run_point(rate, joiners)
+            for rate in RATES for joiners in (1, 2)}
+
+
+def test_e3_latency(benchmark):
+    results = bench_once(benchmark, run_experiment)
+
+    rows = [[f"{rate:.0f}", joiners, f"{s.p50 * 1000:.1f}",
+             f"{s.p99 * 1000:.1f}", s.count]
+            for (rate, joiners), s in sorted(results.items())]
+    emit("e3_latency", render_table(
+        ["rate (t/s)", "joiners/side", "p50 (ms)", "p99 (ms)", "results"],
+        rows, title="E3: result latency vs. offered load"))
+
+    # Latency grows with offered rate on the small deployment...
+    p99_small = [results[(rate, 1)].p99 for rate in RATES]
+    assert p99_small[-1] > p99_small[0]
+    # ...and near saturation it blows past the lightly-loaded baseline.
+    assert results[(40.0, 1)].p99 > 3 * results[(10.0, 1)].p99
+    # Scaling out pushes the knee to the right: at the high rate the
+    # 2-joiner deployment is far faster than the 1-joiner one.
+    assert results[(40.0, 2)].p99 < 0.5 * results[(40.0, 1)].p99
+    # At a low rate, extra units don't hurt latency much.
+    assert results[(10.0, 2)].p50 < 2 * results[(10.0, 1)].p50 + 1e-3

@@ -1,0 +1,63 @@
+"""E4 [reconstructed] — effect of the sliding-window size Ws.
+
+A larger window keeps more live state (memory grows ~linearly with Ws)
+and makes every probe find more matches (for a fixed key universe the
+match count per probe is ~linear in Ws), so sustainable throughput
+falls as the window grows — the window-size sweep in the paper's
+evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import bench_once, emit
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.core.engine import StreamJoinEngine
+from repro.harness import biclique_capacity, render_table
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+WINDOWS = [2.0, 5.0, 10.0, 20.0]
+
+
+def run_experiment():
+    workload = EquiJoinWorkload(keys=UniformKeys(400), seed=404,
+                                payload_bytes=64)
+    r_stream, s_stream = workload.materialise(ConstantRate(250.0), 40.0)
+    ingested = len(r_stream) + len(s_stream)
+
+    points = {}
+    for seconds in WINDOWS:
+        engine = StreamJoinEngine(
+            BicliqueConfig(window=TimeWindow(seconds), r_joiners=2,
+                           s_joiners=2, routing="hash", archive_period=1.0,
+                           punctuation_interval=0.5),
+            EquiJoinPredicate("k", "k"))
+        _, report = engine.run(r_stream, s_stream, sample_memory_every=500)
+        capacity = biclique_capacity(engine.engine, ingested)
+        points[seconds] = (report, capacity)
+    return points
+
+
+def test_e4_window_size(benchmark):
+    points = bench_once(benchmark, run_experiment)
+
+    rows = [[f"{sec:g}", report.results, report.peak_live_bytes,
+             f"{cap.capacity_tuples_per_second:,.0f}"]
+            for sec, (report, cap) in sorted(points.items())]
+    emit("e4_window_size", render_table(
+        ["window (s)", "results", "peak bytes", "capacity (t/s)"],
+        rows, title="E4: window-size sweep (equi-join, 4 units)"))
+
+    mem = {sec: report.peak_live_bytes for sec, (report, _) in points.items()}
+    cap = {sec: c.capacity_tuples_per_second for sec, (_, c) in points.items()}
+    res = {sec: report.results for sec, (report, _) in points.items()}
+
+    # Memory is ~linear in the window extent.
+    assert mem[20.0] == pytest.approx(10 * mem[2.0], rel=0.35)
+    # Result volume is ~linear in the window extent too (symmetric
+    # window, uniform keys).
+    assert res[20.0] == pytest.approx(10 * res[2.0], rel=0.35)
+    # Capacity decreases monotonically with the window.
+    ordered = [cap[sec] for sec in WINDOWS]
+    assert all(a > b for a, b in zip(ordered, ordered[1:]))

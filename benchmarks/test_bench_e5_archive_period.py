@@ -1,0 +1,86 @@
+"""E5 — the chained in-memory index ablation (archive period P).
+
+Design choice under test (thesis §3.1.2 / DESIGN.md ablations): "it is
+not efficient to organize the entire streaming data with one single
+index, as it will incur high overhead during the stale tuple
+discarding operation."  The chained index discards whole sub-indexes in
+O(1); the monolithic baseline must rebuild its index tuple-by-tuple.
+
+Sweep: P ∈ {0.5, 2, 8} seconds plus the monolithic baseline, on a
+discard-heavy workload (short window, long stream).  Metrics: wall
+time of the full run, sub-indexes created/expired, tuples expired —
+and identical join output across all configurations.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import bench_once, emit
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.core.engine import StreamJoinEngine
+from repro.harness import render_table
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+PERIODS = [0.5, 2.0, 8.0, None]  # None = monolithic baseline
+WINDOW = TimeWindow(seconds=2.0)
+
+
+def run_one(period, r_stream, s_stream):
+    engine = StreamJoinEngine(
+        BicliqueConfig(window=WINDOW, r_joiners=1, s_joiners=1,
+                       routing="hash", archive_period=period,
+                       punctuation_interval=0.5),
+        EquiJoinPredicate("k", "k"))
+    started = time.perf_counter()
+    results, report = engine.run(r_stream, s_stream)
+    wall = time.perf_counter() - started
+    stats_r = engine.engine.joiners["R0"].index.stats
+    return {
+        "wall": wall,
+        "results": {res.key for res in results},
+        "subindexes_created": stats_r.subindexes_created,
+        "subindexes_expired": stats_r.subindexes_expired,
+        "tuples_expired": stats_r.tuples_expired,
+        "comparisons": report.comparisons,
+    }
+
+
+def run_experiment():
+    workload = EquiJoinWorkload(keys=UniformKeys(100), seed=505)
+    r_stream, s_stream = workload.materialise(ConstantRate(150.0), 60.0)
+    return {period: run_one(period, r_stream, s_stream)
+            for period in PERIODS}
+
+
+def test_e5_archive_period(benchmark):
+    outcomes = bench_once(benchmark, run_experiment)
+
+    rows = [["monolithic" if period is None else f"P={period:g}s",
+             f"{data['wall']:.3f}", data["subindexes_created"],
+             data["subindexes_expired"], data["tuples_expired"]]
+            for period, data in outcomes.items()]
+    emit("e5_archive_period", render_table(
+        ["index", "wall (s)", "sub-idx created", "sub-idx expired",
+         "tuples expired"],
+        rows, title="E5: chained-index archive period ablation "
+                    "(2 s window, 60 s stream)"))
+
+    # All configurations produce the identical result set.
+    result_sets = [data["results"] for data in outcomes.values()]
+    assert all(rs == result_sets[0] for rs in result_sets)
+
+    # The chained index discards at sub-index granularity...
+    assert outcomes[0.5]["subindexes_expired"] > \
+        outcomes[8.0]["subindexes_expired"] > 0
+    # ...and a smaller P tracks the window more tightly (more archived
+    # slices per window).
+    assert outcomes[0.5]["subindexes_created"] > \
+        outcomes[2.0]["subindexes_created"] > \
+        outcomes[8.0]["subindexes_created"]
+
+    # The headline: chained discarding is materially cheaper than the
+    # monolithic rebuild on a discard-heavy stream.
+    chained_best = min(outcomes[p]["wall"] for p in (0.5, 2.0, 8.0))
+    assert outcomes[None]["wall"] > 1.3 * chained_best, outcomes

@@ -1,0 +1,78 @@
+"""E6 [reconstructed] — skew sensitivity of the routing strategies.
+
+Content-sensitive (hash) routing collocates equal keys, so a zipfian
+key distribution concentrates both storage and probe work on the units
+owning the hot keys; content-insensitive (random) routing stays
+balanced by construction regardless of skew (§3.2: random routing
+"protects from load imbalance when the data is skew").
+
+Metric: load imbalance = max/mean across units, for stored tuples and
+for predicate comparisons, as the zipf exponent grows.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once, emit
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.core.engine import StreamJoinEngine
+from repro.harness import render_table
+from repro.workloads import ConstantRate, EquiJoinWorkload, ZipfKeys
+
+THETAS = [0.0, 0.8, 1.4]
+UNITS_PER_SIDE = 4
+
+
+def imbalance(values):
+    live = [v for v in values if v >= 0]
+    mean = sum(live) / len(live)
+    return max(live) / mean if mean > 0 else 1.0
+
+
+def run_one(theta: float, routing: str):
+    workload = EquiJoinWorkload(keys=ZipfKeys(200, theta), seed=606)
+    r_stream, s_stream = workload.materialise(ConstantRate(200.0), 25.0)
+    engine = StreamJoinEngine(
+        BicliqueConfig(window=TimeWindow(5.0), r_joiners=UNITS_PER_SIDE,
+                       s_joiners=UNITS_PER_SIDE, routing=routing,
+                       archive_period=1.0, punctuation_interval=0.5),
+        EquiJoinPredicate("k", "k"))
+    engine.run(r_stream, s_stream)
+    joiners = engine.engine.joiners.values()
+    return {
+        "stored_imbalance": imbalance(
+            [j.stats.tuples_stored for j in joiners]),
+        "comparison_imbalance": imbalance(
+            [j.index.stats.comparisons for j in joiners]),
+    }
+
+
+def run_experiment():
+    return {(theta, routing): run_one(theta, routing)
+            for theta in THETAS for routing in ("hash", "random")}
+
+
+def test_e6_skew(benchmark):
+    results = bench_once(benchmark, run_experiment)
+
+    rows = [[f"{theta:g}", routing,
+             f"{data['stored_imbalance']:.2f}",
+             f"{data['comparison_imbalance']:.2f}"]
+            for (theta, routing), data in sorted(results.items())]
+    emit("e6_skew", render_table(
+        ["zipf θ", "routing", "stored max/mean", "comparisons max/mean"],
+        rows, title="E6: load imbalance under key skew (8 units)"))
+
+    # Random routing stays balanced regardless of skew.
+    for theta in THETAS:
+        assert results[(theta, "random")]["stored_imbalance"] < 1.1
+
+    # Hash routing degrades with skew...
+    hash_imb = [results[(theta, "hash")]["comparison_imbalance"]
+                for theta in THETAS]
+    assert hash_imb[2] > hash_imb[0] * 1.3
+    # ...and under heavy skew is clearly worse than random routing.
+    assert results[(1.4, "hash")]["stored_imbalance"] > \
+        1.5 * results[(1.4, "random")]["stored_imbalance"]
+    # With uniform keys, hash routing is acceptably balanced.
+    assert results[(0.0, "hash")]["stored_imbalance"] < 1.35

@@ -1,0 +1,133 @@
+"""Thesis Figure 20 — dynamic scaling based on CPU utilisation.
+
+The experiment (thesis §5.2): a 60-minute equi-join run with a
+10-minute sliding window under the stepped input profile
+300/400/200/300 tuples/s (changes at minutes 10, 40, 50), a CPU-based
+HPA with ``targetAverageUtilization: 80``, ``minReplicas: 1``,
+``maxReplicas: 3``.  The thesis observes:
+
+- minute 0: one joiner per side at ~145 % CPU → a second pod launches,
+  after which utilisation stabilises below the 80 % target;
+- minute 10 (rate → 400): utilisation rises → a third pod launches and
+  utilisation balances around the target until minute 40;
+- minute 40 (rate → 200): utilisation falls below 60 % → one pod is
+  released (back to 2);
+- minute 50 (rate → 300): utilisation stabilises around 80 % with 2.
+
+This reproduction compresses the whole timeline 10x (rates, window,
+control-loop periods and step times all scaled together, so the
+dynamics are identical) and calibrates the CPU cost model so one joiner
+at the base rate sits at ~145 % of its request — the thesis's measured
+starting point.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once, emit
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.cluster import ClusterConfig, CostModel, HpaConfig, SimulatedCluster
+from repro.harness import render_table
+from repro.workloads import EquiJoinWorkload, StepRateProfile, UniformKeys
+
+# 1/10-scale timeline: 6 simulated minutes, steps at minutes 1, 4, 5.
+DURATION = 360.0
+PROFILE = StepRateProfile([(0.0, 30.0), (60.0, 40.0),
+                           (240.0, 20.0), (300.0, 30.0)])
+WINDOW = TimeWindow(seconds=60.0)
+
+#: Cost-model calibration: at 30 t/s total (15 stores/s + 15 probes/s
+#: per side, ~4.5 matches/probe with 200 uniform keys in a 60 s
+#: window), one joiner demands ~0.72 cores = 145 % of its 0.5-core
+#: request — the thesis Figure 20 starting condition.
+COST_SCALE = 314.0
+
+
+def run_experiment():
+    workload = EquiJoinWorkload(keys=UniformKeys(200), seed=2020)
+    config = BicliqueConfig(
+        window=WINDOW, r_joiners=1, s_joiners=1, routers=1,
+        routing="hash", archive_period=6.0, punctuation_interval=0.2,
+        expiry_slack=1.0)
+    hpa = HpaConfig(metric="cpu", target_utilisation=0.80,
+                    min_replicas=1, max_replicas=3, period=6.0,
+                    tolerance=0.12, scale_down_cooldown=30.0)
+    cluster = SimulatedCluster(
+        config, EquiJoinPredicate("k", "k"),
+        ClusterConfig(cost_model=CostModel().scaled(COST_SCALE),
+                      metrics_interval=6.0, timeline_interval=6.0,
+                      reap_interval=6.0),
+        hpa={"R": hpa, "S": hpa})
+    report = cluster.run(workload.arrivals(PROFILE, DURATION), DURATION,
+                         rate_fn=PROFILE.rate)
+    return cluster, report
+
+
+def phase_of(t: float) -> str:
+    if t < 60:
+        return "0-1min @30t/s"
+    if t < 240:
+        return "1-4min @40t/s"
+    if t < 300:
+        return "4-5min @20t/s"
+    return "5-6min @30t/s"
+
+
+def test_fig20_cpu_autoscaling(benchmark):
+    cluster, report = bench_once(benchmark, run_experiment)
+
+    rows = [[f"{p.time:5.0f}", phase_of(p.time), f"{p.input_rate:.0f}",
+             p.r_replicas,
+             None if p.cpu_utilisation_r is None
+             else f"{p.cpu_utilisation_r:.0%}"]
+            for p in report.timeline]
+    emit("fig20_cpu_autoscaling", render_table(
+        ["t (s)", "phase", "rate", "R pods", "cpu/request (R)"], rows,
+        title="Figure 20 (1/10 time-scale): dynamic scaling on CPU "
+              "utilisation"))
+
+    # --- thesis shape assertions -----------------------------------------
+    decisions = report.hpa_decisions["R"]
+    first = next(d for d in decisions if d.observed_utilisation is not None)
+    # Start: one joiner is overloaded well above the 80 % target (the
+    # thesis reads ~145 % once the window has filled; the first HPA
+    # sample lands during window fill-up, so we assert the trigger —
+    # above target + tolerance — and check the filled-window demand via
+    # the steady-state two-pod utilisation below).
+    assert first.observed_utilisation > 0.88, first
+    assert first.desired_replicas >= 2
+    # With 2 pods at the base rate, per-pod utilisation ~72 % implies a
+    # one-pod demand of ~145 % of the request — the thesis's reading.
+    phase1_steady = [p.cpu_utilisation_r for p in report.timeline
+                     if 30 <= p.time < 60 and p.cpu_utilisation_r is not None
+                     and p.r_replicas == 2]
+    assert phase1_steady, "no two-pod samples in phase 1"
+    implied_single_pod = 2 * sum(phase1_steady) / len(phase1_steady)
+    assert 1.1 <= implied_single_pod <= 1.9, implied_single_pod
+
+    def replicas_at(t0, t1):
+        return [p.r_replicas for p in report.timeline if t0 <= p.time < t1]
+
+    # Phase 1 (base rate): settles at 2 pods.
+    assert max(replicas_at(30, 60)) == 2
+    # Phase 2 (rate +33%): a third pod launches.
+    assert max(replicas_at(60, 240)) == 3
+    # Phase 3 (rate -50%): the autoscaler releases pods again.
+    assert min(replicas_at(250, 310)) <= 2
+    # Phase 4 (base rate again): back around 2, never at max.
+    assert replicas_at(330, 360)[-1] == 2
+
+    # After the initial scale-out, utilisation stays in a sane band
+    # around the target during the steady phases.
+    steady = [p.cpu_utilisation_r for p in report.timeline
+              if 120 <= p.time < 240 and p.cpu_utilisation_r is not None]
+    assert steady, "no steady-phase samples"
+    mean_util = sum(steady) / len(steady)
+    assert 0.4 <= mean_util <= 1.0, mean_util
+
+    # Results sanity: no duplicate pairs were produced across scaling.
+    from collections import Counter
+    counts = Counter(res.key for res in cluster.engine.results)
+    assert all(c == 1 for c in counts.values())
+    # 60s@30 + 180s@40 + 60s@20 + 60s@30 tuples/s
+    assert report.tuples_ingested == 12_000

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""TPC-H-style streaming join: Orders ⋈ Lineitem ON orderkey.
+
+The BiStream evaluation streams TPC-H tables in timestamp order; this
+example uses the synthetic TPC-H workload generator (DESIGN.md's
+substitution for the real dataset) and compares the join-biclique
+engine against the join-matrix baseline on the identical input —
+messages per tuple, stored tuples (replication!) and predicate
+comparisons.
+
+Run:  python examples/tpch_stream_join.py
+"""
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.harness import ROW_HEADERS, render_table, run_biclique, run_matrix
+from repro.matrix import MatrixConfig
+from repro.workloads import TpchStreamWorkload
+
+DURATION = 20.0
+WINDOW = TimeWindow(seconds=30.0)
+
+
+def main() -> None:
+    workload = TpchStreamWorkload(orders_per_second=50.0,
+                                  lineitem_spread=5.0, seed=17)
+    orders, lineitems = workload.generate(DURATION)
+    predicate = EquiJoinPredicate("orderkey", "orderkey")
+    print(f"orders={len(orders):,}  lineitems={len(lineitems):,}  "
+          f"window={WINDOW}\n")
+
+    rows = []
+    rows.append(run_biclique(
+        BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                       archive_period=5.0, routing="hash"),
+        predicate, orders, lineitems).as_row())
+    rows.append(run_biclique(
+        BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                       archive_period=5.0, routing="random"),
+        predicate, orders, lineitems).as_row())
+    rows.append(run_matrix(
+        MatrixConfig(window=WINDOW, rows=2, cols=2, partitioning="hash",
+                     archive_period=5.0),
+        predicate, orders, lineitems).as_row())
+    print(render_table(ROW_HEADERS, rows,
+                       title="Orders ⋈ Lineitem, 4 processing units each"))
+    print("\nNote how the matrix model ships √p copies of every tuple "
+          "(msgs/tuple) while biclique/hash ships 2, and how random "
+          "routing pays broadcast fan-out for an equi-join — the §3.2 "
+          "routing-strategy guidance in action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — a reproduction of "Scalable Distributed Stream Join
+Processing" (the join-biclique model / BiStream, SIGMOD 2015).
+
+The package implements, from scratch and in pure Python:
+
+- the **join-biclique** stream-join engine (:mod:`repro.core`):
+  routers, joiners, the chained in-memory index, ContRand/ContHash
+  routing, the order-consistent tuple protocol and elastic scaling
+  without data migration;
+- the **join-matrix** baseline (:mod:`repro.matrix`);
+- an **AMQP-style broker** substrate (:mod:`repro.broker`);
+- a deterministic **discrete-event simulator** (:mod:`repro.simulation`);
+- a **Kubernetes-like cluster** substrate with a Horizontal Pod
+  Autoscaler (:mod:`repro.cluster`);
+- **workload generators** (:mod:`repro.workloads`), **metrics**
+  (:mod:`repro.metrics`) and the **experiment harness**
+  (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import (BicliqueConfig, EquiJoinPredicate, StreamJoinEngine,
+                       TimeWindow, stream_from_pairs)
+
+    config = BicliqueConfig(window=TimeWindow(seconds=600),
+                            r_joiners=2, s_joiners=3)
+    engine = StreamJoinEngine(config, EquiJoinPredicate("k", "k"))
+    results, report = engine.run(r_stream, s_stream)
+"""
+
+from .core import (
+    CascadeJoin,
+    CascadePipeline,
+    CascadeResult,
+    PipelineStage,
+    Attribute,
+    BandJoinPredicate,
+    BicliqueConfig,
+    BicliqueEngine,
+    ChainedInMemoryIndex,
+    ConjunctionPredicate,
+    CountWindow,
+    FullHistoryWindow,
+    CrossPredicate,
+    EquiJoinPredicate,
+    JoinPredicate,
+    JoinResult,
+    RunReport,
+    Schema,
+    StreamJoinEngine,
+    StreamSource,
+    StreamTuple,
+    ThetaJoinPredicate,
+    TimeWindow,
+    make_result,
+    merge_by_time,
+    stream_from_pairs,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CascadeJoin",
+    "CascadePipeline",
+    "CascadeResult",
+    "PipelineStage",
+    "Attribute",
+    "BandJoinPredicate",
+    "BicliqueConfig",
+    "BicliqueEngine",
+    "ChainedInMemoryIndex",
+    "ConjunctionPredicate",
+    "CountWindow",
+    "FullHistoryWindow",
+    "CrossPredicate",
+    "EquiJoinPredicate",
+    "JoinPredicate",
+    "JoinResult",
+    "ReproError",
+    "RunReport",
+    "Schema",
+    "StreamJoinEngine",
+    "StreamSource",
+    "StreamTuple",
+    "ThetaJoinPredicate",
+    "TimeWindow",
+    "make_result",
+    "merge_by_time",
+    "stream_from_pairs",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""Command-line entry point: ``python -m repro [command]``.
+
+Commands:
+    demo        run a small verified stream join and print the report
+    autoscale   run a compressed Figure-20-style autoscaling timeline
+    info        print the package overview and pointers
+
+Everything heavier lives in ``examples/`` and ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _demo() -> int:
+    from repro import (BicliqueConfig, EquiJoinPredicate, StreamJoinEngine,
+                       TimeWindow, stream_from_pairs)
+    from repro.harness import check_exactly_once, reference_join
+
+    r = stream_from_pairs(
+        "R", [(float(i), {"k": i % 7}) for i in range(200)])
+    s = stream_from_pairs(
+        "S", [(i * 1.1, {"k": i % 7}) for i in range(180)])
+    predicate = EquiJoinPredicate("k", "k")
+    window = TimeWindow(seconds=30.0)
+    engine = StreamJoinEngine(
+        BicliqueConfig(window=window, r_joiners=2, s_joiners=3, routers=2,
+                       archive_period=5.0),
+        predicate)
+    results, report = engine.run(r, s)
+    check = check_exactly_once(results,
+                               reference_join(r, s, predicate, window))
+    print(f"join-biclique ({engine.engine.routing_mode} routing): "
+          f"{report.results} results at "
+          f"{report.tuples_per_second:,.0f} tuples/s")
+    print(f"network: {report.network.data_messages} data messages "
+          f"({report.network.data_messages / report.tuples_ingested:.2f}"
+          f"/tuple)")
+    print(f"exactly-once check: {'OK' if check.ok else f'FAILED {check}'}")
+    return 0 if check.ok else 1
+
+
+def _autoscale() -> int:
+    from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+    from repro.cluster import (ClusterConfig, CostModel, HpaConfig,
+                               SimulatedCluster)
+    from repro.workloads import EquiJoinWorkload, UniformKeys, \
+        thesis_rate_profile
+
+    duration = 360.0
+    profile = thesis_rate_profile(scale=0.1)
+    workload = EquiJoinWorkload(keys=UniformKeys(200), seed=7)
+    hpa = HpaConfig(metric="cpu", target_utilisation=0.80, min_replicas=1,
+                    max_replicas=3, period=6.0, scale_down_cooldown=30.0)
+    cluster = SimulatedCluster(
+        BicliqueConfig(window=TimeWindow(seconds=60.0), r_joiners=1,
+                       s_joiners=1, routing="hash", archive_period=6.0,
+                       punctuation_interval=0.2, expiry_slack=1.0),
+        EquiJoinPredicate("k", "k"),
+        ClusterConfig(cost_model=CostModel().scaled(314.0),
+                      metrics_interval=6.0, timeline_interval=30.0),
+        hpa={"R": hpa, "S": hpa})
+    report = cluster.run(workload.arrivals(profile, duration), duration,
+                         rate_fn=profile.rate)
+    print("t(s)  rate  R-pods  cpu/request")
+    for point in report.timeline:
+        cpu = ("  -  " if point.cpu_utilisation_r is None
+               else f"{point.cpu_utilisation_r:5.0%}")
+        print(f"{point.time:4.0f}  {point.input_rate:4.0f}  "
+              f"{point.r_replicas:6d}  {cpu}")
+    print(f"\nscale events: {report.scale_events}")
+    return 0
+
+
+def _info() -> int:
+    import repro
+    print(repro.__doc__)
+    print(f"version {repro.__version__}")
+    print("See README.md, DESIGN.md and EXPERIMENTS.md; run the full "
+          "experiment suite with: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    command = argv[1] if len(argv) > 1 else "info"
+    handlers = {"demo": _demo, "autoscale": _autoscale, "info": _info}
+    handler = handlers.get(command)
+    if handler is None:
+        print(f"unknown command {command!r}; "
+              f"choose from {sorted(handlers)}", file=sys.stderr)
+        return 2
+    return handler()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

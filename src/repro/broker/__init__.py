@@ -1,0 +1,34 @@
+"""In-process AMQP-style message broker substrate.
+
+Replaces RabbitMQ + Spring Cloud Stream from the thesis deployment with
+semantically equivalent in-process components:
+
+- :mod:`~repro.broker.message` — messages and deliveries,
+- :mod:`~repro.broker.exchange` — direct/topic/fanout exchanges and
+  AMQP topic pattern matching,
+- :mod:`~repro.broker.queue` — queues with round-robin competing
+  consumers,
+- :mod:`~repro.broker.broker` — the broker itself (synchronous or
+  simulator-scheduled delivery),
+- :mod:`~repro.broker.channels` — Spring-Cloud-Stream-style
+  destinations, consumer groups and partitioned destinations.
+"""
+
+from .broker import Broker
+from .channels import ChannelLayer
+from .exchange import Binding, Exchange, topic_matches
+from .message import MESSAGE_OVERHEAD_BYTES, Delivery, Message
+from .queue import Consumer, MessageQueue
+
+__all__ = [
+    "Broker",
+    "ChannelLayer",
+    "Binding",
+    "Exchange",
+    "topic_matches",
+    "Delivery",
+    "Message",
+    "MESSAGE_OVERHEAD_BYTES",
+    "Consumer",
+    "MessageQueue",
+]

@@ -1,0 +1,171 @@
+"""The in-process AMQP-style message broker.
+
+:class:`Broker` wires together exchanges, queues and bindings and
+delivers messages to consumer callbacks.  It runs in one of two modes:
+
+- **synchronous** (no simulator): ``publish`` delivers to the selected
+  consumers immediately, in publish order.  Used by unit tests and the
+  fast correctness-oriented engine driver.
+- **simulated** (a :class:`~repro.simulation.kernel.Simulator` plus a
+  :class:`~repro.simulation.network.NetworkModel`): each delivery is
+  scheduled as an event after a per-channel network delay.  Per
+  ``(sender, consumer)`` channel order is always FIFO (the AMQP
+  guarantee); order *across* channels depends on the network model,
+  which is how the out-of-order scenarios of thesis Figure 8 are
+  produced and the ordering protocol (§3.3) is exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import BrokerError, UnknownExchangeError, UnknownQueueError
+from ..simulation.kernel import Simulator
+from ..simulation.network import NetworkModel, ZeroDelayNetwork
+from .exchange import Exchange
+from .message import Delivery, Message
+from .queue import ConsumerFn, MessageQueue
+
+
+class Broker:
+    """An in-process message broker implementing the AMQ model."""
+
+    def __init__(self, simulator: Simulator | None = None,
+                 network: NetworkModel | None = None) -> None:
+        if network is not None and simulator is None:
+            raise BrokerError("a network model requires a simulator")
+        self._sim = simulator
+        self._network = network or ZeroDelayNetwork()
+        self._exchanges: dict[str, Exchange] = {}
+        self._queues: dict[str, MessageQueue] = {}
+        self.published = 0
+        self.delivered = 0
+        #: Optional observer called for every delivery (metrics hooks).
+        self.on_deliver: Callable[[Delivery], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def declare_exchange(self, name: str, type: str = "topic") -> Exchange:
+        """Create (or return the existing, type-compatible) exchange."""
+        existing = self._exchanges.get(name)
+        if existing is not None:
+            if existing.type != type:
+                raise BrokerError(
+                    f"exchange {name!r} exists with type {existing.type!r}, "
+                    f"redeclared as {type!r}")
+            return existing
+        exchange = Exchange(name=name, type=type)
+        self._exchanges[name] = exchange
+        return exchange
+
+    def declare_queue(self, name: str) -> MessageQueue:
+        """Create (or return the existing) queue."""
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = MessageQueue(name)
+            self._queues[name] = queue
+        return queue
+
+    def delete_queue(self, name: str) -> None:
+        """Remove a queue and all its bindings (used on scale-in)."""
+        if name not in self._queues:
+            raise UnknownQueueError(f"queue {name!r} does not exist")
+        del self._queues[name]
+        for exchange in self._exchanges.values():
+            exchange.unbind_queue(name)
+
+    def bind(self, exchange_name: str, queue_name: str,
+             binding_key: str = "#") -> None:
+        exchange = self._exchange(exchange_name)
+        if queue_name not in self._queues:
+            raise UnknownQueueError(f"queue {queue_name!r} does not exist")
+        exchange.bind(queue_name, binding_key)
+
+    def consume(self, queue_name: str, consumer_id: str,
+                callback: ConsumerFn) -> None:
+        """Attach a competing consumer to a queue; drains any backlog."""
+        queue = self._queue(queue_name)
+        queue.add_consumer(consumer_id, callback)
+        for message, consumer in queue.drain_backlog():
+            self._deliver(queue, message, consumer.consumer_id,
+                          consumer.callback)
+
+    def cancel_consumer(self, queue_name: str, consumer_id: str) -> None:
+        self._queue(queue_name).remove_consumer(consumer_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def exchange_names(self) -> list[str]:
+        return sorted(self._exchanges)
+
+    def queue_names(self) -> list[str]:
+        return sorted(self._queues)
+
+    def queue(self, name: str) -> MessageQueue:
+        return self._queue(name)
+
+    @property
+    def now(self) -> float:
+        return self._sim.now if self._sim is not None else 0.0
+
+    @property
+    def is_simulated(self) -> bool:
+        """True when deliveries are scheduled on a simulator (vs. eager)."""
+        return self._sim is not None
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, exchange_name: str, message: Message) -> int:
+        """Route ``message`` through an exchange; return queues reached."""
+        exchange = self._exchange(exchange_name)
+        self.published += 1
+        queue_names = exchange.route(message.routing_key)
+        for queue_name in queue_names:
+            queue = self._queue(queue_name)
+            consumer = queue.offer(message)
+            if consumer is not None:
+                self._deliver(queue, message, consumer.consumer_id,
+                              consumer.callback)
+        return len(queue_names)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deliver(self, queue: MessageQueue, message: Message,
+                 consumer_id: str, callback: ConsumerFn) -> None:
+        if self._sim is None:
+            delivery = Delivery(message=message, queue=queue.name,
+                                consumer=consumer_id, time=0.0)
+            self.delivered += 1
+            if self.on_deliver is not None:
+                self.on_deliver(delivery)
+            callback(delivery)
+            return
+
+        delay = self._network.delay(message.sender, consumer_id, self._sim.now)
+
+        def fire() -> None:
+            delivery = Delivery(message=message, queue=queue.name,
+                                consumer=consumer_id, time=self._sim.now)
+            self.delivered += 1
+            if self.on_deliver is not None:
+                self.on_deliver(delivery)
+            callback(delivery)
+
+        self._sim.schedule_after(
+            delay, fire, label=f"deliver {queue.name}->{consumer_id}")
+
+    def _exchange(self, name: str) -> Exchange:
+        try:
+            return self._exchanges[name]
+        except KeyError:
+            raise UnknownExchangeError(f"exchange {name!r} does not exist") from None
+
+    def _queue(self, name: str) -> MessageQueue:
+        try:
+            return self._queues[name]
+        except KeyError:
+            raise UnknownQueueError(f"queue {name!r} does not exist") from None

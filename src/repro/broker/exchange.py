@@ -1,0 +1,91 @@
+"""Exchanges and binding-key matching (AMQ model, thesis §3.1.3.1).
+
+Three exchange types are implemented, mirroring the subset the
+elastic-biclique design uses:
+
+- **direct** — a message goes to queues whose binding key equals the
+  routing key exactly (used for hash-partitioned destinations, where
+  the routing key is the partition index),
+- **topic** — binding keys are patterns: ``*`` matches exactly one
+  word, ``#`` matches zero or more words,
+- **fanout** — every bound queue receives every message (used for the
+  broadcast join stream under random routing and for punctuations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import BrokerError
+
+EXCHANGE_TYPES = ("direct", "topic", "fanout")
+
+
+def topic_matches(pattern: str, routing_key: str) -> bool:
+    """AMQP topic matching: ``*`` = one word, ``#`` = zero or more words.
+
+    >>> topic_matches("R.store.#", "R.store.3")
+    True
+    >>> topic_matches("*.join", "R.join")
+    True
+    >>> topic_matches("*.join", "R.store")
+    False
+    """
+    p_words = pattern.split(".")
+    k_words = routing_key.split(".")
+
+    # Dynamic programming over (pattern index, key index).
+    # reachable[j] == True  ⇔  p_words[:i] can match k_words[:j].
+    reachable = [True] + [False] * len(k_words)
+    for word in p_words:
+        if word == "#":
+            # '#' absorbs zero or more words: propagate reachability right.
+            seen = False
+            for j in range(len(reachable)):
+                seen = seen or reachable[j]
+                reachable[j] = seen
+        else:
+            nxt = [False] * len(reachable)
+            for j in range(len(k_words)):
+                if reachable[j] and (word == "*" or word == k_words[j]):
+                    nxt[j + 1] = True
+            reachable = nxt
+    return reachable[len(k_words)]
+
+
+@dataclass
+class Binding:
+    """A relationship between an exchange and a queue (AMQ "binding")."""
+
+    queue_name: str
+    binding_key: str
+
+
+@dataclass
+class Exchange:
+    """A named message entry point with a routing discipline."""
+
+    name: str
+    type: str
+    bindings: list[Binding] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.type not in EXCHANGE_TYPES:
+            raise BrokerError(
+                f"unknown exchange type {self.type!r}; known: {EXCHANGE_TYPES}")
+
+    def bind(self, queue_name: str, binding_key: str = "") -> None:
+        self.bindings.append(Binding(queue_name, binding_key))
+
+    def unbind_queue(self, queue_name: str) -> None:
+        self.bindings = [b for b in self.bindings if b.queue_name != queue_name]
+
+    def route(self, routing_key: str) -> list[str]:
+        """Names of the queues a message with ``routing_key`` goes to."""
+        if self.type == "fanout":
+            return [b.queue_name for b in self.bindings]
+        if self.type == "direct":
+            return [b.queue_name for b in self.bindings
+                    if b.binding_key == routing_key]
+        return [b.queue_name for b in self.bindings
+                if topic_matches(b.binding_key, routing_key)]

@@ -1,0 +1,56 @@
+"""Broker messages.
+
+A :class:`Message` is the unit the AMQP-style substrate moves around:
+an opaque payload plus a routing key and headers.  The stream-join
+layers put :class:`~repro.core.tuples.StreamTuple` objects (wrapped in
+protocol envelopes) in the payload; the broker never inspects payloads,
+only routing keys — exactly the division of labour in AMQP.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+_message_ids = itertools.count()
+
+#: Fixed wire overhead charged per message by the byte accounting
+#: (frame headers, routing key, delivery tag).
+MESSAGE_OVERHEAD_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Message:
+    """An AMQP-style message.
+
+    Attributes:
+        routing_key: dot-separated words matched against binding keys.
+        payload: opaque application payload.
+        headers: optional metadata (used for partition indexes etc.).
+        sender: identity of the publishing component (for FIFO channels
+            and network delay modelling).
+        message_id: unique, monotonically increasing id (diagnostics).
+    """
+
+    routing_key: str
+    payload: Any
+    headers: Mapping[str, Any] = field(default_factory=dict)
+    sender: str = ""
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def size_bytes(self) -> int:
+        payload_size = getattr(self.payload, "size_bytes", None)
+        if callable(payload_size):
+            return MESSAGE_OVERHEAD_BYTES + payload_size()
+        return MESSAGE_OVERHEAD_BYTES
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A message as seen by a consumer: payload plus delivery context."""
+
+    message: Message
+    queue: str
+    consumer: str
+    time: float

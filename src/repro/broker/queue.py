@@ -1,0 +1,102 @@
+"""Message queues with competing consumers.
+
+An AMQ queue buffers messages until consumers process them.  Multiple
+consumers on one queue *compete*: each message is dispatched to exactly
+one of them, round-robin — this is the "queuing model" the thesis uses
+for load-balancing routers and store-stream joiners.  A queue with a
+single consumer degenerates to a FIFO channel, which is what gives the
+pairwise-FIFO property (Definition 8) the ordering protocol builds on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import BrokerError
+from .message import Delivery, Message
+
+#: Consumer callback: receives a Delivery, returns nothing.
+ConsumerFn = Callable[[Delivery], None]
+
+
+@dataclass
+class Consumer:
+    """A registered consumer of one queue."""
+
+    consumer_id: str
+    callback: ConsumerFn
+
+
+class MessageQueue:
+    """A named queue with round-robin competing consumers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._consumers: list[Consumer] = []
+        self._rr_next = 0
+        self._backlog: deque[Message] = deque()
+        self.enqueued = 0
+        self.dispatched = 0
+
+    # -- consumers -------------------------------------------------------
+    def add_consumer(self, consumer_id: str, callback: ConsumerFn) -> None:
+        if any(c.consumer_id == consumer_id for c in self._consumers):
+            raise BrokerError(
+                f"consumer {consumer_id!r} already registered on queue {self.name!r}")
+        self._consumers.append(Consumer(consumer_id, callback))
+
+    def remove_consumer(self, consumer_id: str) -> None:
+        before = len(self._consumers)
+        self._consumers = [c for c in self._consumers
+                           if c.consumer_id != consumer_id]
+        if len(self._consumers) == before:
+            raise BrokerError(
+                f"consumer {consumer_id!r} not registered on queue {self.name!r}")
+        self._rr_next = 0
+
+    @property
+    def consumer_ids(self) -> list[str]:
+        return [c.consumer_id for c in self._consumers]
+
+    @property
+    def has_consumers(self) -> bool:
+        return bool(self._consumers)
+
+    @property
+    def backlog_depth(self) -> int:
+        """Messages waiting because no consumer is attached yet."""
+        return len(self._backlog)
+
+    # -- message flow ------------------------------------------------------
+    def select_consumer(self) -> Consumer:
+        """Round-robin pick among the competing consumers."""
+        if not self._consumers:
+            raise BrokerError(f"queue {self.name!r} has no consumers")
+        consumer = self._consumers[self._rr_next % len(self._consumers)]
+        self._rr_next = (self._rr_next + 1) % len(self._consumers)
+        return consumer
+
+    def offer(self, message: Message) -> Consumer | None:
+        """Accept a message; return the consumer to deliver it to.
+
+        Returns ``None`` (and buffers the message) when the queue has no
+        consumers yet — messages "stay in the queue until they are
+        handled by a consumer".
+        """
+        self.enqueued += 1
+        if not self._consumers:
+            self._backlog.append(message)
+            return None
+        self.dispatched += 1
+        return self.select_consumer()
+
+    def drain_backlog(self) -> list[tuple[Message, Consumer]]:
+        """Assign buffered messages to consumers (after a late attach)."""
+        assigned: list[tuple[Message, Consumer]] = []
+        while self._backlog and self._consumers:
+            message = self._backlog.popleft()
+            self.dispatched += 1
+            assigned.append((message, self.select_consumer()))
+        return assigned

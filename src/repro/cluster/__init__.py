@@ -1,0 +1,47 @@
+"""Kubernetes-like cluster substrate.
+
+Replaces the thesis deployment stack (Docker + Kubernetes + GKE +
+Heapster + Horizontal Pod Autoscaler) with simulated equivalents:
+
+- :mod:`~repro.cluster.resources` — pod resource specs and the CPU
+  cost model,
+- :mod:`~repro.cluster.pod` — pods with serial CPU service and usage
+  accounting,
+- :mod:`~repro.cluster.metrics_server` — Heapster-style sampling,
+- :mod:`~repro.cluster.autoscaler` — the HPA control loop,
+- :mod:`~repro.cluster.runtime` — the full simulated cluster driving a
+  biclique engine with autoscaling (thesis Figures 20/21).
+"""
+
+from .autoscaler import HorizontalPodAutoscaler, HpaConfig, HpaDecision
+from .matrix_runtime import MatrixClusterReport, MatrixSimulatedCluster
+from .metrics_server import MetricsServer, PodSample
+from .pod import Pod
+from .resources import CostModel, ResourceSpec
+from .runtime import (
+    ClusterConfig,
+    ClusterReport,
+    PodExecutor,
+    PodInstrumentation,
+    SimulatedCluster,
+    TimelinePoint,
+)
+
+__all__ = [
+    "HorizontalPodAutoscaler",
+    "HpaConfig",
+    "HpaDecision",
+    "MatrixClusterReport",
+    "MatrixSimulatedCluster",
+    "MetricsServer",
+    "PodSample",
+    "Pod",
+    "CostModel",
+    "ResourceSpec",
+    "ClusterConfig",
+    "ClusterReport",
+    "PodExecutor",
+    "PodInstrumentation",
+    "SimulatedCluster",
+    "TimelinePoint",
+]

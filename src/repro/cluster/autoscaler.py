@@ -1,0 +1,127 @@
+"""The Horizontal Pod Autoscaler (thesis §5.2, Figure 19).
+
+Implements the Kubernetes HPA control loop: every ``period`` seconds it
+computes the mean utilisation of the target deployment's pods for the
+configured metric and produces the desired replica count
+
+    desired = ceil(current * mean_utilisation / target)
+
+clamped to ``[min_replicas, max_replicas]``, with the standard
+stabilisation guards (a tolerance band around the target so tiny
+deviations don't flap the deployment, and a scale-down cooldown so one
+low sample doesn't immediately kill pods).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HpaConfig:
+    """Configuration of one HorizontalPodAutoscaler object.
+
+    Mirrors the thesis YAML: ``metrics.resource.name`` (cpu/memory),
+    ``targetAverageUtilization``, ``minReplicas``, ``maxReplicas``.
+
+    Attributes:
+        metric: ``"cpu"``, ``"memory"`` (resource metrics, target is a
+            utilisation fraction of the pod request) or ``"backlog"``
+            (custom metric: target is a raw average queued-work depth,
+            like the K8s custom-metrics ``targetAverageValue``).
+        target_utilisation: e.g. 0.80 for the thesis CPU experiment,
+            0.85 for the memory experiment, or an absolute queue depth
+            for the backlog metric.
+        min_replicas / max_replicas: replica clamp (thesis: 1 and 3).
+        period: control loop period in seconds (default 30, as in the
+            thesis description of the HPA control loop).
+        tolerance: relative dead-band around the target (K8s default
+            0.1): no action while |ratio - 1| <= tolerance.
+        scale_down_cooldown: seconds since the last scale *up* (or
+            previous scale-down) before removing replicas (K8s
+            stabilisation window, default 300 s).
+    """
+
+    metric: str = "cpu"
+    target_utilisation: float = 0.80
+    min_replicas: int = 1
+    max_replicas: int = 3
+    period: float = 30.0
+    tolerance: float = 0.1
+    scale_down_cooldown: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("cpu", "memory", "backlog"):
+            raise ConfigurationError(f"unknown HPA metric {self.metric!r}")
+        if self.target_utilisation <= 0:
+            raise ConfigurationError("target utilisation must be positive")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ConfigurationError(
+                "need 1 <= min_replicas <= max_replicas, got "
+                f"{self.min_replicas}..{self.max_replicas}")
+        if self.period <= 0:
+            raise ConfigurationError("HPA period must be positive")
+
+
+@dataclass
+class HpaDecision:
+    """Outcome of one control-loop evaluation."""
+
+    time: float
+    observed_utilisation: float | None
+    current_replicas: int
+    desired_replicas: int
+
+    @property
+    def action(self) -> str:
+        if self.desired_replicas > self.current_replicas:
+            return "scale-out"
+        if self.desired_replicas < self.current_replicas:
+            return "scale-in"
+        return "none"
+
+
+class HorizontalPodAutoscaler:
+    """The HPA decision logic, decoupled from the event loop.
+
+    The cluster runtime calls :meth:`evaluate` every ``config.period``
+    seconds with the current replica count and the sampled mean
+    utilisation, and applies the returned desired count.
+    """
+
+    def __init__(self, config: HpaConfig) -> None:
+        self.config = config
+        self.decisions: list[HpaDecision] = []
+        self._last_scale_change: float = float("-inf")
+
+    def evaluate(self, now: float, current_replicas: int,
+                 mean_utilisation: float | None) -> HpaDecision:
+        """One control-loop iteration; records and returns the decision."""
+        cfg = self.config
+        desired = current_replicas
+
+        if mean_utilisation is not None and current_replicas > 0:
+            ratio = mean_utilisation / cfg.target_utilisation
+            if abs(ratio - 1.0) > cfg.tolerance:
+                desired = math.ceil(current_replicas * ratio)
+            desired = min(max(desired, cfg.min_replicas), cfg.max_replicas)
+
+            if desired < current_replicas:
+                if now - self._last_scale_change < cfg.scale_down_cooldown:
+                    desired = current_replicas  # stabilisation window
+        else:
+            desired = min(max(desired, cfg.min_replicas), cfg.max_replicas)
+
+        decision = HpaDecision(
+            time=now,
+            observed_utilisation=mean_utilisation,
+            current_replicas=current_replicas,
+            desired_replicas=desired,
+        )
+        self.decisions.append(decision)
+        if desired != current_replicas:
+            self._last_scale_change = now
+        return decision

@@ -1,0 +1,197 @@
+"""Simulated-cluster runtime for the distributed join-matrix engine.
+
+The biclique and the matrix shared one Storm cluster in the paper's
+evaluation; :class:`MatrixSimulatedCluster` gives the matrix the same
+treatment our :class:`~repro.cluster.runtime.SimulatedCluster` gives
+the biclique: one pod per cell and per router, serial CPU service from
+the same cost model, the same metrics sampling — so latency and
+saturation comparisons between the two models are apples-to-apples
+(identical broker, network, cost model; different join topology).
+
+The matrix has no per-side autoscaler here: its scaling unit is a grid
+reshape (with migration), which no Kubernetes HPA can express — itself
+one of the paper's arguments for the biclique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from ..broker.broker import Broker
+from ..broker.message import Delivery
+from ..core.predicates import JoinPredicate
+from ..core.tuples import StreamTuple
+from ..errors import ClusterError
+from ..matrix.cell import MatrixCell
+from ..matrix.distributed import DistributedMatrixEngine
+from ..matrix.engine import MatrixConfig
+from ..metrics.memory import JvmHeapModel
+from ..simulation.kernel import Simulator
+from ..simulation.network import FixedDelayNetwork, NetworkModel
+from .metrics_server import MetricsServer
+from .pod import Pod
+from .resources import ResourceSpec
+from .runtime import ClusterConfig, PodExecutor
+
+
+@dataclass
+class _CellCounters:
+    received: int
+    comparisons: int
+    results: int
+
+
+def _cell_counters(cell: MatrixCell) -> _CellCounters:
+    return _CellCounters(
+        received=cell.stats.tuples_received,
+        comparisons=cell.comparisons,
+        results=cell.stats.results_emitted,
+    )
+
+
+@dataclass
+class MatrixClusterReport:
+    """Outcome of a simulated matrix-cluster run."""
+
+    duration: float
+    tuples_ingested: int
+    results: int
+
+
+class MatrixSimulatedCluster:
+    """A distributed join-matrix deployment on the simulated cluster."""
+
+    def __init__(self, config: MatrixConfig, predicate: JoinPredicate,
+                 cluster_config: ClusterConfig | None = None, *,
+                 routers: int = 1,
+                 network: NetworkModel | None = None,
+                 heap_factory: Callable[[], JvmHeapModel] | None = None) -> None:
+        self.cluster_config = cluster_config or ClusterConfig()
+        self.sim = Simulator()
+        self.network = network or FixedDelayNetwork(
+            self.cluster_config.network_latency)
+        self.broker = Broker(self.sim, self.network)
+        self.metrics = MetricsServer(self.cluster_config.metrics_interval)
+        self.cost = self.cluster_config.cost_model
+        self._heap_factory = heap_factory or JvmHeapModel
+        self.pods: dict[str, Pod] = {}
+        self.executors: dict[str, PodExecutor] = {}
+        self.engine = DistributedMatrixEngine(config, predicate,
+                                              broker=self.broker,
+                                              routers=routers)
+        self._wrap_components()
+        self._ingested = 0
+
+    # ------------------------------------------------------------------
+    # Pod wiring (after the engine subscribed its own callbacks, we
+    # re-route each consumer through a pod executor)
+    # ------------------------------------------------------------------
+    def _new_pod(self, name: str, spec: ResourceSpec,
+                 live_bytes_fn=None) -> PodExecutor:
+        if name in self.pods:
+            raise ClusterError(f"pod {name!r} already exists")
+        pod = Pod(name, spec, heap=self._heap_factory())
+        pod.created_at = self.sim.now
+        self.pods[name] = pod
+        executor = PodExecutor(self.sim, pod)
+        self.executors[name] = executor
+        self.metrics.register_pod(pod, live_bytes_fn,
+                                  backlog_fn=lambda: executor.queued)
+        return executor
+
+    def _wrap_components(self) -> None:
+        engine = self.engine
+        # Cells: replace each inbox consumer with a pod-executing one.
+        for row_cells in engine.cells:
+            for cell in row_cells:
+                self._wrap_cell(cell)
+        # Routers: same treatment on the entry queue.
+        for router in engine.routers:
+            self._wrap_router(router)
+
+    def _wrap_cell(self, cell: MatrixCell) -> None:
+        from ..matrix.distributed import cell_inbox
+
+        inbox = cell_inbox(cell.row, cell.col)
+        queue = f"{inbox}.{inbox}.group"
+        consumer_id = f"cell-{cell.row}-{cell.col}-g{engine_generation(self.engine)}"
+        executor = self._new_pod(f"cell-{cell.row}-{cell.col}",
+                                 self.cluster_config.joiner_spec,
+                                 live_bytes_fn=lambda c=cell: c.live_bytes)
+
+        def callback(delivery: Delivery, cell=cell, executor=executor) -> None:
+            def work(start: float) -> float:
+                before = _cell_counters(cell)
+                cell.on_envelope(delivery.message.payload, now=start)
+                after = _cell_counters(cell)
+                received = after.received - before.received
+                return self.cost.joiner_work(
+                    stored=received,  # every received tuple is stored...
+                    probes=received,  # ...and probes the opposite index
+                    comparisons=after.comparisons - before.comparisons,
+                    results=after.results - before.results,
+                )
+
+            executor.submit(work)
+
+        self.broker.cancel_consumer(queue, consumer_id)
+        self.broker.consume(queue, consumer_id, callback)
+
+    def _wrap_router(self, router) -> None:
+        from ..matrix.distributed import ENTRY_DESTINATION, ROUTER_GROUP
+
+        queue = f"{ENTRY_DESTINATION}.{ROUTER_GROUP}"
+        executor = self._new_pod(f"mrouter-{router.router_id}",
+                                 self.cluster_config.router_spec)
+
+        def callback(delivery: Delivery, router=router,
+                     executor=executor) -> None:
+            def work(start: float) -> float:
+                router.on_delivery(replace(delivery, time=start))
+                return self.cost.router_work(tuples=1)
+
+            executor.submit(work)
+
+        self.broker.cancel_consumer(queue, router.router_id)
+        self.broker.consume(queue, router.router_id, callback)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def _pump(self, arrivals: Iterator[StreamTuple], duration: float) -> None:
+        try:
+            t = next(arrivals)
+        except StopIteration:
+            return
+        if t.ts >= duration:
+            return
+
+        def ingest() -> None:
+            self.engine.ingest(t)
+            self._ingested += 1
+            self._pump(arrivals, duration)
+
+        self.sim.schedule_at(t.ts, ingest, label="matrix-ingest")
+
+    def run(self, arrivals: Iterator[StreamTuple],
+            duration: float) -> MatrixClusterReport:
+        cancel = self.sim.schedule_periodic(
+            self.cluster_config.metrics_interval,
+            lambda: self.metrics.sample(self.sim.now),
+            label="matrix-metrics")
+        self._pump(arrivals, duration)
+        self.sim.run(until=duration)
+        cancel()
+        self.sim.run()
+        self.engine.finish()
+        return MatrixClusterReport(
+            duration=duration,
+            tuples_ingested=self._ingested,
+            results=len(self.engine.results),
+        )
+
+
+def engine_generation(engine: DistributedMatrixEngine) -> int:
+    """The engine's current cell generation (consumer-id suffix)."""
+    return engine._cell_generation

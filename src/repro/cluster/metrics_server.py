@@ -1,0 +1,118 @@
+"""A Heapster-like metrics server.
+
+The Horizontal Pod Autoscaler does not look at instantaneous load; it
+queries a metrics pipeline that *samples* pod resource usage at a fixed
+cadence.  :class:`MetricsServer` reproduces that indirection: every
+``sample_interval`` seconds it computes, for each registered pod, the
+CPU utilisation over the elapsed interval and the current memory
+utilisation, and stores them as "the latest sample".  The HPA control
+loop then consumes these (slightly stale) values — the staleness is
+part of why real autoscalers react with a lag, visible in the thesis
+Figure 20/21 timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+from .pod import Pod
+
+
+@dataclass(frozen=True)
+class PodSample:
+    """One sampled observation of a pod's resource usage."""
+
+    time: float
+    cpu_utilisation: float
+    memory_utilisation: float
+    memory_mapped_bytes: int
+    backlog: int = 0
+
+
+class MetricsServer:
+    """Samples pod resource usage on demand from a periodic driver."""
+
+    def __init__(self, sample_interval: float = 15.0) -> None:
+        if sample_interval <= 0:
+            raise ClusterError("sample interval must be positive")
+        self.sample_interval = sample_interval
+        self._pods: dict[str, Pod] = {}
+        self._live_bytes_fn: dict[str, object] = {}
+        self._backlog_fn: dict[str, object] = {}
+        self._latest: dict[str, PodSample] = {}
+        self._last_sample_time = 0.0
+
+    # -- registry ---------------------------------------------------------
+    def register_pod(self, pod: Pod, live_bytes_fn=None,
+                     backlog_fn=None) -> None:
+        """Track a pod.
+
+        Args:
+            live_bytes_fn: reports the pod's live data-set bytes
+                (drives the memory metric).
+            backlog_fn: reports the pod's queued-work depth (drives the
+                custom "backlog" metric — the thesis Figure 19 custom
+                metrics API pathway).
+        """
+        if pod.name in self._pods:
+            raise ClusterError(f"pod {pod.name!r} already registered")
+        self._pods[pod.name] = pod
+        self._live_bytes_fn[pod.name] = live_bytes_fn or (lambda: 0)
+        self._backlog_fn[pod.name] = backlog_fn or (lambda: 0)
+
+    def unregister_pod(self, name: str) -> None:
+        self._pods.pop(name, None)
+        self._live_bytes_fn.pop(name, None)
+        self._backlog_fn.pop(name, None)
+        self._latest.pop(name, None)
+
+    @property
+    def pod_names(self) -> list[str]:
+        return sorted(self._pods)
+
+    # -- sampling ------------------------------------------------------------
+    def sample(self, now: float) -> None:
+        """Take one sample of every registered pod."""
+        t0 = self._last_sample_time
+        for name, pod in self._pods.items():
+            live = self._live_bytes_fn[name]()
+            mapped = pod.update_memory(live)
+            cpu = pod.cpu_utilisation(max(t0, pod.created_at), now)
+            self._latest[name] = PodSample(
+                time=now,
+                cpu_utilisation=cpu,
+                memory_utilisation=pod.memory_utilisation(),
+                memory_mapped_bytes=mapped,
+                backlog=int(self._backlog_fn[name]()),
+            )
+            pod.prune_segments(before=now)
+        self._last_sample_time = now
+
+    # -- queries ---------------------------------------------------------------
+    def latest(self, pod_name: str) -> PodSample | None:
+        return self._latest.get(pod_name)
+
+    def mean_utilisation(self, pod_names: list[str], metric: str) -> float | None:
+        """Mean metric value over pods with samples; ``None`` if no data.
+
+        ``cpu`` and ``memory`` are utilisations relative to the pod
+        request; ``backlog`` is a raw average value (queued work items),
+        matching the Kubernetes resource-metric vs. custom-metric split.
+        """
+        values = []
+        for name in pod_names:
+            sample = self._latest.get(name)
+            if sample is None:
+                continue
+            if metric == "cpu":
+                values.append(sample.cpu_utilisation)
+            elif metric == "memory":
+                values.append(sample.memory_utilisation)
+            elif metric == "backlog":
+                values.append(float(sample.backlog))
+            else:
+                raise ClusterError(f"unknown metric {metric!r}")
+        if not values:
+            return None
+        return sum(values) / len(values)

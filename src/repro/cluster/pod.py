@@ -1,0 +1,114 @@
+"""Simulated pods: serial CPU service and usage accounting.
+
+A :class:`Pod` hosts one microservice instance (a joiner unit or a
+router).  Work is served **serially**: a work item submitted while the
+pod is busy starts when the previous item completes, which is how
+queueing delay — and hence result latency under load — emerges in the
+simulation.  CPU usage is capped by ``cpu_limit``; demand beyond the
+limit simply queues further.
+
+Usage is tracked as busy segments on the simulated timeline so the
+metrics server can ask "how many CPU-seconds did this pod burn between
+t0 and t1?" — the exact quantity Heapster samples in the thesis setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+from ..metrics.memory import JvmHeapModel
+from .resources import ResourceSpec
+
+
+@dataclass
+class _BusySegment:
+    start: float
+    end: float
+
+
+class Pod:
+    """A schedulable unit with CPU accounting and a JVM heap envelope."""
+
+    def __init__(self, name: str, spec: ResourceSpec,
+                 heap: JvmHeapModel | None = None) -> None:
+        self.name = name
+        self.spec = spec
+        self.heap = heap if heap is not None else JvmHeapModel()
+        self.created_at: float = 0.0
+        self._free_at = 0.0
+        self._segments: list[_BusySegment] = []
+        self.total_busy_seconds = 0.0
+        self.work_items = 0
+
+    # ------------------------------------------------------------------
+    # Serial CPU service
+    # ------------------------------------------------------------------
+    def schedule_work(self, now: float, service_seconds: float) -> tuple[float, float]:
+        """Reserve CPU for one work item; returns ``(start, end)``.
+
+        The item starts at ``max(now, free_at)`` — FIFO behind whatever
+        is already queued — and runs for ``service_seconds`` stretched
+        by the CPU limit (a 0.5-core limit makes 1 CPU-second of work
+        take 2 wall-seconds).
+        """
+        if service_seconds < 0:
+            raise ClusterError(f"negative service time {service_seconds!r}")
+        start = max(now, self._free_at)
+        wall = service_seconds / self.spec.cpu_limit
+        end = start + wall
+        self._free_at = end
+        if wall > 0:
+            self._segments.append(_BusySegment(start, end))
+        self.total_busy_seconds += service_seconds
+        self.work_items += 1
+        return start, end
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time a newly submitted item could start."""
+        return self._free_at
+
+    def queue_delay(self, now: float) -> float:
+        """Current backlog: how long a new item would wait."""
+        return max(0.0, self._free_at - now)
+
+    # ------------------------------------------------------------------
+    # Usage metrics
+    # ------------------------------------------------------------------
+    def cpu_seconds_between(self, t0: float, t1: float) -> float:
+        """CPU-seconds consumed in ``[t0, t1]`` (at most limit*(t1-t0))."""
+        if t1 <= t0:
+            return 0.0
+        busy_wall = 0.0
+        for seg in self._segments:
+            lo = max(seg.start, t0)
+            hi = min(seg.end, t1)
+            if hi > lo:
+                busy_wall += hi - lo
+        return busy_wall * self.spec.cpu_limit
+
+    def cpu_utilisation(self, t0: float, t1: float) -> float:
+        """Usage relative to the *request* (K8s HPA semantics; can
+        exceed 1.0 when the limit is above the request)."""
+        if t1 <= t0:
+            return 0.0
+        return self.cpu_seconds_between(t0, t1) / ((t1 - t0) * self.spec.cpu_request)
+
+    def prune_segments(self, before: float) -> None:
+        """Forget busy segments that ended before ``before``."""
+        self._segments = [s for s in self._segments if s.end > before]
+
+    # ------------------------------------------------------------------
+    # Memory metrics
+    # ------------------------------------------------------------------
+    def update_memory(self, live_bytes: int) -> int:
+        """Feed the live set into the heap envelope; returns mapped bytes."""
+        return self.heap.update(live_bytes)
+
+    def memory_utilisation(self) -> float:
+        """Mapped heap relative to the pod's memory request."""
+        return self.heap.mapped_bytes / self.spec.memory_request
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Pod({self.name!r}, free_at={self._free_at:.3f})"

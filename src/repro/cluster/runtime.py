@@ -1,0 +1,384 @@
+"""The simulated-cluster runtime: pods + engine + HPA on one event loop.
+
+This module is the substitute for the thesis's deployment substrate
+(Docker containers on Kubernetes/GKE).  It runs a
+:class:`~repro.core.biclique.BicliqueEngine` inside the discrete-event
+simulator with:
+
+- one :class:`~repro.cluster.pod.Pod` per joiner unit and per router,
+  each serving its deliveries serially through a FIFO executor (so
+  queueing delay and CPU saturation emerge naturally),
+- a :class:`~repro.cluster.metrics_server.MetricsServer` sampling pod
+  CPU/memory on a fixed cadence,
+- optional :class:`~repro.cluster.autoscaler.HorizontalPodAutoscaler`
+  control loops per joiner side, whose decisions are applied through
+  the engine's migration-free ``scale_out``/``scale_in``,
+- a periodic reaper finalising drained (scaled-in) units,
+- a timeline recorder producing exactly the series thesis Figures 20/21
+  plot: input rate, replica count and the scaled resource metric over
+  the experiment hour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
+
+from ..core.biclique import BicliqueConfig, BicliqueEngine, EngineInstrumentation
+from ..core.joiner import Joiner
+from ..core.predicates import JoinPredicate
+from ..core.router import Router
+from ..core.tuples import StreamTuple
+from ..errors import ClusterError
+from ..metrics.memory import MB, JvmHeapModel
+from ..simulation.kernel import Simulator
+from ..simulation.network import FixedDelayNetwork, NetworkModel
+from ..broker.broker import Broker
+from ..broker.message import Delivery
+from .autoscaler import HorizontalPodAutoscaler, HpaConfig, HpaDecision
+from .metrics_server import MetricsServer
+from .pod import Pod
+from .resources import CostModel, ResourceSpec
+
+
+# ---------------------------------------------------------------------------
+# Serial pod execution
+# ---------------------------------------------------------------------------
+class PodExecutor:
+    """FIFO serial executor binding work items to a pod's CPU.
+
+    Work functions are called with the simulated start time and must
+    return the CPU service seconds they consumed; the executor then
+    blocks the pod for the corresponding wall time (respecting the CPU
+    limit) before starting the next item.
+    """
+
+    def __init__(self, sim: Simulator, pod: Pod) -> None:
+        self.sim = sim
+        self.pod = pod
+        self._queue: deque[Callable[[float], float]] = deque()
+        self._scheduled = False
+
+    def submit(self, work: Callable[[float], float]) -> None:
+        self._queue.append(work)
+        self._kick()
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def _kick(self) -> None:
+        if self._scheduled or not self._queue:
+            return
+        self._scheduled = True
+        start = max(self.sim.now, self.pod.free_at)
+        self.sim.schedule_at(start, self._run,
+                             label=f"pod-exec {self.pod.name}")
+
+    def _run(self) -> None:
+        self._scheduled = False
+        work = self._queue.popleft()
+        service = work(self.sim.now)
+        self.pod.schedule_work(self.sim.now, service)
+        self._kick()
+
+
+# ---------------------------------------------------------------------------
+# Engine instrumentation: one pod per component
+# ---------------------------------------------------------------------------
+@dataclass
+class _JoinerCounters:
+    stored: int
+    probes: int
+    comparisons: int
+    results: int
+    punctuations: int
+
+
+def _joiner_counters(joiner: Joiner) -> _JoinerCounters:
+    return _JoinerCounters(
+        stored=joiner.stats.tuples_stored,
+        probes=joiner.stats.probes_processed,
+        comparisons=joiner.index.stats.comparisons,
+        results=joiner.stats.results_emitted,
+        punctuations=joiner.stats.punctuations_received,
+    )
+
+
+class PodInstrumentation(EngineInstrumentation):
+    """Creates a pod per engine component and routes work through it."""
+
+    def __init__(self, sim: Simulator, metrics: MetricsServer,
+                 cost: CostModel, joiner_spec: ResourceSpec,
+                 router_spec: ResourceSpec,
+                 heap_factory: Callable[[], JvmHeapModel] | None = None) -> None:
+        self.sim = sim
+        self.metrics = metrics
+        self.cost = cost
+        self.joiner_spec = joiner_spec
+        self.router_spec = router_spec
+        self.heap_factory = heap_factory or JvmHeapModel
+        self.pods: dict[str, Pod] = {}
+        self.executors: dict[str, PodExecutor] = {}
+
+    # -- pod lifecycle ------------------------------------------------------
+    def _new_pod(self, name: str, spec: ResourceSpec,
+                 live_bytes_fn=None) -> PodExecutor:
+        if name in self.pods:
+            raise ClusterError(f"pod {name!r} already exists")
+        pod = Pod(name, spec, heap=self.heap_factory())
+        pod.created_at = self.sim.now
+        self.pods[name] = pod
+        executor = PodExecutor(self.sim, pod)
+        self.executors[name] = executor
+        self.metrics.register_pod(pod, live_bytes_fn,
+                                  backlog_fn=lambda: executor.queued)
+        return executor
+
+    def _remove_pod(self, name: str) -> None:
+        self.pods.pop(name, None)
+        self.executors.pop(name, None)
+        self.metrics.unregister_pod(name)
+
+    @staticmethod
+    def joiner_pod_name(unit_id: str) -> str:
+        return f"joiner-{unit_id}"
+
+    @staticmethod
+    def router_pod_name(router_id: str) -> str:
+        return f"router-{router_id}"
+
+    # -- EngineInstrumentation hooks ---------------------------------------
+    def wrap_joiner(self, joiner: Joiner, callback):
+        executor = self._new_pod(self.joiner_pod_name(joiner.unit_id),
+                                 self.joiner_spec,
+                                 live_bytes_fn=lambda: joiner.live_bytes)
+
+        def wrapped(delivery: Delivery) -> None:
+            def work(start: float) -> float:
+                before = _joiner_counters(joiner)
+                callback(replace(delivery, time=start))
+                after = _joiner_counters(joiner)
+                return self.cost.joiner_work(
+                    stored=after.stored - before.stored,
+                    probes=after.probes - before.probes,
+                    comparisons=after.comparisons - before.comparisons,
+                    results=after.results - before.results,
+                    punctuations=after.punctuations - before.punctuations,
+                )
+
+            executor.submit(work)
+
+        return wrapped
+
+    def wrap_router(self, router: Router, callback):
+        executor = self._new_pod(self.router_pod_name(router.router_id),
+                                 self.router_spec)
+
+        def wrapped(delivery: Delivery) -> None:
+            def work(start: float) -> float:
+                callback(replace(delivery, time=start))
+                return self.cost.router_work(tuples=1)
+
+            executor.submit(work)
+
+        return wrapped
+
+    def on_joiner_removed(self, joiner: Joiner) -> None:
+        self._remove_pod(self.joiner_pod_name(joiner.unit_id))
+
+    # -- queries --------------------------------------------------------------
+    def joiner_pod_names(self, unit_ids: list[str]) -> list[str]:
+        return [self.joiner_pod_name(uid) for uid in unit_ids
+                if self.joiner_pod_name(uid) in self.pods]
+
+
+# ---------------------------------------------------------------------------
+# The simulated cluster
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Deployment-level knobs of the simulated cluster."""
+
+    joiner_spec: ResourceSpec = ResourceSpec()
+    router_spec: ResourceSpec = ResourceSpec(cpu_request=0.25, cpu_limit=1.0)
+    cost_model: CostModel = CostModel()
+    network_latency: float = 0.002
+    metrics_interval: float = 15.0
+    reap_interval: float = 30.0
+    timeline_interval: float = 30.0
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One sample of the Figure 20/21 series."""
+
+    time: float
+    input_rate: float
+    r_replicas: int
+    s_replicas: int
+    cpu_utilisation_r: float | None
+    cpu_utilisation_s: float | None
+    memory_mapped_mb_r: float | None
+    memory_utilisation_r: float | None
+    results_so_far: int
+
+
+@dataclass
+class ClusterReport:
+    """Outcome of a simulated-cluster run."""
+
+    duration: float
+    tuples_ingested: int
+    results: int
+    timeline: list[TimelinePoint] = field(default_factory=list)
+    hpa_decisions: dict[str, list[HpaDecision]] = field(default_factory=dict)
+    scale_events: list[tuple[float, str, str, int]] = field(default_factory=list)
+
+    def replicas_series(self, side: str) -> list[tuple[float, int]]:
+        attr = "r_replicas" if side == "R" else "s_replicas"
+        return [(p.time, getattr(p, attr)) for p in self.timeline]
+
+
+class SimulatedCluster:
+    """A biclique deployment on the simulated Kubernetes-like cluster."""
+
+    def __init__(self, biclique_config: BicliqueConfig,
+                 predicate: JoinPredicate,
+                 cluster_config: ClusterConfig | None = None,
+                 *, hpa: dict[str, HpaConfig] | None = None,
+                 network: NetworkModel | None = None,
+                 heap_factory: Callable[[], JvmHeapModel] | None = None) -> None:
+        self.cluster_config = cluster_config or ClusterConfig()
+        self.sim = Simulator()
+        self.network = network or FixedDelayNetwork(
+            self.cluster_config.network_latency)
+        self.broker = Broker(self.sim, self.network)
+        self.metrics = MetricsServer(self.cluster_config.metrics_interval)
+        self.instrumentation = PodInstrumentation(
+            self.sim, self.metrics, self.cluster_config.cost_model,
+            self.cluster_config.joiner_spec, self.cluster_config.router_spec,
+            heap_factory=heap_factory)
+        self.engine = BicliqueEngine(biclique_config, predicate,
+                                     broker=self.broker,
+                                     instrumentation=self.instrumentation)
+        self.autoscalers: dict[str, HorizontalPodAutoscaler] = {
+            side: HorizontalPodAutoscaler(config)
+            for side, config in (hpa or {}).items()}
+        self._rate_fn: Callable[[float], float] = lambda t: 0.0
+        self._ingested = 0
+        self.report = ClusterReport(duration=0.0, tuples_ingested=0, results=0)
+
+    # ------------------------------------------------------------------
+    # Periodic control loops
+    # ------------------------------------------------------------------
+    def _sample_metrics(self) -> None:
+        self.metrics.sample(self.sim.now)
+
+    def _run_autoscaler(self, side: str) -> None:
+        hpa = self.autoscalers[side]
+        active = self.engine.groups[side].active_units()
+        pod_names = self.instrumentation.joiner_pod_names(active)
+        mean = self.metrics.mean_utilisation(pod_names, hpa.config.metric)
+        decision = hpa.evaluate(self.sim.now, len(active), mean)
+        if decision.action == "scale-out":
+            added = self.engine.scale_out(
+                side, decision.desired_replicas - decision.current_replicas,
+                now=self.sim.now)
+            self.report.scale_events.append(
+                (self.sim.now, side, "out", len(added)))
+        elif decision.action == "scale-in":
+            for _ in range(decision.current_replicas
+                           - decision.desired_replicas):
+                unit = self.engine.scale_in(side, now=self.sim.now)
+                self.report.scale_events.append((self.sim.now, side, "in", 1))
+
+    def _reap(self) -> None:
+        self.engine.reap_drained(now=self.sim.now)
+
+    def _record_timeline(self) -> None:
+        engine = self.engine
+        r_active = engine.groups["R"].active_units()
+        s_active = engine.groups["S"].active_units()
+        r_pods = self.instrumentation.joiner_pod_names(r_active)
+        s_pods = self.instrumentation.joiner_pod_names(s_active)
+        mem_mapped = None
+        samples = [self.metrics.latest(name) for name in r_pods]
+        samples = [s for s in samples if s is not None]
+        if samples:
+            mem_mapped = sum(s.memory_mapped_bytes for s in samples) / len(samples) / MB
+        self.report.timeline.append(TimelinePoint(
+            time=self.sim.now,
+            input_rate=self._rate_fn(self.sim.now),
+            r_replicas=len(r_active),
+            s_replicas=len(s_active),
+            cpu_utilisation_r=self.metrics.mean_utilisation(r_pods, "cpu"),
+            cpu_utilisation_s=self.metrics.mean_utilisation(s_pods, "cpu"),
+            memory_mapped_mb_r=mem_mapped,
+            memory_utilisation_r=self.metrics.mean_utilisation(r_pods, "memory"),
+            results_so_far=len(engine.results),
+        ))
+
+    # ------------------------------------------------------------------
+    # Workload pump
+    # ------------------------------------------------------------------
+    def _pump(self, arrivals: Iterator[StreamTuple], duration: float) -> None:
+        try:
+            t = next(arrivals)
+        except StopIteration:
+            return
+        if t.ts >= duration:
+            return
+
+        def ingest() -> None:
+            self.engine.ingest(t)
+            self._ingested += 1
+            self._pump(arrivals, duration)
+
+        self.sim.schedule_at(t.ts, ingest, label="ingest")
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self, arrivals: Iterator[StreamTuple], duration: float,
+            rate_fn: Callable[[float], float] | None = None) -> ClusterReport:
+        """Run the cluster for ``duration`` simulated seconds.
+
+        Args:
+            arrivals: lazy, time-ordered tuple arrival sequence.
+            duration: simulated experiment length in seconds.
+            rate_fn: the nominal input rate over time (only used to
+                annotate the timeline, e.g. a RateProfile's ``rate``).
+        """
+        if rate_fn is not None:
+            self._rate_fn = rate_fn
+        cc = self.cluster_config
+        cancels = [
+            self.sim.schedule_periodic(cc.metrics_interval,
+                                       self._sample_metrics,
+                                       label="metrics-sample"),
+            self.sim.schedule_periodic(cc.reap_interval, self._reap,
+                                       label="reap-drained"),
+            self.sim.schedule_periodic(cc.timeline_interval,
+                                       self._record_timeline,
+                                       label="timeline"),
+        ]
+        for side, hpa in self.autoscalers.items():
+            cancels.append(self.sim.schedule_periodic(
+                hpa.config.period, lambda side=side: self._run_autoscaler(side),
+                label=f"hpa-{side}"))
+
+        self._pump(arrivals, duration)
+        self.sim.run(until=duration)
+        for cancel in cancels:
+            cancel()
+        self.sim.run()  # drain in-flight deliveries and pod work
+        self.engine.finish()
+
+        self.report.duration = duration
+        self.report.tuples_ingested = self._ingested
+        self.report.results = len(self.engine.results)
+        self.report.hpa_decisions = {
+            side: hpa.decisions for side, hpa in self.autoscalers.items()}
+        return self.report

@@ -1,0 +1,105 @@
+"""The join-biclique stream-join core (the paper's contribution).
+
+Modules, bottom-up:
+
+- :mod:`~repro.core.tuples` / :mod:`~repro.core.streams` — data model,
+- :mod:`~repro.core.windows` — sliding-window semantics,
+- :mod:`~repro.core.predicates` — equi/band/theta join predicates,
+- :mod:`~repro.core.indexes` — hash / sorted / scan sub-indexes,
+- :mod:`~repro.core.chained_index` — the chained in-memory index with
+  archive period P and Theorem-1 discarding,
+- :mod:`~repro.core.ordering` — the order-consistent tuple protocol,
+- :mod:`~repro.core.routing` — ContRand / ContHash strategies, groups,
+  subgroups and no-migration scaling epochs,
+- :mod:`~repro.core.router` / :mod:`~repro.core.joiner` — the two
+  microservice roles,
+- :mod:`~repro.core.biclique` — topology wiring and elastic scaling,
+- :mod:`~repro.core.engine` — the user-facing synchronous facade.
+"""
+
+from .archive import ArchivedSlice, ArchiveStore, HistoricalQueryResult, query_history
+from .biclique import BicliqueConfig, BicliqueEngine
+from .chained_index import ChainedInMemoryIndex
+from .engine import RunReport, StreamJoinEngine
+from .joiner import Joiner
+from .multiway import CascadeJoin, CascadeReport, CascadeResult, reference_cascade
+from .pipeline import (
+    CascadePipeline,
+    PipelineReport,
+    PipelineResult,
+    PipelineStage,
+    reference_pipeline,
+)
+from .ordering import Envelope, ReorderBuffer
+from .planning import (
+    DeploymentPlan,
+    contrand_messages_per_tuple,
+    conthash_messages_per_tuple,
+    matrix_messages_per_tuple,
+    optimal_contrand_subgroups,
+    plan_deployment,
+)
+from .predicates import (
+    BandJoinPredicate,
+    ConjunctionPredicate,
+    CrossPredicate,
+    EquiJoinPredicate,
+    JoinPredicate,
+    ThetaJoinPredicate,
+)
+from .router import Router
+from .routing import HashRouting, JoinerGroup, RandomRouting
+from .streams import StreamSource, merge_by_time, stream_from_pairs
+from .tuples import Attribute, JoinResult, Schema, StreamTuple, make_result
+from .windows import CountWindow, FullHistoryWindow, TimeWindow
+
+__all__ = [
+    "ArchivedSlice",
+    "ArchiveStore",
+    "HistoricalQueryResult",
+    "query_history",
+    "BicliqueConfig",
+    "BicliqueEngine",
+    "ChainedInMemoryIndex",
+    "RunReport",
+    "StreamJoinEngine",
+    "Joiner",
+    "CascadeJoin",
+    "CascadeReport",
+    "CascadeResult",
+    "reference_cascade",
+    "CascadePipeline",
+    "PipelineReport",
+    "PipelineResult",
+    "PipelineStage",
+    "reference_pipeline",
+    "Envelope",
+    "DeploymentPlan",
+    "contrand_messages_per_tuple",
+    "conthash_messages_per_tuple",
+    "matrix_messages_per_tuple",
+    "optimal_contrand_subgroups",
+    "plan_deployment",
+    "ReorderBuffer",
+    "BandJoinPredicate",
+    "ConjunctionPredicate",
+    "CrossPredicate",
+    "EquiJoinPredicate",
+    "JoinPredicate",
+    "ThetaJoinPredicate",
+    "Router",
+    "HashRouting",
+    "JoinerGroup",
+    "RandomRouting",
+    "StreamSource",
+    "merge_by_time",
+    "stream_from_pairs",
+    "Attribute",
+    "JoinResult",
+    "Schema",
+    "StreamTuple",
+    "make_result",
+    "CountWindow",
+    "FullHistoryWindow",
+    "TimeWindow",
+]

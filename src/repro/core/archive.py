@@ -1,0 +1,171 @@
+"""Archival of expired sub-indexes (partial-historical state, §2.2).
+
+The sliding window bounds the *online* join state, but §2.2 notes that
+systems in this class also serve joins "over full or partial-historical
+states of the stream".  The chained in-memory index makes this cheap:
+its unit of expiry is a whole sub-index, so instead of dereferencing an
+expired slice it can be *shipped to an archive tier* — a disk-backed
+store in the real system, simulated here with byte accounting and
+simple time-range metadata.
+
+The online hot path is unchanged (archival happens at the O(1) expiry
+boundary); the archive answers *offline* historical probes: given a
+tuple, scan the archived slices whose time range could contain matches
+and evaluate the predicate.  This module provides:
+
+- :class:`ArchivedSlice` — an immutable expired sub-index snapshot,
+- :class:`ArchiveStore` — the per-unit archive tier with time-range
+  pruning and byte accounting,
+- the ``archive_sink`` hook on
+  :class:`~repro.core.chained_index.ChainedInMemoryIndex` (see there),
+  wired through :class:`~repro.core.joiner.Joiner` by
+  ``BicliqueConfig(archive_expired=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import ConfigurationError
+from .predicates import JoinPredicate
+from .tuples import StreamTuple
+
+
+@dataclass(frozen=True)
+class ArchivedSlice:
+    """One expired sub-index, frozen for the archive tier.
+
+    Attributes:
+        unit_id: the joiner unit the slice lived on.
+        relation: the stored relation ("R"/"S").
+        min_ts / max_ts: time range of the contained tuples.
+        tuples: the slice contents, in insertion order.
+    """
+
+    unit_id: str
+    relation: str
+    min_ts: float
+    max_ts: float
+    tuples: tuple[StreamTuple, ...]
+
+    @property
+    def bytes(self) -> int:
+        return sum(t.size_bytes() for t in self.tuples)
+
+    def overlaps(self, lo: float, hi: float) -> bool:
+        """Does the slice's time range intersect ``[lo, hi]``?"""
+        return self.max_ts >= lo and self.min_ts <= hi
+
+
+class ArchiveStore:
+    """An append-only archive of expired sub-index slices.
+
+    Models the disk tier: slices are immutable once written, lookups
+    prune by time-range metadata before scanning tuples (the archive
+    analogue of the chained index's sub-index-level operations).
+    """
+
+    def __init__(self) -> None:
+        self._slices: list[ArchivedSlice] = []
+        self.bytes_written = 0
+        self.slices_written = 0
+
+    def append(self, slice_: ArchivedSlice) -> None:
+        if slice_.tuples:
+            self._slices.append(slice_)
+            self.slices_written += 1
+            self.bytes_written += slice_.bytes
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    @property
+    def tuple_count(self) -> int:
+        return sum(len(s.tuples) for s in self._slices)
+
+    def slices(self) -> Iterator[ArchivedSlice]:
+        return iter(self._slices)
+
+    # ------------------------------------------------------------------
+    # Historical queries
+    # ------------------------------------------------------------------
+    def probe(self, predicate: JoinPredicate, probe: StreamTuple, *,
+              lo: float = float("-inf"),
+              hi: float = float("inf")) -> list[StreamTuple]:
+        """All archived tuples matching ``predicate`` against ``probe``
+        whose timestamps fall in ``[lo, hi]``.
+
+        Time-range pruning skips whole slices, mirroring how the real
+        system would avoid reading irrelevant archive files.
+        """
+        matches: list[StreamTuple] = []
+        for slice_ in self._slices:
+            if not slice_.overlaps(lo, hi):
+                continue
+            for stored in slice_.tuples:
+                if not lo <= stored.ts <= hi:
+                    continue
+                if probe.relation == "R":
+                    ok = predicate.matches(probe, stored)
+                else:
+                    ok = predicate.matches(stored, probe)
+                if ok:
+                    matches.append(stored)
+        return matches
+
+
+@dataclass
+class HistoricalQueryResult:
+    """Outcome of an engine-level historical probe."""
+
+    probe: StreamTuple
+    live_matches: list[StreamTuple] = field(default_factory=list)
+    archived_matches: list[StreamTuple] = field(default_factory=list)
+
+    @property
+    def all_matches(self) -> list[StreamTuple]:
+        return self.archived_matches + self.live_matches
+
+
+def query_history(engine, probe: StreamTuple, *,
+                  lo: float = float("-inf"),
+                  hi: float = float("inf")) -> HistoricalQueryResult:
+    """Probe a biclique engine's live + archived state of the opposite
+    relation (an offline, best-effort historical join).
+
+    Requires the engine to have been built with
+    ``BicliqueConfig(archive_expired=True)``.
+
+    Note this is an *offline* facility: it scans state directly rather
+    than flowing through the ordering protocol, so it reflects whatever
+    has been stored/archived at call time.
+    """
+    if not getattr(engine.config, "archive_expired", False):
+        raise ConfigurationError(
+            "historical queries need BicliqueConfig(archive_expired=True)")
+    stored_side = "S" if probe.relation == "R" else "R"
+    result = HistoricalQueryResult(probe=probe)
+    seen: set[tuple[str, int]] = set()
+    for joiner in engine.joiners.values():
+        if joiner.side != stored_side:
+            continue
+        for stored in joiner.index.all_tuples():
+            if not lo <= stored.ts <= hi:
+                continue
+            if stored.ident in seen:
+                continue
+            if probe.relation == "R":
+                ok = engine.predicate.matches(probe, stored)
+            else:
+                ok = engine.predicate.matches(stored, probe)
+            if ok:
+                seen.add(stored.ident)
+                result.live_matches.append(stored)
+        if joiner.archive is not None:
+            for stored in joiner.archive.probe(engine.predicate, probe,
+                                               lo=lo, hi=hi):
+                if stored.ident not in seen:
+                    seen.add(stored.ident)
+                    result.archived_matches.append(stored)
+    return result

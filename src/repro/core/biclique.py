@@ -1,0 +1,406 @@
+"""The join-biclique engine: topology wiring and elastic scaling.
+
+:class:`BicliqueEngine` assembles the full elastic-biclique dataflow of
+thesis Figure 4 on top of the broker substrate:
+
+- an entry destination ``tuples.exchange`` where a *pool of routers
+  compete* (consumer group ``routergroup``),
+- one inbox destination per joiner unit, carrying store envelopes, join
+  envelopes and punctuations with pairwise-FIFO delivery,
+- a result sink collecting :class:`~repro.core.tuples.JoinResult`.
+
+Scaling follows the join-biclique property that units are independent:
+
+- **scale-out** instantiates a new joiner, subscribes its inbox,
+  registers the existing routers in its reorder buffer and lets the
+  routing strategy re-balance *new* tuples onto it — no data migration;
+- **scale-in** marks a unit as *draining*: it stops receiving store
+  traffic immediately but keeps answering join probes until its stored
+  window state has fully expired (one window extent), after which
+  :meth:`reap_drained` removes it.  Results are therefore complete
+  across scaling events, as the thesis's §5.2 closing remark requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..broker.broker import Broker
+from ..broker.channels import ChannelLayer
+from ..errors import ConfigurationError, ScalingError
+from ..metrics.counters import NetworkStats
+from ..metrics.latency import LatencyRecorder
+from ..metrics.memory import MemorySnapshot
+from .joiner import Joiner
+from .predicates import JoinPredicate
+from .router import Router, joiner_inbox
+from .routing import HashRouting, JoinerGroup, RandomRouting, RoutingStrategy
+from .tuples import JoinResult, StreamTuple
+from .windows import FullHistoryWindow, TimeWindow
+
+ENTRY_DESTINATION = "tuples.exchange"
+ROUTER_GROUP = "routergroup"
+
+
+@dataclass
+class BicliqueConfig:
+    """Configuration of a join-biclique deployment.
+
+    Attributes:
+        r_joiners / s_joiners: initial unit counts n and m.
+        routers: size of the competing router pool.
+        window: the sliding window Ws (time-based).
+        archive_period: chained-index slice length P (``None`` =
+            monolithic index, the E5 ablation baseline).
+        routing: ``"random"`` (ContRand), ``"hash"`` (ContHash) or
+            ``"auto"`` — pick by the predicate's selectivity class as
+            §3.2 prescribes (hash for equi-joins, random otherwise).
+        r_subgroups / s_subgroups: ContRand subgroup counts d and e
+            (replication-vs-fan-out knob; 1 = pure biclique).
+        hash_partitions: fixed hash space size for ContHash.
+        ordered: enable the tuple-ordering protocol (§3.3).
+        punctuation_interval: stream-time between router punctuations
+            (thesis example: every 20 ms).
+        expiry_slack: conservative Theorem-1 margin for multi-router
+            deployments (see ChainedInMemoryIndex.expiry_slack).
+        timestamp_policy: ``"max"`` or ``"min"`` output timestamps.
+        archive_expired: keep expired sub-index slices in a per-unit
+            archive tier instead of discarding them, enabling the
+            partial-historical queries of :mod:`repro.core.archive`.
+    """
+
+    window: TimeWindow | FullHistoryWindow
+    r_joiners: int = 2
+    s_joiners: int = 2
+    routers: int = 1
+    archive_period: float | None = 30.0
+    routing: str = "auto"
+    r_subgroups: int = 1
+    s_subgroups: int = 1
+    hash_partitions: int = 64
+    ordered: bool = True
+    punctuation_interval: float = 0.02
+    expiry_slack: float = 0.0
+    timestamp_policy: str = "max"
+    archive_expired: bool = False
+    #: Keep every JoinResult object in ``engine.results``.  Disable for
+    #: long-running load experiments where only counts and latency
+    #: matter — results are then counted (``results_count``) and their
+    #: latency recorded, but the objects are dropped.
+    retain_results: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.window, (TimeWindow, FullHistoryWindow)):
+            raise ConfigurationError(
+                f"the engine joins over TimeWindow or FullHistoryWindow; "
+                f"got {self.window!r} (count windows are a unit-level "
+                f"extension without distributed semantics)")
+        if self.r_joiners < 1 or self.s_joiners < 1:
+            raise ConfigurationError("each side needs at least one joiner")
+        if self.routers < 1:
+            raise ConfigurationError("need at least one router")
+        if self.routing not in ("auto", "random", "hash"):
+            raise ConfigurationError(
+                f"routing must be auto/random/hash, got {self.routing!r}")
+        if self.punctuation_interval <= 0:
+            raise ConfigurationError("punctuation interval must be positive")
+        if self.r_subgroups > self.r_joiners or self.s_subgroups > self.s_joiners:
+            raise ConfigurationError(
+                "cannot have more subgroups than joiners on a side")
+
+
+class EngineInstrumentation:
+    """Hooks the cluster runtime uses to attach pods to engine components.
+
+    The default implementation is a no-op: callbacks run inline (the
+    synchronous driver).  :class:`repro.cluster.runtime.PodInstrumentation`
+    overrides these to route every delivery through a simulated pod's
+    serial CPU executor and to create/destroy pods on scaling events.
+    """
+
+    def wrap_joiner(self, joiner: Joiner, callback):
+        """Return the consumer callback to register for a joiner inbox."""
+        return callback
+
+    def wrap_router(self, router: Router, callback):
+        """Return the consumer callback to register for a router."""
+        return callback
+
+    def on_joiner_removed(self, joiner: Joiner) -> None:
+        """Called after a drained joiner has been unwired."""
+
+
+class BicliqueEngine:
+    """A fully wired join-biclique deployment over a broker."""
+
+    def __init__(self, config: BicliqueConfig, predicate: JoinPredicate,
+                 broker: Broker | None = None,
+                 instrumentation: EngineInstrumentation | None = None) -> None:
+        self.config = config
+        self.predicate = predicate
+        self.instrumentation = instrumentation or EngineInstrumentation()
+        self.broker = broker if broker is not None else Broker()
+        self.channels = ChannelLayer(self.broker)
+        self.network_stats = NetworkStats()
+        self.results: list[JoinResult] = []
+        #: Total results produced (also counted when retain_results=False).
+        self.results_count = 0
+        self.latency = LatencyRecorder()
+        self._unit_seq = {"R": 0, "S": 0}
+        self._router_seq = 0
+        self._last_punctuation_ts: float | None = None
+
+        self.groups = {
+            "R": JoinerGroup("R", config.r_subgroups),
+            "S": JoinerGroup("S", config.s_subgroups),
+        }
+        self.strategy = self._build_strategy()
+        self.joiners: dict[str, Joiner] = {}
+        self.routers: list[Router] = []
+
+        self.channels.declare_destination(ENTRY_DESTINATION)
+        for _ in range(config.r_joiners):
+            self._add_joiner("R")
+        for _ in range(config.s_joiners):
+            self._add_joiner("S")
+        # The strategy may have been built while the groups were still
+        # empty (hash partition assignment needs members).
+        self.strategy.on_membership_change(0.0)
+        for _ in range(config.routers):
+            self._add_router(f"router{self._router_seq}")
+            self._router_seq += 1
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_strategy(self) -> RoutingStrategy:
+        mode = self.config.routing
+        if mode == "auto":
+            mode = ("hash" if self.predicate.selectivity_class == "low"
+                    else "random")
+        if mode == "hash":
+            return HashRouting(self.groups, self.predicate,
+                               self.config.window,
+                               partitions=self.config.hash_partitions)
+        return RandomRouting(self.groups)
+
+    @property
+    def routing_mode(self) -> str:
+        """The resolved routing strategy name."""
+        return "hash" if isinstance(self.strategy, HashRouting) else "random"
+
+    def _record_result(self, result: JoinResult) -> None:
+        self.results_count += 1
+        if self.config.retain_results:
+            self.results.append(result)
+        self.latency.record(max(0.0, result.produced_at - max(result.r.ts,
+                                                              result.s.ts)))
+
+    def _add_joiner(self, side: str) -> Joiner:
+        unit_id = f"{side}{self._unit_seq[side]}"
+        self._unit_seq[side] += 1
+        joiner = Joiner(
+            unit_id=unit_id, side=side, predicate=self.predicate,
+            window=self.config.window,
+            archive_period=self.config.archive_period,
+            result_sink=self._record_result,
+            ordered=self.config.ordered,
+            timestamp_policy=self.config.timestamp_policy,
+            expiry_slack=self.config.expiry_slack,
+            archive_expired=self.config.archive_expired)
+        self.joiners[unit_id] = joiner
+        self.groups[side].add_unit(unit_id)
+        inbox = joiner_inbox(unit_id)
+        self.channels.declare_destination(inbox)
+        callback = self.instrumentation.wrap_joiner(joiner, joiner.on_delivery)
+        joiner.inbox_queue = self.channels.subscribe(
+            inbox, unit_id, callback, group=f"{unit_id}.group")
+        for router in self.routers:
+            joiner.register_router(router.router_id)
+        return joiner
+
+    def _add_router(self, router_id: str) -> Router:
+        router = Router(router_id, self.strategy, self.channels,
+                        self.network_stats)
+        self.routers.append(router)
+        for joiner in self.joiners.values():
+            joiner.register_router(router_id)
+        callback = self.instrumentation.wrap_router(router, router.on_delivery)
+        self.channels.subscribe(ENTRY_DESTINATION, router_id,
+                                callback, group=ROUTER_GROUP)
+        return router
+
+    # ------------------------------------------------------------------
+    # Ingestion (synchronous driver; the cluster layer drives via events)
+    # ------------------------------------------------------------------
+    def ingest(self, t: StreamTuple) -> None:
+        """Publish one tuple to the system entry exchange.
+
+        In a synchronous broker this routes, stores and probes
+        immediately; punctuations are emitted whenever stream time has
+        advanced one punctuation interval.
+        """
+        self._maybe_punctuate(t.ts)
+        self.channels.send(ENTRY_DESTINATION, t, sender="source")
+
+    def _maybe_punctuate(self, ts: float) -> None:
+        if self._last_punctuation_ts is None:
+            self._last_punctuation_ts = ts
+            return
+        if ts - self._last_punctuation_ts >= self.config.punctuation_interval:
+            self.punctuate_all()
+            self._last_punctuation_ts = ts
+
+    def punctuate_all(self) -> None:
+        """Have every router broadcast its current punctuation."""
+        for router in self.routers:
+            router.emit_punctuation()
+
+    def finish(self) -> None:
+        """End-of-stream: final punctuations release all buffered tuples."""
+        self.punctuate_all()
+        for joiner in self.joiners.values():
+            joiner.flush()
+
+    # ------------------------------------------------------------------
+    # Elastic scaling
+    # ------------------------------------------------------------------
+    def scale_out(self, side: str, count: int = 1, *, now: float = 0.0) -> list[str]:
+        """Add ``count`` joiners to a side; returns the new unit ids."""
+        if count < 1:
+            raise ScalingError(f"scale_out count must be >= 1, got {count}")
+        new_ids = [self._add_joiner(side).unit_id for _ in range(count)]
+        self.strategy.on_membership_change(now)
+        return new_ids
+
+    def scale_in(self, side: str, *, now: float = 0.0,
+                 unit_id: str | None = None) -> str:
+        """Start draining one unit of a side; returns its id.
+
+        The unit keeps serving join probes until its window state has
+        expired; call :meth:`reap_drained` periodically to remove it.
+        """
+        group = self.groups[side]
+        if unit_id is None:
+            active = group.active_units()
+            if len(active) <= 1:
+                raise ScalingError(
+                    f"side {side} has only {len(active)} active unit(s)")
+            unit_id = active[-1]
+        group.start_draining(unit_id, now)
+        self.strategy.on_membership_change(now)
+        return unit_id
+
+    def reap_drained(self, *, now: float) -> list[str]:
+        """Remove draining units whose stored state has fully expired."""
+        removed: list[str] = []
+        for side in ("R", "S"):
+            group = self.groups[side]
+            for unit_id in group.drained_units(now, self.config.window):
+                joiner = self.joiners.pop(unit_id)
+                self.channels.unsubscribe(joiner.inbox_queue, unit_id,
+                                          delete_queue=True)
+                group.remove_unit(unit_id)
+                self.instrumentation.on_joiner_removed(joiner)
+                removed.append(unit_id)
+        if removed:
+            self.strategy.on_membership_change(now)
+        return removed
+
+    def scale_routers(self, count: int) -> None:
+        """Resize the competing router pool to ``count`` instances.
+
+        Routers are stateless (§3.1.1: only counters and rate
+        statistics), so scaling them is what the thesis calls "easily
+        scale up or down the router-services depending on the tuple
+        rate":
+
+        - scale-out: a new router simply joins the ``routergroup``
+          consumer group and is registered in every joiner's reorder
+          buffer (its punctuations take part in the watermark);
+        - scale-in: the removed router emits one final punctuation
+          covering everything it ever sent, is detached from the entry
+          queue, and is unregistered from the joiners — which may
+          immediately release tuples its absence was holding back.
+        """
+        if count < 1:
+            raise ScalingError("router pool needs at least one instance")
+        while len(self.routers) < count:
+            # Never reuse a router id: in-flight envelopes from a
+            # previously removed router must not alias a new counter
+            # sequence on any channel.
+            counter_floor = max(
+                (router.next_counter for router in self.routers), default=0)
+            router = self._add_router(f"router{self._router_seq}")
+            self._router_seq += 1
+            # Keep the global (counter, router) order time-aligned: a
+            # fresh counter of 0 would sort the newcomer's tuples before
+            # everything currently in flight.
+            router.advance_counter_to(counter_floor)
+        while len(self.routers) > count:
+            router = self.routers.pop()
+            router.emit_punctuation()
+            self.channels.unsubscribe(
+                f"{ENTRY_DESTINATION}.{ROUTER_GROUP}", router.router_id)
+            for joiner in self.joiners.values():
+                joiner.unregister_router(router.router_id)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail_unit(self, unit_id: str) -> Joiner:
+        """Crash a joiner unit and restart it empty (stateless recovery).
+
+        Models the microservice failure mode the thesis's architecture
+        is designed around: units are independent, subscriptions are
+        durable (the group queue buffers while the consumer is down),
+        but a crashed unit's *window state is lost*.  The replacement
+        re-attaches to the same inbox and refills organically: pairs
+        whose stored half lived only on the crashed unit may be missed
+        for up to one window extent, after which results are exact
+        again — there is no replica to recover from, by design (the
+        no-replication trade-off of the join-biclique model).
+
+        Returns the replacement joiner.
+        """
+        old = self.joiners[unit_id]
+        self.channels.unsubscribe(old.inbox_queue, unit_id)
+        self.instrumentation.on_joiner_removed(old)
+        replacement = Joiner(
+            unit_id=unit_id, side=old.side, predicate=self.predicate,
+            window=self.config.window,
+            archive_period=self.config.archive_period,
+            result_sink=self._record_result,
+            ordered=self.config.ordered,
+            timestamp_policy=self.config.timestamp_policy,
+            expiry_slack=self.config.expiry_slack,
+            archive_expired=self.config.archive_expired)
+        self.joiners[unit_id] = replacement
+        for router in self.routers:
+            replacement.register_router(router.router_id)
+        callback = self.instrumentation.wrap_joiner(
+            replacement, replacement.on_delivery)
+        replacement.inbox_queue = self.channels.subscribe(
+            joiner_inbox(unit_id), unit_id, callback,
+            group=f"{unit_id}.group")
+        return replacement
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def unit_ids(self, side: str | None = None) -> list[str]:
+        if side is None:
+            return sorted(self.joiners)
+        return self.groups[side].all_units()
+
+    def memory_snapshot(self, now: float = 0.0) -> MemorySnapshot:
+        return MemorySnapshot(
+            time=now,
+            per_unit_live_bytes={uid: j.live_bytes
+                                 for uid, j in self.joiners.items()})
+
+    def total_stored_tuples(self) -> int:
+        return sum(j.stored_tuples for j in self.joiners.values())
+
+    def total_comparisons(self) -> int:
+        return sum(j.comparisons for j in self.joiners.values())

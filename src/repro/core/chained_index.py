@@ -1,0 +1,227 @@
+"""The chained in-memory index (thesis §3.1.2, Figure 5).
+
+Organising a joiner's whole window in one monolithic index makes stale
+tuple discarding expensive: every expiry would have to delete tuples
+one by one out of the index structure.  The chained index instead
+partitions the stored tuples into *sub-indexes* by arrival-time slices
+of length ``P`` (the archive period) and chains them in construction
+order.  Then:
+
+- **Data indexing** — an arriving tuple goes into the *active*
+  sub-index; once the active sub-index's time span exceeds ``P`` it is
+  archived onto the chain and a fresh active sub-index is opened.
+- **Data discarding (Theorem 1)** — when a probe tuple of the opposite
+  relation arrives with timestamp ``t``, every archived sub-index whose
+  ``max_ts`` satisfies ``t - max_ts > Ws`` is dropped *as a whole* by
+  dereferencing it: O(1) per sub-index instead of O(tuples).
+- **Join processing** — the probe is evaluated against the remaining
+  sub-indexes (active + archived); per-tuple window checks are only
+  needed in the (at most one-``P``-wide) boundary sub-index that
+  straddles the window edge, but we apply them to all candidates for
+  robustness against out-of-order storage.
+
+Setting ``P`` trades discard granularity against per-probe overhead —
+the E5 benchmark sweeps it.  ``archive_period=None`` gives the
+monolithic single-index baseline used as E5's ablation control (expiry
+then filters tuple-by-tuple, the exact overhead the chained design
+avoids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..errors import IndexError_
+from .indexes import TupleIndex, index_factory
+from .predicates import JoinPredicate
+from .tuples import StreamTuple
+from .windows import TimeWindow
+
+
+@dataclass
+class ChainedIndexStats:
+    """Operation counters for the chained index (feed E5/E9 benches)."""
+
+    inserts: int = 0
+    probes: int = 0
+    comparisons: int = 0
+    matches: int = 0
+    subindexes_created: int = 0
+    subindexes_expired: int = 0
+    tuples_expired: int = 0
+    window_filtered: int = 0
+
+
+class ChainedInMemoryIndex:
+    """A chain of per-time-slice sub-indexes over one relation's tuples.
+
+    Args:
+        predicate: the join predicate; selects the sub-index type
+            (hash for equi, sorted for band/theta, list otherwise).
+        stored_side: ``"R"`` or ``"S"`` — the relation stored here.
+        window: the time-based sliding window ``Ws``.
+        archive_period: the slice length ``P`` in seconds; ``None``
+            disables chaining (single monolithic index, the ablation
+            baseline).
+    """
+
+    def __init__(self, predicate: JoinPredicate, stored_side: str,
+                 window: TimeWindow, archive_period: float | None,
+                 expiry_slack: float = 0.0,
+                 archive_sink: Callable[[list[StreamTuple]], None] | None = None) -> None:
+        if archive_period is not None and archive_period <= 0:
+            raise IndexError_(
+                f"archive period must be positive, got {archive_period!r}")
+        if expiry_slack < 0:
+            raise IndexError_(f"expiry slack must be >= 0, got {expiry_slack!r}")
+        self.predicate = predicate
+        self.stored_side = stored_side
+        self.window = window
+        self.archive_period = archive_period
+        #: Conservative margin subtracted from probe timestamps before
+        #: Theorem-1 discarding.  With several routers, tuples ingested
+        #: concurrently may be stamped into the global order slightly
+        #: out of timestamp order; keeping state for ``slack`` extra
+        #: seconds makes discarding safe under that bounded skew while
+        #: the per-probe window filter keeps the *results* exact.
+        self.expiry_slack = expiry_slack
+        #: Optional archive tier hook: called with an expired slice's
+        #: tuples instead of silently dereferencing them (enables the
+        #: partial-historical queries of :mod:`repro.core.archive`).
+        self.archive_sink = archive_sink
+        self._new_subindex: Callable[[], TupleIndex] = index_factory(
+            predicate, stored_side)
+        self._archived: list[TupleIndex] = []
+        self._active: TupleIndex = self._new_subindex()
+        self.stats = ChainedIndexStats()
+        self.stats.subindexes_created = 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._active) + sum(len(s) for s in self._archived)
+
+    @property
+    def bytes(self) -> int:
+        """Approximate live-tuple footprint of the whole chain."""
+        return self._active.bytes + sum(s.bytes for s in self._archived)
+
+    @property
+    def subindex_count(self) -> int:
+        """Number of live sub-indexes (archived + the active one)."""
+        return len(self._archived) + 1
+
+    def all_tuples(self) -> Iterator[StreamTuple]:
+        for sub in self._archived:
+            yield from sub.all_tuples()
+        yield from self._active.all_tuples()
+
+    # ------------------------------------------------------------------
+    # Data indexing (store path)
+    # ------------------------------------------------------------------
+    def insert(self, t: StreamTuple) -> None:
+        """Store a tuple of our own relation (thesis "Data Indexing")."""
+        self._active.insert(t)
+        self.stats.inserts += 1
+        if (self.archive_period is not None
+                and self._active.time_span() > self.archive_period):
+            self._archived.append(self._active)
+            self._active = self._new_subindex()
+            self.stats.subindexes_created += 1
+
+    # ------------------------------------------------------------------
+    # Data discarding (Theorem 1)
+    # ------------------------------------------------------------------
+    def expire(self, probe_ts: float) -> int:
+        """Drop state that can no longer join with any tuple >= probe_ts.
+
+        Chained mode drops whole sub-indexes whose ``max_ts`` violates
+        Theorem 1 (``probe_ts - max_ts > Ws``).  Monolithic mode has to
+        rebuild the single index without the expired tuples — the
+        expensive per-tuple path the chained design exists to avoid.
+        Returns the number of tuples discarded.
+        """
+        probe_ts -= self.expiry_slack
+        if self.archive_period is None:
+            return self._expire_monolithic(probe_ts)
+
+        kept: list[TupleIndex] = []
+        discarded = 0
+        for sub in self._archived:
+            if sub.max_ts is not None and self.window.is_expired(
+                    sub.max_ts, probe_ts):
+                discarded += len(sub)
+                self.stats.subindexes_expired += 1
+                self._sink(sub)
+            else:
+                kept.append(sub)
+        self._archived = kept
+        # The active sub-index can itself be fully stale during an input
+        # lull; replace rather than mutate it.
+        if (self._active.max_ts is not None
+                and self.window.is_expired(self._active.max_ts, probe_ts)):
+            discarded += len(self._active)
+            self.stats.subindexes_expired += 1
+            self._sink(self._active)
+            self._active = self._new_subindex()
+            self.stats.subindexes_created += 1
+        self.stats.tuples_expired += discarded
+        return discarded
+
+    def _sink(self, sub: TupleIndex) -> None:
+        if self.archive_sink is not None and len(sub):
+            self.archive_sink(list(sub.all_tuples()))
+
+    def _expire_monolithic(self, probe_ts: float) -> int:
+        if self._active.max_ts is None:
+            return 0
+        if not self.window.is_expired(
+                self._active.min_ts if self._active.min_ts is not None else probe_ts,
+                probe_ts):
+            return 0  # nothing old enough to bother rebuilding for
+        survivors = [t for t in self._active.all_tuples()
+                     if not self.window.is_expired(t.ts, probe_ts)]
+        discarded = len(self._active) - len(survivors)
+        if discarded == 0:
+            return 0
+        if self.archive_sink is not None:
+            expired = [t for t in self._active.all_tuples()
+                       if self.window.is_expired(t.ts, probe_ts)]
+            if expired:
+                self.archive_sink(expired)
+        self._active = self._new_subindex()
+        self.stats.subindexes_created += 1
+        for t in survivors:
+            self._active.insert(t)
+        self.stats.tuples_expired += discarded
+        return discarded
+
+    # ------------------------------------------------------------------
+    # Join processing (probe path)
+    # ------------------------------------------------------------------
+    def probe(self, probe: StreamTuple) -> list[StreamTuple]:
+        """Match a probe tuple of the opposite relation.
+
+        Applies (in thesis order) data discarding, then evaluates the
+        predicate against all remaining sub-indexes, post-filtering on
+        the window so straddling sub-indexes cannot leak stale matches.
+        """
+        if probe.relation == self.stored_side:
+            raise IndexError_(
+                f"probe tuple of {probe.relation!r} against an index "
+                f"storing the same relation")
+        self.expire(probe.ts)
+        self.stats.probes += 1
+        results: list[StreamTuple] = []
+        for sub in [*self._archived, self._active]:
+            matches, comparisons = sub.probe(self.predicate, probe)
+            self.stats.comparisons += comparisons
+            for m in matches:
+                if self.window.contains(m.ts, probe.ts):
+                    results.append(m)
+                else:
+                    self.stats.window_filtered += 1
+        self.stats.matches += len(results)
+        return results

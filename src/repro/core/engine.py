@@ -1,0 +1,152 @@
+"""High-level, user-facing stream-join API.
+
+:class:`StreamJoinEngine` is the convenience layer over
+:class:`~repro.core.biclique.BicliqueEngine`: give it a configuration,
+a predicate and two time-ordered streams and it returns the complete
+set of windowed join results plus a run report with throughput, memory
+and network statistics.
+
+For simulated-cluster runs with autoscaling (the thesis Figure 20/21
+experiments) see :mod:`repro.cluster.runtime`, which drives the same
+engine through the discrete-event kernel.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ReproError
+from ..metrics.counters import NetworkStats
+from ..metrics.latency import LatencySummary
+from .biclique import BicliqueConfig, BicliqueEngine
+from .predicates import JoinPredicate
+from .streams import merge_by_time
+from .tuples import JoinResult, StreamTuple
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Summary of one synchronous engine run."""
+
+    tuples_ingested: int
+    results: int
+    duplicates: int
+    wall_seconds: float
+    tuples_per_second: float
+    network: NetworkStats
+    latency: LatencySummary
+    comparisons: int
+    stored_tuples_final: int
+    peak_live_bytes: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunReport(ingested={self.tuples_ingested}, "
+            f"results={self.results}, dup={self.duplicates}, "
+            f"throughput={self.tuples_per_second:.0f} t/s, "
+            f"msgs={self.network.total_messages})")
+
+
+class StreamJoinEngine:
+    """Synchronous convenience facade over the join-biclique engine."""
+
+    def __init__(self, config: BicliqueConfig, predicate: JoinPredicate) -> None:
+        self.config = config
+        self.predicate = predicate
+        self.engine = BicliqueEngine(config, predicate)
+        self._consumed = False
+
+    def run(self, r_stream: Sequence[StreamTuple],
+            s_stream: Sequence[StreamTuple],
+            *, sample_memory_every: int = 0) -> tuple[list[JoinResult], RunReport]:
+        """Join two materialised, time-ordered streams to completion.
+
+        Args:
+            r_stream / s_stream: tuples of relations R and S with
+                non-decreasing timestamps.
+            sample_memory_every: if > 0, sample the total live byte
+                footprint every N ingested tuples to report the peak.
+
+        Returns:
+            ``(results, report)`` — all join results (exactly once per
+            matching pair) and the run statistics.
+        """
+        return self.run_interleaved(list(merge_by_time(r_stream, s_stream)),
+                                    sample_memory_every=sample_memory_every)
+
+    def run_simulated(self, arrivals: Iterable[StreamTuple],
+                      duration: float, *, hpa=None, cluster_config=None,
+                      rate_fn=None):
+        """Run on the simulated cluster (pods, metrics, autoscaling).
+
+        A convenience wrapper over
+        :class:`repro.cluster.runtime.SimulatedCluster` for the
+        DESIGN.md public-API sketch.  Note this builds a *fresh* engine
+        inside the cluster (pods must wrap the joiners from the start);
+        the facade's own engine is left untouched.
+
+        Args:
+            arrivals: lazy time-ordered tuple sequence.
+            duration: simulated seconds to run.
+            hpa: optional mapping side → HpaConfig.
+            cluster_config: optional ClusterConfig (cost model, specs).
+            rate_fn: nominal input rate over time for the timeline.
+
+        Returns:
+            ``(cluster, report)`` — the SimulatedCluster (for engine
+            inspection) and its ClusterReport.
+        """
+        from ..cluster.runtime import SimulatedCluster
+
+        cluster = SimulatedCluster(self.config, self.predicate,
+                                   cluster_config, hpa=hpa)
+        report = cluster.run(iter(arrivals), duration, rate_fn=rate_fn)
+        return cluster, report
+
+    def run_interleaved(self, arrivals: Iterable[StreamTuple],
+                        *, sample_memory_every: int = 0
+                        ) -> tuple[list[JoinResult], RunReport]:
+        """Join a single pre-interleaved arrival sequence to completion."""
+        if self._consumed:
+            raise ReproError(
+                "this StreamJoinEngine has already run to completion; "
+                "engine state (windows, counters, results) is not "
+                "reusable — build a fresh facade per run")
+        self._consumed = True
+        engine = self.engine
+        started = _time.perf_counter()
+        ingested = 0
+        peak_bytes = 0
+        for t in arrivals:
+            engine.ingest(t)
+            ingested += 1
+            if sample_memory_every and ingested % sample_memory_every == 0:
+                peak_bytes = max(peak_bytes,
+                                 engine.memory_snapshot().total_live_bytes)
+        engine.finish()
+        wall = _time.perf_counter() - started
+        peak_bytes = max(peak_bytes, engine.memory_snapshot().total_live_bytes)
+
+        results = engine.results
+        seen = set()
+        duplicates = 0
+        for result in results:
+            if result.key in seen:
+                duplicates += 1
+            else:
+                seen.add(result.key)
+        report = RunReport(
+            tuples_ingested=ingested,
+            results=len(results),
+            duplicates=duplicates,
+            wall_seconds=wall,
+            tuples_per_second=ingested / wall if wall > 0 else 0.0,
+            network=engine.network_stats,
+            latency=engine.latency.summary(),
+            comparisons=engine.total_comparisons(),
+            stored_tuples_final=engine.total_stored_tuples(),
+            peak_live_bytes=peak_bytes,
+        )
+        return results, report

@@ -1,0 +1,302 @@
+"""In-memory join indexes (thesis §3.1.2).
+
+Joiner units keep the stored tuples of their own relation in an index
+chosen by the join predicate:
+
+- :class:`HashIndex` for equi-joins (a hash map on the join attribute),
+- :class:`SortedIndex` for band/theta joins (a sorted array probed with
+  binary search; the thesis uses a binary search tree — a sorted array
+  with ``bisect`` offers the same O(log n + k) probes with better
+  constants in Python),
+- :class:`BruteForceIndex` for arbitrary predicates (linear scan).
+
+Each index reports the number of *tuple comparisons* a probe performed,
+which feeds the CPU cost model and the E9 routing-strategy benchmark,
+and its approximate byte footprint for the memory experiments.
+
+Indexes never apply the window predicate themselves — window filtering
+and Theorem 1 expiry live one level up, in
+:class:`~repro.core.chained_index.ChainedInMemoryIndex` — but probes
+return ``(candidates, comparisons)`` so the caller can post-filter.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from ..errors import IndexError_
+from .predicates import (
+    BandJoinPredicate,
+    ConjunctionPredicate,
+    CrossPredicate,
+    EquiJoinPredicate,
+    JoinPredicate,
+    ThetaJoinPredicate,
+)
+from .tuples import StreamTuple
+
+#: Approximate per-entry bookkeeping overhead charged by every index.
+ENTRY_OVERHEAD_BYTES = 16
+
+
+class TupleIndex:
+    """Base class for the per-sub-index tuple stores.
+
+    Subclasses implement :meth:`insert` and :meth:`probe`.  The base
+    class tracks size, byte footprint and the min/max timestamps that
+    the chained index needs for archive/expiry decisions.
+    """
+
+    def __init__(self, stored_side: str, key_attr: str | None) -> None:
+        #: "R" or "S": which relation's tuples this index stores.
+        self.stored_side = stored_side
+        self.key_attr = key_attr
+        self.min_ts: float | None = None
+        self.max_ts: float | None = None
+        self._count = 0
+        self._bytes = 0
+
+    # -- bookkeeping ----------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bytes(self) -> int:
+        """Approximate in-memory footprint of the stored tuples."""
+        return self._bytes
+
+    def _account_insert(self, t: StreamTuple) -> None:
+        if t.relation != self.stored_side:
+            raise IndexError_(
+                f"index stores relation {self.stored_side!r}, "
+                f"got tuple of {t.relation!r}")
+        self._count += 1
+        self._bytes += t.size_bytes() + ENTRY_OVERHEAD_BYTES
+        if self.min_ts is None or t.ts < self.min_ts:
+            self.min_ts = t.ts
+        if self.max_ts is None or t.ts > self.max_ts:
+            self.max_ts = t.ts
+
+    def time_span(self) -> float:
+        """``max_ts - min_ts`` of the stored tuples (0 when empty)."""
+        if self.min_ts is None or self.max_ts is None:
+            return 0.0
+        return self.max_ts - self.min_ts
+
+    # -- interface -------------------------------------------------------
+    def insert(self, t: StreamTuple) -> None:
+        raise NotImplementedError
+
+    def probe(self, predicate: JoinPredicate,
+              probe: StreamTuple) -> tuple[list[StreamTuple], int]:
+        """Return ``(matching stored tuples, comparisons performed)``.
+
+        ``probe`` is a tuple of the *opposite* relation.  The returned
+        tuples satisfy the full join predicate (but not necessarily the
+        window — the caller filters on time).
+        """
+        raise NotImplementedError
+
+    def all_tuples(self) -> Iterator[StreamTuple]:
+        raise NotImplementedError
+
+    # -- predicate normalisation ------------------------------------------
+    def _ordered(self, predicate: JoinPredicate, probe: StreamTuple,
+                 stored: StreamTuple) -> bool:
+        """Evaluate ``predicate`` with (r, s) operands in the right order."""
+        if probe.relation == "R":
+            return predicate.matches(probe, stored)
+        return predicate.matches(stored, probe)
+
+
+class BruteForceIndex(TupleIndex):
+    """A plain list; probes scan every stored tuple."""
+
+    def __init__(self, stored_side: str, key_attr: str | None = None) -> None:
+        super().__init__(stored_side, key_attr)
+        self._tuples: list[StreamTuple] = []
+
+    def insert(self, t: StreamTuple) -> None:
+        self._account_insert(t)
+        self._tuples.append(t)
+
+    def probe(self, predicate: JoinPredicate,
+              probe: StreamTuple) -> tuple[list[StreamTuple], int]:
+        matches = [t for t in self._tuples if self._ordered(predicate, probe, t)]
+        return matches, len(self._tuples)
+
+    def all_tuples(self) -> Iterator[StreamTuple]:
+        return iter(self._tuples)
+
+
+class HashIndex(TupleIndex):
+    """A hash map on the join attribute, for equi-join probing.
+
+    A probe hashes the probe tuple's key value and compares only the
+    colliding bucket.  Non-equi predicates fall back to a full scan so
+    that a :class:`ConjunctionPredicate` with residual conjuncts can
+    still be evaluated correctly.
+    """
+
+    def __init__(self, stored_side: str, key_attr: str) -> None:
+        if key_attr is None:
+            raise IndexError_("HashIndex requires a key attribute")
+        super().__init__(stored_side, key_attr)
+        self._buckets: dict[object, list[StreamTuple]] = {}
+
+    def insert(self, t: StreamTuple) -> None:
+        self._account_insert(t)
+        self._buckets.setdefault(t[self.key_attr], []).append(t)
+
+    def probe(self, predicate: JoinPredicate,
+              probe: StreamTuple) -> tuple[list[StreamTuple], int]:
+        equi = _equi_conjunct(predicate)
+        if equi is None:
+            # Correctness fallback: scan everything.
+            comparisons = 0
+            matches = []
+            for bucket in self._buckets.values():
+                comparisons += len(bucket)
+                matches.extend(
+                    t for t in bucket if self._ordered(predicate, probe, t))
+            return matches, comparisons
+        probe_attr = equi.key_attribute(probe.relation)
+        bucket = self._buckets.get(probe[probe_attr], [])
+        matches = [t for t in bucket if self._ordered(predicate, probe, t)]
+        return matches, len(bucket)
+
+    def all_tuples(self) -> Iterator[StreamTuple]:
+        for bucket in self._buckets.values():
+            yield from bucket
+
+
+class SortedIndex(TupleIndex):
+    """A sorted array on a numeric join attribute for range probing.
+
+    Supports :class:`BandJoinPredicate` (closed range around the probe
+    value) and the ordered :class:`ThetaJoinPredicate` operators
+    (half-open ranges); everything else falls back to a full scan.
+    """
+
+    def __init__(self, stored_side: str, key_attr: str) -> None:
+        if key_attr is None:
+            raise IndexError_("SortedIndex requires a key attribute")
+        super().__init__(stored_side, key_attr)
+        self._keys: list[float] = []
+        self._tuples: list[StreamTuple] = []
+
+    def insert(self, t: StreamTuple) -> None:
+        self._account_insert(t)
+        key = t[self.key_attr]
+        pos = bisect.bisect_right(self._keys, key)
+        self._keys.insert(pos, key)
+        self._tuples.insert(pos, t)
+
+    # -- range helpers -----------------------------------------------------
+    def _slice(self, lo: float | None, hi: float | None,
+               lo_open: bool = False, hi_open: bool = False) -> list[StreamTuple]:
+        start = 0
+        end = len(self._keys)
+        if lo is not None:
+            start = (bisect.bisect_right(self._keys, lo) if lo_open
+                     else bisect.bisect_left(self._keys, lo))
+        if hi is not None:
+            end = (bisect.bisect_left(self._keys, hi) if hi_open
+                   else bisect.bisect_right(self._keys, hi))
+        return self._tuples[start:end]
+
+    def probe(self, predicate: JoinPredicate,
+              probe: StreamTuple) -> tuple[list[StreamTuple], int]:
+        indexable = predicate
+        if isinstance(predicate, ConjunctionPredicate):
+            indexable = predicate.indexable_conjunct
+
+        candidates = self._candidates(indexable, probe)
+        if candidates is None:  # unsupported shape: full scan
+            matches = [t for t in self._tuples
+                       if self._ordered(predicate, probe, t)]
+            return matches, len(self._tuples)
+        matches = [t for t in candidates if self._ordered(predicate, probe, t)]
+        return matches, len(candidates)
+
+    def _candidates(self, indexable: JoinPredicate,
+                    probe: StreamTuple) -> list[StreamTuple] | None:
+        """Range-scan candidates for the indexable conjunct, or ``None``."""
+        if isinstance(indexable, BandJoinPredicate):
+            value = probe[indexable.key_attribute(probe.relation)]
+            # Widen the candidate range by a relative pad: the predicate
+            # evaluates fl(|a - b|) <= band, whose rounding can accept
+            # values a few ulps outside the exact [v-band, v+band].  The
+            # pad keeps the range scan a superset of the predicate; the
+            # exact predicate check filters afterwards.
+            pad = (abs(value) + indexable.band) * 1e-12
+            return self._slice(value - indexable.band - pad,
+                               value + indexable.band + pad)
+        if isinstance(indexable, EquiJoinPredicate):
+            value = probe[indexable.key_attribute(probe.relation)]
+            return self._slice(value, value)
+        if isinstance(indexable, ThetaJoinPredicate) and indexable.op != "!=":
+            return self._theta_candidates(indexable, probe)
+        return None
+
+    def _theta_candidates(self, pred: ThetaJoinPredicate,
+                          probe: StreamTuple) -> list[StreamTuple]:
+        value = probe[pred.key_attribute(probe.relation)]
+        op = pred.op
+        if op == "==":
+            return self._slice(value, value)
+        # The predicate is written R.a <op> S.b.  When the probe comes
+        # from R we scan stored S values satisfying  value <op> s;
+        # when it comes from S we need stored R values r with r <op> value.
+        probe_is_r = probe.relation == "R"
+        if op in ("<", "<="):
+            open_end = op == "<"
+            if probe_is_r:   # stored s > value  (or >=)
+                return self._slice(value, None, lo_open=open_end)
+            return self._slice(None, value, hi_open=open_end)  # stored r < value
+        if op in (">", ">="):
+            open_end = op == ">"
+            if probe_is_r:   # stored s < value  (or <=)
+                return self._slice(None, value, hi_open=open_end)
+            return self._slice(value, None, lo_open=open_end)  # stored r > value
+        raise IndexError_(f"unsupported theta op {op!r}")  # pragma: no cover
+
+    def all_tuples(self) -> Iterator[StreamTuple]:
+        return iter(self._tuples)
+
+
+def _equi_conjunct(predicate: JoinPredicate) -> EquiJoinPredicate | None:
+    """The equi-join (sub-)predicate usable for hash probing, if any."""
+    if isinstance(predicate, EquiJoinPredicate):
+        return predicate
+    if isinstance(predicate, ConjunctionPredicate):
+        indexable = predicate.indexable_conjunct
+        if isinstance(indexable, EquiJoinPredicate):
+            return indexable
+    return None
+
+
+def index_factory(predicate: JoinPredicate, stored_side: str):
+    """Return a zero-argument constructor for the right index type.
+
+    Selection rule (thesis §3.1.2: "HashMap for equi-join and a
+    BinarySearchTree for non-equi-join predicates"):
+
+    - equi-join (or conjunction containing one) → :class:`HashIndex`,
+    - band/ordered-theta on a single attribute → :class:`SortedIndex`,
+    - anything else → :class:`BruteForceIndex`.
+    """
+    if _equi_conjunct(predicate) is not None:
+        key = _equi_conjunct(predicate).key_attribute(stored_side)
+        return lambda: HashIndex(stored_side, key)
+
+    indexable = predicate
+    if isinstance(predicate, ConjunctionPredicate):
+        indexable = predicate.indexable_conjunct
+    if isinstance(indexable, (BandJoinPredicate, ThetaJoinPredicate)):
+        key = indexable.key_attribute(stored_side)
+        return lambda: SortedIndex(stored_side, key)
+    if isinstance(indexable, CrossPredicate):
+        return lambda: BruteForceIndex(stored_side)
+    return lambda: BruteForceIndex(stored_side)

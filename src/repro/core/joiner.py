@@ -1,0 +1,186 @@
+"""The joiner service (thesis §3.1.2).
+
+A joiner unit belongs to one side of the biclique and has two execution
+branches: the **store branch** (tuples of its own relation go into the
+chained in-memory index, subject to the sliding window) and the **join
+branch** (tuples of the opposite relation expire stale sub-indexes per
+Theorem 1, probe the remaining ones and emit join results).
+
+When the ordering protocol is enabled, every arriving envelope first
+passes through the :class:`~repro.core.ordering.ReorderBuffer`, so that
+the processed sequence is a subsequence of the global tuple order and
+each joinable pair is produced exactly once across the whole biclique.
+With the protocol disabled (the E10 ablation), envelopes are processed
+in arrival order and cross-channel disorder translates directly into
+missed/duplicate results — the Figure 8(c)/(d) failure modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..broker.message import Delivery
+from ..errors import ConfigurationError
+from .chained_index import ChainedInMemoryIndex
+from .ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE, Envelope, ReorderBuffer
+from .predicates import JoinPredicate
+from .tuples import JoinResult, StreamTuple, make_result
+from .windows import TimeWindow
+
+#: Result sink: called once per produced join result.
+ResultSink = Callable[[JoinResult], None]
+
+
+@dataclass
+class JoinerStats:
+    """Per-joiner processing counters."""
+
+    envelopes_received: int = 0
+    tuples_stored: int = 0
+    probes_processed: int = 0
+    results_emitted: int = 0
+    punctuations_received: int = 0
+
+    @property
+    def work_items(self) -> int:
+        return self.tuples_stored + self.probes_processed
+
+
+class Joiner:
+    """One join-processing unit of the biclique."""
+
+    def __init__(self, unit_id: str, side: str, predicate: JoinPredicate,
+                 window: TimeWindow, archive_period: float | None,
+                 result_sink: ResultSink, *, ordered: bool = True,
+                 timestamp_policy: str = "max",
+                 expiry_slack: float = 0.0,
+                 archive_expired: bool = False) -> None:
+        if side not in ("R", "S"):
+            raise ConfigurationError(f"side must be 'R' or 'S', got {side!r}")
+        self.unit_id = unit_id
+        self.side = side
+        self.predicate = predicate
+        self.window = window
+        #: Optional archive tier for expired slices (partial-historical
+        #: queries, see :mod:`repro.core.archive`).
+        self.archive = None
+        archive_sink = None
+        if archive_expired:
+            from .archive import ArchivedSlice, ArchiveStore
+
+            self.archive = ArchiveStore()
+
+            def archive_sink(tuples, _store=self.archive):
+                _store.append(ArchivedSlice(
+                    unit_id=self.unit_id, relation=self.side,
+                    min_ts=min(t.ts for t in tuples),
+                    max_ts=max(t.ts for t in tuples),
+                    tuples=tuple(tuples)))
+
+        self.index = ChainedInMemoryIndex(
+            predicate, stored_side=side, window=window,
+            archive_period=archive_period, expiry_slack=expiry_slack,
+            archive_sink=archive_sink)
+        self.result_sink = result_sink
+        self.ordered = ordered
+        self.timestamp_policy = timestamp_policy
+        self.reorder = ReorderBuffer()
+        self.stats = JoinerStats()
+        self._now = 0.0
+        #: Name of the broker queue backing this unit's inbox; assigned
+        #: by the engine when the unit is wired into the topology.
+        self.inbox_queue: str | None = None
+
+    # ------------------------------------------------------------------
+    # Memory / load introspection (feeds the cluster resource model)
+    # ------------------------------------------------------------------
+    @property
+    def live_bytes(self) -> int:
+        """Approximate footprint of the stored window state."""
+        return self.index.bytes
+
+    @property
+    def stored_tuples(self) -> int:
+        return len(self.index)
+
+    @property
+    def comparisons(self) -> int:
+        """Total predicate comparisons performed so far."""
+        return self.index.stats.comparisons
+
+    # ------------------------------------------------------------------
+    # Router membership (ordering protocol watermark set)
+    # ------------------------------------------------------------------
+    def register_router(self, router_id: str) -> None:
+        self.reorder.register_router(router_id)
+
+    def unregister_router(self, router_id: str) -> None:
+        for env in self.reorder.unregister_router(router_id):
+            self._process(env)
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+    def on_delivery(self, delivery: Delivery) -> None:
+        """Broker callback: an envelope reached this joiner's inbox."""
+        self._now = max(self._now, delivery.time)
+        self.on_envelope(delivery.message.payload)
+
+    def on_envelope(self, envelope: Envelope) -> None:
+        self.stats.envelopes_received += 1
+        if not self.ordered:
+            self._process(envelope)
+            return
+        if envelope.kind == KIND_PUNCTUATION:
+            self.stats.punctuations_received += 1
+        for released in self.reorder.add(envelope):
+            self._process(released)
+
+    def flush(self) -> None:
+        """Process everything still buffered (end-of-stream)."""
+        for env in self.reorder.drain():
+            self._process(env)
+
+    # ------------------------------------------------------------------
+    # The two execution branches
+    # ------------------------------------------------------------------
+    def _process(self, envelope: Envelope) -> None:
+        if envelope.kind == KIND_PUNCTUATION:
+            if not self.ordered:
+                self.stats.punctuations_received += 1
+            return
+        t = envelope.tuple
+        assert t is not None
+        if envelope.kind == KIND_STORE:
+            self._store(t)
+        elif envelope.kind == KIND_JOIN:
+            self._probe(t)
+        else:  # pragma: no cover - Envelope constrains kinds
+            raise ConfigurationError(f"unknown envelope kind {envelope.kind!r}")
+
+    def _store(self, t: StreamTuple) -> None:
+        if t.relation != self.side:
+            raise ConfigurationError(
+                f"joiner {self.unit_id!r} (side {self.side}) asked to store "
+                f"a tuple of relation {t.relation!r}")
+        self.index.insert(t)
+        self.stats.tuples_stored += 1
+
+    def _probe(self, t: StreamTuple) -> None:
+        if t.relation == self.side:
+            raise ConfigurationError(
+                f"joiner {self.unit_id!r} (side {self.side}) asked to probe "
+                f"with a tuple of its own relation {t.relation!r}")
+        self.stats.probes_processed += 1
+        for stored in self.index.probe(t):
+            if self.side == "R":
+                result = make_result(stored, t, produced_at=self._now,
+                                     producer=self.unit_id,
+                                     timestamp_policy=self.timestamp_policy)
+            else:
+                result = make_result(t, stored, produced_at=self._now,
+                                     producer=self.unit_id,
+                                     timestamp_policy=self.timestamp_policy)
+            self.stats.results_emitted += 1
+            self.result_sink(result)

@@ -1,0 +1,192 @@
+"""Multi-way stream joins as a cascade of join-bicliques.
+
+The thesis discusses multi-way joins only for the join-matrix model
+(where they require a hypercube, §2.4.1); the natural join-biclique
+generalisation — and the one this module implements — is a **cascade**:
+the output stream of one biclique becomes an input relation of the
+next, giving ``(R ⋈ S) ⋈ T`` with per-stage predicates and windows.
+
+Semantics (documented and enforced by tests against a brute-force
+reference): a triple ``(r, s, t)`` is produced iff
+
+- ``P1(r, s)`` holds and ``|r.ts - s.ts| <= W1``, and
+- ``P2(rs, t)`` holds and ``|rs.ts - t.ts| <= W2``, where ``rs`` is the
+  composite tuple carrying both inputs' attributes (prefixed ``R.`` /
+  ``S.``) and the stage-1 output timestamp (``max`` policy by default).
+
+The cascade drives both stages in lockstep over the time-merged arrival
+sequence; composites enter stage 2 the instant stage 1 emits them.  A
+composite's timestamp can lag the arrival clock by up to ``W1`` (it is
+the *older* pair member under the ``max`` policy no later than the
+newer one), so stage 2 automatically runs with ``expiry_slack >= W1``
+to keep Theorem-1 discarding safe — the same bounded-skew argument as
+for multi-router deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from .biclique import BicliqueConfig, BicliqueEngine
+from .predicates import JoinPredicate
+from .streams import merge_by_time
+from .tuples import JoinResult, StreamTuple
+from .windows import FullHistoryWindow
+
+#: Reserved composite attribute holding the input identities.
+IDENTS_KEY = "_idents"
+
+
+def composite_values(result: JoinResult) -> dict:
+    """Merge an (r, s) result into one prefixed attribute mapping."""
+    values = {f"R.{name}": value for name, value in result.r.values.items()}
+    values.update(
+        {f"S.{name}": value for name, value in result.s.values.items()})
+    values[IDENTS_KEY] = (result.r.ident, result.s.ident)
+    return values
+
+
+@dataclass(frozen=True)
+class CascadeResult:
+    """One produced triple ``(r, s, t)``."""
+
+    r_ident: tuple[str, int]
+    s_ident: tuple[str, int]
+    t_ident: tuple[str, int]
+    ts: float
+
+    @property
+    def key(self) -> tuple:
+        return (self.r_ident, self.s_ident, self.t_ident)
+
+
+@dataclass
+class CascadeReport:
+    """Statistics of one cascade run."""
+
+    tuples_ingested: int = 0
+    intermediate_results: int = 0
+    results: int = 0
+    stage1_messages: int = 0
+    stage2_messages: int = 0
+
+
+class CascadeJoin:
+    """A three-way windowed stream join ``(R ⋈ S) ⋈ T``.
+
+    Args:
+        first_config / first_predicate: the R ⋈ S stage (its window is
+            ``W1``).
+        second_config / second_predicate: the (RS) ⋈ T stage.  The
+            predicate's R-side attributes refer to the *composite*
+            tuple and must use the ``R.``/``S.`` prefixes, e.g.
+            ``EquiJoinPredicate("S.x", "y")`` joins the original S's
+            ``x`` with T's ``y``.
+    """
+
+    def __init__(self, first_config: BicliqueConfig,
+                 first_predicate: JoinPredicate,
+                 second_config: BicliqueConfig,
+                 second_predicate: JoinPredicate) -> None:
+        self.report = CascadeReport()
+        self._composite_seq = 0
+        self._pending_composites: list[StreamTuple] = []
+
+        w1 = first_config.window
+        if not isinstance(w1, FullHistoryWindow):
+            # Stage-2 probes may arrive up to W1 after a composite's
+            # timestamp; widen its Theorem-1 margin accordingly.
+            needed_slack = w1.seconds
+            if second_config.expiry_slack < needed_slack:
+                second_config = BicliqueConfig(
+                    **{**second_config.__dict__,
+                       "expiry_slack": needed_slack})
+        elif not isinstance(second_config.window, FullHistoryWindow):
+            raise ConfigurationError(
+                "a full-history first stage requires a full-history "
+                "second stage (composite timestamps are unbounded-late)")
+
+        self.stage1 = BicliqueEngine(first_config, first_predicate)
+        self.stage2 = BicliqueEngine(second_config, second_predicate)
+        # Intercept stage-1 results: wrap them into composite tuples and
+        # queue them for ingestion into stage 2.
+        self.stage1._record_result = self._on_intermediate  # type: ignore[method-assign]
+        for joiner in self.stage1.joiners.values():
+            joiner.result_sink = self._on_intermediate
+
+    # ------------------------------------------------------------------
+    def _on_intermediate(self, result: JoinResult) -> None:
+        self.report.intermediate_results += 1
+        composite = StreamTuple(
+            relation="R", ts=result.ts, values=composite_values(result),
+            seq=self._composite_seq)
+        self._composite_seq += 1
+        self._pending_composites.append(composite)
+
+    def _drain_composites(self) -> None:
+        pending, self._pending_composites = self._pending_composites, []
+        for composite in pending:
+            self.stage2.ingest(composite)
+
+    # ------------------------------------------------------------------
+    def run(self, r_stream: Sequence[StreamTuple],
+            s_stream: Sequence[StreamTuple],
+            t_stream: Sequence[StreamTuple]
+            ) -> tuple[list[CascadeResult], CascadeReport]:
+        """Join three materialised time-ordered streams to completion."""
+        t_arrivals = {id(t): t for t in t_stream}
+        for t in merge_by_time(r_stream, s_stream, t_stream):
+            self.report.tuples_ingested += 1
+            if id(t) in t_arrivals:
+                # T tuples go straight to stage 2 as its S relation.
+                self.stage2.ingest(
+                    StreamTuple(relation="S", ts=t.ts, values=t.values,
+                                seq=t.seq))
+            else:
+                self.stage1.ingest(t)
+                self._drain_composites()
+        self.stage1.finish()
+        self._drain_composites()
+        self.stage2.finish()
+        self.report.stage1_messages = self.stage1.network_stats.data_messages
+        self.report.stage2_messages = self.stage2.network_stats.data_messages
+
+        results = []
+        for res in self.stage2.results:
+            r_ident, s_ident = res.r[IDENTS_KEY]
+            results.append(CascadeResult(
+                r_ident=r_ident, s_ident=s_ident,
+                t_ident=("T", res.s.seq), ts=res.ts))
+        self.report.results = len(results)
+        return results, self.report
+
+
+def reference_cascade(r_stream: Iterable[StreamTuple],
+                      s_stream: Iterable[StreamTuple],
+                      t_stream: Iterable[StreamTuple],
+                      first_predicate: JoinPredicate, first_window,
+                      second_predicate: JoinPredicate, second_window,
+                      timestamp_policy: str = "max") -> set[tuple]:
+    """Brute-force oracle for the cascade semantics (tests/benches)."""
+    from .tuples import make_result
+
+    triples = set()
+    for r in r_stream:
+        for s in s_stream:
+            if not first_window.contains(s.ts, r.ts):
+                continue
+            if not first_predicate.matches(r, s):
+                continue
+            inter = make_result(r, s, timestamp_policy=timestamp_policy)
+            composite = StreamTuple(
+                relation="R", ts=inter.ts, values=composite_values(inter))
+            for t in t_stream:
+                if not second_window.contains(t.ts, composite.ts):
+                    continue
+                t_as_s = StreamTuple(relation="S", ts=t.ts, values=t.values,
+                                     seq=t.seq)
+                if second_predicate.matches(composite, t_as_s):
+                    triples.add((r.ident, s.ident, ("T", t.seq)))
+    return triples

@@ -1,0 +1,171 @@
+"""The tuple-ordering protocol (thesis §3.3; Definitions 7-8; Figure 8).
+
+Join results are produced exactly once only if, for every joining pair
+``(r, s)``, all joiners observe ``r`` and ``s`` in the *same* relative
+order (Figure 8 (a)/(b)); cross-channel network reordering otherwise
+yields missed results (8 (c)) or duplicates (8 (d)).
+
+The protocol implemented here follows the BiStream construction:
+
+- every tuple is stamped, at its router, with a **monotonically
+  increasing counter**; all copies of the tuple (its store message and
+  its broadcast join messages) carry the same ``(counter, router_id)``
+  stamp, which defines a total *global order* over tuples;
+- message passing per ``(router, joiner)`` channel is FIFO
+  (Definition 8 — the AMQP per-queue guarantee);
+- each router periodically emits a **punctuation** carrying its current
+  counter to *all* joiners, promising that no tuple with a smaller
+  counter will follow from that router;
+- each joiner buffers incoming tuples in a priority queue and releases,
+  in global ``(counter, router_id)`` order, exactly those whose counter
+  is below the **watermark** — the minimum punctuation received across
+  all registered routers.
+
+The released sequence at every joiner is then a subsequence of the
+single global sequence *Z* of Definition 7, i.e. the protocol is
+order-consistent, and each joinable pair is produced exactly once.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import OrderingError
+from .tuples import StreamTuple
+
+#: Envelope kinds moving on router→joiner channels.
+KIND_STORE = "store"
+KIND_JOIN = "join"
+KIND_PUNCTUATION = "punctuation"
+
+#: Wire size charged for a punctuation (counter + router id).
+PUNCTUATION_BYTES = 16
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A protocol message from a router to a joiner.
+
+    Attributes:
+        kind: ``"store"`` (store this tuple), ``"join"`` (probe with
+            this tuple) or ``"punctuation"`` (watermark signal).
+        router_id: the stamping router.
+        counter: the router's counter for this tuple; for punctuations,
+            the router's *next* counter (all tuples with smaller
+            counters have already been sent).
+        tuple: the payload tuple; ``None`` for punctuations.
+    """
+
+    kind: str
+    router_id: str
+    counter: int
+    tuple: StreamTuple | None = None
+
+    def size_bytes(self) -> int:
+        if self.tuple is None:
+            return PUNCTUATION_BYTES
+        return PUNCTUATION_BYTES + self.tuple.size_bytes()
+
+    @property
+    def order_key(self) -> tuple[int, str]:
+        """Position in the global tuple sequence *Z*."""
+        return (self.counter, self.router_id)
+
+
+class ReorderBuffer:
+    """Joiner-side buffer enforcing order-consistent release.
+
+    Usage: feed every arriving :class:`Envelope` to :meth:`add`; it
+    returns the (possibly empty) list of data envelopes that became
+    releasable, already in global order.  Punctuations are absorbed.
+
+    Routers must be registered before their envelopes arrive; the
+    watermark is the minimum punctuation over *registered* routers, so
+    an unknown router would otherwise silently hold back nothing.
+    """
+
+    def __init__(self) -> None:
+        self._punct: dict[str, int] = {}
+        self._last_counter: dict[str, int] = {}
+        self._heap: list[tuple[int, str, int, Envelope]] = []
+        self._tiebreak = itertools.count()
+
+    # -- router membership ------------------------------------------------
+    def register_router(self, router_id: str) -> None:
+        self._punct.setdefault(router_id, -1)
+
+    def unregister_router(self, router_id: str) -> list[Envelope]:
+        """Remove a router (scale-in); may unblock buffered envelopes."""
+        if router_id not in self._punct:
+            raise OrderingError(f"router {router_id!r} is not registered")
+        del self._punct[router_id]
+        self._last_counter.pop(router_id, None)
+        return self._release()
+
+    @property
+    def registered_routers(self) -> list[str]:
+        return sorted(self._punct)
+
+    @property
+    def pending(self) -> int:
+        """Number of buffered, not-yet-releasable data envelopes."""
+        return len(self._heap)
+
+    def watermark(self) -> int:
+        """Counters strictly below this value are safe to release."""
+        if not self._punct:
+            return -1
+        return min(self._punct.values())
+
+    # -- protocol input -----------------------------------------------------
+    def add(self, envelope: Envelope) -> list[Envelope]:
+        """Accept an envelope; return newly releasable data envelopes."""
+        rid = envelope.router_id
+        if rid not in self._punct:
+            raise OrderingError(
+                f"envelope from unregistered router {rid!r}; "
+                f"registered: {self.registered_routers}")
+
+        if envelope.kind == KIND_PUNCTUATION:
+            previous = self._punct[rid]
+            if envelope.counter < previous:
+                raise OrderingError(
+                    f"punctuation regression from {rid!r}: "
+                    f"{envelope.counter} after {previous}")
+            self._punct[rid] = envelope.counter
+            return self._release()
+
+        # Pairwise FIFO + per-router monotone counters means counters
+        # from one router must strictly increase on this channel.
+        last = self._last_counter.get(rid, -1)
+        if envelope.counter <= last:
+            raise OrderingError(
+                f"counter regression on channel from {rid!r}: "
+                f"{envelope.counter} after {last} (pairwise FIFO violated?)")
+        self._last_counter[rid] = envelope.counter
+
+        heapq.heappush(
+            self._heap,
+            (envelope.counter, rid, next(self._tiebreak), envelope))
+        return self._release()
+
+    def _release(self) -> list[Envelope]:
+        watermark = self.watermark()
+        released: list[Envelope] = []
+        while self._heap and self._heap[0][0] < watermark:
+            released.append(heapq.heappop(self._heap)[3])
+        return released
+
+    def drain(self) -> list[Envelope]:
+        """Release everything unconditionally (end-of-stream flush)."""
+        released = [heapq.heappop(self._heap)[3] for _ in range(len(self._heap))]
+        return released
+
+
+def interleave_globally(envelopes: Iterator[Envelope]) -> list[Envelope]:
+    """Sort data envelopes by global order key (test/diagnostic helper)."""
+    data = [e for e in envelopes if e.kind != KIND_PUNCTUATION]
+    return sorted(data, key=lambda e: (e.order_key, e.kind))

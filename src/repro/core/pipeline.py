@@ -1,0 +1,235 @@
+"""N-way stream joins: left-deep cascades of join-bicliques.
+
+Generalises :class:`~repro.core.multiway.CascadeJoin` (fixed at three
+relations) to an arbitrary left-deep pipeline
+
+    ((S0 ⋈ S1) ⋈ S2) ⋈ ... ⋈ Sk
+
+with a per-stage predicate and window.  Stage *i* joins the composite
+of the first *i+1* streams against stream *i+1*.
+
+Attribute naming is uniform: the composite carries every constituent
+attribute under ``<stream name>.<attribute>`` — including stream 0's
+(so a stage-0 predicate reads e.g. ``EquiJoinPredicate("orders.custkey",
+"custkey")``).  The right side of every stage is the next stream's raw
+attributes.
+
+Semantics (enforced against :func:`reference_pipeline`): a (k+1)-tuple
+is produced iff, for every stage *i*, the stage predicate holds between
+the stage-(i-1) composite and the stream-(i+1) member, and their
+timestamps are within the stage window (composite timestamps follow the
+``max`` policy — a composite is as new as its newest member).
+
+Each stage's ``expiry_slack`` is automatically widened to the largest
+upstream window, for the same bounded-lateness reason documented on
+:class:`~repro.core.multiway.CascadeJoin`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .biclique import BicliqueConfig, BicliqueEngine
+from .predicates import JoinPredicate
+from .tuples import JoinResult, StreamTuple
+from .windows import FullHistoryWindow
+
+#: Reserved composite attribute holding the constituent identities.
+IDENTS_KEY = "_idents"
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One ⋈ of the left-deep pipeline."""
+
+    config: BicliqueConfig
+    predicate: JoinPredicate
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """One produced (k+1)-way match."""
+
+    idents: tuple[tuple[str, int], ...]
+    ts: float
+
+    @property
+    def key(self) -> tuple:
+        return self.idents
+
+
+@dataclass
+class PipelineReport:
+    """Statistics of one pipeline run."""
+
+    tuples_ingested: int = 0
+    per_stage_results: list[int] = None  # type: ignore[assignment]
+    results: int = 0
+
+    def __post_init__(self) -> None:
+        if self.per_stage_results is None:
+            self.per_stage_results = []
+
+
+def _prefixed(name: str, t: StreamTuple) -> dict:
+    return {f"{name}.{attr}": value for attr, value in t.values.items()}
+
+
+class CascadePipeline:
+    """A left-deep N-way windowed stream join."""
+
+    def __init__(self, stream_names: Sequence[str],
+                 stages: Sequence[PipelineStage]) -> None:
+        if len(stream_names) < 2:
+            raise ConfigurationError("a pipeline joins at least two streams")
+        if len(stages) != len(stream_names) - 1:
+            raise ConfigurationError(
+                f"{len(stream_names)} streams need {len(stream_names) - 1} "
+                f"stages, got {len(stages)}")
+        if len(set(stream_names)) != len(stream_names):
+            raise ConfigurationError("stream names must be unique")
+        self.stream_names = list(stream_names)
+        self.report = PipelineReport()
+        self._composite_seq = [0] * len(stages)
+        self._pending: list[list[StreamTuple]] = [[] for _ in stages]
+
+        self.engines: list[BicliqueEngine] = []
+        upstream_window = 0.0
+        for i, stage in enumerate(stages):
+            config = stage.config
+            window = config.window
+            if isinstance(window, FullHistoryWindow):
+                upstream_window = float("inf")
+            if i > 0 and upstream_window > config.expiry_slack:
+                if upstream_window == float("inf") and not isinstance(
+                        window, FullHistoryWindow):
+                    raise ConfigurationError(
+                        "a full-history stage requires all downstream "
+                        "stages to be full-history too")
+                if upstream_window != float("inf"):
+                    config = BicliqueConfig(
+                        **{**config.__dict__,
+                           "expiry_slack": upstream_window})
+            engine = BicliqueEngine(config, stage.predicate)
+            sink = self._make_intermediate_sink(i)
+            if i < len(stages) - 1:
+                engine._record_result = sink  # type: ignore[method-assign]
+                for joiner in engine.joiners.values():
+                    joiner.result_sink = sink
+            self.engines.append(engine)
+            if not isinstance(window, FullHistoryWindow):
+                upstream_window = max(upstream_window, window.seconds)
+
+    # ------------------------------------------------------------------
+    def _make_intermediate_sink(self, stage_index: int):
+        def sink(result: JoinResult) -> None:
+            composite = self._merge(stage_index, result)
+            self._pending[stage_index].append(composite)
+
+        return sink
+
+    def _merge(self, stage_index: int, result: JoinResult) -> StreamTuple:
+        """Fuse a stage result into the next stage's left-side tuple."""
+        right_name = self.stream_names[stage_index + 1]
+        values = dict(result.r.values)
+        values.pop(IDENTS_KEY, None)
+        values.update(_prefixed(right_name, result.s))
+        values.pop(f"{right_name}.{IDENTS_KEY}", None)
+        values[IDENTS_KEY] = (*result.r[IDENTS_KEY],
+                              (right_name, result.s.seq))
+        seq = self._composite_seq[stage_index]
+        self._composite_seq[stage_index] += 1
+        return StreamTuple(relation="R", ts=result.ts, values=values,
+                           seq=seq)
+
+    def _drain(self) -> None:
+        """Push every pending composite into its next stage, in order."""
+        for i in range(len(self.engines) - 1):
+            pending, self._pending[i] = self._pending[i], []
+            for composite in pending:
+                self.engines[i + 1].ingest(composite)
+
+    # ------------------------------------------------------------------
+    def run(self, streams: Sequence[Sequence[StreamTuple]]
+            ) -> tuple[list[PipelineResult], PipelineReport]:
+        """Join the materialised, time-ordered streams to completion.
+
+        ``streams[i]`` corresponds to ``stream_names[i]``.
+        """
+        if len(streams) != len(self.stream_names):
+            raise ConfigurationError(
+                f"expected {len(self.stream_names)} streams, "
+                f"got {len(streams)}")
+
+        def sort_key(entry):
+            index, t = entry
+            return (t.ts, index, t.seq)
+
+        arrivals = heapq.merge(
+            *[[(i, t) for t in stream] for i, stream in enumerate(streams)],
+            key=sort_key)
+        name0 = self.stream_names[0]
+        for index, t in arrivals:
+            self.report.tuples_ingested += 1
+            if index == 0:
+                values = _prefixed(name0, t)
+                values[IDENTS_KEY] = ((name0, t.seq),)
+                self.engines[0].ingest(StreamTuple(
+                    relation="R", ts=t.ts, values=values, seq=t.seq))
+            else:
+                self.engines[index - 1].ingest(StreamTuple(
+                    relation="S", ts=t.ts, values=t.values, seq=t.seq))
+            self._drain()
+        for engine in self.engines:
+            engine.finish()
+            self._drain()
+
+        self.report.per_stage_results = [
+            engine.results_count for engine in self.engines]
+        final_name = self.stream_names[-1]
+        results = []
+        for res in self.engines[-1].results:
+            idents = (*res.r[IDENTS_KEY], (final_name, res.s.seq))
+            results.append(PipelineResult(idents=idents, ts=res.ts))
+        self.report.results = len(results)
+        return results, self.report
+
+
+def reference_pipeline(streams: Sequence[Sequence[StreamTuple]],
+                       stream_names: Sequence[str],
+                       stages: Sequence[PipelineStage]) -> set[tuple]:
+    """Brute-force oracle for the left-deep pipeline semantics."""
+    from .tuples import make_result
+
+    name0 = stream_names[0]
+    composites = []
+    for t in streams[0]:
+        values = _prefixed(name0, t)
+        values[IDENTS_KEY] = ((name0, t.seq),)
+        composites.append(StreamTuple(relation="R", ts=t.ts, values=values,
+                                      seq=t.seq))
+    for i, stage in enumerate(stages):
+        right_name = stream_names[i + 1]
+        window = stage.config.window
+        next_composites = []
+        for left in composites:
+            for right in streams[i + 1]:
+                if not window.contains(right.ts, left.ts):
+                    continue
+                right_as_s = StreamTuple(relation="S", ts=right.ts,
+                                         values=right.values, seq=right.seq)
+                if not stage.predicate.matches(left, right_as_s):
+                    continue
+                values = dict(left.values)
+                values.pop(IDENTS_KEY, None)
+                values.update(_prefixed(right_name, right))
+                values[IDENTS_KEY] = (*left[IDENTS_KEY],
+                                      (right_name, right.seq))
+                result = make_result(left, right_as_s)
+                next_composites.append(StreamTuple(
+                    relation="R", ts=result.ts, values=values))
+        composites = next_composites
+    return {c[IDENTS_KEY] for c in composites}

@@ -1,0 +1,123 @@
+"""Deployment planning: closed-form costs for the routing choices.
+
+The thesis §2.4.1 compares per-tuple fan-outs analytically (biclique
+``p/2`` vs matrix ``√p``); the subgroup knob interpolates between the
+extremes.  This module packages those closed forms so an operator can
+*plan* a deployment — pick the routing strategy and subgroup count for
+a given predicate, unit count and memory budget — and so benchmarks
+(E7) can check measurements against predictions.
+
+For a symmetric deployment with ``m`` units per side and ``k``
+subgroups per side, ContRand costs per tuple:
+
+- ``k`` store messages (one replica per subgroup of the own side),
+- ``m / k`` join messages (all units of one opposite subgroup),
+
+so ``messages(k) = k + m/k``, minimised at ``k ≈ √m`` where it equals
+``2√m`` — within a factor ``√2`` of the matrix's ``√(2m)`` fan-out
+while keeping the biclique's migration-free elasticity.  The price is
+a replication factor of ``k``.  ContHash, when the predicate allows
+it, beats both with a constant 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .predicates import JoinPredicate
+
+
+def contrand_messages_per_tuple(units_per_side: int, subgroups: int = 1) -> float:
+    """Per-tuple fan-out of ContRand with ``subgroups`` per side."""
+    if units_per_side < 1:
+        raise ConfigurationError("units_per_side must be >= 1")
+    if not 1 <= subgroups <= units_per_side:
+        raise ConfigurationError(
+            f"subgroups must be in [1, {units_per_side}], got {subgroups}")
+    return subgroups + units_per_side / subgroups
+
+
+def conthash_messages_per_tuple() -> float:
+    """Per-tuple fan-out of ContHash (1 store + 1 probe)."""
+    return 2.0
+
+
+def matrix_messages_per_tuple(total_units: int) -> float:
+    """Per-tuple fan-out of a square join-matrix over ``total_units``."""
+    if total_units < 1:
+        raise ConfigurationError("total_units must be >= 1")
+    return math.sqrt(total_units)
+
+
+def contrand_replication_factor(subgroups: int) -> int:
+    """Stored copies per tuple under ContRand subgrouping."""
+    return subgroups
+
+
+def optimal_contrand_subgroups(units_per_side: int,
+                               max_replication: int | None = None) -> int:
+    """The subgroup count minimising ContRand fan-out.
+
+    Args:
+        units_per_side: m, the units on each side.
+        max_replication: optional memory budget — the replication
+            factor (= subgroup count) may not exceed it.
+
+    Returns:
+        the integer k in ``[1, min(m, max_replication)]`` minimising
+        ``k + m/k`` (ties resolved towards fewer replicas).
+    """
+    if units_per_side < 1:
+        raise ConfigurationError("units_per_side must be >= 1")
+    ceiling = units_per_side
+    if max_replication is not None:
+        if max_replication < 1:
+            raise ConfigurationError("max_replication must be >= 1")
+        ceiling = min(ceiling, max_replication)
+    best = min(range(1, ceiling + 1),
+               key=lambda k: (contrand_messages_per_tuple(units_per_side, k),
+                              k))
+    return best
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """A recommended biclique configuration with predicted costs."""
+
+    routing: str                 # "hash" or "random"
+    subgroups: int               # per side (1 when routing == "hash")
+    messages_per_tuple: float
+    replication_factor: int
+    matrix_messages_per_tuple: float  # the baseline, for comparison
+
+    @property
+    def beats_matrix_fanout(self) -> bool:
+        return self.messages_per_tuple <= self.matrix_messages_per_tuple
+
+
+def plan_deployment(predicate: JoinPredicate, units_per_side: int, *,
+                    max_replication: int = 1) -> DeploymentPlan:
+    """Recommend routing + subgrouping for a predicate and unit count.
+
+    Follows §3.2: ContHash whenever the predicate has an equi-join
+    conjunct (fan-out 2, no replication); otherwise ContRand with the
+    fan-out-optimal subgroup count within the replication budget.
+    """
+    from .routing import _has_equi_conjunct
+
+    matrix_msgs = matrix_messages_per_tuple(2 * units_per_side)
+    if _has_equi_conjunct(predicate):
+        return DeploymentPlan(
+            routing="hash", subgroups=1,
+            messages_per_tuple=conthash_messages_per_tuple(),
+            replication_factor=1,
+            matrix_messages_per_tuple=matrix_msgs)
+    k = optimal_contrand_subgroups(units_per_side,
+                                   max_replication=max_replication)
+    return DeploymentPlan(
+        routing="random", subgroups=k,
+        messages_per_tuple=contrand_messages_per_tuple(units_per_side, k),
+        replication_factor=k,
+        matrix_messages_per_tuple=matrix_msgs)

@@ -1,0 +1,196 @@
+"""Join predicates.
+
+The join-biclique model "is capable of generating the Cartesian product
+of the joinable tuples and thus it supports any kind of join predicate"
+(thesis §2.4).  The classes here cover the predicate families the
+experiments use and that the router/index layers specialise on:
+
+- :class:`EquiJoinPredicate` — ``R.a == S.b``; low selectivity; routed
+  with hash partitioning and probed via hash indexes.
+- :class:`BandJoinPredicate` — ``|R.a - S.b| <= band``; the classic
+  theta-join benchmark; probed via sorted indexes.
+- :class:`ThetaJoinPredicate` — ``R.a <op> S.b`` for ``< <= > >= !=``.
+- :class:`ConjunctionPredicate` — AND of sub-predicates; uses the most
+  selective indexable conjunct for probing and re-checks the rest.
+- :class:`CrossPredicate` — always true (full Cartesian product).
+
+Every predicate exposes a *selectivity class* (``"low"`` or ``"high"``),
+which is what §3.2 uses to pick between hash-partitioning and random
+routing.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import PredicateError
+from .tuples import StreamTuple
+
+_THETA_OPS: dict[str, Callable[[object, object], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "!=": operator.ne,
+    "==": operator.eq,
+}
+
+
+class JoinPredicate:
+    """Base class for binary join predicates ``P(r, s)``.
+
+    ``r`` is always a tuple of relation R and ``s`` of relation S; the
+    engine normalises operand order before calling :meth:`matches`.
+    """
+
+    #: "low" → hash-partitionable equi-join; "high" → needs broadcast.
+    selectivity_class: str = "high"
+
+    def matches(self, r: StreamTuple, s: StreamTuple) -> bool:
+        raise NotImplementedError
+
+    # -- routing/indexing hooks ----------------------------------------
+    def key_attribute(self, relation_side: str) -> str | None:
+        """Attribute usable as a hash/sort key on side ``"R"``/``"S"``.
+
+        ``None`` means the predicate offers no single-attribute key on
+        that side (e.g. :class:`CrossPredicate`).
+        """
+        return None
+
+
+@dataclass(frozen=True)
+class EquiJoinPredicate(JoinPredicate):
+    """``R.r_attr == S.s_attr`` — the hash-partitionable equi-join."""
+
+    r_attr: str
+    s_attr: str
+
+    selectivity_class = "low"
+
+    def matches(self, r: StreamTuple, s: StreamTuple) -> bool:
+        return r[self.r_attr] == s[self.s_attr]
+
+    def key_attribute(self, relation_side: str) -> str:
+        if relation_side == "R":
+            return self.r_attr
+        if relation_side == "S":
+            return self.s_attr
+        raise PredicateError(f"unknown relation side {relation_side!r}")
+
+    def __str__(self) -> str:
+        return f"R.{self.r_attr} == S.{self.s_attr}"
+
+
+@dataclass(frozen=True)
+class ThetaJoinPredicate(JoinPredicate):
+    """``R.r_attr <op> S.s_attr`` with ``op`` one of ``< <= > >= != ==``.
+
+    ``==`` is accepted for completeness but :class:`EquiJoinPredicate`
+    should be preferred for it (it unlocks hash routing).
+    """
+
+    r_attr: str
+    op: str
+    s_attr: str
+
+    selectivity_class = "high"
+
+    def __post_init__(self) -> None:
+        if self.op not in _THETA_OPS:
+            raise PredicateError(
+                f"unknown theta operator {self.op!r}; known: {sorted(_THETA_OPS)}")
+
+    def matches(self, r: StreamTuple, s: StreamTuple) -> bool:
+        return _THETA_OPS[self.op](r[self.r_attr], s[self.s_attr])
+
+    def key_attribute(self, relation_side: str) -> str:
+        if relation_side == "R":
+            return self.r_attr
+        if relation_side == "S":
+            return self.s_attr
+        raise PredicateError(f"unknown relation side {relation_side!r}")
+
+    def __str__(self) -> str:
+        return f"R.{self.r_attr} {self.op} S.{self.s_attr}"
+
+
+@dataclass(frozen=True)
+class BandJoinPredicate(JoinPredicate):
+    """``|R.r_attr - S.s_attr| <= band`` — the standard theta benchmark.
+
+    With ``band = 0`` this degenerates to a numeric equi-join; the
+    constructor rejects negative bands.
+    """
+
+    r_attr: str
+    s_attr: str
+    band: float
+
+    selectivity_class = "high"
+
+    def __post_init__(self) -> None:
+        if self.band < 0:
+            raise PredicateError(f"band must be >= 0, got {self.band!r}")
+
+    def matches(self, r: StreamTuple, s: StreamTuple) -> bool:
+        return abs(r[self.r_attr] - s[self.s_attr]) <= self.band
+
+    def key_attribute(self, relation_side: str) -> str:
+        if relation_side == "R":
+            return self.r_attr
+        if relation_side == "S":
+            return self.s_attr
+        raise PredicateError(f"unknown relation side {relation_side!r}")
+
+    def probe_range(self, probe_value: float) -> tuple[float, float]:
+        """Closed value range on the opposite side that can match."""
+        return (probe_value - self.band, probe_value + self.band)
+
+    def __str__(self) -> str:
+        return f"|R.{self.r_attr} - S.{self.s_attr}| <= {self.band:g}"
+
+
+class ConjunctionPredicate(JoinPredicate):
+    """Logical AND of several predicates.
+
+    The selectivity class is "low" iff any conjunct is an equi-join
+    (that conjunct then drives hash routing and index probing, with the
+    remaining conjuncts re-checked on each candidate).
+    """
+
+    def __init__(self, predicates: Sequence[JoinPredicate]) -> None:
+        if not predicates:
+            raise PredicateError("conjunction needs at least one predicate")
+        self.predicates = tuple(predicates)
+        self._equi = next(
+            (p for p in self.predicates if isinstance(p, EquiJoinPredicate)), None)
+        self.selectivity_class = "low" if self._equi is not None else "high"
+
+    @property
+    def indexable_conjunct(self) -> JoinPredicate:
+        """The conjunct used for index probing (equi conjunct if any)."""
+        return self._equi if self._equi is not None else self.predicates[0]
+
+    def matches(self, r: StreamTuple, s: StreamTuple) -> bool:
+        return all(p.matches(r, s) for p in self.predicates)
+
+    def key_attribute(self, relation_side: str) -> str | None:
+        return self.indexable_conjunct.key_attribute(relation_side)
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({p})" for p in self.predicates)
+
+
+class CrossPredicate(JoinPredicate):
+    """The always-true predicate: a windowed Cartesian product."""
+
+    selectivity_class = "high"
+
+    def matches(self, r: StreamTuple, s: StreamTuple) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "TRUE"

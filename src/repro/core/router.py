@@ -1,0 +1,133 @@
+"""The router service (thesis §3.1.1, §3.2).
+
+Routers ingest tuples from the system entry queue (where a pool of
+routers compete, queuing-model style), stamp each tuple with the
+monotonically increasing counter of the ordering protocol, split it
+into the **store stream** (to its own side, per the routing strategy)
+and the **join stream** (to the opposite side), and periodically emit
+punctuations to every joiner.
+
+Routers are deliberately stateless with respect to stream content —
+their only state is the counter, round-robin cursors inside the shared
+routing strategy, and input-rate statistics — which is what makes the
+router tier trivially scalable behind the competing-consumer queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..broker.channels import ChannelLayer
+from ..broker.message import Delivery
+from ..metrics.counters import NetworkStats, ThroughputWindow
+from .ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE, Envelope
+from .routing import RoutingStrategy
+from .tuples import StreamTuple
+
+
+def joiner_inbox(unit_id: str) -> str:
+    """Destination name of a joiner unit's inbox."""
+    return f"joiner.{unit_id}.inbox"
+
+
+@dataclass
+class RouterStats:
+    """Per-router ingestion/emission counters."""
+
+    tuples_ingested: int = 0
+    store_messages: int = 0
+    join_messages: int = 0
+    punctuations: int = 0
+
+
+class Router:
+    """One router service instance."""
+
+    def __init__(self, router_id: str, strategy: RoutingStrategy,
+                 channels: ChannelLayer, network_stats: NetworkStats,
+                 *, rate_horizon: float = 10.0) -> None:
+        self.router_id = router_id
+        self.strategy = strategy
+        self.channels = channels
+        self.network_stats = network_stats
+        self.stats = RouterStats()
+        self.rate = ThroughputWindow(horizon=rate_horizon)
+        self._next_counter = 0
+
+    @property
+    def next_counter(self) -> int:
+        """The counter the next ingested tuple will be stamped with."""
+        return self._next_counter
+
+    def advance_counter_to(self, value: int) -> None:
+        """Fast-forward the counter (monotone only).
+
+        Used when a router joins an existing pool: the global tuple
+        order is ``(counter, router_id)``, so a newcomer starting at 0
+        would insert its tuples *before* everything the old routers are
+        currently sending — far out of timestamp order — which breaks
+        the bounded-skew assumption Theorem-1 expiry slack relies on.
+        Aligning the new counter with the pool keeps the global order
+        approximately time-aligned.
+        """
+        if value > self._next_counter:
+            self._next_counter = value
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def on_delivery(self, delivery: Delivery) -> None:
+        """Broker callback: an input tuple reached this router."""
+        self.route_tuple(delivery.message.payload, now=delivery.time)
+
+    def route_tuple(self, t: StreamTuple, now: float) -> int:
+        """Stamp and dispatch one tuple; returns messages sent."""
+        counter = self._next_counter
+        self._next_counter += 1
+        self.stats.tuples_ingested += 1
+        self.rate.record(now)
+
+        sent = 0
+        store_env = Envelope(kind=KIND_STORE, router_id=self.router_id,
+                             counter=counter, tuple=t)
+        for unit_id in self.strategy.store_targets(t, now):
+            self.channels.send(joiner_inbox(unit_id), store_env,
+                               sender=self.router_id)
+            self.network_stats.record("store", store_env.size_bytes())
+            self.stats.store_messages += 1
+            sent += 1
+
+        join_env = Envelope(kind=KIND_JOIN, router_id=self.router_id,
+                            counter=counter, tuple=t)
+        for unit_id in self.strategy.join_targets(t, now):
+            self.channels.send(joiner_inbox(unit_id), join_env,
+                               sender=self.router_id)
+            self.network_stats.record("join", join_env.size_bytes())
+            self.stats.join_messages += 1
+            sent += 1
+        return sent
+
+    # ------------------------------------------------------------------
+    # Punctuations (ordering protocol, §3.3)
+    # ------------------------------------------------------------------
+    def emit_punctuation(self) -> int:
+        """Broadcast the current counter to every joiner on both sides.
+
+        The punctuation promises that all tuples with counters below
+        :attr:`next_counter` have already been sent on every channel.
+        Returns the number of punctuation messages sent.
+        """
+        env = Envelope(kind=KIND_PUNCTUATION, router_id=self.router_id,
+                       counter=self._next_counter)
+        sent = 0
+        for unit_id in self.strategy.all_unit_ids():
+            self.channels.send(joiner_inbox(unit_id), env,
+                               sender=self.router_id)
+            self.network_stats.record("punctuation", env.size_bytes())
+            sent += 1
+        self.stats.punctuations += 1
+        return sent
+
+    def input_rate(self, now: float) -> float:
+        """Recent events/second (the router's §3.1.1 statistics duty)."""
+        return self.rate.rate(now)

@@ -1,0 +1,342 @@
+"""Routing strategies and group membership (thesis §3.2, BiStream
+ContRand/ContHash).
+
+A :class:`JoinerGroup` tracks one side's processing units — including
+*subgroup* structure and units that are *draining* (scheduled for
+scale-in but still holding live window state).
+
+Two routing strategies decide, per incoming tuple, the storage target(s)
+on its own side and the join-probe targets on the opposite side:
+
+- :class:`RandomRouting` (ContRand) — content-insensitive.  With one
+  subgroup per side (the default, the pure join-biclique) a tuple is
+  stored on exactly one unit (round-robin) and broadcast to *all*
+  opposite units for joining.  With ``k`` subgroups per side, a tuple is
+  stored on one unit *per subgroup* (replication factor ``k``) and each
+  probe is sent to all units of just *one* subgroup (fan-out divided by
+  ``k``) — the memory-vs-network knob that interpolates between the
+  join-biclique and join-matrix extremes.
+- :class:`HashRouting` (ContHash) — for equi-joins.  Keys are hashed
+  into a fixed partition space; each partition is owned by one unit.
+  Store and probe tuples with equal join keys land on the same unit, so
+  both fan-outs are 1.  Scaling **re-assigns partitions for new tuples
+  only** (no data migration): ownership history is kept as *epochs*,
+  and probes are routed to every unit that owned their partition within
+  the window horizon, so results spanning a scaling event are not lost.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..errors import RoutingError, ScalingError
+from .predicates import ConjunctionPredicate, EquiJoinPredicate, JoinPredicate
+from .tuples import StreamTuple
+from .windows import TimeWindow
+
+
+# ---------------------------------------------------------------------------
+# Group membership
+# ---------------------------------------------------------------------------
+@dataclass
+class UnitInfo:
+    """Lifecycle record of one joiner unit within its group."""
+
+    unit_id: str
+    subgroup: int
+    draining_since: float | None = None
+
+    @property
+    def is_draining(self) -> bool:
+        return self.draining_since is not None
+
+
+class JoinerGroup:
+    """The set of units storing one relation, split into subgroups."""
+
+    def __init__(self, side: str, subgroup_count: int = 1) -> None:
+        if side not in ("R", "S"):
+            raise RoutingError(f"side must be 'R' or 'S', got {side!r}")
+        if subgroup_count < 1:
+            raise RoutingError(
+                f"subgroup count must be >= 1, got {subgroup_count!r}")
+        self.side = side
+        self.subgroup_count = subgroup_count
+        self._units: dict[str, UnitInfo] = {}
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def __contains__(self, unit_id: str) -> bool:
+        return unit_id in self._units
+
+    def add_unit(self, unit_id: str) -> UnitInfo:
+        """Add a unit, placing it in the least-populated subgroup."""
+        if unit_id in self._units:
+            raise ScalingError(f"unit {unit_id!r} already in group {self.side}")
+        sizes = [0] * self.subgroup_count
+        for info in self._units.values():
+            if not info.is_draining:
+                sizes[info.subgroup] += 1
+        subgroup = sizes.index(min(sizes))
+        info = UnitInfo(unit_id=unit_id, subgroup=subgroup)
+        self._units[unit_id] = info
+        return info
+
+    def start_draining(self, unit_id: str, now: float) -> UnitInfo:
+        """Mark a unit as draining: no new stores, still probed."""
+        info = self._info(unit_id)
+        if info.is_draining:
+            raise ScalingError(f"unit {unit_id!r} is already draining")
+        active = self.active_units(info.subgroup)
+        if len(active) <= 1:
+            raise ScalingError(
+                f"cannot drain {unit_id!r}: it is the last active unit of "
+                f"subgroup {info.subgroup} on side {self.side}")
+        info.draining_since = now
+        return info
+
+    def remove_unit(self, unit_id: str) -> None:
+        """Remove a (fully drained) unit from the group."""
+        self._info(unit_id)
+        del self._units[unit_id]
+
+    def drained_units(self, now: float, window: TimeWindow) -> list[str]:
+        """Draining units whose stored window state has fully expired."""
+        return [info.unit_id for info in self._units.values()
+                if info.draining_since is not None
+                and now - info.draining_since > window.seconds]
+
+    # -- queries -----------------------------------------------------------
+    def active_units(self, subgroup: int | None = None) -> list[str]:
+        """Non-draining unit ids, optionally restricted to one subgroup."""
+        return sorted(
+            info.unit_id for info in self._units.values()
+            if not info.is_draining
+            and (subgroup is None or info.subgroup == subgroup))
+
+    def all_units(self, subgroup: int | None = None) -> list[str]:
+        """All unit ids (including draining)."""
+        return sorted(
+            info.unit_id for info in self._units.values()
+            if subgroup is None or info.subgroup == subgroup)
+
+    def subgroup_of(self, unit_id: str) -> int:
+        return self._info(unit_id).subgroup
+
+    def _info(self, unit_id: str) -> UnitInfo:
+        try:
+            return self._units[unit_id]
+        except KeyError:
+            raise RoutingError(
+                f"unit {unit_id!r} not in group {self.side}; "
+                f"known: {self.all_units()}") from None
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+def _opposite(side: str) -> str:
+    return "S" if side == "R" else "R"
+
+
+def _has_equi_conjunct(predicate: JoinPredicate) -> bool:
+    """Does the predicate contain an equi-join usable for ContHash?"""
+    if isinstance(predicate, EquiJoinPredicate):
+        return True
+    if isinstance(predicate, ConjunctionPredicate):
+        return isinstance(predicate.indexable_conjunct, EquiJoinPredicate)
+    return False
+
+
+def stable_hash(value: object) -> int:
+    """A deterministic, process-independent hash for partition routing.
+
+    ``hash()`` is randomised per process for strings; experiments must
+    be reproducible, so keys are hashed through CRC32 of their repr.
+    """
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class RoutingStrategy:
+    """Common interface: per-tuple store and join target unit ids."""
+
+    def __init__(self, groups: dict[str, JoinerGroup]) -> None:
+        if set(groups) != {"R", "S"}:
+            raise RoutingError("routing needs exactly the groups 'R' and 'S'")
+        self.groups = groups
+
+    def store_targets(self, t: StreamTuple, now: float) -> list[str]:
+        raise NotImplementedError
+
+    def join_targets(self, t: StreamTuple, now: float) -> list[str]:
+        raise NotImplementedError
+
+    def all_unit_ids(self) -> list[str]:
+        """Every unit in both groups (punctuation broadcast set)."""
+        return self.groups["R"].all_units() + self.groups["S"].all_units()
+
+    def on_membership_change(self, now: float) -> None:
+        """Hook called by the engine after any scale event."""
+
+    @property
+    def replication_factor(self) -> dict[str, int]:
+        """Stored copies per tuple, per side."""
+        return {"R": self.groups["R"].subgroup_count,
+                "S": self.groups["S"].subgroup_count}
+
+
+class RandomRouting(RoutingStrategy):
+    """ContRand: content-insensitive round-robin store + broadcast join."""
+
+    def __init__(self, groups: dict[str, JoinerGroup]) -> None:
+        super().__init__(groups)
+        self._store_rr: dict[tuple[str, int], int] = {}
+        self._join_rr: dict[str, int] = {}
+
+    def store_targets(self, t: StreamTuple, now: float) -> list[str]:
+        group = self.groups[t.relation]
+        targets = []
+        for subgroup in range(group.subgroup_count):
+            units = group.active_units(subgroup)
+            if not units:
+                raise RoutingError(
+                    f"no active units in subgroup {subgroup} of side "
+                    f"{group.side}")
+            key = (group.side, subgroup)
+            index = self._store_rr.get(key, 0)
+            targets.append(units[index % len(units)])
+            self._store_rr[key] = index + 1
+        return targets
+
+    def join_targets(self, t: StreamTuple, now: float) -> list[str]:
+        group = self.groups[_opposite(t.relation)]
+        index = self._join_rr.get(group.side, 0)
+        subgroup = index % group.subgroup_count
+        self._join_rr[group.side] = index + 1
+        units = group.all_units(subgroup)  # draining units still probed
+        if not units:
+            raise RoutingError(
+                f"no units in subgroup {subgroup} of side {group.side}")
+        return units
+
+
+@dataclass
+class _Epoch:
+    """One ownership period of a hash partition."""
+
+    start: float
+    unit_id: str
+
+
+class HashRouting(RoutingStrategy):
+    """ContHash: hash-partitioned routing for equi-join predicates.
+
+    Args:
+        groups: the two joiner groups.
+        predicate: must expose a key attribute on both sides
+            (an equi-join, or a conjunction containing one).
+        window: the sliding window; bounds how long old partition
+            epochs must keep receiving probes after a re-assignment.
+        partitions: size of the fixed hash partition space (should
+            comfortably exceed the maximum unit count per side).
+    """
+
+    def __init__(self, groups: dict[str, JoinerGroup],
+                 predicate: JoinPredicate, window: TimeWindow,
+                 partitions: int = 64) -> None:
+        super().__init__(groups)
+        if partitions < 1:
+            raise RoutingError(f"partitions must be >= 1, got {partitions}")
+        # ContHash is only *correct* for predicates with an equi-join
+        # conjunct: hash collocation relies on matching tuples having
+        # equal key values.  A band join's matches have nearby-but-
+        # different values that hash to unrelated partitions.
+        if not _has_equi_conjunct(predicate):
+            raise RoutingError(
+                f"hash routing requires an equi-join (conjunct); "
+                f"predicate {predicate} has none — use random routing")
+        for side in ("R", "S"):
+            if predicate.key_attribute(side) is None:
+                raise RoutingError(
+                    "hash routing requires a key attribute on both sides "
+                    f"(predicate {predicate} offers none on side {side!r})")
+            if groups[side].subgroup_count != 1:
+                raise RoutingError(
+                    "hash routing does not combine with subgroups "
+                    "(fan-out is already 1)")
+        self.predicate = predicate
+        self.window = window
+        self.partitions = partitions
+        #: side → partition index → ownership epoch history (time-ordered)
+        self._epochs: dict[str, list[list[_Epoch]]] = {
+            "R": [[] for _ in range(partitions)],
+            "S": [[] for _ in range(partitions)],
+        }
+        self.on_membership_change(0.0)
+
+    # -- partition assignment ------------------------------------------------
+    def _partition_of(self, t: StreamTuple, stored_side: str) -> int:
+        attr = self.predicate.key_attribute(t.relation)
+        return stable_hash(t[attr]) % self.partitions
+
+    def on_membership_change(self, now: float) -> None:
+        """Re-assign partitions to the current active units of each side.
+
+        New tuples follow the new assignment immediately; the previous
+        owner keeps receiving probes for its partitions until the window
+        horizon passes (see :meth:`join_targets`), so no stored state
+        needs migrating.
+        """
+        for side in ("R", "S"):
+            units = self.groups[side].active_units()
+            if not units:
+                continue
+            for partition, history in enumerate(self._epochs[side]):
+                owner = units[partition % len(units)]
+                if history and history[-1].unit_id == owner:
+                    continue
+                history.append(_Epoch(start=now, unit_id=owner))
+
+    def _owners_in_horizon(self, side: str, partition: int, now: float,
+                           probe_ts: float) -> list[str]:
+        """Units that owned ``partition`` recently enough to hold live
+        tuples joinable with a probe at ``probe_ts``."""
+        history = self._epochs[side][partition]
+        if not history:
+            raise RoutingError(
+                f"partition {partition} on side {side!r} has no owner "
+                f"(group empty at initialisation?)")
+        horizon = probe_ts - self.window.seconds
+        owners: list[str] = []
+        group = self.groups[side]
+        for i, epoch in enumerate(history):
+            end = history[i + 1].start if i + 1 < len(history) else None
+            # The epoch's stored tuples have timestamps < end; they are
+            # all expired once the horizon passes the epoch's end.
+            if end is not None and end <= horizon:
+                continue
+            if epoch.unit_id in group and epoch.unit_id not in owners:
+                owners.append(epoch.unit_id)
+        # Prune history entries that can never be probed again.
+        self._epochs[side][partition] = [
+            e for i, e in enumerate(history)
+            if i + 1 >= len(history)
+            or history[i + 1].start > now - self.window.seconds]
+        return owners
+
+    # -- strategy interface ---------------------------------------------------
+    def store_targets(self, t: StreamTuple, now: float) -> list[str]:
+        side = t.relation
+        partition = self._partition_of(t, side)
+        history = self._epochs[side][partition]
+        if not history:
+            raise RoutingError(
+                f"partition {partition} on side {side!r} has no owner")
+        return [history[-1].unit_id]
+
+    def join_targets(self, t: StreamTuple, now: float) -> list[str]:
+        side = _opposite(t.relation)
+        partition = self._partition_of(t, side)
+        return self._owners_in_horizon(side, partition, now, t.ts)

@@ -1,0 +1,187 @@
+"""Streaming tuples, schemas and the time domain (Definitions 1-3).
+
+A :class:`Schema` is an ordered set of named, typed attributes; a
+:class:`StreamTuple` is an instance of a schema carrying a timestamp
+from the (discrete, ordered) time domain.  Tuples are immutable — once
+emitted into the system they flow by value through routers, the broker
+and joiners, exactly as serialized messages would in the real system.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..errors import SchemaError
+
+#: Approximate fixed per-tuple overhead, in bytes, charged by the memory
+#: accounting model on top of the attribute payload (object headers,
+#: timestamps, relation tag).  The absolute value only shifts curves; the
+#: *shapes* of the memory experiments depend on live tuple counts.
+TUPLE_OVERHEAD_BYTES = 48
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named, typed attribute of a tuple schema."""
+
+    name: str
+    dtype: type = object
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`~repro.errors.SchemaError` on a type mismatch."""
+        if self.dtype is object:
+            return
+        if not isinstance(value, self.dtype):
+            raise SchemaError(
+                f"attribute {self.name!r} expects {self.dtype.__name__}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+
+
+class Schema:
+    """An ordered tuple schema ``<e1, e2, ..., eN>`` (Definition 1)."""
+
+    def __init__(self, name: str, attributes: Iterable[Attribute]) -> None:
+        self.name = name
+        self.attributes: tuple[Attribute, ...] = tuple(attributes)
+        if not self.attributes:
+            raise SchemaError(f"schema {name!r} must have at least one attribute")
+        self._by_name = {a.name: a for a in self.attributes}
+        if len(self._by_name) != len(self.attributes):
+            raise SchemaError(f"schema {name!r} has duplicate attribute names")
+
+    def __contains__(self, attr_name: str) -> bool:
+        return attr_name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no attribute {name!r}; "
+                f"known: {sorted(self._by_name)}"
+            ) from None
+
+    def validate(self, values: Mapping[str, Any]) -> None:
+        """Check that ``values`` is a full, well-typed schema instance."""
+        missing = set(self._by_name) - set(values)
+        extra = set(values) - set(self._by_name)
+        if missing or extra:
+            raise SchemaError(
+                f"values do not instantiate schema {self.name!r}: "
+                f"missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        for attr in self.attributes:
+            attr.validate(values[attr.name])
+
+    def __repr__(self) -> str:
+        names = ", ".join(a.name for a in self.attributes)
+        return f"Schema({self.name!r}: <{names}>)"
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """An immutable streaming tuple.
+
+    Attributes:
+        relation: name of the logical stream the tuple belongs to
+            (``"R"`` or ``"S"`` in the two-way joins studied here).
+        ts: event timestamp, a value from the time domain *T*
+            (Definition 2) — float seconds in this implementation.
+        values: attribute name → value mapping (the schema instance).
+        seq: per-relation sequence number assigned at the source; gives
+            a total order among equal timestamps and a stable identity.
+    """
+
+    relation: str
+    ts: float
+    values: Mapping[str, Any]
+    seq: int = 0
+
+    def __getitem__(self, attr_name: str) -> Any:
+        try:
+            return self.values[attr_name]
+        except KeyError:
+            raise SchemaError(
+                f"tuple of {self.relation!r} has no attribute {attr_name!r}"
+            ) from None
+
+    def get(self, attr_name: str, default: Any = None) -> Any:
+        return self.values.get(attr_name, default)
+
+    @property
+    def ident(self) -> tuple[str, int]:
+        """A stable identity: ``(relation, seq)``."""
+        return (self.relation, self.seq)
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint used by memory accounting."""
+        total = TUPLE_OVERHEAD_BYTES
+        for value in self.values.values():
+            total += _value_size(value)
+        return total
+
+    def __repr__(self) -> str:
+        vals = ", ".join(f"{k}={v!r}" for k, v in self.values.items())
+        return f"StreamTuple({self.relation}#{self.seq} @{self.ts:.3f} {{{vals}}})"
+
+
+def _value_size(value: Any) -> int:
+    """Approximate payload size of one attribute value in bytes."""
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, (list, tuple)):
+        return sum(_value_size(v) for v in value)
+    return sys.getsizeof(value)
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """The concatenation of a matched ``(r, s)`` pair (Definition 4).
+
+    The output timestamp policy follows the thesis discussion: by
+    default the *maximum* of the two input timestamps, preserving
+    ordering in the derived stream.  :func:`make_result` implements the
+    alternative minimum-timestamp policy as well.
+    """
+
+    r: StreamTuple
+    s: StreamTuple
+    ts: float
+    produced_at: float = 0.0
+    producer: str = ""
+
+    @property
+    def key(self) -> tuple[tuple[str, int], tuple[str, int]]:
+        """Identity of the result: the pair of input tuple identities."""
+        return (self.r.ident, self.s.ident)
+
+
+def make_result(r: StreamTuple, s: StreamTuple, *, produced_at: float = 0.0,
+                producer: str = "", timestamp_policy: str = "max") -> JoinResult:
+    """Build a :class:`JoinResult`, normalising the (r, s) operand order.
+
+    Args:
+        timestamp_policy: ``"max"`` (default; newest input timestamp) or
+            ``"min"`` (result expires when either input expires).
+    """
+    if timestamp_policy == "max":
+        ts = max(r.ts, s.ts)
+    elif timestamp_policy == "min":
+        ts = min(r.ts, s.ts)
+    else:
+        raise ValueError(f"unknown timestamp policy {timestamp_policy!r}")
+    return JoinResult(r=r, s=s, ts=ts, produced_at=produced_at, producer=producer)

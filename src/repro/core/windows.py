@@ -1,0 +1,113 @@
+"""Window specifications over data streams (thesis §2.2, Definition 4).
+
+The join-biclique engine evaluates *windowed* joins: an incoming tuple
+only joins against opposite-relation tuples that are still inside the
+window.  The primary construct — and the one all experiments use — is
+the time-based sliding window of ``Ws`` seconds: a tuple ``t`` is alive
+with respect to the latest tuple ``t'`` iff ``t'.ts - t.ts <= Ws``.
+
+Tuple-count windows are provided as an extension (the "future work"
+style generalisation); they bound the number of retained tuples rather
+than their age.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WindowError
+from .tuples import StreamTuple
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A time-based sliding window of ``seconds`` time units.
+
+    This is the window of Definition 4 and of Theorem 1: a stored tuple
+    ``x`` may be discarded once an opposite-relation tuple ``y`` arrives
+    with ``y.ts - x.ts > seconds``.
+    """
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise WindowError(f"window extent must be positive, got {self.seconds!r}")
+
+    def contains(self, stored_ts: float, probe_ts: float) -> bool:
+        """Is a stored tuple with ``stored_ts`` joinable at ``probe_ts``?
+
+        Symmetric in time: the window constrains how far *apart* the two
+        tuples are (``|probe_ts - stored_ts| <= Ws``), matching the
+        standard sliding-window join semantics.  Expiry, by contrast, is
+        only ever applied in the forward direction (Theorem 1).
+        """
+        return abs(probe_ts - stored_ts) <= self.seconds
+
+    def is_expired(self, stored_ts: float, probe_ts: float) -> bool:
+        """Theorem 1 predicate: safe to discard the stored tuple."""
+        return probe_ts - stored_ts > self.seconds
+
+    def __str__(self) -> str:
+        return f"TimeWindow({self.seconds:g}s)"
+
+
+@dataclass(frozen=True)
+class CountWindow:
+    """A sliding window of the most recent ``count`` tuples (extension).
+
+    Count windows cannot use Theorem 1 (expiry is positional, not
+    temporal); the store that owns the tuples evicts the oldest one once
+    the bound is exceeded.  Provided for API completeness and exercised
+    by unit tests; the paper's experiments are all time-based.
+    """
+
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise WindowError(f"count window must be positive, got {self.count!r}")
+
+    def __str__(self) -> str:
+        return f"CountWindow({self.count} tuples)"
+
+
+@dataclass(frozen=True)
+class FullHistoryWindow:
+    """The unbounded "window": join against the full stream history.
+
+    §2.2 notes that several systems (BiStream among them) support the
+    join operator "over full or partial-historical states of the
+    stream" rather than only sliding windows.  This window type makes
+    every stored tuple joinable forever and nothing ever expire; the
+    chained index still slices state by archive period (useful for
+    introspection) but Theorem-1 discarding never fires.
+
+    ``seconds`` is ``inf`` so that window-extent arithmetic (drain
+    deadlines, hash-routing epoch horizons) naturally degenerates to
+    "never": a draining unit under full history keeps its state — and
+    keeps answering probes — indefinitely, so scale-in of stateful
+    units is only meaningful with bounded windows.
+    """
+
+    @property
+    def seconds(self) -> float:
+        import math
+        return math.inf
+
+    def contains(self, stored_ts: float, probe_ts: float) -> bool:
+        return True
+
+    def is_expired(self, stored_ts: float, probe_ts: float) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "FullHistoryWindow()"
+
+
+Window = TimeWindow | CountWindow | FullHistoryWindow
+
+
+def window_lower_bound(window: TimeWindow, probe: StreamTuple) -> float:
+    """Oldest timestamp still joinable with ``probe`` under ``window``."""
+    return probe.ts - window.seconds

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the main
+subsystems: the stream-join core, the broker substrate, the simulation
+kernel and the cluster substrate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An engine, broker or cluster object was configured inconsistently."""
+
+
+class SchemaError(ReproError):
+    """A tuple does not conform to the schema it claims to instantiate."""
+
+
+class PredicateError(ReproError):
+    """A join predicate was constructed or evaluated incorrectly."""
+
+
+class WindowError(ReproError):
+    """An invalid window specification (e.g. non-positive extent)."""
+
+
+class IndexError_(ReproError):
+    """An in-memory join index was used incorrectly.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class OrderingError(ReproError):
+    """The tuple-ordering protocol detected an impossible state.
+
+    Examples: a counter regression on a pairwise-FIFO channel, or a
+    punctuation that is smaller than one already delivered.
+    """
+
+
+class RoutingError(ReproError):
+    """A router could not route a tuple (unknown relation, empty group...)."""
+
+
+class BrokerError(ReproError):
+    """Base class for errors in the AMQP-style broker substrate."""
+
+
+class UnknownExchangeError(BrokerError):
+    """A publish or bind referenced an exchange that does not exist."""
+
+
+class UnknownQueueError(BrokerError):
+    """A consume or bind referenced a queue that does not exist."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel reached an invalid state."""
+
+
+class ClusterError(ReproError):
+    """The cluster substrate (pods/deployments/autoscaler) failed."""
+
+
+class ScalingError(ClusterError):
+    """A scale-out/scale-in request could not be satisfied."""

@@ -1,0 +1,30 @@
+"""Experiment harness: reference join, runners and table formatting."""
+
+from .capacity import CapacityEstimate, biclique_capacity, matrix_capacity
+from .reference import JoinCheck, check_exactly_once, reference_join, result_keys
+from .runner import (
+    ROW_HEADERS,
+    EngineRunStats,
+    run_biclique,
+    run_matrix,
+    square_matrix_side,
+)
+from .tables import format_cell, render_series, render_table
+
+__all__ = [
+    "CapacityEstimate",
+    "biclique_capacity",
+    "matrix_capacity",
+    "JoinCheck",
+    "check_exactly_once",
+    "reference_join",
+    "result_keys",
+    "ROW_HEADERS",
+    "EngineRunStats",
+    "run_biclique",
+    "run_matrix",
+    "square_matrix_side",
+    "format_cell",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,78 @@
+"""Reference implementations used to validate the distributed engines.
+
+:func:`reference_join` is a single-process nested-loop windowed join —
+trivially correct by construction — producing the exact multiset of
+``(r, s)`` pairs any correct engine must emit: all pairs with
+``|r.ts - s.ts| <= Ws`` satisfying the predicate.  Every integration
+test and benchmark checks engine output against it (as a set of input
+identities, since result order is engine-dependent).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from ..core.predicates import JoinPredicate
+from ..core.tuples import JoinResult, StreamTuple
+from ..core.windows import TimeWindow
+
+#: A result identity: ((r.relation, r.seq), (s.relation, s.seq)).
+ResultKey = tuple[tuple[str, int], tuple[str, int]]
+
+
+def reference_join(r_stream: Sequence[StreamTuple],
+                   s_stream: Sequence[StreamTuple],
+                   predicate: JoinPredicate,
+                   window: TimeWindow) -> set[ResultKey]:
+    """All matching pair identities under the symmetric window."""
+    matches: set[ResultKey] = set()
+    for r in r_stream:
+        for s in s_stream:
+            if window.contains(s.ts, r.ts) and predicate.matches(r, s):
+                matches.add((r.ident, s.ident))
+    return matches
+
+
+def result_keys(results: Iterable[JoinResult]) -> list[ResultKey]:
+    """Identities of produced results, in production order."""
+    return [result.key for result in results]
+
+
+def check_exactly_once(results: Iterable[JoinResult],
+                       expected: set[ResultKey]) -> "JoinCheck":
+    """Compare engine output against the reference pair set."""
+    produced = Counter(result_keys(results))
+    duplicates = {k: c for k, c in produced.items() if c > 1}
+    missing = expected - set(produced)
+    spurious = set(produced) - expected
+    return JoinCheck(
+        expected=len(expected),
+        produced=sum(produced.values()),
+        duplicates=sum(c - 1 for c in duplicates.values()),
+        missing=len(missing),
+        spurious=len(spurious),
+    )
+
+
+class JoinCheck:
+    """Outcome of an exactly-once completeness check."""
+
+    def __init__(self, expected: int, produced: int, duplicates: int,
+                 missing: int, spurious: int) -> None:
+        self.expected = expected
+        self.produced = produced
+        self.duplicates = duplicates
+        self.missing = missing
+        self.spurious = spurious
+
+    @property
+    def ok(self) -> bool:
+        """True iff every expected pair was produced exactly once."""
+        return (self.duplicates == 0 and self.missing == 0
+                and self.spurious == 0)
+
+    def __repr__(self) -> str:
+        return (f"JoinCheck(expected={self.expected}, produced={self.produced}, "
+                f"dup={self.duplicates}, missing={self.missing}, "
+                f"spurious={self.spurious})")

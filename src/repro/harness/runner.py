@@ -1,0 +1,132 @@
+"""Experiment runners: drive both engines over a workload and collect
+comparable statistics rows.
+
+Every benchmark follows the same shape: materialise a workload, run the
+join-biclique engine and (where the experiment compares models) the
+join-matrix engine over the identical input, verify exactly-once output
+against the reference join, and report throughput / memory / network /
+latency as one :class:`EngineRunStats` row per configuration.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.biclique import BicliqueConfig
+from ..core.engine import StreamJoinEngine
+from ..core.predicates import JoinPredicate
+from ..core.streams import merge_by_time
+from ..core.tuples import StreamTuple
+from ..matrix.engine import MatrixConfig, MatrixEngine
+from .reference import check_exactly_once, reference_join
+
+
+@dataclass(frozen=True)
+class EngineRunStats:
+    """One comparable row of engine-run statistics."""
+
+    model: str
+    units: int
+    results: int
+    correct: bool
+    wall_seconds: float
+    tuples_per_second: float
+    data_messages: int
+    messages_per_tuple: float
+    peak_live_bytes: int
+    stored_tuples_final: int
+    comparisons: int
+    mean_latency: float
+    p99_latency: float
+
+    def as_row(self) -> list[object]:
+        return [self.model, self.units, self.results, self.correct,
+                round(self.tuples_per_second), self.messages_per_tuple,
+                self.peak_live_bytes, self.comparisons]
+
+
+ROW_HEADERS = ["model", "units", "results", "correct", "tuples/s",
+               "msgs/tuple", "peak bytes", "comparisons"]
+
+
+def run_biclique(config: BicliqueConfig, predicate: JoinPredicate,
+                 r_stream: Sequence[StreamTuple],
+                 s_stream: Sequence[StreamTuple], *,
+                 verify: bool = True,
+                 sample_memory_every: int = 200) -> EngineRunStats:
+    """Run the join-biclique engine over a workload; return its stats."""
+    engine = StreamJoinEngine(config, predicate)
+    results, report = engine.run(r_stream, s_stream,
+                                 sample_memory_every=sample_memory_every)
+    correct = True
+    if verify:
+        expected = reference_join(r_stream, s_stream, predicate, config.window)
+        correct = check_exactly_once(results, expected).ok
+    ingested = len(r_stream) + len(s_stream)
+    return EngineRunStats(
+        model=f"biclique/{engine.engine.routing_mode}",
+        units=config.r_joiners + config.s_joiners,
+        results=len(results),
+        correct=correct,
+        wall_seconds=report.wall_seconds,
+        tuples_per_second=report.tuples_per_second,
+        data_messages=report.network.data_messages,
+        messages_per_tuple=report.network.data_messages / max(1, ingested),
+        peak_live_bytes=report.peak_live_bytes,
+        stored_tuples_final=report.stored_tuples_final,
+        comparisons=report.comparisons,
+        mean_latency=report.latency.mean,
+        p99_latency=report.latency.p99,
+    )
+
+
+def run_matrix(config: MatrixConfig, predicate: JoinPredicate,
+               r_stream: Sequence[StreamTuple],
+               s_stream: Sequence[StreamTuple], *,
+               verify: bool = True,
+               sample_memory_every: int = 200) -> EngineRunStats:
+    """Run the join-matrix engine over a workload; return its stats."""
+    engine = MatrixEngine(config, predicate)
+    started = _time.perf_counter()
+    peak_bytes = 0
+    ingested = 0
+    for t in merge_by_time(r_stream, s_stream):
+        engine.ingest(t)
+        ingested += 1
+        if sample_memory_every and ingested % sample_memory_every == 0:
+            peak_bytes = max(peak_bytes,
+                             engine.memory_snapshot().total_live_bytes)
+    engine.finish()
+    wall = _time.perf_counter() - started
+    peak_bytes = max(peak_bytes, engine.memory_snapshot().total_live_bytes)
+
+    correct = True
+    if verify:
+        expected = reference_join(r_stream, s_stream, predicate, config.window)
+        correct = check_exactly_once(engine.results, expected).ok
+    latency = engine.latency.summary()
+    return EngineRunStats(
+        model=f"matrix/{config.partitioning}",
+        units=config.rows * config.cols,
+        results=len(engine.results),
+        correct=correct,
+        wall_seconds=wall,
+        tuples_per_second=ingested / wall if wall > 0 else 0.0,
+        data_messages=engine.network_stats.data_messages,
+        messages_per_tuple=engine.network_stats.data_messages / max(1, ingested),
+        peak_live_bytes=peak_bytes,
+        stored_tuples_final=engine.total_stored_tuples(),
+        comparisons=engine.total_comparisons(),
+        mean_latency=latency.mean,
+        p99_latency=latency.p99,
+    )
+
+
+def square_matrix_side(units: int) -> int:
+    """Largest square grid side that fits in ``units`` processing units."""
+    side = 1
+    while (side + 1) * (side + 1) <= units:
+        side += 1
+    return side

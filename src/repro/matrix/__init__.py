@@ -1,0 +1,20 @@
+"""The join-matrix baseline model (Stamos & Young; Squall-style).
+
+The comparison target of the join-biclique paper: units form a grid,
+tuples are replicated along a row or column, and scaling requires a
+full grid reshape with state migration.  See
+:class:`~repro.matrix.engine.MatrixEngine`.
+"""
+
+from .cell import CellStats, MatrixCell
+from .distributed import DistributedMatrixEngine
+from .engine import MatrixConfig, MatrixEngine, MigrationStats
+
+__all__ = [
+    "CellStats",
+    "DistributedMatrixEngine",
+    "MatrixCell",
+    "MatrixConfig",
+    "MatrixEngine",
+    "MigrationStats",
+]

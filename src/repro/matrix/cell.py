@@ -1,0 +1,127 @@
+"""A join-matrix cell (thesis §2.4.1, Figure 3(a)).
+
+In the join-matrix model (Stamos & Young [32], revisited by Elseidy et
+al. [22] / Squall), the processing units form a ``rows x cols`` grid.
+Relation R is partitioned across *rows* and replicated along each row;
+relation S is partitioned across *columns* and replicated along each
+column.  Every ``(r, s)`` pair therefore meets in exactly one cell —
+``(row(r), col(s))`` — so each cell evaluates the join between its row's
+R-partition and its column's S-partition.
+
+Unlike a biclique joiner (which stores one relation and probes with the
+other), a matrix cell stores *both* relations: an arriving tuple first
+probes the opposite relation's index, then is stored in its own — the
+probe-then-store order gives exactly-once output under a consistent
+processing order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.chained_index import ChainedInMemoryIndex
+from ..core.ordering import KIND_PUNCTUATION, Envelope, ReorderBuffer
+from ..core.predicates import JoinPredicate
+from ..core.tuples import JoinResult, StreamTuple, make_result
+from ..core.windows import TimeWindow
+
+ResultSink = Callable[[JoinResult], None]
+
+
+@dataclass
+class CellStats:
+    """Per-cell processing counters."""
+
+    tuples_received: int = 0
+    results_emitted: int = 0
+
+
+class MatrixCell:
+    """One processing unit of the join-matrix grid."""
+
+    def __init__(self, row: int, col: int, predicate: JoinPredicate,
+                 window: TimeWindow, archive_period: float | None,
+                 result_sink: ResultSink, *, ordered: bool = True,
+                 timestamp_policy: str = "max",
+                 expiry_slack: float = 0.0) -> None:
+        self.row = row
+        self.col = col
+        self.cell_id = f"cell[{row},{col}]"
+        self.window = window
+        self.result_sink = result_sink
+        self.ordered = ordered
+        self.timestamp_policy = timestamp_policy
+        self.r_index = ChainedInMemoryIndex(
+            predicate, stored_side="R", window=window,
+            archive_period=archive_period, expiry_slack=expiry_slack)
+        self.s_index = ChainedInMemoryIndex(
+            predicate, stored_side="S", window=window,
+            archive_period=archive_period, expiry_slack=expiry_slack)
+        self.reorder = ReorderBuffer()
+        self.stats = CellStats()
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_bytes(self) -> int:
+        return self.r_index.bytes + self.s_index.bytes
+
+    @property
+    def stored_tuples(self) -> int:
+        return len(self.r_index) + len(self.s_index)
+
+    @property
+    def comparisons(self) -> int:
+        return self.r_index.stats.comparisons + self.s_index.stats.comparisons
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+    def register_router(self, router_id: str) -> None:
+        self.reorder.register_router(router_id)
+
+    def on_envelope(self, envelope: Envelope, now: float = 0.0) -> None:
+        self._now = max(self._now, now)
+        if not self.ordered:
+            self._process(envelope)
+            return
+        for released in self.reorder.add(envelope):
+            self._process(released)
+
+    def flush(self) -> None:
+        for envelope in self.reorder.drain():
+            self._process(envelope)
+
+    # ------------------------------------------------------------------
+    # Probe-then-store processing
+    # ------------------------------------------------------------------
+    def _process(self, envelope: Envelope) -> None:
+        if envelope.kind == KIND_PUNCTUATION:
+            return
+        t = envelope.tuple
+        assert t is not None
+        self.stats.tuples_received += 1
+        if t.relation == "R":
+            for s in self.s_index.probe(t):
+                self._emit(t, s)
+            self.r_index.insert(t)
+        else:
+            for r in self.r_index.probe(t):
+                self._emit(r, t)
+            self.s_index.insert(t)
+
+    def _emit(self, r: StreamTuple, s: StreamTuple) -> None:
+        self.stats.results_emitted += 1
+        self.result_sink(make_result(
+            r, s, produced_at=self._now, producer=self.cell_id,
+            timestamp_policy=self.timestamp_policy))
+
+    # ------------------------------------------------------------------
+    # Reshaping support
+    # ------------------------------------------------------------------
+    def stored_state(self) -> tuple[list[StreamTuple], list[StreamTuple]]:
+        """All live tuples (R-list, S-list) — exported during a reshape."""
+        return (list(self.r_index.all_tuples()), list(self.s_index.all_tuples()))

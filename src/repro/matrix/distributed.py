@@ -1,0 +1,297 @@
+"""The join-matrix model deployed over the broker substrate.
+
+:class:`MatrixEngine` (in :mod:`repro.matrix.engine`) drives cells
+directly — ideal for correctness and capacity analysis.  This module
+deploys the same grid **through the messaging substrate**, mirroring
+how both models shared one Storm cluster in the paper's evaluation:
+
+- an entry destination where a pool of matrix routers compete,
+- one inbox queue per cell (pairwise-FIFO channels),
+- router-stamped counters + punctuations, so the same ordering
+  protocol guards the matrix against cross-channel disorder,
+- the same scaling caveat: growing the grid still requires a reshape
+  with state migration (exposed here as :meth:`reshape`, which drains
+  in-flight traffic, migrates, and re-subscribes the new cells).
+
+This makes apples-to-apples network experiments possible: identical
+broker, identical network models, different join topology.
+"""
+
+from __future__ import annotations
+
+
+from ..broker.broker import Broker
+from ..broker.channels import ChannelLayer
+from ..broker.message import Delivery
+from ..core.ordering import KIND_PUNCTUATION, KIND_STORE, Envelope
+from ..core.predicates import JoinPredicate
+from ..core.routing import stable_hash
+from ..core.tuples import JoinResult, StreamTuple
+from ..errors import ConfigurationError, ScalingError
+from ..metrics.counters import NetworkStats
+from ..metrics.latency import LatencyRecorder
+from ..metrics.memory import MemorySnapshot
+from .cell import MatrixCell
+from .engine import MatrixConfig, MigrationStats
+
+ENTRY_DESTINATION = "matrix.tuples.exchange"
+ROUTER_GROUP = "matrixroutergroup"
+
+
+def cell_inbox(row: int, col: int) -> str:
+    """Destination name of a cell's inbox."""
+    return f"cell.{row}.{col}.inbox"
+
+
+class _MatrixRouter:
+    """One competing router of the distributed matrix deployment."""
+
+    def __init__(self, router_id: str, engine: "DistributedMatrixEngine") -> None:
+        self.router_id = router_id
+        self.engine = engine
+        self._next_counter = 0
+        self.tuples_ingested = 0
+
+    @property
+    def next_counter(self) -> int:
+        return self._next_counter
+
+    def advance_counter_to(self, value: int) -> None:
+        if value > self._next_counter:
+            self._next_counter = value
+
+    def on_delivery(self, delivery: Delivery) -> None:
+        self.route_tuple(delivery.message.payload)
+
+    def route_tuple(self, t: StreamTuple) -> None:
+        engine = self.engine
+        counter = self._next_counter
+        self._next_counter += 1
+        self.tuples_ingested += 1
+        envelope = Envelope(kind=KIND_STORE, router_id=self.router_id,
+                            counter=counter, tuple=t)
+        for row, col in engine.target_coords(t):
+            engine.channels.send(cell_inbox(row, col), envelope,
+                                 sender=self.router_id)
+            engine.network_stats.record("store", envelope.size_bytes())
+
+    def emit_punctuation(self) -> None:
+        envelope = Envelope(kind=KIND_PUNCTUATION, router_id=self.router_id,
+                            counter=self._next_counter)
+        for row in range(self.engine.rows):
+            for col in range(self.engine.cols):
+                self.engine.channels.send(cell_inbox(row, col), envelope,
+                                          sender=self.router_id)
+                self.engine.network_stats.record(
+                    "punctuation", envelope.size_bytes())
+
+
+class DistributedMatrixEngine:
+    """A join-matrix grid wired through the broker substrate."""
+
+    def __init__(self, config: MatrixConfig, predicate: JoinPredicate,
+                 broker: Broker | None = None, *, routers: int = 1) -> None:
+        if routers < 1:
+            raise ConfigurationError("need at least one matrix router")
+        self.config = config
+        self.predicate = predicate
+        self.broker = broker if broker is not None else Broker()
+        self.channels = ChannelLayer(self.broker)
+        self.network_stats = NetworkStats()
+        self.results: list[JoinResult] = []
+        self.latency = LatencyRecorder()
+        self.migration = MigrationStats()
+        self._rr_row = 0
+        self._rr_col = 0
+        self._last_punctuation_ts: float | None = None
+        self._cell_generation = 0
+
+        self.cells: list[list[MatrixCell]] = []
+        self.routers: list[_MatrixRouter] = []
+        self.channels.declare_destination(ENTRY_DESTINATION)
+        self._build_grid(config.rows, config.cols)
+        for i in range(routers):
+            self._add_router(f"mrouter{i}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _record_result(self, result: JoinResult) -> None:
+        self.results.append(result)
+        self.latency.record(max(0.0, result.produced_at - max(result.r.ts,
+                                                              result.s.ts)))
+
+    def _build_grid(self, rows: int, cols: int) -> None:
+        self.rows = rows
+        self.cols = cols
+        self._cell_generation += 1
+        generation = self._cell_generation
+        self.cells = []
+        for row in range(rows):
+            grid_row = []
+            for col in range(cols):
+                cell = MatrixCell(
+                    row, col, self.predicate, self.config.window,
+                    self.config.archive_period, self._record_result,
+                    ordered=self.config.ordered,
+                    timestamp_policy=self.config.timestamp_policy,
+                    expiry_slack=self.config.expiry_slack)
+                for router in self.routers:
+                    cell.register_router(router.router_id)
+                inbox = cell_inbox(row, col)
+                self.channels.declare_destination(inbox)
+                consumer_id = f"cell-{row}-{col}-g{generation}"
+
+                def callback(delivery: Delivery, cell=cell) -> None:
+                    cell.on_envelope(delivery.message.payload,
+                                     now=delivery.time)
+
+                self.channels.subscribe(inbox, consumer_id, callback,
+                                        group=f"{inbox}.group")
+                grid_row.append(cell)
+            self.cells.append(grid_row)
+
+    def _add_router(self, router_id: str) -> _MatrixRouter:
+        router = _MatrixRouter(router_id, self)
+        floor = max((r.next_counter for r in self.routers), default=0)
+        router.advance_counter_to(floor)
+        self.routers.append(router)
+        for row in self.cells:
+            for cell in row:
+                cell.register_router(router_id)
+        self.channels.subscribe(ENTRY_DESTINATION, router_id,
+                                router.on_delivery, group=ROUTER_GROUP)
+        return router
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _row_of(self, t: StreamTuple) -> int:
+        if self.config.partitioning == "hash":
+            attr = self.predicate.key_attribute("R")
+            if attr is not None:
+                return stable_hash(t[attr]) % self.rows
+        row = self._rr_row
+        self._rr_row = (self._rr_row + 1) % self.rows
+        return row
+
+    def _col_of(self, t: StreamTuple) -> int:
+        if self.config.partitioning == "hash":
+            attr = self.predicate.key_attribute("S")
+            if attr is not None:
+                return stable_hash(t[attr]) % self.cols
+        col = self._rr_col
+        self._rr_col = (self._rr_col + 1) % self.cols
+        return col
+
+    def target_coords(self, t: StreamTuple) -> list[tuple[int, int]]:
+        """Grid coordinates of a tuple's replication set."""
+        if t.relation == "R":
+            row = self._row_of(t)
+            return [(row, col) for col in range(self.cols)]
+        col = self._col_of(t)
+        return [(row, col) for row in range(self.rows)]
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, t: StreamTuple) -> None:
+        """Publish one tuple to the entry exchange (router pool)."""
+        self._maybe_punctuate(t.ts)
+        self.channels.send(ENTRY_DESTINATION, t, sender="source")
+
+    def _maybe_punctuate(self, ts: float) -> None:
+        if self._last_punctuation_ts is None:
+            self._last_punctuation_ts = ts
+            return
+        if ts - self._last_punctuation_ts >= self.config.punctuation_interval:
+            self.punctuate_all()
+            self._last_punctuation_ts = ts
+
+    def punctuate_all(self) -> None:
+        for router in self.routers:
+            router.emit_punctuation()
+
+    def finish(self) -> None:
+        self.punctuate_all()
+        for row in self.cells:
+            for cell in row:
+                cell.flush()
+
+    # ------------------------------------------------------------------
+    # Scaling: reshape with migration (the matrix burden, now with
+    # broker re-wiring on top)
+    # ------------------------------------------------------------------
+    def reshape(self, rows: int, cols: int) -> None:
+        """Reshape the grid, migrating live state and re-wiring queues.
+
+        The distributed variant must additionally quiesce in-flight
+        traffic (a synchronous broker delivers eagerly, so draining the
+        ordering buffers via a final punctuation suffices), detach the
+        old cells' subscriptions and delete their queues.
+        """
+        if rows < 1 or cols < 1:
+            raise ScalingError("matrix reshape needs at least a 1x1 grid")
+        if self.broker.is_simulated:
+            # With scheduled deliveries, envelopes may still be in
+            # flight towards the old cells; migrating under them would
+            # lose or duplicate state.  The synchronous driver delivers
+            # eagerly, so finish() below fully quiesces it.  (In the
+            # real system this is the "stop-the-world" cost of the
+            # matrix reshape the paper argues against.)
+            raise ScalingError(
+                "distributed matrix reshape requires a quiesced "
+                "synchronous broker; drain the simulator and rebuild "
+                "the deployment instead")
+        self.finish()
+        unique_r: dict[tuple[str, int], StreamTuple] = {}
+        unique_s: dict[tuple[str, int], StreamTuple] = {}
+        for row_cells in self.cells:
+            for cell in row_cells:
+                r_tuples, s_tuples = cell.stored_state()
+                for t in r_tuples:
+                    unique_r[t.ident] = t
+                for t in s_tuples:
+                    unique_s[t.ident] = t
+        # Tear down the old cells' queues (their consumers die with the
+        # grid; queue deletion also unbinds them from the exchanges).
+        old_generation = self._cell_generation
+        for row in range(self.rows):
+            for col in range(self.cols):
+                inbox = cell_inbox(row, col)
+                queue = f"{inbox}.{inbox}.group"
+                self.channels.unsubscribe(
+                    queue, f"cell-{row}-{col}-g{old_generation}",
+                    delete_queue=True)
+
+        self._build_grid(rows, cols)
+        self._rr_row = self._rr_col = 0
+        self.migration.reshapes += 1
+        for t in sorted(unique_r.values(), key=lambda t: (t.ts, t.seq)):
+            self._migrate_store(t)
+        for t in sorted(unique_s.values(), key=lambda t: (t.ts, t.seq)):
+            self._migrate_store(t)
+
+    def _migrate_store(self, t: StreamTuple) -> None:
+        coords = self.target_coords(t)
+        for row, col in coords:
+            cell = self.cells[row][col]
+            index = cell.r_index if t.relation == "R" else cell.s_index
+            index.insert(t)
+            self.migration.tuples_migrated += 1
+            self.migration.bytes_migrated += t.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def all_cells(self) -> list[MatrixCell]:
+        return [cell for row in self.cells for cell in row]
+
+    def memory_snapshot(self, now: float = 0.0) -> MemorySnapshot:
+        return MemorySnapshot(
+            time=now,
+            per_unit_live_bytes={cell.cell_id: cell.live_bytes
+                                 for cell in self.all_cells()})
+
+    def total_stored_tuples(self) -> int:
+        return sum(cell.stored_tuples for cell in self.all_cells())

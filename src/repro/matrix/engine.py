@@ -1,0 +1,242 @@
+"""The join-matrix engine — the baseline model the paper compares against.
+
+Routing: an arriving ``r`` is assigned one *row* (round-robin, or by
+key hash for equi-joins) and replicated to **all cells of that row**
+(``cols`` messages); an ``s`` is assigned one *column* and replicated
+down it (``rows`` messages).  With a square ``√p x √p`` matrix the
+per-tuple fan-out is ``√p`` — lower than the biclique's broadcast of
+``p/2`` — but every tuple is *stored* ``√p`` times, which is the memory
+overhead (and the scaling rigidity) the join-biclique model eliminates.
+
+Scaling requires **reshaping the whole grid**: stored state must be
+re-partitioned and re-replicated to the new geometry.  :meth:`reshape`
+implements this faithfully and accounts the migrated bytes, so the E8
+elasticity benchmark can contrast it with the biclique's migration-free
+scale-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ordering import KIND_PUNCTUATION, KIND_STORE, Envelope
+from ..core.predicates import JoinPredicate
+from ..core.routing import stable_hash
+from ..core.tuples import JoinResult, StreamTuple
+from ..core.windows import FullHistoryWindow, TimeWindow
+from ..errors import ConfigurationError, ScalingError
+from ..metrics.counters import NetworkStats
+from ..metrics.latency import LatencyRecorder
+from ..metrics.memory import MemorySnapshot
+from .cell import MatrixCell
+
+ROUTER_ID = "matrix-router"
+
+
+@dataclass
+class MatrixConfig:
+    """Configuration of a join-matrix deployment.
+
+    Attributes:
+        rows / cols: grid geometry (R partitions x S partitions).
+        window: sliding window Ws.
+        archive_period: chained-index slice length (same engine-level
+            index as the biclique, for an apples-to-apples comparison).
+        partitioning: ``"hash"`` routes by join-key hash (equi-joins),
+            ``"random"`` round-robins rows/columns (theta-joins).
+        punctuation_interval: stream-time between punctuations.
+        ordered / timestamp_policy / expiry_slack: as in BicliqueConfig.
+    """
+
+    window: TimeWindow | FullHistoryWindow
+    rows: int = 2
+    cols: int = 2
+    archive_period: float | None = 30.0
+    partitioning: str = "random"
+    punctuation_interval: float = 0.02
+    ordered: bool = True
+    timestamp_policy: str = "max"
+    expiry_slack: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("matrix needs at least a 1x1 grid")
+        if self.partitioning not in ("hash", "random"):
+            raise ConfigurationError(
+                f"partitioning must be hash/random, got {self.partitioning!r}")
+
+
+@dataclass
+class MigrationStats:
+    """Cost of grid reshapes (the matrix model's scaling burden)."""
+
+    reshapes: int = 0
+    tuples_migrated: int = 0
+    bytes_migrated: int = 0
+
+
+class MatrixEngine:
+    """A join-matrix deployment with the same driver API as the biclique."""
+
+    def __init__(self, config: MatrixConfig, predicate: JoinPredicate) -> None:
+        self.config = config
+        self.predicate = predicate
+        self.results: list[JoinResult] = []
+        self.latency = LatencyRecorder()
+        self.network_stats = NetworkStats()
+        self.migration = MigrationStats()
+        self._counter = 0
+        self._rr_row = 0
+        self._rr_col = 0
+        self._now = 0.0
+        self._last_punctuation_ts: float | None = None
+        self.cells: list[list[MatrixCell]] = []
+        self._build_grid(config.rows, config.cols)
+
+    # ------------------------------------------------------------------
+    # Grid construction
+    # ------------------------------------------------------------------
+    def _build_grid(self, rows: int, cols: int) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.cells = [[self._new_cell(i, j) for j in range(cols)]
+                      for i in range(rows)]
+
+    def _new_cell(self, row: int, col: int) -> MatrixCell:
+        cell = MatrixCell(
+            row, col, self.predicate, self.config.window,
+            self.config.archive_period, self._record_result,
+            ordered=self.config.ordered,
+            timestamp_policy=self.config.timestamp_policy,
+            expiry_slack=self.config.expiry_slack)
+        cell.register_router(ROUTER_ID)
+        return cell
+
+    def _record_result(self, result: JoinResult) -> None:
+        self.results.append(result)
+        self.latency.record(max(0.0, result.produced_at - max(result.r.ts,
+                                                              result.s.ts)))
+
+    # ------------------------------------------------------------------
+    # Routing and ingestion
+    # ------------------------------------------------------------------
+    def _row_of(self, t: StreamTuple) -> int:
+        if self.config.partitioning == "hash":
+            attr = self.predicate.key_attribute("R")
+            if attr is not None:
+                return stable_hash(t[attr]) % self.rows
+        row = self._rr_row
+        self._rr_row = (self._rr_row + 1) % self.rows
+        return row
+
+    def _col_of(self, t: StreamTuple) -> int:
+        if self.config.partitioning == "hash":
+            attr = self.predicate.key_attribute("S")
+            if attr is not None:
+                return stable_hash(t[attr]) % self.cols
+        col = self._rr_col
+        self._rr_col = (self._rr_col + 1) % self.cols
+        return col
+
+    def target_cells(self, t: StreamTuple) -> list[MatrixCell]:
+        """The replication set of a tuple: one full row or column."""
+        if t.relation == "R":
+            row = self._row_of(t)
+            return list(self.cells[row])
+        col = self._col_of(t)
+        return [self.cells[i][col] for i in range(self.rows)]
+
+    def ingest(self, t: StreamTuple) -> None:
+        """Replicate one tuple to its row (R) or column (S) of cells."""
+        self._maybe_punctuate(t.ts)
+        self._now = max(self._now, t.ts)
+        envelope = Envelope(kind=KIND_STORE, router_id=ROUTER_ID,
+                            counter=self._counter, tuple=t)
+        self._counter += 1
+        for cell in self.target_cells(t):
+            self.network_stats.record("store", envelope.size_bytes())
+            cell.on_envelope(envelope, now=self._now)
+
+    def _maybe_punctuate(self, ts: float) -> None:
+        if self._last_punctuation_ts is None:
+            self._last_punctuation_ts = ts
+            return
+        if ts - self._last_punctuation_ts >= self.config.punctuation_interval:
+            self.punctuate_all()
+            self._last_punctuation_ts = ts
+
+    def punctuate_all(self) -> None:
+        envelope = Envelope(kind=KIND_PUNCTUATION, router_id=ROUTER_ID,
+                            counter=self._counter)
+        for row in self.cells:
+            for cell in row:
+                self.network_stats.record("punctuation", envelope.size_bytes())
+                cell.on_envelope(envelope, now=self._now)
+
+    def finish(self) -> None:
+        self.punctuate_all()
+        for row in self.cells:
+            for cell in row:
+                cell.flush()
+
+    # ------------------------------------------------------------------
+    # Scaling: reshape with state migration
+    # ------------------------------------------------------------------
+    def reshape(self, rows: int, cols: int, *, now: float = 0.0) -> None:
+        """Re-deploy the grid to a new geometry, migrating live state.
+
+        All stored tuples are exported from the old cells, deduplicated
+        (each tuple exists in ``cols``/``rows`` replicas) and
+        re-replicated into the new grid.  Every re-stored byte counts as
+        migration traffic — the cost the join-biclique avoids entirely.
+        """
+        if rows < 1 or cols < 1:
+            raise ScalingError("matrix reshape needs at least a 1x1 grid")
+        self.finish()  # release everything in-flight under the old grid
+        unique_r: dict[tuple[str, int], StreamTuple] = {}
+        unique_s: dict[tuple[str, int], StreamTuple] = {}
+        for row in self.cells:
+            for cell in row:
+                r_tuples, s_tuples = cell.stored_state()
+                for t in r_tuples:
+                    unique_r[t.ident] = t
+                for t in s_tuples:
+                    unique_s[t.ident] = t
+
+        self._build_grid(rows, cols)
+        self._rr_row = self._rr_col = 0
+        self.migration.reshapes += 1
+        for t in sorted(unique_r.values(), key=lambda t: (t.ts, t.seq)):
+            self._migrate_store(t)
+        for t in sorted(unique_s.values(), key=lambda t: (t.ts, t.seq)):
+            self._migrate_store(t)
+
+    def _migrate_store(self, t: StreamTuple) -> None:
+        """Re-insert one live tuple into the new grid (no re-probing:
+        results for already-seen pairs were produced pre-reshape)."""
+        targets = (self.cells[self._row_of(t)] if t.relation == "R"
+                   else [self.cells[i][self._col_of(t)]
+                         for i in range(self.rows)])
+        for cell in targets:
+            index = cell.r_index if t.relation == "R" else cell.s_index
+            index.insert(t)
+            self.migration.tuples_migrated += 1
+            self.migration.bytes_migrated += t.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Introspection (API-compatible with BicliqueEngine where sensible)
+    # ------------------------------------------------------------------
+    def all_cells(self) -> list[MatrixCell]:
+        return [cell for row in self.cells for cell in row]
+
+    def memory_snapshot(self, now: float = 0.0) -> MemorySnapshot:
+        return MemorySnapshot(
+            time=now,
+            per_unit_live_bytes={cell.cell_id: cell.live_bytes
+                                 for cell in self.all_cells()})
+
+    def total_stored_tuples(self) -> int:
+        return sum(cell.stored_tuples for cell in self.all_cells())
+
+    def total_comparisons(self) -> int:
+        return sum(cell.comparisons for cell in self.all_cells())

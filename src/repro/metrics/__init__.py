@@ -1,0 +1,17 @@
+"""Measurement utilities: counters, latency percentiles, memory models."""
+
+from .counters import CounterSet, NetworkStats, ThroughputWindow
+from .latency import LatencyRecorder, LatencySummary, percentile
+from .memory import MB, JvmHeapModel, MemorySnapshot
+
+__all__ = [
+    "CounterSet",
+    "NetworkStats",
+    "ThroughputWindow",
+    "LatencyRecorder",
+    "LatencySummary",
+    "percentile",
+    "MB",
+    "JvmHeapModel",
+    "MemorySnapshot",
+]

@@ -1,0 +1,100 @@
+"""Named counters for throughput and network accounting.
+
+The network-cost experiment (E7) and the routing-strategy comparison
+(E9) are driven entirely by these counters: every message the broker
+delivers is classified (store / join / punctuation / result) and
+attributed to the component that sent it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class CounterSet:
+    """A bag of named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def inc(self, name: str, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError(f"counters only increase; got by={by!r}")
+        self._counts[name] += by
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"CounterSet({items})"
+
+
+@dataclass
+class NetworkStats:
+    """Message/byte totals broken down by message purpose."""
+
+    store_messages: int = 0
+    join_messages: int = 0
+    punctuation_messages: int = 0
+    result_messages: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def data_messages(self) -> int:
+        """Store + join messages (the fan-out the models differ on)."""
+        return self.store_messages + self.join_messages
+
+    @property
+    def total_messages(self) -> int:
+        return (self.store_messages + self.join_messages
+                + self.punctuation_messages + self.result_messages)
+
+    def record(self, kind: str, size_bytes: int = 0, count: int = 1) -> None:
+        if kind == "store":
+            self.store_messages += count
+        elif kind == "join":
+            self.join_messages += count
+        elif kind == "punctuation":
+            self.punctuation_messages += count
+        elif kind == "result":
+            self.result_messages += count
+        else:
+            raise ValueError(f"unknown message kind {kind!r}")
+        self.bytes_sent += size_bytes * count
+
+
+@dataclass
+class ThroughputWindow:
+    """Sliding throughput estimate: events per second over recent samples.
+
+    The router uses this for its "statistics related to input data, such
+    as rate of events per second" responsibility (thesis §3.1.1).
+    """
+
+    horizon: float = 10.0
+    _samples: list[float] = field(default_factory=list)
+
+    def record(self, ts: float, count: int = 1) -> None:
+        self._samples.extend([ts] * count)
+        self._trim(ts)
+
+    def _trim(self, now: float) -> None:
+        cutoff = now - self.horizon
+        # samples are time-ordered; drop from the front
+        i = 0
+        while i < len(self._samples) and self._samples[i] < cutoff:
+            i += 1
+        if i:
+            del self._samples[:i]
+
+    def rate(self, now: float) -> float:
+        """Events per second over the trailing horizon."""
+        self._trim(now)
+        if not self._samples:
+            return 0.0
+        return len(self._samples) / self.horizon

@@ -1,0 +1,81 @@
+"""Latency recording and summary statistics.
+
+Result latency is measured per :class:`~repro.core.tuples.JoinResult`
+as ``produced_at - max(r.ts, s.ts)``: the time between the moment the
+later input tuple entered the system and the moment the matching pair
+was emitted.  The E3 benchmark reports the percentiles computed here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics over a set of latency observations."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def empty() -> "LatencySummary":
+        return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0,
+                              p99=0.0, max=0.0)
+
+
+class LatencyRecorder:
+    """Accumulates latency observations and computes percentiles."""
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency!r}")
+        self._values.append(latency)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def summary(self) -> LatencySummary:
+        if not self._values:
+            return LatencySummary.empty()
+        ordered = sorted(self._values)
+        return LatencySummary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 0.50),
+            p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99),
+            max=ordered[-1],
+        )
+
+
+def percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank-with-interpolation percentile of a sorted list.
+
+    Args:
+        ordered: observations sorted ascending (not checked, for speed).
+        q: quantile in [0, 1].
+    """
+    if not ordered:
+        raise ValueError("percentile of empty list")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    interpolated = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # Clamp away float rounding so the result stays within the bracket.
+    return min(max(interpolated, ordered[lo]), ordered[hi])

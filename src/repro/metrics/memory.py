@@ -1,0 +1,96 @@
+"""Memory accounting and the JVM-style heap footprint envelope.
+
+Two layers:
+
+1. **Live-set accounting** — each joiner reports the byte footprint of
+   its chained index (live tuples + bookkeeping).  This is the exact
+   quantity the join-biclique vs. join-matrix comparison (E2) is about:
+   biclique stores each tuple once, the matrix replicates it across a
+   row or column of units.
+
+2. **Heap envelope** — thesis Figure 21 measures *JVM heap*, not live
+   bytes.  :class:`JvmHeapModel` reproduces the tuned-GC behaviour the
+   thesis describes (``MinHeapFreeRatio=20``, ``MaxHeapFreeRatio=40``):
+   the mapped heap tracks the live set with 20–40 % headroom, trimmed
+   down when the live set shrinks, and clamped to ``-Xms``/``-Xmx``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MB = 1024 * 1024
+
+
+@dataclass
+class JvmHeapModel:
+    """Mapped-heap envelope around a live data set (thesis §5.2).
+
+    Attributes:
+        min_free_ratio: percentage of excess memory, beyond the live
+            set, below which the heap is grown (``MinHeapFreeRatio``).
+        max_free_ratio: excess percentage above which the heap is
+            trimmed (``MaxHeapFreeRatio``).
+        xms_bytes: minimum heap (thesis default 58 MB).
+        xmx_bytes: maximum heap (thesis default 926 MB).
+    """
+
+    min_free_ratio: float = 0.20
+    max_free_ratio: float = 0.40
+    xms_bytes: int = 58 * MB
+    xmx_bytes: int = 926 * MB
+    #: Fixed non-window baseline (framework, broker client, buffers):
+    #: the thesis run starts "with the memory load at 60 MB".
+    baseline_bytes: int = 60 * MB
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_free_ratio <= self.max_free_ratio:
+            raise ValueError("need 0 <= min_free_ratio <= max_free_ratio")
+        if self.xms_bytes > self.xmx_bytes:
+            raise ValueError("Xms cannot exceed Xmx")
+        self._mapped = self.xms_bytes
+
+    def update(self, live_bytes: int) -> int:
+        """Advance the envelope for the current live set; return mapped heap."""
+        live = live_bytes + self.baseline_bytes
+        lo = live * (1 + self.min_free_ratio)
+        hi = live * (1 + self.max_free_ratio)
+        if self._mapped < lo:
+            self._mapped = lo
+        elif self._mapped > hi:
+            self._mapped = hi
+        self._mapped = min(max(self._mapped, self.xms_bytes), self.xmx_bytes)
+        return int(self._mapped)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return int(self._mapped)
+
+    def utilisation(self) -> float:
+        """Mapped heap as a fraction of ``-Xmx`` (the HPA memory metric)."""
+        return self._mapped / self.xmx_bytes
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """Point-in-time memory state of a set of processing units."""
+
+    time: float
+    per_unit_live_bytes: dict[str, int]
+
+    @property
+    def total_live_bytes(self) -> int:
+        return sum(self.per_unit_live_bytes.values())
+
+    @property
+    def max_unit_live_bytes(self) -> int:
+        return max(self.per_unit_live_bytes.values(), default=0)
+
+    def imbalance(self) -> float:
+        """max/mean live bytes across units (1.0 = perfectly balanced)."""
+        if not self.per_unit_live_bytes:
+            return 1.0
+        mean = self.total_live_bytes / len(self.per_unit_live_bytes)
+        if mean == 0:
+            return 1.0
+        return self.max_unit_live_bytes / mean

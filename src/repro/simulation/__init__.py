@@ -1,0 +1,39 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package replaces the physical testbeds of the source texts (an
+Apache Storm cluster in the SIGMOD paper; Google Container Engine VMs in
+the thesis) with a reproducible simulator:
+
+- :mod:`~repro.simulation.clock` — simulated time,
+- :mod:`~repro.simulation.events` — the pending-event queue,
+- :mod:`~repro.simulation.kernel` — the :class:`Simulator` event loop,
+- :mod:`~repro.simulation.random` — named, forkable seeded RNG streams,
+- :mod:`~repro.simulation.network` — message delay models (all pairwise
+  FIFO, with controllable cross-channel disorder).
+"""
+
+from .clock import Clock, ManualClock
+from .events import Event, EventQueue
+from .kernel import Simulator
+from .network import (
+    FixedDelayNetwork,
+    JitterNetwork,
+    NetworkModel,
+    PerChannelDelayNetwork,
+    ZeroDelayNetwork,
+)
+from .random import SeededRng
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SeededRng",
+    "NetworkModel",
+    "ZeroDelayNetwork",
+    "FixedDelayNetwork",
+    "JitterNetwork",
+    "PerChannelDelayNetwork",
+]

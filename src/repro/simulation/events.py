@@ -1,0 +1,88 @@
+"""Event objects and the pending-event queue of the DES kernel.
+
+Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
+insertion counter which makes the ordering *total* and therefore the
+whole simulation deterministic: two events scheduled for the same time
+with the same priority fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+# Action signature: called with no arguments when the event fires.
+Action = Callable[[], Any]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event.
+
+    Attributes:
+        time: absolute simulated time at which the event fires.
+        priority: tie-breaker for events at the same time (lower first).
+        seq: insertion sequence number (assigned by the queue).
+        action: zero-argument callable executed when the event fires.
+        label: human-readable description, used in traces.
+        cancelled: cancelled events are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Action = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the kernel skips it when it comes due."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, action: Action, *, priority: int = 0,
+             label: str = "") -> Event:
+        """Schedule ``action`` at absolute ``time`` and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        event = Event(time=time, priority=priority, seq=next(self._counter),
+                      action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            SimulationError: if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Return the fire time of the next live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

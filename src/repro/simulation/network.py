@@ -1,0 +1,101 @@
+"""Network delay models for the simulated cluster.
+
+The join-biclique dataflow is sensitive to *relative* message ordering
+across different router→joiner channels (thesis §3.3, Figure 8).  The
+models here decide how long each message spends "on the wire" so that
+the simulator can both (a) model realistic latency and (b) deliberately
+provoke the out-of-order interleavings the ordering protocol must fix.
+
+All models guarantee **pairwise FIFO**: two messages sent on the same
+``(sender, receiver)`` channel are never reordered, matching the AMQP
+per-queue guarantee the thesis builds on (Definition 8).  Cross-channel
+order is where the models differ.
+"""
+
+from __future__ import annotations
+
+from .random import SeededRng
+
+
+class NetworkModel:
+    """Base class: delivery delay per ``(sender, receiver)`` channel.
+
+    Subclasses override :meth:`raw_delay`; the public :meth:`delay`
+    enforces pairwise FIFO by never returning a delivery time earlier
+    than the previous delivery on the same channel.
+    """
+
+    def __init__(self) -> None:
+        self._last_delivery: dict[tuple[str, str], float] = {}
+
+    def raw_delay(self, sender: str, receiver: str) -> float:
+        raise NotImplementedError
+
+    def delay(self, sender: str, receiver: str, now: float) -> float:
+        """Return the (FIFO-corrected) delay for a message sent ``now``."""
+        channel = (sender, receiver)
+        arrival = now + self.raw_delay(sender, receiver)
+        floor = self._last_delivery.get(channel, 0.0)
+        arrival = max(arrival, floor)
+        self._last_delivery[channel] = arrival
+        return arrival - now
+
+
+class ZeroDelayNetwork(NetworkModel):
+    """Instant delivery; cross-channel order equals send order."""
+
+    def raw_delay(self, sender: str, receiver: str) -> float:
+        return 0.0
+
+
+class FixedDelayNetwork(NetworkModel):
+    """Every message takes exactly ``latency`` seconds."""
+
+    def __init__(self, latency: float) -> None:
+        super().__init__()
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency!r}")
+        self.latency = latency
+
+    def raw_delay(self, sender: str, receiver: str) -> float:
+        return self.latency
+
+
+class JitterNetwork(NetworkModel):
+    """Uniform jitter in ``[base, base + jitter]`` seconds per message.
+
+    Because different channels draw independent delays, messages sent
+    close together on *different* channels frequently swap order — the
+    exact disorder source described in thesis §3.3 ("stream items being
+    routed by different paths in a network").
+    """
+
+    def __init__(self, base: float, jitter: float, rng: SeededRng) -> None:
+        super().__init__()
+        if base < 0 or jitter < 0:
+            raise ValueError("base and jitter must be >= 0")
+        self.base = base
+        self.jitter = jitter
+        self._rng = rng
+
+    def raw_delay(self, sender: str, receiver: str) -> float:
+        return self.base + self._rng.random() * self.jitter
+
+
+class PerChannelDelayNetwork(NetworkModel):
+    """A fixed, possibly different, delay per channel.
+
+    Useful in tests to construct *exact* adversarial interleavings such
+    as the duplicate/missing-result scenarios of Figure 8(c)/(d).
+    """
+
+    def __init__(self, default: float = 0.0) -> None:
+        super().__init__()
+        self.default = default
+        self._per_channel: dict[tuple[str, str], float] = {}
+
+    def set_delay(self, sender: str, receiver: str, latency: float) -> None:
+        self._per_channel[(sender, receiver)] = latency
+
+    def raw_delay(self, sender: str, receiver: str) -> float:
+        return self._per_channel.get((sender, receiver), self.default)

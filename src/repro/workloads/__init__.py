@@ -1,0 +1,39 @@
+"""Workload generators: key distributions, rate profiles, stream pairs.
+
+Substitutes for the data the source texts used (production streams,
+TPC-H-derived streams, the thesis's stepped-rate generator) — see
+DESIGN.md's substitution table.
+"""
+
+from .distributions import KeyDistribution, SequentialKeys, UniformKeys, ZipfKeys
+from .disorder import bounded_shuffle, displacement_profile
+from .generators import BandJoinWorkload, EquiJoinWorkload
+from .replay import load_trace, save_trace, split_relations
+from .rates import (
+    ConstantRate,
+    RateProfile,
+    StepRateProfile,
+    arrival_times,
+    thesis_rate_profile,
+)
+from .tpch import TpchStreamWorkload
+
+__all__ = [
+    "KeyDistribution",
+    "SequentialKeys",
+    "UniformKeys",
+    "ZipfKeys",
+    "bounded_shuffle",
+    "displacement_profile",
+    "BandJoinWorkload",
+    "EquiJoinWorkload",
+    "ConstantRate",
+    "RateProfile",
+    "StepRateProfile",
+    "arrival_times",
+    "thesis_rate_profile",
+    "TpchStreamWorkload",
+    "load_trace",
+    "save_trace",
+    "split_relations",
+]

@@ -1,0 +1,47 @@
+"""Disorder injection for the ordering-protocol experiments (E10).
+
+Real deployments see out-of-order *delivery* because messages take
+different network paths (thesis §3.3).  In the simulator that disorder
+comes from :class:`~repro.simulation.network.JitterNetwork`; this
+module additionally provides *arrival-order* perturbation so the
+synchronous driver can be stressed without a simulator: a bounded
+shuffle displaces each element at most ``max_displacement`` positions
+from where it started, modelling bounded network skew.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from ..errors import ConfigurationError
+from ..simulation.random import SeededRng
+
+T = TypeVar("T")
+
+
+def bounded_shuffle(items: Sequence[T], max_displacement: int,
+                    rng: SeededRng) -> list[T]:
+    """Permutation where no element moves more than ``max_displacement``.
+
+    Implementation: tag each position ``i`` with a noisy sort key
+    ``i + U(0, max_displacement)`` and sort.  An element at position
+    ``i`` can end anywhere in ``[i - max_displacement,
+    i + max_displacement]``, and displacement 0 returns the input
+    order unchanged.
+    """
+    if max_displacement < 0:
+        raise ConfigurationError(
+            f"max_displacement must be >= 0, got {max_displacement}")
+    if max_displacement == 0:
+        return list(items)
+    keyed = [(i + rng.random() * max_displacement, i, item)
+             for i, item in enumerate(items)]
+    keyed.sort(key=lambda entry: (entry[0], entry[1]))
+    return [item for _, _, item in keyed]
+
+
+def displacement_profile(original: Sequence[T],
+                         shuffled: Sequence[T]) -> list[int]:
+    """Per-element |new_pos - old_pos| (for asserting the bound)."""
+    index_of = {id(item): i for i, item in enumerate(original)}
+    return [abs(i - index_of[id(item)]) for i, item in enumerate(shuffled)]

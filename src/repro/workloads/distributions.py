@@ -1,0 +1,88 @@
+"""Join-key distributions.
+
+Skew is the central stressor for content-sensitive (hash) routing: a
+zipfian key distribution concentrates storage and probe load on the
+units owning hot keys, while content-insensitive (random) routing stays
+balanced by construction — the E6 experiment.  All distributions draw
+from a :class:`~repro.simulation.random.SeededRng` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..simulation.random import SeededRng
+
+
+class KeyDistribution:
+    """Base class: draw one join-key value per call."""
+
+    def sample(self, rng: SeededRng) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformKeys(KeyDistribution):
+    """Keys drawn uniformly from ``{0, ..., n_keys - 1}``."""
+
+    n_keys: int
+
+    def __post_init__(self) -> None:
+        if self.n_keys < 1:
+            raise ConfigurationError(f"n_keys must be >= 1, got {self.n_keys}")
+
+    def sample(self, rng: SeededRng) -> int:
+        return rng.randint(0, self.n_keys - 1)
+
+
+class ZipfKeys(KeyDistribution):
+    """Zipfian keys: P(key = i) ∝ 1 / (i + 1)^theta.
+
+    ``theta = 0`` degenerates to uniform; ``theta = 1`` is the classic
+    heavy skew used in the stream-join literature.  The CDF is
+    precomputed, so sampling is O(log n).
+    """
+
+    def __init__(self, n_keys: int, theta: float) -> None:
+        if n_keys < 1:
+            raise ConfigurationError(f"n_keys must be >= 1, got {n_keys}")
+        if theta < 0:
+            raise ConfigurationError(f"theta must be >= 0, got {theta}")
+        self.n_keys = n_keys
+        self.theta = theta
+        weights = [1.0 / (i + 1) ** theta for i in range(n_keys)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: list[float] = []
+        for w in weights:
+            cumulative += w / total
+            self._cdf.append(cumulative)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def sample(self, rng: SeededRng) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def probability(self, key: int) -> float:
+        """Exact probability mass of one key (for analytic checks)."""
+        if not 0 <= key < self.n_keys:
+            raise ConfigurationError(f"key {key} out of range")
+        lo = self._cdf[key - 1] if key > 0 else 0.0
+        return self._cdf[key] - lo
+
+
+@dataclass
+class SequentialKeys(KeyDistribution):
+    """Deterministic round-robin keys 0, 1, ..., n-1, 0, 1, ...
+
+    Useful in tests where exact match counts must be predictable.
+    """
+
+    n_keys: int
+    _next: int = 0
+
+    def sample(self, rng: SeededRng) -> int:
+        key = self._next % self.n_keys
+        self._next += 1
+        return key

@@ -1,0 +1,118 @@
+"""Two-stream workload generators.
+
+The common shape of every experiment's input: two relations R and S
+arriving interleaved at a controlled total rate, with join keys drawn
+from a configurable distribution.  Generators produce either
+materialised streams (for the synchronous engine driver) or lazy
+arrival iterators (for the discrete-event cluster runtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.streams import StreamSource
+from ..core.tuples import StreamTuple
+from ..errors import ConfigurationError
+from ..simulation.random import SeededRng
+from .distributions import KeyDistribution, UniformKeys
+from .rates import RateProfile, arrival_times
+
+
+@dataclass
+class EquiJoinWorkload:
+    """An equi-join workload: both relations share the key attribute "k".
+
+    Attributes:
+        keys: join-key distribution (shared by both relations).
+        r_fraction: probability an arrival belongs to R (0.5 = balanced).
+        payload_bytes: size of the opaque payload string per tuple, to
+            make the memory experiments byte-meaningful.
+        seed: experiment seed.
+    """
+
+    keys: KeyDistribution = field(default_factory=lambda: UniformKeys(1000))
+    r_fraction: float = 0.5
+    payload_bytes: int = 64
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.r_fraction < 1:
+            raise ConfigurationError("r_fraction must be in (0, 1)")
+        if self.payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be >= 0")
+
+    def arrivals(self, profile: RateProfile, duration: float, *,
+                 process: str = "deterministic") -> Iterator[StreamTuple]:
+        """Lazy interleaved arrival sequence over ``[0, duration)``."""
+        rng = SeededRng(self.seed, "equi-workload")
+        side_rng = rng.fork("side")
+        key_rng = rng.fork("keys")
+        r_source = StreamSource("R")
+        s_source = StreamSource("S")
+        payload = "x" * self.payload_bytes
+        for ts in arrival_times(profile, duration, process=process,
+                                rng=rng.fork("arrivals")):
+            key = self.keys.sample(key_rng)
+            if side_rng.random() < self.r_fraction:
+                yield r_source.emit(ts, {"k": key, "payload": payload})
+            else:
+                yield s_source.emit(ts, {"k": key, "payload": payload})
+
+    def materialise(self, profile: RateProfile, duration: float, *,
+                    process: str = "deterministic"
+                    ) -> tuple[list[StreamTuple], list[StreamTuple]]:
+        """Materialised ``(r_stream, s_stream)`` pair."""
+        r_stream: list[StreamTuple] = []
+        s_stream: list[StreamTuple] = []
+        for t in self.arrivals(profile, duration, process=process):
+            (r_stream if t.relation == "R" else s_stream).append(t)
+        return r_stream, s_stream
+
+
+@dataclass
+class BandJoinWorkload:
+    """A band-join workload over numeric values (theta-join benchmark).
+
+    Both relations carry a numeric attribute ``v`` drawn uniformly from
+    ``[0, value_range)``; the predicate of interest is
+    ``|R.v - S.v| <= band``.  Expected selectivity per pair is about
+    ``2 * band / value_range``, a knob the benchmarks sweep.
+    """
+
+    value_range: float = 1000.0
+    r_fraction: float = 0.5
+    payload_bytes: int = 64
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.value_range <= 0:
+            raise ConfigurationError("value_range must be positive")
+        if not 0 < self.r_fraction < 1:
+            raise ConfigurationError("r_fraction must be in (0, 1)")
+
+    def arrivals(self, profile: RateProfile, duration: float, *,
+                 process: str = "deterministic") -> Iterator[StreamTuple]:
+        rng = SeededRng(self.seed, "band-workload")
+        side_rng = rng.fork("side")
+        value_rng = rng.fork("values")
+        r_source = StreamSource("R")
+        s_source = StreamSource("S")
+        payload = "x" * self.payload_bytes
+        for ts in arrival_times(profile, duration, process=process,
+                                rng=rng.fork("arrivals")):
+            value = value_rng.uniform(0.0, self.value_range)
+            if side_rng.random() < self.r_fraction:
+                yield r_source.emit(ts, {"v": value, "payload": payload})
+            else:
+                yield s_source.emit(ts, {"v": value, "payload": payload})
+
+    def materialise(self, profile: RateProfile, duration: float, *,
+                    process: str = "deterministic"
+                    ) -> tuple[list[StreamTuple], list[StreamTuple]]:
+        r_stream: list[StreamTuple] = []
+        s_stream: list[StreamTuple] = []
+        for t in self.arrivals(profile, duration, process=process):
+            (r_stream if t.relation == "R" else s_stream).append(t)
+        return r_stream, s_stream

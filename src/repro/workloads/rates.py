@@ -1,0 +1,110 @@
+"""Input-rate profiles and arrival processes.
+
+Thesis Figures 20/21 drive the system with a stepped total input rate:
+300 tuples/s for 10 minutes, 400 t/s until minute 40, 200 t/s until
+minute 50, then 300 t/s to the end of the hour.
+:func:`thesis_rate_profile` reproduces exactly that shape (optionally
+scaled, since the simulator can trade rate against the CPU cost model
+without changing the dynamics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import ConfigurationError
+from ..simulation.random import SeededRng
+
+
+class RateProfile:
+    """Base class: instantaneous arrival rate (tuples/second) at time t."""
+
+    def rate(self, t: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantRate(RateProfile):
+    """A flat arrival rate."""
+
+    tuples_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.tuples_per_second <= 0:
+            raise ConfigurationError("rate must be positive")
+
+    def rate(self, t: float) -> float:
+        return self.tuples_per_second
+
+
+class StepRateProfile(RateProfile):
+    """A piecewise-constant rate: ``[(start_time, rate), ...]``.
+
+    Steps must start at 0 and be strictly increasing in time.
+    """
+
+    def __init__(self, steps: Sequence[tuple[float, float]]) -> None:
+        if not steps:
+            raise ConfigurationError("need at least one step")
+        if steps[0][0] != 0:
+            raise ConfigurationError("first step must start at time 0")
+        last = -1.0
+        for start, rate in steps:
+            if start <= last:
+                raise ConfigurationError("step times must strictly increase")
+            if rate <= 0:
+                raise ConfigurationError(f"rates must be positive, got {rate}")
+            last = start
+        self.steps = list(steps)
+
+    def rate(self, t: float) -> float:
+        current = self.steps[0][1]
+        for start, rate in self.steps:
+            if t >= start:
+                current = rate
+            else:
+                break
+        return current
+
+
+def thesis_rate_profile(scale: float = 1.0) -> StepRateProfile:
+    """The §5.2 input profile: 300/400/200/300 t/s at minutes 0/10/40/50."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    return StepRateProfile([
+        (0.0, 300.0 * scale),
+        (600.0, 400.0 * scale),
+        (2400.0, 200.0 * scale),
+        (3000.0, 300.0 * scale),
+    ])
+
+
+def arrival_times(profile: RateProfile, duration: float, *,
+                  process: str = "deterministic",
+                  rng: SeededRng | None = None) -> Iterator[float]:
+    """Arrival timestamps in ``[0, duration)`` under a rate profile.
+
+    Args:
+        process: ``"deterministic"`` (evenly spaced at the local rate)
+            or ``"poisson"`` (exponential gaps, needs ``rng``).
+    """
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    if process not in ("deterministic", "poisson"):
+        raise ConfigurationError(f"unknown arrival process {process!r}")
+    if process == "poisson" and rng is None:
+        raise ConfigurationError("poisson arrivals need an rng")
+
+    # The epsilon guard absorbs float accumulation error so that, e.g.,
+    # a 10 t/s deterministic stream over 1 second yields exactly 10
+    # arrivals rather than an 11th at t = 0.9999999999999999.
+    epsilon = 1e-9 * max(1.0, duration)
+    t = 0.0
+    while t < duration - epsilon:
+        yield t
+        rate = profile.rate(t)
+        if process == "deterministic":
+            t += 1.0 / rate
+        else:
+            t += rng.expovariate(rate)

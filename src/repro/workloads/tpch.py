@@ -1,0 +1,101 @@
+"""A TPC-H-derived streaming workload.
+
+The stream-join literature (including the BiStream evaluation) builds
+equi-join workloads by streaming TPC-H's ``Orders`` and ``Lineitem``
+tables in timestamp order and joining on ``orderkey``.  We cannot ship
+TPC-H data, so this module *synthesises* a statistically similar pair
+of streams:
+
+- each order has a unique ``orderkey``, a customer, and a total price;
+- each order is followed (within a configurable spread) by 1–7 line
+  items referencing its ``orderkey`` (TPC-H's lineitem multiplicity),
+  carrying part, quantity and extended price attributes;
+- both streams are emitted in timestamp order at a configurable rate.
+
+The join ``Orders ⋈ Lineitem ON orderkey`` then has the same
+key-multiplicity structure as the TPC-H-based experiments: every
+lineitem matches exactly one order (if it is still inside the window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.streams import StreamSource
+from ..core.tuples import StreamTuple
+from ..errors import ConfigurationError
+from ..simulation.random import SeededRng
+
+
+@dataclass
+class TpchStreamWorkload:
+    """Synthetic Orders/Lineitem stream pair joined on ``orderkey``.
+
+    Attributes:
+        orders_per_second: order arrival rate.
+        lineitem_spread: line items of an order arrive within this many
+            seconds after the order.
+        max_lineitems: per-order multiplicity is uniform in
+            ``[1, max_lineitems]`` (TPC-H uses 7).
+        seed: experiment seed.
+    """
+
+    orders_per_second: float = 100.0
+    lineitem_spread: float = 5.0
+    max_lineitems: int = 7
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.orders_per_second <= 0:
+            raise ConfigurationError("orders_per_second must be positive")
+        if self.lineitem_spread < 0:
+            raise ConfigurationError("lineitem_spread must be >= 0")
+        if self.max_lineitems < 1:
+            raise ConfigurationError("max_lineitems must be >= 1")
+
+    def generate(self, duration: float
+                 ) -> tuple[list[StreamTuple], list[StreamTuple]]:
+        """Materialise ``(orders_stream, lineitem_stream)`` over
+        ``[0, duration)``, each in timestamp order.
+
+        Orders are emitted as relation ``"R"`` and line items as
+        relation ``"S"`` so they plug directly into the engines.
+        """
+        rng = SeededRng(self.seed, "tpch")
+        count_rng = rng.fork("lineitem-count")
+        spread_rng = rng.fork("lineitem-spread")
+        price_rng = rng.fork("prices")
+
+        orders = StreamSource("R")
+        order_stream: list[StreamTuple] = []
+        lineitem_records: list[tuple[float, dict]] = []
+
+        gap = 1.0 / self.orders_per_second
+        orderkey = 0
+        ts = 0.0
+        epsilon = 1e-9 * max(1.0, duration)  # float-accumulation guard
+        while ts < duration - epsilon:
+            orderkey += 1
+            order_stream.append(orders.emit(ts, {
+                "orderkey": orderkey,
+                "custkey": 1 + (orderkey * 7919) % 1500,
+                "totalprice": round(price_rng.uniform(100.0, 50000.0), 2),
+            }))
+            n_items = count_rng.randint(1, self.max_lineitems)
+            for line in range(1, n_items + 1):
+                item_ts = ts + spread_rng.uniform(0.0, self.lineitem_spread)
+                lineitem_records.append((item_ts, {
+                    "orderkey": orderkey,
+                    "linenumber": line,
+                    "partkey": 1 + (orderkey * 31 + line) % 2000,
+                    "quantity": count_rng.randint(1, 50),
+                    "extendedprice": round(price_rng.uniform(10.0, 5000.0), 2),
+                }))
+            ts += gap
+
+        lineitem_records.sort(key=lambda rec: rec[0])
+        lineitems = StreamSource("S")
+        lineitem_stream = [lineitems.emit(item_ts, values)
+                           for item_ts, values in lineitem_records
+                           if item_ts < duration]
+        return order_stream, lineitem_stream

@@ -1,0 +1,178 @@
+"""Tests for repro.broker.broker (publish/deliver, sync and simulated)."""
+
+import pytest
+
+from repro.broker import Broker, Message
+from repro.errors import BrokerError, UnknownExchangeError, UnknownQueueError
+from repro.simulation import PerChannelDelayNetwork, Simulator
+
+
+def collect(sink):
+    def cb(delivery):
+        sink.append(delivery)
+    return cb
+
+
+class TestTopology:
+    def test_declare_exchange_idempotent(self):
+        broker = Broker()
+        first = broker.declare_exchange("x", "topic")
+        second = broker.declare_exchange("x", "topic")
+        assert first is second
+
+    def test_redeclare_with_other_type_rejected(self):
+        broker = Broker()
+        broker.declare_exchange("x", "topic")
+        with pytest.raises(BrokerError):
+            broker.declare_exchange("x", "fanout")
+
+    def test_publish_to_unknown_exchange(self):
+        with pytest.raises(UnknownExchangeError):
+            Broker().publish("ghost", Message(routing_key="k", payload=1))
+
+    def test_bind_unknown_queue(self):
+        broker = Broker()
+        broker.declare_exchange("x")
+        with pytest.raises(UnknownQueueError):
+            broker.bind("x", "ghost")
+
+    def test_network_requires_simulator(self):
+        with pytest.raises(BrokerError):
+            Broker(network=PerChannelDelayNetwork())
+
+    def test_delete_queue_removes_bindings(self):
+        broker = Broker()
+        broker.declare_exchange("x", "fanout")
+        broker.declare_queue("q")
+        broker.bind("x", "q")
+        broker.delete_queue("q")
+        assert broker.publish("x", Message(routing_key="", payload=1)) == 0
+
+
+class TestSynchronousDelivery:
+    def test_publish_delivers_immediately(self):
+        broker = Broker()
+        broker.declare_exchange("x", "fanout")
+        broker.declare_queue("q")
+        broker.bind("x", "q")
+        seen = []
+        broker.consume("q", "c1", collect(seen))
+        broker.publish("x", Message(routing_key="", payload="hello"))
+        assert [d.message.payload for d in seen] == ["hello"]
+
+    def test_delivery_metadata(self):
+        broker = Broker()
+        broker.declare_exchange("x", "fanout")
+        broker.declare_queue("q")
+        broker.bind("x", "q")
+        seen = []
+        broker.consume("q", "c1", collect(seen))
+        broker.publish("x", Message(routing_key="", payload=1, sender="src"))
+        delivery = seen[0]
+        assert delivery.queue == "q"
+        assert delivery.consumer == "c1"
+        assert delivery.message.sender == "src"
+
+    def test_backlog_drains_on_late_consumer(self):
+        broker = Broker()
+        broker.declare_exchange("x", "fanout")
+        broker.declare_queue("q")
+        broker.bind("x", "q")
+        broker.publish("x", Message(routing_key="", payload=1))
+        broker.publish("x", Message(routing_key="", payload=2))
+        seen = []
+        broker.consume("q", "c1", collect(seen))
+        assert [d.message.payload for d in seen] == [1, 2]
+
+    def test_competing_consumers_split_messages(self):
+        broker = Broker()
+        broker.declare_exchange("x", "fanout")
+        broker.declare_queue("q")
+        broker.bind("x", "q")
+        a, b = [], []
+        broker.consume("q", "a", collect(a))
+        broker.consume("q", "b", collect(b))
+        for i in range(6):
+            broker.publish("x", Message(routing_key="", payload=i))
+        assert len(a) == 3 and len(b) == 3
+        assert {d.message.payload for d in a} | {d.message.payload for d in b} \
+            == set(range(6))
+
+    def test_fanout_to_two_queues_duplicates(self):
+        broker = Broker()
+        broker.declare_exchange("x", "fanout")
+        for q in ("q1", "q2"):
+            broker.declare_queue(q)
+            broker.bind("x", q)
+        seen = []
+        broker.consume("q1", "c1", collect(seen))
+        broker.consume("q2", "c2", collect(seen))
+        broker.publish("x", Message(routing_key="", payload="m"))
+        assert len(seen) == 2
+
+    def test_counters(self):
+        broker = Broker()
+        broker.declare_exchange("x", "fanout")
+        broker.declare_queue("q")
+        broker.bind("x", "q")
+        broker.consume("q", "c", collect([]))
+        broker.publish("x", Message(routing_key="", payload=1))
+        assert broker.published == 1
+        assert broker.delivered == 1
+
+    def test_on_deliver_hook(self):
+        broker = Broker()
+        broker.declare_exchange("x", "fanout")
+        broker.declare_queue("q")
+        broker.bind("x", "q")
+        broker.consume("q", "c", collect([]))
+        hook_calls = []
+        broker.on_deliver = lambda d: hook_calls.append(d.message.payload)
+        broker.publish("x", Message(routing_key="", payload=9))
+        assert hook_calls == [9]
+
+
+class TestSimulatedDelivery:
+    def _broker(self):
+        sim = Simulator()
+        net = PerChannelDelayNetwork(default=0.0)
+        broker = Broker(sim, net)
+        broker.declare_exchange("x", "fanout")
+        return sim, net, broker
+
+    def test_delivery_happens_at_delayed_time(self):
+        sim, net, broker = self._broker()
+        broker.declare_queue("q")
+        broker.bind("x", "q")
+        times = []
+        broker.consume("q", "c", lambda d: times.append(d.time))
+        net.set_delay("src", "c", 0.5)
+        broker.publish("x", Message(routing_key="", payload=1, sender="src"))
+        sim.run()
+        assert times == [0.5]
+
+    def test_cross_channel_reordering_happens(self):
+        sim, net, broker = self._broker()
+        order = []
+        for q, consumer in (("q1", "slow"), ("q2", "fast")):
+            broker.declare_queue(q)
+            broker.bind("x", q)
+            broker.consume(q, consumer,
+                           lambda d, c=consumer: order.append(c))
+        net.set_delay("src", "slow", 1.0)
+        net.set_delay("src", "fast", 0.0)
+        broker.publish("x", Message(routing_key="", payload=1, sender="src"))
+        sim.run()
+        assert order == ["fast", "slow"]
+
+    def test_same_channel_stays_fifo(self):
+        sim, net, broker = self._broker()
+        broker.declare_queue("q")
+        broker.bind("x", "q")
+        payloads = []
+        broker.consume("q", "c", lambda d: payloads.append(d.message.payload))
+        net.set_delay("src", "c", 0.2)
+        for i in range(10):
+            broker.publish("x", Message(routing_key="", payload=i, sender="src"))
+        sim.run()
+        assert payloads == list(range(10))

@@ -1,0 +1,91 @@
+"""Gap-filling broker tests: deletion errors, simulated partitions,
+message identity/size accounting."""
+
+import pytest
+
+from repro.broker import (
+    MESSAGE_OVERHEAD_BYTES,
+    Broker,
+    ChannelLayer,
+    Message,
+)
+from repro.core.ordering import Envelope, KIND_STORE
+from repro.core.tuples import StreamTuple
+from repro.errors import UnknownQueueError
+from repro.simulation import FixedDelayNetwork, Simulator
+
+
+class TestBrokerErrors:
+    def test_delete_unknown_queue(self):
+        with pytest.raises(UnknownQueueError):
+            Broker().delete_queue("ghost")
+
+    def test_consume_unknown_queue(self):
+        with pytest.raises(UnknownQueueError):
+            Broker().consume("ghost", "c", lambda d: None)
+
+    def test_cancel_consumer_unknown_queue(self):
+        with pytest.raises(UnknownQueueError):
+            Broker().cancel_consumer("ghost", "c")
+
+
+class TestMessageAccounting:
+    def test_message_ids_are_unique_and_increasing(self):
+        a = Message(routing_key="k", payload=1)
+        b = Message(routing_key="k", payload=2)
+        assert b.message_id > a.message_id
+
+    def test_plain_payload_charged_overhead_only(self):
+        assert Message(routing_key="k", payload={"x": 1}).size_bytes() \
+            == MESSAGE_OVERHEAD_BYTES
+
+    def test_sized_payload_included(self):
+        t = StreamTuple("R", 0.0, {"k": 1})
+        env = Envelope(kind=KIND_STORE, router_id="r0", counter=0, tuple=t)
+        msg = Message(routing_key="k", payload=env)
+        assert msg.size_bytes() == MESSAGE_OVERHEAD_BYTES + env.size_bytes()
+
+
+class TestSimulatedPartitions:
+    def test_partitioned_delivery_respects_network_delay(self):
+        sim = Simulator()
+        broker = Broker(sim, FixedDelayNetwork(0.25))
+        layer = ChannelLayer(broker)
+        layer.declare_partitioned("dest", 2)
+        seen = []
+        layer.subscribe_partition("dest", 1, "c1",
+                                  lambda d: seen.append((d.time,
+                                                         d.message.payload)))
+        layer.send_to_partition("dest", 1, "x", sender="p")
+        layer.send_to_partition("dest", 0, "ignored", sender="p")
+        sim.run()
+        assert seen == [(0.25, "x")]
+
+    def test_partition_fifo_under_delay(self):
+        sim = Simulator()
+        broker = Broker(sim, FixedDelayNetwork(0.1))
+        layer = ChannelLayer(broker)
+        layer.declare_partitioned("dest", 1)
+        seen = []
+        layer.subscribe_partition("dest", 0, "c",
+                                  lambda d: seen.append(d.message.payload))
+        for i in range(5):
+            layer.send_to_partition("dest", 0, i, sender="p")
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestUnsubscribeSemantics:
+    def test_unsubscribe_keeps_queue_by_default(self):
+        layer = ChannelLayer(Broker())
+        queue = layer.subscribe("dest", "a", lambda d: None, group="g")
+        layer.unsubscribe(queue, "a")
+        assert queue in layer.broker.queue_names()
+
+    def test_unsubscribe_with_delete(self):
+        layer = ChannelLayer(Broker())
+        queue = layer.subscribe("dest", "a", lambda d: None, group="g")
+        layer.unsubscribe(queue, "a", delete_queue=True)
+        assert queue not in layer.broker.queue_names()
+        # messages to the destination now route nowhere
+        assert layer.send("dest", "m") == 0

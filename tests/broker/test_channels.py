@@ -1,0 +1,86 @@
+"""Tests for repro.broker.channels (Spring-Cloud-Stream semantics)."""
+
+import pytest
+
+from repro.broker import Broker, ChannelLayer
+from repro.errors import BrokerError
+
+
+def collect(sink):
+    def cb(delivery):
+        sink.append(delivery.message.payload)
+    return cb
+
+
+class TestConsumerGroups:
+    def test_group_members_compete(self):
+        """Only one member of a consumer group sees each message."""
+        layer = ChannelLayer(Broker())
+        a, b = [], []
+        layer.subscribe("dest", "a", collect(a), group="g")
+        layer.subscribe("dest", "b", collect(b), group="g")
+        for i in range(6):
+            layer.send("dest", i)
+        assert len(a) + len(b) == 6
+        assert len(a) == 3 and len(b) == 3
+
+    def test_separate_groups_each_get_a_copy(self):
+        layer = ChannelLayer(Broker())
+        g1, g2 = [], []
+        layer.subscribe("dest", "a", collect(g1), group="g1")
+        layer.subscribe("dest", "b", collect(g2), group="g2")
+        layer.send("dest", "m")
+        assert g1 == ["m"] and g2 == ["m"]
+
+    def test_anonymous_subscribers_are_publish_subscribe(self):
+        layer = ChannelLayer(Broker())
+        a, b = [], []
+        layer.subscribe("dest", "a", collect(a))
+        layer.subscribe("dest", "b", collect(b))
+        layer.send("dest", "m")
+        assert a == ["m"] and b == ["m"]
+
+    def test_durable_group_queue_buffers_while_unsubscribed(self):
+        """Group subscriptions are durable: messages sent while all group
+        members are down are delivered when a member reattaches."""
+        layer = ChannelLayer(Broker())
+        seen = []
+        queue = layer.subscribe("dest", "a", collect(seen), group="g")
+        layer.unsubscribe(queue, "a")
+        layer.send("dest", "while-down")
+        layer.subscribe("dest", "a2", collect(seen), group="g")
+        assert seen == ["while-down"]
+
+    def test_send_returns_queues_hit(self):
+        layer = ChannelLayer(Broker())
+        layer.subscribe("dest", "a", collect([]), group="g")
+        layer.subscribe("dest", "b", collect([]))
+        assert layer.send("dest", 1) == 2
+
+
+class TestPartitionedDestinations:
+    def test_partition_routing(self):
+        layer = ChannelLayer(Broker())
+        layer.declare_partitioned("dest", 3)
+        sinks = {i: [] for i in range(3)}
+        for i in range(3):
+            layer.subscribe_partition("dest", i, f"c{i}", collect(sinks[i]))
+        layer.send_to_partition("dest", 0, "a")
+        layer.send_to_partition("dest", 2, "b")
+        assert sinks[0] == ["a"]
+        assert sinks[1] == []
+        assert sinks[2] == ["b"]
+
+    def test_zero_partitions_rejected(self):
+        layer = ChannelLayer(Broker())
+        with pytest.raises(BrokerError):
+            layer.declare_partitioned("dest", 0)
+
+    def test_redeclare_partitioned_is_idempotent(self):
+        layer = ChannelLayer(Broker())
+        layer.declare_partitioned("dest", 2)
+        layer.declare_partitioned("dest", 2)
+        seen = []
+        layer.subscribe_partition("dest", 0, "c", collect(seen))
+        layer.send_to_partition("dest", 0, "x")
+        assert seen == ["x"]  # exactly one binding despite redeclare

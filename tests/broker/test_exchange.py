@@ -1,0 +1,89 @@
+"""Tests for repro.broker.exchange (routing disciplines, topic matching)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.broker import Exchange, topic_matches
+from repro.errors import BrokerError
+
+
+class TestTopicMatching:
+    @pytest.mark.parametrize("pattern,key,expected", [
+        ("a.b.c", "a.b.c", True),
+        ("a.b.c", "a.b.d", False),
+        ("*", "a", True),
+        ("*", "a.b", False),
+        ("a.*", "a.b", True),
+        ("a.*", "a", False),
+        ("*.b", "a.b", True),
+        ("#", "", True),
+        ("#", "a.b.c", True),
+        ("a.#", "a", True),
+        ("a.#", "a.b.c.d", True),
+        ("a.#", "b.c", False),
+        ("#.c", "a.b.c", True),
+        ("#.c", "c", True),
+        ("a.*.c", "a.b.c", True),
+        ("a.*.c", "a.c", False),
+        ("a.#.c", "a.c", True),
+        ("a.#.c", "a.x.y.c", True),
+        ("*.#", "a", True),
+        ("*.#", "a.b.c", True),
+    ])
+    def test_cases(self, pattern, key, expected):
+        assert topic_matches(pattern, key) is expected
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=5))
+    def test_exact_pattern_always_matches_itself(self, words):
+        key = ".".join(words)
+        assert topic_matches(key, key)
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=5))
+    def test_hash_matches_everything(self, words):
+        assert topic_matches("#", ".".join(words))
+
+    @given(st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=4))
+    def test_star_per_word_matches(self, words):
+        pattern = ".".join("*" for _ in words)
+        assert topic_matches(pattern, ".".join(words))
+
+
+class TestExchangeRouting:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(BrokerError):
+            Exchange(name="x", type="bogus")
+
+    def test_fanout_routes_to_all(self):
+        ex = Exchange(name="x", type="fanout")
+        ex.bind("q1")
+        ex.bind("q2")
+        assert ex.route("anything") == ["q1", "q2"]
+
+    def test_direct_routes_on_exact_key(self):
+        ex = Exchange(name="x", type="direct")
+        ex.bind("q1", "3")
+        ex.bind("q2", "5")
+        assert ex.route("3") == ["q1"]
+        assert ex.route("5") == ["q2"]
+        assert ex.route("7") == []
+
+    def test_direct_multiple_queues_same_key(self):
+        ex = Exchange(name="x", type="direct")
+        ex.bind("q1", "k")
+        ex.bind("q2", "k")
+        assert ex.route("k") == ["q1", "q2"]
+
+    def test_topic_routes_on_pattern(self):
+        ex = Exchange(name="x", type="topic")
+        ex.bind("store", "R.store.#")
+        ex.bind("join", "R.join.#")
+        assert ex.route("R.store.3") == ["store"]
+        assert ex.route("R.join.1") == ["join"]
+
+    def test_unbind_queue_removes_all_bindings(self):
+        ex = Exchange(name="x", type="fanout")
+        ex.bind("q1")
+        ex.bind("q2")
+        ex.unbind_queue("q1")
+        assert ex.route("m") == ["q2"]

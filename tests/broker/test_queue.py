@@ -1,0 +1,68 @@
+"""Tests for repro.broker.queue (competing consumers, backlog)."""
+
+import pytest
+
+from repro.broker import Message, MessageQueue
+from repro.errors import BrokerError
+
+
+def msg(i: int) -> Message:
+    return Message(routing_key="k", payload=i)
+
+
+class TestConsumers:
+    def test_round_robin_dispatch(self):
+        queue = MessageQueue("q")
+        queue.add_consumer("a", lambda d: None)
+        queue.add_consumer("b", lambda d: None)
+        picks = [queue.offer(msg(i)).consumer_id for i in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_duplicate_consumer_rejected(self):
+        queue = MessageQueue("q")
+        queue.add_consumer("a", lambda d: None)
+        with pytest.raises(BrokerError):
+            queue.add_consumer("a", lambda d: None)
+
+    def test_remove_unknown_consumer_rejected(self):
+        queue = MessageQueue("q")
+        with pytest.raises(BrokerError):
+            queue.remove_consumer("ghost")
+
+    def test_remove_consumer_redistributes(self):
+        queue = MessageQueue("q")
+        queue.add_consumer("a", lambda d: None)
+        queue.add_consumer("b", lambda d: None)
+        queue.remove_consumer("a")
+        picks = {queue.offer(msg(i)).consumer_id for i in range(3)}
+        assert picks == {"b"}
+
+    def test_select_consumer_without_consumers_raises(self):
+        with pytest.raises(BrokerError):
+            MessageQueue("q").select_consumer()
+
+
+class TestBacklog:
+    def test_messages_buffer_without_consumers(self):
+        queue = MessageQueue("q")
+        assert queue.offer(msg(1)) is None
+        assert queue.offer(msg(2)) is None
+        assert queue.backlog_depth == 2
+
+    def test_drain_backlog_assigns_in_fifo_order(self):
+        queue = MessageQueue("q")
+        queue.offer(msg(1))
+        queue.offer(msg(2))
+        queue.add_consumer("a", lambda d: None)
+        assigned = queue.drain_backlog()
+        assert [m.payload for m, _ in assigned] == [1, 2]
+        assert queue.backlog_depth == 0
+
+    def test_counters(self):
+        queue = MessageQueue("q")
+        queue.offer(msg(1))
+        queue.add_consumer("a", lambda d: None)
+        queue.drain_backlog()
+        queue.offer(msg(2))
+        assert queue.enqueued == 2
+        assert queue.dispatched == 2

@@ -1,0 +1,114 @@
+"""Tests for repro.cluster.autoscaler (the HPA control loop logic)."""
+
+import pytest
+
+from repro.cluster import HorizontalPodAutoscaler, HpaConfig
+from repro.errors import ConfigurationError
+
+
+def make_hpa(**overrides):
+    defaults = dict(metric="cpu", target_utilisation=0.8, min_replicas=1,
+                    max_replicas=3, period=30.0, tolerance=0.1,
+                    scale_down_cooldown=300.0)
+    defaults.update(overrides)
+    return HorizontalPodAutoscaler(HpaConfig(**defaults))
+
+
+class TestConfig:
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError):
+            HpaConfig(metric="gpu")
+
+    def test_replica_bounds(self):
+        with pytest.raises(ConfigurationError):
+            HpaConfig(min_replicas=0)
+        with pytest.raises(ConfigurationError):
+            HpaConfig(min_replicas=5, max_replicas=3)
+
+    def test_positive_target(self):
+        with pytest.raises(ConfigurationError):
+            HpaConfig(target_utilisation=0.0)
+
+
+class TestScaleOut:
+    def test_kubernetes_formula(self):
+        """desired = ceil(current * utilisation / target): the thesis's
+        opening state (1 replica at 145% with target 80%) must yield 2."""
+        hpa = make_hpa()
+        decision = hpa.evaluate(now=30.0, current_replicas=1,
+                                mean_utilisation=1.45)
+        assert decision.desired_replicas == 2
+        assert decision.action == "scale-out"
+
+    def test_large_overload_jumps_multiple_replicas(self):
+        hpa = make_hpa(max_replicas=10)
+        decision = hpa.evaluate(30.0, 2, 2.0)  # ratio 2.5 → ceil(5)
+        assert decision.desired_replicas == 5
+
+    def test_clamped_to_max(self):
+        hpa = make_hpa(max_replicas=3)
+        decision = hpa.evaluate(30.0, 3, 2.0)
+        assert decision.desired_replicas == 3
+        assert decision.action == "none"
+
+
+class TestTolerance:
+    def test_within_tolerance_no_action(self):
+        hpa = make_hpa(tolerance=0.1)
+        decision = hpa.evaluate(30.0, 2, 0.85)  # ratio 1.0625, within 10%
+        assert decision.action == "none"
+
+    def test_just_outside_tolerance_acts(self):
+        hpa = make_hpa(tolerance=0.1)
+        decision = hpa.evaluate(30.0, 2, 0.95)  # ratio ~1.19
+        assert decision.action == "scale-out"
+
+
+class TestScaleIn:
+    def test_low_utilisation_scales_in_after_cooldown(self):
+        hpa = make_hpa(scale_down_cooldown=100.0)
+        decision = hpa.evaluate(now=500.0, current_replicas=3,
+                                mean_utilisation=0.5)
+        assert decision.desired_replicas == 2
+        assert decision.action == "scale-in"
+
+    def test_cooldown_blocks_scale_in_after_recent_change(self):
+        hpa = make_hpa(scale_down_cooldown=300.0)
+        hpa.evaluate(now=30.0, current_replicas=1, mean_utilisation=1.5)  # out
+        decision = hpa.evaluate(now=60.0, current_replicas=2,
+                                mean_utilisation=0.3)
+        assert decision.action == "none"
+
+    def test_scale_in_allowed_after_cooldown_expires(self):
+        hpa = make_hpa(scale_down_cooldown=300.0)
+        hpa.evaluate(now=30.0, current_replicas=1, mean_utilisation=1.5)
+        decision = hpa.evaluate(now=400.0, current_replicas=2,
+                                mean_utilisation=0.3)
+        assert decision.action == "scale-in"
+
+    def test_clamped_to_min(self):
+        hpa = make_hpa(min_replicas=1, scale_down_cooldown=0.0)
+        decision = hpa.evaluate(1000.0, 1, 0.01)
+        assert decision.desired_replicas == 1
+
+
+class TestMissingMetrics:
+    def test_none_utilisation_no_action(self):
+        hpa = make_hpa()
+        decision = hpa.evaluate(30.0, 2, None)
+        assert decision.action == "none"
+        assert decision.observed_utilisation is None
+
+    def test_none_utilisation_still_enforces_min(self):
+        hpa = make_hpa(min_replicas=2)
+        decision = hpa.evaluate(30.0, 1, None)
+        assert decision.desired_replicas == 2
+
+
+class TestHistory:
+    def test_decisions_recorded(self):
+        hpa = make_hpa()
+        hpa.evaluate(30.0, 1, 1.5)
+        hpa.evaluate(60.0, 2, 0.8)
+        assert len(hpa.decisions) == 2
+        assert hpa.decisions[0].time == 30.0

@@ -1,0 +1,60 @@
+"""Tests for the cluster report helpers and runtime edges."""
+
+import pytest
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.cluster import ClusterConfig, CostModel, SimulatedCluster
+from repro.cluster.runtime import ClusterReport, TimelinePoint
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+
+def point(t, r, s):
+    return TimelinePoint(time=t, input_rate=10.0, r_replicas=r,
+                         s_replicas=s, cpu_utilisation_r=None,
+                         cpu_utilisation_s=None, memory_mapped_mb_r=None,
+                         memory_utilisation_r=None, results_so_far=0)
+
+
+class TestReplicasSeries:
+    def test_series_per_side(self):
+        report = ClusterReport(duration=10.0, tuples_ingested=0, results=0,
+                               timeline=[point(0.0, 1, 2), point(5.0, 2, 2)])
+        assert report.replicas_series("R") == [(0.0, 1), (5.0, 2)]
+        assert report.replicas_series("S") == [(0.0, 2), (5.0, 2)]
+
+
+class TestRuntimeEdges:
+    def test_arrivals_beyond_duration_ignored(self):
+        """The pump stops at the first arrival past the horizon."""
+        wl = EquiJoinWorkload(keys=UniformKeys(10), seed=2)
+        cluster = SimulatedCluster(
+            BicliqueConfig(window=TimeWindow(5.0), r_joiners=1, s_joiners=1,
+                           archive_period=1.0, punctuation_interval=0.5),
+            EquiJoinPredicate("k", "k"),
+            ClusterConfig(cost_model=CostModel(), metrics_interval=5.0))
+        # offer 20 s of arrivals but run only 5 s (the horizon tuple
+        # itself may land a float-ulp below 5.0 after 50 additions of
+        # 0.1, so both 50 and 51 are correct cut-offs)
+        report = cluster.run(wl.arrivals(ConstantRate(10.0), 20.0), 5.0)
+        assert report.tuples_ingested in (50, 51)
+        assert report.tuples_ingested < 200  # far fewer than offered
+
+    def test_empty_arrivals(self):
+        cluster = SimulatedCluster(
+            BicliqueConfig(window=TimeWindow(5.0), r_joiners=1, s_joiners=1,
+                           archive_period=1.0, punctuation_interval=0.5),
+            EquiJoinPredicate("k", "k"),
+            ClusterConfig(metrics_interval=5.0))
+        report = cluster.run(iter(()), 10.0)
+        assert report.tuples_ingested == 0
+        assert report.results == 0
+
+    def test_default_rate_fn_reports_zero(self):
+        wl = EquiJoinWorkload(keys=UniformKeys(10), seed=2)
+        cluster = SimulatedCluster(
+            BicliqueConfig(window=TimeWindow(5.0), r_joiners=1, s_joiners=1,
+                           archive_period=1.0, punctuation_interval=0.5),
+            EquiJoinPredicate("k", "k"),
+            ClusterConfig(metrics_interval=5.0, timeline_interval=5.0))
+        report = cluster.run(wl.arrivals(ConstantRate(10.0), 12.0), 12.0)
+        assert all(p.input_rate == 0.0 for p in report.timeline)

@@ -1,0 +1,98 @@
+"""Tests for repro.cluster.matrix_runtime."""
+
+import pytest
+
+from repro import EquiJoinPredicate, TimeWindow
+from repro.cluster import ClusterConfig, CostModel, MatrixSimulatedCluster
+from repro.harness import check_exactly_once, reference_join
+from repro.matrix import MatrixConfig
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+PREDICATE = EquiJoinPredicate("k", "k")
+WINDOW = TimeWindow(seconds=20.0)
+
+
+def make_cluster(cost_scale=1.0, rows=2, cols=2, routers=1):
+    return MatrixSimulatedCluster(
+        MatrixConfig(window=WINDOW, rows=rows, cols=cols,
+                     partitioning="hash", archive_period=4.0,
+                     punctuation_interval=0.2, expiry_slack=1.0),
+        PREDICATE,
+        ClusterConfig(cost_model=CostModel().scaled(cost_scale),
+                      metrics_interval=5.0),
+        routers=routers)
+
+
+def run_cluster(cluster, rate=20.0, duration=30.0, seed=9):
+    wl = EquiJoinWorkload(keys=UniformKeys(100), seed=seed)
+    profile = ConstantRate(rate)
+    report = cluster.run(wl.arrivals(profile, duration), duration)
+    r, s = wl.materialise(profile, duration)
+    return report, r, s
+
+
+class TestMatrixCluster:
+    def test_results_exact(self):
+        cluster = make_cluster()
+        report, r, s = run_cluster(cluster)
+        check = check_exactly_once(
+            cluster.engine.results, reference_join(r, s, PREDICATE, WINDOW))
+        assert check.ok, check
+        assert report.tuples_ingested == 600
+
+    def test_pods_per_cell_and_router(self):
+        cluster = make_cluster(rows=2, cols=3, routers=2)
+        run_cluster(cluster, duration=10.0)
+        names = set(cluster.pods)
+        assert {"cell-0-0", "cell-1-2", "mrouter-mrouter0",
+                "mrouter-mrouter1"} <= names
+        assert len([n for n in names if n.startswith("cell-")]) == 6
+
+    def test_cpu_accounted_on_cell_pods(self):
+        cluster = make_cluster(cost_scale=100.0)
+        run_cluster(cluster, duration=20.0)
+        busy = [cluster.pods[name].total_busy_seconds
+                for name in cluster.pods if name.startswith("cell-")]
+        assert all(b > 0 for b in busy)
+
+    def test_replication_tax_visible_in_cpu(self):
+        """The matrix burns more total joiner CPU than the biclique on
+        the identical workload — the √p store/probe replication."""
+        from repro import BicliqueConfig
+        from repro.cluster import SimulatedCluster
+
+        matrix = make_cluster(cost_scale=100.0)
+        run_cluster(matrix, duration=20.0)
+        matrix_cpu = sum(p.total_busy_seconds
+                         for n, p in matrix.pods.items()
+                         if n.startswith("cell-"))
+
+        biclique = SimulatedCluster(
+            BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                           routers=1, routing="hash", archive_period=4.0,
+                           punctuation_interval=0.2),
+            PREDICATE,
+            ClusterConfig(cost_model=CostModel().scaled(100.0),
+                          metrics_interval=5.0))
+        wl = EquiJoinWorkload(keys=UniformKeys(100), seed=9)
+        biclique.run(wl.arrivals(ConstantRate(20.0), 20.0), 20.0)
+        biclique_cpu = sum(
+            p.total_busy_seconds
+            for n, p in biclique.instrumentation.pods.items()
+            if n.startswith("joiner-"))
+        assert matrix_cpu > 1.3 * biclique_cpu
+
+    def test_memory_sampled_per_cell(self):
+        cluster = make_cluster()
+        run_cluster(cluster, duration=20.0)
+        sample = cluster.metrics.latest("cell-0-0")
+        assert sample is not None
+        assert sample.memory_mapped_bytes > 0
+
+    def test_latency_grows_under_saturation(self):
+        light = make_cluster(cost_scale=100.0)
+        run_cluster(light, rate=10.0)
+        heavy = make_cluster(cost_scale=2000.0)
+        run_cluster(heavy, rate=30.0)
+        assert heavy.engine.latency.summary().p99 > \
+            3 * light.engine.latency.summary().p99

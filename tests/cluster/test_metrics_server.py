@@ -1,0 +1,102 @@
+"""Tests for repro.cluster.metrics_server."""
+
+import pytest
+
+from repro.cluster import MetricsServer, Pod, ResourceSpec
+from repro.errors import ClusterError
+from repro.metrics import MB, JvmHeapModel
+
+
+def make_pod(name="p"):
+    return Pod(name, ResourceSpec(cpu_request=0.5, cpu_limit=1.0),
+               heap=JvmHeapModel(baseline_bytes=0))
+
+
+class TestRegistry:
+    def test_duplicate_pod_rejected(self):
+        server = MetricsServer()
+        pod = make_pod()
+        server.register_pod(pod)
+        with pytest.raises(ClusterError):
+            server.register_pod(pod)
+
+    def test_unregister_removes_samples(self):
+        server = MetricsServer()
+        pod = make_pod()
+        server.register_pod(pod)
+        server.sample(now=1.0)
+        server.unregister_pod("p")
+        assert server.latest("p") is None
+        assert server.pod_names == []
+
+    def test_invalid_interval(self):
+        with pytest.raises(ClusterError):
+            MetricsServer(sample_interval=0)
+
+
+class TestSampling:
+    def test_cpu_sample_covers_interval(self):
+        server = MetricsServer(sample_interval=10.0)
+        pod = make_pod()
+        server.register_pod(pod)
+        pod.schedule_work(now=0.0, service_seconds=5.0)  # busy [0, 5]
+        server.sample(now=10.0)
+        sample = server.latest("p")
+        # 5 cpu-seconds over 10s window, request 0.5 → 100%
+        assert sample.cpu_utilisation == pytest.approx(1.0)
+
+    def test_second_sample_covers_only_new_interval(self):
+        server = MetricsServer(sample_interval=10.0)
+        pod = make_pod()
+        server.register_pod(pod)
+        pod.schedule_work(now=0.0, service_seconds=5.0)
+        server.sample(now=10.0)
+        server.sample(now=20.0)  # idle during [10, 20]
+        assert server.latest("p").cpu_utilisation == 0.0
+
+    def test_memory_sample_uses_live_bytes_fn(self):
+        server = MetricsServer()
+        pod = make_pod()
+        live = {"bytes": 0}
+        server.register_pod(pod, live_bytes_fn=lambda: live["bytes"])
+        live["bytes"] = 200 * MB
+        server.sample(now=1.0)
+        sample = server.latest("p")
+        assert sample.memory_mapped_bytes >= 200 * MB
+
+    def test_new_pod_measured_from_creation(self):
+        """A pod created mid-interval must not be diluted by time it
+        did not exist."""
+        server = MetricsServer(sample_interval=10.0)
+        server.sample(now=10.0)
+        pod = make_pod()
+        pod.created_at = 15.0
+        server.register_pod(pod)
+        pod.schedule_work(now=15.0, service_seconds=5.0)  # busy [15, 20]
+        server.sample(now=20.0)
+        # 5 cpu-seconds over its 5 alive seconds, request 0.5 → 200%
+        assert server.latest("p").cpu_utilisation == pytest.approx(2.0)
+
+
+class TestQueries:
+    def test_mean_utilisation_cpu(self):
+        server = MetricsServer(sample_interval=10.0)
+        pods = [make_pod("a"), make_pod("b")]
+        for pod in pods:
+            server.register_pod(pod)
+        pods[0].schedule_work(now=0.0, service_seconds=10.0)
+        server.sample(now=10.0)
+        mean = server.mean_utilisation(["a", "b"], "cpu")
+        assert mean == pytest.approx((2.0 + 0.0) / 2)
+
+    def test_mean_of_unsampled_is_none(self):
+        server = MetricsServer()
+        assert server.mean_utilisation(["ghost"], "cpu") is None
+
+    def test_unknown_metric_rejected(self):
+        server = MetricsServer()
+        pod = make_pod()
+        server.register_pod(pod)
+        server.sample(now=1.0)
+        with pytest.raises(ClusterError):
+            server.mean_utilisation(["p"], "disk")

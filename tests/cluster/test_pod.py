@@ -1,0 +1,95 @@
+"""Tests for repro.cluster.pod (serial service, usage accounting)."""
+
+import pytest
+
+from repro.cluster import Pod, ResourceSpec
+from repro.errors import ClusterError
+from repro.metrics import MB, JvmHeapModel
+
+
+def make_pod(cpu_request=0.5, cpu_limit=1.0):
+    return Pod("p", ResourceSpec(cpu_request=cpu_request, cpu_limit=cpu_limit))
+
+
+class TestSerialService:
+    def test_idle_pod_starts_immediately(self):
+        pod = make_pod()
+        start, end = pod.schedule_work(now=1.0, service_seconds=0.5)
+        assert start == 1.0
+        assert end == 1.5
+
+    def test_busy_pod_queues_fifo(self):
+        pod = make_pod()
+        pod.schedule_work(now=0.0, service_seconds=1.0)
+        start, end = pod.schedule_work(now=0.1, service_seconds=0.5)
+        assert start == 1.0
+        assert end == 1.5
+
+    def test_cpu_limit_stretches_wall_time(self):
+        pod = make_pod(cpu_limit=0.5)
+        start, end = pod.schedule_work(now=0.0, service_seconds=1.0)
+        assert end - start == pytest.approx(2.0)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ClusterError):
+            make_pod().schedule_work(now=0.0, service_seconds=-1.0)
+
+    def test_queue_delay(self):
+        pod = make_pod()
+        pod.schedule_work(now=0.0, service_seconds=2.0)
+        assert pod.queue_delay(now=0.5) == pytest.approx(1.5)
+        assert pod.queue_delay(now=5.0) == 0.0
+
+    def test_work_items_counted(self):
+        pod = make_pod()
+        pod.schedule_work(0.0, 0.1)
+        pod.schedule_work(0.0, 0.1)
+        assert pod.work_items == 2
+
+
+class TestCpuAccounting:
+    def test_cpu_seconds_within_window(self):
+        pod = make_pod(cpu_limit=1.0)
+        pod.schedule_work(now=0.0, service_seconds=1.0)  # busy [0, 1]
+        assert pod.cpu_seconds_between(0.0, 1.0) == pytest.approx(1.0)
+        assert pod.cpu_seconds_between(0.0, 0.5) == pytest.approx(0.5)
+        assert pod.cpu_seconds_between(2.0, 3.0) == 0.0
+
+    def test_utilisation_relative_to_request(self):
+        """50% actual usage of a 1-core limit is 100% of a 0.5 request —
+        K8s HPA semantics, which is how the thesis sees 145%."""
+        pod = make_pod(cpu_request=0.5, cpu_limit=1.0)
+        pod.schedule_work(now=0.0, service_seconds=1.0)  # busy [0, 1]
+        assert pod.cpu_utilisation(0.0, 1.0) == pytest.approx(2.0)
+        assert pod.cpu_utilisation(0.0, 2.0) == pytest.approx(1.0)
+
+    def test_utilisation_capped_by_limit_over_request(self):
+        pod = make_pod(cpu_request=0.5, cpu_limit=1.0)
+        for i in range(10):
+            pod.schedule_work(now=0.0, service_seconds=1.0)
+        # saturated: usage cannot exceed limit
+        assert pod.cpu_utilisation(0.0, 1.0) <= 1.0 / 0.5 + 1e-9
+
+    def test_prune_segments(self):
+        pod = make_pod()
+        pod.schedule_work(now=0.0, service_seconds=1.0)
+        pod.prune_segments(before=2.0)
+        assert pod.cpu_seconds_between(0.0, 1.0) == 0.0
+
+    def test_empty_window(self):
+        assert make_pod().cpu_utilisation(1.0, 1.0) == 0.0
+
+
+class TestMemory:
+    def test_memory_utilisation_uses_request(self):
+        spec = ResourceSpec(memory_request=612 * MB)
+        pod = Pod("p", spec, heap=JvmHeapModel(baseline_bytes=0))
+        pod.update_memory(400 * MB)
+        expected_mapped = pod.heap.mapped_bytes
+        assert pod.memory_utilisation() == pytest.approx(
+            expected_mapped / (612 * MB))
+
+    def test_update_memory_returns_mapped(self):
+        pod = Pod("p", ResourceSpec())
+        mapped = pod.update_memory(100 * MB)
+        assert mapped == pod.heap.mapped_bytes

@@ -1,0 +1,53 @@
+"""Tests for repro.cluster.resources."""
+
+import pytest
+
+from repro.cluster import CostModel, ResourceSpec
+from repro.errors import ConfigurationError
+
+
+class TestResourceSpec:
+    def test_defaults_valid(self):
+        spec = ResourceSpec()
+        assert spec.cpu_request <= spec.cpu_limit
+        assert spec.memory_request <= spec.memory_limit
+
+    def test_request_cannot_exceed_limit(self):
+        with pytest.raises(ConfigurationError):
+            ResourceSpec(cpu_request=2.0, cpu_limit=1.0)
+        with pytest.raises(ConfigurationError):
+            ResourceSpec(memory_request=100, memory_limit=50)
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigurationError):
+            ResourceSpec(cpu_request=0.0)
+        with pytest.raises(ConfigurationError):
+            ResourceSpec(memory_request=0)
+
+
+class TestCostModel:
+    def test_joiner_work_is_linear(self):
+        cost = CostModel()
+        one = cost.joiner_work(stored=1)
+        two = cost.joiner_work(stored=2)
+        assert two == pytest.approx(2 * one)
+
+    def test_joiner_work_sums_components(self):
+        cost = CostModel(store=1.0, probe=2.0, comparison=0.5, emit=0.25,
+                         punctuation=0.1, route=0.0)
+        total = cost.joiner_work(stored=1, probes=1, comparisons=4,
+                                 results=2, punctuations=3)
+        assert total == pytest.approx(1.0 + 2.0 + 2.0 + 0.5 + 0.3)
+
+    def test_router_work(self):
+        assert CostModel(route=5.0).router_work(tuples=3) == 15.0
+
+    def test_scaled_multiplies_uniformly(self):
+        base = CostModel()
+        scaled = base.scaled(10.0)
+        assert scaled.store == pytest.approx(10 * base.store)
+        assert scaled.comparison == pytest.approx(10 * base.comparison)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CostModel().scaled(0.0)

@@ -1,0 +1,143 @@
+"""Tests for repro.cluster.runtime (pods + engine + HPA integration)."""
+
+import pytest
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.cluster import (
+    ClusterConfig,
+    CostModel,
+    HpaConfig,
+    PodExecutor,
+    Pod,
+    ResourceSpec,
+    SimulatedCluster,
+)
+from repro.harness import check_exactly_once, reference_join
+from repro.simulation import Simulator
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+
+def biclique_config(**overrides):
+    defaults = dict(window=TimeWindow(seconds=20.0), r_joiners=1, s_joiners=1,
+                    routers=1, routing="hash", archive_period=4.0,
+                    punctuation_interval=0.5)
+    defaults.update(overrides)
+    return BicliqueConfig(**defaults)
+
+
+class TestPodExecutor:
+    def test_serial_fifo_execution(self):
+        sim = Simulator()
+        pod = Pod("p", ResourceSpec(cpu_request=1.0, cpu_limit=1.0))
+        executor = PodExecutor(sim, pod)
+        log = []
+        executor.submit(lambda start: (log.append(("a", start)), 1.0)[1])
+        executor.submit(lambda start: (log.append(("b", start)), 0.5)[1])
+        sim.run()
+        assert log == [("a", 0.0), ("b", 1.0)]
+        assert pod.total_busy_seconds == pytest.approx(1.5)
+
+    def test_later_submission_waits_for_backlog(self):
+        sim = Simulator()
+        pod = Pod("p", ResourceSpec(cpu_request=1.0, cpu_limit=1.0))
+        executor = PodExecutor(sim, pod)
+        starts = []
+        executor.submit(lambda start: (starts.append(start), 2.0)[1])
+        sim.schedule_at(0.5, lambda: executor.submit(
+            lambda start: (starts.append(start), 0.1)[1]))
+        sim.run()
+        assert starts == [0.0, 2.0]
+
+
+class TestClusterRun:
+    def _run(self, duration=60.0, hpa=None, rate=20.0, **cfg_overrides):
+        wl = EquiJoinWorkload(keys=UniformKeys(50), seed=11)
+        profile = ConstantRate(rate)
+        cluster = SimulatedCluster(
+            biclique_config(**cfg_overrides), EquiJoinPredicate("k", "k"),
+            ClusterConfig(cost_model=CostModel(), metrics_interval=5.0,
+                          timeline_interval=10.0),
+            hpa=hpa)
+        report = cluster.run(wl.arrivals(profile, duration), duration,
+                             rate_fn=profile.rate)
+        return cluster, report, wl, profile
+
+    def test_all_tuples_ingested(self):
+        _, report, _, _ = self._run(duration=30.0)
+        assert report.tuples_ingested == 600
+
+    def test_results_match_reference(self):
+        cluster, report, wl, profile = self._run(duration=30.0)
+        r, s = wl.materialise(profile, 30.0)
+        expected = reference_join(r, s, EquiJoinPredicate("k", "k"),
+                                  TimeWindow(seconds=20.0))
+        assert check_exactly_once(cluster.engine.results, expected).ok
+
+    def test_timeline_recorded(self):
+        _, report, _, _ = self._run(duration=30.0)
+        assert len(report.timeline) == 3
+        assert all(p.input_rate == 20.0 for p in report.timeline)
+        assert report.timeline[0].r_replicas == 1
+
+    def test_latency_includes_queueing_under_load(self):
+        """With a hot cost model one joiner saturates: latency grows."""
+        cluster_cold, _, _, _ = self._run(duration=20.0)
+        wl = EquiJoinWorkload(keys=UniformKeys(50), seed=11)
+        profile = ConstantRate(20.0)
+        hot = SimulatedCluster(
+            biclique_config(), EquiJoinPredicate("k", "k"),
+            ClusterConfig(cost_model=CostModel().scaled(3000.0),
+                          metrics_interval=5.0))
+        hot.run(wl.arrivals(profile, 20.0), 20.0)
+        cold_latency = cluster_cold.engine.latency.summary().p99
+        hot_latency = hot.engine.latency.summary().p99
+        assert hot_latency > cold_latency
+
+    def test_hpa_scales_out_under_load(self):
+        hpa = {"R": HpaConfig(metric="cpu", target_utilisation=0.8,
+                              min_replicas=1, max_replicas=3, period=10.0),
+               "S": HpaConfig(metric="cpu", target_utilisation=0.8,
+                              min_replicas=1, max_replicas=3, period=10.0)}
+        wl = EquiJoinWorkload(keys=UniformKeys(50), seed=11)
+        profile = ConstantRate(40.0)
+        cluster = SimulatedCluster(
+            biclique_config(), EquiJoinPredicate("k", "k"),
+            ClusterConfig(cost_model=CostModel().scaled(500.0),
+                          metrics_interval=5.0, timeline_interval=10.0),
+            hpa=hpa)
+        report = cluster.run(wl.arrivals(profile, 60.0), 60.0,
+                             rate_fn=profile.rate)
+        assert any(e[2] == "out" for e in report.scale_events)
+        assert report.timeline[-1].r_replicas > 1
+
+    def test_hpa_results_remain_exact_across_scaling(self):
+        hpa = {"R": HpaConfig(metric="cpu", target_utilisation=0.8,
+                              min_replicas=1, max_replicas=3, period=10.0,
+                              scale_down_cooldown=20.0)}
+        wl = EquiJoinWorkload(keys=UniformKeys(50), seed=11)
+        profile = ConstantRate(30.0)
+        duration = 60.0
+        cluster = SimulatedCluster(
+            biclique_config(expiry_slack=1.0), EquiJoinPredicate("k", "k"),
+            ClusterConfig(cost_model=CostModel().scaled(400.0),
+                          metrics_interval=5.0),
+            hpa=hpa)
+        cluster.run(wl.arrivals(profile, duration), duration)
+        r, s = wl.materialise(profile, duration)
+        expected = reference_join(r, s, EquiJoinPredicate("k", "k"),
+                                  TimeWindow(seconds=20.0))
+        assert check_exactly_once(cluster.engine.results, expected).ok
+
+    def test_pods_exist_per_component(self):
+        cluster, _, _, _ = self._run(duration=10.0)
+        names = set(cluster.instrumentation.pods)
+        assert "joiner-R0" in names
+        assert "joiner-S0" in names
+        assert "router-router0" in names
+
+    def test_memory_metric_tracks_window_state(self):
+        cluster, report, _, _ = self._run(duration=30.0)
+        mapped = [p.memory_mapped_mb_r for p in report.timeline
+                  if p.memory_mapped_mb_r is not None]
+        assert mapped, "memory series should be recorded"
+        assert all(m >= 60.0 for m in mapped)  # baseline ~60 MB

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BandJoinPredicate,
+    EquiJoinPredicate,
+    TimeWindow,
+    stream_from_pairs,
+)
+from repro.simulation import SeededRng
+
+
+@pytest.fixture
+def rng() -> SeededRng:
+    return SeededRng(1234, "tests")
+
+
+@pytest.fixture
+def equi_predicate() -> EquiJoinPredicate:
+    return EquiJoinPredicate("k", "k")
+
+
+@pytest.fixture
+def band_predicate() -> BandJoinPredicate:
+    return BandJoinPredicate("v", "v", band=3.0)
+
+
+@pytest.fixture
+def window() -> TimeWindow:
+    return TimeWindow(seconds=10.0)
+
+
+def make_streams(n_r: int = 60, n_s: int = 50, *, n_keys: int = 8,
+                 r_gap: float = 0.5, s_gap: float = 0.6):
+    """Two small deterministic streams sharing key attribute "k" and a
+    numeric attribute "v" (usable for both equi and band predicates)."""
+    r = stream_from_pairs(
+        "R", [(i * r_gap, {"k": i % n_keys, "v": float(i)})
+              for i in range(n_r)])
+    s = stream_from_pairs(
+        "S", [(i * s_gap, {"k": i % n_keys, "v": float(i)})
+              for i in range(n_s)])
+    return r, s
+
+
+@pytest.fixture
+def small_streams():
+    return make_streams()

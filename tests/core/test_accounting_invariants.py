@@ -1,0 +1,78 @@
+"""Property tests for the memory/stats accounting invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EquiJoinPredicate, StreamTuple, TimeWindow
+from repro.core.chained_index import ChainedInMemoryIndex
+from repro.core.indexes import ENTRY_OVERHEAD_BYTES
+
+
+def s_tuple(ts, key, seq, payload=""):
+    return StreamTuple("S", ts, {"k": key, "p": payload}, seq=seq)
+
+
+class TestByteAccounting:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=50),
+                              st.integers(0, 5),
+                              st.text(max_size=20)),
+                    max_size=30),
+           st.sampled_from([1.0, 5.0, None]))
+    def test_bytes_equal_sum_of_live_tuples(self, rows, period):
+        """At all times the chain's byte figure equals the sum over the
+        currently live tuples — inserts add, expiry subtracts, nothing
+        drifts."""
+        index = ChainedInMemoryIndex(
+            EquiJoinPredicate("k", "k"), "S", TimeWindow(10.0),
+            archive_period=period)
+        rows = sorted(rows, key=lambda row: row[0])
+        for seq, (ts, key, payload) in enumerate(rows):
+            index.insert(s_tuple(ts, key, seq, payload))
+        expected = sum(t.size_bytes() + ENTRY_OVERHEAD_BYTES
+                       for t in index.all_tuples())
+        assert index.bytes == expected
+
+        # ...and the invariant survives expiry.
+        if rows:
+            index.expire(probe_ts=rows[-1][0] + 7.0)
+            expected = sum(t.size_bytes() + ENTRY_OVERHEAD_BYTES
+                           for t in index.all_tuples())
+            assert index.bytes == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=30), max_size=30))
+    def test_len_equals_live_tuples(self, timestamps):
+        index = ChainedInMemoryIndex(
+            EquiJoinPredicate("k", "k"), "S", TimeWindow(5.0),
+            archive_period=1.0)
+        for seq, ts in enumerate(sorted(timestamps)):
+            index.insert(s_tuple(ts, seq % 3, seq))
+        assert len(index) == len(list(index.all_tuples()))
+        if timestamps:
+            index.expire(probe_ts=max(timestamps) + 2.0)
+            assert len(index) == len(list(index.all_tuples()))
+
+
+class TestStatsInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.floats(min_value=0, max_value=40),
+                              st.integers(0, 3)),
+                    max_size=40))
+    def test_expired_plus_live_equals_inserted(self, events):
+        """Every inserted tuple is either still live or was counted as
+        expired — no silent loss, no double-counting."""
+        index = ChainedInMemoryIndex(
+            EquiJoinPredicate("k", "k"), "S", TimeWindow(5.0),
+            archive_period=1.0)
+        events = sorted(events, key=lambda event: event[1])
+        seq = 0
+        for is_insert, ts, key in events:
+            if is_insert:
+                index.insert(s_tuple(ts, key, seq))
+                seq += 1
+            else:
+                index.probe(StreamTuple("R", ts, {"k": key, "p": ""}))
+        assert index.stats.inserts == \
+            len(index) + index.stats.tuples_expired

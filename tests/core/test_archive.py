@@ -1,0 +1,160 @@
+"""Tests for repro.core.archive (partial-historical state)."""
+
+import pytest
+
+from repro import (
+    BicliqueConfig,
+    EquiJoinPredicate,
+    StreamJoinEngine,
+    StreamTuple,
+    TimeWindow,
+    stream_from_pairs,
+)
+from repro.core.archive import ArchivedSlice, ArchiveStore, query_history
+from repro.errors import ConfigurationError
+from repro.harness import reference_join
+
+
+def s_tuple(ts, key, seq=0):
+    return StreamTuple("S", ts, {"k": key}, seq=seq)
+
+
+def make_slice(lo, hi, keys, unit="S0"):
+    tuples = tuple(s_tuple(lo + i * (hi - lo) / max(1, len(keys) - 1), k,
+                           seq=i)
+                   for i, k in enumerate(keys))
+    return ArchivedSlice(unit_id=unit, relation="S", min_ts=lo, max_ts=hi,
+                         tuples=tuples)
+
+
+class TestArchiveStore:
+    def test_append_accounts_bytes_and_slices(self):
+        store = ArchiveStore()
+        store.append(make_slice(0.0, 1.0, [1, 2, 3]))
+        assert len(store) == 1
+        assert store.slices_written == 1
+        assert store.tuple_count == 3
+        assert store.bytes_written > 0
+
+    def test_empty_slices_ignored(self):
+        store = ArchiveStore()
+        store.append(ArchivedSlice("S0", "S", 0.0, 0.0, ()))
+        assert len(store) == 0
+
+    def test_probe_matches_predicate(self):
+        store = ArchiveStore()
+        store.append(make_slice(0.0, 1.0, [1, 2, 1]))
+        probe = StreamTuple("R", 5.0, {"k": 1})
+        matches = store.probe(EquiJoinPredicate("k", "k"), probe)
+        assert len(matches) == 2
+
+    def test_probe_prunes_by_time_range(self):
+        store = ArchiveStore()
+        store.append(make_slice(0.0, 1.0, [1, 1]))
+        store.append(make_slice(10.0, 11.0, [1, 1]))
+        probe = StreamTuple("R", 50.0, {"k": 1})
+        matches = store.probe(EquiJoinPredicate("k", "k"), probe,
+                              lo=9.0, hi=12.0)
+        assert len(matches) == 2
+        assert all(9.0 <= m.ts <= 12.0 for m in matches)
+
+    def test_overlap_logic(self):
+        slice_ = make_slice(5.0, 8.0, [1])
+        assert slice_.overlaps(7.0, 10.0)
+        assert slice_.overlaps(0.0, 5.0)
+        assert not slice_.overlaps(8.1, 9.0)
+
+
+class TestEngineArchiving:
+    def _run_engine(self, archive_expired=True):
+        r = stream_from_pairs("R", [(float(i), {"k": i % 4})
+                                    for i in range(60)])
+        s = stream_from_pairs("S", [(i * 1.1, {"k": i % 4})
+                                    for i in range(50)])
+        engine = StreamJoinEngine(
+            BicliqueConfig(window=TimeWindow(5.0), r_joiners=2, s_joiners=2,
+                           routing="hash", archive_period=1.0,
+                           punctuation_interval=0.5,
+                           archive_expired=archive_expired),
+            EquiJoinPredicate("k", "k"))
+        engine.run(r, s)
+        return engine.engine, r, s
+
+    def test_expired_tuples_land_in_archives(self):
+        engine, r, s = self._run_engine()
+        archived = sum(j.archive.tuple_count for j in engine.joiners.values())
+        assert archived > 0
+        # archive + live together hold every stored tuple exactly once
+        live = engine.total_stored_tuples()
+        assert archived + live == len(r) + len(s)
+
+    def test_online_results_unaffected_by_archiving(self):
+        with_archive, r, s = self._run_engine(archive_expired=True)
+        without, _, _ = self._run_engine(archive_expired=False)
+        assert {x.key for x in with_archive.results} == \
+            {x.key for x in without.results}
+
+    def test_archives_hold_only_own_relation(self):
+        engine, _, _ = self._run_engine()
+        for joiner in engine.joiners.values():
+            for slice_ in joiner.archive.slices():
+                assert slice_.relation == joiner.side
+                assert all(t.relation == joiner.side for t in slice_.tuples)
+
+    def test_archive_disabled_by_default(self):
+        engine, _, _ = self._run_engine(archive_expired=False)
+        assert all(j.archive is None for j in engine.joiners.values())
+
+
+class TestQueryHistory:
+    def _engine(self):
+        r = stream_from_pairs("R", [(float(i), {"k": i % 4})
+                                    for i in range(60)])
+        s = stream_from_pairs("S", [(i * 1.1, {"k": i % 4})
+                                    for i in range(50)])
+        facade = StreamJoinEngine(
+            BicliqueConfig(window=TimeWindow(5.0), r_joiners=2, s_joiners=2,
+                           routing="hash", archive_period=1.0,
+                           punctuation_interval=0.5, archive_expired=True),
+            EquiJoinPredicate("k", "k"))
+        facade.run(r, s)
+        return facade.engine, r, s
+
+    def test_requires_archiving_enabled(self):
+        facade = StreamJoinEngine(
+            BicliqueConfig(window=TimeWindow(5.0)),
+            EquiJoinPredicate("k", "k"))
+        with pytest.raises(ConfigurationError):
+            query_history(facade.engine, StreamTuple("R", 0.0, {"k": 1}))
+
+    def test_full_history_recoverable(self):
+        """live + archived state answers the full-history join for any
+        probe, even though the online window was only 5 s."""
+        engine, r, s = self._engine()
+        probe = StreamTuple("R", 100.0, {"k": 2}, seq=999)
+        result = query_history(engine, probe)
+        expected = [t for t in s if t["k"] == 2]
+        got = sorted(t.ident for t in result.all_matches)
+        assert got == sorted(t.ident for t in expected)
+
+    def test_time_range_restriction(self):
+        engine, r, s = self._engine()
+        probe = StreamTuple("R", 100.0, {"k": 2}, seq=999)
+        result = query_history(engine, probe, lo=10.0, hi=20.0)
+        assert all(10.0 <= t.ts <= 20.0 for t in result.all_matches)
+        assert result.all_matches  # range is populated
+
+    def test_probe_from_s_side(self):
+        engine, r, s = self._engine()
+        probe = StreamTuple("S", 100.0, {"k": 3}, seq=999)
+        result = query_history(engine, probe)
+        expected = [t for t in r if t["k"] == 3]
+        assert sorted(t.ident for t in result.all_matches) == \
+            sorted(t.ident for t in expected)
+
+    def test_no_duplicates_across_tiers(self):
+        engine, r, s = self._engine()
+        probe = StreamTuple("R", 100.0, {"k": 0}, seq=999)
+        result = query_history(engine, probe)
+        idents = [t.ident for t in result.all_matches]
+        assert len(idents) == len(set(idents))

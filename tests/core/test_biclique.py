@@ -1,0 +1,196 @@
+"""Tests for repro.core.biclique (topology wiring and elastic scaling)."""
+
+import pytest
+
+from repro import (
+    BandJoinPredicate,
+    BicliqueConfig,
+    BicliqueEngine,
+    EquiJoinPredicate,
+    TimeWindow,
+    stream_from_pairs,
+)
+from repro.core.streams import merge_by_time
+from repro.errors import ConfigurationError, ScalingError
+from repro.harness import check_exactly_once, reference_join
+
+
+def config(**overrides) -> BicliqueConfig:
+    defaults = dict(window=TimeWindow(seconds=10.0), r_joiners=2, s_joiners=2,
+                    routers=1, archive_period=2.0, punctuation_interval=0.5)
+    defaults.update(overrides)
+    return BicliqueConfig(**defaults)
+
+
+def streams(n=40, keys=5):
+    r = stream_from_pairs("R", [(i * 0.3, {"k": i % keys, "v": float(i)})
+                                for i in range(n)])
+    s = stream_from_pairs("S", [(i * 0.35, {"k": i % keys, "v": float(i)})
+                                for i in range(n)])
+    return r, s
+
+
+def run_engine(engine, r, s):
+    for t in merge_by_time(r, s):
+        engine.ingest(t)
+    engine.finish()
+
+
+class TestConfigValidation:
+    def test_needs_joiners_on_both_sides(self):
+        with pytest.raises(ConfigurationError):
+            config(r_joiners=0)
+
+    def test_needs_a_router(self):
+        with pytest.raises(ConfigurationError):
+            config(routers=0)
+
+    def test_unknown_routing_mode(self):
+        with pytest.raises(ConfigurationError):
+            config(routing="clever")
+
+    def test_subgroups_cannot_exceed_joiners(self):
+        with pytest.raises(ConfigurationError):
+            config(r_joiners=2, r_subgroups=3)
+
+    def test_punctuation_interval_positive(self):
+        with pytest.raises(ConfigurationError):
+            config(punctuation_interval=0.0)
+
+
+class TestTopology:
+    def test_unit_naming(self):
+        engine = BicliqueEngine(config(r_joiners=2, s_joiners=3),
+                                EquiJoinPredicate("k", "k"))
+        assert engine.unit_ids("R") == ["R0", "R1"]
+        assert engine.unit_ids("S") == ["S0", "S1", "S2"]
+        assert len(engine.unit_ids()) == 5
+
+    def test_auto_routing_picks_hash_for_equi(self):
+        engine = BicliqueEngine(config(), EquiJoinPredicate("k", "k"))
+        assert engine.routing_mode == "hash"
+
+    def test_auto_routing_picks_random_for_band(self):
+        engine = BicliqueEngine(config(), BandJoinPredicate("v", "v", 1.0))
+        assert engine.routing_mode == "random"
+
+    def test_explicit_routing_respected(self):
+        engine = BicliqueEngine(config(routing="random"),
+                                EquiJoinPredicate("k", "k"))
+        assert engine.routing_mode == "random"
+
+    def test_broker_queues_exist_per_joiner(self):
+        engine = BicliqueEngine(config(), EquiJoinPredicate("k", "k"))
+        names = engine.broker.queue_names()
+        assert any("R0" in n for n in names)
+        assert any("S1" in n for n in names)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("routing", ["hash", "random"])
+    def test_exactly_once_results(self, routing):
+        pred = EquiJoinPredicate("k", "k")
+        engine = BicliqueEngine(config(routing=routing), pred)
+        r, s = streams()
+        run_engine(engine, r, s)
+        expected = reference_join(r, s, pred, TimeWindow(seconds=10.0))
+        assert check_exactly_once(engine.results, expected).ok
+
+    def test_multiple_routers_still_exact(self):
+        pred = EquiJoinPredicate("k", "k")
+        engine = BicliqueEngine(config(routers=3, expiry_slack=2.0), pred)
+        r, s = streams()
+        run_engine(engine, r, s)
+        expected = reference_join(r, s, pred, TimeWindow(seconds=10.0))
+        assert check_exactly_once(engine.results, expected).ok
+
+    def test_memory_snapshot_counts_all_units(self):
+        engine = BicliqueEngine(config(), EquiJoinPredicate("k", "k"))
+        r, s = streams()
+        run_engine(engine, r, s)
+        snap = engine.memory_snapshot()
+        assert set(snap.per_unit_live_bytes) == set(engine.unit_ids())
+        assert snap.total_live_bytes > 0
+
+
+class TestScaling:
+    def test_scale_out_adds_units(self):
+        engine = BicliqueEngine(config(), EquiJoinPredicate("k", "k"))
+        new = engine.scale_out("R", 2, now=1.0)
+        assert new == ["R2", "R3"]
+        assert len(engine.groups["R"].active_units()) == 4
+
+    def test_scale_out_requires_positive_count(self):
+        engine = BicliqueEngine(config(), EquiJoinPredicate("k", "k"))
+        with pytest.raises(ScalingError):
+            engine.scale_out("R", 0)
+
+    def test_scale_in_marks_draining(self):
+        engine = BicliqueEngine(config(), EquiJoinPredicate("k", "k"))
+        unit = engine.scale_in("R", now=0.0)
+        assert unit == "R1"
+        assert engine.groups["R"].active_units() == ["R0"]
+        assert unit in engine.joiners  # still present until drained
+
+    def test_scale_in_refuses_last_unit(self):
+        engine = BicliqueEngine(config(r_joiners=1), EquiJoinPredicate("k", "k"))
+        with pytest.raises(ScalingError):
+            engine.scale_in("R")
+
+    def test_reap_removes_only_after_window(self):
+        engine = BicliqueEngine(config(), EquiJoinPredicate("k", "k"))
+        engine.scale_in("R", now=0.0)
+        assert engine.reap_drained(now=5.0) == []
+        assert engine.reap_drained(now=11.0) == ["R1"]
+        assert "R1" not in engine.joiners
+        assert not any("R1" in n for n in engine.broker.queue_names())
+
+    def test_results_exact_across_scale_out(self):
+        pred = EquiJoinPredicate("k", "k")
+        engine = BicliqueEngine(config(routing="hash"), pred)
+        r, s = streams(n=60)
+        arrivals = list(merge_by_time(r, s))
+        half = len(arrivals) // 2
+        for t in arrivals[:half]:
+            engine.ingest(t)
+        engine.scale_out("R", 1, now=arrivals[half].ts)
+        engine.scale_out("S", 1, now=arrivals[half].ts)
+        for t in arrivals[half:]:
+            engine.ingest(t)
+        engine.finish()
+        expected = reference_join(r, s, pred, TimeWindow(seconds=10.0))
+        assert check_exactly_once(engine.results, expected).ok
+
+    def test_results_exact_across_scale_in(self):
+        pred = EquiJoinPredicate("k", "k")
+        engine = BicliqueEngine(config(routing="hash", r_joiners=3), pred)
+        r, s = streams(n=60)
+        arrivals = list(merge_by_time(r, s))
+        third = len(arrivals) // 3
+        for t in arrivals[:third]:
+            engine.ingest(t)
+        engine.scale_in("R", now=arrivals[third].ts)
+        for t in arrivals[third:2 * third]:
+            engine.ingest(t)
+        engine.reap_drained(now=arrivals[2 * third].ts)
+        for t in arrivals[2 * third:]:
+            engine.ingest(t)
+        engine.finish()
+        expected = reference_join(r, s, pred, TimeWindow(seconds=10.0))
+        assert check_exactly_once(engine.results, expected).ok
+
+    def test_random_routing_scale_events_exact(self):
+        pred = BandJoinPredicate("v", "v", 2.0)
+        engine = BicliqueEngine(config(routing="random", s_joiners=3), pred)
+        r, s = streams(n=60)
+        arrivals = list(merge_by_time(r, s))
+        half = len(arrivals) // 2
+        for t in arrivals[:half]:
+            engine.ingest(t)
+        engine.scale_out("R", 1, now=arrivals[half].ts)
+        engine.scale_in("S", now=arrivals[half].ts)
+        for t in arrivals[half:]:
+            engine.ingest(t)
+        engine.finish()
+        expected = reference_join(r, s, pred, TimeWindow(seconds=10.0))
+        assert check_exactly_once(engine.results, expected).ok

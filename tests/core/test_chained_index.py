@@ -1,0 +1,202 @@
+"""Tests for repro.core.chained_index (archive period P, Theorem 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BandJoinPredicate, EquiJoinPredicate, StreamTuple, TimeWindow
+from repro.core.chained_index import ChainedInMemoryIndex
+from repro.errors import IndexError_
+
+
+def r_tuple(ts: float, seq: int, **values) -> StreamTuple:
+    return StreamTuple("R", ts, values, seq=seq)
+
+
+def s_tuple(ts: float, seq: int, **values) -> StreamTuple:
+    return StreamTuple("S", ts, values, seq=seq)
+
+
+def make_index(window=10.0, period=2.0, predicate=None):
+    return ChainedInMemoryIndex(
+        predicate or EquiJoinPredicate("k", "k"), stored_side="S",
+        window=TimeWindow(seconds=window), archive_period=period)
+
+
+class TestConstruction:
+    def test_rejects_non_positive_period(self):
+        with pytest.raises(IndexError_):
+            make_index(period=0.0)
+
+    def test_rejects_negative_slack(self):
+        with pytest.raises(IndexError_):
+            ChainedInMemoryIndex(EquiJoinPredicate("k", "k"), "S",
+                                 TimeWindow(10.0), 1.0, expiry_slack=-1.0)
+
+    def test_monolithic_mode_allowed(self):
+        index = make_index(period=None)
+        assert index.archive_period is None
+
+
+class TestDataIndexing:
+    def test_starts_with_one_active_subindex(self):
+        assert make_index().subindex_count == 1
+
+    def test_archives_when_span_exceeds_period(self):
+        index = make_index(period=2.0)
+        index.insert(s_tuple(0.0, 0, k=1))
+        index.insert(s_tuple(1.5, 1, k=1))
+        assert index.subindex_count == 1  # span 1.5 <= P
+        index.insert(s_tuple(2.5, 2, k=1))
+        assert index.subindex_count == 2  # span 2.5 > P → archived
+
+    def test_long_stream_creates_many_subindexes(self):
+        index = make_index(window=100.0, period=1.0)
+        for i in range(50):
+            index.insert(s_tuple(i * 0.5, i, k=1))
+        # 25 seconds of data in slices spanning P plus one arrival gap
+        # (archival triggers on the first insert exceeding the period):
+        # 4 tuples / 1.5 s per slice → ceil(50/4) = 13 sub-indexes.
+        assert 10 <= index.subindex_count <= 17
+        assert len(index) == 50
+
+    def test_monolithic_never_archives(self):
+        index = make_index(window=100.0, period=None)
+        for i in range(50):
+            index.insert(s_tuple(i * 1.0, i, k=1))
+        assert index.subindex_count == 1
+
+
+class TestDataDiscarding:
+    def test_expires_whole_subindexes(self):
+        index = make_index(window=10.0, period=2.0)
+        for i in range(20):
+            index.insert(s_tuple(float(i), i, k=1))
+        discarded = index.expire(probe_ts=25.0)
+        # tuples with ts < 15 may go; tuples in [15, 19] must stay
+        assert discarded > 0
+        remaining = {t.seq for t in index.all_tuples()}
+        assert {15, 16, 17, 18, 19} <= remaining
+
+    def test_expiry_is_subindex_granular(self):
+        """A sub-index with any live tuple is kept whole — chained
+        discarding trades a little memory for O(1) expiry."""
+        index = make_index(window=5.0, period=2.0)
+        for i in range(10):
+            index.insert(s_tuple(float(i), i, k=1))
+        index.expire(probe_ts=8.0)
+        # Theorem 1: only sub-indexes whose max_ts < 3.0 were dropped.
+        for t in index.all_tuples():
+            # the straddling sub-index may retain some expired tuples
+            assert t.ts >= 0.0
+        live = {t.seq for t in index.all_tuples()}
+        assert {3, 4, 5, 6, 7, 8, 9} <= live
+
+    def test_never_discards_live_tuples(self):
+        index = make_index(window=10.0, period=3.0)
+        for i in range(30):
+            index.insert(s_tuple(float(i), i, k=1))
+        index.expire(probe_ts=29.0)
+        live = {t.seq for t in index.all_tuples()}
+        assert all(seq in live for seq in range(19, 30))
+
+    def test_expire_counts_tuples(self):
+        index = make_index(window=2.0, period=1.0)
+        for i in range(10):
+            index.insert(s_tuple(float(i), i, k=1))
+        total = index.expire(probe_ts=100.0)
+        assert total == 10
+        assert len(index) == 0
+
+    def test_fully_stale_active_subindex_is_replaced(self):
+        index = make_index(window=2.0, period=100.0)  # never archives
+        index.insert(s_tuple(0.0, 0, k=1))
+        index.insert(s_tuple(1.0, 1, k=1))
+        assert index.expire(probe_ts=50.0) == 2
+        assert len(index) == 0
+
+    def test_monolithic_expiry_filters_tuples(self):
+        index = make_index(window=5.0, period=None)
+        for i in range(10):
+            index.insert(s_tuple(float(i), i, k=1))
+        index.expire(probe_ts=9.0)
+        live = sorted(t.seq for t in index.all_tuples())
+        assert live == [4, 5, 6, 7, 8, 9]
+
+    def test_expiry_slack_retains_borderline_state(self):
+        index = ChainedInMemoryIndex(
+            EquiJoinPredicate("k", "k"), "S", TimeWindow(5.0),
+            archive_period=1.0, expiry_slack=3.0)
+        for i in range(10):
+            index.insert(s_tuple(float(i), i, k=1))
+        index.expire(probe_ts=9.0)
+        # without slack, tuples older than 4.0 could go; with slack 3,
+        # only tuples older than 1.0 may go.
+        live = {t.seq for t in index.all_tuples()}
+        assert {2, 3, 4, 5, 6, 7, 8, 9} <= live
+
+
+class TestJoinProcessing:
+    def test_probe_rejects_same_relation(self):
+        index = make_index()
+        with pytest.raises(IndexError_):
+            index.probe(s_tuple(0.0, 0, k=1))
+
+    def test_probe_matches_across_subindexes(self):
+        index = make_index(window=100.0, period=1.0)
+        for i in range(10):
+            index.insert(s_tuple(float(i), i, k=i % 2))
+        matches = index.probe(r_tuple(10.0, 0, k=0))
+        assert sorted(m.seq for m in matches) == [0, 2, 4, 6, 8]
+
+    def test_probe_filters_window_boundary(self):
+        """Candidates in the straddling sub-index outside the window are
+        filtered per tuple."""
+        index = make_index(window=3.0, period=10.0)  # one big sub-index
+        for i in range(10):
+            index.insert(s_tuple(float(i), i, k=1))
+        matches = index.probe(r_tuple(9.0, 0, k=1))
+        assert sorted(m.ts for m in matches) == [6.0, 7.0, 8.0, 9.0]
+        assert index.stats.window_filtered > 0
+
+    def test_probe_triggers_expiry_first(self):
+        index = make_index(window=2.0, period=1.0)
+        for i in range(10):
+            index.insert(s_tuple(float(i), i, k=1))
+        index.probe(r_tuple(50.0, 0, k=1))
+        assert len(index) < 10
+
+    def test_stats_accumulate(self):
+        index = make_index(window=100.0, period=1.0)
+        for i in range(10):
+            index.insert(s_tuple(float(i), i, k=1))
+        index.probe(r_tuple(10.0, 0, k=1))
+        stats = index.stats
+        assert stats.inserts == 10
+        assert stats.probes == 1
+        assert stats.matches == 10
+        assert stats.comparisons >= 10
+
+
+class TestChainedVsMonolithicEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=50),
+                              st.integers(min_value=0, max_value=5)),
+                    max_size=40),
+           st.floats(min_value=0, max_value=60),
+           st.integers(min_value=0, max_value=5))
+    def test_same_probe_results(self, inserts, probe_ts, probe_key):
+        """Chained and monolithic indexes agree on every probe, for any
+        insert history and archive period (results-equivalence of the
+        E5 ablation)."""
+        inserts = sorted(inserts)  # stream order
+        chained = make_index(window=10.0, period=2.0)
+        mono = make_index(window=10.0, period=None)
+        for i, (ts, key) in enumerate(inserts):
+            chained.insert(s_tuple(ts, i, k=key))
+            mono.insert(s_tuple(ts, i, k=key))
+        probe = r_tuple(max(probe_ts, max([ts for ts, _ in inserts], default=0.0)),
+                        0, k=probe_key)
+        got_chained = sorted(m.seq for m in chained.probe(probe))
+        got_mono = sorted(m.seq for m in mono.probe(probe))
+        assert got_chained == got_mono

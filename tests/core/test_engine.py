@@ -1,0 +1,83 @@
+"""Tests for repro.core.engine (the StreamJoinEngine facade)."""
+
+import pytest
+
+from repro import (
+    BicliqueConfig,
+    EquiJoinPredicate,
+    StreamJoinEngine,
+    TimeWindow,
+    stream_from_pairs,
+)
+from repro.harness import check_exactly_once, reference_join
+
+
+def config(**overrides):
+    defaults = dict(window=TimeWindow(seconds=8.0), r_joiners=2, s_joiners=2,
+                    routers=1, archive_period=2.0, punctuation_interval=0.5)
+    defaults.update(overrides)
+    return BicliqueConfig(**defaults)
+
+
+def streams():
+    r = stream_from_pairs("R", [(i * 0.4, {"k": i % 4}) for i in range(30)])
+    s = stream_from_pairs("S", [(i * 0.5, {"k": i % 4}) for i in range(25)])
+    return r, s
+
+
+class TestRun:
+    def test_returns_results_and_report(self):
+        r, s = streams()
+        pred = EquiJoinPredicate("k", "k")
+        engine = StreamJoinEngine(config(), pred)
+        results, report = engine.run(r, s)
+        expected = reference_join(r, s, pred, TimeWindow(seconds=8.0))
+        assert check_exactly_once(results, expected).ok
+        assert report.results == len(expected)
+        assert report.duplicates == 0
+
+    def test_report_counts_ingested(self):
+        r, s = streams()
+        engine = StreamJoinEngine(config(), EquiJoinPredicate("k", "k"))
+        _, report = engine.run(r, s)
+        assert report.tuples_ingested == len(r) + len(s)
+
+    def test_report_network_messages_positive(self):
+        r, s = streams()
+        engine = StreamJoinEngine(config(), EquiJoinPredicate("k", "k"))
+        _, report = engine.run(r, s)
+        assert report.network.data_messages >= len(r) + len(s)
+
+    def test_memory_sampling_reports_peak(self):
+        r, s = streams()
+        engine = StreamJoinEngine(config(), EquiJoinPredicate("k", "k"))
+        _, report = engine.run(r, s, sample_memory_every=5)
+        assert report.peak_live_bytes > 0
+
+    def test_empty_streams(self):
+        engine = StreamJoinEngine(config(), EquiJoinPredicate("k", "k"))
+        results, report = engine.run([], [])
+        assert results == []
+        assert report.results == 0
+
+    def test_one_empty_stream(self):
+        r, _ = streams()
+        engine = StreamJoinEngine(config(), EquiJoinPredicate("k", "k"))
+        results, report = engine.run(r, [])
+        assert results == []
+        assert report.stored_tuples_final == len(r)
+
+    def test_run_interleaved_accepts_premerged(self):
+        from repro import merge_by_time
+        r, s = streams()
+        pred = EquiJoinPredicate("k", "k")
+        engine = StreamJoinEngine(config(), pred)
+        results, _ = engine.run_interleaved(list(merge_by_time(r, s)))
+        expected = reference_join(r, s, pred, TimeWindow(seconds=8.0))
+        assert check_exactly_once(results, expected).ok
+
+    def test_latency_summary_present(self):
+        r, s = streams()
+        engine = StreamJoinEngine(config(), EquiJoinPredicate("k", "k"))
+        _, report = engine.run(r, s)
+        assert report.latency.count == report.results

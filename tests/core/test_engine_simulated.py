@@ -1,0 +1,55 @@
+"""Tests for StreamJoinEngine.run_simulated and the CLI entry point."""
+
+import pytest
+
+from repro import BicliqueConfig, EquiJoinPredicate, StreamJoinEngine, TimeWindow
+from repro.cluster import ClusterConfig, HpaConfig
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+
+class TestRunSimulated:
+    def test_returns_cluster_and_report(self):
+        workload = EquiJoinWorkload(keys=UniformKeys(50), seed=5)
+        profile = ConstantRate(20.0)
+        engine = StreamJoinEngine(
+            BicliqueConfig(window=TimeWindow(10.0), r_joiners=1,
+                           s_joiners=1, archive_period=2.0,
+                           punctuation_interval=0.5),
+            EquiJoinPredicate("k", "k"))
+        cluster, report = engine.run_simulated(
+            workload.arrivals(profile, 20.0), 20.0, rate_fn=profile.rate,
+            cluster_config=ClusterConfig(timeline_interval=5.0))
+        assert report.tuples_ingested == 400
+        assert report.results == len(cluster.engine.results) > 0
+        assert report.timeline
+
+    def test_with_autoscaler(self):
+        workload = EquiJoinWorkload(keys=UniformKeys(50), seed=5)
+        profile = ConstantRate(20.0)
+        engine = StreamJoinEngine(
+            BicliqueConfig(window=TimeWindow(10.0), r_joiners=1,
+                           s_joiners=1, archive_period=2.0,
+                           punctuation_interval=0.5),
+            EquiJoinPredicate("k", "k"))
+        hpa = HpaConfig(metric="cpu", target_utilisation=0.8, period=5.0)
+        cluster, report = engine.run_simulated(
+            workload.arrivals(profile, 15.0), 15.0, hpa={"R": hpa})
+        assert "R" in report.hpa_decisions
+        assert report.hpa_decisions["R"]
+
+
+class TestMainEntryPoint:
+    def test_demo_command(self, capsys):
+        from repro.__main__ import main
+        assert main(["repro", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "exactly-once check: OK" in out
+
+    def test_info_command(self, capsys):
+        from repro.__main__ import main
+        assert main(["repro", "info"]) == 0
+        assert "version" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        from repro.__main__ import main
+        assert main(["repro", "frobnicate"]) == 2

@@ -1,0 +1,146 @@
+"""Engine-level variant tests: timestamp policies, conjunctions,
+window-type validation and subgroup auto-routing interplay."""
+
+import pytest
+
+from repro import (
+    BandJoinPredicate,
+    BicliqueConfig,
+    ConjunctionPredicate,
+    CountWindow,
+    EquiJoinPredicate,
+    StreamJoinEngine,
+    ThetaJoinPredicate,
+    TimeWindow,
+    stream_from_pairs,
+)
+from repro.errors import ConfigurationError
+from repro.harness import check_exactly_once, reference_join
+
+
+def streams(n=40):
+    r = stream_from_pairs("R", [(i * 0.4, {"k": i % 5, "v": float(i)})
+                                for i in range(n)])
+    s = stream_from_pairs("S", [(i * 0.5, {"k": i % 5, "v": float(i)})
+                                for i in range(n)])
+    return r, s
+
+
+def config(**overrides):
+    defaults = dict(window=TimeWindow(8.0), r_joiners=2, s_joiners=2,
+                    archive_period=2.0, punctuation_interval=0.5)
+    defaults.update(overrides)
+    return BicliqueConfig(**defaults)
+
+
+class TestWindowValidation:
+    def test_count_window_rejected_by_engine_config(self):
+        with pytest.raises(ConfigurationError):
+            config(window=CountWindow(count=100))
+
+    def test_non_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config(window=5.0)
+
+
+class TestTimestampPolicies:
+    def test_min_policy_tags_results_with_older_input(self):
+        r, s = streams()
+        engine = StreamJoinEngine(config(timestamp_policy="min"),
+                                  EquiJoinPredicate("k", "k"))
+        results, _ = engine.run(r, s)
+        assert results
+        for res in results:
+            assert res.ts == min(res.r.ts, res.s.ts)
+
+    def test_max_policy_is_default(self):
+        r, s = streams()
+        engine = StreamJoinEngine(config(), EquiJoinPredicate("k", "k"))
+        results, _ = engine.run(r, s)
+        for res in results:
+            assert res.ts == max(res.r.ts, res.s.ts)
+
+    def test_policies_produce_same_pair_set(self):
+        r, s = streams()
+        pred = EquiJoinPredicate("k", "k")
+        res_min, _ = StreamJoinEngine(config(timestamp_policy="min"),
+                                      pred).run(r, s)
+        res_max, _ = StreamJoinEngine(config(timestamp_policy="max"),
+                                      pred).run(r, s)
+        assert {x.key for x in res_min} == {x.key for x in res_max}
+
+
+class TestConjunctionRouting:
+    def test_conjunction_with_equi_auto_routes_hash(self):
+        pred = ConjunctionPredicate([
+            EquiJoinPredicate("k", "k"),
+            BandJoinPredicate("v", "v", band=3.0),
+        ])
+        engine = StreamJoinEngine(config(), pred)
+        assert engine.engine.routing_mode == "hash"
+        r, s = streams()
+        results, report = engine.run(r, s)
+        expected = reference_join(r, s, pred, TimeWindow(8.0))
+        assert check_exactly_once(results, expected).ok
+        # Hash routing fan-out stays 2 even for the conjunction.
+        assert report.network.data_messages == 2 * report.tuples_ingested
+
+    def test_theta_only_conjunction_auto_routes_random(self):
+        pred = ConjunctionPredicate([
+            ThetaJoinPredicate("v", "<", "v"),
+            BandJoinPredicate("v", "v", band=10.0),
+        ])
+        engine = StreamJoinEngine(config(), pred)
+        assert engine.engine.routing_mode == "random"
+        r, s = streams()
+        results, _ = engine.run(r, s)
+        expected = reference_join(r, s, pred, TimeWindow(8.0))
+        assert check_exactly_once(results, expected).ok
+
+
+class TestSubgroupInteractions:
+    def test_subgroups_with_unequal_sides(self):
+        pred = BandJoinPredicate("v", "v", band=2.0)
+        cfg = config(r_joiners=4, s_joiners=2, r_subgroups=2, s_subgroups=1,
+                     routing="random")
+        engine = StreamJoinEngine(cfg, pred)
+        r, s = streams()
+        results, report = engine.run(r, s)
+        expected = reference_join(r, s, pred, TimeWindow(8.0))
+        assert check_exactly_once(results, expected).ok
+        # R tuples stored twice (2 subgroups), S tuples once.
+        stored = engine.engine.total_stored_tuples()
+        live_r = sum(j.stored_tuples for j in engine.engine.joiners.values()
+                     if j.side == "R")
+        live_s = stored - live_r
+        # window expiry complicates exact counts; compare via stats
+        stored_r_events = sum(
+            j.stats.tuples_stored for j in engine.engine.joiners.values()
+            if j.side == "R")
+        stored_s_events = sum(
+            j.stats.tuples_stored for j in engine.engine.joiners.values()
+            if j.side == "S")
+        assert stored_r_events == 2 * len(r)
+        assert stored_s_events == len(s)
+
+    def test_subgroup_scale_out_keeps_balance(self):
+        pred = BandJoinPredicate("v", "v", band=2.0)
+        cfg = config(r_joiners=4, s_joiners=4, r_subgroups=2, s_subgroups=2,
+                     routing="random")
+        engine = StreamJoinEngine(cfg, pred)
+        r, s = streams(n=60)
+        from repro import merge_by_time
+        arrivals = list(merge_by_time(r, s))
+        half = len(arrivals) // 2
+        for t in arrivals[:half]:
+            engine.engine.ingest(t)
+        new = engine.engine.scale_out("R", 2, now=arrivals[half].ts)
+        # new units balance across the two subgroups
+        subgroups = {engine.engine.groups["R"].subgroup_of(uid)
+                     for uid in new}
+        assert subgroups == {0, 1}
+        for t in arrivals[half:]:
+            engine.engine.ingest(t)
+        engine.engine.finish()
+        expected = reference_join(r, s, pred, TimeWindow(8.0))
+        assert check_exactly_once(engine.engine.results, expected).ok

@@ -1,0 +1,118 @@
+"""Tests for full-history joins (the unbounded 'window' of §2.2)."""
+
+import math
+
+import pytest
+
+from repro import (
+    BicliqueConfig,
+    EquiJoinPredicate,
+    FullHistoryWindow,
+    StreamJoinEngine,
+    TimeWindow,
+    stream_from_pairs,
+)
+from repro.core.chained_index import ChainedInMemoryIndex
+from repro.core.tuples import StreamTuple
+from repro.harness import check_exactly_once, reference_join
+
+
+class TestFullHistoryWindow:
+    def test_contains_everything(self):
+        w = FullHistoryWindow()
+        assert w.contains(0.0, 1e12)
+        assert w.contains(1e12, 0.0)
+
+    def test_nothing_expires(self):
+        w = FullHistoryWindow()
+        assert not w.is_expired(0.0, 1e12)
+
+    def test_infinite_extent(self):
+        assert FullHistoryWindow().seconds == math.inf
+
+
+class TestFullHistoryChainedIndex:
+    def test_expire_is_a_noop(self):
+        index = ChainedInMemoryIndex(
+            EquiJoinPredicate("k", "k"), "S", FullHistoryWindow(),
+            archive_period=1.0)
+        for i in range(20):
+            index.insert(StreamTuple("S", float(i), {"k": 1}, seq=i))
+        assert index.expire(probe_ts=1e9) == 0
+        assert len(index) == 20
+
+    def test_probe_reaches_ancient_state(self):
+        index = ChainedInMemoryIndex(
+            EquiJoinPredicate("k", "k"), "S", FullHistoryWindow(),
+            archive_period=1.0)
+        index.insert(StreamTuple("S", 0.0, {"k": 7}, seq=0))
+        matches = index.probe(StreamTuple("R", 1e9, {"k": 7}, seq=0))
+        assert len(matches) == 1
+
+    def test_still_slices_into_subindexes(self):
+        index = ChainedInMemoryIndex(
+            EquiJoinPredicate("k", "k"), "S", FullHistoryWindow(),
+            archive_period=2.0)
+        for i in range(20):
+            index.insert(StreamTuple("S", float(i), {"k": 1}, seq=i))
+        assert index.subindex_count > 1
+
+
+class TestFullHistoryEngine:
+    def _streams(self):
+        r = stream_from_pairs("R", [(float(i), {"k": i % 3})
+                                    for i in range(40)])
+        s = stream_from_pairs("S", [(i * 1.7, {"k": i % 3})
+                                    for i in range(30)])
+        return r, s
+
+    @pytest.mark.parametrize("routing", ["hash", "random"])
+    def test_all_historic_pairs_produced(self, routing):
+        r, s = self._streams()
+        pred = EquiJoinPredicate("k", "k")
+        engine = StreamJoinEngine(
+            BicliqueConfig(window=FullHistoryWindow(), r_joiners=2,
+                           s_joiners=2, routing=routing, archive_period=5.0,
+                           punctuation_interval=0.5),
+            pred)
+        results, report = engine.run(r, s)
+        expected = reference_join(r, s, pred, FullHistoryWindow())
+        assert check_exactly_once(results, expected).ok
+        # Nothing was ever discarded.
+        assert report.stored_tuples_final == len(r) + len(s)
+
+    def test_history_superset_of_windowed(self):
+        r, s = self._streams()
+        pred = EquiJoinPredicate("k", "k")
+        full = StreamJoinEngine(
+            BicliqueConfig(window=FullHistoryWindow(), archive_period=5.0,
+                           punctuation_interval=0.5), pred)
+        windowed = StreamJoinEngine(
+            BicliqueConfig(window=TimeWindow(5.0), archive_period=1.0,
+                           punctuation_interval=0.5), pred)
+        full_results, _ = full.run(r, s)
+        win_results, _ = windowed.run(r, s)
+        assert {x.key for x in win_results} <= {x.key for x in full_results}
+        assert len(full_results) > len(win_results)
+
+    def test_scale_out_under_full_history(self):
+        """Epoch-based hash routing must keep probing old owners forever
+        under full history (the horizon never passes)."""
+        from repro import BicliqueEngine, merge_by_time
+        r, s = self._streams()
+        pred = EquiJoinPredicate("k", "k")
+        engine = BicliqueEngine(
+            BicliqueConfig(window=FullHistoryWindow(), r_joiners=1,
+                           s_joiners=1, routing="hash", archive_period=5.0,
+                           punctuation_interval=0.5), pred)
+        arrivals = list(merge_by_time(r, s))
+        half = len(arrivals) // 2
+        for t in arrivals[:half]:
+            engine.ingest(t)
+        engine.scale_out("R", 1, now=arrivals[half].ts)
+        engine.scale_out("S", 1, now=arrivals[half].ts)
+        for t in arrivals[half:]:
+            engine.ingest(t)
+        engine.finish()
+        expected = reference_join(r, s, pred, FullHistoryWindow())
+        assert check_exactly_once(engine.results, expected).ok

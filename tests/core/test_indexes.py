@@ -1,0 +1,209 @@
+"""Tests for repro.core.indexes (hash / sorted / brute-force probing)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (
+    BandJoinPredicate,
+    ConjunctionPredicate,
+    CrossPredicate,
+    EquiJoinPredicate,
+    StreamTuple,
+    ThetaJoinPredicate,
+)
+from repro.core.indexes import (
+    BruteForceIndex,
+    HashIndex,
+    SortedIndex,
+    index_factory,
+)
+from repro.errors import IndexError_
+
+
+def stored(side: str, ts: float, seq: int, **values) -> StreamTuple:
+    return StreamTuple(side, ts, values, seq=seq)
+
+
+def brute_probe(tuples, predicate, probe):
+    """Oracle: evaluate the predicate by brute force."""
+    out = []
+    for t in tuples:
+        if probe.relation == "R":
+            ok = predicate.matches(probe, t)
+        else:
+            ok = predicate.matches(t, probe)
+        if ok:
+            out.append(t)
+    return out
+
+
+class TestBookkeeping:
+    def test_rejects_wrong_relation(self):
+        index = BruteForceIndex("S")
+        with pytest.raises(IndexError_):
+            index.insert(stored("R", 0.0, 0, k=1))
+
+    def test_tracks_min_max_ts(self):
+        index = BruteForceIndex("S")
+        index.insert(stored("S", 5.0, 0, k=1))
+        index.insert(stored("S", 2.0, 1, k=1))
+        index.insert(stored("S", 9.0, 2, k=1))
+        assert (index.min_ts, index.max_ts) == (2.0, 9.0)
+        assert index.time_span() == 7.0
+
+    def test_empty_index_span_zero(self):
+        assert BruteForceIndex("S").time_span() == 0.0
+
+    def test_len_and_bytes_grow(self):
+        index = BruteForceIndex("S")
+        assert len(index) == 0 and index.bytes == 0
+        index.insert(stored("S", 0.0, 0, k=1))
+        assert len(index) == 1 and index.bytes > 0
+
+
+class TestHashIndex:
+    def test_probe_finds_equal_keys_only(self):
+        index = HashIndex("S", "k")
+        for i in range(10):
+            index.insert(stored("S", float(i), i, k=i % 3))
+        pred = EquiJoinPredicate("k", "k")
+        probe = stored("R", 10.0, 0, k=1)
+        matches, comparisons = index.probe(pred, probe)
+        assert all(m["k"] == 1 for m in matches)
+        assert len(matches) == len([i for i in range(10) if i % 3 == 1])
+        # bucket-limited comparisons, not a full scan
+        assert comparisons == len(matches)
+
+    def test_probe_missing_key_is_empty(self):
+        index = HashIndex("S", "k")
+        index.insert(stored("S", 0.0, 0, k=1))
+        matches, comparisons = index.probe(
+            EquiJoinPredicate("k", "k"), stored("R", 1.0, 0, k=99))
+        assert matches == [] and comparisons == 0
+
+    def test_conjunction_rechecks_residual_predicates(self):
+        index = HashIndex("S", "k")
+        index.insert(stored("S", 0.0, 0, k=1, v=10.0))
+        index.insert(stored("S", 0.0, 1, k=1, v=50.0))
+        pred = ConjunctionPredicate([
+            EquiJoinPredicate("k", "k"),
+            BandJoinPredicate("v", "v", band=5.0),
+        ])
+        matches, _ = index.probe(pred, stored("R", 1.0, 0, k=1, v=12.0))
+        assert [m.seq for m in matches] == [0]
+
+    def test_non_equi_predicate_falls_back_to_scan(self):
+        index = HashIndex("S", "k")
+        for i in range(5):
+            index.insert(stored("S", 0.0, i, k=i))
+        pred = ThetaJoinPredicate("k", "<", "k")
+        matches, comparisons = index.probe(pred, stored("R", 1.0, 0, k=2))
+        assert sorted(m["k"] for m in matches) == [3, 4]
+        assert comparisons == 5
+
+    def test_all_tuples_roundtrip(self):
+        index = HashIndex("S", "k")
+        for i in range(5):
+            index.insert(stored("S", 0.0, i, k=i % 2))
+        assert sorted(t.seq for t in index.all_tuples()) == list(range(5))
+
+
+class TestSortedIndex:
+    def _filled(self, values):
+        index = SortedIndex("S", "v")
+        for i, v in enumerate(values):
+            index.insert(stored("S", 0.0, i, v=v))
+        return index
+
+    def test_band_probe_range(self):
+        index = self._filled([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        pred = BandJoinPredicate("v", "v", band=1.0)
+        matches, comparisons = index.probe(pred, stored("R", 1.0, 0, v=2.5))
+        assert sorted(m["v"] for m in matches) == [2.0, 3.0]
+        assert comparisons == 2  # only the candidate range was touched
+
+    def test_equi_probe_on_sorted(self):
+        index = self._filled([1.0, 2.0, 2.0, 3.0])
+        pred = EquiJoinPredicate("v", "v")
+        matches, _ = index.probe(pred, stored("R", 1.0, 0, v=2.0))
+        assert len(matches) == 2
+
+    @pytest.mark.parametrize("op,probe_rel,value,expected", [
+        ("<", "R", 2.0, [3.0, 4.0]),     # stored s > 2
+        ("<=", "R", 2.0, [2.0, 3.0, 4.0]),
+        (">", "R", 2.0, [0.0, 1.0]),     # stored s < 2
+        (">=", "R", 2.0, [0.0, 1.0, 2.0]),
+        ("<", "S", 2.0, [0.0, 1.0]),     # stored r < 2 (probe from S)
+        (">", "S", 2.0, [3.0, 4.0]),     # stored r > 2
+    ])
+    def test_theta_probe_directions(self, op, probe_rel, value, expected):
+        index = SortedIndex(("S" if probe_rel == "R" else "R"), "v")
+        for i, v in enumerate([0.0, 1.0, 2.0, 3.0, 4.0]):
+            index.insert(stored(index.stored_side, 0.0, i, v=v))
+        pred = ThetaJoinPredicate("v", op, "v")
+        matches, _ = index.probe(pred, stored(probe_rel, 1.0, 0, v=value))
+        assert sorted(m["v"] for m in matches) == expected
+
+    def test_not_equal_scans_all(self):
+        index = self._filled([1.0, 2.0, 3.0])
+        pred = ThetaJoinPredicate("v", "!=", "v")
+        matches, comparisons = index.probe(pred, stored("R", 1.0, 0, v=2.0))
+        assert sorted(m["v"] for m in matches) == [1.0, 3.0]
+        assert comparisons == 3
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), max_size=40),
+           st.floats(min_value=-50, max_value=50),
+           st.floats(min_value=0, max_value=20))
+    def test_band_probe_matches_oracle(self, values, probe_value, band):
+        index = self._filled(values)
+        pred = BandJoinPredicate("v", "v", band=band)
+        probe = stored("R", 1.0, 0, v=probe_value)
+        matches, _ = index.probe(pred, probe)
+        expected = brute_probe(list(index.all_tuples()), pred, probe)
+        assert sorted(m.seq for m in matches) == sorted(m.seq for m in expected)
+
+    @given(st.lists(st.integers(min_value=-20, max_value=20), max_size=30),
+           st.integers(min_value=-20, max_value=20),
+           st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+           st.sampled_from(["R", "S"]))
+    def test_theta_probe_matches_oracle(self, values, probe_value, op, probe_rel):
+        side = "S" if probe_rel == "R" else "R"
+        index = SortedIndex(side, "v")
+        for i, v in enumerate(values):
+            index.insert(stored(side, 0.0, i, v=v))
+        pred = ThetaJoinPredicate("v", op, "v")
+        probe = stored(probe_rel, 1.0, 0, v=probe_value)
+        matches, _ = index.probe(pred, probe)
+        expected = brute_probe(list(index.all_tuples()), pred, probe)
+        assert sorted(m.seq for m in matches) == sorted(m.seq for m in expected)
+
+
+class TestIndexFactory:
+    def test_equi_gets_hash_index(self):
+        make = index_factory(EquiJoinPredicate("a", "b"), "S")
+        assert isinstance(make(), HashIndex)
+
+    def test_conjunction_with_equi_gets_hash_index(self):
+        pred = ConjunctionPredicate([
+            BandJoinPredicate("v", "v", band=1.0),
+            EquiJoinPredicate("a", "b"),
+        ])
+        assert isinstance(index_factory(pred, "R")(), HashIndex)
+
+    def test_band_gets_sorted_index(self):
+        make = index_factory(BandJoinPredicate("a", "b", band=1.0), "S")
+        assert isinstance(make(), SortedIndex)
+
+    def test_theta_gets_sorted_index(self):
+        make = index_factory(ThetaJoinPredicate("a", "<", "b"), "R")
+        assert isinstance(make(), SortedIndex)
+
+    def test_cross_gets_brute_force(self):
+        make = index_factory(CrossPredicate(), "S")
+        assert isinstance(make(), BruteForceIndex)
+
+    def test_key_attr_matches_stored_side(self):
+        pred = EquiJoinPredicate("a", "b")
+        assert index_factory(pred, "R")().key_attr == "a"
+        assert index_factory(pred, "S")().key_attr == "b"

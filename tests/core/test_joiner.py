@@ -1,0 +1,155 @@
+"""Tests for repro.core.joiner (store branch, join branch, ordering)."""
+
+import pytest
+
+from repro import EquiJoinPredicate, StreamTuple, TimeWindow
+from repro.core.joiner import Joiner
+from repro.core.ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE, Envelope
+from repro.errors import ConfigurationError
+
+
+def r_tuple(ts, key, seq=0):
+    return StreamTuple("R", ts, {"k": key}, seq=seq)
+
+
+def s_tuple(ts, key, seq=0):
+    return StreamTuple("S", ts, {"k": key}, seq=seq)
+
+
+def make_joiner(side="R", ordered=False, window=10.0, period=2.0):
+    results = []
+    joiner = Joiner(
+        unit_id=f"{side}0", side=side, predicate=EquiJoinPredicate("k", "k"),
+        window=TimeWindow(seconds=window), archive_period=period,
+        result_sink=results.append, ordered=ordered)
+    joiner.register_router("router0")
+    return joiner, results
+
+
+def env(kind, t, counter, router="router0"):
+    return Envelope(kind=kind, router_id=router, counter=counter, tuple=t)
+
+
+def punct(counter, router="router0"):
+    return Envelope(kind=KIND_PUNCTUATION, router_id=router, counter=counter)
+
+
+class TestValidation:
+    def test_bad_side_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Joiner("X0", "X", EquiJoinPredicate("k", "k"),
+                   TimeWindow(10.0), 1.0, lambda r: None)
+
+    def test_store_of_wrong_relation_rejected(self):
+        joiner, _ = make_joiner(side="R")
+        with pytest.raises(ConfigurationError):
+            joiner.on_envelope(env(KIND_STORE, s_tuple(0.0, 1), 0))
+
+    def test_probe_with_own_relation_rejected(self):
+        joiner, _ = make_joiner(side="R")
+        with pytest.raises(ConfigurationError):
+            joiner.on_envelope(env(KIND_JOIN, r_tuple(0.0, 1), 0))
+
+
+class TestUnorderedProcessing:
+    def test_store_then_probe_produces_result(self):
+        joiner, results = make_joiner(side="R")
+        joiner.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        joiner.on_envelope(env(KIND_JOIN, s_tuple(1.0, 7, seq=1), 1))
+        assert len(results) == 1
+        assert results[0].r.ident == ("R", 0)
+        assert results[0].s.ident == ("S", 1)
+
+    def test_probe_before_store_misses(self):
+        """Figure 8: a probe that arrives before the matching store finds
+        nothing — the opposite side is responsible for that pair."""
+        joiner, results = make_joiner(side="R")
+        joiner.on_envelope(env(KIND_JOIN, s_tuple(1.0, 7), 0))
+        joiner.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 1))
+        assert results == []
+
+    def test_non_matching_keys_no_result(self):
+        joiner, results = make_joiner(side="R")
+        joiner.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        joiner.on_envelope(env(KIND_JOIN, s_tuple(1.0, 8, seq=1), 1))
+        assert results == []
+
+    def test_result_operand_order_normalised_on_s_side(self):
+        joiner, results = make_joiner(side="S")
+        joiner.on_envelope(env(KIND_STORE, s_tuple(0.0, 7), 0))
+        joiner.on_envelope(env(KIND_JOIN, r_tuple(1.0, 7, seq=1), 1))
+        assert results[0].r.relation == "R"
+        assert results[0].s.relation == "S"
+
+    def test_window_expiry_drops_old_state(self):
+        joiner, results = make_joiner(side="R", window=5.0, period=1.0)
+        joiner.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        joiner.on_envelope(env(KIND_JOIN, s_tuple(100.0, 7, seq=1), 1))
+        assert results == []
+        assert joiner.stored_tuples == 0
+
+    def test_multiple_matches(self):
+        joiner, results = make_joiner(side="R")
+        for i in range(5):
+            joiner.on_envelope(env(KIND_STORE, r_tuple(0.1 * i, 7, seq=i), i))
+        joiner.on_envelope(env(KIND_JOIN, s_tuple(1.0, 7, seq=0), 5))
+        assert len(results) == 5
+
+    def test_stats_track_operations(self):
+        joiner, _ = make_joiner(side="R")
+        joiner.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        joiner.on_envelope(env(KIND_JOIN, s_tuple(1.0, 7, seq=1), 1))
+        joiner.on_envelope(env(KIND_PUNCTUATION, None, 2))
+        stats = joiner.stats
+        assert stats.tuples_stored == 1
+        assert stats.probes_processed == 1
+        assert stats.results_emitted == 1
+        assert stats.punctuations_received == 1
+        assert stats.envelopes_received == 3
+
+    def test_live_bytes_grow_with_state(self):
+        joiner, _ = make_joiner(side="R")
+        assert joiner.live_bytes == 0
+        joiner.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        assert joiner.live_bytes > 0
+
+
+class TestOrderedProcessing:
+    def test_processing_deferred_until_punctuation(self):
+        joiner, results = make_joiner(side="R", ordered=True)
+        joiner.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        joiner.on_envelope(env(KIND_JOIN, s_tuple(1.0, 7, seq=1), 1))
+        assert results == []  # buffered
+        joiner.on_envelope(punct(2))
+        assert len(results) == 1
+
+    def test_reordered_arrival_fixed_by_protocol(self):
+        """Store and probe arrive swapped (store counter < probe counter,
+        but probe delivered first): the reorder buffer restores the
+        global order, so the result is still produced."""
+        joiner, results = make_joiner(side="R", ordered=True)
+        joiner.register_router("router1")
+        joiner.on_envelope(env(KIND_JOIN, s_tuple(1.0, 7, seq=1), 1,
+                               router="router1"))
+        joiner.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        # both routers must punctuate before release
+        joiner.on_envelope(punct(5, router="router0"))
+        joiner.on_envelope(punct(5, router="router1"))
+        assert len(results) == 1
+
+    def test_flush_releases_buffered(self):
+        joiner, results = make_joiner(side="R", ordered=True)
+        joiner.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        joiner.on_envelope(env(KIND_JOIN, s_tuple(1.0, 7, seq=1), 1))
+        joiner.flush()
+        assert len(results) == 1
+
+    def test_unregister_router_processes_unblocked(self):
+        joiner, results = make_joiner(side="R", ordered=True)
+        joiner.register_router("router1")
+        joiner.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        joiner.on_envelope(env(KIND_JOIN, s_tuple(1.0, 7, seq=1), 1))
+        joiner.on_envelope(punct(5, router="router0"))
+        assert results == []  # router1 never punctuated
+        joiner.unregister_router("router1")
+        assert len(results) == 1

@@ -1,0 +1,90 @@
+"""Lifecycle guards: single-use facade, idempotent finish, pod cleanup."""
+
+import pytest
+
+from repro import (
+    BicliqueConfig,
+    BicliqueEngine,
+    EquiJoinPredicate,
+    ReproError,
+    StreamJoinEngine,
+    TimeWindow,
+    stream_from_pairs,
+)
+
+
+def small_streams():
+    r = stream_from_pairs("R", [(i * 0.5, {"k": i % 3}) for i in range(20)])
+    s = stream_from_pairs("S", [(i * 0.6, {"k": i % 3}) for i in range(20)])
+    return r, s
+
+
+class TestSingleUseFacade:
+    def test_second_run_rejected(self):
+        r, s = small_streams()
+        engine = StreamJoinEngine(
+            BicliqueConfig(window=TimeWindow(5.0), archive_period=1.0,
+                           punctuation_interval=0.5),
+            EquiJoinPredicate("k", "k"))
+        engine.run(r, s)
+        with pytest.raises(ReproError):
+            engine.run(r, s)
+
+    def test_run_interleaved_also_guarded(self):
+        engine = StreamJoinEngine(
+            BicliqueConfig(window=TimeWindow(5.0)),
+            EquiJoinPredicate("k", "k"))
+        engine.run_interleaved([])
+        with pytest.raises(ReproError):
+            engine.run_interleaved([])
+
+
+class TestFinishIdempotent:
+    def test_double_finish_adds_nothing(self):
+        r, s = small_streams()
+        engine = BicliqueEngine(
+            BicliqueConfig(window=TimeWindow(5.0), archive_period=1.0,
+                           punctuation_interval=0.5),
+            EquiJoinPredicate("k", "k"))
+        from repro import merge_by_time
+        for t in merge_by_time(r, s):
+            engine.ingest(t)
+        engine.finish()
+        count = engine.results_count
+        engine.finish()
+        assert engine.results_count == count
+
+
+class TestPodCleanupOnReap:
+    def test_scaled_in_pod_unregistered_from_metrics(self):
+        from repro.cluster import ClusterConfig, CostModel, HpaConfig, \
+            SimulatedCluster
+        from repro.workloads import ConstantRate, EquiJoinWorkload, \
+            UniformKeys
+
+        # Overload then underload: the HPA scales out, then in; reaping
+        # must remove the drained unit's pod from the metrics registry.
+        from repro.workloads import StepRateProfile
+        profile = StepRateProfile([(0.0, 40.0), (30.0, 5.0)])
+        hpa = HpaConfig(metric="cpu", target_utilisation=0.8,
+                        min_replicas=1, max_replicas=3, period=5.0,
+                        scale_down_cooldown=10.0)
+        cluster = SimulatedCluster(
+            BicliqueConfig(window=TimeWindow(10.0), r_joiners=1,
+                           s_joiners=1, routing="hash", archive_period=2.0,
+                           punctuation_interval=0.2),
+            EquiJoinPredicate("k", "k"),
+            ClusterConfig(cost_model=CostModel().scaled(600.0),
+                          metrics_interval=5.0, reap_interval=5.0),
+            hpa={"R": hpa})
+        workload = EquiJoinWorkload(keys=UniformKeys(100), seed=8)
+        report = cluster.run(workload.arrivals(profile, 90.0), 90.0)
+        outs = [e for e in report.scale_events if e[2] == "out"]
+        ins = [e for e in report.scale_events if e[2] == "in"]
+        assert outs and ins, report.scale_events
+        live_units = set(cluster.engine.joiners)
+        # every joiner pod in the registry corresponds to a live unit
+        joiner_pods = {n for n in cluster.metrics.pod_names
+                       if n.startswith("joiner-")}
+        assert joiner_pods == {f"joiner-{uid}" for uid in live_units}
+        assert len(joiner_pods) < 1 + len(outs) + 1  # some pod was reaped

@@ -1,0 +1,123 @@
+"""Tests for repro.core.multiway (cascaded three-way joins)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BandJoinPredicate,
+    BicliqueConfig,
+    EquiJoinPredicate,
+    FullHistoryWindow,
+    TimeWindow,
+    stream_from_pairs,
+)
+from repro.core.multiway import CascadeJoin, reference_cascade
+from repro.errors import ConfigurationError
+
+
+def config(window, **overrides):
+    defaults = dict(window=window, r_joiners=2, s_joiners=2, routers=1,
+                    archive_period=2.0, punctuation_interval=0.5)
+    defaults.update(overrides)
+    return BicliqueConfig(**defaults)
+
+
+def streams(n=30, keys=4):
+    r = stream_from_pairs("R", [(i * 0.4, {"a": i % keys, "x": float(i)})
+                                for i in range(n)])
+    s = stream_from_pairs("S", [(i * 0.5, {"a": i % keys, "b": i % 3})
+                                for i in range(n)])
+    t = stream_from_pairs("T", [(i * 0.45, {"b": i % 3, "y": float(i)})
+                                for i in range(n)])
+    return r, s, t
+
+
+class TestCascadeCorrectness:
+    def test_matches_reference_equi_equi(self):
+        r, s, t = streams()
+        w1, w2 = TimeWindow(5.0), TimeWindow(4.0)
+        pred1 = EquiJoinPredicate("a", "a")
+        pred2 = EquiJoinPredicate("S.b", "b")
+        cascade = CascadeJoin(config(w1), pred1, config(w2), pred2)
+        results, report = cascade.run(r, s, t)
+        expected = reference_cascade(r, s, t, pred1, w1, pred2, w2)
+        assert {res.key for res in results} == expected
+        assert len(results) == len(expected)  # no duplicates
+        assert report.results == len(expected)
+
+    def test_matches_reference_with_band_second_stage(self):
+        r, s, t = streams()
+        w1, w2 = TimeWindow(5.0), TimeWindow(4.0)
+        pred1 = EquiJoinPredicate("a", "a")
+        pred2 = BandJoinPredicate("R.x", "y", band=2.0)
+        cascade = CascadeJoin(config(w1), pred1,
+                              config(w2, routing="random"), pred2)
+        results, _ = cascade.run(r, s, t)
+        expected = reference_cascade(r, s, t, pred1, w1, pred2, w2)
+        assert {res.key for res in results} == expected
+
+    def test_composite_attributes_are_prefixed(self):
+        r, s, t = streams(n=10)
+        pred1 = EquiJoinPredicate("a", "a")
+        # Predicate on the R side of the original pair.
+        pred2 = EquiJoinPredicate("R.a", "b")
+        w = TimeWindow(10.0)
+        cascade = CascadeJoin(config(w), pred1, config(w), pred2)
+        results, _ = cascade.run(r, s, t)
+        expected = reference_cascade(r, s, t, pred1, w, pred2, w)
+        assert {res.key for res in results} == expected
+
+    def test_empty_t_stream(self):
+        r, s, _ = streams()
+        w = TimeWindow(5.0)
+        cascade = CascadeJoin(config(w), EquiJoinPredicate("a", "a"),
+                              config(w), EquiJoinPredicate("S.b", "b"))
+        results, report = cascade.run(r, s, [])
+        assert results == []
+        assert report.intermediate_results > 0  # stage 1 still joined
+
+    def test_full_history_both_stages(self):
+        r, s, t = streams(n=15)
+        cascade = CascadeJoin(
+            config(FullHistoryWindow()), EquiJoinPredicate("a", "a"),
+            config(FullHistoryWindow()), EquiJoinPredicate("S.b", "b"))
+        results, _ = cascade.run(r, s, t)
+        expected = reference_cascade(
+            r, s, t, EquiJoinPredicate("a", "a"), FullHistoryWindow(),
+            EquiJoinPredicate("S.b", "b"), FullHistoryWindow())
+        assert {res.key for res in results} == expected
+
+    def test_full_history_first_requires_full_history_second(self):
+        with pytest.raises(ConfigurationError):
+            CascadeJoin(
+                config(FullHistoryWindow()), EquiJoinPredicate("a", "a"),
+                config(TimeWindow(5.0)), EquiJoinPredicate("S.b", "b"))
+
+    def test_stage2_slack_widened_automatically(self):
+        cascade = CascadeJoin(
+            config(TimeWindow(7.0)), EquiJoinPredicate("a", "a"),
+            config(TimeWindow(4.0)), EquiJoinPredicate("S.b", "b"))
+        assert cascade.stage2.config.expiry_slack >= 7.0
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 25), st.integers(0, 25), st.integers(0, 25),
+           st.integers(1, 4), st.sampled_from([2.0, 6.0]),
+           st.sampled_from([2.0, 6.0]))
+    def test_cascade_property(self, n_r, n_s, n_t, keys, w1_s, w2_s):
+        r = stream_from_pairs("R", [(i * 0.5, {"a": i % keys, "x": float(i)})
+                                    for i in range(n_r)])
+        s = stream_from_pairs("S", [(i * 0.6, {"a": i % keys, "b": i % 2})
+                                    for i in range(n_s)])
+        t = stream_from_pairs("T", [(i * 0.4, {"b": i % 2})
+                                    for i in range(n_t)])
+        w1, w2 = TimeWindow(w1_s), TimeWindow(w2_s)
+        pred1 = EquiJoinPredicate("a", "a")
+        pred2 = EquiJoinPredicate("S.b", "b")
+        cascade = CascadeJoin(config(w1), pred1, config(w2), pred2)
+        results, _ = cascade.run(r, s, t)
+        expected = reference_cascade(r, s, t, pred1, w1, pred2, w2)
+        produced = [res.key for res in results]
+        assert len(produced) == len(set(produced))  # exactly once
+        assert set(produced) == expected

@@ -1,0 +1,146 @@
+"""Tests for repro.core.pipeline (N-way left-deep cascades)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BandJoinPredicate,
+    BicliqueConfig,
+    EquiJoinPredicate,
+    TimeWindow,
+    stream_from_pairs,
+)
+from repro.core.pipeline import (
+    CascadePipeline,
+    PipelineStage,
+    reference_pipeline,
+)
+from repro.errors import ConfigurationError
+
+
+def config(window_seconds=6.0, **overrides):
+    defaults = dict(window=TimeWindow(window_seconds), r_joiners=2,
+                    s_joiners=2, archive_period=1.5,
+                    punctuation_interval=0.4)
+    defaults.update(overrides)
+    return BicliqueConfig(**defaults)
+
+
+def four_streams(n=20):
+    a = stream_from_pairs("A", [(i * 0.4, {"x": i % 3}) for i in range(n)])
+    b = stream_from_pairs("B", [(i * 0.5, {"x": i % 3, "y": i % 2})
+                                for i in range(n)])
+    c = stream_from_pairs("C", [(i * 0.45, {"y": i % 2, "z": i % 4})
+                                for i in range(n)])
+    d = stream_from_pairs("D", [(i * 0.55, {"z": i % 4}) for i in range(n)])
+    return a, b, c, d
+
+
+class TestValidation:
+    def test_needs_two_streams(self):
+        with pytest.raises(ConfigurationError):
+            CascadePipeline(["A"], [])
+
+    def test_stage_count_must_match(self):
+        with pytest.raises(ConfigurationError):
+            CascadePipeline(["A", "B", "C"], [
+                PipelineStage(config(), EquiJoinPredicate("A.x", "x"))])
+
+    def test_unique_names(self):
+        with pytest.raises(ConfigurationError):
+            CascadePipeline(["A", "A"], [
+                PipelineStage(config(), EquiJoinPredicate("A.x", "x"))])
+
+    def test_stream_count_checked_at_run(self):
+        pipeline = CascadePipeline(["A", "B"], [
+            PipelineStage(config(), EquiJoinPredicate("A.x", "x"))])
+        with pytest.raises(ConfigurationError):
+            pipeline.run([[]])
+
+
+class TestTwoWayEquivalence:
+    def test_two_stream_pipeline_matches_reference_join(self):
+        """A 1-stage pipeline is just the ordinary windowed join."""
+        from repro.harness import reference_join
+        a, b, _, _ = four_streams(n=30)
+        stage = PipelineStage(config(), EquiJoinPredicate("A.x", "x"))
+        pipeline = CascadePipeline(["A", "B"], [stage])
+        results, report = pipeline.run([a, b])
+        plain = reference_join(a, b, EquiJoinPredicate("x", "x"),
+                               TimeWindow(6.0))
+        got = {(res.idents[0][1], res.idents[1][1]) for res in results}
+        assert got == {(ri[1], si[1]) for ri, si in plain}
+        assert report.results == len(plain)
+
+
+class TestFourWay:
+    def _stages(self):
+        return [
+            PipelineStage(config(6.0), EquiJoinPredicate("A.x", "x")),
+            PipelineStage(config(5.0), EquiJoinPredicate("B.y", "y")),
+            PipelineStage(config(4.0), EquiJoinPredicate("C.z", "z")),
+        ]
+
+    def test_matches_reference(self):
+        a, b, c, d = four_streams()
+        stages = self._stages()
+        pipeline = CascadePipeline(["A", "B", "C", "D"], stages)
+        results, report = pipeline.run([a, b, c, d])
+        expected = reference_pipeline([a, b, c, d], ["A", "B", "C", "D"],
+                                      stages)
+        produced = [res.key for res in results]
+        assert len(produced) == len(set(produced))  # exactly once
+        assert set(produced) == expected
+        assert report.per_stage_results[-1] == len(expected)
+
+    def test_idents_name_all_four_streams(self):
+        a, b, c, d = four_streams()
+        pipeline = CascadePipeline(["A", "B", "C", "D"], self._stages())
+        results, _ = pipeline.run([a, b, c, d])
+        assert results
+        for res in results:
+            assert [name for name, _ in res.idents] == ["A", "B", "C", "D"]
+
+    def test_downstream_slack_widened(self):
+        pipeline = CascadePipeline(["A", "B", "C", "D"], self._stages())
+        # stage 1 must tolerate stage-0 lateness (6 s window), stage 2
+        # the maximum upstream window.
+        assert pipeline.engines[1].config.expiry_slack >= 6.0
+        assert pipeline.engines[2].config.expiry_slack >= 6.0
+
+    def test_mixed_predicates(self):
+        a, b, c, d = four_streams()
+        stages = [
+            PipelineStage(config(6.0), EquiJoinPredicate("A.x", "x")),
+            PipelineStage(config(5.0, routing="random"),
+                          BandJoinPredicate("B.y", "y", band=0.0)),
+            PipelineStage(config(4.0), EquiJoinPredicate("C.z", "z")),
+        ]
+        pipeline = CascadePipeline(["A", "B", "C", "D"], stages)
+        results, _ = pipeline.run([a, b, c, d])
+        expected = reference_pipeline([a, b, c, d], ["A", "B", "C", "D"],
+                                      stages)
+        assert {res.key for res in results} == expected
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15),
+           st.integers(0, 15), st.integers(1, 3))
+    def test_property_any_sizes(self, n_a, n_b, n_c, n_d, keys):
+        a = stream_from_pairs("A", [(i * 0.4, {"x": i % keys})
+                                    for i in range(n_a)])
+        b = stream_from_pairs("B", [(i * 0.5, {"x": i % keys, "y": i % 2})
+                                    for i in range(n_b)])
+        c = stream_from_pairs("C", [(i * 0.45, {"y": i % 2, "z": i % 2})
+                                    for i in range(n_c)])
+        d = stream_from_pairs("D", [(i * 0.55, {"z": i % 2})
+                                    for i in range(n_d)])
+        stages = self._stages()
+        pipeline = CascadePipeline(["A", "B", "C", "D"], stages)
+        results, _ = pipeline.run([a, b, c, d])
+        expected = reference_pipeline([a, b, c, d], ["A", "B", "C", "D"],
+                                      stages)
+        produced = [res.key for res in results]
+        assert len(produced) == len(set(produced))
+        assert set(produced) == expected

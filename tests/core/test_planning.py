@@ -1,0 +1,123 @@
+"""Tests for repro.core.planning (deployment cost planning)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (
+    BandJoinPredicate,
+    BicliqueConfig,
+    ConjunctionPredicate,
+    CrossPredicate,
+    EquiJoinPredicate,
+    StreamJoinEngine,
+    TimeWindow,
+)
+from repro.core.planning import (
+    contrand_messages_per_tuple,
+    contrand_replication_factor,
+    conthash_messages_per_tuple,
+    matrix_messages_per_tuple,
+    optimal_contrand_subgroups,
+    plan_deployment,
+)
+from repro.errors import ConfigurationError
+
+
+class TestClosedForms:
+    def test_pure_biclique_fanout(self):
+        assert contrand_messages_per_tuple(8, 1) == 9.0  # 1 + m
+
+    def test_subgrouped_fanout(self):
+        assert contrand_messages_per_tuple(8, 2) == 6.0  # 2 + 4
+
+    def test_hash_constant(self):
+        assert conthash_messages_per_tuple() == 2.0
+
+    def test_matrix_sqrt(self):
+        assert matrix_messages_per_tuple(16) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            contrand_messages_per_tuple(0)
+        with pytest.raises(ConfigurationError):
+            contrand_messages_per_tuple(4, 5)
+        with pytest.raises(ConfigurationError):
+            matrix_messages_per_tuple(0)
+
+
+class TestOptimalSubgroups:
+    @pytest.mark.parametrize("m,expected", [
+        (1, 1), (2, 1), (4, 2), (9, 3), (16, 4), (100, 10),
+    ])
+    def test_square_root_rule(self, m, expected):
+        assert optimal_contrand_subgroups(m) == expected
+
+    def test_budget_caps_replication(self):
+        assert optimal_contrand_subgroups(100, max_replication=3) == 3
+
+    def test_budget_of_one_is_pure_biclique(self):
+        assert optimal_contrand_subgroups(100, max_replication=1) == 1
+
+    @given(st.integers(1, 200))
+    def test_optimum_is_global(self, m):
+        k = optimal_contrand_subgroups(m)
+        best = contrand_messages_per_tuple(m, k)
+        for candidate in range(1, m + 1):
+            assert best <= contrand_messages_per_tuple(m, candidate) + 1e-9
+
+    @given(st.integers(1, 200))
+    def test_optimal_fanout_near_two_sqrt_m(self, m):
+        k = optimal_contrand_subgroups(m)
+        assert contrand_messages_per_tuple(m, k) <= 2 * math.sqrt(m) + 1
+
+    def test_replication_factor_is_subgroups(self):
+        assert contrand_replication_factor(3) == 3
+
+
+class TestPlanDeployment:
+    def test_equi_plans_hash(self):
+        plan = plan_deployment(EquiJoinPredicate("k", "k"), 8)
+        assert plan.routing == "hash"
+        assert plan.messages_per_tuple == 2.0
+        assert plan.replication_factor == 1
+        assert plan.beats_matrix_fanout
+
+    def test_conjunction_with_equi_plans_hash(self):
+        pred = ConjunctionPredicate([EquiJoinPredicate("k", "k"),
+                                     BandJoinPredicate("v", "v", 1.0)])
+        assert plan_deployment(pred, 8).routing == "hash"
+
+    def test_band_plans_random_with_budgeted_subgroups(self):
+        plan = plan_deployment(BandJoinPredicate("v", "v", 1.0), 16,
+                               max_replication=4)
+        assert plan.routing == "random"
+        assert plan.subgroups == 4
+        assert plan.messages_per_tuple == 8.0  # 4 + 16/4
+
+    def test_cross_plans_random(self):
+        assert plan_deployment(CrossPredicate(), 4).routing == "random"
+
+    def test_unbudgeted_band_is_pure_biclique(self):
+        plan = plan_deployment(BandJoinPredicate("v", "v", 1.0), 16)
+        assert plan.subgroups == 1
+        assert plan.messages_per_tuple == 17.0
+
+    def test_plan_matches_measured_fanout(self):
+        """The plan's predicted fan-out equals what the engine sends."""
+        from repro.workloads import BandJoinWorkload, ConstantRate
+        pred = BandJoinPredicate("v", "v", band=2.0)
+        plan = plan_deployment(pred, 4, max_replication=2)
+        engine = StreamJoinEngine(
+            BicliqueConfig(window=TimeWindow(5.0), r_joiners=4, s_joiners=4,
+                           routing=plan.routing,
+                           r_subgroups=plan.subgroups,
+                           s_subgroups=plan.subgroups,
+                           archive_period=1.0, punctuation_interval=0.5),
+            pred)
+        r, s = BandJoinWorkload(seed=1).materialise(ConstantRate(100.0), 5.0)
+        _, report = engine.run(r, s)
+        measured = report.network.data_messages / report.tuples_ingested
+        assert measured == pytest.approx(plan.messages_per_tuple)

@@ -1,0 +1,137 @@
+"""Tests for repro.core.predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (
+    BandJoinPredicate,
+    ConjunctionPredicate,
+    CrossPredicate,
+    EquiJoinPredicate,
+    StreamTuple,
+    ThetaJoinPredicate,
+)
+from repro.errors import PredicateError
+
+
+def r_tuple(**values) -> StreamTuple:
+    return StreamTuple("R", 0.0, values)
+
+
+def s_tuple(**values) -> StreamTuple:
+    return StreamTuple("S", 0.0, values)
+
+
+class TestEquiJoin:
+    def test_matches_equal_keys(self):
+        pred = EquiJoinPredicate("a", "b")
+        assert pred.matches(r_tuple(a=5), s_tuple(b=5))
+        assert not pred.matches(r_tuple(a=5), s_tuple(b=6))
+
+    def test_selectivity_class_low(self):
+        assert EquiJoinPredicate("a", "b").selectivity_class == "low"
+
+    def test_key_attributes_per_side(self):
+        pred = EquiJoinPredicate("a", "b")
+        assert pred.key_attribute("R") == "a"
+        assert pred.key_attribute("S") == "b"
+
+    def test_unknown_side_rejected(self):
+        with pytest.raises(PredicateError):
+            EquiJoinPredicate("a", "b").key_attribute("T")
+
+
+class TestThetaJoin:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("<", 1, 2, True), ("<", 2, 2, False),
+        ("<=", 2, 2, True), ("<=", 3, 2, False),
+        (">", 3, 2, True), (">", 2, 2, False),
+        (">=", 2, 2, True), (">=", 1, 2, False),
+        ("!=", 1, 2, True), ("!=", 2, 2, False),
+        ("==", 2, 2, True), ("==", 1, 2, False),
+    ])
+    def test_operators(self, op, a, b, expected):
+        pred = ThetaJoinPredicate("a", op, "b")
+        assert pred.matches(r_tuple(a=a), s_tuple(b=b)) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            ThetaJoinPredicate("a", "<>", "b")
+
+    def test_selectivity_class_high(self):
+        assert ThetaJoinPredicate("a", "<", "b").selectivity_class == "high"
+
+
+class TestBandJoin:
+    def test_within_band_matches(self):
+        pred = BandJoinPredicate("a", "b", band=2.0)
+        assert pred.matches(r_tuple(a=5.0), s_tuple(b=7.0))
+        assert pred.matches(r_tuple(a=5.0), s_tuple(b=3.0))
+        assert not pred.matches(r_tuple(a=5.0), s_tuple(b=7.5))
+
+    def test_band_boundary_inclusive(self):
+        pred = BandJoinPredicate("a", "b", band=2.0)
+        assert pred.matches(r_tuple(a=0.0), s_tuple(b=2.0))
+
+    def test_zero_band_is_numeric_equality(self):
+        pred = BandJoinPredicate("a", "b", band=0.0)
+        assert pred.matches(r_tuple(a=1.5), s_tuple(b=1.5))
+        assert not pred.matches(r_tuple(a=1.5), s_tuple(b=1.6))
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(PredicateError):
+            BandJoinPredicate("a", "b", band=-1.0)
+
+    def test_probe_range(self):
+        assert BandJoinPredicate("a", "b", 3.0).probe_range(10.0) == (7.0, 13.0)
+
+    @given(st.floats(-100, 100), st.floats(-100, 100))
+    def test_symmetry_property(self, a, b):
+        pred = BandJoinPredicate("a", "b", band=5.0)
+        assert pred.matches(r_tuple(a=a), s_tuple(b=b)) == \
+            pred.matches(r_tuple(a=b), s_tuple(b=a))
+
+
+class TestConjunction:
+    def test_requires_conjuncts(self):
+        with pytest.raises(PredicateError):
+            ConjunctionPredicate([])
+
+    def test_all_must_match(self):
+        pred = ConjunctionPredicate([
+            EquiJoinPredicate("k", "k"),
+            BandJoinPredicate("v", "v", band=1.0),
+        ])
+        assert pred.matches(r_tuple(k=1, v=5.0), s_tuple(k=1, v=5.5))
+        assert not pred.matches(r_tuple(k=1, v=5.0), s_tuple(k=2, v=5.5))
+        assert not pred.matches(r_tuple(k=1, v=5.0), s_tuple(k=1, v=9.0))
+
+    def test_selectivity_low_with_equi_conjunct(self):
+        pred = ConjunctionPredicate([
+            BandJoinPredicate("v", "v", band=1.0),
+            EquiJoinPredicate("k", "k"),
+        ])
+        assert pred.selectivity_class == "low"
+        assert isinstance(pred.indexable_conjunct, EquiJoinPredicate)
+
+    def test_selectivity_high_without_equi(self):
+        pred = ConjunctionPredicate([BandJoinPredicate("v", "v", band=1.0)])
+        assert pred.selectivity_class == "high"
+
+    def test_key_attribute_comes_from_indexable_conjunct(self):
+        pred = ConjunctionPredicate([
+            BandJoinPredicate("v", "w", band=1.0),
+            EquiJoinPredicate("a", "b"),
+        ])
+        assert pred.key_attribute("R") == "a"
+        assert pred.key_attribute("S") == "b"
+
+
+class TestCross:
+    def test_always_matches(self):
+        pred = CrossPredicate()
+        assert pred.matches(r_tuple(x=1), s_tuple(y=2))
+
+    def test_no_key_attribute(self):
+        assert CrossPredicate().key_attribute("R") is None

@@ -1,0 +1,42 @@
+"""Tests for BicliqueConfig.retain_results (count-only result mode)."""
+
+from repro import (
+    BicliqueConfig,
+    BicliqueEngine,
+    EquiJoinPredicate,
+    TimeWindow,
+    merge_by_time,
+    stream_from_pairs,
+)
+
+
+def run(retain: bool):
+    engine = BicliqueEngine(
+        BicliqueConfig(window=TimeWindow(10.0), archive_period=2.0,
+                       punctuation_interval=0.5, retain_results=retain),
+        EquiJoinPredicate("k", "k"))
+    r = stream_from_pairs("R", [(i * 0.4, {"k": i % 4}) for i in range(30)])
+    s = stream_from_pairs("S", [(i * 0.5, {"k": i % 4}) for i in range(30)])
+    for t in merge_by_time(r, s):
+        engine.ingest(t)
+    engine.finish()
+    return engine
+
+
+class TestRetainResults:
+    def test_default_retains_objects(self):
+        engine = run(retain=True)
+        assert engine.results_count == len(engine.results) > 0
+
+    def test_count_only_mode_drops_objects(self):
+        engine = run(retain=False)
+        assert engine.results == []
+        assert engine.results_count > 0
+
+    def test_counts_identical_across_modes(self):
+        assert run(retain=True).results_count == \
+            run(retain=False).results_count
+
+    def test_latency_still_recorded(self):
+        engine = run(retain=False)
+        assert engine.latency.summary().count == engine.results_count

@@ -1,0 +1,123 @@
+"""Tests for repro.core.router."""
+
+from repro import EquiJoinPredicate, StreamTuple, TimeWindow
+from repro.broker import Broker, ChannelLayer
+from repro.core.ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE
+from repro.core.router import Router, joiner_inbox
+from repro.core.routing import HashRouting, JoinerGroup, RandomRouting
+from repro.metrics import NetworkStats
+
+
+def setup_router(routing="random", n_r=2, n_s=2):
+    groups = {"R": JoinerGroup("R"), "S": JoinerGroup("S")}
+    for i in range(n_r):
+        groups["R"].add_unit(f"R{i}")
+    for i in range(n_s):
+        groups["S"].add_unit(f"S{i}")
+    if routing == "hash":
+        strategy = HashRouting(groups, EquiJoinPredicate("k", "k"),
+                               TimeWindow(10.0), partitions=8)
+    else:
+        strategy = RandomRouting(groups)
+    broker = Broker()
+    channels = ChannelLayer(broker)
+    inboxes = {}
+    for uid in strategy.all_unit_ids():
+        sink = []
+        inboxes[uid] = sink
+        channels.declare_destination(joiner_inbox(uid))
+        channels.subscribe(joiner_inbox(uid), uid,
+                           lambda d, s=sink: s.append(d.message.payload),
+                           group=f"{uid}.group")
+    stats = NetworkStats()
+    router = Router("router0", strategy, channels, stats)
+    return router, inboxes, stats
+
+
+def r_tuple(ts, key, seq=0):
+    return StreamTuple("R", ts, {"k": key}, seq=seq)
+
+
+class TestCounters:
+    def test_counter_increments_per_tuple(self):
+        router, _, _ = setup_router()
+        assert router.next_counter == 0
+        router.route_tuple(r_tuple(0.0, 1), now=0.0)
+        assert router.next_counter == 1
+        router.route_tuple(r_tuple(0.1, 2), now=0.1)
+        assert router.next_counter == 2
+
+    def test_store_and_join_copies_share_counter(self):
+        router, inboxes, _ = setup_router()
+        router.route_tuple(r_tuple(0.0, 1), now=0.0)
+        counters = {env.counter
+                    for sink in inboxes.values() for env in sink}
+        assert counters == {0}
+
+
+class TestDispatch:
+    def test_random_routing_broadcasts_join_stream(self):
+        router, inboxes, _ = setup_router("random", n_r=2, n_s=3)
+        router.route_tuple(r_tuple(0.0, 1), now=0.0)
+        join_envs = [env for uid, sink in inboxes.items() if uid.startswith("S")
+                     for env in sink]
+        assert len(join_envs) == 3
+        assert all(e.kind == KIND_JOIN for e in join_envs)
+
+    def test_random_routing_stores_once(self):
+        router, inboxes, _ = setup_router("random", n_r=2)
+        router.route_tuple(r_tuple(0.0, 1), now=0.0)
+        store_envs = [env for uid, sink in inboxes.items() if uid.startswith("R")
+                      for env in sink]
+        assert len(store_envs) == 1
+        assert store_envs[0].kind == KIND_STORE
+
+    def test_hash_routing_sends_exactly_two_messages(self):
+        router, inboxes, stats = setup_router("hash")
+        sent = router.route_tuple(r_tuple(0.0, 7), now=0.0)
+        assert sent == 2
+        assert stats.store_messages == 1
+        assert stats.join_messages == 1
+
+    def test_network_stats_accumulate_bytes(self):
+        router, _, stats = setup_router("hash")
+        router.route_tuple(r_tuple(0.0, 7), now=0.0)
+        assert stats.bytes_sent > 0
+
+
+class TestPunctuation:
+    def test_punctuation_reaches_every_unit(self):
+        router, inboxes, stats = setup_router("random", n_r=2, n_s=3)
+        sent = router.emit_punctuation()
+        assert sent == 5
+        for sink in inboxes.values():
+            assert len(sink) == 1
+            assert sink[0].kind == KIND_PUNCTUATION
+
+    def test_punctuation_carries_next_counter(self):
+        router, inboxes, _ = setup_router()
+        router.route_tuple(r_tuple(0.0, 1), now=0.0)
+        router.emit_punctuation()
+        punct = [env for sink in inboxes.values() for env in sink
+                 if env.kind == KIND_PUNCTUATION][0]
+        assert punct.counter == 1
+
+    def test_punctuation_counted_in_stats(self):
+        router, _, stats = setup_router()
+        router.emit_punctuation()
+        assert stats.punctuation_messages == 4
+
+
+class TestRateStatistics:
+    def test_input_rate_reflects_recent_tuples(self):
+        router, _, _ = setup_router()
+        for i in range(50):
+            router.route_tuple(r_tuple(i * 0.1, i, seq=i), now=i * 0.1)
+        rate = router.input_rate(now=5.0)
+        assert 5.0 <= rate <= 15.0  # ~10 tuples/sec over the horizon
+
+    def test_rate_decays_after_traffic_stops(self):
+        router, _, _ = setup_router()
+        for i in range(10):
+            router.route_tuple(r_tuple(i * 0.1, i, seq=i), now=i * 0.1)
+        assert router.input_rate(now=100.0) == 0.0

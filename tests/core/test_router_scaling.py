@@ -1,0 +1,108 @@
+"""Tests for dynamic router-pool scaling (thesis §4.3)."""
+
+import pytest
+
+from repro import (
+    BicliqueConfig,
+    BicliqueEngine,
+    EquiJoinPredicate,
+    TimeWindow,
+    merge_by_time,
+    stream_from_pairs,
+)
+from repro.errors import ScalingError
+from repro.harness import check_exactly_once, reference_join
+
+WINDOW = TimeWindow(seconds=10.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+
+
+def build(routers=1):
+    return BicliqueEngine(
+        BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                       routers=routers, routing="hash", archive_period=2.0,
+                       punctuation_interval=0.5, expiry_slack=3.0),
+        PREDICATE)
+
+
+def streams(n=50):
+    r = stream_from_pairs("R", [(i * 0.3, {"k": i % 6}) for i in range(n)])
+    s = stream_from_pairs("S", [(i * 0.35, {"k": i % 6}) for i in range(n)])
+    return r, s
+
+
+class TestRouterScaling:
+    def test_scale_out_adds_competing_routers(self):
+        engine = build(routers=1)
+        engine.scale_routers(3)
+        assert len(engine.routers) == 3
+        r, s = streams()
+        for t in merge_by_time(r, s):
+            engine.ingest(t)
+        # competing consumers: every router ingested a share
+        shares = [router.stats.tuples_ingested for router in engine.routers]
+        assert all(share > 0 for share in shares)
+        assert sum(shares) == len(r) + len(s)
+
+    def test_scale_in_rejects_empty_pool(self):
+        engine = build(routers=2)
+        with pytest.raises(ScalingError):
+            engine.scale_routers(0)
+
+    def test_router_ids_never_reused(self):
+        engine = build(routers=2)
+        engine.scale_routers(1)
+        engine.scale_routers(2)
+        ids = [router.router_id for router in engine.routers]
+        assert ids == ["router0", "router2"]
+
+    def test_results_exact_across_router_scale_out(self):
+        engine = build(routers=1)
+        r, s = streams()
+        arrivals = list(merge_by_time(r, s))
+        half = len(arrivals) // 2
+        for t in arrivals[:half]:
+            engine.ingest(t)
+        engine.scale_routers(3)
+        for t in arrivals[half:]:
+            engine.ingest(t)
+        engine.finish()
+        expected = reference_join(r, s, PREDICATE, WINDOW)
+        assert check_exactly_once(engine.results, expected).ok
+
+    def test_results_exact_across_router_scale_in(self):
+        engine = build(routers=3)
+        r, s = streams()
+        arrivals = list(merge_by_time(r, s))
+        half = len(arrivals) // 2
+        for t in arrivals[:half]:
+            engine.ingest(t)
+        engine.scale_routers(1)
+        for t in arrivals[half:]:
+            engine.ingest(t)
+        engine.finish()
+        expected = reference_join(r, s, PREDICATE, WINDOW)
+        assert check_exactly_once(engine.results, expected).ok
+
+    def test_scale_in_unblocks_watermark(self):
+        """A removed router must not hold the joiners' watermark back:
+        its final punctuation and unregistration release buffered work."""
+        engine = build(routers=2)
+        r, s = streams(n=10)
+        for t in merge_by_time(r, s):
+            engine.ingest(t)
+        # some envelopes are typically still buffered behind punctuation
+        engine.scale_routers(1)
+        engine.punctuate_all()
+        pending = sum(j.reorder.pending for j in engine.joiners.values())
+        assert pending == 0
+
+    def test_joiner_reorder_registration_follows_pool(self):
+        engine = build(routers=2)
+        engine.scale_routers(3)
+        for joiner in engine.joiners.values():
+            assert joiner.reorder.registered_routers == [
+                "router0", "router1", "router2"]
+        engine.scale_routers(1)
+        for joiner in engine.joiners.values():
+            assert joiner.reorder.registered_routers == ["router0"]

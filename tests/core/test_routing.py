@@ -1,0 +1,229 @@
+"""Tests for repro.core.routing (groups, ContRand, ContHash, epochs)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EquiJoinPredicate, StreamTuple, TimeWindow
+from repro.core.routing import (
+    HashRouting,
+    JoinerGroup,
+    RandomRouting,
+    stable_hash,
+)
+from repro.errors import RoutingError, ScalingError
+
+
+def r_tuple(ts: float, key: int, seq: int = 0) -> StreamTuple:
+    return StreamTuple("R", ts, {"k": key}, seq=seq)
+
+
+def s_tuple(ts: float, key: int, seq: int = 0) -> StreamTuple:
+    return StreamTuple("S", ts, {"k": key}, seq=seq)
+
+
+def make_groups(n_r=2, n_s=3, r_sub=1, s_sub=1):
+    groups = {"R": JoinerGroup("R", r_sub), "S": JoinerGroup("S", s_sub)}
+    for i in range(n_r):
+        groups["R"].add_unit(f"R{i}")
+    for i in range(n_s):
+        groups["S"].add_unit(f"S{i}")
+    return groups
+
+
+class TestJoinerGroup:
+    def test_bad_side_rejected(self):
+        with pytest.raises(RoutingError):
+            JoinerGroup("T")
+
+    def test_duplicate_unit_rejected(self):
+        group = JoinerGroup("R")
+        group.add_unit("R0")
+        with pytest.raises(ScalingError):
+            group.add_unit("R0")
+
+    def test_units_balance_across_subgroups(self):
+        group = JoinerGroup("R", subgroup_count=2)
+        for i in range(4):
+            group.add_unit(f"R{i}")
+        assert len(group.active_units(0)) == 2
+        assert len(group.active_units(1)) == 2
+
+    def test_draining_excluded_from_active(self):
+        group = JoinerGroup("R")
+        group.add_unit("R0")
+        group.add_unit("R1")
+        group.start_draining("R1", now=5.0)
+        assert group.active_units() == ["R0"]
+        assert group.all_units() == ["R0", "R1"]
+
+    def test_cannot_drain_last_active_unit(self):
+        group = JoinerGroup("R")
+        group.add_unit("R0")
+        with pytest.raises(ScalingError):
+            group.start_draining("R0", now=0.0)
+
+    def test_cannot_drain_twice(self):
+        group = JoinerGroup("R")
+        group.add_unit("R0")
+        group.add_unit("R1")
+        group.start_draining("R1", now=0.0)
+        with pytest.raises(ScalingError):
+            group.start_draining("R1", now=1.0)
+
+    def test_drained_units_after_window(self):
+        group = JoinerGroup("R")
+        group.add_unit("R0")
+        group.add_unit("R1")
+        group.start_draining("R1", now=0.0)
+        window = TimeWindow(seconds=10.0)
+        assert group.drained_units(now=5.0, window=window) == []
+        assert group.drained_units(now=10.5, window=window) == ["R1"]
+
+    def test_remove_unit(self):
+        group = JoinerGroup("R")
+        group.add_unit("R0")
+        group.add_unit("R1")
+        group.remove_unit("R1")
+        assert group.all_units() == ["R0"]
+
+    def test_unknown_unit_rejected(self):
+        group = JoinerGroup("R")
+        with pytest.raises(RoutingError):
+            group.subgroup_of("ghost")
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(42) == stable_hash(42)
+
+    def test_spreads_values(self):
+        buckets = {stable_hash(i) % 16 for i in range(1000)}
+        assert len(buckets) == 16
+
+
+class TestRandomRouting:
+    def test_store_target_is_single_unit_per_subgroup(self):
+        strategy = RandomRouting(make_groups())
+        targets = strategy.store_targets(r_tuple(0.0, 1), now=0.0)
+        assert len(targets) == 1
+        assert targets[0].startswith("R")
+
+    def test_store_round_robin_balances(self):
+        strategy = RandomRouting(make_groups(n_r=2))
+        counts = {"R0": 0, "R1": 0}
+        for i in range(10):
+            counts[strategy.store_targets(r_tuple(0.0, i), 0.0)[0]] += 1
+        assert counts == {"R0": 5, "R1": 5}
+
+    def test_join_targets_broadcast_to_opposite_side(self):
+        strategy = RandomRouting(make_groups(n_r=2, n_s=3))
+        targets = strategy.join_targets(r_tuple(0.0, 1), now=0.0)
+        assert sorted(targets) == ["S0", "S1", "S2"]
+
+    def test_subgroups_reduce_join_fanout_and_add_replicas(self):
+        strategy = RandomRouting(make_groups(n_r=4, n_s=4, r_sub=2, s_sub=2))
+        stores = strategy.store_targets(r_tuple(0.0, 1), now=0.0)
+        assert len(stores) == 2  # one replica per R subgroup
+        joins = strategy.join_targets(r_tuple(0.0, 1), now=0.0)
+        assert len(joins) == 2  # half of the 4 S units
+
+    def test_join_subgroups_rotate(self):
+        strategy = RandomRouting(make_groups(n_r=4, n_s=4, r_sub=2, s_sub=2))
+        first = set(strategy.join_targets(r_tuple(0.0, 1), 0.0))
+        second = set(strategy.join_targets(r_tuple(0.0, 2), 0.0))
+        assert first != second
+        assert first | second == {"S0", "S1", "S2", "S3"}
+
+    def test_draining_unit_not_stored_to_but_still_probed(self):
+        groups = make_groups(n_r=2, n_s=2)
+        strategy = RandomRouting(groups)
+        groups["S"].start_draining("S1", now=0.0)
+        for i in range(6):
+            assert strategy.store_targets(s_tuple(0.0, i), 0.0) == [["S0"], ["S0"]][0]
+        assert "S1" in strategy.join_targets(r_tuple(0.0, 1), 0.0)
+
+    def test_empty_side_raises(self):
+        groups = {"R": JoinerGroup("R"), "S": JoinerGroup("S")}
+        groups["R"].add_unit("R0")
+        strategy = RandomRouting(groups)
+        with pytest.raises(RoutingError):
+            strategy.join_targets(r_tuple(0.0, 1), 0.0)
+
+
+class TestHashRouting:
+    def _strategy(self, n_r=2, n_s=2, partitions=16, window=10.0):
+        groups = make_groups(n_r=n_r, n_s=n_s)
+        return groups, HashRouting(groups, EquiJoinPredicate("k", "k"),
+                                   TimeWindow(seconds=window),
+                                   partitions=partitions)
+
+    def test_requires_key_attribute(self):
+        from repro import CrossPredicate
+        groups = make_groups()
+        with pytest.raises(RoutingError):
+            HashRouting(groups, CrossPredicate(), TimeWindow(10.0))
+
+    def test_rejects_subgroups(self):
+        groups = make_groups(n_r=4, n_s=4, r_sub=2, s_sub=2)
+        with pytest.raises(RoutingError):
+            HashRouting(groups, EquiJoinPredicate("k", "k"), TimeWindow(10.0))
+
+    def test_store_and_probe_collocate_equal_keys(self):
+        _, strategy = self._strategy()
+        for key in range(50):
+            store = strategy.store_targets(s_tuple(0.0, key), 0.0)
+            probe = strategy.join_targets(r_tuple(0.0, key), 0.0)
+            assert store == probe
+            assert len(store) == 1
+
+    def test_fanout_is_one_without_scaling(self):
+        _, strategy = self._strategy()
+        assert len(strategy.join_targets(r_tuple(0.0, 7), 0.0)) == 1
+
+    def test_same_key_always_same_unit(self):
+        _, strategy = self._strategy()
+        targets = {strategy.store_targets(r_tuple(0.0, 7), 0.0)[0]
+                   for _ in range(10)}
+        assert len(targets) == 1
+
+    def test_scale_out_probes_old_and_new_owner_within_window(self):
+        groups, strategy = self._strategy(n_r=1, n_s=1, window=10.0)
+        # find a key stored on R0
+        key = 3
+        old_owner = strategy.store_targets(r_tuple(0.0, key), 0.0)[0]
+        groups["R"].add_unit("R9")
+        strategy.on_membership_change(now=5.0)
+        new_owner = strategy.store_targets(r_tuple(5.0, key), 5.0)[0]
+        probes = strategy.join_targets(s_tuple(6.0, key), 6.0)
+        assert old_owner in probes
+        assert new_owner in probes
+
+    def test_old_owner_dropped_after_window_horizon(self):
+        groups, strategy = self._strategy(n_r=1, n_s=1, window=10.0)
+        key = 3
+        old_owner = strategy.store_targets(r_tuple(0.0, key), 0.0)[0]
+        groups["R"].add_unit("R9")
+        strategy.on_membership_change(now=5.0)
+        probes_late = strategy.join_targets(s_tuple(20.0, key), 20.0)
+        new_owner = strategy.store_targets(r_tuple(20.0, key), 20.0)[0]
+        # epoch [0, 5) expired at horizon 10: old owner only probed if
+        # it still owns some partitions in the new assignment.
+        assert new_owner in probes_late
+        if old_owner != new_owner:
+            assert len(probes_late) == 1
+
+    def test_no_op_membership_change_keeps_single_epoch(self):
+        groups, strategy = self._strategy()
+        strategy.on_membership_change(now=1.0)
+        strategy.on_membership_change(now=2.0)
+        assert len(strategy.join_targets(r_tuple(3.0, 5), 3.0)) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_collocation_property(self, key):
+        _, strategy = self._strategy(n_r=3, n_s=4, partitions=64)
+        store = strategy.store_targets(s_tuple(1.0, key, seq=1), 1.0)
+        probe = strategy.join_targets(r_tuple(1.0, key, seq=2), 1.0)
+        assert set(store) <= set(probe) or set(store) == set(probe)

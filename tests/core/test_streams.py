@@ -1,0 +1,78 @@
+"""Tests for repro.core.streams."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Attribute, Schema, StreamSource, merge_by_time, stream_from_pairs
+from repro.core.streams import check_time_ordered
+from repro.errors import SchemaError
+
+
+class TestStreamSource:
+    def test_assigns_sequence_numbers(self):
+        src = StreamSource("R")
+        t0 = src.emit(0.0, {"k": 1})
+        t1 = src.emit(1.0, {"k": 2})
+        assert (t0.seq, t1.seq) == (0, 1)
+        assert src.emitted == 2
+
+    def test_rejects_timestamp_regression(self):
+        src = StreamSource("R")
+        src.emit(5.0, {"k": 1})
+        with pytest.raises(SchemaError):
+            src.emit(4.0, {"k": 2})
+
+    def test_equal_timestamps_allowed(self):
+        src = StreamSource("R")
+        src.emit(5.0, {"k": 1})
+        src.emit(5.0, {"k": 2})
+
+    def test_validates_against_schema(self):
+        schema = Schema("E", [Attribute("k", int)])
+        src = StreamSource("R", schema)
+        src.emit(0.0, {"k": 1})
+        with pytest.raises(SchemaError):
+            src.emit(1.0, {"wrong": 1})
+
+    def test_relation_is_stamped(self):
+        assert StreamSource("S").emit(0.0, {"a": 1}).relation == "S"
+
+
+class TestMergeByTime:
+    def test_interleaves_by_timestamp(self):
+        r = stream_from_pairs("R", [(0.0, {"i": 0}), (2.0, {"i": 2})])
+        s = stream_from_pairs("S", [(1.0, {"i": 1}), (3.0, {"i": 3})])
+        merged = list(merge_by_time(r, s))
+        assert [t["i"] for t in merged] == [0, 1, 2, 3]
+
+    def test_ties_broken_by_relation_then_seq(self):
+        r = stream_from_pairs("R", [(1.0, {"i": 0}), (1.0, {"i": 1})])
+        s = stream_from_pairs("S", [(1.0, {"i": 2})])
+        merged = list(merge_by_time(r, s))
+        assert [(t.relation, t.seq) for t in merged] == \
+            [("R", 0), ("R", 1), ("S", 0)]
+
+    def test_merge_of_single_stream_is_identity(self):
+        r = stream_from_pairs("R", [(0.0, {"i": 0}), (1.0, {"i": 1})])
+        assert list(merge_by_time(r)) == r
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), max_size=30),
+           st.lists(st.floats(min_value=0, max_value=100), max_size=30))
+    def test_merge_is_always_time_ordered(self, ts_a, ts_b):
+        r = stream_from_pairs("R", [(ts, {"i": 0}) for ts in sorted(ts_a)])
+        s = stream_from_pairs("S", [(ts, {"i": 0}) for ts in sorted(ts_b)])
+        merged = list(merge_by_time(r, s))
+        check_time_ordered(merged)
+        assert len(merged) == len(r) + len(s)
+
+
+class TestCheckTimeOrdered:
+    def test_accepts_ordered(self):
+        check_time_ordered(stream_from_pairs("R", [(0.0, {}), (1.0, {})]))
+
+    def test_rejects_unordered(self):
+        from repro import StreamTuple
+        bad = [StreamTuple("R", 2.0, {}), StreamTuple("R", 1.0, {})]
+        with pytest.raises(SchemaError):
+            check_time_ordered(bad)

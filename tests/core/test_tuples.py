@@ -1,0 +1,113 @@
+"""Tests for repro.core.tuples (schemas, tuples, join results)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Attribute, Schema, StreamTuple, make_result
+from repro.core.tuples import TUPLE_OVERHEAD_BYTES
+from repro.errors import SchemaError
+
+
+class TestSchema:
+    def test_requires_attributes(self):
+        with pytest.raises(SchemaError):
+            Schema("empty", [])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            Schema("dup", [Attribute("a"), Attribute("a")])
+
+    def test_contains_and_len(self):
+        schema = Schema("E", [Attribute("a"), Attribute("b")])
+        assert "a" in schema and "b" in schema and "c" not in schema
+        assert len(schema) == 2
+
+    def test_attribute_lookup(self):
+        schema = Schema("E", [Attribute("a", int)])
+        assert schema.attribute("a").dtype is int
+        with pytest.raises(SchemaError):
+            schema.attribute("missing")
+
+    def test_validate_accepts_exact_instance(self):
+        schema = Schema("E", [Attribute("a", int), Attribute("b", str)])
+        schema.validate({"a": 1, "b": "x"})
+
+    def test_validate_rejects_missing_attribute(self):
+        schema = Schema("E", [Attribute("a"), Attribute("b")])
+        with pytest.raises(SchemaError):
+            schema.validate({"a": 1})
+
+    def test_validate_rejects_extra_attribute(self):
+        schema = Schema("E", [Attribute("a")])
+        with pytest.raises(SchemaError):
+            schema.validate({"a": 1, "z": 2})
+
+    def test_validate_rejects_type_mismatch(self):
+        schema = Schema("E", [Attribute("a", int)])
+        with pytest.raises(SchemaError):
+            schema.validate({"a": "not-an-int"})
+
+    def test_object_dtype_accepts_anything(self):
+        Attribute("a").validate(object())
+
+
+class TestStreamTuple:
+    def test_attribute_access(self):
+        t = StreamTuple("R", 1.0, {"k": 7})
+        assert t["k"] == 7
+        assert t.get("k") == 7
+        assert t.get("missing", "d") == "d"
+
+    def test_unknown_attribute_raises_schema_error(self):
+        t = StreamTuple("R", 1.0, {"k": 7})
+        with pytest.raises(SchemaError):
+            t["nope"]
+
+    def test_ident_is_relation_and_seq(self):
+        t = StreamTuple("S", 2.0, {"k": 1}, seq=42)
+        assert t.ident == ("S", 42)
+
+    def test_size_accounts_overhead_and_payload(self):
+        t = StreamTuple("R", 0.0, {"n": 1, "s": "abcd"})
+        assert t.size_bytes() == TUPLE_OVERHEAD_BYTES + 8 + 4
+
+    @given(st.text(max_size=100))
+    def test_string_payload_sized_by_length(self, text):
+        t = StreamTuple("R", 0.0, {"s": text})
+        assert t.size_bytes() == TUPLE_OVERHEAD_BYTES + len(text)
+
+    def test_tuples_are_immutable(self):
+        t = StreamTuple("R", 1.0, {"k": 7})
+        with pytest.raises(AttributeError):
+            t.ts = 2.0
+
+
+class TestJoinResult:
+    def _pair(self):
+        r = StreamTuple("R", 1.0, {"k": 1}, seq=5)
+        s = StreamTuple("S", 3.0, {"k": 1}, seq=9)
+        return r, s
+
+    def test_max_timestamp_policy(self):
+        r, s = self._pair()
+        assert make_result(r, s).ts == 3.0
+
+    def test_min_timestamp_policy(self):
+        r, s = self._pair()
+        assert make_result(r, s, timestamp_policy="min").ts == 1.0
+
+    def test_unknown_policy_rejected(self):
+        r, s = self._pair()
+        with pytest.raises(ValueError):
+            make_result(r, s, timestamp_policy="median")
+
+    def test_key_is_pair_of_idents(self):
+        r, s = self._pair()
+        assert make_result(r, s).key == (("R", 5), ("S", 9))
+
+    def test_producer_and_time_recorded(self):
+        r, s = self._pair()
+        result = make_result(r, s, produced_at=4.5, producer="R0")
+        assert result.produced_at == 4.5
+        assert result.producer == "R0"

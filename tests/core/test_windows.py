@@ -1,0 +1,69 @@
+"""Tests for repro.core.windows (sliding-window semantics, Theorem 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import CountWindow, TimeWindow
+from repro.errors import WindowError
+
+
+class TestTimeWindow:
+    def test_rejects_non_positive_extent(self):
+        with pytest.raises(WindowError):
+            TimeWindow(seconds=0)
+        with pytest.raises(WindowError):
+            TimeWindow(seconds=-1)
+
+    def test_contains_within_window(self):
+        w = TimeWindow(seconds=10)
+        assert w.contains(stored_ts=0.0, probe_ts=10.0)
+        assert w.contains(stored_ts=0.0, probe_ts=5.0)
+
+    def test_contains_is_symmetric(self):
+        """|Δ| <= Ws: a stored tuple from the probe's future also counts."""
+        w = TimeWindow(seconds=10)
+        assert w.contains(stored_ts=15.0, probe_ts=10.0)
+        assert not w.contains(stored_ts=25.0, probe_ts=10.0)
+
+    def test_contains_boundary_inclusive(self):
+        w = TimeWindow(seconds=10)
+        assert w.contains(0.0, 10.0)
+        assert not w.contains(0.0, 10.000001)
+
+    def test_expiry_is_forward_only(self):
+        """Theorem 1 discards only strictly-older-than-window tuples."""
+        w = TimeWindow(seconds=10)
+        assert w.is_expired(stored_ts=0.0, probe_ts=10.1)
+        assert not w.is_expired(stored_ts=0.0, probe_ts=10.0)
+        assert not w.is_expired(stored_ts=20.0, probe_ts=10.0)
+
+    @given(st.floats(min_value=0, max_value=1e6),
+           st.floats(min_value=0, max_value=1e6))
+    def test_expired_implies_not_contained(self, stored, probe):
+        """An expired tuple can never be a (forward) window match."""
+        w = TimeWindow(seconds=50.0)
+        if w.is_expired(stored, probe):
+            assert not w.contains(stored, probe)
+
+    @given(st.floats(min_value=0.1, max_value=1e3),
+           st.floats(min_value=0, max_value=1e6),
+           st.floats(min_value=0, max_value=1e6))
+    def test_contains_symmetry_property(self, extent, a, b):
+        w = TimeWindow(seconds=extent)
+        assert w.contains(a, b) == w.contains(b, a)
+
+    def test_str(self):
+        assert "600" in str(TimeWindow(seconds=600))
+
+
+class TestCountWindow:
+    def test_rejects_non_positive(self):
+        with pytest.raises(WindowError):
+            CountWindow(count=0)
+
+    def test_holds_count(self):
+        assert CountWindow(count=100).count == 100
+
+    def test_str(self):
+        assert "100" in str(CountWindow(count=100))

@@ -1,0 +1,97 @@
+"""Tests for repro.harness.capacity (bottleneck throughput analysis)."""
+
+import pytest
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.cluster import CostModel
+from repro.core.engine import StreamJoinEngine
+from repro.core.streams import merge_by_time
+from repro.harness import biclique_capacity, matrix_capacity
+from repro.matrix import MatrixConfig, MatrixEngine
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+PREDICATE = EquiJoinPredicate("k", "k")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = EquiJoinWorkload(keys=UniformKeys(100), seed=33)
+    return wl.materialise(ConstantRate(100.0), 10.0)
+
+
+def run_biclique_engine(r, s, **overrides):
+    defaults = dict(window=TimeWindow(5.0), r_joiners=2, s_joiners=2,
+                    routing="hash", archive_period=1.0,
+                    punctuation_interval=0.5)
+    defaults.update(overrides)
+    engine = StreamJoinEngine(BicliqueConfig(**defaults), PREDICATE)
+    engine.run(r, s)
+    return engine.engine
+
+
+class TestBicliqueCapacity:
+    def test_capacity_positive_and_finite(self, workload):
+        r, s = workload
+        engine = run_biclique_engine(r, s)
+        est = biclique_capacity(engine, len(r) + len(s))
+        assert 0 < est.capacity_tuples_per_second < float("inf")
+        assert est.bottleneck_unit in engine.joiners
+
+    def test_cost_scale_divides_capacity(self, workload):
+        """Doubling all operation costs must halve capacity exactly."""
+        r, s = workload
+        engine = run_biclique_engine(r, s)
+        base = biclique_capacity(engine, len(r) + len(s), CostModel())
+        doubled = biclique_capacity(engine, len(r) + len(s),
+                                    CostModel().scaled(2.0))
+        assert doubled.capacity_tuples_per_second == pytest.approx(
+            base.capacity_tuples_per_second / 2)
+
+    def test_more_units_more_capacity(self, workload):
+        r, s = workload
+        small = run_biclique_engine(r, s, r_joiners=1, s_joiners=1)
+        large = run_biclique_engine(r, s, r_joiners=4, s_joiners=4)
+        cap_small = biclique_capacity(small, len(r) + len(s))
+        cap_large = biclique_capacity(large, len(r) + len(s))
+        assert cap_large.capacity_tuples_per_second > \
+            1.5 * cap_small.capacity_tuples_per_second
+
+    def test_total_cpu_includes_routers(self, workload):
+        r, s = workload
+        engine = run_biclique_engine(r, s)
+        with_router = biclique_capacity(engine, len(r) + len(s))
+        per_unit_only = sum(
+            CostModel().joiner_work(
+                stored=j.stats.tuples_stored,
+                probes=j.stats.probes_processed,
+                comparisons=j.index.stats.comparisons,
+                results=j.stats.results_emitted,
+                punctuations=j.stats.punctuations_received)
+            for j in engine.joiners.values())
+        assert with_router.total_cpu_seconds > per_unit_only
+
+    def test_balance_near_one_for_uniform_keys(self, workload):
+        r, s = workload
+        engine = run_biclique_engine(r, s)
+        est = biclique_capacity(engine, len(r) + len(s))
+        assert 1.0 <= est.balance < 1.5
+
+    def test_empty_run_is_infinite_capacity(self):
+        engine = run_biclique_engine([], [])
+        est = biclique_capacity(engine, 0)
+        assert est.capacity_tuples_per_second == float("inf")
+
+
+class TestMatrixCapacity:
+    def test_capacity_positive(self, workload):
+        r, s = workload
+        engine = MatrixEngine(
+            MatrixConfig(window=TimeWindow(5.0), rows=2, cols=2,
+                         partitioning="hash", archive_period=1.0),
+            PREDICATE)
+        for t in merge_by_time(r, s):
+            engine.ingest(t)
+        engine.finish()
+        est = matrix_capacity(engine, len(r) + len(s))
+        assert 0 < est.capacity_tuples_per_second < float("inf")
+        assert est.bottleneck_unit.startswith("cell[")

@@ -1,0 +1,80 @@
+"""Tests for repro.harness.reference."""
+
+from repro import (
+    EquiJoinPredicate,
+    JoinResult,
+    StreamTuple,
+    TimeWindow,
+    make_result,
+    stream_from_pairs,
+)
+from repro.harness import check_exactly_once, reference_join, result_keys
+
+
+def streams():
+    r = stream_from_pairs("R", [(0.0, {"k": 1}), (1.0, {"k": 2})])
+    s = stream_from_pairs("S", [(0.5, {"k": 1}), (1.5, {"k": 2})])
+    return r, s
+
+
+class TestReferenceJoin:
+    def test_matches_equal_keys_in_window(self):
+        r, s = streams()
+        pairs = reference_join(r, s, EquiJoinPredicate("k", "k"),
+                               TimeWindow(seconds=10.0))
+        assert pairs == {(("R", 0), ("S", 0)), (("R", 1), ("S", 1))}
+
+    def test_window_excludes_distant_pairs(self):
+        r = stream_from_pairs("R", [(0.0, {"k": 1})])
+        s = stream_from_pairs("S", [(100.0, {"k": 1})])
+        pairs = reference_join(r, s, EquiJoinPredicate("k", "k"),
+                               TimeWindow(seconds=10.0))
+        assert pairs == set()
+
+    def test_window_is_symmetric(self):
+        r = stream_from_pairs("R", [(100.0, {"k": 1})])
+        s = stream_from_pairs("S", [(95.0, {"k": 1})])
+        pairs = reference_join(r, s, EquiJoinPredicate("k", "k"),
+                               TimeWindow(seconds=10.0))
+        assert len(pairs) == 1
+
+
+class TestCheckExactlyOnce:
+    def _result(self, r, s) -> JoinResult:
+        return make_result(r, s)
+
+    def test_perfect_output_ok(self):
+        r, s = streams()
+        results = [self._result(r[0], s[0]), self._result(r[1], s[1])]
+        expected = {(("R", 0), ("S", 0)), (("R", 1), ("S", 1))}
+        check = check_exactly_once(results, expected)
+        assert check.ok
+        assert check.produced == 2
+
+    def test_duplicate_detected(self):
+        r, s = streams()
+        results = [self._result(r[0], s[0]), self._result(r[0], s[0])]
+        expected = {(("R", 0), ("S", 0))}
+        check = check_exactly_once(results, expected)
+        assert not check.ok
+        assert check.duplicates == 1
+
+    def test_missing_detected(self):
+        expected = {(("R", 0), ("S", 0))}
+        check = check_exactly_once([], expected)
+        assert not check.ok
+        assert check.missing == 1
+
+    def test_spurious_detected(self):
+        r, s = streams()
+        results = [self._result(r[1], s[0])]
+        expected = {(("R", 0), ("S", 0))}
+        check = check_exactly_once(results, expected)
+        assert not check.ok
+        assert check.spurious == 1
+
+    def test_result_keys_order(self):
+        r, s = streams()
+        results = [self._result(r[1], s[1]), self._result(r[0], s[0])]
+        assert result_keys(results) == [
+            (("R", 1), ("S", 1)), (("R", 0), ("S", 0))]

@@ -1,0 +1,67 @@
+"""Tests for repro.harness.runner."""
+
+import pytest
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.harness import run_biclique, run_matrix, square_matrix_side
+from repro.matrix import MatrixConfig
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = EquiJoinWorkload(keys=UniformKeys(20), seed=21)
+    return wl.materialise(ConstantRate(100.0), 4.0)
+
+
+class TestRunBiclique:
+    def test_stats_row(self, workload):
+        r, s = workload
+        stats = run_biclique(
+            BicliqueConfig(window=TimeWindow(5.0), r_joiners=2, s_joiners=2,
+                           archive_period=1.0, punctuation_interval=0.2),
+            EquiJoinPredicate("k", "k"), r, s)
+        assert stats.correct
+        assert stats.model == "biclique/hash"
+        assert stats.units == 4
+        assert stats.results > 0
+        assert stats.messages_per_tuple == pytest.approx(2.0, abs=0.3)
+
+    def test_verify_can_be_skipped(self, workload):
+        r, s = workload
+        stats = run_biclique(
+            BicliqueConfig(window=TimeWindow(5.0), archive_period=1.0),
+            EquiJoinPredicate("k", "k"), r, s, verify=False)
+        assert stats.correct  # trivially true when not verified
+
+
+class TestRunMatrix:
+    def test_stats_row(self, workload):
+        r, s = workload
+        stats = run_matrix(
+            MatrixConfig(window=TimeWindow(5.0), rows=2, cols=2,
+                         partitioning="hash", archive_period=1.0),
+            EquiJoinPredicate("k", "k"), r, s)
+        assert stats.correct
+        assert stats.model == "matrix/hash"
+        assert stats.units == 4
+        assert stats.messages_per_tuple == pytest.approx(2.0, abs=0.1)
+
+    def test_same_results_as_biclique(self, workload):
+        r, s = workload
+        pred = EquiJoinPredicate("k", "k")
+        b = run_biclique(BicliqueConfig(window=TimeWindow(5.0),
+                                        archive_period=1.0,
+                                        punctuation_interval=0.2), pred, r, s)
+        m = run_matrix(MatrixConfig(window=TimeWindow(5.0), rows=2, cols=2,
+                                    partitioning="hash", archive_period=1.0),
+                       pred, r, s)
+        assert b.results == m.results
+
+
+class TestSquareMatrixSide:
+    @pytest.mark.parametrize("units,side", [
+        (1, 1), (3, 1), (4, 2), (8, 2), (9, 3), (16, 4), (24, 4), (25, 5),
+    ])
+    def test_largest_square(self, units, side):
+        assert square_matrix_side(units) == side

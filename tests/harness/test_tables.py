@@ -1,0 +1,50 @@
+"""Tests for repro.harness.tables."""
+
+from repro.harness import format_cell, render_series, render_table
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_large_numbers_grouped(self):
+        assert format_cell(1234567) == "1,234,567"
+        assert format_cell(1234567.0) == "1,234,567"
+
+    def test_small_floats(self):
+        assert format_cell(0.12345) == "0.1235"
+        assert format_cell(1.5) == "1.50"
+        assert format_cell(0.0) == "0"
+
+    def test_strings_pass_through(self):
+        assert format_cell("biclique") == "biclique"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        out = render_table(["model", "n"], [["biclique", 4], ["matrix", 9]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "model" in lines[0]
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title_included(self):
+        out = render_table(["a"], [[1]], title="E1")
+        assert out.splitlines()[0] == "E1"
+
+    def test_column_width_fits_longest(self):
+        out = render_table(["x"], [["long-cell-value"]])
+        header, rule, row = out.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+
+class TestRenderSeries:
+    def test_series_rows(self):
+        out = render_series("throughput", [(0.0, 10), (30.0, 12)],
+                            x_label="t", y_label="t/s")
+        assert "throughput" in out
+        assert out.count("\n") == 4

@@ -1,0 +1,158 @@
+"""Integration tests: elasticity semantics of both models (E8 invariants).
+
+The join-biclique scales without touching stored state; the join-matrix
+must migrate.  These tests pin the *mechanisms* (draining, epoch-based
+hash re-routing, reshape migration accounting) end-to-end with live
+streams crossing the scaling events.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BicliqueConfig,
+    BicliqueEngine,
+    EquiJoinPredicate,
+    TimeWindow,
+    merge_by_time,
+)
+from repro.harness import check_exactly_once, reference_join
+from repro.matrix import MatrixConfig, MatrixEngine
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+WINDOW = TimeWindow(seconds=5.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+
+
+def workload(duration=20.0, rate=30.0, seed=5):
+    wl = EquiJoinWorkload(keys=UniformKeys(12), seed=seed)
+    r, s = wl.materialise(ConstantRate(rate), duration)
+    return r, s, list(merge_by_time(r, s))
+
+
+class TestBicliqueNoMigration:
+    def test_scale_out_leaves_existing_state_in_place(self):
+        r, s, arrivals = workload()
+        engine = BicliqueEngine(
+            BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                           routing="hash", archive_period=1.0,
+                           punctuation_interval=0.2),
+            PREDICATE)
+        half = len(arrivals) // 2
+        for t in arrivals[:half]:
+            engine.ingest(t)
+        stored_before = {uid: j.stored_tuples
+                         for uid, j in engine.joiners.items()}
+        engine.scale_out("R", 1, now=arrivals[half].ts)
+        # scaling moved nothing: every pre-existing unit kept its tuples
+        for uid, count in stored_before.items():
+            assert engine.joiners[uid].stored_tuples == count
+        assert engine.joiners["R2"].stored_tuples == 0
+
+    def test_new_unit_receives_new_tuples(self):
+        r, s, arrivals = workload()
+        engine = BicliqueEngine(
+            BicliqueConfig(window=WINDOW, r_joiners=1, s_joiners=1,
+                           routing="hash", archive_period=1.0,
+                           punctuation_interval=0.2),
+            PREDICATE)
+        half = len(arrivals) // 2
+        for t in arrivals[:half]:
+            engine.ingest(t)
+        engine.scale_out("R", 1, now=arrivals[half].ts)
+        for t in arrivals[half:]:
+            engine.ingest(t)
+        engine.finish()
+        assert engine.joiners["R1"].stored_tuples > 0
+
+    def test_draining_unit_answers_probes_until_reaped(self):
+        r, s, arrivals = workload()
+        engine = BicliqueEngine(
+            BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=1,
+                           routing="random", archive_period=1.0,
+                           punctuation_interval=0.2),
+            PREDICATE)
+        half = len(arrivals) // 2
+        for t in arrivals[:half]:
+            engine.ingest(t)
+        drained = engine.scale_in("R", now=arrivals[half].ts)
+        probes_before = engine.joiners[drained].stats.probes_processed
+        for t in arrivals[half:]:
+            engine.ingest(t)
+        engine.finish()
+        assert engine.joiners[drained].stats.probes_processed > probes_before
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_random_scale_sequences_stay_exact(self, data):
+        """Any interleaving of scale-out/scale-in/reap events with the
+        stream keeps results exactly-once."""
+        r, s, arrivals = workload(duration=12.0, rate=25.0,
+                                  seed=data.draw(st.integers(0, 100)))
+        engine = BicliqueEngine(
+            BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                           routing=data.draw(st.sampled_from(["hash",
+                                                              "random"])),
+                           archive_period=1.0, punctuation_interval=0.2),
+            PREDICATE)
+        n_events = data.draw(st.integers(0, 4), label="n_events")
+        positions = sorted(
+            data.draw(st.integers(1, len(arrivals) - 1),
+                      label=f"pos{i}") for i in range(n_events))
+        cursor = 0
+        for pos in positions:
+            for t in arrivals[cursor:pos]:
+                engine.ingest(t)
+            cursor = pos
+            now = arrivals[pos].ts
+            side = data.draw(st.sampled_from(["R", "S"]), label="side")
+            action = data.draw(st.sampled_from(["out", "in", "reap"]),
+                               label="action")
+            if action == "out":
+                engine.scale_out(side, 1, now=now)
+            elif action == "in":
+                if len(engine.groups[side].active_units()) > 1:
+                    engine.scale_in(side, now=now)
+            else:
+                engine.reap_drained(now=now)
+        for t in arrivals[cursor:]:
+            engine.ingest(t)
+        engine.finish()
+        expected = reference_join(r, s, PREDICATE, WINDOW)
+        check = check_exactly_once(engine.results, expected)
+        assert check.ok, check
+
+
+class TestMatrixMigrationCost:
+    def test_matrix_reshape_migrates_biclique_does_not(self):
+        """The E8 headline: same scale event, matrix pays migration
+        bytes, biclique pays none."""
+        r, s, arrivals = workload()
+        half = len(arrivals) // 2
+
+        matrix = MatrixEngine(
+            MatrixConfig(window=WINDOW, rows=2, cols=2,
+                         partitioning="hash", archive_period=1.0), PREDICATE)
+        for t in arrivals[:half]:
+            matrix.ingest(t)
+        matrix.reshape(2, 3, now=arrivals[half].ts)
+        for t in arrivals[half:]:
+            matrix.ingest(t)
+        matrix.finish()
+        assert matrix.migration.bytes_migrated > 0
+
+        biclique = BicliqueEngine(
+            BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                           routing="hash", archive_period=1.0,
+                           punctuation_interval=0.2), PREDICATE)
+        for t in arrivals[:half]:
+            biclique.ingest(t)
+        biclique.scale_out("S", 1, now=arrivals[half].ts)
+        for t in arrivals[half:]:
+            biclique.ingest(t)
+        biclique.finish()
+        # identical results, zero migration
+        assert {x.key for x in biclique.results} == \
+            {x.key for x in matrix.results}

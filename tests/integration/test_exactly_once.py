@@ -1,0 +1,145 @@
+"""Property-based integration tests: every engine configuration must
+produce exactly the reference result set, exactly once.
+
+This is the master invariant of the whole system (thesis §3.3): the
+join-biclique with any routing strategy, any subgrouping, any unit
+counts — and the join-matrix baseline with any geometry — all compute
+the same windowed join.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BandJoinPredicate,
+    BicliqueConfig,
+    BicliqueEngine,
+    ConjunctionPredicate,
+    CrossPredicate,
+    EquiJoinPredicate,
+    StreamJoinEngine,
+    ThetaJoinPredicate,
+    TimeWindow,
+    stream_from_pairs,
+)
+from repro.core.streams import merge_by_time
+from repro.harness import check_exactly_once, reference_join
+from repro.matrix import MatrixConfig, MatrixEngine
+
+
+def gen_streams(draw):
+    n_r = draw(st.integers(0, 35))
+    n_s = draw(st.integers(0, 35))
+    keys = draw(st.integers(1, 6))
+    r_gap = draw(st.sampled_from([0.2, 0.5, 1.0]))
+    s_gap = draw(st.sampled_from([0.2, 0.5, 1.0]))
+    r = stream_from_pairs(
+        "R", [(i * r_gap, {"k": draw(st.integers(0, keys)), "v": float(i)})
+              for i in range(n_r)])
+    s = stream_from_pairs(
+        "S", [(i * s_gap, {"k": draw(st.integers(0, keys)), "v": float(i)})
+              for i in range(n_s)])
+    return r, s
+
+
+PREDICATES = [
+    EquiJoinPredicate("k", "k"),
+    BandJoinPredicate("v", "v", band=2.0),
+    ThetaJoinPredicate("v", "<", "v"),
+    ThetaJoinPredicate("k", "!=", "k"),
+    CrossPredicate(),
+    ConjunctionPredicate([EquiJoinPredicate("k", "k"),
+                          BandJoinPredicate("v", "v", band=5.0)]),
+]
+
+
+class TestBicliqueExactlyOnce:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_any_config_matches_reference(self, data):
+        r, s = gen_streams(data.draw)
+        predicate = data.draw(st.sampled_from(PREDICATES), label="predicate")
+        window = TimeWindow(seconds=data.draw(st.sampled_from([2.0, 5.0, 20.0]),
+                                              label="window"))
+        r_joiners = data.draw(st.integers(1, 4), label="r_joiners")
+        s_joiners = data.draw(st.integers(1, 4), label="s_joiners")
+        config = BicliqueConfig(
+            window=window,
+            r_joiners=r_joiners,
+            s_joiners=s_joiners,
+            routers=data.draw(st.integers(1, 2), label="routers"),
+            routing=data.draw(st.sampled_from(["random", "auto"]),
+                              label="routing"),
+            r_subgroups=data.draw(st.integers(1, min(2, r_joiners)),
+                                  label="r_sub"),
+            s_subgroups=data.draw(st.integers(1, min(2, s_joiners)),
+                                  label="s_sub"),
+            archive_period=data.draw(st.sampled_from([0.5, 2.0, None]),
+                                     label="period"),
+            punctuation_interval=data.draw(st.sampled_from([0.1, 1.0]),
+                                           label="punct"),
+            ordered=data.draw(st.booleans(), label="ordered"),
+            expiry_slack=5.0,  # multiple routers can skew the global order
+        )
+        if config.routing == "auto" and predicate.selectivity_class == "low" \
+                and (config.r_subgroups > 1 or config.s_subgroups > 1):
+            config = BicliqueConfig(**{**config.__dict__, "routing": "random"})
+        engine = StreamJoinEngine(config, predicate)
+        results, report = engine.run(r, s)
+        expected = reference_join(r, s, predicate, window)
+        check = check_exactly_once(results, expected)
+        assert check.ok, (check, config, predicate)
+
+
+class TestMatrixExactlyOnce:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_any_grid_matches_reference(self, data):
+        r, s = gen_streams(data.draw)
+        predicate = data.draw(st.sampled_from(PREDICATES), label="predicate")
+        window = TimeWindow(seconds=data.draw(st.sampled_from([2.0, 20.0]),
+                                              label="window"))
+        config = MatrixConfig(
+            window=window,
+            rows=data.draw(st.integers(1, 3), label="rows"),
+            cols=data.draw(st.integers(1, 3), label="cols"),
+            partitioning=data.draw(st.sampled_from(["random", "hash"]),
+                                   label="partitioning")
+            if predicate.key_attribute("R") is not None else "random",
+            archive_period=data.draw(st.sampled_from([0.5, None]),
+                                     label="period"),
+            ordered=data.draw(st.booleans(), label="ordered"),
+        )
+        engine = MatrixEngine(config, predicate)
+        for t in merge_by_time(r, s):
+            engine.ingest(t)
+        engine.finish()
+        expected = reference_join(r, s, predicate, window)
+        check = check_exactly_once(engine.results, expected)
+        assert check.ok, (check, config, predicate)
+
+
+class TestModelsAgree:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_biclique_and_matrix_identical_result_sets(self, data):
+        r, s = gen_streams(data.draw)
+        predicate = data.draw(st.sampled_from(PREDICATES[:3]))
+        window = TimeWindow(seconds=5.0)
+        biclique = StreamJoinEngine(
+            BicliqueConfig(window=window, r_joiners=2, s_joiners=2,
+                           archive_period=1.0, punctuation_interval=0.5),
+            predicate)
+        b_results, _ = biclique.run(r, s)
+        matrix = MatrixEngine(
+            MatrixConfig(window=window, rows=2, cols=2, archive_period=1.0),
+            predicate)
+        for t in merge_by_time(r, s):
+            matrix.ingest(t)
+        matrix.finish()
+        assert {res.key for res in b_results} == \
+            {res.key for res in matrix.results}

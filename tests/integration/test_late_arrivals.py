@@ -1,0 +1,101 @@
+"""Late/out-of-order arrivals at the system boundary.
+
+The thesis assumes sources emit in timestamp order, but real feeds
+deliver bounded-late events.  The engine tolerates this without any
+special path: exactly-once holds for *any* consistent global order
+(the two-sided store/probe argument never references timestamps), the
+symmetric window predicate keeps the match set timestamp-exact, and
+Theorem-1 discarding stays safe as long as ``expiry_slack`` covers the
+maximum timestamp disorder.  These tests pin that contract — including
+the failure when slack is insufficient, which is what makes the knob
+meaningful rather than decorative.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BicliqueConfig,
+    EquiJoinPredicate,
+    StreamJoinEngine,
+    TimeWindow,
+    stream_from_pairs,
+)
+from repro.core.streams import merge_by_time
+from repro.harness import check_exactly_once, reference_join
+from repro.simulation import SeededRng
+from repro.workloads import bounded_shuffle
+
+WINDOW = TimeWindow(seconds=5.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+
+
+def ordered_arrivals(n=120, keys=6, gap=0.25):
+    r = stream_from_pairs("R", [(i * gap, {"k": i % keys})
+                                for i in range(n // 2)])
+    s = stream_from_pairs("S", [(i * gap * 1.1, {"k": i % keys})
+                                for i in range(n // 2)])
+    return r, s, list(merge_by_time(r, s))
+
+
+def max_ts_disorder(arrivals) -> float:
+    """Largest backwards timestamp jump in an arrival sequence."""
+    worst = 0.0
+    high = float("-inf")
+    for t in arrivals:
+        high = max(high, t.ts)
+        worst = max(worst, high - t.ts)
+    return worst
+
+
+def run(arrivals, slack):
+    engine = StreamJoinEngine(
+        BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                       routing="hash", archive_period=1.0,
+                       punctuation_interval=0.5, expiry_slack=slack),
+        PREDICATE)
+    return engine.run_interleaved(arrivals)
+
+
+class TestBoundedDisorder:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 40), st.integers(0, 100))
+    def test_exact_with_sufficient_slack(self, displacement, seed):
+        r, s, arrivals = ordered_arrivals()
+        shuffled = bounded_shuffle(arrivals, displacement, SeededRng(seed))
+        slack = max_ts_disorder(shuffled)
+        results, _ = run(shuffled, slack)
+        expected = reference_join(r, s, PREDICATE, WINDOW)
+        check = check_exactly_once(results, expected)
+        assert check.ok, (check, displacement, slack)
+
+    def test_zero_slack_loses_results_under_heavy_disorder(self):
+        """Without the margin, early-processed future probes discard
+        state that late-arriving older probes still need."""
+        r, s, arrivals = ordered_arrivals()
+        worst_check = None
+        for seed in range(12):
+            shuffled = bounded_shuffle(arrivals, 35, SeededRng(seed))
+            if max_ts_disorder(shuffled) <= WINDOW.seconds * 0.5:
+                continue
+            results, _ = run(shuffled, slack=0.0)
+            expected = reference_join(r, s, PREDICATE, WINDOW)
+            check = check_exactly_once(results, expected)
+            if not check.ok:
+                worst_check = check
+                break
+        assert worst_check is not None, \
+            "expected at least one seed to exhibit premature-expiry loss"
+        assert worst_check.missing > 0
+        assert worst_check.duplicates == 0  # disorder never duplicates
+
+    def test_disorder_never_creates_spurious_results(self):
+        r, s, arrivals = ordered_arrivals()
+        shuffled = bounded_shuffle(arrivals, 50, SeededRng(3))
+        results, _ = run(shuffled, slack=0.0)
+        expected = reference_join(r, s, PREDICATE, WINDOW)
+        check = check_exactly_once(results, expected)
+        assert check.spurious == 0
+        assert check.duplicates == 0

@@ -1,0 +1,159 @@
+"""Integration tests of the tuple-ordering protocol under real network
+disorder (thesis §3.3, Figure 8).
+
+The engine runs on the simulated broker with per-channel FIFO delivery,
+so disorder can only arise *across* channels — which requires at least
+two routers (with a single router every joiner sees one FIFO channel
+that already carries the global order).  With two routers and jittery
+or adversarial channel delays, the store and join copies of two tuples
+race exactly as in Figure 8; the protocol must fix the races and the
+unprotected ablation must demonstrably exhibit them.
+"""
+
+import pytest
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow, stream_from_pairs
+from repro.broker import Broker
+from repro.core.biclique import BicliqueEngine
+from repro.harness import check_exactly_once, reference_join
+from repro.simulation import (
+    JitterNetwork,
+    PerChannelDelayNetwork,
+    SeededRng,
+    Simulator,
+)
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+WINDOW = TimeWindow(seconds=5.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+
+
+def finish_simulated(sim, engine):
+    """Drain in-flight deliveries, then flush the ordering buffers."""
+    sim.run()
+    engine.punctuate_all()
+    sim.run()
+    for joiner in engine.joiners.values():
+        joiner.flush()
+
+
+def run_on_network(network_factory, *, ordered: bool, seed: int = 1,
+                   duration: float = 20.0, rate: float = 40.0,
+                   routing: str = "hash", routers: int = 2):
+    sim = Simulator()
+    broker = Broker(sim, network_factory(sim))
+    config = BicliqueConfig(
+        window=WINDOW, r_joiners=2, s_joiners=2, routers=routers,
+        routing=routing, archive_period=1.0, punctuation_interval=0.2,
+        ordered=ordered, expiry_slack=3.0)
+    engine = BicliqueEngine(config, PREDICATE, broker=broker)
+
+    workload = EquiJoinWorkload(keys=UniformKeys(15), seed=seed)
+    arrivals = list(workload.arrivals(ConstantRate(rate), duration))
+    for t in arrivals:
+        sim.schedule_at(t.ts, lambda t=t: engine.ingest(t))
+    finish_simulated(sim, engine)
+
+    r = [t for t in arrivals if t.relation == "R"]
+    s = [t for t in arrivals if t.relation == "S"]
+    expected = reference_join(r, s, PREDICATE, WINDOW)
+    return check_exactly_once(engine.results, expected)
+
+
+def jitter(sim):
+    return JitterNetwork(base=0.005, jitter=0.5, rng=SeededRng(99, "net"))
+
+
+class TestProtocolUnderDisorder:
+    def test_ordered_engine_is_exact_under_heavy_jitter(self):
+        check = run_on_network(jitter, ordered=True)
+        assert check.ok, check
+
+    def test_ordered_engine_exact_with_random_routing(self):
+        check = run_on_network(jitter, ordered=True, routing="random")
+        assert check.ok, check
+
+    def test_unordered_engine_fails_under_jitter(self):
+        """The ablation: without the protocol, cross-channel races must
+        produce missed and/or duplicate results."""
+        check = run_on_network(jitter, ordered=False, routing="random")
+        assert not check.ok
+        assert check.duplicates > 0 or check.missing > 0
+
+    def test_single_router_is_immune_even_unordered(self):
+        """With one router, every joiner consumes a single FIFO channel
+        that already carries the global order — disorder needs >= 2
+        routers, which is why the protocol matters for scaled router
+        pools."""
+        check = run_on_network(jitter, ordered=False, routers=1)
+        assert check.ok, check
+
+    def test_zero_jitter_unordered_is_coincidentally_exact(self):
+        def no_jitter(sim):
+            return JitterNetwork(base=0.005, jitter=0.0,
+                                 rng=SeededRng(1, "net"))
+        check = run_on_network(no_jitter, ordered=False)
+        assert check.ok, check
+
+
+class TestFigure8Scenarios:
+    """Deterministic reconstructions of the Figure 8 races.
+
+    Two tuples r (via router0) and s (via router1) and hand-picked
+    channel delays force the exact interleavings of Figure 8(c)
+    (missed result) and 8(d) (duplicate result).
+    """
+
+    def _run(self, ordered: bool, delays: dict[tuple[str, str], float]):
+        sim = Simulator()
+        network = PerChannelDelayNetwork(default=0.0)
+        for (sender, receiver), delay in delays.items():
+            network.set_delay(sender, receiver, delay)
+        broker = Broker(sim, network)
+        config = BicliqueConfig(
+            window=WINDOW, r_joiners=1, s_joiners=1, routers=2,
+            routing="random", archive_period=1.0,
+            punctuation_interval=10.0,  # no mid-run punctuation
+            ordered=ordered, expiry_slack=1.0)
+        engine = BicliqueEngine(config, PREDICATE, broker=broker)
+
+        r = stream_from_pairs("R", [(0.00, {"k": 1})])
+        s = stream_from_pairs("S", [(0.01, {"k": 1})])
+        # Entry queue round-robin: first tuple → router0, second → router1.
+        sim.schedule_at(0.00, lambda: engine.ingest(r[0]))
+        sim.schedule_at(0.01, lambda: engine.ingest(s[0]))
+        finish_simulated(sim, engine)
+        expected = reference_join(r, s, PREDICATE, WINDOW)
+        return check_exactly_once(engine.results, expected)
+
+    # Duplicate (Fig 8(d)): R0 sees store(r) then join(s) → result;
+    # S0 sees join(r) LATE (slow router0→S0), after store(s) → result again.
+    DUPLICATE_DELAYS = {("router0", "S0"): 0.5}
+
+    # Miss (Fig 8(c)): R0 sees store(r) LATE (slow router0→R0), after
+    # join(s) → no result; S0 sees join(r) early, before store(s) → none.
+    MISS_DELAYS = {("router0", "R0"): 0.5}
+
+    def test_duplicate_race_without_protocol(self):
+        check = self._run(ordered=False, delays=self.DUPLICATE_DELAYS)
+        assert check.duplicates == 1
+        assert check.produced == 2
+
+    def test_duplicate_race_fixed_by_protocol(self):
+        check = self._run(ordered=True, delays=self.DUPLICATE_DELAYS)
+        assert check.ok, check
+
+    def test_miss_race_without_protocol(self):
+        check = self._run(ordered=False, delays=self.MISS_DELAYS)
+        assert check.missing == 1
+        assert check.produced == 0
+
+    def test_miss_race_fixed_by_protocol(self):
+        check = self._run(ordered=True, delays=self.MISS_DELAYS)
+        assert check.ok, check
+
+    def test_in_order_arrivals_exact_either_way(self):
+        check_unordered = self._run(ordered=False, delays={})
+        check_ordered = self._run(ordered=True, delays={})
+        assert check_unordered.ok
+        assert check_ordered.ok

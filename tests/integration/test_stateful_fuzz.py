@@ -1,0 +1,173 @@
+"""Stateful fuzzing of the biclique engine lifecycle.
+
+A hypothesis rule-based state machine drives an engine through random
+interleavings of ingestion, joiner scale-out/in, reaping, router-pool
+resizing and punctuation, then checks the master invariant at teardown:
+the produced results are exactly the reference pairs, exactly once.
+(Failure injection is fuzzed separately with a weaker invariant — no
+duplicates, bounded loss — since crashes legitimately lose state.)
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import (
+    BicliqueConfig,
+    BicliqueEngine,
+    EquiJoinPredicate,
+    StreamSource,
+    TimeWindow,
+)
+from repro.harness import check_exactly_once, reference_join
+
+WINDOW = TimeWindow(seconds=6.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+
+
+class BicliqueLifecycleMachine(RuleBasedStateMachine):
+    """Random lifecycles must never break exactly-once."""
+
+    @initialize(routing=st.sampled_from(["hash", "random"]),
+                r_joiners=st.integers(1, 3),
+                s_joiners=st.integers(1, 3))
+    def setup(self, routing, r_joiners, s_joiners):
+        self.engine = BicliqueEngine(
+            BicliqueConfig(window=WINDOW, r_joiners=r_joiners,
+                           s_joiners=s_joiners, routers=1, routing=routing,
+                           archive_period=1.5, punctuation_interval=0.4,
+                           expiry_slack=3.0),
+            PREDICATE)
+        self.r_source = StreamSource("R")
+        self.s_source = StreamSource("S")
+        self.r_stream = []
+        self.s_stream = []
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(count=st.integers(1, 12), keys=st.integers(1, 5),
+          gap=st.sampled_from([0.05, 0.2, 0.6]))
+    def ingest_batch(self, count, keys, gap):
+        for i in range(count):
+            self.now += gap
+            source = self.r_source if (len(self.r_stream)
+                                       <= len(self.s_stream)) else self.s_source
+            t = source.emit(self.now, {"k": (len(self.r_stream)
+                                             + len(self.s_stream)) % keys})
+            (self.r_stream if t.relation == "R" else self.s_stream).append(t)
+            self.engine.ingest(t)
+
+    @rule(side=st.sampled_from(["R", "S"]), count=st.integers(1, 2))
+    def scale_out(self, side, count):
+        self.engine.scale_out(side, count, now=self.now)
+
+    @precondition(lambda self: any(
+        len(self.engine.groups[side].active_units()) > 1
+        for side in ("R", "S")))
+    @rule(side=st.sampled_from(["R", "S"]))
+    def scale_in(self, side):
+        if len(self.engine.groups[side].active_units()) > 1:
+            self.engine.scale_in(side, now=self.now)
+
+    @rule()
+    def reap(self):
+        self.engine.reap_drained(now=self.now)
+
+    @rule(count=st.integers(1, 3))
+    def resize_router_pool(self, count):
+        self.engine.scale_routers(count)
+
+    @rule()
+    def punctuate(self):
+        self.engine.punctuate_all()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def no_duplicates_so_far(self):
+        keys = [res.key for res in self.engine.results]
+        assert len(keys) == len(set(keys))
+
+    @invariant()
+    def memory_accounting_sane(self):
+        for joiner in self.engine.joiners.values():
+            if joiner.stored_tuples == 0:
+                assert joiner.live_bytes == 0
+            else:
+                assert joiner.live_bytes > 0
+
+    def teardown(self):
+        if not hasattr(self, "engine"):
+            return
+        self.engine.finish()
+        expected = reference_join(self.r_stream, self.s_stream,
+                                  PREDICATE, WINDOW)
+        check = check_exactly_once(self.engine.results, expected)
+        assert check.ok, check
+
+
+BicliqueLifecycleMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+
+TestBicliqueLifecycle = BicliqueLifecycleMachine.TestCase
+
+
+class FailureFuzzMachine(RuleBasedStateMachine):
+    """Crashes may lose results but never fabricate or duplicate them."""
+
+    @initialize()
+    def setup(self):
+        self.engine = BicliqueEngine(
+            BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                           routers=1, routing="hash", archive_period=1.5,
+                           punctuation_interval=0.4, expiry_slack=3.0),
+            PREDICATE)
+        self.r_source = StreamSource("R")
+        self.s_source = StreamSource("S")
+        self.r_stream = []
+        self.s_stream = []
+        self.now = 0.0
+
+    @rule(count=st.integers(1, 10), keys=st.integers(1, 4))
+    def ingest_batch(self, count, keys):
+        for i in range(count):
+            self.now += 0.2
+            source = self.r_source if (len(self.r_stream)
+                                       <= len(self.s_stream)) else self.s_source
+            t = source.emit(self.now, {"k": (len(self.r_stream)
+                                             + len(self.s_stream)) % keys})
+            (self.r_stream if t.relation == "R" else self.s_stream).append(t)
+            self.engine.ingest(t)
+
+    @rule(unit=st.sampled_from(["R0", "R1", "S0", "S1"]))
+    def crash(self, unit):
+        self.engine.fail_unit(unit)
+
+    def teardown(self):
+        if not hasattr(self, "engine"):
+            return
+        self.engine.finish()
+        expected = reference_join(self.r_stream, self.s_stream,
+                                  PREDICATE, WINDOW)
+        check = check_exactly_once(self.engine.results, expected)
+        assert check.duplicates == 0, check
+        assert check.spurious == 0, check
+
+
+FailureFuzzMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None)
+
+TestFailureFuzz = FailureFuzzMachine.TestCase

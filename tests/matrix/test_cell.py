@@ -1,0 +1,96 @@
+"""Tests for repro.matrix.cell."""
+
+from repro import EquiJoinPredicate, StreamTuple, TimeWindow
+from repro.core.ordering import KIND_PUNCTUATION, KIND_STORE, Envelope
+from repro.matrix import MatrixCell
+
+
+def r_tuple(ts, key, seq=0):
+    return StreamTuple("R", ts, {"k": key}, seq=seq)
+
+
+def s_tuple(ts, key, seq=0):
+    return StreamTuple("S", ts, {"k": key}, seq=seq)
+
+
+def make_cell(ordered=False, window=10.0):
+    results = []
+    cell = MatrixCell(0, 0, EquiJoinPredicate("k", "k"),
+                      TimeWindow(seconds=window), archive_period=2.0,
+                      result_sink=results.append, ordered=ordered)
+    cell.register_router("router0")
+    return cell, results
+
+
+def env(kind, t, counter):
+    return Envelope(kind=kind, router_id="router0", counter=counter, tuple=t)
+
+
+class TestProbeThenStore:
+    def test_pair_produced_once_at_later_arrival(self):
+        cell, results = make_cell()
+        cell.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        cell.on_envelope(env(KIND_STORE, s_tuple(1.0, 7, seq=1), 1))
+        assert len(results) == 1
+
+    def test_both_relations_stored(self):
+        cell, _ = make_cell()
+        cell.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        cell.on_envelope(env(KIND_STORE, s_tuple(1.0, 8, seq=1), 1))
+        assert cell.stored_tuples == 2
+        assert len(cell.r_index) == 1
+        assert len(cell.s_index) == 1
+
+    def test_no_self_join_within_relation(self):
+        cell, results = make_cell()
+        cell.on_envelope(env(KIND_STORE, r_tuple(0.0, 7, seq=0), 0))
+        cell.on_envelope(env(KIND_STORE, r_tuple(1.0, 7, seq=1), 1))
+        assert results == []
+
+    def test_window_respected(self):
+        cell, results = make_cell(window=5.0)
+        cell.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        cell.on_envelope(env(KIND_STORE, s_tuple(50.0, 7, seq=1), 1))
+        assert results == []
+
+    def test_result_operands_normalised(self):
+        cell, results = make_cell()
+        cell.on_envelope(env(KIND_STORE, s_tuple(0.0, 7), 0))
+        cell.on_envelope(env(KIND_STORE, r_tuple(1.0, 7, seq=1), 1))
+        assert results[0].r.relation == "R"
+        assert results[0].s.relation == "S"
+
+    def test_live_bytes_cover_both_indexes(self):
+        cell, _ = make_cell()
+        cell.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        bytes_one = cell.live_bytes
+        cell.on_envelope(env(KIND_STORE, s_tuple(1.0, 8, seq=1), 1))
+        assert cell.live_bytes > bytes_one
+
+
+class TestOrderedMode:
+    def test_buffered_until_punctuation(self):
+        cell, results = make_cell(ordered=True)
+        cell.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        cell.on_envelope(env(KIND_STORE, s_tuple(1.0, 7, seq=1), 1))
+        assert results == []
+        cell.on_envelope(Envelope(kind=KIND_PUNCTUATION, router_id="router0",
+                                  counter=5))
+        assert len(results) == 1
+
+    def test_flush_drains(self):
+        cell, results = make_cell(ordered=True)
+        cell.on_envelope(env(KIND_STORE, r_tuple(0.0, 7), 0))
+        cell.on_envelope(env(KIND_STORE, s_tuple(1.0, 7, seq=1), 1))
+        cell.flush()
+        assert len(results) == 1
+
+
+class TestStoredState:
+    def test_export_for_reshape(self):
+        cell, _ = make_cell()
+        cell.on_envelope(env(KIND_STORE, r_tuple(0.0, 1), 0))
+        cell.on_envelope(env(KIND_STORE, s_tuple(1.0, 2, seq=1), 1))
+        r_state, s_state = cell.stored_state()
+        assert [t.ident for t in r_state] == [("R", 0)]
+        assert [t.ident for t in s_state] == [("S", 1)]

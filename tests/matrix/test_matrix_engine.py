@@ -1,0 +1,148 @@
+"""Tests for repro.matrix.engine (grid routing, reshape, baselines)."""
+
+import math
+
+import pytest
+
+from repro import (
+    BandJoinPredicate,
+    EquiJoinPredicate,
+    TimeWindow,
+    merge_by_time,
+    stream_from_pairs,
+)
+from repro.errors import ConfigurationError, ScalingError
+from repro.harness import check_exactly_once, reference_join
+from repro.matrix import MatrixConfig, MatrixEngine
+
+
+def streams(n=40, keys=5):
+    r = stream_from_pairs("R", [(i * 0.3, {"k": i % keys, "v": float(i)})
+                                for i in range(n)])
+    s = stream_from_pairs("S", [(i * 0.35, {"k": i % keys, "v": float(i)})
+                                for i in range(n)])
+    return r, s
+
+
+def run(engine, r, s):
+    for t in merge_by_time(r, s):
+        engine.ingest(t)
+    engine.finish()
+
+
+def make_config(**overrides):
+    defaults = dict(window=TimeWindow(seconds=10.0), rows=2, cols=3,
+                    archive_period=2.0, punctuation_interval=0.5)
+    defaults.update(overrides)
+    return MatrixConfig(**defaults)
+
+
+class TestConfig:
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ConfigurationError):
+            make_config(rows=0)
+
+    def test_rejects_unknown_partitioning(self):
+        with pytest.raises(ConfigurationError):
+            make_config(partitioning="zigzag")
+
+
+class TestRouting:
+    def test_r_replicated_along_one_row(self):
+        engine = MatrixEngine(make_config(rows=2, cols=3),
+                              EquiJoinPredicate("k", "k"))
+        t = streams(n=1)[0][0]
+        cells = engine.target_cells(t)
+        assert len(cells) == 3
+        assert len({cell.row for cell in cells}) == 1
+
+    def test_s_replicated_along_one_column(self):
+        engine = MatrixEngine(make_config(rows=2, cols=3),
+                              EquiJoinPredicate("k", "k"))
+        t = streams(n=1)[1][0]
+        cells = engine.target_cells(t)
+        assert len(cells) == 2
+        assert len({cell.col for cell in cells}) == 1
+
+    def test_fanout_counts(self):
+        """Per-tuple message fan-out is cols for R and rows for S (√p
+        for a square grid) — the §2.4.1 comparison quantity."""
+        engine = MatrixEngine(make_config(rows=3, cols=3),
+                              EquiJoinPredicate("k", "k"))
+        r, s = streams(n=10)
+        run(engine, r, s)
+        ingested = len(r) + len(s)
+        per_tuple = engine.network_stats.store_messages / ingested
+        assert per_tuple == pytest.approx(3.0)
+
+    def test_hash_partitioning_collocates_keys(self):
+        engine = MatrixEngine(make_config(partitioning="hash"),
+                              EquiJoinPredicate("k", "k"))
+        r, _ = streams(n=10, keys=1)  # all same key
+        rows = {engine.target_cells(t)[0].row for t in r}
+        assert len(rows) == 1
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("partitioning,pred", [
+        ("hash", EquiJoinPredicate("k", "k")),
+        ("random", EquiJoinPredicate("k", "k")),
+        ("random", BandJoinPredicate("v", "v", 3.0)),
+    ])
+    def test_exactly_once(self, partitioning, pred):
+        engine = MatrixEngine(make_config(partitioning=partitioning), pred)
+        r, s = streams()
+        run(engine, r, s)
+        expected = reference_join(r, s, pred, TimeWindow(seconds=10.0))
+        assert check_exactly_once(engine.results, expected).ok
+
+    def test_replication_inflates_storage(self):
+        """Matrix stores each tuple rows-or-cols times; the biclique
+        model's memory advantage comes exactly from this factor."""
+        engine = MatrixEngine(make_config(rows=3, cols=3),
+                              EquiJoinPredicate("k", "k"))
+        r, s = streams(n=10)
+        run(engine, r, s)
+        unique = len(r) + len(s)
+        assert engine.total_stored_tuples() == pytest.approx(3 * unique)
+
+
+class TestReshape:
+    def test_reshape_preserves_exactly_once(self):
+        pred = EquiJoinPredicate("k", "k")
+        engine = MatrixEngine(make_config(rows=2, cols=2, partitioning="hash"),
+                              pred)
+        r, s = streams(n=60)
+        arrivals = list(merge_by_time(r, s))
+        half = len(arrivals) // 2
+        for t in arrivals[:half]:
+            engine.ingest(t)
+        engine.reshape(3, 3, now=arrivals[half].ts)
+        for t in arrivals[half:]:
+            engine.ingest(t)
+        engine.finish()
+        expected = reference_join(r, s, pred, TimeWindow(seconds=10.0))
+        assert check_exactly_once(engine.results, expected).ok
+
+    def test_reshape_migrates_state(self):
+        engine = MatrixEngine(make_config(rows=2, cols=2),
+                              EquiJoinPredicate("k", "k"))
+        r, s = streams(n=30)
+        for t in merge_by_time(r, s):
+            engine.ingest(t)
+        engine.reshape(3, 3)
+        assert engine.migration.reshapes == 1
+        assert engine.migration.tuples_migrated > 0
+        assert engine.migration.bytes_migrated > 0
+
+    def test_reshape_rejects_empty_grid(self):
+        engine = MatrixEngine(make_config(), EquiJoinPredicate("k", "k"))
+        with pytest.raises(ScalingError):
+            engine.reshape(0, 2)
+
+    def test_grid_geometry_after_reshape(self):
+        engine = MatrixEngine(make_config(rows=2, cols=2),
+                              EquiJoinPredicate("k", "k"))
+        engine.reshape(4, 3)
+        assert engine.rows == 4 and engine.cols == 3
+        assert len(engine.all_cells()) == 12

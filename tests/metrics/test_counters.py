@@ -1,0 +1,65 @@
+"""Tests for repro.metrics.counters."""
+
+import pytest
+
+from repro.metrics import CounterSet, NetworkStats, ThroughputWindow
+
+
+class TestCounterSet:
+    def test_starts_at_zero(self):
+        assert CounterSet().get("x") == 0
+
+    def test_increments(self):
+        counters = CounterSet()
+        counters.inc("x")
+        counters.inc("x", 4)
+        assert counters.get("x") == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().inc("x", -1)
+
+    def test_as_dict(self):
+        counters = CounterSet()
+        counters.inc("a")
+        counters.inc("b", 2)
+        assert counters.as_dict() == {"a": 1, "b": 2}
+
+
+class TestNetworkStats:
+    def test_record_by_kind(self):
+        stats = NetworkStats()
+        stats.record("store", 100)
+        stats.record("join", 100, count=3)
+        stats.record("punctuation", 16)
+        stats.record("result", 50)
+        assert stats.store_messages == 1
+        assert stats.join_messages == 3
+        assert stats.punctuation_messages == 1
+        assert stats.result_messages == 1
+        assert stats.data_messages == 4
+        assert stats.total_messages == 6
+        assert stats.bytes_sent == 100 + 300 + 16 + 50
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkStats().record("gossip")
+
+
+class TestThroughputWindow:
+    def test_rate_over_horizon(self):
+        window = ThroughputWindow(horizon=10.0)
+        for i in range(100):
+            window.record(ts=i * 0.1)  # 10/s for 10 seconds
+        assert window.rate(now=10.0) == pytest.approx(10.0, rel=0.1)
+
+    def test_old_samples_age_out(self):
+        window = ThroughputWindow(horizon=10.0)
+        for i in range(50):
+            window.record(ts=i * 0.1)
+        assert window.rate(now=100.0) == 0.0
+
+    def test_batched_record(self):
+        window = ThroughputWindow(horizon=10.0)
+        window.record(ts=1.0, count=5)
+        assert window.rate(now=1.0) == pytest.approx(0.5)

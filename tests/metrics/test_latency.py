@@ -1,0 +1,70 @@
+"""Tests for repro.metrics.latency."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import LatencyRecorder, LatencySummary, percentile
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_single_value(self):
+        assert percentile([3.0], 0.99) == 3.0
+
+    def test_median_of_odd_list(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0], 0.5) == 1.5
+
+    def test_extremes(self):
+        values = sorted([5.0, 1.0, 3.0])
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_monotone_in_quantile(self, values):
+        ordered = sorted(values)
+        quantiles = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0]
+        results = [percentile(ordered, q) for q in quantiles]
+        assert results == sorted(results)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50), st.floats(min_value=0, max_value=1))
+    def test_within_range(self, values, q):
+        ordered = sorted(values)
+        assert ordered[0] <= percentile(ordered, q) <= ordered[-1]
+
+
+class TestLatencyRecorder:
+    def test_empty_summary(self):
+        summary = LatencyRecorder().summary()
+        assert summary == LatencySummary.empty()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-0.1)
+
+    def test_summary_statistics(self):
+        recorder = LatencyRecorder()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            recorder.record(v)
+        summary = recorder.summary()
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.p50 == 2.5
+        assert summary.max == 4.0
+
+    def test_len(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        assert len(recorder) == 1

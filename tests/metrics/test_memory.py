@@ -1,0 +1,75 @@
+"""Tests for repro.metrics.memory (heap envelope, snapshots)."""
+
+import pytest
+
+from repro.metrics import MB, JvmHeapModel, MemorySnapshot
+
+
+class TestJvmHeapModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JvmHeapModel(min_free_ratio=0.5, max_free_ratio=0.2)
+        with pytest.raises(ValueError):
+            JvmHeapModel(xms_bytes=10, xmx_bytes=5)
+
+    def test_starts_at_xms(self):
+        model = JvmHeapModel()
+        assert model.mapped_bytes == model.xms_bytes
+
+    def test_grows_with_live_set(self):
+        model = JvmHeapModel(baseline_bytes=0)
+        mapped = model.update(200 * MB)
+        # MinHeapFreeRatio=20%: at least 240 MB mapped
+        assert mapped >= 240 * MB
+
+    def test_envelope_bounds(self):
+        model = JvmHeapModel(baseline_bytes=0)
+        mapped = model.update(100 * MB)
+        assert 120 * MB <= mapped <= 140 * MB
+
+    def test_trims_when_live_set_shrinks(self):
+        model = JvmHeapModel(baseline_bytes=0)
+        high = model.update(400 * MB)
+        low = model.update(100 * MB)
+        assert low < high
+        assert 120 * MB <= low <= 140 * MB
+
+    def test_clamped_to_xmx(self):
+        model = JvmHeapModel(baseline_bytes=0)
+        mapped = model.update(2000 * MB)
+        assert mapped == model.xmx_bytes
+
+    def test_clamped_to_xms(self):
+        model = JvmHeapModel(baseline_bytes=0)
+        assert model.update(0) == model.xms_bytes
+
+    def test_baseline_included(self):
+        """The thesis run starts at ~60 MB with an empty window."""
+        model = JvmHeapModel()
+        mapped = model.update(0)
+        assert mapped >= 60 * MB
+
+    def test_utilisation_fraction(self):
+        model = JvmHeapModel(baseline_bytes=0)
+        model.update(400 * MB)
+        assert 0.0 < model.utilisation() <= 1.0
+
+
+class TestMemorySnapshot:
+    def test_totals(self):
+        snap = MemorySnapshot(time=1.0, per_unit_live_bytes={"a": 10, "b": 30})
+        assert snap.total_live_bytes == 40
+        assert snap.max_unit_live_bytes == 30
+
+    def test_imbalance(self):
+        snap = MemorySnapshot(time=1.0, per_unit_live_bytes={"a": 10, "b": 30})
+        assert snap.imbalance() == pytest.approx(1.5)
+
+    def test_imbalance_of_balanced_is_one(self):
+        snap = MemorySnapshot(time=1.0, per_unit_live_bytes={"a": 20, "b": 20})
+        assert snap.imbalance() == 1.0
+
+    def test_empty_snapshot(self):
+        snap = MemorySnapshot(time=0.0, per_unit_live_bytes={})
+        assert snap.total_live_bytes == 0
+        assert snap.imbalance() == 1.0

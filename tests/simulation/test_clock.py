@@ -1,0 +1,54 @@
+"""Tests for repro.simulation.clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import Clock, ManualClock
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(5.5).now == 5.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SimulationError):
+            Clock(-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = Clock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = Clock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_to_rejects_backwards(self):
+        clock = Clock(2.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.0)
+
+    def test_advance_by_accumulates(self):
+        clock = Clock()
+        clock.advance_by(1.5)
+        clock.advance_by(2.5)
+        assert clock.now == 4.0
+
+    def test_advance_by_zero_is_allowed(self):
+        clock = Clock(1.0)
+        clock.advance_by(0.0)
+        assert clock.now == 1.0
+
+    def test_advance_by_rejects_negative(self):
+        clock = Clock()
+        with pytest.raises(SimulationError):
+            clock.advance_by(-0.1)
+
+    def test_manual_clock_behaves_like_clock(self):
+        clock = ManualClock()
+        clock.advance_to(7.0)
+        assert clock.now == 7.0

@@ -1,0 +1,61 @@
+"""Tests for repro.simulation.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import EventQueue
+
+
+class TestEventQueue:
+    def test_empty_queue_is_falsy(self):
+        assert not EventQueue()
+
+    def test_len_tracks_pushes(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+
+    def test_pop_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, label="late")
+        queue.push(1.0, lambda: None, label="early")
+        assert queue.pop().label == "early"
+
+    def test_same_time_pops_in_insertion_order(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, label="first")
+        queue.push(1.0, lambda: None, label="second")
+        assert queue.pop().label == "first"
+        assert queue.pop().label == "second"
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, priority=5, label="low-prio")
+        queue.push(1.0, lambda: None, priority=1, label="high-prio")
+        assert queue.pop().label == "high-prio"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, label="cancelled")
+        queue.push(2.0, lambda: None, label="live")
+        event.cancel()
+        assert queue.pop().label == "live"
+
+    def test_peek_time_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 3.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None

@@ -1,0 +1,152 @@
+"""Tests for repro.simulation.kernel (the DES event loop)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append("b"))
+        sim.schedule_at(1.0, lambda: fired.append("a"))
+        sim.schedule_at(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_tracks_last_event(self):
+        sim = Simulator()
+        sim.schedule_at(4.5, lambda: None)
+        sim.run()
+        assert sim.now == 4.5
+
+    def test_schedule_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: sim.schedule_after(0.5, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-0.1, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule_after(1.0, lambda: fired.append("inner"))
+
+        sim.schedule_at(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == 2.0
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.run(until=3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+
+    def test_run_until_then_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.run(until=3.0)
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_guards_runaway(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule_after(0.0, loop)
+
+        sim.schedule_at(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestPeriodic:
+    def test_periodic_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(1.0, lambda: times.append(sim.now))
+        sim.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_periodic_start_after_overrides_first_delay(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(2.0, lambda: times.append(sim.now),
+                              start_after=0.5)
+        sim.run(until=5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_periodic_cancel_stops_future_firings(self):
+        sim = Simulator()
+        times = []
+        cancel = sim.schedule_periodic(1.0, lambda: times.append(sim.now))
+        sim.schedule_at(2.5, cancel)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+
+class TestIntrospection:
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+    def test_trace_records_labels(self):
+        sim = Simulator()
+        sim.enable_trace()
+        sim.schedule_at(1.0, lambda: None, label="one")
+        sim.schedule_at(2.0, lambda: None, label="two")
+        sim.run()
+        assert sim.trace == [(1.0, "one"), (2.0, "two")]
+
+    def test_trace_without_enable_raises(self):
+        with pytest.raises(SimulationError):
+            _ = Simulator().trace
+
+    def test_step_returns_false_when_idle(self):
+        assert Simulator().step() is False
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def reenter():
+            sim.run()
+
+        sim.schedule_at(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,86 @@
+"""Tests for repro.simulation.random (seeded, forkable RNG)."""
+
+from repro.simulation import SeededRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = SeededRng(42)
+        b = SeededRng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SeededRng(1)
+        b = SeededRng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_string_seeds_supported(self):
+        a = SeededRng("experiment-7")
+        b = SeededRng("experiment-7")
+        assert a.random() == b.random()
+
+
+class TestForking:
+    def test_fork_is_deterministic(self):
+        a = SeededRng(42).fork("child")
+        b = SeededRng(42).fork("child")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_forks_with_different_names_are_independent(self):
+        root = SeededRng(42)
+        a = root.fork("a")
+        b = root.fork("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_independent_of_parent_consumption(self):
+        # Drawing from the parent must not shift the child's stream.
+        parent1 = SeededRng(42)
+        child_before = parent1.fork("c")
+        seq_before = [child_before.random() for _ in range(5)]
+
+        parent2 = SeededRng(42)
+        for _ in range(100):
+            parent2.random()
+        child_after = parent2.fork("c")
+        seq_after = [child_after.random() for _ in range(5)]
+        assert seq_before == seq_after
+
+    def test_nested_forks_are_stable(self):
+        a = SeededRng(1).fork("x").fork("y")
+        b = SeededRng(1).fork("x").fork("y")
+        assert a.random() == b.random()
+
+
+class TestDistributions:
+    def test_randint_within_bounds(self):
+        rng = SeededRng(7)
+        for _ in range(200):
+            assert 0 <= rng.randint(0, 9) <= 9
+
+    def test_uniform_within_bounds(self):
+        rng = SeededRng(7)
+        for _ in range(200):
+            assert 2.0 <= rng.uniform(2.0, 3.0) <= 3.0
+
+    def test_choice_returns_member(self):
+        rng = SeededRng(7)
+        options = ["a", "b", "c"]
+        for _ in range(50):
+            assert rng.choice(options) in options
+
+    def test_expovariate_positive(self):
+        rng = SeededRng(7)
+        for _ in range(100):
+            assert rng.expovariate(10.0) >= 0.0
+
+    def test_shuffle_is_permutation(self):
+        rng = SeededRng(7)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_sample_has_unique_members(self):
+        rng = SeededRng(7)
+        drawn = rng.sample(range(100), 10)
+        assert len(set(drawn)) == 10

@@ -1,0 +1,60 @@
+"""Documentation/consistency guards.
+
+DESIGN.md promises an experiment index mapping every table/figure to a
+bench target, and EXPERIMENTS.md promises a paper-vs-measured entry per
+experiment.  These tests keep those promises true as the benchmark
+suite grows — doc drift fails CI like any other bug.
+"""
+
+import pathlib
+import re
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def bench_files():
+    return sorted(p.name for p in (REPO / "benchmarks").glob("test_bench_*.py"))
+
+
+class TestExperimentIndex:
+    def test_every_bench_listed_in_design(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for name in bench_files():
+            assert name in design, f"{name} missing from DESIGN.md"
+
+    def test_every_bench_discussed_in_experiments(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for name in bench_files():
+            assert name in experiments, f"{name} missing from EXPERIMENTS.md"
+
+    def test_every_bench_listed_in_benchmarks_readme(self):
+        readme = (REPO / "benchmarks" / "README.md").read_text()
+        for name in bench_files():
+            assert name in readme, f"{name} missing from benchmarks/README.md"
+
+
+class TestLinks:
+    def test_readme_relative_links_resolve(self):
+        readme = (REPO / "README.md").read_text()
+        for target in re.findall(r"\]\(([^)#]+)\)", readme):
+            if target.startswith(("http://", "https://")):
+                continue
+            assert (REPO / target).exists(), f"broken README link: {target}"
+
+    def test_design_mentions_all_packages(self):
+        design = (REPO / "DESIGN.md").read_text()
+        packages = [p.name for p in (REPO / "src" / "repro").iterdir()
+                    if p.is_dir() and (p / "__init__.py").exists()]
+        for package in packages:
+            assert package in design, \
+                f"package {package} not described in DESIGN.md"
+
+
+class TestExamplesRunnable:
+    def test_every_example_has_main_guard(self):
+        for example in (REPO / "examples").glob("*.py"):
+            text = example.read_text()
+            assert '__main__' in text, f"{example.name} lacks a main guard"
+            assert text.startswith("#!/usr/bin/env python3"), example.name
+            assert '"""' in text.splitlines()[1], \
+                f"{example.name} lacks a module docstring"

@@ -1,0 +1,29 @@
+"""Run the library's docstring examples as tests.
+
+Keeps every ``>>>`` example in the public docstrings honest — a wrong
+example in documentation is a bug like any other.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import repro
+
+
+def iter_repro_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_all_docstring_examples_pass():
+    failures = 0
+    attempted = 0
+    for module in iter_repro_modules():
+        result = doctest.testmod(module, verbose=False)
+        failures += result.failed
+        attempted += result.attempted
+    assert failures == 0
+    # The library should keep at least a handful of runnable examples.
+    assert attempted >= 5

@@ -1,0 +1,49 @@
+"""Public-API surface guards.
+
+Everything exported from ``repro`` (and its subpackage ``__all__``
+lists) must be importable and documented — the public API is a
+contract, and an undocumented export is a doc bug.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.broker",
+    "repro.simulation",
+    "repro.cluster",
+    "repro.matrix",
+    "repro.workloads",
+    "repro.metrics",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_classes_and_functions_documented(package_name):
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in package.__all__:
+        obj = getattr(package, name)
+        if isinstance(obj, (int, str, float)):
+            continue  # constants (__version__, byte sizes, header lists)
+        if not (getattr(obj, "__doc__", None) or "").strip():
+            undocumented.append(name)
+    assert not undocumented, f"{package_name}: undocumented {undocumented}"
+
+
+def test_package_docstrings_present():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        assert (package.__doc__ or "").strip(), f"{package_name} undocumented"

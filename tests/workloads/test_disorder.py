@@ -1,0 +1,41 @@
+"""Tests for repro.workloads.disorder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.simulation import SeededRng
+from repro.workloads import bounded_shuffle, displacement_profile
+
+
+class TestBoundedShuffle:
+    def test_zero_displacement_is_identity(self):
+        items = list(range(10))
+        assert bounded_shuffle(items, 0, SeededRng(1)) == items
+
+    def test_negative_displacement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bounded_shuffle([1], -1, SeededRng(1))
+
+    def test_result_is_permutation(self):
+        items = list(range(50))
+        shuffled = bounded_shuffle(items, 5, SeededRng(1))
+        assert sorted(shuffled) == items
+
+    def test_actually_shuffles(self):
+        items = list(range(100))
+        assert bounded_shuffle(items, 10, SeededRng(1)) != items
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=0, max_value=42))
+    def test_displacement_bound_holds(self, max_disp, seed):
+        items = [object() for _ in range(60)]
+        shuffled = bounded_shuffle(items, max_disp, SeededRng(seed))
+        assert max(displacement_profile(items, shuffled)) <= max_disp
+
+    def test_deterministic(self):
+        items = list(range(30))
+        a = bounded_shuffle(items, 4, SeededRng(7))
+        b = bounded_shuffle(items, 4, SeededRng(7))
+        assert a == b

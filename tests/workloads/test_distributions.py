@@ -1,0 +1,76 @@
+"""Tests for repro.workloads.distributions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation import SeededRng
+from repro.workloads import SequentialKeys, UniformKeys, ZipfKeys
+
+
+class TestUniformKeys:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformKeys(0)
+
+    def test_samples_in_range(self):
+        dist = UniformKeys(10)
+        rng = SeededRng(1)
+        assert all(0 <= dist.sample(rng) < 10 for _ in range(500))
+
+    def test_roughly_uniform(self):
+        dist = UniformKeys(4)
+        rng = SeededRng(1)
+        counts = [0] * 4
+        for _ in range(4000):
+            counts[dist.sample(rng)] += 1
+        assert min(counts) > 800  # expected 1000 each
+
+
+class TestZipfKeys:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfKeys(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ZipfKeys(10, -0.5)
+
+    def test_samples_in_range(self):
+        dist = ZipfKeys(20, 1.0)
+        rng = SeededRng(1)
+        assert all(0 <= dist.sample(rng) < 20 for _ in range(500))
+
+    def test_theta_zero_is_uniform(self):
+        dist = ZipfKeys(4, 0.0)
+        for key in range(4):
+            assert dist.probability(key) == pytest.approx(0.25)
+
+    def test_probabilities_sum_to_one(self):
+        dist = ZipfKeys(50, 1.0)
+        total = sum(dist.probability(k) for k in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_skew_concentrates_on_small_keys(self):
+        dist = ZipfKeys(100, 1.0)
+        assert dist.probability(0) > 10 * dist.probability(99)
+
+    def test_higher_theta_more_skew(self):
+        mild = ZipfKeys(100, 0.5)
+        heavy = ZipfKeys(100, 1.5)
+        assert heavy.probability(0) > mild.probability(0)
+
+    def test_empirical_matches_analytic(self):
+        dist = ZipfKeys(10, 1.0)
+        rng = SeededRng(7)
+        n = 20000
+        count0 = sum(1 for _ in range(n) if dist.sample(rng) == 0)
+        assert count0 / n == pytest.approx(dist.probability(0), rel=0.1)
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ZipfKeys(10, 1.0).probability(10)
+
+
+class TestSequentialKeys:
+    def test_round_robin(self):
+        dist = SequentialKeys(3)
+        rng = SeededRng(1)
+        assert [dist.sample(rng) for _ in range(7)] == [0, 1, 2, 0, 1, 2, 0]

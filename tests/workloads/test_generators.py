@@ -1,0 +1,93 @@
+"""Tests for repro.workloads.generators."""
+
+import pytest
+
+from repro.core.streams import check_time_ordered
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    BandJoinWorkload,
+    ConstantRate,
+    EquiJoinWorkload,
+    UniformKeys,
+)
+
+
+class TestEquiJoinWorkload:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EquiJoinWorkload(r_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            EquiJoinWorkload(payload_bytes=-1)
+
+    def test_arrivals_are_time_ordered(self):
+        wl = EquiJoinWorkload(keys=UniformKeys(10), seed=1)
+        arrivals = list(wl.arrivals(ConstantRate(100.0), 2.0))
+        check_time_ordered(arrivals)
+        assert len(arrivals) == 200
+
+    def test_deterministic_for_seed(self):
+        wl1 = EquiJoinWorkload(keys=UniformKeys(10), seed=5)
+        wl2 = EquiJoinWorkload(keys=UniformKeys(10), seed=5)
+        a1 = [(t.relation, t["k"]) for t in wl1.arrivals(ConstantRate(50.0), 1.0)]
+        a2 = [(t.relation, t["k"]) for t in wl2.arrivals(ConstantRate(50.0), 1.0)]
+        assert a1 == a2
+
+    def test_different_seeds_differ(self):
+        wl1 = EquiJoinWorkload(keys=UniformKeys(10), seed=5)
+        wl2 = EquiJoinWorkload(keys=UniformKeys(10), seed=6)
+        a1 = [(t.relation, t["k"]) for t in wl1.arrivals(ConstantRate(50.0), 1.0)]
+        a2 = [(t.relation, t["k"]) for t in wl2.arrivals(ConstantRate(50.0), 1.0)]
+        assert a1 != a2
+
+    def test_r_fraction_splits_sides(self):
+        wl = EquiJoinWorkload(keys=UniformKeys(10), r_fraction=0.5, seed=2)
+        arrivals = list(wl.arrivals(ConstantRate(500.0), 4.0))
+        r_count = sum(1 for t in arrivals if t.relation == "R")
+        assert r_count / len(arrivals) == pytest.approx(0.5, abs=0.05)
+
+    def test_payload_size(self):
+        wl = EquiJoinWorkload(keys=UniformKeys(10), payload_bytes=100, seed=1)
+        t = next(iter(wl.arrivals(ConstantRate(10.0), 1.0)))
+        assert len(t["payload"]) == 100
+
+    def test_materialise_splits_relations(self):
+        wl = EquiJoinWorkload(keys=UniformKeys(10), seed=1)
+        r, s = wl.materialise(ConstantRate(100.0), 1.0)
+        assert all(t.relation == "R" for t in r)
+        assert all(t.relation == "S" for t in s)
+        assert len(r) + len(s) == 100
+        check_time_ordered(r)
+        check_time_ordered(s)
+
+    def test_per_relation_sequence_numbers(self):
+        wl = EquiJoinWorkload(keys=UniformKeys(10), seed=1)
+        r, s = wl.materialise(ConstantRate(100.0), 1.0)
+        assert [t.seq for t in r] == list(range(len(r)))
+        assert [t.seq for t in s] == list(range(len(s)))
+
+
+class TestBandJoinWorkload:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BandJoinWorkload(value_range=0.0)
+
+    def test_values_in_range(self):
+        wl = BandJoinWorkload(value_range=100.0, seed=1)
+        for t in wl.arrivals(ConstantRate(100.0), 1.0):
+            assert 0.0 <= t["v"] < 100.0
+
+    def test_selectivity_roughly_2band_over_range(self):
+        """Expected match probability per pair ≈ 2*band/range."""
+        from repro import BandJoinPredicate, TimeWindow
+        from repro.harness import reference_join
+        wl = BandJoinWorkload(value_range=100.0, seed=4)
+        r, s = wl.materialise(ConstantRate(200.0), 4.0)
+        pred = BandJoinPredicate("v", "v", band=5.0)
+        pairs = reference_join(r, s, pred, TimeWindow(seconds=1e9))
+        expected = len(r) * len(s) * (2 * 5.0 / 100.0)
+        assert len(pairs) == pytest.approx(expected, rel=0.25)
+
+    def test_deterministic(self):
+        a = [t["v"] for t in BandJoinWorkload(seed=9).arrivals(ConstantRate(50.0), 1.0)]
+        b = [t["v"] for t in BandJoinWorkload(seed=9).arrivals(ConstantRate(50.0), 1.0)]
+        assert a == b

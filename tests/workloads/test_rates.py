@@ -1,0 +1,99 @@
+"""Tests for repro.workloads.rates."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation import SeededRng
+from repro.workloads import (
+    ConstantRate,
+    StepRateProfile,
+    arrival_times,
+    thesis_rate_profile,
+)
+
+
+class TestConstantRate:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRate(0)
+
+    def test_flat(self):
+        profile = ConstantRate(100.0)
+        assert profile.rate(0.0) == 100.0
+        assert profile.rate(1e6) == 100.0
+
+
+class TestStepRateProfile:
+    def test_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            StepRateProfile([(1.0, 100.0)])
+
+    def test_steps_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            StepRateProfile([(0.0, 100.0), (0.0, 200.0)])
+
+    def test_rates_positive(self):
+        with pytest.raises(ConfigurationError):
+            StepRateProfile([(0.0, 0.0)])
+
+    def test_piecewise_lookup(self):
+        profile = StepRateProfile([(0.0, 10.0), (5.0, 20.0)])
+        assert profile.rate(0.0) == 10.0
+        assert profile.rate(4.99) == 10.0
+        assert profile.rate(5.0) == 20.0
+        assert profile.rate(100.0) == 20.0
+
+
+class TestThesisProfile:
+    def test_exact_thesis_steps(self):
+        """§5.2: 300 t/s at min 0, 400 at min 10, 200 at min 40,
+        300 at min 50."""
+        profile = thesis_rate_profile()
+        assert profile.rate(0.0) == 300.0
+        assert profile.rate(599.0) == 300.0
+        assert profile.rate(600.0) == 400.0
+        assert profile.rate(2399.0) == 400.0
+        assert profile.rate(2400.0) == 200.0
+        assert profile.rate(3000.0) == 300.0
+        assert profile.rate(3599.0) == 300.0
+
+    def test_scaling(self):
+        profile = thesis_rate_profile(scale=0.1)
+        assert profile.rate(0.0) == 30.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            thesis_rate_profile(scale=0.0)
+
+
+class TestArrivalTimes:
+    def test_deterministic_spacing(self):
+        times = list(arrival_times(ConstantRate(10.0), 1.0))
+        assert len(times) == 10
+        assert times[0] == 0.0
+        assert times[1] == pytest.approx(0.1)
+
+    def test_rate_change_changes_spacing(self):
+        profile = StepRateProfile([(0.0, 10.0), (1.0, 100.0)])
+        times = list(arrival_times(profile, 2.0))
+        early_gaps = times[1] - times[0]
+        late_gaps = times[-1] - times[-2]
+        assert early_gaps == pytest.approx(0.1)
+        assert late_gaps == pytest.approx(0.01)
+
+    def test_poisson_mean_rate(self):
+        times = list(arrival_times(ConstantRate(100.0), 10.0,
+                                   process="poisson", rng=SeededRng(3)))
+        assert len(times) == pytest.approx(1000, rel=0.15)
+
+    def test_poisson_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            list(arrival_times(ConstantRate(1.0), 1.0, process="poisson"))
+
+    def test_all_within_duration(self):
+        times = list(arrival_times(ConstantRate(50.0), 2.0))
+        assert all(0 <= t < 2.0 for t in times)
+
+    def test_unknown_process(self):
+        with pytest.raises(ConfigurationError):
+            list(arrival_times(ConstantRate(1.0), 1.0, process="burst"))

@@ -1,0 +1,85 @@
+"""Tests for repro.workloads.replay (trace capture/replay)."""
+
+import pytest
+
+from repro import StreamTuple
+from repro.errors import ConfigurationError
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+from repro.workloads.replay import load_trace, save_trace, split_relations
+
+
+@pytest.fixture
+def arrivals():
+    wl = EquiJoinWorkload(keys=UniformKeys(10), seed=3)
+    return list(wl.arrivals(ConstantRate(50.0), 2.0))
+
+
+class TestRoundTrip:
+    def test_save_returns_count(self, arrivals, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(path, arrivals) == len(arrivals)
+
+    def test_round_trip_identical(self, arrivals, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, arrivals)
+        loaded = load_trace(path)
+        assert len(loaded) == len(arrivals)
+        for original, restored in zip(arrivals, loaded):
+            assert restored.relation == original.relation
+            assert restored.ts == original.ts
+            assert restored.seq == original.seq
+            assert dict(restored.values) == dict(original.values)
+
+    def test_replayed_trace_joins_identically(self, arrivals, tmp_path):
+        from repro import (BicliqueConfig, EquiJoinPredicate,
+                           StreamJoinEngine, TimeWindow)
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, arrivals)
+        loaded = load_trace(path)
+        config = BicliqueConfig(window=TimeWindow(1.0), archive_period=0.5,
+                                punctuation_interval=0.2)
+        pred = EquiJoinPredicate("k", "k")
+        res_a, _ = StreamJoinEngine(config, pred).run_interleaved(arrivals)
+        config_b = BicliqueConfig(window=TimeWindow(1.0), archive_period=0.5,
+                                  punctuation_interval=0.2)
+        res_b, _ = StreamJoinEngine(config_b, pred).run_interleaved(loaded)
+        assert {x.key for x in res_a} == {x.key for x in res_b}
+
+
+class TestValidation:
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"relation": "R"}\n')
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_non_monotone_trace_rejected(self, tmp_path):
+        path = tmp_path / "regress.jsonl"
+        save_trace(path, [
+            StreamTuple("R", 2.0, {"k": 1}, seq=0),
+            StreamTuple("R", 1.0, {"k": 1}, seq=1),
+        ])
+        with pytest.raises(Exception):
+            load_trace(path)
+
+    def test_validation_can_be_disabled(self, tmp_path):
+        path = tmp_path / "regress.jsonl"
+        save_trace(path, [
+            StreamTuple("R", 2.0, {"k": 1}, seq=0),
+            StreamTuple("R", 1.0, {"k": 1}, seq=1),
+        ])
+        assert len(load_trace(path, validate=False)) == 2
+
+    def test_blank_lines_skipped(self, arrivals, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, arrivals)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_trace(path)) == len(arrivals)
+
+
+class TestSplitRelations:
+    def test_groups_by_relation(self, arrivals):
+        streams = split_relations(arrivals)
+        assert set(streams) == {"R", "S"}
+        assert sum(len(v) for v in streams.values()) == len(arrivals)
+        assert all(t.relation == "R" for t in streams["R"])

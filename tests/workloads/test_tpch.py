@@ -1,0 +1,84 @@
+"""Tests for repro.workloads.tpch."""
+
+import pytest
+
+from repro.core.streams import check_time_ordered
+from repro.errors import ConfigurationError
+from repro.workloads import TpchStreamWorkload
+
+
+class TestValidation:
+    def test_rates(self):
+        with pytest.raises(ConfigurationError):
+            TpchStreamWorkload(orders_per_second=0)
+        with pytest.raises(ConfigurationError):
+            TpchStreamWorkload(lineitem_spread=-1)
+        with pytest.raises(ConfigurationError):
+            TpchStreamWorkload(max_lineitems=0)
+
+
+class TestGeneration:
+    def _streams(self, duration=5.0, **kw):
+        return TpchStreamWorkload(orders_per_second=20.0, seed=2,
+                                  **kw).generate(duration)
+
+    def test_streams_time_ordered(self):
+        orders, lineitems = self._streams()
+        check_time_ordered(orders)
+        check_time_ordered(lineitems)
+
+    def test_order_count_matches_rate(self):
+        orders, _ = self._streams(duration=5.0)
+        assert len(orders) == 100  # 20/s * 5s
+
+    def test_orderkeys_unique(self):
+        orders, _ = self._streams()
+        keys = [o["orderkey"] for o in orders]
+        assert len(set(keys)) == len(keys)
+
+    def test_lineitems_reference_existing_orders(self):
+        orders, lineitems = self._streams()
+        order_keys = {o["orderkey"] for o in orders}
+        assert all(li["orderkey"] in order_keys for li in lineitems)
+
+    def test_multiplicity_within_bounds(self):
+        from collections import Counter
+        orders, lineitems = self._streams(duration=10.0, max_lineitems=7,
+                                          lineitem_spread=0.0)
+        per_order = Counter(li["orderkey"] for li in lineitems)
+        assert all(1 <= n <= 7 for n in per_order.values())
+
+    def test_lineitems_arrive_within_spread(self):
+        orders, lineitems = self._streams(lineitem_spread=2.0)
+        order_ts = {o["orderkey"]: o.ts for o in orders}
+        for li in lineitems:
+            delta = li.ts - order_ts[li["orderkey"]]
+            assert 0.0 <= delta <= 2.0
+
+    def test_relations_are_r_and_s(self):
+        orders, lineitems = self._streams()
+        assert all(o.relation == "R" for o in orders)
+        assert all(li.relation == "S" for li in lineitems)
+
+    def test_deterministic_for_seed(self):
+        a_orders, a_items = TpchStreamWorkload(seed=3).generate(2.0)
+        b_orders, b_items = TpchStreamWorkload(seed=3).generate(2.0)
+        assert [o.values for o in a_orders] == [o.values for o in b_orders]
+        assert [i.values for i in a_items] == [i.values for i in b_items]
+
+    def test_joins_with_engine(self):
+        """End-to-end: the TPC-H pair joins exactly once on orderkey."""
+        from repro import (BicliqueConfig, EquiJoinPredicate,
+                           StreamJoinEngine, TimeWindow)
+        from repro.harness import check_exactly_once, reference_join
+        orders, lineitems = self._streams(duration=3.0)
+        pred = EquiJoinPredicate("orderkey", "orderkey")
+        window = TimeWindow(seconds=10.0)
+        engine = StreamJoinEngine(
+            BicliqueConfig(window=window, r_joiners=2, s_joiners=2,
+                           archive_period=1.0, punctuation_interval=0.2),
+            pred)
+        results, _ = engine.run(orders, lineitems)
+        expected = reference_join(orders, lineitems, pred, window)
+        assert check_exactly_once(results, expected).ok
+        assert len(results) == len(lineitems)  # every item matches its order
