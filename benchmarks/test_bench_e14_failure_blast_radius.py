@@ -15,11 +15,15 @@ window state is simply gone.  This experiment quantifies that trade:
 Expected shape: losses are confined to pairs overlapping the crash
 window and shrink ~1/n with more units (only one unit's partition is
 lost); nothing is ever duplicated.
+
+With **window-replay recovery** enabled the replacement unit rebuilds
+its window from the routers' replay log (store-only, never re-probed),
+so the same crash loses *nothing*: loss fraction 0 and zero duplicates
+at every unit count.
 """
 
 from __future__ import annotations
 
-import pytest
 from conftest import bench_once, emit
 
 from repro import BicliqueConfig, BicliqueEngine, EquiJoinPredicate, TimeWindow
@@ -33,7 +37,7 @@ DURATION = 40.0
 CRASH_AT_FRACTION = 0.5
 
 
-def run_one(units_per_side: int):
+def run_one(units_per_side: int, replay_recovery: bool = False):
     workload = EquiJoinWorkload(keys=UniformKeys(40), seed=1414)
     r_stream, s_stream = workload.materialise(ConstantRate(80.0), DURATION)
     arrivals = list(merge_by_time(r_stream, s_stream))
@@ -43,7 +47,8 @@ def run_one(units_per_side: int):
     engine = BicliqueEngine(
         BicliqueConfig(window=WINDOW, r_joiners=units_per_side,
                        s_joiners=units_per_side, routing="hash",
-                       archive_period=1.0, punctuation_interval=0.2),
+                       archive_period=1.0, punctuation_interval=0.2,
+                       replay_recovery=replay_recovery),
         PREDICATE)
     for t in arrivals[:crash_index]:
         engine.ingest(t)
@@ -71,20 +76,36 @@ def run_one(units_per_side: int):
 
 
 def run_experiment():
-    return {units: run_one(units) for units in (1, 2, 4)}
+    return {
+        units: {"baseline": run_one(units),
+                "replay": run_one(units, replay_recovery=True)}
+        for units in (1, 2, 4)}
 
 
 def test_e14_failure_blast_radius(benchmark):
-    outcomes = bench_once(benchmark, run_experiment)
+    modes = bench_once(benchmark, run_experiment)
+    outcomes = {units: data["baseline"] for units, data in modes.items()}
+    recovered = {units: data["replay"] for units, data in modes.items()}
 
     rows = [[units, f"{data['loss_fraction']:.2%}",
              data["check"].duplicates,
-             "yes" if data["healed_complete"] else "NO"]
+             "yes" if data["healed_complete"] else "NO",
+             f"{recovered[units]['loss_fraction']:.2%}",
+             recovered[units]["check"].duplicates]
             for units, data in sorted(outcomes.items())]
     emit("e14_failure_blast_radius", render_table(
-        ["R units", "results lost", "duplicates", "healed after 1 window"],
+        ["R units", "results lost", "duplicates", "healed after 1 window",
+         "lost (replay)", "dups (replay)"],
         rows, title="E14: blast radius of one R-unit crash at t=50% "
-                    "(no-replication design)"))
+                    "(no replication vs window-replay recovery)"))
+
+    # Window-replay recovery closes the blast radius entirely while
+    # preserving exactly-once output.
+    for units, data in recovered.items():
+        assert data["loss_fraction"] == 0.0
+        assert data["check"].duplicates == 0
+        assert data["check"].spurious == 0
+        assert data["check"].ok
 
     for units, data in outcomes.items():
         # Never duplicates or fabrications; losses are real but bounded.

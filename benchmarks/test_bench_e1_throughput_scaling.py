@@ -21,7 +21,6 @@ from repro.harness import (
     biclique_capacity,
     matrix_capacity,
     render_table,
-    run_biclique,
 )
 from repro.core.engine import StreamJoinEngine
 from repro.core.streams import merge_by_time

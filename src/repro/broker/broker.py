@@ -13,33 +13,122 @@ delivers messages to consumer callbacks.  It runs in one of two modes:
   guarantee); order *across* channels depends on the network model,
   which is how the out-of-order scenarios of thesis Figure 8 are
   produced and the ordering protocol (§3.3) is exercised.
+
+Simulated mode implements **at-least-once delivery** on top of
+fault-injecting networks:
+
+- every delivery is stamped with a per-``(sender, consumer)`` channel
+  sequence number and passes a delivery *gate* that fires callbacks in
+  sequence order — a retransmitted message therefore holds back its
+  successors (head-of-line blocking), so pairwise FIFO survives loss;
+- a transmission attempt the network drops entirely (an empty
+  :meth:`~repro.simulation.network.NetworkModel.transmit` plan) is
+  retried after an exponentially backed-off retransmission delay until
+  a copy gets through;
+- consumers registered with ``manual_ack`` must :meth:`ack` each
+  delivery after processing it; on :meth:`crash_consumer` every
+  unacknowledged delivery is requeued and redelivered (to a surviving
+  competing consumer, or held in the queue backlog until the crashed
+  consumer's replacement re-attaches);
+- duplicate copies injected by the network are delivered with the
+  ``redelivered`` flag and the *same* delivery tag — idempotent
+  consumers dedup them by their protocol sequence numbers.
 """
 
 from __future__ import annotations
 
+import itertools
+import logging
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import BrokerError, UnknownExchangeError, UnknownQueueError
+from ..simulation.events import Event
 from ..simulation.kernel import Simulator
 from ..simulation.network import NetworkModel, ZeroDelayNetwork
 from .exchange import Exchange
 from .message import Delivery, Message
-from .queue import ConsumerFn, MessageQueue
+from .queue import Consumer, ConsumerFn, MessageQueue
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class _PendingDelivery:
+    """One tracked delivery: a message assigned to one consumer."""
+
+    tag: int
+    message: Message
+    queue_name: str
+    consumer_id: str
+    callback: ConsumerFn
+    manual_ack: bool
+    seq: int
+    epoch: int
+    attempts: int = 0
+    delivered: bool = False
+    events: list[Event] = field(default_factory=list)
+
+    @property
+    def channel(self) -> tuple[str, str]:
+        return (self.message.sender, self.consumer_id)
+
+
+@dataclass
+class _ChannelGate:
+    """In-order delivery gate of one (sender, consumer) channel."""
+
+    expected: int = 0
+    ready: dict[int, "_PendingDelivery"] = field(default_factory=dict)
 
 
 class Broker:
     """An in-process message broker implementing the AMQ model."""
 
     def __init__(self, simulator: Simulator | None = None,
-                 network: NetworkModel | None = None) -> None:
+                 network: NetworkModel | None = None, *,
+                 redelivery_delay: float = 0.05,
+                 redelivery_max_delay: float = 1.0) -> None:
         if network is not None and simulator is None:
             raise BrokerError("a network model requires a simulator")
+        if redelivery_delay <= 0 or redelivery_max_delay < redelivery_delay:
+            raise BrokerError(
+                f"need 0 < redelivery_delay <= redelivery_max_delay, got "
+                f"{redelivery_delay!r} / {redelivery_max_delay!r}")
         self._sim = simulator
         self._network = network or ZeroDelayNetwork()
+        self.redelivery_delay = redelivery_delay
+        self.redelivery_max_delay = redelivery_max_delay
         self._exchanges: dict[str, Exchange] = {}
         self._queues: dict[str, MessageQueue] = {}
         self.published = 0
         self.delivered = 0
+        #: Transmission attempts the network lost (retransmitted later).
+        self.lost_transmissions = 0
+        #: Retransmission attempts scheduled after a loss.
+        self.retransmissions = 0
+        #: Extra copies delivered because the network duplicated them.
+        self.duplicate_deliveries = 0
+        #: Messages requeued after a consumer crash.
+        self.redelivered = 0
+        #: In-flight copies discarded because their consumer attachment
+        #: was gone (crashed) by the time they arrived.
+        self.dead_lettered = 0
+        #: Messages dropped with their queue on :meth:`delete_queue`.
+        self.dropped_on_delete = 0
+        # -- reliability state (simulated mode) ---------------------------
+        self._tags = itertools.count()
+        self._unacked: dict[int, _PendingDelivery] = {}
+        self._unacked_by_consumer: dict[str, dict[int, _PendingDelivery]] = {}
+        self._channel_seq: dict[tuple[str, str], int] = {}
+        self._gates: dict[tuple[str, str], _ChannelGate] = {}
+        #: Attachment epoch per (queue, consumer): bumped by crashes so
+        #: stale in-flight copies addressed to a dead attachment are
+        #: discarded instead of firing against it.
+        self._attach_epochs: dict[tuple[str, str], int] = {}
+        #: Messages requeued by a consumer crash: their next delivery
+        #: carries the AMQP ``redelivered`` flag.
+        self._requeued_ids: set[int] = set()
         #: Optional observer called for every delivery (metrics hooks).
         self.on_deliver: Callable[[Delivery], None] | None = None
 
@@ -67,13 +156,28 @@ class Broker:
             self._queues[name] = queue
         return queue
 
-    def delete_queue(self, name: str) -> None:
-        """Remove a queue and all its bindings (used on scale-in)."""
+    def delete_queue(self, name: str) -> int:
+        """Remove a queue and all its bindings (used on scale-in).
+
+        Returns the number of messages destroyed with the queue —
+        buffered backlog plus tracked in-flight deliveries — so callers
+        can surface (rather than silently swallow) the data loss.
+        """
         if name not in self._queues:
             raise UnknownQueueError(f"queue {name!r} does not exist")
-        del self._queues[name]
+        queue = self._queues.pop(name)
+        dropped = queue.backlog_depth
+        for tag, rec in list(self._unacked.items()):
+            if rec.queue_name == name:
+                self._forget(rec)
+                dropped += 1
         for exchange in self._exchanges.values():
             exchange.unbind_queue(name)
+        if dropped:
+            self.dropped_on_delete += dropped
+            logger.warning("delete_queue(%r) destroyed %d undelivered "
+                           "message(s)", name, dropped)
+        return dropped
 
     def bind(self, exchange_name: str, queue_name: str,
              binding_key: str = "#") -> None:
@@ -83,16 +187,87 @@ class Broker:
         exchange.bind(queue_name, binding_key)
 
     def consume(self, queue_name: str, consumer_id: str,
-                callback: ConsumerFn) -> None:
+                callback: ConsumerFn, *, manual_ack: bool = False) -> None:
         """Attach a competing consumer to a queue; drains any backlog."""
         queue = self._queue(queue_name)
-        queue.add_consumer(consumer_id, callback)
+        queue.add_consumer(consumer_id, callback, manual_ack=manual_ack)
+        self._attach_epochs.setdefault((queue_name, consumer_id), 0)
         for message, consumer in queue.drain_backlog():
-            self._deliver(queue, message, consumer.consumer_id,
-                          consumer.callback)
+            self._deliver(queue, message, consumer)
 
     def cancel_consumer(self, queue_name: str, consumer_id: str) -> None:
         self._queue(queue_name).remove_consumer(consumer_id)
+
+    # ------------------------------------------------------------------
+    # Acknowledgement / crash recovery (at-least-once semantics)
+    # ------------------------------------------------------------------
+    def ack(self, tag: int) -> None:
+        """Acknowledge one delivery: the consumer fully processed it."""
+        rec = self._unacked.pop(tag, None)
+        if rec is not None:
+            by_consumer = self._unacked_by_consumer.get(rec.consumer_id)
+            if by_consumer is not None:
+                by_consumer.pop(tag, None)
+
+    def unacked_count(self, consumer_id: str) -> int:
+        return len(self._unacked_by_consumer.get(consumer_id, {}))
+
+    def unacked_payloads(self, consumer_id: str) -> list:
+        """Payloads of this consumer's unacknowledged deliveries, in
+        delivery-tag (i.e. per-channel FIFO) order."""
+        recs = self._unacked_by_consumer.get(consumer_id, {})
+        return [rec.message.payload
+                for tag, rec in sorted(recs.items())]
+
+    def crash_consumer(self, queue_name: str, consumer_id: str) -> int:
+        """A consumer died: detach it and requeue its unacked messages.
+
+        Unacknowledged deliveries (in flight, gate-buffered, or handed
+        to the consumer but never processed) are put back on the queue
+        in their original order: surviving competing consumers receive
+        them immediately, otherwise they wait in the backlog for the
+        replacement consumer.  Returns the number of requeued messages.
+        """
+        queue = self._queue(queue_name)
+        if consumer_id in queue.consumer_ids:
+            queue.remove_consumer(consumer_id)
+        key = (queue_name, consumer_id)
+        self._attach_epochs[key] = self._attach_epochs.get(key, 0) + 1
+        recs = [rec for tag, rec in
+                sorted(self._unacked_by_consumer.get(consumer_id, {}).items())
+                if rec.queue_name == queue_name]
+        for rec in recs:
+            self._forget(rec)
+        # Reset the per-channel sequencing of the dead attachment: the
+        # replacement starts a fresh FIFO channel from sequence 0.
+        for channel in [c for c in self._channel_seq if c[1] == consumer_id]:
+            del self._channel_seq[channel]
+        for channel in [c for c in self._gates if c[1] == consumer_id]:
+            del self._gates[channel]
+        self.redelivered += len(recs)
+        messages = [rec.message for rec in recs]
+        self._requeued_ids.update(m.message_id for m in messages)
+        redeliverable: list[tuple[Message, Consumer]] = []
+        if queue.has_consumers:
+            for message in messages:
+                consumer = queue.offer(message)
+                assert consumer is not None
+                redeliverable.append((message, consumer))
+        else:
+            queue.requeue(messages)
+        for message, consumer in redeliverable:
+            self._deliver(queue, message, consumer)
+        return len(recs)
+
+    def _forget(self, rec: _PendingDelivery) -> None:
+        """Drop one tracked delivery and cancel its scheduled events."""
+        for event in rec.events:
+            event.cancel()
+        rec.events = []
+        self._unacked.pop(rec.tag, None)
+        by_consumer = self._unacked_by_consumer.get(rec.consumer_id)
+        if by_consumer is not None:
+            by_consumer.pop(rec.tag, None)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -127,36 +302,94 @@ class Broker:
             queue = self._queue(queue_name)
             consumer = queue.offer(message)
             if consumer is not None:
-                self._deliver(queue, message, consumer.consumer_id,
-                              consumer.callback)
+                self._deliver(queue, message, consumer)
         return len(queue_names)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _deliver(self, queue: MessageQueue, message: Message,
-                 consumer_id: str, callback: ConsumerFn) -> None:
+                 consumer: Consumer) -> None:
         if self._sim is None:
             delivery = Delivery(message=message, queue=queue.name,
-                                consumer=consumer_id, time=0.0)
+                                consumer=consumer.consumer_id, time=0.0)
             self.delivered += 1
             if self.on_deliver is not None:
                 self.on_deliver(delivery)
-            callback(delivery)
+            consumer.callback(delivery)
             return
 
-        delay = self._network.delay(message.sender, consumer_id, self._sim.now)
+        channel = (message.sender, consumer.consumer_id)
+        seq = self._channel_seq.get(channel, 0)
+        self._channel_seq[channel] = seq + 1
+        rec = _PendingDelivery(
+            tag=next(self._tags), message=message, queue_name=queue.name,
+            consumer_id=consumer.consumer_id, callback=consumer.callback,
+            manual_ack=consumer.manual_ack, seq=seq,
+            epoch=self._attach_epochs.get((queue.name, consumer.consumer_id),
+                                          0))
+        self._unacked[rec.tag] = rec
+        self._unacked_by_consumer.setdefault(
+            rec.consumer_id, {})[rec.tag] = rec
+        self._transmit(rec)
 
-        def fire() -> None:
-            delivery = Delivery(message=message, queue=queue.name,
-                                consumer=consumer_id, time=self._sim.now)
-            self.delivered += 1
-            if self.on_deliver is not None:
-                self.on_deliver(delivery)
-            callback(delivery)
+    def _transmit(self, rec: _PendingDelivery) -> None:
+        """One transmission attempt; retries after loss with backoff."""
+        rec.attempts += 1
+        rec.events = []
+        delays = self._network.transmit(rec.message.sender, rec.consumer_id,
+                                        self._sim.now)
+        if not delays:
+            self.lost_transmissions += 1
+            backoff = min(self.redelivery_delay * 2 ** (rec.attempts - 1),
+                          self.redelivery_max_delay)
 
-        self._sim.schedule_after(
-            delay, fire, label=f"deliver {queue.name}->{consumer_id}")
+            def retry() -> None:
+                self.retransmissions += 1
+                self._transmit(rec)
+
+            rec.events.append(self._sim.schedule_after(
+                backoff, retry,
+                label=f"retransmit {rec.queue_name}->{rec.consumer_id}"))
+            return
+        for delay in delays:
+            rec.events.append(self._sim.schedule_after(
+                delay, lambda rec=rec: self._arrive(rec),
+                label=f"deliver {rec.queue_name}->{rec.consumer_id}"))
+
+    def _arrive(self, rec: _PendingDelivery) -> None:
+        """A copy reached the consumer's side: gate it into FIFO order."""
+        epoch_key = (rec.queue_name, rec.consumer_id)
+        if self._attach_epochs.get(epoch_key, 0) != rec.epoch:
+            # The attachment this copy was addressed to has crashed; the
+            # message was already requeued (or acked before the crash).
+            self.dead_lettered += 1
+            return
+        gate = self._gates.setdefault(rec.channel, _ChannelGate())
+        if rec.delivered or rec.seq < gate.expected:
+            self._fire(rec, duplicate=True)
+            return
+        gate.ready[rec.seq] = rec
+        while gate.expected in gate.ready:
+            head = gate.ready.pop(gate.expected)
+            gate.expected += 1
+            self._fire(head)
+
+    def _fire(self, rec: _PendingDelivery, *, duplicate: bool = False) -> None:
+        delivery = Delivery(
+            message=rec.message, queue=rec.queue_name,
+            consumer=rec.consumer_id, time=self._sim.now, tag=rec.tag,
+            redelivered=(duplicate or rec.attempts > 1
+                         or rec.message.message_id in self._requeued_ids))
+        rec.delivered = True
+        self.delivered += 1
+        if duplicate:
+            self.duplicate_deliveries += 1
+        elif not rec.manual_ack:
+            self.ack(rec.tag)
+        if self.on_deliver is not None:
+            self.on_deliver(delivery)
+        rec.callback(delivery)
 
     def _exchange(self, name: str) -> Exchange:
         try:

@@ -40,12 +40,15 @@ class ChannelLayer:
         self.broker.declare_exchange(destination, "topic")
 
     def subscribe(self, destination: str, consumer_id: str,
-                  callback: ConsumerFn, *, group: str | None = None) -> str:
+                  callback: ConsumerFn, *, group: str | None = None,
+                  manual_ack: bool = False) -> str:
         """Subscribe to a destination; returns the backing queue name.
 
         With a ``group``, members compete on the shared queue
         ``destination.group``.  Without one, the subscriber gets its own
         ``destination.anonymous.<n>`` queue (publish-subscribe).
+        ``manual_ack`` subscribers must acknowledge deliveries through
+        the broker (at-least-once redelivery on crash).
         """
         self.declare_destination(destination)
         if group is not None:
@@ -56,14 +59,18 @@ class ChannelLayer:
         self.broker.declare_queue(queue_name)
         if new_queue:
             self.broker.bind(destination, queue_name, "#")
-        self.broker.consume(queue_name, consumer_id, callback)
+        self.broker.consume(queue_name, consumer_id, callback,
+                            manual_ack=manual_ack)
         return queue_name
 
     def unsubscribe(self, queue_name: str, consumer_id: str, *,
-                    delete_queue: bool = False) -> None:
+                    delete_queue: bool = False) -> int:
+        """Detach a consumer; returns messages destroyed with the queue
+        (always 0 unless ``delete_queue`` drops a non-empty queue)."""
         self.broker.cancel_consumer(queue_name, consumer_id)
         if delete_queue:
-            self.broker.delete_queue(queue_name)
+            return self.broker.delete_queue(queue_name)
+        return 0
 
     def send(self, destination: str, payload: Any, *, sender: str = "",
              headers: Mapping[str, Any] | None = None,
@@ -94,9 +101,11 @@ class ChannelLayer:
         return f"{destination}-{index}"
 
     def subscribe_partition(self, destination: str, index: int,
-                            consumer_id: str, callback: ConsumerFn) -> str:
+                            consumer_id: str, callback: ConsumerFn, *,
+                            manual_ack: bool = False) -> str:
         queue_name = self.partition_queue(destination, index)
-        self.broker.consume(queue_name, consumer_id, callback)
+        self.broker.consume(queue_name, consumer_id, callback,
+                            manual_ack=manual_ack)
         return queue_name
 
     def send_to_partition(self, destination: str, index: int, payload: Any, *,

@@ -48,9 +48,20 @@ class Message:
 
 @dataclass(frozen=True)
 class Delivery:
-    """A message as seen by a consumer: payload plus delivery context."""
+    """A message as seen by a consumer: payload plus delivery context.
+
+    ``tag`` is the broker's delivery tag: consumers registered with
+    ``manual_ack`` must pass it back to :meth:`~repro.broker.broker.
+    Broker.ack` once the message is fully processed, or the broker
+    considers it undelivered on a consumer crash and redelivers it.
+    ``tag`` is ``-1`` for untracked (auto-acknowledged) deliveries.
+    ``redelivered`` marks duplicate copies and crash redeliveries, the
+    AMQP redelivered flag.
+    """
 
     message: Message
     queue: str
     consumer: str
     time: float
+    tag: int = -1
+    redelivered: bool = False

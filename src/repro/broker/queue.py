@@ -23,10 +23,16 @@ ConsumerFn = Callable[[Delivery], None]
 
 @dataclass
 class Consumer:
-    """A registered consumer of one queue."""
+    """A registered consumer of one queue.
+
+    ``manual_ack`` consumers must acknowledge every delivery through
+    the broker once it is processed; unacknowledged deliveries are
+    redelivered when the consumer crashes (at-least-once semantics).
+    """
 
     consumer_id: str
     callback: ConsumerFn
+    manual_ack: bool = False
 
 
 class MessageQueue:
@@ -39,13 +45,16 @@ class MessageQueue:
         self._backlog: deque[Message] = deque()
         self.enqueued = 0
         self.dispatched = 0
+        #: Messages put back by the broker after a consumer crash.
+        self.requeued = 0
 
     # -- consumers -------------------------------------------------------
-    def add_consumer(self, consumer_id: str, callback: ConsumerFn) -> None:
+    def add_consumer(self, consumer_id: str, callback: ConsumerFn, *,
+                     manual_ack: bool = False) -> None:
         if any(c.consumer_id == consumer_id for c in self._consumers):
             raise BrokerError(
                 f"consumer {consumer_id!r} already registered on queue {self.name!r}")
-        self._consumers.append(Consumer(consumer_id, callback))
+        self._consumers.append(Consumer(consumer_id, callback, manual_ack))
 
     def remove_consumer(self, consumer_id: str) -> None:
         before = len(self._consumers)
@@ -91,6 +100,13 @@ class MessageQueue:
             return None
         self.dispatched += 1
         return self.select_consumer()
+
+    def requeue(self, messages: list[Message]) -> None:
+        """Put crash-redelivered messages at the *front* of the backlog,
+        preserving their original order ahead of anything newer."""
+        for message in reversed(messages):
+            self._backlog.appendleft(message)
+        self.requeued += len(messages)
 
     def drain_backlog(self) -> list[tuple[Message, Consumer]]:
         """Assign buffered messages to consumers (after a late attach)."""

@@ -9,8 +9,10 @@ Heapster + Horizontal Pod Autoscaler) with simulated equivalents:
   accounting,
 - :mod:`~repro.cluster.metrics_server` — Heapster-style sampling,
 - :mod:`~repro.cluster.autoscaler` — the HPA control loop,
+- :mod:`~repro.cluster.supervisor` — crash-loop restart backoff,
 - :mod:`~repro.cluster.runtime` — the full simulated cluster driving a
-  biclique engine with autoscaling (thesis Figures 20/21).
+  biclique engine with autoscaling (thesis Figures 20/21) and
+  executing declarative chaos schedules (fault injection).
 """
 
 from .autoscaler import HorizontalPodAutoscaler, HpaConfig, HpaDecision
@@ -26,6 +28,7 @@ from .runtime import (
     SimulatedCluster,
     TimelinePoint,
 )
+from .supervisor import RestartSupervisor, SupervisorConfig
 
 __all__ = [
     "HorizontalPodAutoscaler",
@@ -42,6 +45,8 @@ __all__ = [
     "ClusterReport",
     "PodExecutor",
     "PodInstrumentation",
+    "RestartSupervisor",
     "SimulatedCluster",
+    "SupervisorConfig",
     "TimelinePoint",
 ]

@@ -21,6 +21,7 @@ simulator with:
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator
@@ -32,6 +33,7 @@ from ..core.router import Router
 from ..core.tuples import StreamTuple
 from ..errors import ClusterError
 from ..metrics.memory import MB, JvmHeapModel
+from ..simulation.faults import CrashFault, FaultPlan
 from ..simulation.kernel import Simulator
 from ..simulation.network import FixedDelayNetwork, NetworkModel
 from ..broker.broker import Broker
@@ -40,6 +42,9 @@ from .autoscaler import HorizontalPodAutoscaler, HpaConfig, HpaDecision
 from .metrics_server import MetricsServer
 from .pod import Pod
 from .resources import CostModel, ResourceSpec
+from .supervisor import RestartSupervisor, SupervisorConfig
+
+logger = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------------
@@ -59,14 +64,33 @@ class PodExecutor:
         self.pod = pod
         self._queue: deque[Callable[[float], float]] = deque()
         self._scheduled = False
+        self.dead = False
+        #: Work items discarded because the pod was killed.
+        self.killed_work = 0
 
     def submit(self, work: Callable[[float], float]) -> None:
+        if self.dead:
+            # The pod crashed: whatever this work was, it dies with the
+            # process.  Unacked deliveries are the broker's problem now.
+            self.killed_work += 1
+            return
         self._queue.append(work)
         self._kick()
 
     @property
     def queued(self) -> int:
         return len(self._queue)
+
+    def kill(self) -> int:
+        """Crash the pod: queued work is lost, nothing runs afterwards.
+
+        Returns the number of discarded work items.
+        """
+        self.dead = True
+        discarded = len(self._queue)
+        self.killed_work += discarded
+        self._queue.clear()
+        return discarded
 
     def _kick(self) -> None:
         if self._scheduled or not self._queue:
@@ -78,6 +102,8 @@ class PodExecutor:
 
     def _run(self) -> None:
         self._scheduled = False
+        if self.dead or not self._queue:
+            return
         work = self._queue.popleft()
         service = work(self.sim.now)
         self.pod.schedule_work(self.sim.now, service)
@@ -188,6 +214,23 @@ class PodInstrumentation(EngineInstrumentation):
     def on_joiner_removed(self, joiner: Joiner) -> None:
         self._remove_pod(self.joiner_pod_name(joiner.unit_id))
 
+    def on_joiner_crashed(self, joiner: Joiner) -> None:
+        self._crash_pod(self.joiner_pod_name(joiner.unit_id))
+
+    def on_router_crashed(self, router: Router) -> None:
+        self._crash_pod(self.router_pod_name(router.router_id))
+
+    def _crash_pod(self, name: str) -> None:
+        """Kill a pod's executor so queued deliveries die with it, then
+        free its name for the restarted incarnation's fresh pod."""
+        executor = self.executors.get(name)
+        if executor is not None:
+            discarded = executor.kill()
+            if discarded:
+                logger.info("pod %s crashed with %d queued work item(s)",
+                            name, discarded)
+        self._remove_pod(name)
+
     # -- queries --------------------------------------------------------------
     def joiner_pod_names(self, unit_ids: list[str]) -> list[str]:
         return [self.joiner_pod_name(uid) for uid in unit_ids
@@ -234,7 +277,13 @@ class ClusterReport:
     results: int
     timeline: list[TimelinePoint] = field(default_factory=list)
     hpa_decisions: dict[str, list[HpaDecision]] = field(default_factory=dict)
+    #: (time, side, action, count) — scaling actions, plus ``"drop"``
+    #: entries surfacing messages destroyed with a reaped unit's queue.
     scale_events: list[tuple[float, str, str, int]] = field(default_factory=list)
+    #: (time, target, event) — executed chaos-schedule crash/restart.
+    fault_events: list[tuple[float, str, str]] = field(default_factory=list)
+    #: Supervisor restart counters per crashed target.
+    restarts: dict[str, int] = field(default_factory=dict)
 
     def replicas_series(self, side: str) -> list[tuple[float, int]]:
         attr = "r_replicas" if side == "R" else "s_replicas"
@@ -249,12 +298,16 @@ class SimulatedCluster:
                  cluster_config: ClusterConfig | None = None,
                  *, hpa: dict[str, HpaConfig] | None = None,
                  network: NetworkModel | None = None,
-                 heap_factory: Callable[[], JvmHeapModel] | None = None) -> None:
+                 heap_factory: Callable[[], JvmHeapModel] | None = None,
+                 faults: FaultPlan | None = None,
+                 supervisor: SupervisorConfig | None = None) -> None:
         self.cluster_config = cluster_config or ClusterConfig()
         self.sim = Simulator()
         self.network = network or FixedDelayNetwork(
             self.cluster_config.network_latency)
         self.broker = Broker(self.sim, self.network)
+        self.faults = faults or FaultPlan()
+        self.supervisor = RestartSupervisor(supervisor)
         self.metrics = MetricsServer(self.cluster_config.metrics_interval)
         self.instrumentation = PodInstrumentation(
             self.sim, self.metrics, self.cluster_config.cost_model,
@@ -291,11 +344,47 @@ class SimulatedCluster:
         elif decision.action == "scale-in":
             for _ in range(decision.current_replicas
                            - decision.desired_replicas):
-                unit = self.engine.scale_in(side, now=self.sim.now)
+                self.engine.scale_in(side, now=self.sim.now)
                 self.report.scale_events.append((self.sim.now, side, "in", 1))
 
     def _reap(self) -> None:
         self.engine.reap_drained(now=self.sim.now)
+        for unit_id, dropped in self.engine.last_reap_drops.items():
+            logger.warning("scale-in reap of %s dropped %d undelivered "
+                           "message(s)", unit_id, dropped)
+            self.report.scale_events.append(
+                (self.sim.now, unit_id[0], "drop", dropped))
+
+    # ------------------------------------------------------------------
+    # Chaos-schedule execution
+    # ------------------------------------------------------------------
+    def _inject_crash(self, fault: CrashFault) -> None:
+        target = fault.target
+        if target in self.engine.joiners:
+            self.engine.crash_unit(target)
+        elif any(r.router_id == target for r in self.engine.routers):
+            self.engine.crash_router(target)
+        else:
+            # Already down, scaled away, or never existed: a chaos plan
+            # is declarative, not clairvoyant — record and move on.
+            logger.warning("fault target %s not crashable at t=%.3f",
+                           target, self.sim.now)
+            self.report.fault_events.append(
+                (self.sim.now, target, "skipped"))
+            return
+        self.report.fault_events.append((self.sim.now, target, "crash"))
+        delay = fault.outage + self.supervisor.next_backoff(target)
+        self.sim.schedule_after(delay, lambda: self._restart(target),
+                                label=f"restart {target}")
+
+    def _restart(self, target: str) -> None:
+        if target in self.engine._crashed:
+            self.engine.restart_unit(target)
+        elif target in self.engine._crashed_routers:
+            self.engine.restart_router(target)
+        else:  # restarted by other means in the meantime
+            return
+        self.report.fault_events.append((self.sim.now, target, "restart"))
 
     def _record_timeline(self) -> None:
         engine = self.engine
@@ -368,6 +457,14 @@ class SimulatedCluster:
             cancels.append(self.sim.schedule_periodic(
                 hpa.config.period, lambda side=side: self._run_autoscaler(side),
                 label=f"hpa-{side}"))
+        for fault in self.faults:
+            if fault.at >= duration:
+                logger.warning("fault at t=%.3f is beyond the %.3fs run; "
+                               "skipping", fault.at, duration)
+                continue
+            self.sim.schedule_at(fault.at,
+                                 lambda f=fault: self._inject_crash(f),
+                                 label=f"crash {fault.target}")
 
         self._pump(arrivals, duration)
         self.sim.run(until=duration)
@@ -381,4 +478,5 @@ class SimulatedCluster:
         self.report.results = len(self.engine.results)
         self.report.hpa_decisions = {
             side: hpa.decisions for side, hpa in self.autoscalers.items()}
+        self.report.restarts = dict(self.supervisor.restart_counts)
         return self.report

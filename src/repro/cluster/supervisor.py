@@ -1,0 +1,56 @@
+"""Pod restart supervision with exponential backoff.
+
+Kubernetes restarts crashed containers under an exponentially growing
+backoff (CrashLoopBackOff).  :class:`RestartSupervisor` reproduces that
+policy for the simulated cluster: the first restart of a target waits
+``base_backoff`` seconds (on top of the fault's configured outage),
+each subsequent restart of the *same* target multiplies the wait by
+``multiplier`` up to ``max_backoff``, and per-target restart counters
+are kept for the run report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Restart policy knobs (Kubernetes-like CrashLoopBackOff)."""
+
+    base_backoff: float = 1.0
+    multiplier: float = 2.0
+    max_backoff: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.base_backoff <= 0:
+            raise ClusterError(
+                f"base_backoff must be positive, got {self.base_backoff!r}")
+        if self.multiplier < 1.0:
+            raise ClusterError(
+                f"multiplier must be >= 1, got {self.multiplier!r}")
+        if self.max_backoff < self.base_backoff:
+            raise ClusterError("max_backoff must be >= base_backoff")
+
+
+class RestartSupervisor:
+    """Tracks restarts per target and computes each one's backoff."""
+
+    def __init__(self, config: SupervisorConfig | None = None) -> None:
+        self.config = config or SupervisorConfig()
+        #: Completed restarts per target id.
+        self.restart_counts: dict[str, int] = {}
+
+    def next_backoff(self, target: str) -> float:
+        """Backoff for ``target``'s next restart; bumps its counter."""
+        cfg = self.config
+        previous = self.restart_counts.get(target, 0)
+        self.restart_counts[target] = previous + 1
+        return min(cfg.base_backoff * cfg.multiplier ** previous,
+                   cfg.max_backoff)
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self.restart_counts.values())

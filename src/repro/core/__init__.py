@@ -13,7 +13,9 @@ Modules, bottom-up:
   subgroups and no-migration scaling epochs,
 - :mod:`~repro.core.router` / :mod:`~repro.core.joiner` — the two
   microservice roles,
-- :mod:`~repro.core.biclique` — topology wiring and elastic scaling,
+- :mod:`~repro.core.recovery` — window-replay crash recovery,
+- :mod:`~repro.core.biclique` — topology wiring, elastic scaling and
+  crash/restart fault injection,
 - :mod:`~repro.core.engine` — the user-facing synchronous facade.
 """
 
@@ -39,6 +41,7 @@ from .planning import (
     optimal_contrand_subgroups,
     plan_deployment,
 )
+from .recovery import ReplayBuffer, ReplayLog
 from .predicates import (
     BandJoinPredicate,
     ConjunctionPredicate,
@@ -81,6 +84,8 @@ __all__ = [
     "optimal_contrand_subgroups",
     "plan_deployment",
     "ReorderBuffer",
+    "ReplayBuffer",
+    "ReplayLog",
     "BandJoinPredicate",
     "ConjunctionPredicate",
     "CrossPredicate",

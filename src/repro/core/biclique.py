@@ -23,7 +23,7 @@ Scaling follows the join-biclique property that units are independent:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..broker.broker import Broker
 from ..broker.channels import ChannelLayer
@@ -32,7 +32,9 @@ from ..metrics.counters import NetworkStats
 from ..metrics.latency import LatencyRecorder
 from ..metrics.memory import MemorySnapshot
 from .joiner import Joiner
+from .ordering import KIND_STORE, Envelope
 from .predicates import JoinPredicate
+from .recovery import ReplayLog
 from .router import Router, joiner_inbox
 from .routing import HashRouting, JoinerGroup, RandomRouting, RoutingStrategy
 from .tuples import JoinResult, StreamTuple
@@ -88,6 +90,13 @@ class BicliqueConfig:
     #: matter — results are then counted (``results_count``) and their
     #: latency recorded, but the objects are dropped.
     retain_results: bool = True
+    #: Window-replay recovery: routers retain the last window-extent of
+    #: routed store envelopes, and a crashed joiner's replacement
+    #: rebuilds its window state from them in store-only mode, driving
+    #: crash result loss to zero while preserving exactly-once output.
+    #: Off by default: the bare join-biclique model has no replica to
+    #: recover from, and the E14 blast-radius experiment measures that.
+    replay_recovery: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.window, (TimeWindow, FullHistoryWindow)):
@@ -129,6 +138,25 @@ class EngineInstrumentation:
     def on_joiner_removed(self, joiner: Joiner) -> None:
         """Called after a drained joiner has been unwired."""
 
+    def on_joiner_crashed(self, joiner: Joiner) -> None:
+        """Called when a joiner crashes: its pod must die with it."""
+
+    def on_router_crashed(self, router: Router) -> None:
+        """Called when a router crashes: its pod must die with it."""
+
+
+@dataclass
+class _CrashedJoiner:
+    """Recovery material captured at joiner-crash time."""
+
+    joiner: Joiner
+    #: Replayable store envelopes already *processed* (acknowledged) by
+    #: the dead incarnation — safe to restore store-only.
+    snapshot: list[Envelope] = field(default_factory=list)
+    #: Envelopes delivered but never processed (synchronous mode only;
+    #: the simulated broker redelivers these itself).
+    pending: list[Envelope] = field(default_factory=list)
+
 
 class BicliqueEngine:
     """A fully wired join-biclique deployment over a broker."""
@@ -149,6 +177,18 @@ class BicliqueEngine:
         self._unit_seq = {"R": 0, "S": 0}
         self._router_seq = 0
         self._last_punctuation_ts: float | None = None
+        #: Crashed-but-not-yet-restarted components.
+        self._crashed: dict[str, _CrashedJoiner] = {}
+        self._crashed_routers: dict[str, int] = {}
+        #: Drained messages destroyed per reaped unit (satellite of the
+        #: scale-in data-loss audit; consumed by the cluster runtime).
+        self.last_reap_drops: dict[str, int] = {}
+        self.replay_log: ReplayLog | None = None
+        if config.replay_recovery:
+            # Retain one window extent plus the Theorem-1 slack: every
+            # tuple that could still match a future probe is replayable.
+            self.replay_log = ReplayLog(
+                retention=config.window.seconds + config.expiry_slack)
 
         self.groups = {
             "R": JoinerGroup("R", config.r_subgroups),
@@ -212,22 +252,46 @@ class BicliqueEngine:
         self.groups[side].add_unit(unit_id)
         inbox = joiner_inbox(unit_id)
         self.channels.declare_destination(inbox)
-        callback = self.instrumentation.wrap_joiner(joiner, joiner.on_delivery)
-        joiner.inbox_queue = self.channels.subscribe(
-            inbox, unit_id, callback, group=f"{unit_id}.group")
-        for router in self.routers:
-            joiner.register_router(router.router_id)
+        self._wire_joiner(joiner)
         return joiner
 
-    def _add_router(self, router_id: str) -> Router:
+    def _wire_joiner(self, joiner: Joiner) -> None:
+        """Subscribe a (new or replacement) joiner to its inbox.
+
+        Routers are registered *before* the subscription: subscribing
+        drains any queue backlog, and those envelopes must find their
+        routers in the reorder buffer's watermark set.
+        """
+        for router in self.routers:
+            joiner.register_router(router.router_id)
+        # Envelopes from a currently-crashed router may still be in
+        # flight (or redelivered later); it must count in the watermark.
+        for router_id in self._crashed_routers:
+            joiner.register_router(router_id)
+        if self.broker.is_simulated:
+            joiner.acker = self.broker.ack
+        callback = self.instrumentation.wrap_joiner(joiner, joiner.on_delivery)
+        joiner.inbox_queue = self.channels.subscribe(
+            joiner_inbox(joiner.unit_id), joiner.unit_id, callback,
+            group=f"{joiner.unit_id}.group",
+            manual_ack=self.broker.is_simulated)
+
+    def _add_router(self, router_id: str, *, counter_floor: int = 0) -> Router:
         router = Router(router_id, self.strategy, self.channels,
-                        self.network_stats)
+                        self.network_stats, replay_log=self.replay_log)
+        # Align the counter *before* subscribing: subscribing drains any
+        # entry-queue backlog synchronously, and tuples stamped below the
+        # floor would be dropped by the joiners' dedup as regressions.
+        router.advance_counter_to(counter_floor)
         self.routers.append(router)
         for joiner in self.joiners.values():
             joiner.register_router(router_id)
+        if self.broker.is_simulated:
+            router.acker = self.broker.ack
         callback = self.instrumentation.wrap_router(router, router.on_delivery)
         self.channels.subscribe(ENTRY_DESTINATION, router_id,
-                                callback, group=ROUTER_GROUP)
+                                callback, group=ROUTER_GROUP,
+                                manual_ack=self.broker.is_simulated)
         return router
 
     # ------------------------------------------------------------------
@@ -286,20 +350,40 @@ class BicliqueEngine:
             if len(active) <= 1:
                 raise ScalingError(
                     f"side {side} has only {len(active)} active unit(s)")
-            unit_id = active[-1]
+            candidates = [uid for uid in active if uid not in self._crashed]
+            if len(candidates) == 0 or len(active) - 1 < 1:
+                raise ScalingError(
+                    f"side {side} has no scalable-in unit "
+                    f"(crashed: {sorted(self._crashed)})")
+            unit_id = candidates[-1]
+        elif unit_id in self._crashed:
+            raise ScalingError(
+                f"unit {unit_id!r} is crashed; restart it before draining")
         group.start_draining(unit_id, now)
         self.strategy.on_membership_change(now)
         return unit_id
 
     def reap_drained(self, *, now: float) -> list[str]:
-        """Remove draining units whose stored state has fully expired."""
+        """Remove draining units whose stored state has fully expired.
+
+        Any messages destroyed with a reaped unit's queue (in-flight
+        probes, punctuations) are surfaced per unit in
+        :attr:`last_reap_drops` rather than silently swallowed.
+        """
         removed: list[str] = []
+        self.last_reap_drops = {}
         for side in ("R", "S"):
             group = self.groups[side]
             for unit_id in group.drained_units(now, self.config.window):
+                if unit_id in self._crashed:
+                    continue  # dead, not drained; restart handles it
                 joiner = self.joiners.pop(unit_id)
-                self.channels.unsubscribe(joiner.inbox_queue, unit_id,
-                                          delete_queue=True)
+                dropped = self.channels.unsubscribe(
+                    joiner.inbox_queue, unit_id, delete_queue=True)
+                if dropped:
+                    self.last_reap_drops[unit_id] = dropped
+                if self.replay_log is not None:
+                    self.replay_log.forget(unit_id)
                 group.remove_unit(unit_id)
                 self.instrumentation.on_joiner_removed(joiner)
                 removed.append(unit_id)
@@ -329,14 +413,14 @@ class BicliqueEngine:
             # Never reuse a router id: in-flight envelopes from a
             # previously removed router must not alias a new counter
             # sequence on any channel.
-            counter_floor = max(
-                (router.next_counter for router in self.routers), default=0)
-            router = self._add_router(f"router{self._router_seq}")
-            self._router_seq += 1
             # Keep the global (counter, router) order time-aligned: a
             # fresh counter of 0 would sort the newcomer's tuples before
             # everything currently in flight.
-            router.advance_counter_to(counter_floor)
+            counter_floor = max(
+                (router.next_counter for router in self.routers), default=0)
+            self._add_router(f"router{self._router_seq}",
+                             counter_floor=counter_floor)
+            self._router_seq += 1
         while len(self.routers) > count:
             router = self.routers.pop()
             router.emit_punctuation()
@@ -348,24 +432,67 @@ class BicliqueEngine:
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
-    def fail_unit(self, unit_id: str) -> Joiner:
-        """Crash a joiner unit and restart it empty (stateless recovery).
+    def crash_unit(self, unit_id: str) -> Joiner:
+        """Kill a joiner pod: its in-memory window state is lost.
 
-        Models the microservice failure mode the thesis's architecture
-        is designed around: units are independent, subscriptions are
-        durable (the group queue buffers while the consumer is down),
-        but a crashed unit's *window state is lost*.  The replacement
-        re-attaches to the same inbox and refills organically: pairs
-        whose stored half lived only on the crashed unit may be missed
-        for up to one window extent, after which results are exact
-        again — there is no replica to recover from, by design (the
-        no-replication trade-off of the join-biclique model).
+        The unit stays a member of its side (routers keep targeting it;
+        the durable group queue buffers its traffic) until
+        :meth:`restart_unit` attaches a replacement.  On a simulated
+        broker every unacknowledged delivery is requeued for redelivery;
+        with :attr:`BicliqueConfig.replay_recovery` enabled the recovery
+        material for the replacement is snapshotted here, at crash time.
 
-        Returns the replacement joiner.
+        Returns the dead joiner (for inspection).
         """
-        old = self.joiners[unit_id]
-        self.channels.unsubscribe(old.inbox_queue, unit_id)
-        self.instrumentation.on_joiner_removed(old)
+        if unit_id in self._crashed:
+            raise ScalingError(f"unit {unit_id!r} is already crashed")
+        if unit_id not in self.joiners:
+            raise ScalingError(f"unknown unit {unit_id!r}")
+        old = self.joiners.pop(unit_id)
+        recover = self.config.replay_recovery
+        pending: list[Envelope] = []
+        unprocessed_keys: set[tuple[int, str]] = set()
+        if self.broker.is_simulated:
+            # Deliveries the dead incarnation never processed: the
+            # broker will redeliver them, so they must not *also* be
+            # restored from the replay log.
+            for payload in self.broker.unacked_payloads(unit_id):
+                if isinstance(payload, Envelope) and payload.kind == KIND_STORE:
+                    unprocessed_keys.add((payload.counter, payload.router_id))
+            self.broker.crash_consumer(old.inbox_queue, unit_id)
+        else:
+            self.channels.unsubscribe(old.inbox_queue, unit_id)
+            if recover:
+                # No broker-side delivery tracking in synchronous mode:
+                # the reorder buffer's contents *are* the
+                # delivered-but-unprocessed set.  They are re-injected
+                # into the replacement instead of redelivered.
+                pending = old.reorder.drain()
+                unprocessed_keys = {(e.counter, e.router_id) for e in pending
+                                    if e.kind == KIND_STORE}
+        snapshot: list[Envelope] = []
+        if recover and self.replay_log is not None:
+            snapshot = [e for e in self.replay_log.snapshot(unit_id)
+                        if (e.counter, e.router_id) not in unprocessed_keys]
+        self._crashed[unit_id] = _CrashedJoiner(old, snapshot, pending)
+        self.instrumentation.on_joiner_crashed(old)
+        return old
+
+    def restart_unit(self, unit_id: str) -> Joiner:
+        """Attach a replacement joiner for a crashed unit.
+
+        With replay recovery the replacement first rebuilds its window
+        state **store-only** from the crash-time snapshot — replayed
+        tuples never probe, so nothing is emitted twice — then resumes
+        normal processing; queued/redelivered envelopes flow in through
+        the ordinary delivery path.  Without it the replacement starts
+        empty (the thesis's no-replication baseline).
+        """
+        try:
+            state = self._crashed.pop(unit_id)
+        except KeyError:
+            raise ScalingError(f"unit {unit_id!r} is not crashed") from None
+        old = state.joiner
         replacement = Joiner(
             unit_id=unit_id, side=old.side, predicate=self.predicate,
             window=self.config.window,
@@ -376,14 +503,83 @@ class BicliqueEngine:
             expiry_slack=self.config.expiry_slack,
             archive_expired=self.config.archive_expired)
         self.joiners[unit_id] = replacement
+        if state.snapshot:
+            replacement.restore(state.snapshot)
+        # Synchronous mode: re-inject the dead incarnation's unprocessed
+        # envelopes *before* subscribing — the subscription drains the
+        # queue backlog, whose counters are newer and must come second
+        # on each channel.
         for router in self.routers:
             replacement.register_router(router.router_id)
-        callback = self.instrumentation.wrap_joiner(
-            replacement, replacement.on_delivery)
-        replacement.inbox_queue = self.channels.subscribe(
-            joiner_inbox(unit_id), unit_id, callback,
-            group=f"{unit_id}.group")
+        for env in state.pending:
+            replacement.on_envelope(env)
+        self._wire_joiner(replacement)
         return replacement
+
+    def fail_unit(self, unit_id: str) -> Joiner:
+        """Crash a joiner unit and restart it immediately.
+
+        Models the microservice failure mode the thesis's architecture
+        is designed around: units are independent, subscriptions are
+        durable (the group queue buffers while the consumer is down),
+        but a crashed unit's *window state is lost*.  Without replay
+        recovery the replacement refills organically: pairs whose
+        stored half lived only on the crashed unit may be missed for up
+        to one window extent — the no-replication trade-off of the
+        join-biclique model.  With
+        :attr:`BicliqueConfig.replay_recovery` the replacement rebuilds
+        that state from the routers' replay log and no results are lost.
+
+        Returns the replacement joiner.
+        """
+        self.crash_unit(unit_id)
+        return self.restart_unit(unit_id)
+
+    def crash_router(self, router_id: str) -> Router:
+        """Kill a router pod.
+
+        The router's identity stays registered in every joiner, so the
+        watermark simply stalls at its last punctuation until the
+        replacement resumes (no envelope is ever released out of
+        order).  On a simulated broker its unacknowledged input tuples
+        are requeued onto the surviving pool members.
+        """
+        router = next((r for r in self.routers if r.router_id == router_id),
+                      None)
+        if router is None:
+            raise ScalingError(f"unknown or already-crashed router "
+                               f"{router_id!r}")
+        self.routers.remove(router)
+        self._crashed_routers[router_id] = router.next_counter
+        entry_queue = f"{ENTRY_DESTINATION}.{ROUTER_GROUP}"
+        if self.broker.is_simulated:
+            self.broker.crash_consumer(entry_queue, router_id)
+        else:
+            self.channels.unsubscribe(entry_queue, router_id)
+        self.instrumentation.on_router_crashed(router)
+        return router
+
+    def restart_router(self, router_id: str) -> Router:
+        """Attach a replacement router for a crashed one.
+
+        The replacement reuses the crashed router's identity with its
+        counter fast-forwarded past everything the dead incarnation
+        stamped — per-channel counters stay strictly increasing and the
+        joiners' watermark set never changes — *and* past the current
+        pool maximum: the survivors kept counting during the outage,
+        and a replacement left behind would permanently stamp current
+        tuples with counter positions the pool used seconds ago,
+        skewing the global (counter, router) order away from event time
+        (which Theorem-1 expiry slack is calibrated against).
+        """
+        try:
+            counter = self._crashed_routers.pop(router_id)
+        except KeyError:
+            raise ScalingError(
+                f"router {router_id!r} is not crashed") from None
+        pool_floor = max((r.next_counter for r in self.routers), default=0)
+        return self._add_router(router_id,
+                                counter_floor=max(counter, pool_floor))
 
     # ------------------------------------------------------------------
     # Introspection

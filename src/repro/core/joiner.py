@@ -41,6 +41,10 @@ class JoinerStats:
     probes_processed: int = 0
     results_emitted: int = 0
     punctuations_received: int = 0
+    #: Stores rebuilt from the replay log after a crash (not re-probed).
+    tuples_restored: int = 0
+    #: Duplicate deliveries dropped by the idempotent reorder buffer.
+    duplicates_dropped: int = 0
 
     @property
     def work_items(self) -> int:
@@ -85,12 +89,20 @@ class Joiner:
         self.result_sink = result_sink
         self.ordered = ordered
         self.timestamp_policy = timestamp_policy
-        self.reorder = ReorderBuffer()
+        # Idempotent by construction: an at-least-once transport may
+        # deliver duplicate copies; the per-channel counter dedup drops
+        # them before they can double-store or double-probe.
+        self.reorder = ReorderBuffer(dedup=True)
         self.stats = JoinerStats()
         self._now = 0.0
         #: Name of the broker queue backing this unit's inbox; assigned
         #: by the engine when the unit is wired into the topology.
         self.inbox_queue: str | None = None
+        #: Manual-ack hook: called with the delivery tag once the
+        #: corresponding envelope is *processed* (not merely delivered).
+        #: Set by the engine when the broker runs in simulated mode.
+        self.acker: Callable[[int], None] | None = None
+        self._ack_tags: dict[tuple[int, str, str], int] = {}
 
     # ------------------------------------------------------------------
     # Memory / load introspection (feeds the cluster resource model)
@@ -117,7 +129,7 @@ class Joiner:
 
     def unregister_router(self, router_id: str) -> None:
         for env in self.reorder.unregister_router(router_id):
-            self._process(env)
+            self._process_released(env)
 
     # ------------------------------------------------------------------
     # Input
@@ -125,22 +137,89 @@ class Joiner:
     def on_delivery(self, delivery: Delivery) -> None:
         """Broker callback: an envelope reached this joiner's inbox."""
         self._now = max(self._now, delivery.time)
-        self.on_envelope(delivery.message.payload)
+        self.on_envelope(delivery.message.payload, ack_tag=delivery.tag)
 
-    def on_envelope(self, envelope: Envelope) -> None:
+    def on_envelope(self, envelope: Envelope, *, ack_tag: int = -1) -> None:
+        """Accept one envelope; ``ack_tag`` is acknowledged only once
+        the envelope is actually processed, so a crash between delivery
+        and processing still triggers broker redelivery."""
         self.stats.envelopes_received += 1
         if not self.ordered:
             self._process(envelope)
+            self._ack(ack_tag)
             return
         if envelope.kind == KIND_PUNCTUATION:
             self.stats.punctuations_received += 1
-        for released in self.reorder.add(envelope):
-            self._process(released)
+            dropped_before = self.reorder.duplicates_dropped
+            released = self.reorder.add(envelope)
+            # Punctuations are absorbed (or dropped as duplicates) the
+            # moment they are added — acknowledge immediately.
+            self._ack(ack_tag)
+        else:
+            key = self._envelope_key(envelope)
+            original_buffered = key in self._ack_tags
+            if ack_tag >= 0:
+                self._ack_tags.setdefault(key, ack_tag)
+            dropped_before = self.reorder.duplicates_dropped
+            released = self.reorder.add(envelope)
+            if self.reorder.duplicates_dropped > dropped_before:
+                # A duplicate copy sharing the original's tag.  If the
+                # original is still buffered awaiting its watermark, the
+                # tag must stay unacked — acking now would mark the
+                # envelope processed, and a crash before release would
+                # then neither redeliver it nor exclude it from the
+                # replay snapshot correctly.  Only once the original has
+                # been processed (its recorded tag is gone) is the
+                # residue safe to acknowledge.
+                if not original_buffered:
+                    self._ack_tags.pop(key, None)
+                    self._ack(ack_tag)
+        self.stats.duplicates_dropped = self.reorder.duplicates_dropped
+        for env in released:
+            self._process_released(env)
 
     def flush(self) -> None:
         """Process everything still buffered (end-of-stream)."""
         for env in self.reorder.drain():
-            self._process(env)
+            self._process_released(env)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def restore(self, envelopes: list[Envelope]) -> None:
+        """Rebuild window state from replayed **store** envelopes.
+
+        Replay is *store-only*: the join branch never runs, so replayed
+        tuples cannot re-emit results another unit (or this unit's
+        previous incarnation) already produced — recovery preserves
+        exactly-once output.
+        """
+        for env in sorted(envelopes, key=lambda e: e.order_key):
+            if env.kind != KIND_STORE or env.tuple is None:
+                raise ConfigurationError(
+                    f"restore() accepts store envelopes only, got {env.kind!r}")
+            if env.tuple.relation != self.side:
+                raise ConfigurationError(
+                    f"joiner {self.unit_id!r} (side {self.side}) asked to "
+                    f"restore a tuple of relation {env.tuple.relation!r}")
+            self.index.insert(env.tuple)
+            self.stats.tuples_restored += 1
+
+    # ------------------------------------------------------------------
+    # Acknowledgement plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _envelope_key(envelope: Envelope) -> tuple[int, str, str]:
+        return (envelope.counter, envelope.router_id, envelope.kind)
+
+    def _ack(self, tag: int) -> None:
+        if tag >= 0 and self.acker is not None:
+            self.acker(tag)
+
+    def _process_released(self, envelope: Envelope) -> None:
+        self._process(envelope)
+        tag = self._ack_tags.pop(self._envelope_key(envelope), -1)
+        self._ack(tag)
 
     # ------------------------------------------------------------------
     # The two execution branches

@@ -85,13 +85,21 @@ class ReorderBuffer:
     Routers must be registered before their envelopes arrive; the
     watermark is the minimum punctuation over *registered* routers, so
     an unknown router would otherwise silently hold back nothing.
+
+    With ``dedup=True`` a counter regression on a channel is treated as
+    a duplicate delivery (at-least-once transport) and silently dropped
+    instead of raising — per-router counters are unique, so a repeated
+    counter can only be another copy of an already-accepted envelope.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, dedup: bool = False) -> None:
         self._punct: dict[str, int] = {}
         self._last_counter: dict[str, int] = {}
         self._heap: list[tuple[int, str, int, Envelope]] = []
         self._tiebreak = itertools.count()
+        self._dedup = dedup
+        #: Duplicate data envelopes dropped (``dedup=True`` only).
+        self.duplicates_dropped = 0
 
     # -- router membership ------------------------------------------------
     def register_router(self, router_id: str) -> None:
@@ -132,6 +140,9 @@ class ReorderBuffer:
         if envelope.kind == KIND_PUNCTUATION:
             previous = self._punct[rid]
             if envelope.counter < previous:
+                if self._dedup:
+                    self.duplicates_dropped += 1
+                    return []
                 raise OrderingError(
                     f"punctuation regression from {rid!r}: "
                     f"{envelope.counter} after {previous}")
@@ -142,6 +153,9 @@ class ReorderBuffer:
         # from one router must strictly increase on this channel.
         last = self._last_counter.get(rid, -1)
         if envelope.counter <= last:
+            if self._dedup:
+                self.duplicates_dropped += 1
+                return []
             raise OrderingError(
                 f"counter regression on channel from {rid!r}: "
                 f"{envelope.counter} after {last} (pairwise FIFO violated?)")

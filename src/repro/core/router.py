@@ -16,6 +16,7 @@ router tier trivially scalable behind the competing-consumer queue.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from ..broker.channels import ChannelLayer
 from ..broker.message import Delivery
@@ -23,6 +24,9 @@ from ..metrics.counters import NetworkStats, ThroughputWindow
 from .ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE, Envelope
 from .routing import RoutingStrategy
 from .tuples import StreamTuple
+
+if TYPE_CHECKING:
+    from .recovery import ReplayLog
 
 
 def joiner_inbox(unit_id: str) -> str:
@@ -45,7 +49,8 @@ class Router:
 
     def __init__(self, router_id: str, strategy: RoutingStrategy,
                  channels: ChannelLayer, network_stats: NetworkStats,
-                 *, rate_horizon: float = 10.0) -> None:
+                 *, rate_horizon: float = 10.0,
+                 replay_log: "ReplayLog | None" = None) -> None:
         self.router_id = router_id
         self.strategy = strategy
         self.channels = channels
@@ -53,6 +58,18 @@ class Router:
         self.stats = RouterStats()
         self.rate = ThroughputWindow(horizon=rate_horizon)
         self._next_counter = 0
+        #: Window-replay log fed with every routed store envelope; the
+        #: engine uses it to rebuild crashed joiners (exactly-once
+        #: recovery) when replay recovery is enabled.
+        self.replay_log = replay_log
+        #: Manual-ack hook (see :attr:`Joiner.acker`): acknowledges the
+        #: input-tuple delivery once the tuple is stamped and dispatched.
+        self.acker: Callable[[int], None] | None = None
+        #: Delivery tags already routed: a duplicate copy injected by
+        #: the network shares its original's tag and must not be
+        #: stamped with a fresh counter and routed a second time.
+        self._routed_tags: set[int] = set()
+        self.duplicates_dropped = 0
 
     @property
     def next_counter(self) -> int:
@@ -78,7 +95,14 @@ class Router:
     # ------------------------------------------------------------------
     def on_delivery(self, delivery: Delivery) -> None:
         """Broker callback: an input tuple reached this router."""
+        if delivery.tag >= 0:
+            if delivery.tag in self._routed_tags:
+                self.duplicates_dropped += 1
+                return
+            self._routed_tags.add(delivery.tag)
         self.route_tuple(delivery.message.payload, now=delivery.time)
+        if delivery.tag >= 0 and self.acker is not None:
+            self.acker(delivery.tag)
 
     def route_tuple(self, t: StreamTuple, now: float) -> int:
         """Stamp and dispatch one tuple; returns messages sent."""
@@ -96,6 +120,8 @@ class Router:
             self.network_stats.record("store", store_env.size_bytes())
             self.stats.store_messages += 1
             sent += 1
+            if self.replay_log is not None:
+                self.replay_log.record(unit_id, store_env)
 
         join_env = Envelope(kind=KIND_JOIN, router_id=self.router_id,
                             counter=counter, tuple=t)

@@ -10,7 +10,7 @@ and joiners, exactly as serialized messages would in the real system.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 from ..errors import SchemaError

@@ -9,16 +9,22 @@ the thesis) with a reproducible simulator:
 - :mod:`~repro.simulation.kernel` — the :class:`Simulator` event loop,
 - :mod:`~repro.simulation.random` — named, forkable seeded RNG streams,
 - :mod:`~repro.simulation.network` — message delay models (all pairwise
-  FIFO, with controllable cross-channel disorder).
+  FIFO, with controllable cross-channel disorder) plus fault-injecting
+  wrappers (loss, duplication, partitions),
+- :mod:`~repro.simulation.faults` — declarative pod-crash chaos
+  schedules executed by the simulated cluster.
 """
 
 from .clock import Clock, ManualClock
 from .events import Event, EventQueue
+from .faults import CrashFault, FaultPlan
 from .kernel import Simulator
 from .network import (
     FixedDelayNetwork,
     JitterNetwork,
+    LossyNetwork,
     NetworkModel,
+    PartitionNetwork,
     PerChannelDelayNetwork,
     ZeroDelayNetwork,
 )
@@ -29,11 +35,15 @@ __all__ = [
     "ManualClock",
     "Event",
     "EventQueue",
+    "CrashFault",
+    "FaultPlan",
     "Simulator",
     "SeededRng",
     "NetworkModel",
     "ZeroDelayNetwork",
     "FixedDelayNetwork",
     "JitterNetwork",
+    "LossyNetwork",
+    "PartitionNetwork",
     "PerChannelDelayNetwork",
 ]

@@ -1,0 +1,71 @@
+"""Chaos schedules: declarative fault plans for the simulated cluster.
+
+A :class:`FaultPlan` lists the process-level faults to inject into one
+cluster run — which pods crash, when, and how long they stay down
+before the restart supervisor is allowed to bring them back.  Network
+faults (loss, duplication, partitions) are configured directly on the
+fault-injecting :mod:`~repro.simulation.network` models; this module
+covers the *process* failure mode the thesis's §3.1 isolation argument
+is about: a joiner or router pod dying and losing its in-memory state.
+
+The plan itself is pure data so experiments stay declarative and
+reproducible; :class:`~repro.cluster.runtime.SimulatedCluster` executes
+it against the engine, broker and pod substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Crash one pod at a scheduled time.
+
+    Attributes:
+        at: simulated time of the crash.
+        target: the unit to kill — a joiner unit id (``"R0"``) or a
+            router id (``"router0"``).
+        outage: minimum downtime before the supervisor may restart the
+            pod (the supervisor's own backoff is added on top).
+    """
+
+    at: float
+    target: str
+    outage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise SimulationError(f"crash time must be >= 0, got {self.at!r}")
+        if self.outage < 0:
+            raise SimulationError(
+                f"outage must be >= 0, got {self.outage!r}")
+        if not self.target:
+            raise SimulationError("crash fault needs a target id")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-ordered chaos schedule for one cluster run."""
+
+    faults: tuple[CrashFault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults",
+                           tuple(sorted(self.faults, key=lambda f: f.at)))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def targets(self) -> list[str]:
+        """Distinct fault targets, in first-crash order."""
+        seen: list[str] = []
+        for fault in self.faults:
+            if fault.target not in seen:
+                seen.append(fault.target)
+        return seen

@@ -10,10 +10,23 @@ All models guarantee **pairwise FIFO**: two messages sent on the same
 ``(sender, receiver)`` channel are never reordered, matching the AMQP
 per-queue guarantee the thesis builds on (Definition 8).  Cross-channel
 order is where the models differ.
+
+Fault injection is expressed through :meth:`NetworkModel.transmit`,
+which returns the arrival delays of every *copy* of a message that
+actually reaches the receiver: the plain delay models return exactly
+one copy, :class:`LossyNetwork` may drop or duplicate copies, and
+:class:`PartitionNetwork` black-holes whole channel sets during an
+interval.  A dropped transmission (empty plan) is repaired by the
+broker's retransmission timer, so loss shows up as *latency*, not as
+silent data loss — the at-least-once contract the recovery subsystem
+builds on.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from ..errors import SimulationError
 from .random import SeededRng
 
 
@@ -39,6 +52,16 @@ class NetworkModel:
         arrival = max(arrival, floor)
         self._last_delivery[channel] = arrival
         return arrival - now
+
+    def transmit(self, sender: str, receiver: str, now: float) -> list[float]:
+        """Arrival delays of each copy of one transmission attempt.
+
+        The reliable models return exactly one copy.  Fault-injecting
+        models may return an empty list (the attempt was lost — the
+        broker retransmits) or several delays (the message was
+        duplicated in flight).
+        """
+        return [self.delay(sender, receiver, now)]
 
 
 class ZeroDelayNetwork(NetworkModel):
@@ -99,3 +122,137 @@ class PerChannelDelayNetwork(NetworkModel):
 
     def raw_delay(self, sender: str, receiver: str) -> float:
         return self._per_channel.get((sender, receiver), self.default)
+
+
+# ---------------------------------------------------------------------------
+# Fault-injecting wrappers
+# ---------------------------------------------------------------------------
+class LossyNetwork(NetworkModel):
+    """Drops and/or duplicates messages, per channel, around an inner model.
+
+    Each transmission attempt is independently lost with probability
+    ``drop_probability`` (the broker's retransmission timer repairs the
+    loss) or duplicated with probability ``duplicate_probability`` (the
+    second copy arrives later on the same FIFO channel; joiners must
+    dedup it by sequence number).  Rates can be overridden per
+    ``(sender, receiver)`` channel with :meth:`set_rates`, e.g. to make
+    only one router→joiner link unreliable.
+
+    ``drop_probability`` must stay below 1: a channel that loses every
+    attempt forever would retransmit forever — model a total outage
+    with :class:`PartitionNetwork`, whose black-hole has an end.
+    """
+
+    def __init__(self, inner: NetworkModel, rng: SeededRng, *,
+                 drop_probability: float = 0.0,
+                 duplicate_probability: float = 0.0) -> None:
+        super().__init__()
+        self.inner = inner
+        self._rng = rng
+        self._validate(drop_probability, duplicate_probability)
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        self._per_channel: dict[tuple[str, str], tuple[float, float]] = {}
+        self.dropped = 0
+        self.duplicated = 0
+
+    @staticmethod
+    def _validate(drop: float, duplicate: float) -> None:
+        if not 0.0 <= drop < 1.0:
+            raise SimulationError(
+                f"drop probability must be in [0, 1), got {drop!r}")
+        if not 0.0 <= duplicate <= 1.0:
+            raise SimulationError(
+                f"duplicate probability must be in [0, 1], got {duplicate!r}")
+
+    def set_rates(self, sender: str, receiver: str, *,
+                  drop_probability: float = 0.0,
+                  duplicate_probability: float = 0.0) -> None:
+        """Override the loss/duplication rates of one channel."""
+        self._validate(drop_probability, duplicate_probability)
+        self._per_channel[(sender, receiver)] = (drop_probability,
+                                                 duplicate_probability)
+
+    def raw_delay(self, sender: str, receiver: str) -> float:
+        return self.inner.raw_delay(sender, receiver)
+
+    def delay(self, sender: str, receiver: str, now: float) -> float:
+        return self.inner.delay(sender, receiver, now)
+
+    def transmit(self, sender: str, receiver: str, now: float) -> list[float]:
+        drop, duplicate = self._per_channel.get(
+            (sender, receiver), (self.drop_probability,
+                                 self.duplicate_probability))
+        if drop and self._rng.random() < drop:
+            self.dropped += 1
+            return []
+        delays = self.inner.transmit(sender, receiver, now)
+        if delays and duplicate and self._rng.random() < duplicate:
+            self.duplicated += 1
+            delays = delays + self.inner.transmit(sender, receiver, now)
+        return delays
+
+
+@dataclass(frozen=True)
+class _Partition:
+    """One scheduled black-hole: a channel set and its outage interval."""
+
+    start: float
+    end: float
+    senders: frozenset[str]
+    receivers: frozenset[str]
+    channels: frozenset[tuple[str, str]]
+
+    def blackholes(self, sender: str, receiver: str, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        return (sender in self.senders or receiver in self.receivers
+                or (sender, receiver) in self.channels)
+
+
+class PartitionNetwork(NetworkModel):
+    """Black-holes a set of channels during scheduled intervals.
+
+    Models a network partition: every transmission attempt touching a
+    partitioned endpoint (or explicit channel) during ``[start, end)``
+    is lost.  The broker's retransmission timer keeps retrying, so once
+    the partition heals, delivery resumes in FIFO order — the partition
+    manifests as a delivery stall, never as reordering.
+    """
+
+    def __init__(self, inner: NetworkModel) -> None:
+        super().__init__()
+        self.inner = inner
+        self._partitions: list[_Partition] = []
+        self.blackholed = 0
+
+    def partition(self, start: float, end: float, *,
+                  senders: tuple[str, ...] = (),
+                  receivers: tuple[str, ...] = (),
+                  channels: tuple[tuple[str, str], ...] = ()) -> None:
+        """Schedule a black-hole of the given channel set over [start, end)."""
+        if end <= start:
+            raise SimulationError(
+                f"partition interval must have end > start, got "
+                f"[{start!r}, {end!r})")
+        if not (senders or receivers or channels):
+            raise SimulationError("partition needs a non-empty channel set")
+        self._partitions.append(_Partition(
+            start=start, end=end, senders=frozenset(senders),
+            receivers=frozenset(receivers), channels=frozenset(channels)))
+
+    def is_blackholed(self, sender: str, receiver: str, now: float) -> bool:
+        return any(p.blackholes(sender, receiver, now)
+                   for p in self._partitions)
+
+    def raw_delay(self, sender: str, receiver: str) -> float:
+        return self.inner.raw_delay(sender, receiver)
+
+    def delay(self, sender: str, receiver: str, now: float) -> float:
+        return self.inner.delay(sender, receiver, now)
+
+    def transmit(self, sender: str, receiver: str, now: float) -> list[float]:
+        if self.is_blackholed(sender, receiver, now):
+            self.blackholed += 1
+            return []
+        return self.inner.transmit(sender, receiver, now)

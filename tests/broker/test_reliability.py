@@ -1,0 +1,243 @@
+"""Tests for the broker's at-least-once delivery layer (simulated mode).
+
+Covers manual acknowledgement, crash-and-requeue redelivery, loss
+retransmission with exponential backoff, network-duplicate delivery
+semantics (shared tag + ``redelivered`` flag), attachment epochs
+dead-lettering stale in-flight copies, and the drained-message count
+surfaced by ``delete_queue``.
+"""
+
+import pytest
+
+from repro.broker import Broker, Message
+from repro.errors import BrokerError
+from repro.simulation import (
+    FixedDelayNetwork,
+    LossyNetwork,
+    PartitionNetwork,
+    SeededRng,
+    Simulator,
+)
+
+
+def make_broker(network=None, **kwargs):
+    sim = Simulator()
+    broker = Broker(sim, network or FixedDelayNetwork(0.01), **kwargs)
+    broker.declare_exchange("x", "fanout")
+    broker.declare_queue("q")
+    broker.bind("x", "q")
+    return sim, broker
+
+
+def publish_n(broker, n, sender="src"):
+    for i in range(n):
+        broker.publish("x", Message(routing_key="", payload=i, sender=sender))
+
+
+class TestManualAck:
+    def test_unacked_until_acked(self):
+        sim, broker = make_broker()
+        seen = []
+        broker.consume("q", "c", seen.append, manual_ack=True)
+        publish_n(broker, 3)
+        sim.run()
+        assert [d.message.payload for d in seen] == [0, 1, 2]
+        assert broker.unacked_count("c") == 3
+        for d in seen:
+            broker.ack(d.tag)
+        assert broker.unacked_count("c") == 0
+
+    def test_auto_ack_consumers_track_nothing(self):
+        sim, broker = make_broker()
+        broker.consume("q", "c", lambda d: None)
+        publish_n(broker, 3)
+        sim.run()
+        assert broker.unacked_count("c") == 0
+
+    def test_ack_unknown_tag_is_noop(self):
+        _, broker = make_broker()
+        broker.ack(12345)  # nothing tracked: must not raise
+
+    def test_unacked_payloads_in_tag_order(self):
+        sim, broker = make_broker()
+        broker.consume("q", "c", lambda d: None, manual_ack=True)
+        publish_n(broker, 4)
+        sim.run()
+        assert broker.unacked_payloads("c") == [0, 1, 2, 3]
+
+    def test_rejects_bad_redelivery_delays(self):
+        with pytest.raises(BrokerError):
+            Broker(Simulator(), FixedDelayNetwork(0.0), redelivery_delay=0.0)
+        with pytest.raises(BrokerError):
+            Broker(Simulator(), FixedDelayNetwork(0.0),
+                   redelivery_delay=1.0, redelivery_max_delay=0.5)
+
+
+class TestCrashRequeue:
+    def test_unacked_redelivered_to_replacement(self):
+        sim, broker = make_broker()
+        first = []
+        broker.consume("q", "c", first.append, manual_ack=True)
+        publish_n(broker, 5)
+        sim.run()
+        broker.ack(first[0].tag)  # only the first was processed
+        requeued = broker.crash_consumer("q", "c")
+        assert requeued == 4
+        second = []
+        broker.consume("q", "c", second.append, manual_ack=True)
+        sim.run()
+        # Redelivered in original FIFO order, flagged as redelivered.
+        assert [d.message.payload for d in second] == [1, 2, 3, 4]
+        assert all(d.redelivered for d in second)
+        assert broker.redelivered == 4
+
+    def test_survivor_takes_over_immediately(self):
+        sim, broker = make_broker()
+        a, b = [], []
+        broker.consume("q", "a", a.append, manual_ack=True)
+        broker.consume("q", "b", b.append, manual_ack=True)
+        publish_n(broker, 6)
+        sim.run()
+        lost = {d.message.payload for d in a}
+        broker.crash_consumer("q", "a")
+        sim.run()
+        # Everything the crashed consumer held reappears at the survivor.
+        assert {d.message.payload for d in b} == set(range(6))
+        assert {d.message.payload for d in b if d.redelivered} == lost
+
+    def test_acked_messages_are_not_redelivered(self):
+        sim, broker = make_broker()
+        seen = []
+        broker.consume("q", "c", seen.append, manual_ack=True)
+        publish_n(broker, 3)
+        sim.run()
+        for d in seen:
+            broker.ack(d.tag)
+        assert broker.crash_consumer("q", "c") == 0
+
+    def test_crash_mid_flight_is_exactly_once(self):
+        sim, broker = make_broker(FixedDelayNetwork(1.0))
+        seen = []
+        broker.consume("q", "c", seen.append, manual_ack=True)
+        publish_n(broker, 1)
+        # Crash while the only copy is still in flight: the requeued
+        # message is redelivered to the replacement, and the stale copy
+        # addressed to the dead attachment must not also fire.
+        sim.run(until=0.5)
+        broker.crash_consumer("q", "c")
+        broker.consume("q", "c", seen.append, manual_ack=True)
+        sim.run()
+        assert [d.message.payload for d in seen] == [0]
+        assert seen[0].redelivered
+
+
+class TestLossAndRetransmission:
+    def test_lost_transmissions_are_repaired(self):
+        net = LossyNetwork(FixedDelayNetwork(0.01), SeededRng(5),
+                           drop_probability=0.4)
+        sim, broker = make_broker(net)
+        seen = []
+        broker.consume("q", "c", seen.append, manual_ack=True)
+        publish_n(broker, 50)
+        sim.run()
+        assert net.dropped > 0
+        assert broker.retransmissions >= net.dropped
+        # Despite the losses, everything arrives exactly once, in order.
+        assert [d.message.payload for d in seen] == list(range(50))
+
+    def test_retransmission_backoff_is_exponential_and_capped(self):
+        net = PartitionNetwork(FixedDelayNetwork(0.01))
+        net.partition(0.0, 2.0, receivers=("c",))
+        sim, broker = make_broker(net, redelivery_delay=0.1,
+                                  redelivery_max_delay=0.4)
+        times = []
+        broker.consume("q", "c", lambda d: times.append(d.time))
+        publish_n(broker, 1)
+        sim.run()
+        # Attempts at 0.0, 0.1, 0.3, 0.7, 1.1, 1.5, 1.9 are black-holed
+        # (backoffs 0.1, 0.2, 0.4 then capped at 0.4); the retry at
+        # t=2.3 is past the partition and lands at 2.31 (network delay).
+        assert times == [pytest.approx(2.31)]
+        assert broker.lost_transmissions == 7
+        assert broker.retransmissions == 7
+
+    def test_retransmit_preserves_pairwise_fifo(self):
+        """A lost message holds back its successors on the channel."""
+        net = LossyNetwork(FixedDelayNetwork(0.01), SeededRng(11),
+                           drop_probability=0.5)
+        sim, broker = make_broker(net)
+        seen = []
+        broker.consume("q", "c", seen.append)
+        publish_n(broker, 30)
+        sim.run()
+        assert [d.message.payload for d in seen] == list(range(30))
+
+    def test_partition_stalls_then_drains_in_order(self):
+        net = PartitionNetwork(FixedDelayNetwork(0.01))
+        net.partition(0.0, 1.0, receivers=("c",))
+        sim, broker = make_broker(net)
+        seen = []
+        broker.consume("q", "c", seen.append)
+        publish_n(broker, 10)
+        sim.run(until=0.99)
+        assert seen == []  # black-holed: nothing arrives
+        sim.run()
+        assert [d.message.payload for d in seen] == list(range(10))
+        assert all(d.time >= 1.0 for d in seen)
+
+
+class TestDuplicateDelivery:
+    def test_duplicate_copies_share_tag_and_flag(self):
+        net = LossyNetwork(FixedDelayNetwork(0.01), SeededRng(3),
+                           duplicate_probability=0.5)
+        sim, broker = make_broker(net)
+        seen = []
+        broker.consume("q", "c", seen.append, manual_ack=True)
+        publish_n(broker, 40)
+        sim.run()
+        assert net.duplicated > 0
+        assert broker.duplicate_deliveries == net.duplicated
+        assert len(seen) == 40 + net.duplicated
+        by_tag = {}
+        for d in seen:
+            by_tag.setdefault(d.tag, []).append(d)
+        dup_groups = [ds for ds in by_tag.values() if len(ds) > 1]
+        assert len(dup_groups) == net.duplicated
+        for ds in dup_groups:
+            # Copies of one delivery: same payload, extras flagged.
+            assert len({d.message.payload for d in ds}) == 1
+            assert sum(1 for d in ds if d.redelivered) == len(ds) - 1
+
+    def test_first_copies_arrive_in_fifo_order(self):
+        net = LossyNetwork(FixedDelayNetwork(0.01), SeededRng(3),
+                           duplicate_probability=0.5)
+        sim, broker = make_broker(net)
+        seen = []
+        broker.consume("q", "c", seen.append)
+        publish_n(broker, 40)
+        sim.run()
+        firsts = [d.message.payload for d in seen if not d.redelivered]
+        assert firsts == list(range(40))
+
+
+class TestDeleteQueueDrops:
+    def test_counts_backlog(self):
+        _, broker = make_broker()
+        publish_n(broker, 4)  # no consumer: all four sit in the backlog
+        assert broker.delete_queue("q") == 4
+        assert broker.dropped_on_delete == 4
+
+    def test_counts_unacked_in_flight(self):
+        sim, broker = make_broker()
+        broker.consume("q", "c", lambda d: None, manual_ack=True)
+        publish_n(broker, 3)
+        sim.run()
+        assert broker.delete_queue("q") == 3
+
+    def test_empty_queue_drops_nothing(self):
+        sim, broker = make_broker()
+        broker.consume("q", "c", lambda d: None)
+        publish_n(broker, 3)
+        sim.run()
+        assert broker.delete_queue("q") == 0
+        assert broker.dropped_on_delete == 0

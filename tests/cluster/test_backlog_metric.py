@@ -6,8 +6,6 @@ as operator-chosen criteria.  The backlog metric autoscales on the
 per-pod queued-work depth — the most direct congestion signal.
 """
 
-import pytest
-
 from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
 from repro.cluster import (
     ClusterConfig,

@@ -1,7 +1,5 @@
 """Tests for the cluster report helpers and runtime edges."""
 
-import pytest
-
 from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
 from repro.cluster import ClusterConfig, CostModel, SimulatedCluster
 from repro.cluster.runtime import ClusterReport, TimelinePoint

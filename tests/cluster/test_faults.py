@@ -1,0 +1,149 @@
+"""Chaos-schedule tests: crash/restart fault injection on the cluster.
+
+The E14 failure experiment ported onto the full simulated cluster:
+joiner and router pods crash mid-run per a declarative
+:class:`~repro.simulation.faults.FaultPlan`, the restart supervisor
+brings them back with exponential backoff, and the run executes under
+a disorder-injecting network with the autoscaler active.  Without
+window-replay recovery the blast radius is bounded (no duplicates,
+window-bounded loss); with it, output is exactly once.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    BicliqueConfig,
+    EquiJoinPredicate,
+    TimeWindow,
+    merge_by_time,
+)
+from repro.cluster import HpaConfig, SimulatedCluster, SupervisorConfig
+from repro.harness import check_exactly_once, reference_join
+from repro.simulation import (
+    CrashFault,
+    FaultPlan,
+    JitterNetwork,
+    LossyNetwork,
+    SeededRng,
+)
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+WINDOW = TimeWindow(seconds=5.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+DURATION = 60.0
+RATE = 40.0
+
+
+def run_cluster(*, faults, network=None, replay_recovery=True, hpa=True,
+                supervisor=None):
+    wl = EquiJoinWorkload(keys=UniformKeys(20), seed=99)
+    r, s = wl.materialise(ConstantRate(RATE), DURATION)
+    arrivals = list(merge_by_time(r, s))
+    cluster = SimulatedCluster(
+        BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                       routing="hash", archive_period=1.0,
+                       punctuation_interval=0.2,
+                       replay_recovery=replay_recovery),
+        PREDICATE,
+        network=network or JitterNetwork(0.002, 0.001, SeededRng(7)),
+        hpa=({"R": HpaConfig(min_replicas=1, max_replicas=4),
+              "S": HpaConfig(min_replicas=1, max_replicas=4)}
+             if hpa else None),
+        faults=faults,
+        supervisor=supervisor or SupervisorConfig(base_backoff=0.5))
+    report = cluster.run(iter(arrivals), DURATION)
+    expected = reference_join(r, s, PREDICATE, WINDOW)
+    check = check_exactly_once(cluster.engine.results, expected)
+    ts_of = {t.ident: t.ts for t in arrivals}
+    return cluster, report, check, expected, ts_of
+
+
+class TestJoinerCrashOnCluster:
+    """E14's crash scenario under jitter + HPA (satellite port)."""
+
+    CRASH_AT = 20.0
+
+    def _faults(self, outage=1.0):
+        return FaultPlan((CrashFault(at=self.CRASH_AT, target="R0",
+                                     outage=outage),))
+
+    def test_without_recovery_loss_is_window_bounded(self):
+        cluster, report, check, expected, ts_of = run_cluster(
+            faults=self._faults(), replay_recovery=False)
+        # Never duplicates, never fabricated results.
+        assert check.duplicates == 0
+        assert check.spurious == 0
+        # The crash was real: the unit's window partition is gone...
+        assert check.missing > 0
+        produced = {res.key for res in cluster.engine.results}
+        for r_id, s_id in expected - produced:
+            # ...but every lost pair involves pre-crash state, and
+            # nothing past one window extent after the crash is lost.
+            older = min(ts_of[r_id], ts_of[s_id])
+            assert older < self.CRASH_AT
+            newer = max(ts_of[r_id], ts_of[s_id])
+            assert newer < self.CRASH_AT + WINDOW.seconds + 2.0
+
+    def test_with_recovery_output_is_exactly_once(self):
+        cluster, report, check, _, _ = run_cluster(faults=self._faults())
+        assert check.ok, (check.duplicates, check.spurious, check.missing)
+        restored = sum(j.stats.tuples_restored
+                       for j in cluster.engine.joiners.values())
+        assert restored > 0
+
+    def test_fault_events_and_supervisor_counters(self):
+        cluster, report, check, _, _ = run_cluster(
+            faults=self._faults(outage=2.0),
+            supervisor=SupervisorConfig(base_backoff=0.5, multiplier=2.0))
+        assert report.fault_events == [
+            (pytest.approx(20.0), "R0", "crash"),
+            (pytest.approx(22.5), "R0", "restart"),  # outage + backoff
+        ]
+        assert report.restarts == {"R0": 1}
+
+    def test_fault_beyond_duration_is_skipped(self):
+        plan = FaultPlan((CrashFault(at=DURATION + 10.0, target="R0"),))
+        _, report, check, _, _ = run_cluster(faults=plan)
+        assert report.fault_events == []
+        assert check.ok
+
+    def test_unknown_target_recorded_as_skipped(self):
+        plan = FaultPlan((CrashFault(at=10.0, target="nosuchpod"),))
+        _, report, check, _, _ = run_cluster(faults=plan)
+        assert (10.0, "nosuchpod", "skipped") in report.fault_events
+        assert check.ok
+
+
+class TestChaosSchedule:
+    """The acceptance scenario: crash + restart mid-HPA-scaling under a
+    lossy, duplicating, jittery network — output stays exactly once."""
+
+    def test_exactly_once_under_full_chaos(self):
+        lossy = LossyNetwork(
+            JitterNetwork(0.002, 0.001, random.Random(7)),
+            random.Random(13),
+            drop_probability=0.02, duplicate_probability=0.02)
+        plan = FaultPlan((CrashFault(at=20.0, target="R0", outage=1.0),
+                          CrashFault(at=35.0, target="router0", outage=1.0)))
+        cluster, report, check, _, _ = run_cluster(faults=plan,
+                                                   network=lossy)
+        # The network did inject faults...
+        assert lossy.dropped > 0
+        assert lossy.duplicated > 0
+        assert cluster.broker.retransmissions > 0
+        # ...both pods crashed and restarted...
+        assert report.restarts == {"R0": 1, "router0": 1}
+        events = [(target, event) for _, target, event in report.fault_events]
+        assert events == [("R0", "crash"), ("R0", "restart"),
+                          ("router0", "crash"), ("router0", "restart")]
+        # ...and the join output is still exactly the reference result.
+        assert check.ok, (check.duplicates, check.spurious, check.missing)
+
+    def test_router_crash_alone_is_exactly_once(self):
+        plan = FaultPlan((CrashFault(at=35.0, target="router0",
+                                     outage=1.0),))
+        cluster, report, check, _, _ = run_cluster(faults=plan)
+        assert report.restarts == {"router0": 1}
+        assert check.ok, (check.duplicates, check.spurious, check.missing)

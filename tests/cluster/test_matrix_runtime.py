@@ -1,7 +1,5 @@
 """Tests for repro.cluster.matrix_runtime."""
 
-import pytest
-
 from repro import EquiJoinPredicate, TimeWindow
 from repro.cluster import ClusterConfig, CostModel, MatrixSimulatedCluster
 from repro.harness import check_exactly_once, reference_join

@@ -1,0 +1,47 @@
+"""Tests for repro.cluster.supervisor (restart backoff + counters)."""
+
+import pytest
+
+from repro.cluster import RestartSupervisor, SupervisorConfig
+from repro.errors import ClusterError
+
+
+class TestSupervisorConfig:
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ClusterError):
+            SupervisorConfig(base_backoff=0.0)
+
+    def test_rejects_multiplier_below_one(self):
+        with pytest.raises(ClusterError):
+            SupervisorConfig(multiplier=0.5)
+
+    def test_rejects_max_below_base(self):
+        with pytest.raises(ClusterError):
+            SupervisorConfig(base_backoff=10.0, max_backoff=5.0)
+
+
+class TestRestartSupervisor:
+    def test_exponential_backoff_per_target(self):
+        sup = RestartSupervisor(SupervisorConfig(
+            base_backoff=1.0, multiplier=2.0, max_backoff=300.0))
+        assert sup.next_backoff("R0") == 1.0
+        assert sup.next_backoff("R0") == 2.0
+        assert sup.next_backoff("R0") == 4.0
+        # Independent crash-loop per target.
+        assert sup.next_backoff("router0") == 1.0
+
+    def test_backoff_is_capped(self):
+        sup = RestartSupervisor(SupervisorConfig(
+            base_backoff=1.0, multiplier=10.0, max_backoff=50.0))
+        assert sup.next_backoff("R0") == 1.0
+        assert sup.next_backoff("R0") == 10.0
+        assert sup.next_backoff("R0") == 50.0
+        assert sup.next_backoff("R0") == 50.0
+
+    def test_restart_counters(self):
+        sup = RestartSupervisor()
+        sup.next_backoff("R0")
+        sup.next_backoff("R0")
+        sup.next_backoff("S1")
+        assert sup.restart_counts == {"R0": 2, "S1": 1}
+        assert sup.total_restarts == 3

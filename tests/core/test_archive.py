@@ -12,7 +12,6 @@ from repro import (
 )
 from repro.core.archive import ArchivedSlice, ArchiveStore, query_history
 from repro.errors import ConfigurationError
-from repro.harness import reference_join
 
 
 def s_tuple(ts, key, seq=0):

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import BandJoinPredicate, EquiJoinPredicate, StreamTuple, TimeWindow
+from repro import EquiJoinPredicate, StreamTuple, TimeWindow
 from repro.core.chained_index import ChainedInMemoryIndex
 from repro.errors import IndexError_
 

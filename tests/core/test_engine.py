@@ -1,7 +1,5 @@
 """Tests for repro.core.engine (the StreamJoinEngine facade)."""
 
-import pytest
-
 from repro import (
     BicliqueConfig,
     EquiJoinPredicate,

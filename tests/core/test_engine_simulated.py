@@ -1,7 +1,5 @@
 """Tests for StreamJoinEngine.run_simulated and the CLI entry point."""
 
-import pytest
-
 from repro import BicliqueConfig, EquiJoinPredicate, StreamJoinEngine, TimeWindow
 from repro.cluster import ClusterConfig, HpaConfig
 from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys

@@ -59,8 +59,7 @@ class TestPodCleanupOnReap:
     def test_scaled_in_pod_unregistered_from_metrics(self):
         from repro.cluster import ClusterConfig, CostModel, HpaConfig, \
             SimulatedCluster
-        from repro.workloads import ConstantRate, EquiJoinWorkload, \
-            UniformKeys
+        from repro.workloads import EquiJoinWorkload, UniformKeys
 
         # Overload then underload: the HPA scales out, then in; reaping
         # must remove the drained unit's pod from the metrics registry.

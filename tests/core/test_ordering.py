@@ -185,3 +185,67 @@ class TestOrderConsistencyProperty:
         filtered0 = [k for k in keys[0] if k in common]
         filtered1 = [k for k in keys[1] if k in common]
         assert filtered0 == filtered1
+
+
+class TestDedupMode:
+    """``dedup=True``: at-least-once transports may deliver duplicate
+    copies; the per-channel counter uniqueness turns any regression
+    into a safe drop instead of a protocol violation."""
+
+    def _buf(self):
+        buf = ReorderBuffer(dedup=True)
+        buf.register_router("r0")
+        return buf
+
+    def test_duplicate_data_envelope_dropped(self):
+        buf = self._buf()
+        buf.add(data_env("r0", 0))
+        assert buf.add(data_env("r0", 0)) == []
+        assert buf.duplicates_dropped == 1
+        released = buf.add(punct("r0", 1))
+        assert [e.counter for e in released] == [0]
+
+    def test_duplicate_of_buffered_envelope_dropped(self):
+        """The copy can arrive before the original is released."""
+        buf = self._buf()
+        buf.add(data_env("r0", 3))
+        assert buf.add(data_env("r0", 3)) == []
+        assert buf.pending == 1  # original still buffered, exactly once
+
+    def test_duplicate_after_release_dropped(self):
+        buf = self._buf()
+        buf.add(data_env("r0", 0))
+        buf.add(punct("r0", 1))
+        assert buf.add(data_env("r0", 0)) == []
+        assert buf.duplicates_dropped == 1
+
+    def test_duplicate_punctuation_dropped(self):
+        buf = self._buf()
+        buf.add(punct("r0", 5))
+        assert buf.add(punct("r0", 3)) == []  # stale copy overtaken
+        assert buf.duplicates_dropped == 1
+        assert buf.watermark() == 5
+
+    def test_repeated_equal_punctuation_is_not_a_duplicate(self):
+        """Punctuations legitimately repeat a counter when no tuples
+        flowed in between; only a *regression* marks a duplicate."""
+        buf = self._buf()
+        buf.add(punct("r0", 5))
+        buf.add(punct("r0", 5))
+        assert buf.duplicates_dropped == 0
+
+    def test_fresh_envelopes_unaffected(self):
+        buf = self._buf()
+        released = []
+        for c in range(5):
+            released += buf.add(data_env("r0", c))
+        released += buf.add(punct("r0", 5))
+        assert [e.counter for e in released] == [0, 1, 2, 3, 4]
+        assert buf.duplicates_dropped == 0
+
+    def test_default_mode_still_raises(self):
+        buf = ReorderBuffer()
+        buf.register_router("r0")
+        buf.add(data_env("r0", 1))
+        with pytest.raises(OrderingError):
+            buf.add(data_env("r0", 1))

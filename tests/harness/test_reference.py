@@ -3,7 +3,6 @@
 from repro import (
     EquiJoinPredicate,
     JoinResult,
-    StreamTuple,
     TimeWindow,
     make_result,
     stream_from_pairs,

@@ -6,7 +6,6 @@ hash re-routing, reshape migration accounting) end-to-end with live
 streams crossing the scaling events.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

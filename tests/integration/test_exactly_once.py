@@ -7,14 +7,12 @@ counts — and the join-matrix baseline with any geometry — all compute
 the same windowed join.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import (
     BandJoinPredicate,
     BicliqueConfig,
-    BicliqueEngine,
     ConjunctionPredicate,
     CrossPredicate,
     EquiJoinPredicate,

@@ -11,7 +11,6 @@ the failure when slack is insufficient, which is what makes the knob
 meaningful rather than decorative.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -10,8 +10,6 @@ race exactly as in Figure 8; the protocol must fix the races and the
 unprotected ablation must demonstrably exhibit them.
 """
 
-import pytest
-
 from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow, stream_from_pairs
 from repro.broker import Broker
 from repro.core.biclique import BicliqueEngine

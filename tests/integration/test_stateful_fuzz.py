@@ -10,8 +10,6 @@ duplicates, bounded loss — since crashes legitimately lose state.)
 
 from __future__ import annotations
 
-import math
-
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

@@ -1,7 +1,5 @@
 """Tests for repro.matrix.engine (grid routing, reshape, baselines)."""
 
-import math
-
 import pytest
 
 from repro import (

@@ -1,0 +1,123 @@
+"""Tests for repro.simulation.faults and the fault-injecting networks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    CrashFault,
+    FaultPlan,
+    FixedDelayNetwork,
+    LossyNetwork,
+    PartitionNetwork,
+    SeededRng,
+)
+
+
+class TestCrashFault:
+    def test_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            CrashFault(at=-1.0, target="R0")
+
+    def test_rejects_negative_outage(self):
+        with pytest.raises(SimulationError):
+            CrashFault(at=1.0, target="R0", outage=-0.5)
+
+    def test_rejects_empty_target(self):
+        with pytest.raises(SimulationError):
+            CrashFault(at=1.0, target="")
+
+
+class TestFaultPlan:
+    def test_sorts_by_time(self):
+        plan = FaultPlan((CrashFault(at=30.0, target="router0"),
+                          CrashFault(at=10.0, target="R0")))
+        assert [f.at for f in plan] == [10.0, 30.0]
+
+    def test_len_and_empty_default(self):
+        assert len(FaultPlan()) == 0
+        assert len(FaultPlan((CrashFault(at=1.0, target="R0"),))) == 1
+
+    def test_targets_in_first_crash_order(self):
+        plan = FaultPlan((CrashFault(at=20.0, target="R0"),
+                          CrashFault(at=5.0, target="router0"),
+                          CrashFault(at=40.0, target="router0")))
+        assert plan.targets() == ["router0", "R0"]
+
+
+class TestLossyNetwork:
+    def test_rejects_certain_drop(self):
+        with pytest.raises(SimulationError):
+            LossyNetwork(FixedDelayNetwork(0.0), SeededRng(1),
+                         drop_probability=1.0)
+
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(SimulationError):
+            LossyNetwork(FixedDelayNetwork(0.0), SeededRng(1),
+                         drop_probability=-0.1)
+        with pytest.raises(SimulationError):
+            LossyNetwork(FixedDelayNetwork(0.0), SeededRng(1),
+                         duplicate_probability=1.5)
+
+    def test_zero_rates_pass_through(self):
+        net = LossyNetwork(FixedDelayNetwork(0.25), SeededRng(1))
+        for i in range(50):
+            assert net.transmit("a", "b", now=float(i)) == [0.25]
+        assert net.dropped == 0
+        assert net.duplicated == 0
+
+    def test_drops_counted_and_empty_plan(self):
+        net = LossyNetwork(FixedDelayNetwork(0.1), SeededRng(7),
+                           drop_probability=0.5)
+        plans = [net.transmit("a", "b", now=0.0) for _ in range(200)]
+        assert net.dropped > 0
+        assert plans.count([]) == net.dropped
+
+    def test_duplicates_produce_two_delays(self):
+        net = LossyNetwork(FixedDelayNetwork(0.1), SeededRng(7),
+                           duplicate_probability=0.5)
+        plans = [net.transmit("a", "b", now=0.0) for _ in range(200)]
+        assert net.duplicated > 0
+        assert sum(1 for p in plans if len(p) == 2) == net.duplicated
+
+    def test_per_channel_rates_override_default(self):
+        net = LossyNetwork(FixedDelayNetwork(0.0), SeededRng(3),
+                           drop_probability=0.9)
+        net.set_rates("a", "safe", drop_probability=0.0)
+        for _ in range(100):
+            assert net.transmit("a", "safe", now=0.0) != []
+        assert net.dropped == 0
+
+    def test_delay_is_inner_delay(self):
+        inner = FixedDelayNetwork(0.25)
+        net = LossyNetwork(inner, SeededRng(1))
+        assert net.delay("a", "b", now=0.0) == 0.25
+        assert net.raw_delay("a", "b") == 0.25
+
+
+class TestPartitionNetwork:
+    def test_rejects_bad_interval(self):
+        net = PartitionNetwork(FixedDelayNetwork(0.0))
+        with pytest.raises(SimulationError):
+            net.partition(5.0, 5.0, senders=("a",))
+
+    def test_rejects_empty_channel_set(self):
+        net = PartitionNetwork(FixedDelayNetwork(0.0))
+        with pytest.raises(SimulationError):
+            net.partition(0.0, 1.0)
+
+    def test_blackholes_during_interval_only(self):
+        net = PartitionNetwork(FixedDelayNetwork(0.1))
+        net.partition(10.0, 20.0, receivers=("R0",))
+        assert net.transmit("router0", "R0", now=5.0) == [pytest.approx(0.1)]
+        assert net.transmit("router0", "R0", now=10.0) == []
+        assert net.transmit("router0", "R0", now=19.999) == []
+        assert net.transmit("router0", "R0", now=20.0) == [pytest.approx(0.1)]
+        assert net.blackholed == 2
+
+    def test_scopes_to_named_endpoints(self):
+        net = PartitionNetwork(FixedDelayNetwork(0.1))
+        net.partition(0.0, 100.0, senders=("router0",),
+                      channels=(("router1", "S1"),))
+        assert net.transmit("router0", "R0", now=1.0) == []
+        assert net.transmit("router1", "S1", now=1.0) == []
+        assert net.transmit("router1", "R0", now=1.0) == [pytest.approx(0.1)]
