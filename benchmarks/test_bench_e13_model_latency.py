@@ -27,9 +27,12 @@ from repro.cluster import (
 )
 from repro.harness import render_table
 from repro.matrix import MatrixConfig
+from repro.obs import NOOP_TRACER, Tracer
 from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
 
 RATES = [10.0, 30.0, 50.0]
+#: Rate whose biclique run is traced for the per-stage breakdown.
+TRACED_RATE = 30.0
 DURATION = 60.0
 WINDOW = TimeWindow(seconds=20.0)
 PREDICATE = EquiJoinPredicate("k", "k")
@@ -38,7 +41,7 @@ PREDICATE = EquiJoinPredicate("k", "k")
 COST = CostModel().scaled(700.0)
 
 
-def run_biclique(rate: float):
+def run_biclique(rate: float, tracer=NOOP_TRACER):
     workload = EquiJoinWorkload(keys=UniformKeys(300), seed=1313)
     profile = ConstantRate(rate)
     cluster = SimulatedCluster(
@@ -47,9 +50,11 @@ def run_biclique(rate: float):
                        punctuation_interval=0.05),
         PREDICATE,
         ClusterConfig(cost_model=COST, metrics_interval=10.0,
-                      timeline_interval=30.0))
-    cluster.run(workload.arrivals(profile, DURATION), DURATION)
-    return cluster.engine.latency.summary(), len(cluster.engine.results)
+                      timeline_interval=30.0),
+        tracer=tracer)
+    report = cluster.run(workload.arrivals(profile, DURATION), DURATION)
+    return (cluster.engine.latency.summary(), len(cluster.engine.results),
+            report.stages)
 
 
 def run_matrix(rate: float):
@@ -62,14 +67,19 @@ def run_matrix(rate: float):
         PREDICATE,
         ClusterConfig(cost_model=COST, metrics_interval=10.0))
     cluster.run(workload.arrivals(profile, DURATION), DURATION)
-    return cluster.engine.latency.summary(), len(cluster.engine.results)
+    # The matrix runtime has no tracer hook-up; no stage breakdown.
+    return cluster.engine.latency.summary(), len(cluster.engine.results), None
 
 
 def run_experiment():
-    return {(model, rate): runner(rate)
-            for model, runner in (("biclique/hash", run_biclique),
-                                  ("matrix/hash", run_matrix))
-            for rate in RATES}
+    results = {}
+    for model, runner in (("biclique/hash", run_biclique),
+                          ("matrix/hash", run_matrix)):
+        for rate in RATES:
+            traced = model == "biclique/hash" and rate == TRACED_RATE
+            results[(model, rate)] = (runner(rate, Tracer()) if traced
+                                      else runner(rate))
+    return results
 
 
 def test_e13_model_latency(benchmark):
@@ -77,11 +87,21 @@ def test_e13_model_latency(benchmark):
 
     rows = [[model, f"{rate:.0f}", f"{summary.p50 * 1000:,.0f}",
              f"{summary.p99 * 1000:,.0f}", count]
-            for (model, rate), (summary, count) in sorted(results.items())]
+            for (model, rate), (summary, count, _) in sorted(results.items())]
     emit("e13_model_latency", render_table(
         ["model", "rate (t/s)", "p50 (ms)", "p99 (ms)", "results"],
         rows, title="E13: latency vs. offered rate, 8 units each, "
                     "identical substrate"))
+
+    # Stage breakdown of the traced biclique run: the three stages tile
+    # the end-to-end latency reported in the table.
+    stages = results[("biclique/hash", TRACED_RATE)][2]
+    emit("e13_model_latency_stages", stages.render(
+        title=f"E13: biclique stage breakdown at {TRACED_RATE:.0f} t/s, "
+              "8 units"))
+    assert stages.samples == results[("biclique/hash", TRACED_RATE)][1] > 0
+    assert stages.reconciles(tolerance=0.05), (
+        stages.stage_sum_mean(), stages.end_to_end.mean)
 
     # Identical answers at every point.
     for rate in RATES:

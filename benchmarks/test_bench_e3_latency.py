@@ -15,15 +15,20 @@ from conftest import bench_once, emit
 from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
 from repro.cluster import ClusterConfig, CostModel, SimulatedCluster
 from repro.harness import render_table
+from repro.obs import NOOP_TRACER, Tracer
 from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
 
 RATES = [10.0, 25.0, 40.0]
 DURATION = 60.0
 #: Calibrated so one joiner per side saturates near 32 t/s.
 COST = CostModel().scaled(550.0)
+#: The point whose run is traced for the per-stage breakdown: the
+#: mid-rate 2-joiner deployment, comfortably below saturation so the
+#: stage shares reflect steady-state queueing rather than blow-up.
+TRACED_POINT = (25.0, 2)
 
 
-def run_point(rate: float, joiners_per_side: int):
+def run_point(rate: float, joiners_per_side: int, tracer=NOOP_TRACER):
     workload = EquiJoinWorkload(keys=UniformKeys(300), seed=303)
     profile = ConstantRate(rate)
     cluster = SimulatedCluster(
@@ -34,19 +39,29 @@ def run_point(rate: float, joiners_per_side: int):
                        punctuation_interval=0.05),
         EquiJoinPredicate("k", "k"),
         ClusterConfig(cost_model=COST, metrics_interval=10.0,
-                      timeline_interval=30.0))
-    cluster.run(workload.arrivals(profile, DURATION), DURATION,
-                rate_fn=profile.rate)
-    return cluster.engine.latency.summary()
+                      timeline_interval=30.0),
+        tracer=tracer)
+    report = cluster.run(workload.arrivals(profile, DURATION), DURATION,
+                         rate_fn=profile.rate)
+    return cluster.engine.latency.summary(), report
 
 
 def run_experiment():
-    return {(rate, joiners): run_point(rate, joiners)
-            for rate in RATES for joiners in (1, 2)}
+    summaries = {}
+    stages = None
+    for rate in RATES:
+        for joiners in (1, 2):
+            tracer = (Tracer() if (rate, joiners) == TRACED_POINT
+                      else NOOP_TRACER)
+            summary, report = run_point(rate, joiners, tracer)
+            summaries[(rate, joiners)] = summary
+            if report.stages is not None:
+                stages = report.stages
+    return summaries, stages
 
 
 def test_e3_latency(benchmark):
-    results = bench_once(benchmark, run_experiment)
+    results, stages = bench_once(benchmark, run_experiment)
 
     rows = [[f"{rate:.0f}", joiners, f"{s.p50 * 1000:.1f}",
              f"{s.p99 * 1000:.1f}", s.count]
@@ -54,6 +69,21 @@ def test_e3_latency(benchmark):
     emit("e3_latency", render_table(
         ["rate (t/s)", "joiners/side", "p50 (ms)", "p99 (ms)", "results"],
         rows, title="E3: result latency vs. offered load"))
+
+    # Per-stage breakdown of the traced point: the route/transit/process
+    # stages must tile the end-to-end latency the table above reports.
+    rate, joiners = TRACED_POINT
+    emit("e3_latency_stages", stages.render(
+        title=f"E3: stage breakdown at {rate:.0f} t/s, "
+              f"{joiners} joiners/side"))
+    assert stages.samples == results[TRACED_POINT].count > 0
+    assert stages.skipped == 0
+    assert stages.reconciles(tolerance=0.05), (
+        stages.stage_sum_mean(), stages.end_to_end.mean)
+    # Tracing did not perturb the measurement: the traced point's
+    # latency is the same as its untraced twin's.
+    untraced, _ = run_point(rate, joiners)
+    assert untraced.p99 == results[TRACED_POINT].p99
 
     # Latency grows with offered rate on the small deployment...
     p99_small = [results[(rate, 1)].p99 for rate in RATES]

@@ -14,7 +14,10 @@ The package implements, from scratch and in pure Python:
   Autoscaler (:mod:`repro.cluster`);
 - **workload generators** (:mod:`repro.workloads`), **metrics**
   (:mod:`repro.metrics`) and the **experiment harness**
-  (:mod:`repro.harness`).
+  (:mod:`repro.harness`);
+- end-to-end **observability** (:mod:`repro.obs`): causal tuple
+  tracing, a unified metrics registry with Prometheus-style
+  exposition, and the per-stage latency breakdown.
 
 Quickstart::
 

@@ -132,6 +132,40 @@ class Broker:
         #: Optional observer called for every delivery (metrics hooks).
         self.on_deliver: Callable[[Delivery], None] | None = None
 
+    def export_metrics(self, registry) -> None:
+        """Publish broker totals into a :class:`MetricsRegistry`."""
+        registry.counter("repro_broker_published_total",
+                         "Messages published to the broker."
+                         ).set_total(self.published)
+        registry.counter("repro_broker_delivered_total",
+                         "Deliveries handed to consumers."
+                         ).set_total(self.delivered)
+        registry.counter("repro_broker_lost_transmissions_total",
+                         "Transmission attempts lost by the network."
+                         ).set_total(self.lost_transmissions)
+        registry.counter("repro_broker_retransmissions_total",
+                         "Retransmission attempts after a loss."
+                         ).set_total(self.retransmissions)
+        registry.counter("repro_broker_duplicate_deliveries_total",
+                         "Extra copies delivered by network duplication."
+                         ).set_total(self.duplicate_deliveries)
+        registry.counter("repro_broker_redelivered_total",
+                         "Messages requeued after consumer crashes."
+                         ).set_total(self.redelivered)
+        registry.counter("repro_broker_dead_lettered_total",
+                         "In-flight copies discarded on dead attachments."
+                         ).set_total(self.dead_lettered)
+        registry.counter("repro_broker_dropped_on_delete_total",
+                         "Messages destroyed with deleted queues."
+                         ).set_total(self.dropped_on_delete)
+        registry.gauge("repro_broker_backlog",
+                       "Buffered messages across all queues."
+                       ).set(sum(q.backlog_depth
+                                 for q in self._queues.values()))
+        registry.gauge("repro_broker_unacked",
+                       "Deliveries awaiting acknowledgement."
+                       ).set(len(self._unacked))
+
     # ------------------------------------------------------------------
     # Topology management
     # ------------------------------------------------------------------

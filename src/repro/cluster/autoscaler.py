@@ -125,3 +125,19 @@ class HorizontalPodAutoscaler:
         if desired != current_replicas:
             self._last_scale_change = now
         return decision
+
+    def export_metrics(self, registry, side: str = "") -> None:
+        """Publish control-loop totals into a metrics registry."""
+        labels = {"side": side} if side else None
+        registry.counter("repro_hpa_evaluations_total",
+                         "HPA control-loop iterations run.",
+                         labels).set_total(len(self.decisions))
+        registry.counter("repro_hpa_scale_actions_total",
+                         "Evaluations that changed the replica count.",
+                         labels).set_total(
+            sum(1 for d in self.decisions if d.action != "none"))
+        if self.decisions:
+            last = self.decisions[-1]
+            registry.gauge("repro_hpa_desired_replicas",
+                           "Most recent desired replica count.",
+                           labels).set(last.desired_replicas)

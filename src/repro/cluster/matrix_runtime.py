@@ -27,6 +27,7 @@ from ..matrix.cell import MatrixCell
 from ..matrix.distributed import DistributedMatrixEngine
 from ..matrix.engine import MatrixConfig
 from ..metrics.memory import JvmHeapModel
+from ..obs.registry import MetricsRegistry
 from ..simulation.kernel import Simulator
 from ..simulation.network import FixedDelayNetwork, NetworkModel
 from .metrics_server import MetricsServer
@@ -57,6 +58,9 @@ class MatrixClusterReport:
     duration: float
     tuples_ingested: int
     results: int
+    #: Final metrics-registry snapshot (same convention as the
+    #: biclique's :class:`~repro.cluster.runtime.ClusterReport`).
+    metrics: dict[str, float] | None = None
 
 
 class MatrixSimulatedCluster:
@@ -80,6 +84,14 @@ class MatrixSimulatedCluster:
         self.engine = DistributedMatrixEngine(config, predicate,
                                               broker=self.broker,
                                               routers=routers)
+        #: Unified metrics registry (broker + kernel + pod samples).
+        self.registry = MetricsRegistry()
+        self.registry.register_collector(
+            lambda: self.broker.export_metrics(self.registry))
+        self.registry.register_collector(
+            lambda: self.sim.export_metrics(self.registry))
+        self.registry.register_collector(
+            lambda: self.metrics.export_metrics(self.registry))
         self._wrap_components()
         self._ingested = 0
 
@@ -185,10 +197,12 @@ class MatrixSimulatedCluster:
         cancel()
         self.sim.run()
         self.engine.finish()
+        self.registry.collect()
         return MatrixClusterReport(
             duration=duration,
             tuples_ingested=self._ingested,
             results=len(self.engine.results),
+            metrics=self.registry.snapshot(),
         )
 
 

@@ -14,6 +14,7 @@ Figure 20/21 timelines.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..errors import ClusterError
 from .pod import Pod
@@ -38,14 +39,15 @@ class MetricsServer:
             raise ClusterError("sample interval must be positive")
         self.sample_interval = sample_interval
         self._pods: dict[str, Pod] = {}
-        self._live_bytes_fn: dict[str, object] = {}
-        self._backlog_fn: dict[str, object] = {}
+        self._live_bytes_fn: dict[str, Callable[[], int]] = {}
+        self._backlog_fn: dict[str, Callable[[], int]] = {}
         self._latest: dict[str, PodSample] = {}
         self._last_sample_time = 0.0
 
     # -- registry ---------------------------------------------------------
-    def register_pod(self, pod: Pod, live_bytes_fn=None,
-                     backlog_fn=None) -> None:
+    def register_pod(self, pod: Pod,
+                     live_bytes_fn: Callable[[], int] | None = None,
+                     backlog_fn: Callable[[], int] | None = None) -> None:
         """Track a pod.
 
         Args:
@@ -54,9 +56,22 @@ class MetricsServer:
             backlog_fn: reports the pod's queued-work depth (drives the
                 custom "backlog" metric — the thesis Figure 19 custom
                 metrics API pathway).
+
+        Raises:
+            ClusterError: if the pod is already registered, or either
+                callback is given but not callable (a raw value here
+                would silently freeze the metric at registration time).
         """
         if pod.name in self._pods:
             raise ClusterError(f"pod {pod.name!r} already registered")
+        if live_bytes_fn is not None and not callable(live_bytes_fn):
+            raise ClusterError(
+                f"live_bytes_fn for pod {pod.name!r} must be callable, "
+                f"got {live_bytes_fn!r}")
+        if backlog_fn is not None and not callable(backlog_fn):
+            raise ClusterError(
+                f"backlog_fn for pod {pod.name!r} must be callable, "
+                f"got {backlog_fn!r}")
         self._pods[pod.name] = pod
         self._live_bytes_fn[pod.name] = live_bytes_fn or (lambda: 0)
         self._backlog_fn[pod.name] = backlog_fn or (lambda: 0)
@@ -116,3 +131,20 @@ class MetricsServer:
         if not values:
             return None
         return sum(values) / len(values)
+
+    def export_metrics(self, registry) -> None:
+        """Publish the latest pod samples into a metrics registry."""
+        for name in self.pod_names:
+            sample = self._latest.get(name)
+            if sample is None:
+                continue
+            labels = {"pod": name}
+            registry.gauge("repro_pod_cpu_utilisation",
+                           "Sampled CPU utilisation relative to request.",
+                           labels).set(sample.cpu_utilisation)
+            registry.gauge("repro_pod_memory_utilisation",
+                           "Sampled memory utilisation relative to request.",
+                           labels).set(sample.memory_utilisation)
+            registry.gauge("repro_pod_backlog",
+                           "Sampled queued-work depth (custom metric).",
+                           labels).set(sample.backlog)

@@ -33,6 +33,9 @@ from ..core.router import Router
 from ..core.tuples import StreamTuple
 from ..errors import ClusterError
 from ..metrics.memory import MB, JvmHeapModel
+from ..obs.registry import MetricsRegistry
+from ..obs.stages import StageBreakdown, compute_stage_breakdown
+from ..obs.trace import NOOP_TRACER, NoopTracer, Tracer
 from ..simulation.faults import CrashFault, FaultPlan
 from ..simulation.kernel import Simulator
 from ..simulation.network import FixedDelayNetwork, NetworkModel
@@ -284,6 +287,13 @@ class ClusterReport:
     fault_events: list[tuple[float, str, str]] = field(default_factory=list)
     #: Supervisor restart counters per crashed target.
     restarts: dict[str, int] = field(default_factory=dict)
+    #: Final :class:`~repro.obs.registry.MetricsRegistry` snapshot —
+    #: flat ``name{labels} -> value``, collected once at end of run.
+    #: Deliberately tracer-independent: two runs differing only in
+    #: tracing produce identical snapshots.
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Per-stage latency breakdown (``None`` unless the run was traced).
+    stages: StageBreakdown | None = None
 
     def replicas_series(self, side: str) -> list[tuple[float, int]]:
         attr = "r_replicas" if side == "R" else "s_replicas"
@@ -300,7 +310,8 @@ class SimulatedCluster:
                  network: NetworkModel | None = None,
                  heap_factory: Callable[[], JvmHeapModel] | None = None,
                  faults: FaultPlan | None = None,
-                 supervisor: SupervisorConfig | None = None) -> None:
+                 supervisor: SupervisorConfig | None = None,
+                 tracer: NoopTracer = NOOP_TRACER) -> None:
         self.cluster_config = cluster_config or ClusterConfig()
         self.sim = Simulator()
         self.network = network or FixedDelayNetwork(
@@ -309,19 +320,37 @@ class SimulatedCluster:
         self.faults = faults or FaultPlan()
         self.supervisor = RestartSupervisor(supervisor)
         self.metrics = MetricsServer(self.cluster_config.metrics_interval)
+        #: Causal tracer threaded through the engine (no-op by default).
+        self.tracer = tracer
+        #: Unified metrics registry every component publishes into.
+        self.registry = MetricsRegistry()
         self.instrumentation = PodInstrumentation(
             self.sim, self.metrics, self.cluster_config.cost_model,
             self.cluster_config.joiner_spec, self.cluster_config.router_spec,
             heap_factory=heap_factory)
         self.engine = BicliqueEngine(biclique_config, predicate,
                                      broker=self.broker,
-                                     instrumentation=self.instrumentation)
+                                     instrumentation=self.instrumentation,
+                                     tracer=tracer)
         self.autoscalers: dict[str, HorizontalPodAutoscaler] = {
             side: HorizontalPodAutoscaler(config)
             for side, config in (hpa or {}).items()}
         self._rate_fn: Callable[[float], float] = lambda t: 0.0
         self._ingested = 0
         self.report = ClusterReport(duration=0.0, tuples_ingested=0, results=0)
+        # Pull-model publication: every collect() refreshes the registry
+        # from the live components (engine covers broker/routers/joiners).
+        self.registry.register_collector(
+            lambda: self.engine.export_metrics(self.registry))
+        self.registry.register_collector(
+            lambda: self.sim.export_metrics(self.registry))
+        self.registry.register_collector(
+            lambda: self.metrics.export_metrics(self.registry))
+        self.registry.register_collector(self._export_hpa_metrics)
+
+    def _export_hpa_metrics(self) -> None:
+        for side, hpa in self.autoscalers.items():
+            hpa.export_metrics(self.registry, side)
 
     # ------------------------------------------------------------------
     # Periodic control loops
@@ -479,4 +508,8 @@ class SimulatedCluster:
         self.report.hpa_decisions = {
             side: hpa.decisions for side, hpa in self.autoscalers.items()}
         self.report.restarts = dict(self.supervisor.restart_counts)
+        self.registry.collect()
+        self.report.metrics = self.registry.snapshot()
+        if isinstance(self.tracer, Tracer):
+            self.report.stages = compute_stage_breakdown(self.tracer)
         return self.report

@@ -87,6 +87,18 @@ class ArchiveStore:
     def slices(self) -> Iterator[ArchivedSlice]:
         return iter(self._slices)
 
+    def export_metrics(self, registry, labels=None) -> None:
+        """Publish archive-tier totals into a metrics registry."""
+        registry.counter("repro_archive_slices_written_total",
+                         "Expired sub-index slices shipped to the archive.",
+                         labels).set_total(self.slices_written)
+        registry.counter("repro_archive_bytes_written_total",
+                         "Bytes written to the archive tier.",
+                         labels).set_total(self.bytes_written)
+        registry.gauge("repro_archive_tuples",
+                       "Tuples retained across all archived slices.",
+                       labels).set(self.tuple_count)
+
     # ------------------------------------------------------------------
     # Historical queries
     # ------------------------------------------------------------------

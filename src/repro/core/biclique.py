@@ -31,6 +31,7 @@ from ..errors import ConfigurationError, ScalingError
 from ..metrics.counters import NetworkStats
 from ..metrics.latency import LatencyRecorder
 from ..metrics.memory import MemorySnapshot
+from ..obs.trace import NOOP_TRACER, SPAN_SCALE, NoopTracer
 from .joiner import Joiner
 from .ordering import KIND_STORE, Envelope
 from .predicates import JoinPredicate
@@ -163,11 +164,19 @@ class BicliqueEngine:
 
     def __init__(self, config: BicliqueConfig, predicate: JoinPredicate,
                  broker: Broker | None = None,
-                 instrumentation: EngineInstrumentation | None = None) -> None:
+                 instrumentation: EngineInstrumentation | None = None,
+                 tracer: NoopTracer = NOOP_TRACER) -> None:
         self.config = config
         self.predicate = predicate
         self.instrumentation = instrumentation or EngineInstrumentation()
         self.broker = broker if broker is not None else Broker()
+        #: Causal tracer threaded into every router/joiner (no-op by
+        #: default; see :mod:`repro.obs.trace`).
+        self.tracer = tracer
+        if tracer.enabled and self.broker.on_deliver is None:
+            # Deliver spans come from the broker's observer hook; only
+            # claim it if nothing else (user metrics hook) already has.
+            self.broker.on_deliver = tracer.observe_delivery
         self.channels = ChannelLayer(self.broker)
         self.network_stats = NetworkStats()
         self.results: list[JoinResult] = []
@@ -247,7 +256,8 @@ class BicliqueEngine:
             ordered=self.config.ordered,
             timestamp_policy=self.config.timestamp_policy,
             expiry_slack=self.config.expiry_slack,
-            archive_expired=self.config.archive_expired)
+            archive_expired=self.config.archive_expired,
+            tracer=self.tracer)
         self.joiners[unit_id] = joiner
         self.groups[side].add_unit(unit_id)
         inbox = joiner_inbox(unit_id)
@@ -278,7 +288,8 @@ class BicliqueEngine:
 
     def _add_router(self, router_id: str, *, counter_floor: int = 0) -> Router:
         router = Router(router_id, self.strategy, self.channels,
-                        self.network_stats, replay_log=self.replay_log)
+                        self.network_stats, replay_log=self.replay_log,
+                        tracer=self.tracer)
         # Align the counter *before* subscribing: subscribing drains any
         # entry-queue backlog synchronously, and tuples stamped below the
         # floor would be dropped by the joiners' dedup as regressions.
@@ -335,6 +346,10 @@ class BicliqueEngine:
             raise ScalingError(f"scale_out count must be >= 1, got {count}")
         new_ids = [self._add_joiner(side).unit_id for _ in range(count)]
         self.strategy.on_membership_change(now)
+        if self.tracer.enabled:
+            for unit_id in new_ids:
+                self.tracer.record(SPAN_SCALE, now, unit_id,
+                                   detail=f"scale_out:{side}")
         return new_ids
 
     def scale_in(self, side: str, *, now: float = 0.0,
@@ -361,6 +376,9 @@ class BicliqueEngine:
                 f"unit {unit_id!r} is crashed; restart it before draining")
         group.start_draining(unit_id, now)
         self.strategy.on_membership_change(now)
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_SCALE, now, unit_id,
+                               detail=f"scale_in:{side}")
         return unit_id
 
     def reap_drained(self, *, now: float) -> list[str]:
@@ -387,6 +405,9 @@ class BicliqueEngine:
                 group.remove_unit(unit_id)
                 self.instrumentation.on_joiner_removed(joiner)
                 removed.append(unit_id)
+                if self.tracer.enabled:
+                    self.tracer.record(SPAN_SCALE, now, unit_id,
+                                       detail="reap")
         if removed:
             self.strategy.on_membership_change(now)
         return removed
@@ -476,6 +497,9 @@ class BicliqueEngine:
                         if (e.counter, e.router_id) not in unprocessed_keys]
         self._crashed[unit_id] = _CrashedJoiner(old, snapshot, pending)
         self.instrumentation.on_joiner_crashed(old)
+        if self.tracer.enabled:
+            # Best available clock: the dead unit's last processed time.
+            self.tracer.record(SPAN_SCALE, old._now, unit_id, detail="crash")
         return old
 
     def restart_unit(self, unit_id: str) -> Joiner:
@@ -501,7 +525,8 @@ class BicliqueEngine:
             ordered=self.config.ordered,
             timestamp_policy=self.config.timestamp_policy,
             expiry_slack=self.config.expiry_slack,
-            archive_expired=self.config.archive_expired)
+            archive_expired=self.config.archive_expired,
+            tracer=self.tracer)
         self.joiners[unit_id] = replacement
         if state.snapshot:
             replacement.restore(state.snapshot)
@@ -514,6 +539,10 @@ class BicliqueEngine:
         for env in state.pending:
             replacement.on_envelope(env)
         self._wire_joiner(replacement)
+        if self.tracer.enabled:
+            self.tracer.record(
+                SPAN_SCALE, replacement._now, unit_id,
+                detail=f"restart:restored={replacement.stats.tuples_restored}")
         return replacement
 
     def fail_unit(self, unit_id: str) -> Joiner:
@@ -557,6 +586,9 @@ class BicliqueEngine:
         else:
             self.channels.unsubscribe(entry_queue, router_id)
         self.instrumentation.on_router_crashed(router)
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_SCALE, 0.0, router_id,
+                               detail="crash_router")
         return router
 
     def restart_router(self, router_id: str) -> Router:
@@ -578,8 +610,12 @@ class BicliqueEngine:
             raise ScalingError(
                 f"router {router_id!r} is not crashed") from None
         pool_floor = max((r.next_counter for r in self.routers), default=0)
-        return self._add_router(router_id,
-                                counter_floor=max(counter, pool_floor))
+        router = self._add_router(router_id,
+                                  counter_floor=max(counter, pool_floor))
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_SCALE, 0.0, router_id,
+                               detail="restart_router")
+        return router
 
     # ------------------------------------------------------------------
     # Introspection
@@ -600,3 +636,44 @@ class BicliqueEngine:
 
     def total_comparisons(self) -> int:
         return sum(j.comparisons for j in self.joiners.values())
+
+    # ------------------------------------------------------------------
+    # Metrics export
+    # ------------------------------------------------------------------
+    def export_metrics(self, registry) -> None:
+        """Publish engine, broker, router and joiner metrics.
+
+        Designed as a :class:`~repro.obs.registry.MetricsRegistry`
+        collector: register with
+        ``registry.register_collector(lambda: engine.export_metrics(registry))``
+        and every :meth:`~repro.obs.registry.MetricsRegistry.collect`
+        pulls fresh totals from the live components.
+        """
+        registry.counter("repro_engine_results_total",
+                         "Join results produced across all units."
+                         ).set_total(self.results_count)
+        registry.gauge("repro_engine_joiners",
+                       "Live joiner units (both sides)."
+                       ).set(len(self.joiners))
+        registry.gauge("repro_engine_routers",
+                       "Live routers in the competing pool."
+                       ).set(len(self.routers))
+        registry.gauge("repro_engine_stored_tuples",
+                       "Tuples currently held across all window indexes."
+                       ).set(self.total_stored_tuples())
+        net = self.network_stats
+        for kind, count in (("store", net.store_messages),
+                            ("join", net.join_messages),
+                            ("punctuation", net.punctuation_messages),
+                            ("result", net.result_messages)):
+            registry.counter("repro_network_messages_total",
+                             "Messages sent, by purpose.",
+                             {"kind": kind}).set_total(count)
+        registry.counter("repro_network_bytes_total",
+                         "Bytes sent across all message kinds."
+                         ).set_total(net.bytes_sent)
+        self.broker.export_metrics(registry)
+        for router in self.routers:
+            router.export_metrics(registry)
+        for joiner in self.joiners.values():
+            joiner.export_metrics(registry)

@@ -108,6 +108,26 @@ class ChainedInMemoryIndex:
         """Approximate live-tuple footprint of the whole chain."""
         return self._active.bytes + sum(s.bytes for s in self._archived)
 
+    def export_metrics(self, registry, labels=None) -> None:
+        """Publish index counters into a metrics registry."""
+        stats = self.stats
+        for quantity, value in (("inserts", stats.inserts),
+                                ("probes", stats.probes),
+                                ("comparisons", stats.comparisons),
+                                ("matches", stats.matches),
+                                ("subindexes_created",
+                                 stats.subindexes_created),
+                                ("subindexes_expired",
+                                 stats.subindexes_expired),
+                                ("tuples_expired", stats.tuples_expired),
+                                ("window_filtered", stats.window_filtered)):
+            registry.counter(f"repro_index_{quantity}_total",
+                             "Chained-index operation counter.",
+                             labels).set_total(value)
+        registry.gauge("repro_index_subindexes",
+                       "Live sub-indexes in the chain.",
+                       labels).set(self.subindex_count)
+
     @property
     def subindex_count(self) -> int:
         """Number of live sub-indexes (archived + the active one)."""

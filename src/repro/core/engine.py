@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 from ..errors import ReproError
 from ..metrics.counters import NetworkStats
 from ..metrics.latency import LatencySummary
+from ..obs.trace import NOOP_TRACER, NoopTracer
 from .biclique import BicliqueConfig, BicliqueEngine
 from .predicates import JoinPredicate
 from .streams import merge_by_time
@@ -52,10 +53,12 @@ class RunReport:
 class StreamJoinEngine:
     """Synchronous convenience facade over the join-biclique engine."""
 
-    def __init__(self, config: BicliqueConfig, predicate: JoinPredicate) -> None:
+    def __init__(self, config: BicliqueConfig, predicate: JoinPredicate,
+                 *, tracer: NoopTracer = NOOP_TRACER) -> None:
         self.config = config
         self.predicate = predicate
-        self.engine = BicliqueEngine(config, predicate)
+        self.tracer = tracer
+        self.engine = BicliqueEngine(config, predicate, tracer=tracer)
         self._consumed = False
 
     def run(self, r_stream: Sequence[StreamTuple],

@@ -18,15 +18,27 @@ missed/duplicate results — the Figure 8(c)/(d) failure modes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..broker.message import Delivery
 from ..errors import ConfigurationError
+from ..obs.trace import (
+    NOOP_TRACER,
+    SPAN_ARCHIVE,
+    SPAN_EMIT,
+    SPAN_PROBE,
+    SPAN_REPLAY,
+    SPAN_STORE,
+    NoopTracer,
+)
 from .chained_index import ChainedInMemoryIndex
 from .ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE, Envelope, ReorderBuffer
 from .predicates import JoinPredicate
 from .tuples import JoinResult, StreamTuple, make_result
 from .windows import TimeWindow
+
+if TYPE_CHECKING:
+    from ..obs.registry import MetricsRegistry
 
 #: Result sink: called once per produced join result.
 ResultSink = Callable[[JoinResult], None]
@@ -59,13 +71,16 @@ class Joiner:
                  result_sink: ResultSink, *, ordered: bool = True,
                  timestamp_policy: str = "max",
                  expiry_slack: float = 0.0,
-                 archive_expired: bool = False) -> None:
+                 archive_expired: bool = False,
+                 tracer: NoopTracer = NOOP_TRACER) -> None:
         if side not in ("R", "S"):
             raise ConfigurationError(f"side must be 'R' or 'S', got {side!r}")
         self.unit_id = unit_id
         self.side = side
         self.predicate = predicate
         self.window = window
+        #: Causal tracer (no-op by default; see :mod:`repro.obs.trace`).
+        self.tracer = tracer
         #: Optional archive tier for expired slices (partial-historical
         #: queries, see :mod:`repro.core.archive`).
         self.archive = None
@@ -81,6 +96,9 @@ class Joiner:
                     min_ts=min(t.ts for t in tuples),
                     max_ts=max(t.ts for t in tuples),
                     tuples=tuple(tuples)))
+                if self.tracer.enabled:
+                    self.tracer.record(SPAN_ARCHIVE, self._now, self.unit_id,
+                                       detail=f"tuples={len(tuples)}")
 
         self.index = ChainedInMemoryIndex(
             predicate, stored_side=side, window=window,
@@ -120,6 +138,40 @@ class Joiner:
     def comparisons(self) -> int:
         """Total predicate comparisons performed so far."""
         return self.index.stats.comparisons
+
+    def export_metrics(self, registry: "MetricsRegistry") -> None:
+        """Publish this joiner's counters into a metrics registry."""
+        labels = {"unit": self.unit_id, "side": self.side}
+        registry.counter("repro_joiner_envelopes_received_total",
+                         "Envelopes delivered to the joiner inbox.",
+                         labels).set_total(self.stats.envelopes_received)
+        registry.counter("repro_joiner_tuples_stored_total",
+                         "Tuples inserted into the chained index.",
+                         labels).set_total(self.stats.tuples_stored)
+        registry.counter("repro_joiner_probes_total",
+                         "Join-stream probes processed.",
+                         labels).set_total(self.stats.probes_processed)
+        registry.counter("repro_joiner_results_emitted_total",
+                         "Join results produced.",
+                         labels).set_total(self.stats.results_emitted)
+        registry.counter("repro_joiner_tuples_restored_total",
+                         "Tuples rebuilt from the window-replay log.",
+                         labels).set_total(self.stats.tuples_restored)
+        registry.counter("repro_joiner_duplicates_dropped_total",
+                         "Duplicate envelope deliveries deduplicated.",
+                         labels).set_total(self.stats.duplicates_dropped)
+        registry.counter("repro_joiner_comparisons_total",
+                         "Predicate comparisons performed by the index.",
+                         labels).set_total(self.comparisons)
+        registry.gauge("repro_joiner_live_bytes",
+                       "Approximate stored window footprint in bytes.",
+                       labels).set(self.live_bytes)
+        registry.gauge("repro_joiner_stored_tuples",
+                       "Tuples currently held in the window index.",
+                       labels).set(self.stored_tuples)
+        self.index.export_metrics(registry, labels)
+        if self.archive is not None:
+            self.archive.export_metrics(registry, labels)
 
     # ------------------------------------------------------------------
     # Router membership (ordering protocol watermark set)
@@ -204,6 +256,10 @@ class Joiner:
                     f"restore a tuple of relation {env.tuple.relation!r}")
             self.index.insert(env.tuple)
             self.stats.tuples_restored += 1
+            if self.tracer.enabled:
+                self.tracer.record(SPAN_REPLAY, self._now, self.unit_id,
+                                   tuple_id=env.tuple.ident,
+                                   detail=f"router={env.router_id}")
 
     # ------------------------------------------------------------------
     # Acknowledgement plumbing
@@ -245,6 +301,9 @@ class Joiner:
                 f"a tuple of relation {t.relation!r}")
         self.index.insert(t)
         self.stats.tuples_stored += 1
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_STORE, self._now, self.unit_id,
+                               tuple_id=t.ident)
 
     def _probe(self, t: StreamTuple) -> None:
         if t.relation == self.side:
@@ -252,6 +311,9 @@ class Joiner:
                 f"joiner {self.unit_id!r} (side {self.side}) asked to probe "
                 f"with a tuple of its own relation {t.relation!r}")
         self.stats.probes_processed += 1
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_PROBE, self._now, self.unit_id,
+                               tuple_id=t.ident)
         for stored in self.index.probe(t):
             if self.side == "R":
                 result = make_result(stored, t, produced_at=self._now,
@@ -262,4 +324,9 @@ class Joiner:
                                      producer=self.unit_id,
                                      timestamp_policy=self.timestamp_policy)
             self.stats.results_emitted += 1
+            if self.tracer.enabled:
+                self.tracer.record(
+                    SPAN_EMIT, self._now, self.unit_id,
+                    tuple_id=t.ident, partner=stored.ident,
+                    ref_time=max(result.r.ts, result.s.ts))
             self.result_sink(result)

@@ -21,11 +21,13 @@ from typing import TYPE_CHECKING, Callable
 from ..broker.channels import ChannelLayer
 from ..broker.message import Delivery
 from ..metrics.counters import NetworkStats, ThroughputWindow
+from ..obs.trace import NOOP_TRACER, SPAN_ENQUEUE, SPAN_ROUTE, NoopTracer
 from .ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE, Envelope
 from .routing import RoutingStrategy
 from .tuples import StreamTuple
 
 if TYPE_CHECKING:
+    from ..obs.registry import MetricsRegistry
     from .recovery import ReplayLog
 
 
@@ -50,8 +52,11 @@ class Router:
     def __init__(self, router_id: str, strategy: RoutingStrategy,
                  channels: ChannelLayer, network_stats: NetworkStats,
                  *, rate_horizon: float = 10.0,
-                 replay_log: "ReplayLog | None" = None) -> None:
+                 replay_log: "ReplayLog | None" = None,
+                 tracer: NoopTracer = NOOP_TRACER) -> None:
         self.router_id = router_id
+        #: Causal tracer (no-op by default; see :mod:`repro.obs.trace`).
+        self.tracer = tracer
         self.strategy = strategy
         self.channels = channels
         self.network_stats = network_stats
@@ -110,6 +115,10 @@ class Router:
         self._next_counter += 1
         self.stats.tuples_ingested += 1
         self.rate.record(now)
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_ROUTE, now, self.router_id,
+                               tuple_id=t.ident, ref_time=t.ts,
+                               detail=f"counter={counter}")
 
         sent = 0
         store_env = Envelope(kind=KIND_STORE, router_id=self.router_id,
@@ -122,6 +131,10 @@ class Router:
             sent += 1
             if self.replay_log is not None:
                 self.replay_log.record(unit_id, store_env)
+            if self.tracer.enabled:
+                self.tracer.record(SPAN_ENQUEUE, now, self.router_id,
+                                   tuple_id=t.ident,
+                                   detail=f"store:{unit_id}")
 
         join_env = Envelope(kind=KIND_JOIN, router_id=self.router_id,
                             counter=counter, tuple=t)
@@ -131,6 +144,10 @@ class Router:
             self.network_stats.record("join", join_env.size_bytes())
             self.stats.join_messages += 1
             sent += 1
+            if self.tracer.enabled:
+                self.tracer.record(SPAN_ENQUEUE, now, self.router_id,
+                                   tuple_id=t.ident,
+                                   detail=f"join:{unit_id}")
         return sent
 
     # ------------------------------------------------------------------
@@ -157,3 +174,25 @@ class Router:
     def input_rate(self, now: float) -> float:
         """Recent events/second (the router's §3.1.1 statistics duty)."""
         return self.rate.rate(now)
+
+    # ------------------------------------------------------------------
+    # Metrics export
+    # ------------------------------------------------------------------
+    def export_metrics(self, registry: "MetricsRegistry") -> None:
+        """Publish this router's counters into a metrics registry."""
+        labels = {"router": self.router_id}
+        registry.counter("repro_router_tuples_ingested_total",
+                         "Input tuples stamped and routed.",
+                         labels).set_total(self.stats.tuples_ingested)
+        registry.counter("repro_router_store_messages_total",
+                         "Store-stream envelopes sent.",
+                         labels).set_total(self.stats.store_messages)
+        registry.counter("repro_router_join_messages_total",
+                         "Join-stream envelopes sent.",
+                         labels).set_total(self.stats.join_messages)
+        registry.counter("repro_router_punctuations_total",
+                         "Punctuation broadcasts emitted.",
+                         labels).set_total(self.stats.punctuations)
+        registry.counter("repro_router_duplicates_dropped_total",
+                         "Duplicate entry deliveries dropped.",
+                         labels).set_total(self.duplicates_dropped)

@@ -36,6 +36,8 @@ class LatencyRecorder:
         self._values: list[float] = []
 
     def record(self, latency: float) -> None:
+        if math.isnan(latency):
+            raise ValueError("latency must be a number, got NaN")
         if latency < 0:
             raise ValueError(f"negative latency {latency!r}")
         self._values.append(latency)
@@ -66,6 +68,8 @@ def percentile(ordered: list[float], q: float) -> float:
     """
     if not ordered:
         raise ValueError("percentile of empty list")
+    if math.isnan(q):
+        raise ValueError("quantile must be a number, got NaN")
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {q!r}")
     if len(ordered) == 1:

@@ -1,0 +1,53 @@
+"""End-to-end observability: tracing, metrics registry, stage latency.
+
+Three pieces, designed to thread through the whole stack without
+perturbing it:
+
+- :mod:`~repro.obs.trace` — a causal :class:`Tracer` recording
+  ``route → enqueue → deliver → store/probe → emit`` spans (plus
+  ``archive``/``replay``/``scale`` events) keyed by tuple identity,
+  with deterministic hash-based sampling, a hard span cap and a
+  JSONL event log; the default :data:`NOOP_TRACER` makes every
+  instrumentation site a single attribute check;
+- :mod:`~repro.obs.registry` — a process-wide :class:`MetricsRegistry`
+  (counters, gauges, histograms) that the broker, engine components,
+  cluster runtime and simulation kernel publish into, with
+  Prometheus-style text exposition and per-run snapshots;
+- :mod:`~repro.obs.stages` — the per-stage latency breakdown
+  (:func:`compute_stage_breakdown`) decomposing end-to-end result
+  latency along the traced chain, and the causal-chain integrity
+  checker (:func:`check_causal_chains`).
+"""
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .stages import (
+    STAGE_NAMES,
+    ChainCheck,
+    StageBreakdown,
+    check_causal_chains,
+    compute_stage_breakdown,
+)
+from .trace import (
+    NOOP_TRACER,
+    SPAN_KINDS,
+    NoopTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "STAGE_NAMES",
+    "ChainCheck",
+    "StageBreakdown",
+    "check_causal_chains",
+    "compute_stage_breakdown",
+    "NOOP_TRACER",
+    "SPAN_KINDS",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+]

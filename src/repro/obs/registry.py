@@ -1,0 +1,276 @@
+"""A process-wide metrics registry with Prometheus-style exposition.
+
+One :class:`MetricsRegistry` per run (the cluster runtimes own one)
+collects every component's counters into a single namespace instead of
+the scattered per-component stat dataclasses:
+
+- :class:`Counter` — monotonically increasing totals.  Components that
+  already keep their own counters *publish* them with
+  :meth:`Counter.set_total` from their ``export_metrics`` hook (the
+  pull model real exporters use); push-style :meth:`Counter.inc` is
+  also available.
+- :class:`Gauge` — instantaneous values (may go up or down).
+- :class:`Histogram` — distributions, summarised with the same
+  :func:`repro.metrics.latency.percentile` math the latency benches
+  use; exposed as a Prometheus *summary* (count/sum + quantiles).
+
+Naming convention (documented in ``docs/observability.md``):
+``repro_<component>_<quantity>[_total]`` with snake_case names and
+``_total`` reserved for counters; per-instance dimensions (joiner unit,
+router id, pod) are expressed as labels, e.g.
+``repro_joiner_tuples_stored_total{unit="R0"}``.
+
+:meth:`MetricsRegistry.expose_text` renders the whole registry in the
+Prometheus text exposition format; :meth:`MetricsRegistry.snapshot`
+returns a flat, deterministically ordered ``dict`` that is attached to
+:class:`~repro.cluster.runtime.ClusterReport` after every simulated
+run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from ..errors import ConfigurationError
+from ..metrics.latency import LatencySummary, percentile
+
+#: A label set, frozen into a hashable metric key.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str] | None) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, by: float = 1) -> None:
+        """Push-style increment (``by >= 0``)."""
+        if by < 0:
+            raise ConfigurationError(f"counters only increase; got {by!r}")
+        self.value += by
+
+    def set_total(self, total: float) -> None:
+        """Pull-style publish: set the absolute total (monotone).
+
+        Components that keep their own running counters call this from
+        ``export_metrics``; repeated exports with the same total are
+        no-ops, a smaller total is a bug and raises.
+        """
+        if total < self.value:
+            raise ConfigurationError(
+                f"counter moved backwards: {self.value!r} -> {total!r}")
+        self.value = total
+
+
+class Gauge:
+    """An instantaneous value; goes up and down freely."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, by: float = 1) -> None:
+        self.value += by
+
+    def dec(self, by: float = 1) -> None:
+        self.value -= by
+
+
+class Histogram:
+    """A distribution summarised with shared percentile math."""
+
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    def quantile(self, q: float) -> float:
+        if not self.values:
+            return 0.0
+        return percentile(sorted(self.values), q)
+
+    def summary(self) -> LatencySummary:
+        """The distribution as the repo's standard summary statistics."""
+        if not self.values:
+            return LatencySummary.empty()
+        ordered = sorted(self.values)
+        return LatencySummary(
+            count=len(ordered), mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 0.50), p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99), max=ordered[-1])
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """One namespace of named, optionally labelled metrics.
+
+    Metrics are created on first use (``counter``/``gauge``/
+    ``histogram`` are get-or-create); re-requesting a name with a
+    different metric type is a configuration error.  ``collectors`` are
+    zero-argument callables run by :meth:`collect` before every
+    snapshot/exposition — the pull model: components register a
+    callback that publishes their current totals.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], Metric] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Metric creation (get-or-create)
+    # ------------------------------------------------------------------
+    def _get(self, factory, name: str, help: str,
+             labels: Mapping[str, str] | None) -> Metric:
+        kind = factory.kind
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise ConfigurationError(
+                f"metric {name!r} is a {known}, requested as {kind}")
+        self._kinds[name] = kind
+        if help and name not in self._help:
+            self._help[name] = help
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Mapping[str, str] | None = None) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Mapping[str, str] | None = None) -> Histogram:
+        return self._get(Histogram, name, help, labels)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def register_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback run by :meth:`collect` (pull model)."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Run every registered collector, in registration order."""
+        for collector in self._collectors:
+            collector()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._kinds)
+
+    def get(self, name: str,
+            labels: Mapping[str, str] | None = None) -> Metric | None:
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str,
+              labels: Mapping[str, str] | None = None) -> float:
+        """Convenience: current value of a counter/gauge (0 if absent)."""
+        metric = self.get(name, labels)
+        if metric is None:
+            return 0
+        if isinstance(metric, Histogram):
+            return metric.count
+        return metric.value
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across all label sets."""
+        total = 0.0
+        for (metric_name, _), metric in self._metrics.items():
+            if metric_name == name and not isinstance(metric, Histogram):
+                total += metric.value
+        return total
+
+    def _sorted_items(self) -> Iterable[tuple[str, LabelKey, Metric]]:
+        return sorted(((name, labels, metric)
+                       for (name, labels), metric in self._metrics.items()),
+                      key=lambda item: (item[0], item[1]))
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Flat, deterministically ordered name→value mapping.
+
+        Histograms expand to ``_count``/``_sum``/quantile entries, so
+        the snapshot is pure scalars — directly comparable across runs
+        (the trace-transparency differential test diffs two of these).
+        """
+        out: dict[str, float] = {}
+        for name, labels, metric in self._sorted_items():
+            rendered = f"{name}{_render_labels(labels)}"
+            if isinstance(metric, Histogram):
+                out[f"{rendered}_count"] = metric.count
+                out[f"{rendered}_sum"] = metric.sum
+                for q in (0.5, 0.95, 0.99):
+                    out[f"{rendered}_q{q}"] = metric.quantile(q)
+            else:
+                out[rendered] = metric.value
+        return out
+
+    def expose_text(self) -> str:
+        """Prometheus text exposition of the whole registry."""
+        lines: list[str] = []
+        seen_header: set[str] = set()
+        for name, labels, metric in self._sorted_items():
+            if name not in seen_header:
+                seen_header.add(name)
+                help_text = self._help.get(name, "")
+                if help_text:
+                    lines.append(f"# HELP {name} {help_text}")
+                kind = ("summary" if isinstance(metric, Histogram)
+                        else metric.kind)
+                lines.append(f"# TYPE {name} {kind}")
+            rendered = _render_labels(labels)
+            if isinstance(metric, Histogram):
+                for q in (0.5, 0.95, 0.99):
+                    q_labels = _label_key(dict(labels, quantile=str(q)))
+                    lines.append(
+                        f"{name}{_render_labels(q_labels)} {metric.quantile(q)}")
+                lines.append(f"{name}_sum{rendered} {metric.sum}")
+                lines.append(f"{name}_count{rendered} {metric.count}")
+            else:
+                lines.append(f"{name}{rendered} {metric.value}")
+        return "\n".join(lines) + ("\n" if lines else "")

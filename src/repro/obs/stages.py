@@ -1,0 +1,263 @@
+"""Per-stage latency decomposition and causal-chain verification.
+
+The end-to-end result latency the E3/E13 benches report is
+``produced_at - max(r.ts, s.ts)``.  This module splits that number
+along the traced causal chain of the *probing* tuple (the later
+arrival, whose probe emitted the result):
+
+- ``route``    — source timestamp → ``route`` span: entry-queue wait,
+  network hop to the router pool and the router pod's own queueing/CPU;
+- ``transit``  — ``route`` span → ``deliver`` span at the emitting
+  unit: the broker hop onto the joiner inbox (network + redeliveries);
+- ``process``  — ``deliver`` span → ``emit`` span: reorder-buffer
+  watermark wait plus the joiner pod's executor queue and CPU service.
+
+The three stages tile the probing tuple's path exactly (each stage
+starts where the previous one ended), so their sum reconciles with the
+end-to-end latency up to the difference between the probing tuple's
+timestamp and ``max(r.ts, s.ts)`` — zero for in-order workloads, which
+:meth:`StageBreakdown.reconciles` asserts within a tolerance.
+
+:func:`check_causal_chains` is the integrity side of the same trace:
+every emitted join result must map to exactly one ``emit`` span whose
+probing and stored tuples both have complete, connected chains — no
+orphan spans, no double emits — even across crash/replay recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics.latency import LatencyRecorder, LatencySummary
+from .trace import (
+    SPAN_DELIVER,
+    SPAN_EMIT,
+    SPAN_PROBE,
+    SPAN_REPLAY,
+    SPAN_ROUTE,
+    SPAN_STORE,
+    Tracer,
+)
+
+#: Stage names, in path order.
+STAGE_NAMES = ("route", "transit", "process")
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Aggregated per-stage latency decomposition of traced results.
+
+    Attributes:
+        stages: stage name → latency summary over all decomposed
+            results (stages as defined in the module docstring).
+        end_to_end: summary of ``emit.time - max(r.ts, s.ts)`` over the
+            same results — the quantity E3/E13 report.
+        samples: number of results decomposed (traced emits with a
+            complete probe-side chain).
+        skipped: traced emits skipped for lack of a complete chain
+            (e.g. spans lost to the tracer's ``max_spans`` cap).
+    """
+
+    stages: dict[str, LatencySummary]
+    end_to_end: LatencySummary
+    samples: int
+    skipped: int = 0
+
+    def stage_sum_mean(self) -> float:
+        """Sum of the stage means (should ≈ the end-to-end mean)."""
+        return sum(self.stages[name].mean for name in STAGE_NAMES)
+
+    def reconciles(self, tolerance: float = 0.05,
+                   absolute_slack: float = 1e-9) -> bool:
+        """Do the stages tile the end-to-end latency within tolerance?
+
+        The stage sum telescopes to ``emit.time - probe_tuple.ts``
+        while the end-to-end metric subtracts ``max(r.ts, s.ts)``; for
+        in-order workloads the two are equal, and disorder only makes
+        the stage sum an upper bound.  ``tolerance`` is relative to the
+        end-to-end mean.
+        """
+        if self.samples == 0:
+            return True
+        reference = self.end_to_end.mean
+        return (abs(self.stage_sum_mean() - reference)
+                <= tolerance * abs(reference) + absolute_slack)
+
+    def rows(self) -> list[list[object]]:
+        """Table rows: stage, mean/p50/p95 (ms) and share of the total."""
+        total_mean = self.stage_sum_mean()
+        rows: list[list[object]] = []
+        for name in STAGE_NAMES:
+            summary = self.stages[name]
+            share = summary.mean / total_mean if total_mean > 0 else 0.0
+            rows.append([name, f"{summary.mean * 1000:.2f}",
+                         f"{summary.p50 * 1000:.2f}",
+                         f"{summary.p95 * 1000:.2f}", f"{share:.0%}"])
+        rows.append(["end-to-end", f"{self.end_to_end.mean * 1000:.2f}",
+                     f"{self.end_to_end.p50 * 1000:.2f}",
+                     f"{self.end_to_end.p95 * 1000:.2f}", "100%"])
+        return rows
+
+    def render(self, title: str = "per-stage latency breakdown") -> str:
+        """ASCII table of the breakdown (benchmark ``*_stages.txt``)."""
+        from ..harness.tables import render_table
+
+        return render_table(
+            ["stage", "mean (ms)", "p50 (ms)", "p95 (ms)", "share"],
+            self.rows(),
+            title=f"{title} ({self.samples} traced results)")
+
+
+def compute_stage_breakdown(tracer: Tracer) -> StageBreakdown:
+    """Decompose every traced emit into per-stage latencies.
+
+    For each ``emit`` span the probing tuple's ``route`` span and its
+    last ``deliver`` span at the emitting unit (at or before the emit)
+    are looked up; emits whose chain is incomplete (spans beyond the
+    tracer cap) are counted in ``skipped`` rather than guessed at.
+    """
+    route_time: dict[tuple[str, int], float] = {}
+    delivers: dict[tuple[tuple[str, int], str], list[float]] = {}
+    for span in tracer.spans:
+        if span.kind == SPAN_ROUTE and span.tuple_id is not None:
+            route_time.setdefault(span.tuple_id, span.time)
+        elif span.kind == SPAN_DELIVER and span.tuple_id is not None:
+            delivers.setdefault((span.tuple_id, span.actor), []).append(span.time)
+
+    recorders = {name: LatencyRecorder() for name in STAGE_NAMES}
+    end_to_end = LatencyRecorder()
+    samples = 0
+    skipped = 0
+    for emit in tracer.emits():
+        probe_id = emit.tuple_id
+        assert probe_id is not None
+        routed = route_time.get(probe_id)
+        arrival_times = [t for t in delivers.get((probe_id, emit.actor), [])
+                         if t <= emit.time]
+        if routed is None or not arrival_times:
+            skipped += 1
+            continue
+        arrived = max(arrival_times)
+        # The emit span's ref_time is max(r.ts, s.ts): the probing
+        # tuple is the later arrival, so for in-order streams its
+        # source timestamp *is* the reference; min() with the route
+        # time guards the disordered case where it is older.
+        source_ts = routed if emit.ref_time is None else min(routed,
+                                                             emit.ref_time)
+        recorders["route"].record(max(0.0, routed - source_ts))
+        recorders["transit"].record(max(0.0, arrived - routed))
+        recorders["process"].record(max(0.0, emit.time - arrived))
+        if emit.ref_time is not None:
+            end_to_end.record(max(0.0, emit.time - emit.ref_time))
+        samples += 1
+    return StageBreakdown(
+        stages={name: rec.summary() for name, rec in recorders.items()},
+        end_to_end=end_to_end.summary(), samples=samples, skipped=skipped)
+
+
+# ---------------------------------------------------------------------------
+# Causal-chain integrity
+# ---------------------------------------------------------------------------
+@dataclass
+class ChainCheck:
+    """Outcome of verifying emitted results against their traces.
+
+    ``ok`` iff every result has exactly one ``emit`` span, both sides
+    of every emit have connected chains (``route`` → delivery →
+    ``probe``/``store``-or-``replay`` at the emitting unit), no result
+    key is emitted twice, and no tuple-keyed data span lacks a ``route``
+    ancestor.
+    """
+
+    results: int = 0
+    missing_emit: list[tuple] = field(default_factory=list)
+    double_emit: list[tuple] = field(default_factory=list)
+    broken_chains: list[tuple] = field(default_factory=list)
+    orphan_spans: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not (self.missing_emit or self.double_emit
+                    or self.broken_chains or self.orphan_spans)
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostic cosmetics
+        return (f"ChainCheck(results={self.results}, "
+                f"missing_emit={len(self.missing_emit)}, "
+                f"double_emit={len(self.double_emit)}, "
+                f"broken={len(self.broken_chains)}, "
+                f"orphans={self.orphan_spans})")
+
+
+def check_causal_chains(tracer: Tracer, results) -> ChainCheck:
+    """Verify the trace of every emitted join result is a proper chain.
+
+    Args:
+        tracer: a full-sampling tracer that observed the whole run.
+        results: the emitted :class:`~repro.core.tuples.JoinResult`
+            objects (``result.key`` pairs the two input identities).
+
+    Crash/replay interaction: a stored tuple restored into a crashed
+    unit's replacement legitimately shows a ``replay`` span instead of
+    a ``store`` span at the emitting unit, and both are accepted; what
+    is *never* accepted is a second ``emit`` for the same result key or
+    an emit whose inputs have no routed history at all.
+    """
+    check = ChainCheck(results=len(results))
+    routed: set[tuple[str, int]] = set()
+    processed: dict[tuple[tuple[str, int], str], set[str]] = {}
+    emits_by_key: dict[tuple, list] = {}
+    data_spans: list = []
+    for span in tracer.spans:
+        if span.tuple_id is None:
+            continue
+        if span.kind == SPAN_ROUTE:
+            routed.add(span.tuple_id)
+        elif span.kind in (SPAN_STORE, SPAN_PROBE, SPAN_REPLAY):
+            processed.setdefault((span.tuple_id, span.actor),
+                                 set()).add(span.kind)
+            data_spans.append(span)
+        elif span.kind == SPAN_DELIVER:
+            if span.detail != "entry":
+                data_spans.append(span)
+        elif span.kind == SPAN_EMIT:
+            key = (_r_side(span), _s_side(span))
+            emits_by_key.setdefault(key, []).append(span)
+            data_spans.append(span)
+
+    for span in data_spans:
+        if span.tuple_id not in routed:
+            check.orphan_spans += 1
+
+    for result in results:
+        spans = emits_by_key.get(result.key, [])
+        if not spans:
+            check.missing_emit.append(result.key)
+            continue
+        if len(spans) > 1:
+            check.double_emit.append(result.key)
+            continue
+        emit = spans[0]
+        probe_ok = (emit.tuple_id in routed
+                    and SPAN_PROBE in processed.get(
+                        (emit.tuple_id, emit.actor), set()))
+        partner_kinds = processed.get((emit.partner, emit.actor), set())
+        partner_ok = (emit.partner in routed
+                      and (SPAN_STORE in partner_kinds
+                           or SPAN_REPLAY in partner_kinds))
+        if not (probe_ok and partner_ok):
+            check.broken_chains.append(result.key)
+
+    extra_emits = {key for key, spans in emits_by_key.items()
+                   if len(spans) > 1}
+    for key in extra_emits - set(check.double_emit):
+        check.double_emit.append(key)
+    return check
+
+
+def _r_side(emit) -> tuple[str, int]:
+    """The R-relation identity of an emit span's result pair."""
+    return emit.tuple_id if emit.tuple_id[0] == "R" else emit.partner
+
+
+def _s_side(emit) -> tuple[str, int]:
+    return emit.tuple_id if emit.tuple_id[0] == "S" else emit.partner

@@ -1,0 +1,245 @@
+"""Causal tuple tracing.
+
+A :class:`Tracer` records :class:`Span` events along the life of every
+tuple flowing through the system, keyed by the tuple's stable identity
+``(relation, seq)`` — the same identity join results are checked
+against, so a trace is a *causal* record: the spans of one tuple,
+ordered by simulated time, form the chain
+
+    ``route → enqueue → deliver → (store | probe) → emit``
+
+with three auxiliary kinds: ``archive`` (an expired sub-index slice was
+shipped to the archive tier), ``replay`` (a tuple was restored into a
+crashed unit's replacement from the window-replay log) and ``scale``
+(an elastic-scaling lifecycle event).  All span times come from the
+discrete-event simulation clock (the ``now``/delivery times already
+threaded through the engine), so traces are deterministic and
+seed-stable: the same seeded run yields the same span log byte for
+byte.
+
+Tracing is strictly observational.  No component changes its behaviour
+based on the tracer, the tracer never touches randomness or scheduling,
+and the default :data:`NOOP_TRACER` reduces every instrumentation site
+to a single attribute check (``if tracer.enabled:``) — the
+zero-cost-when-disabled contract that the differential transparency
+test (``tests/integration/test_trace_transparency.py``) enforces.
+
+Memory is bounded two ways:
+
+- **sampling** — ``sample_rate < 1`` keeps only a deterministic
+  hash-based subset of tuple identities (CRC32 of the identity, *not*
+  Python's randomised ``hash``), so the same tuples are sampled in
+  every run and a sampled tuple's chain is always complete;
+- **a hard span cap** — once ``max_spans`` spans are held, further
+  spans are counted in :attr:`Tracer.dropped_spans` instead of stored.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..broker.message import Delivery
+
+#: Span kinds, in causal-chain order, plus the auxiliary event kinds.
+SPAN_ROUTE = "route"
+SPAN_ENQUEUE = "enqueue"
+SPAN_DELIVER = "deliver"
+SPAN_STORE = "store"
+SPAN_PROBE = "probe"
+SPAN_EMIT = "emit"
+SPAN_ARCHIVE = "archive"
+SPAN_REPLAY = "replay"
+SPAN_SCALE = "scale"
+
+SPAN_KINDS = (SPAN_ROUTE, SPAN_ENQUEUE, SPAN_DELIVER, SPAN_STORE,
+              SPAN_PROBE, SPAN_EMIT, SPAN_ARCHIVE, SPAN_REPLAY, SPAN_SCALE)
+
+#: Stable tuple identity: ``StreamTuple.ident`` — (relation, seq).
+TupleId = "tuple[str, int]"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced event.
+
+    Attributes:
+        kind: one of :data:`SPAN_KINDS`.
+        time: simulated time the event happened at.
+        actor: the component the event happened on (router id, joiner
+            unit id, consumer id, or ``"engine"`` for lifecycle events).
+        tuple_id: identity of the tuple the span belongs to (``None``
+            for ``scale``/``archive`` events, which are not tuple-keyed).
+        partner: for ``emit`` spans, the identity of the *stored-side*
+            tuple of the result pair (``tuple_id`` is the probing one).
+        ref_time: a reference timestamp: the tuple's source timestamp
+            for ``route`` spans, ``max(r.ts, s.ts)`` for ``emit`` spans
+            (so ``time - ref_time`` is the end-to-end result latency).
+        detail: free-form qualifier (envelope kind, target unit,
+            scaling action, ...).
+    """
+
+    kind: str
+    time: float
+    actor: str = ""
+    tuple_id: tuple[str, int] | None = None
+    partner: tuple[str, int] | None = None
+    ref_time: float | None = None
+    detail: str = ""
+
+
+class NoopTracer:
+    """The default tracer: does nothing, costs one attribute check.
+
+    Instrumentation sites guard every :meth:`Tracer.record` call with
+    ``if tracer.enabled:``, so with the no-op tracer the hot path pays
+    a single boolean attribute read and no call, no allocation, no
+    branch on payload contents.
+    """
+
+    enabled = False
+
+    def record(self, kind: str, time: float, actor: str = "", *,
+               tuple_id: tuple[str, int] | None = None,
+               partner: tuple[str, int] | None = None,
+               ref_time: float | None = None,
+               detail: str = "") -> None:
+        """Accept and discard a span."""
+
+    def observe_delivery(self, delivery: "Delivery") -> None:
+        """Accept and discard a broker delivery observation."""
+
+
+#: Shared no-op tracer instance used as the default everywhere.
+NOOP_TRACER = NoopTracer()
+
+#: Denominator of the deterministic sampling hash space.
+_SAMPLE_SPACE = 1 << 20
+
+
+class Tracer(NoopTracer):
+    """Records causal spans keyed by tuple identity.
+
+    Args:
+        sample_rate: fraction of tuple identities to trace, in
+            ``(0, 1]``.  Selection is by CRC32 of the identity string,
+            so it is deterministic across runs and processes and the
+            kept chains are complete (every span of a sampled tuple is
+            recorded, none of an unsampled one).
+        max_spans: hard cap on retained spans (bounded memory); spans
+            beyond the cap are counted in :attr:`dropped_spans`.
+    """
+
+    enabled = True
+
+    def __init__(self, sample_rate: float = 1.0,
+                 max_spans: int = 1_000_000) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"sample_rate must be in (0, 1], got {sample_rate!r}")
+        if max_spans < 1:
+            raise ConfigurationError(
+                f"max_spans must be >= 1, got {max_spans!r}")
+        self.sample_rate = sample_rate
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        #: Spans discarded by the :attr:`max_spans` memory bound.
+        self.dropped_spans = 0
+        self._sample_threshold = int(sample_rate * _SAMPLE_SPACE)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sampled(self, tuple_id: tuple[str, int]) -> bool:
+        """Deterministic sampling decision for one tuple identity."""
+        if self.sample_rate >= 1.0:
+            return True
+        digest = zlib.crc32(f"{tuple_id[0]}:{tuple_id[1]}".encode())
+        return digest % _SAMPLE_SPACE < self._sample_threshold
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, time: float, actor: str = "", *,
+               tuple_id: tuple[str, int] | None = None,
+               partner: tuple[str, int] | None = None,
+               ref_time: float | None = None,
+               detail: str = "") -> None:
+        """Record one span (subject to sampling and the span cap)."""
+        if tuple_id is not None and not self.sampled(tuple_id):
+            return
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        self.spans.append(Span(kind=kind, time=time, actor=actor,
+                               tuple_id=tuple_id, partner=partner,
+                               ref_time=ref_time, detail=detail))
+
+    def observe_delivery(self, delivery: "Delivery") -> None:
+        """Broker ``on_deliver`` hook: record a ``deliver`` span.
+
+        Classifies the payload: protocol envelopes yield a ``deliver``
+        span tagged with the envelope kind (punctuations are skipped —
+        they are watermark signals, not tuple events); raw
+        :class:`~repro.core.tuples.StreamTuple` payloads are entry-queue
+        deliveries to a router, tagged ``entry``.
+        """
+        payload = delivery.message.payload
+        tuple_ = getattr(payload, "tuple", None)
+        if tuple_ is not None:  # a data Envelope
+            self.record(SPAN_DELIVER, delivery.time, delivery.consumer,
+                        tuple_id=tuple_.ident, detail=payload.kind)
+            return
+        ident = getattr(payload, "ident", None)
+        if ident is not None:  # a bare StreamTuple on the entry queue
+            self.record(SPAN_DELIVER, delivery.time, delivery.consumer,
+                        tuple_id=ident, detail="entry")
+        # else: punctuation or foreign payload — not tuple-keyed, skip.
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def spans_of(self, tuple_id: tuple[str, int]) -> list[Span]:
+        """All spans of one tuple, in recording (= time) order."""
+        return [s for s in self.spans if s.tuple_id == tuple_id]
+
+    def emits(self) -> list[Span]:
+        """All ``emit`` spans, in recording order."""
+        return [s for s in self.spans if s.kind == SPAN_EMIT]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Number of recorded spans per kind."""
+        counts: dict[str, int] = {}
+        for span in self.spans:
+            counts[span.kind] = counts.get(span.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Structured event log
+    # ------------------------------------------------------------------
+    def iter_jsonl(self) -> Iterator[str]:
+        """The spans as deterministic JSONL lines (recording order)."""
+        for span in self.spans:
+            record = {k: (list(v) if isinstance(v, tuple) else v)
+                      for k, v in asdict(span).items() if v not in (None, "")}
+            yield json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    def write_jsonl(self, path) -> int:
+        """Write the span log to ``path`` as JSONL; returns span count.
+
+        Lines are in recording order, which on the deterministic
+        simulator equals event-execution order — two runs of the same
+        seeded experiment produce byte-identical logs.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.iter_jsonl():
+                fh.write(line + "\n")
+        return len(self.spans)

@@ -63,6 +63,18 @@ class Simulator:
             raise SimulationError("tracing was not enabled on this simulator")
         return self._trace
 
+    def export_metrics(self, registry) -> None:
+        """Publish kernel totals into a :class:`MetricsRegistry`."""
+        registry.counter("repro_sim_events_executed_total",
+                         "Discrete events executed by the kernel."
+                         ).set_total(self._events_executed)
+        registry.gauge("repro_sim_now",
+                       "Current simulated time in seconds."
+                       ).set(self.clock.now)
+        registry.gauge("repro_sim_pending_events",
+                       "Events waiting in the kernel queue."
+                       ).set(len(self.queue))
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -33,6 +33,36 @@ class TestRegistry:
         with pytest.raises(ClusterError):
             MetricsServer(sample_interval=0)
 
+    def test_non_callable_live_bytes_fn_rejected(self):
+        server = MetricsServer()
+        with pytest.raises(ClusterError):
+            server.register_pod(make_pod(), live_bytes_fn=1024)
+        # The failed registration must not half-register the pod.
+        assert server.pod_names == []
+
+    def test_non_callable_backlog_fn_rejected(self):
+        server = MetricsServer()
+        with pytest.raises(ClusterError):
+            server.register_pod(make_pod(), backlog_fn=[3])
+        assert server.pod_names == []
+
+    def test_callable_callbacks_accepted_and_sampled(self):
+        server = MetricsServer()
+        server.register_pod(make_pod(), live_bytes_fn=lambda: 2 * MB,
+                            backlog_fn=lambda: 7)
+        server.sample(now=1.0)
+        assert server.latest("p").backlog == 7
+
+    def test_export_metrics_publishes_latest_samples(self):
+        from repro.obs import MetricsRegistry
+
+        server = MetricsServer()
+        server.register_pod(make_pod(), backlog_fn=lambda: 4)
+        server.sample(now=1.0)
+        registry = MetricsRegistry()
+        server.export_metrics(registry)
+        assert registry.value("repro_pod_backlog", {"pod": "p"}) == 4
+
 
 class TestSampling:
     def test_cpu_sample_covers_interval(self):

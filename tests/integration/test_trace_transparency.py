@@ -1,0 +1,137 @@
+"""Trace transparency: observing a run must not change it.
+
+The zero-perturbation contract of the tentpole observability layer,
+checked differentially: the same seeded workload is run three times —
+tracer off, sampled, and full — and everything the run *produces*
+(join results, the ClusterReport's metrics snapshot and counters, the
+autoscaling timeline and decisions) must be identical across the three
+modes.  Only the trace itself may differ.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow, merge_by_time
+from repro.cluster import HpaConfig, SimulatedCluster
+from repro.obs import NOOP_TRACER, Tracer
+from repro.simulation import CrashFault, FaultPlan
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+PREDICATE = EquiJoinPredicate("k", "k")
+WINDOW = TimeWindow(seconds=4.0)
+DURATION = 18.0
+
+
+def run_once(seed, tracer, *, faults=None, rate=30.0):
+    wl = EquiJoinWorkload(keys=UniformKeys(12), seed=seed)
+    r, s = wl.materialise(ConstantRate(rate), DURATION)
+    arrivals = list(merge_by_time(r, s))
+    cluster = SimulatedCluster(
+        BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                       routing="hash", punctuation_interval=0.2,
+                       replay_recovery=faults is not None),
+        PREDICATE,
+        hpa={"R": HpaConfig(min_replicas=1, max_replicas=3,
+                            period=10.0)},
+        faults=faults or FaultPlan(),
+        tracer=tracer)
+    report = cluster.run(iter(arrivals), DURATION)
+    return cluster, report
+
+
+def observable_outcome(cluster, report):
+    """Everything a run produces, minus the trace itself."""
+    return {
+        "results": list(cluster.engine.results),
+        "tuples_ingested": report.tuples_ingested,
+        "result_count": report.results,
+        "metrics": report.metrics,
+        "timeline": list(report.timeline),
+        "hpa_decisions": report.hpa_decisions,
+        "scale_events": list(report.scale_events),
+        "fault_events": list(report.fault_events),
+        "restarts": report.restarts,
+    }
+
+
+MODES = {
+    "off": lambda: NOOP_TRACER,
+    "sampled": lambda: Tracer(sample_rate=0.25),
+    "full": lambda: Tracer(),
+}
+
+
+class TestTracerTransparency:
+    @pytest.mark.parametrize("seed", [3, 41, 1234])
+    def test_all_modes_identical_outcome(self, seed):
+        baseline = None
+        for mode, make_tracer in MODES.items():
+            cluster, report = run_once(seed, make_tracer())
+            outcome = observable_outcome(cluster, report)
+            assert outcome["result_count"] > 0
+            assert outcome["metrics"], "registry snapshot missing"
+            if baseline is None:
+                baseline = outcome
+            else:
+                for key in baseline:
+                    assert outcome[key] == baseline[key], (
+                        f"tracer mode {mode!r} perturbed {key!r}")
+
+    def test_transparent_under_crash_and_replay(self):
+        faults = FaultPlan((CrashFault(at=8.0, target="R0", outage=1.0),))
+        _, plain = run_once(7, NOOP_TRACER, faults=faults)
+        cluster, traced = run_once(7, Tracer(), faults=faults)
+        assert plain.fault_events == traced.fault_events
+        assert plain.restarts == traced.restarts == {"R0": 1}
+        assert plain.metrics == traced.metrics
+        assert plain.results == traced.results
+        # The traced run actually observed the recovery.
+        assert cluster.tracer.counts_by_kind().get("replay", 0) > 0
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           sample_rate=st.sampled_from([0.1, 0.5, 1.0]))
+    def test_property_random_workloads(self, seed, sample_rate):
+        _, plain = run_once(seed, NOOP_TRACER, rate=15.0)
+        _, traced = run_once(seed, Tracer(sample_rate=sample_rate),
+                             rate=15.0)
+        assert plain.results == traced.results
+        assert plain.metrics == traced.metrics
+        assert plain.timeline == traced.timeline
+        assert plain.hpa_decisions == traced.hpa_decisions
+        assert plain.scale_events == traced.scale_events
+
+    def test_traced_results_match_reference_join(self):
+        from repro.harness import check_exactly_once, reference_join
+
+        wl = EquiJoinWorkload(keys=UniformKeys(12), seed=5)
+        r, s = wl.materialise(ConstantRate(30.0), DURATION)
+        cluster, _ = run_once(5, Tracer())
+        expected = reference_join(r, s, PREDICATE, WINDOW)
+        check = check_exactly_once(cluster.engine.results, expected)
+        assert check.ok, (check.duplicates, check.spurious, check.missing)
+
+
+class TestTraceDeterminism:
+    def test_same_seed_same_trace_bytes(self, tmp_path):
+        a_cluster, _ = run_once(11, Tracer())
+        b_cluster, _ = run_once(11, Tracer())
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a_cluster.tracer.write_jsonl(a)
+        b_cluster.tracer.write_jsonl(b)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.stat().st_size > 0
+
+    def test_sampled_chains_are_subset_and_complete(self):
+        full_cluster, _ = run_once(11, Tracer())
+        sampled_cluster, _ = run_once(11, Tracer(sample_rate=0.25))
+        full, sampled = full_cluster.tracer, sampled_cluster.tracer
+        assert 0 < len(sampled.spans) < len(full.spans)
+        # Sampling keeps whole chains: every sampled tuple's span list
+        # is exactly its span list in the full trace.
+        sampled_ids = {s.tuple_id for s in sampled.spans
+                       if s.tuple_id is not None}
+        for tuple_id in sorted(sampled_ids)[:50]:
+            assert sampled.spans_of(tuple_id) == full.spans_of(tuple_id)

@@ -44,6 +44,37 @@ class TestPercentile:
         ordered = sorted(values)
         assert ordered[0] <= percentile(ordered, q) <= ordered[-1]
 
+    @given(st.floats(min_value=0, max_value=1))
+    def test_two_element_list_interpolates_linearly(self, q):
+        assert percentile([10.0, 20.0], q) == pytest.approx(10.0 + 10.0 * q)
+
+    def test_two_element_endpoints_exact(self):
+        values = [2.0, 7.0]
+        assert percentile(values, 0.0) == 2.0
+        assert percentile(values, 1.0) == 7.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_endpoints_are_exact_order_statistics(self, values):
+        ordered = sorted(values)
+        # q=0 and q=1 must return the min/max *exactly* — no
+        # interpolation artefacts at the rank boundaries.
+        assert percentile(ordered, 0.0) == ordered[0]
+        assert percentile(ordered, 1.0) == ordered[-1]
+
+    def test_nan_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], float("nan"))
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50),
+           st.floats(min_value=0, max_value=1),
+           st.floats(min_value=0, max_value=1))
+    def test_monotone_in_arbitrary_quantile_pairs(self, values, q1, q2):
+        ordered = sorted(values)
+        lo, hi = min(q1, q2), max(q1, q2)
+        assert percentile(ordered, lo) <= percentile(ordered, hi)
+
 
 class TestLatencyRecorder:
     def test_empty_summary(self):
@@ -53,6 +84,22 @@ class TestLatencyRecorder:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             LatencyRecorder().record(-0.1)
+
+    def test_rejects_nan(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(float("nan"))
+        assert len(recorder) == 0  # nothing slipped in
+
+    def test_empty_round_trip(self):
+        # An untouched recorder's summary IS the canonical empty
+        # summary, and empty() is self-consistent (all-zero, count 0).
+        empty = LatencySummary.empty()
+        assert LatencyRecorder().summary() == empty
+        assert empty.count == 0
+        assert (empty.mean, empty.p50, empty.p95, empty.p99,
+                empty.max) == (0.0, 0.0, 0.0, 0.0, 0.0)
+        assert LatencySummary.empty() == empty
 
     def test_summary_statistics(self):
         recorder = LatencyRecorder()

@@ -1,0 +1,115 @@
+"""Tests for repro.obs.registry: the unified metrics registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_negative_rejected(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_set_total_is_monotone(self):
+        c = Counter()
+        c.set_total(10)
+        c.set_total(10)  # repeat export is a no-op
+        c.set_total(12)
+        assert c.value == 12
+        with pytest.raises(ConfigurationError):
+            c.set_total(5)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(3)
+        g.inc(2)
+        g.dec()
+        assert g.value == 4
+
+
+class TestHistogram:
+    def test_count_sum_quantiles(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.quantile(0.5) == 2.5
+        summary = h.summary()
+        assert summary.count == 4
+        assert summary.max == 4.0
+
+    def test_empty_is_zero(self):
+        h = Histogram()
+        assert h.quantile(0.99) == 0.0
+        assert h.summary().count == 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert (reg.gauge("g", labels={"x": "1"})
+                is not reg.gauge("g", labels={"x": "2"}))
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("a_total")
+
+    def test_value_and_total_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("m_total", labels={"unit": "R0"}).inc(3)
+        reg.counter("m_total", labels={"unit": "R1"}).inc(4)
+        assert reg.value("m_total", {"unit": "R0"}) == 3
+        assert reg.value("m_total", {"unit": "zzz"}) == 0
+        assert reg.total("m_total") == 7
+
+    def test_collectors_run_in_order(self):
+        reg = MetricsRegistry()
+        calls = []
+        reg.register_collector(lambda: calls.append("a"))
+        reg.register_collector(lambda: calls.append("b"))
+        reg.collect()
+        assert calls == ["a", "b"]
+
+    def test_snapshot_is_flat_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc(1)
+        reg.gauge("a", labels={"pod": "x"}).set(2)
+        reg.histogram("h").observe(5.0)
+        snap = reg.snapshot()
+        # Deterministic order: metrics sorted by (name, labels), each
+        # histogram expanding to its _count/_sum/quantile scalars.
+        assert list(snap) == ['a{pod="x"}', "b_total", "h_count", "h_sum",
+                              "h_q0.5", "h_q0.95", "h_q0.99"]
+        assert snap['a{pod="x"}'] == 2
+        assert snap["b_total"] == 1
+        assert snap["h_count"] == 1
+        assert snap["h_sum"] == 5.0
+        assert snap["h_q0.5"] == 5.0
+
+    def test_expose_text_prometheus_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "Things counted.",
+                    {"unit": "R0"}).inc(2)
+        reg.histogram("repro_lat", "Latency.").observe(0.5)
+        text = reg.expose_text()
+        assert "# HELP repro_x_total Things counted." in text
+        assert "# TYPE repro_x_total counter" in text
+        assert 'repro_x_total{unit="R0"} 2' in text
+        assert "# TYPE repro_lat summary" in text
+        assert 'repro_lat{quantile="0.5"} 0.5' in text
+        assert "repro_lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_expose_text_empty_registry(self):
+        assert MetricsRegistry().expose_text() == ""

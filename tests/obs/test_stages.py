@@ -1,0 +1,168 @@
+"""Tests for repro.obs.stages: breakdown math and chain checking."""
+
+import pytest
+
+from repro.obs import (
+    STAGE_NAMES,
+    StageBreakdown,
+    Tracer,
+    check_causal_chains,
+    compute_stage_breakdown,
+)
+from repro.obs.trace import (
+    SPAN_DELIVER,
+    SPAN_EMIT,
+    SPAN_PROBE,
+    SPAN_REPLAY,
+    SPAN_ROUTE,
+    SPAN_STORE,
+)
+
+
+class _FakeResult:
+    def __init__(self, r_seq, s_seq):
+        self.key = (("R", r_seq), ("S", s_seq))
+
+
+def _trace_one_result(tracer, *, r_seq=0, s_seq=0, unit="S0",
+                      route_at=1.0, deliver_at=1.2, emit_at=1.5,
+                      source_ts=0.9):
+    """Record the full two-sided chain of one emitted R⋈S result.
+
+    The R tuple probes (the later arrival); the S tuple is stored.
+    """
+    r_id, s_id = ("R", r_seq), ("S", s_seq)
+    tracer.record(SPAN_ROUTE, route_at - 0.5, "router0", tuple_id=s_id,
+                  ref_time=source_ts - 0.5)
+    tracer.record(SPAN_DELIVER, route_at - 0.3, unit, tuple_id=s_id,
+                  detail="store")
+    tracer.record(SPAN_STORE, route_at - 0.3, unit, tuple_id=s_id)
+    tracer.record(SPAN_ROUTE, route_at, "router0", tuple_id=r_id,
+                  ref_time=source_ts)
+    tracer.record(SPAN_DELIVER, deliver_at, unit, tuple_id=r_id,
+                  detail="join")
+    tracer.record(SPAN_PROBE, emit_at, unit, tuple_id=r_id)
+    tracer.record(SPAN_EMIT, emit_at, unit, tuple_id=r_id, partner=s_id,
+                  ref_time=source_ts)
+    return _FakeResult(r_seq, s_seq)
+
+
+class TestComputeStageBreakdown:
+    def test_single_chain_decomposes_exactly(self):
+        tracer = Tracer()
+        _trace_one_result(tracer, route_at=1.0, deliver_at=1.2,
+                          emit_at=1.5, source_ts=0.9)
+        bd = compute_stage_breakdown(tracer)
+        assert bd.samples == 1
+        assert bd.skipped == 0
+        assert bd.stages["route"].mean == pytest.approx(0.1)    # 1.0 - 0.9
+        assert bd.stages["transit"].mean == pytest.approx(0.2)  # 1.2 - 1.0
+        assert bd.stages["process"].mean == pytest.approx(0.3)  # 1.5 - 1.2
+        assert bd.end_to_end.mean == pytest.approx(0.6)         # 1.5 - 0.9
+        assert bd.reconciles(tolerance=1e-6)
+
+    def test_stage_sum_tiles_end_to_end(self):
+        tracer = Tracer()
+        for i in range(20):
+            _trace_one_result(tracer, r_seq=i, s_seq=i,
+                              route_at=1.0 + i, deliver_at=1.3 + i,
+                              emit_at=1.9 + i, source_ts=0.8 + i)
+        bd = compute_stage_breakdown(tracer)
+        assert bd.samples == 20
+        assert abs(bd.stage_sum_mean() - bd.end_to_end.mean) < 1e-9
+
+    def test_incomplete_chain_is_skipped_not_guessed(self):
+        tracer = Tracer()
+        # An emit with no route span for its probing tuple.
+        tracer.record(SPAN_EMIT, 2.0, "S0", tuple_id=("R", 0),
+                      partner=("S", 0), ref_time=1.0)
+        bd = compute_stage_breakdown(tracer)
+        assert bd.samples == 0
+        assert bd.skipped == 1
+        assert bd.reconciles()  # vacuously
+
+    def test_rows_and_render(self):
+        tracer = Tracer()
+        _trace_one_result(tracer)
+        bd = compute_stage_breakdown(tracer)
+        rows = bd.rows()
+        assert [row[0] for row in rows] == list(STAGE_NAMES) + ["end-to-end"]
+        text = bd.render()
+        assert "per-stage latency breakdown" in text
+        for name in STAGE_NAMES:
+            assert name in text
+
+    def test_empty_tracer(self):
+        bd = compute_stage_breakdown(Tracer())
+        assert isinstance(bd, StageBreakdown)
+        assert bd.samples == 0
+        assert bd.reconciles()
+
+
+class TestCheckCausalChains:
+    def test_complete_chain_is_ok(self):
+        tracer = Tracer()
+        result = _trace_one_result(tracer)
+        check = check_causal_chains(tracer, [result])
+        assert check.ok, str(check)
+        assert check.results == 1
+
+    def test_missing_emit_detected(self):
+        tracer = Tracer()
+        check = check_causal_chains(tracer, [_FakeResult(0, 0)])
+        assert not check.ok
+        assert check.missing_emit == [(("R", 0), ("S", 0))]
+
+    def test_double_emit_detected(self):
+        tracer = Tracer()
+        result = _trace_one_result(tracer)
+        tracer.record(SPAN_EMIT, 9.0, "S0", tuple_id=("R", 0),
+                      partner=("S", 0), ref_time=1.0)
+        check = check_causal_chains(tracer, [result])
+        assert not check.ok
+        assert check.double_emit == [result.key]
+
+    def test_broken_partner_chain_detected(self):
+        tracer = Tracer()
+        r_id, s_id = ("R", 0), ("S", 0)
+        # Probe side complete, but the stored partner has no
+        # store/replay span at the emitting unit.
+        tracer.record(SPAN_ROUTE, 1.0, "router0", tuple_id=r_id)
+        tracer.record(SPAN_ROUTE, 0.5, "router0", tuple_id=s_id)
+        tracer.record(SPAN_PROBE, 1.5, "S0", tuple_id=r_id)
+        tracer.record(SPAN_EMIT, 1.5, "S0", tuple_id=r_id, partner=s_id,
+                      ref_time=1.0)
+        check = check_causal_chains(tracer, [_FakeResult(0, 0)])
+        assert not check.ok
+        assert check.broken_chains == [(r_id, s_id)]
+
+    def test_replay_counts_as_partner_history(self):
+        tracer = Tracer()
+        r_id, s_id = ("R", 0), ("S", 0)
+        tracer.record(SPAN_ROUTE, 0.5, "router0", tuple_id=s_id)
+        # The stored side was rebuilt into the replacement unit from
+        # the replay log, not stored by the original incarnation.
+        tracer.record(SPAN_REPLAY, 2.0, "S0", tuple_id=s_id)
+        tracer.record(SPAN_ROUTE, 2.5, "router0", tuple_id=r_id)
+        tracer.record(SPAN_PROBE, 3.0, "S0", tuple_id=r_id)
+        tracer.record(SPAN_EMIT, 3.0, "S0", tuple_id=r_id, partner=s_id,
+                      ref_time=2.5)
+        check = check_causal_chains(tracer, [_FakeResult(0, 0)])
+        assert check.ok, str(check)
+
+    def test_orphan_data_span_detected(self):
+        tracer = Tracer()
+        # A store span for a tuple nobody ever routed.
+        tracer.record(SPAN_STORE, 1.0, "R0", tuple_id=("R", 42))
+        check = check_causal_chains(tracer, [])
+        assert not check.ok
+        assert check.orphan_spans == 1
+
+    def test_entry_delivers_are_not_orphans(self):
+        tracer = Tracer()
+        # Entry-queue delivery happens *before* routing; it must not
+        # need a route ancestor.
+        tracer.record(SPAN_DELIVER, 0.5, "router0", tuple_id=("R", 0),
+                      detail="entry")
+        check = check_causal_chains(tracer, [])
+        assert check.ok, str(check)

@@ -1,0 +1,133 @@
+"""Tests for repro.obs.trace: the causal tuple tracer."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import NOOP_TRACER, SPAN_KINDS, NoopTracer, Tracer
+from repro.obs.trace import SPAN_EMIT, SPAN_PROBE, SPAN_ROUTE, SPAN_STORE
+
+
+class TestNoopTracer:
+    def test_disabled_and_silent(self):
+        assert NOOP_TRACER.enabled is False
+        NOOP_TRACER.record(SPAN_ROUTE, 1.0, "router0",
+                           tuple_id=("R", 0))  # no-op, no error
+
+    def test_tracer_is_a_noop_tracer(self):
+        # Call sites type against NoopTracer; a real Tracer must be
+        # substitutable.
+        assert isinstance(Tracer(), NoopTracer)
+        assert Tracer().enabled is True
+
+
+class TestTracerRecording:
+    def test_records_spans_in_order(self):
+        tracer = Tracer()
+        tracer.record(SPAN_ROUTE, 1.0, "router0", tuple_id=("R", 0),
+                      ref_time=0.9)
+        tracer.record(SPAN_STORE, 1.5, "R0", tuple_id=("R", 0))
+        assert len(tracer) == 2
+        spans = tracer.spans_of(("R", 0))
+        assert [s.kind for s in spans] == [SPAN_ROUTE, SPAN_STORE]
+        assert spans[0].ref_time == 0.9
+
+    def test_counts_by_kind_and_emits(self):
+        tracer = Tracer()
+        tracer.record(SPAN_PROBE, 1.0, "S0", tuple_id=("R", 1))
+        tracer.record(SPAN_EMIT, 1.0, "S0", tuple_id=("R", 1),
+                      partner=("S", 0), ref_time=0.5)
+        assert tracer.counts_by_kind() == {SPAN_PROBE: 1, SPAN_EMIT: 1}
+        (emit,) = tracer.emits()
+        assert emit.partner == ("S", 0)
+
+    def test_span_kinds_cover_the_taxonomy(self):
+        assert len(SPAN_KINDS) == 9
+        assert len(set(SPAN_KINDS)) == 9
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_bad_sample_rate_rejected(self, rate):
+        with pytest.raises(ConfigurationError):
+            Tracer(sample_rate=rate)
+
+    def test_bad_max_spans_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(max_spans=0)
+
+
+class TestSampling:
+    def test_full_rate_samples_everything(self):
+        tracer = Tracer(sample_rate=1.0)
+        assert all(tracer.sampled(("R", i)) for i in range(100))
+
+    def test_sampling_is_deterministic_across_instances(self):
+        a = Tracer(sample_rate=0.3)
+        b = Tracer(sample_rate=0.3)
+        ids = [("R", i) for i in range(500)] + [("S", i) for i in range(500)]
+        assert [a.sampled(i) for i in ids] == [b.sampled(i) for i in ids]
+
+    def test_sampling_rate_is_roughly_honoured(self):
+        tracer = Tracer(sample_rate=0.25)
+        kept = sum(tracer.sampled(("R", i)) for i in range(4000))
+        assert 0.15 < kept / 4000 < 0.35
+
+    def test_unsampled_tuples_record_nothing(self):
+        tracer = Tracer(sample_rate=0.25)
+        dropped = next(("R", i) for i in range(1000)
+                       if not tracer.sampled(("R", i)))
+        tracer.record(SPAN_ROUTE, 1.0, "router0", tuple_id=dropped)
+        assert len(tracer) == 0
+
+    def test_untargeted_events_bypass_sampling(self):
+        tracer = Tracer(sample_rate=0.0001)
+        tracer.record("scale", 5.0, "R1", detail="scale_out:R")
+        assert len(tracer) == 1
+
+
+class TestSpanCap:
+    def test_cap_bounds_memory_and_counts_drops(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            tracer.record(SPAN_ROUTE, float(i), "router0", tuple_id=("R", i))
+        assert len(tracer) == 3
+        assert tracer.dropped_spans == 2
+
+
+class TestJsonl:
+    def test_lines_are_valid_minimal_json(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(SPAN_ROUTE, 1.0, "router0", tuple_id=("R", 0),
+                      ref_time=0.5)
+        tracer.record(SPAN_EMIT, 2.0, "S0", tuple_id=("R", 0),
+                      partner=("S", 3), ref_time=1.0)
+        lines = list(tracer.iter_jsonl())
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"kind": "route", "time": 1.0, "actor": "router0",
+                         "tuple_id": ["R", 0], "ref_time": 0.5}
+
+    def test_write_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(SPAN_STORE, 1.0, "R0", tuple_id=("R", 7))
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(path) == 1
+        lines = path.read_text().splitlines()
+        assert [json.loads(l) for l in lines] == [
+            {"kind": "store", "time": 1.0, "actor": "R0",
+             "tuple_id": ["R", 7]}]
+
+    def test_identical_recordings_are_byte_identical(self, tmp_path):
+        def make():
+            tracer = Tracer()
+            for i in range(10):
+                tracer.record(SPAN_ROUTE, i * 0.1, "router0",
+                              tuple_id=("R", i), ref_time=i * 0.1)
+            return tracer
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        make().write_jsonl(a)
+        make().write_jsonl(b)
+        assert a.read_bytes() == b.read_bytes()

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.metrics",
     "repro.harness",
+    "repro.obs",
 ]
 
 
