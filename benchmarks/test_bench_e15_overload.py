@@ -1,0 +1,182 @@
+"""E15 (extension) — graceful degradation under overload.
+
+The paper sizes the cluster so offered load stays within capacity; this
+experiment deliberately steps the offered rate *past* the joiners'
+service capacity and measures what each admission policy gives up:
+
+- **unprotected** — no bound anywhere: joiner-inbox occupancy grows
+  with offered load (the memory blow-up the overload layer exists to
+  prevent);
+- **block** — lossless credit backpressure: queue depth and memory stay
+  bounded, nothing is shed, and the cost surfaces as admission delay
+  with a knee at the capacity crossover;
+- **drop-tail / drop-oldest / semantic** — bounded shedding: depth stays
+  bounded, admission delay stays ~0, and the cost surfaces as recall
+  loss instead.
+
+Every run must reconcile ``offered == admitted + shed`` exactly, per
+stream side.  The default (smoke) parametrisation keeps CI fast; the
+full policy x rate sweep behind ``-m stress`` adds the remaining
+policies and a finer rate grid for the trade-off curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import bench_once, emit
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.cluster import SimulatedCluster
+from repro.cluster.resources import CostModel
+from repro.cluster.runtime import ClusterConfig
+from repro.core.streams import merge_by_time
+from repro.harness import render_table
+from repro.overload import OverloadConfig
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+WINDOW = TimeWindow(seconds=2.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+DURATION = 5.0
+ENTRY_BOUND = 64
+JOINER_BOUND = 64
+CREDITS = 32
+
+#: Offered rates (tuples/s, both sides combined).  The 2+2 joiner
+#: deployment saturates around ~60 t/s with the scaled cost model, so
+#: the upper steps are 1.3x-2x past capacity.
+SMOKE_RATES = (40.0, 80.0, 120.0)
+STRESS_RATES = (40.0, 80.0, 120.0, 160.0)
+
+SMOKE_POLICIES = (None, "block", "drop-tail")
+STRESS_POLICIES = (None, "block", "drop-tail", "drop-oldest", "semantic")
+
+
+def run_one(policy: str | None, rate: float) -> dict:
+    workload = EquiJoinWorkload(keys=UniformKeys(16), seed=3)
+    r, s = workload.materialise(ConstantRate(rate), DURATION)
+    arrivals = list(merge_by_time(r, s))
+    overload = None if policy is None else OverloadConfig(
+        policy=policy, entry_queue_depth=ENTRY_BOUND,
+        joiner_queue_depth=JOINER_BOUND, credits_per_joiner=CREDITS)
+    cluster = SimulatedCluster(
+        BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                       routing="random", punctuation_interval=0.2),
+        PREDICATE,
+        ClusterConfig(cost_model=CostModel().scaled(550.0)),
+        overload=overload)
+    report = cluster.run(iter(arrivals), DURATION)
+    joiner_peak = max(q.peak_depth
+                      for name, q in cluster.broker._queues.items()
+                      if name.startswith("joiner."))
+    entry_peak = cluster.broker._queues[
+        "tuples.exchange.routergroup"].peak_depth
+    o = report.overload
+    return {
+        "offered_rate": rate,
+        "results": report.results,
+        "entry_peak": entry_peak,
+        "joiner_peak": joiner_peak,
+        "offered": 0 if o is None else o.total_offered,
+        "admitted": 0 if o is None else sum(o.admitted.values()),
+        "shed": 0 if o is None else o.total_shed,
+        "recall_loss": 0.0 if o is None else max(o.recall_loss.values()),
+        "deferrals": 0 if o is None else o.deferrals,
+        "max_delay": 0.0 if o is None else o.max_admission_delay,
+        "reconciled": True if o is None else o.reconciled,
+        "park_evictions": 0 if o is None else o.park_evictions,
+    }
+
+
+def run_sweep(policies, rates):
+    return {policy: {rate: run_one(policy, rate) for rate in rates}
+            for policy in policies}
+
+
+def emit_sweep(name: str, sweep: dict) -> None:
+    rows = []
+    for policy, by_rate in sweep.items():
+        for rate, row in sorted(by_rate.items()):
+            rows.append([
+                policy or "unprotected", f"{rate:.0f}",
+                row["entry_peak"], row["joiner_peak"],
+                row["shed"], f"{row['recall_loss']:.2%}",
+                f"{row['max_delay']:.2f}s", row["results"],
+                "yes" if row["reconciled"] else "NO"])
+    emit(name, render_table(
+        ["policy", "rate t/s", "entry peak", "joiner peak", "shed",
+         "recall loss", "max adm delay", "results", "reconciled"],
+        rows, title="E15: overload behaviour by admission policy "
+                    "(stepped offered rate past ~60 t/s capacity)"))
+
+
+def assert_sweep_invariants(sweep: dict) -> None:
+    rates = sorted(next(iter(sweep.values())))
+    top = rates[-1]
+
+    for policy, by_rate in sweep.items():
+        for rate, row in by_rate.items():
+            # Shed accounting reconciles exactly, always.
+            assert row["reconciled"], (policy, rate)
+            if policy is not None:
+                assert row["offered"] == row["admitted"] + row["shed"]
+                # Credits bound the joiner inboxes under every policy.
+                assert row["joiner_peak"] <= 2 * CREDITS, (policy, rate)
+                if policy != "drop-oldest":
+                    # Admission gating bounds the entry queue too.
+                    # (drop-oldest admits everything and bounds the
+                    # routers' park buffers instead.)
+                    assert row["entry_peak"] <= ENTRY_BOUND + 1, (policy, rate)
+
+    unprotected = sweep[None]
+    # Without backpressure the joiner inboxes grow with offered load...
+    peaks = [unprotected[rate]["joiner_peak"] for rate in rates]
+    assert peaks[-1] > peaks[0] * 2
+    # ...far past anything a bounded run tolerates.
+    assert peaks[-1] > 2 * CREDITS * 2
+
+    block = sweep["block"]
+    # Lossless: nothing shed at any rate, so all results are produced
+    # eventually; the price is admission delay with a knee at capacity.
+    assert all(row["shed"] == 0 for row in block.values())
+    assert block[rates[0]]["max_delay"] == 0.0  # below capacity: no knee
+    assert block[top]["max_delay"] > 0.5
+    assert block[top]["deferrals"] > 0
+
+    shed_policy = sweep["drop-tail"]
+    # Shedding: bounded *and* prompt (no producer stall), but lossy —
+    # recall loss grows with overload.
+    assert shed_policy[top]["shed"] > 0
+    assert shed_policy[top]["max_delay"] == 0.0
+    assert shed_policy[top]["recall_loss"] \
+        > shed_policy[rates[0]]["recall_loss"]
+
+    # The trade-off, stated as the curve's endpoints: at the top rate
+    # block keeps more results (quality) while drop-tail keeps the
+    # producer unblocked (latency).
+    assert block[top]["results"] > shed_policy[top]["results"]
+    assert block[top]["max_delay"] > shed_policy[top]["max_delay"]
+
+
+def test_e15_overload_smoke(benchmark):
+    sweep = bench_once(
+        benchmark, lambda: run_sweep(SMOKE_POLICIES, SMOKE_RATES))
+    emit_sweep("e15_overload", sweep)
+    assert_sweep_invariants(sweep)
+
+
+@pytest.mark.stress
+def test_e15_overload_full_sweep(benchmark):
+    sweep = bench_once(
+        benchmark, lambda: run_sweep(STRESS_POLICIES, STRESS_RATES))
+    emit_sweep("e15_overload_full", sweep)
+    assert_sweep_invariants(sweep)
+
+    top = STRESS_RATES[-1]
+    oldest = sweep["drop-oldest"]
+    # Drop-oldest sheds *after* admission (park eviction) yet still
+    # reconciles, and always works on the freshest data.
+    assert oldest[top]["park_evictions"] > 0
+    assert oldest[top]["shed"] == oldest[top]["park_evictions"]
+
+    semantic = sweep["semantic"]
+    assert semantic[top]["shed"] > 0

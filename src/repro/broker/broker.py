@@ -131,6 +131,18 @@ class Broker:
         self._requeued_ids: set[int] = set()
         #: Optional observer called for every delivery (metrics hooks).
         self.on_deliver: Callable[[Delivery], None] | None = None
+        #: Overflow policy hook, consulted when a publish finds a
+        #: bounded queue at capacity.  Returns ``"accept"`` (enqueue
+        #: anyway — the bound is soft), ``"shed"`` (drop the new
+        #: message for this queue) or ``"evict-oldest"`` (drop the
+        #: oldest buffered message, then enqueue).  ``None`` behaves as
+        #: accept-and-count; the overload layer installs real policies.
+        self.overflow_policy: Callable[[MessageQueue, Message], str] | None = None
+        #: Messages dropped by the overflow policy (shed + evicted).
+        self.overflow_dropped = 0
+        #: Overflow counts carried over from deleted queues, so the
+        #: exported total stays monotone across scale-in.
+        self._retired_overflows = 0
 
     def export_metrics(self, registry) -> None:
         """Publish broker totals into a :class:`MetricsRegistry`."""
@@ -158,10 +170,22 @@ class Broker:
         registry.counter("repro_broker_dropped_on_delete_total",
                          "Messages destroyed with deleted queues."
                          ).set_total(self.dropped_on_delete)
+        registry.counter("repro_broker_queue_overflow_total",
+                         "Publishes that found a bounded queue full."
+                         ).set_total(self._retired_overflows
+                                     + sum(q.overflows
+                                           for q in self._queues.values()))
+        registry.counter("repro_broker_overflow_dropped_total",
+                         "Messages dropped by the overflow policy."
+                         ).set_total(self.overflow_dropped)
         registry.gauge("repro_broker_backlog",
                        "Buffered messages across all queues."
                        ).set(sum(q.backlog_depth
                                  for q in self._queues.values()))
+        registry.gauge("repro_broker_in_flight",
+                       "Dispatched-but-unacknowledged deliveries, "
+                       "summed over queues."
+                       ).set(sum(q.in_flight for q in self._queues.values()))
         registry.gauge("repro_broker_unacked",
                        "Deliveries awaiting acknowledgement."
                        ).set(len(self._unacked))
@@ -182,12 +206,19 @@ class Broker:
         self._exchanges[name] = exchange
         return exchange
 
-    def declare_queue(self, name: str) -> MessageQueue:
-        """Create (or return the existing) queue."""
+    def declare_queue(self, name: str,
+                      max_depth: int | None = None) -> MessageQueue:
+        """Create (or return the existing) queue.
+
+        ``max_depth`` bounds the queue (see :class:`MessageQueue`);
+        redeclaring an existing queue with an explicit bound updates it.
+        """
         queue = self._queues.get(name)
         if queue is None:
-            queue = MessageQueue(name)
+            queue = MessageQueue(name, max_depth=max_depth)
             self._queues[name] = queue
+        elif max_depth is not None:
+            queue.max_depth = max_depth
         return queue
 
     def delete_queue(self, name: str) -> int:
@@ -200,6 +231,7 @@ class Broker:
         if name not in self._queues:
             raise UnknownQueueError(f"queue {name!r} does not exist")
         queue = self._queues.pop(name)
+        self._retired_overflows += queue.overflows
         dropped = queue.backlog_depth
         for tag, rec in list(self._unacked.items()):
             if rec.queue_name == name:
@@ -242,6 +274,13 @@ class Broker:
             by_consumer = self._unacked_by_consumer.get(rec.consumer_id)
             if by_consumer is not None:
                 by_consumer.pop(tag, None)
+            self._settle(rec)
+
+    def _settle(self, rec: _PendingDelivery) -> None:
+        """One tracked delivery left the pipeline: release its capacity."""
+        queue = self._queues.get(rec.queue_name)
+        if queue is not None and queue.in_flight > 0:
+            queue.in_flight -= 1
 
     def unacked_count(self, consumer_id: str) -> int:
         return len(self._unacked_by_consumer.get(consumer_id, {}))
@@ -298,10 +337,12 @@ class Broker:
         for event in rec.events:
             event.cancel()
         rec.events = []
-        self._unacked.pop(rec.tag, None)
+        tracked = self._unacked.pop(rec.tag, None)
         by_consumer = self._unacked_by_consumer.get(rec.consumer_id)
         if by_consumer is not None:
             by_consumer.pop(rec.tag, None)
+        if tracked is not None:
+            self._settle(tracked)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -334,6 +375,23 @@ class Broker:
         queue_names = exchange.route(message.routing_key)
         for queue_name in queue_names:
             queue = self._queue(queue_name)
+            if queue.is_full:
+                queue.overflows += 1
+                verdict = ("accept" if self.overflow_policy is None
+                           else self.overflow_policy(queue, message))
+                if verdict == "shed":
+                    self.overflow_dropped += 1
+                    continue
+                if verdict == "evict-oldest":
+                    # In-flight deliveries cannot be recalled; only the
+                    # buffered backlog yields a victim.  A full queue
+                    # with an empty backlog degrades to accept.
+                    if queue.evict_oldest() is not None:
+                        self.overflow_dropped += 1
+                elif verdict != "accept":
+                    raise BrokerError(
+                        f"overflow policy returned {verdict!r}; expected "
+                        f"'accept', 'shed' or 'evict-oldest'")
             consumer = queue.offer(message)
             if consumer is not None:
                 self._deliver(queue, message, consumer)
@@ -365,6 +423,8 @@ class Broker:
         self._unacked[rec.tag] = rec
         self._unacked_by_consumer.setdefault(
             rec.consumer_id, {})[rec.tag] = rec
+        queue.in_flight += 1
+        queue.note_depth()
         self._transmit(rec)
 
     def _transmit(self, rec: _PendingDelivery) -> None:

@@ -36,10 +36,25 @@ class Consumer:
 
 
 class MessageQueue:
-    """A named queue with round-robin competing consumers."""
+    """A named queue with round-robin competing consumers.
 
-    def __init__(self, name: str) -> None:
+    A queue may be *bounded* (``max_depth``): its :attr:`depth` — the
+    buffered backlog plus the broker-tracked in-flight deliveries, so a
+    crash-requeued message keeps counting toward capacity — is compared
+    against the bound by the broker's overload layer.  The bound itself
+    is advisory at this level: the queue never refuses a message (the
+    admission-control / credit layer upstream is responsible for not
+    exceeding it), but :attr:`overflows` counts every publish that
+    found the queue already at capacity, so a violated bound is always
+    visible.
+    """
+
+    def __init__(self, name: str, max_depth: int | None = None) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise BrokerError(
+                f"max_depth must be >= 1 or None, got {max_depth!r}")
         self.name = name
+        self.max_depth = max_depth
         self._consumers: list[Consumer] = []
         self._rr_next = 0
         self._backlog: deque[Message] = deque()
@@ -47,6 +62,17 @@ class MessageQueue:
         self.dispatched = 0
         #: Messages put back by the broker after a consumer crash.
         self.requeued = 0
+        #: Dispatched-but-unacknowledged deliveries (broker-maintained);
+        #: counts toward :attr:`depth` so capacity covers the whole
+        #: pipeline, not just the buffered backlog.
+        self.in_flight = 0
+        #: High-water mark of :attr:`depth` over the queue's lifetime.
+        self.peak_depth = 0
+        #: Publishes that found the queue at/over its ``max_depth``.
+        self.overflows = 0
+        #: Messages evicted from the backlog head by a drop-oldest
+        #: overflow policy.
+        self.evicted = 0
 
     # -- consumers -------------------------------------------------------
     def add_consumer(self, consumer_id: str, callback: ConsumerFn, *,
@@ -57,13 +83,19 @@ class MessageQueue:
         self._consumers.append(Consumer(consumer_id, callback, manual_ack))
 
     def remove_consumer(self, consumer_id: str) -> None:
-        before = len(self._consumers)
-        self._consumers = [c for c in self._consumers
-                           if c.consumer_id != consumer_id]
-        if len(self._consumers) == before:
+        index = next((i for i, c in enumerate(self._consumers)
+                      if c.consumer_id == consumer_id), None)
+        if index is None:
             raise BrokerError(
                 f"consumer {consumer_id!r} not registered on queue {self.name!r}")
-        self._rr_next = 0
+        del self._consumers[index]
+        # Preserve the rotation position relative to the survivors:
+        # resetting to 0 here would restart dispatch at the earliest-
+        # registered consumer after every scale-in, skewing load onto it.
+        if index < self._rr_next:
+            self._rr_next -= 1
+        self._rr_next = self._rr_next % len(self._consumers) \
+            if self._consumers else 0
 
     @property
     def consumer_ids(self) -> list[str]:
@@ -77,6 +109,39 @@ class MessageQueue:
     def backlog_depth(self) -> int:
         """Messages waiting because no consumer is attached yet."""
         return len(self._backlog)
+
+    # -- capacity ---------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Total occupancy: buffered backlog plus in-flight deliveries."""
+        return len(self._backlog) + self.in_flight
+
+    @property
+    def is_full(self) -> bool:
+        """Is the queue at (or beyond) its configured bound?"""
+        return self.max_depth is not None and self.depth >= self.max_depth
+
+    @property
+    def has_capacity(self) -> bool:
+        return not self.is_full
+
+    def note_depth(self) -> None:
+        """Refresh the :attr:`peak_depth` high-water mark."""
+        depth = self.depth
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+
+    def evict_oldest(self) -> Message | None:
+        """Drop the oldest *buffered* message (drop-oldest overflow).
+
+        Only the backlog can be evicted — an in-flight delivery has
+        already left the queue.  Returns the victim, or ``None`` when
+        nothing is buffered.
+        """
+        if not self._backlog:
+            return None
+        self.evicted += 1
+        return self._backlog.popleft()
 
     # -- message flow ------------------------------------------------------
     def select_consumer(self) -> Consumer:
@@ -97,6 +162,7 @@ class MessageQueue:
         self.enqueued += 1
         if not self._consumers:
             self._backlog.append(message)
+            self.note_depth()
             return None
         self.dispatched += 1
         return self.select_consumer()
@@ -107,6 +173,7 @@ class MessageQueue:
         for message in reversed(messages):
             self._backlog.appendleft(message)
         self.requeued += len(messages)
+        self.note_depth()
 
     def drain_backlog(self) -> list[tuple[Message, Consumer]]:
         """Assign buffered messages to consumers (after a late attach)."""

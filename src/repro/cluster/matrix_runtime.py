@@ -28,6 +28,8 @@ from ..matrix.distributed import DistributedMatrixEngine
 from ..matrix.engine import MatrixConfig
 from ..metrics.memory import JvmHeapModel
 from ..obs.registry import MetricsRegistry
+from ..overload.accounting import OverloadReport
+from ..overload.manager import DEFER, SHED, OverloadConfig, OverloadManager
 from ..simulation.kernel import Simulator
 from ..simulation.network import FixedDelayNetwork, NetworkModel
 from .metrics_server import MetricsServer
@@ -61,6 +63,8 @@ class MatrixClusterReport:
     #: Final metrics-registry snapshot (same convention as the
     #: biclique's :class:`~repro.cluster.runtime.ClusterReport`).
     metrics: dict[str, float] | None = None
+    #: Overload-layer summary (``None`` unless backpressure was enabled).
+    overload: OverloadReport | None = None
 
 
 class MatrixSimulatedCluster:
@@ -70,12 +74,23 @@ class MatrixSimulatedCluster:
                  cluster_config: ClusterConfig | None = None, *,
                  routers: int = 1,
                  network: NetworkModel | None = None,
-                 heap_factory: Callable[[], JvmHeapModel] | None = None) -> None:
+                 heap_factory: Callable[[], JvmHeapModel] | None = None,
+                 overload: OverloadConfig | None = None) -> None:
         self.cluster_config = cluster_config or ClusterConfig()
         self.sim = Simulator()
         self.network = network or FixedDelayNetwork(
             self.cluster_config.network_latency)
         self.broker = Broker(self.sim, self.network)
+        #: Admission control + bounded queues (no credits: matrix cells
+        #: consume auto-ack, so they cannot grant processing credits —
+        #: flow control rests on the admission layer alone).
+        self.overload: OverloadManager | None = None
+        if overload is not None:
+            self.overload = OverloadManager(
+                overload, self.broker,
+                scheduler=lambda fn: self.sim.schedule_after(
+                    0.0, fn, label="credit-wake"),
+                clock=lambda: self.sim.now)
         self.metrics = MetricsServer(self.cluster_config.metrics_interval)
         self.cost = self.cluster_config.cost_model
         self._heap_factory = heap_factory or JvmHeapModel
@@ -92,6 +107,11 @@ class MatrixSimulatedCluster:
             lambda: self.sim.export_metrics(self.registry))
         self.registry.register_collector(
             lambda: self.metrics.export_metrics(self.registry))
+        if self.overload is not None:
+            from ..matrix.distributed import ENTRY_DESTINATION, ROUTER_GROUP
+            self.overload.attach_entry(f"{ENTRY_DESTINATION}.{ROUTER_GROUP}")
+            self.registry.register_collector(
+                lambda: self.overload.export_metrics(self.registry))
         self._wrap_components()
         self._ingested = 0
 
@@ -149,6 +169,8 @@ class MatrixSimulatedCluster:
 
         self.broker.cancel_consumer(queue, consumer_id)
         self.broker.consume(queue, consumer_id, callback)
+        if self.overload is not None:
+            self.overload.attach_inbox(f"cell-{cell.row}-{cell.col}", queue)
 
     def _wrap_router(self, router) -> None:
         from ..matrix.distributed import ENTRY_DESTINATION, ROUTER_GROUP
@@ -179,18 +201,49 @@ class MatrixSimulatedCluster:
         if t.ts >= duration:
             return
 
+        state = {"offered": False, "attempts": 0}
+
         def ingest() -> None:
+            manager = self.overload
+            if manager is not None:
+                if not state["offered"]:
+                    state["offered"] = True
+                    manager.record_offered(t)
+                verdict = manager.admission_decision(t)
+                if verdict == DEFER:
+                    state["attempts"] += 1
+                    manager.record_deferral(t, self.sim.now,
+                                            state["attempts"])
+                    # Keep watermarks advancing during the stall (see
+                    # SimulatedCluster._pump).
+                    self.engine.maintain_punctuations(self.sim.now)
+                    self.sim.schedule_after(manager.config.admission_retry,
+                                            ingest, label="admission-retry")
+                    return
+                if verdict == SHED:
+                    manager.record_shed(t, self.sim.now)
+                    self._pump(arrivals, duration)
+                    return
+                manager.record_admitted(t, self.sim.now)
             self.engine.ingest(t)
             self._ingested += 1
             self._pump(arrivals, duration)
 
-        self.sim.schedule_at(t.ts, ingest, label="matrix-ingest")
+        # max(): a deferral stall can push the clock past the next
+        # arrival's timestamp (blocked-producer backpressure).
+        self.sim.schedule_at(max(t.ts, self.sim.now), ingest,
+                             label="matrix-ingest")
+
+    def _sample(self) -> None:
+        self.metrics.sample(self.sim.now)
+        if self.overload is not None:
+            self.overload.observe(self.sim.now)
 
     def run(self, arrivals: Iterator[StreamTuple],
             duration: float) -> MatrixClusterReport:
         cancel = self.sim.schedule_periodic(
             self.cluster_config.metrics_interval,
-            lambda: self.metrics.sample(self.sim.now),
+            self._sample,
             label="matrix-metrics")
         self._pump(arrivals, duration)
         self.sim.run(until=duration)
@@ -203,6 +256,8 @@ class MatrixSimulatedCluster:
             tuples_ingested=self._ingested,
             results=len(self.engine.results),
             metrics=self.registry.snapshot(),
+            overload=(None if self.overload is None
+                      else self.overload.report()),
         )
 
 

@@ -36,6 +36,8 @@ from ..metrics.memory import MB, JvmHeapModel
 from ..obs.registry import MetricsRegistry
 from ..obs.stages import StageBreakdown, compute_stage_breakdown
 from ..obs.trace import NOOP_TRACER, NoopTracer, Tracer
+from ..overload.accounting import OverloadReport
+from ..overload.manager import DEFER, SHED, OverloadConfig, OverloadManager
 from ..simulation.faults import CrashFault, FaultPlan
 from ..simulation.kernel import Simulator
 from ..simulation.network import FixedDelayNetwork, NetworkModel
@@ -294,6 +296,8 @@ class ClusterReport:
     metrics: dict[str, float] = field(default_factory=dict)
     #: Per-stage latency breakdown (``None`` unless the run was traced).
     stages: StageBreakdown | None = None
+    #: Overload-layer summary (``None`` unless backpressure was enabled).
+    overload: OverloadReport | None = None
 
     def replicas_series(self, side: str) -> list[tuple[float, int]]:
         attr = "r_replicas" if side == "R" else "s_replicas"
@@ -311,12 +315,22 @@ class SimulatedCluster:
                  heap_factory: Callable[[], JvmHeapModel] | None = None,
                  faults: FaultPlan | None = None,
                  supervisor: SupervisorConfig | None = None,
-                 tracer: NoopTracer = NOOP_TRACER) -> None:
+                 tracer: NoopTracer = NOOP_TRACER,
+                 overload: OverloadConfig | None = None) -> None:
         self.cluster_config = cluster_config or ClusterConfig()
         self.sim = Simulator()
         self.network = network or FixedDelayNetwork(
             self.cluster_config.network_latency)
         self.broker = Broker(self.sim, self.network)
+        #: Backpressure / admission control (None = unbounded legacy).
+        self.overload: OverloadManager | None = None
+        if overload is not None:
+            self.overload = OverloadManager(
+                overload, self.broker,
+                scheduler=lambda fn: self.sim.schedule_after(
+                    0.0, fn, label="credit-wake"),
+                clock=lambda: self.sim.now,
+                tracer=tracer)
         self.faults = faults or FaultPlan()
         self.supervisor = RestartSupervisor(supervisor)
         self.metrics = MetricsServer(self.cluster_config.metrics_interval)
@@ -331,7 +345,8 @@ class SimulatedCluster:
         self.engine = BicliqueEngine(biclique_config, predicate,
                                      broker=self.broker,
                                      instrumentation=self.instrumentation,
-                                     tracer=tracer)
+                                     tracer=tracer,
+                                     overload=self.overload)
         self.autoscalers: dict[str, HorizontalPodAutoscaler] = {
             side: HorizontalPodAutoscaler(config)
             for side, config in (hpa or {}).items()}
@@ -357,12 +372,21 @@ class SimulatedCluster:
     # ------------------------------------------------------------------
     def _sample_metrics(self) -> None:
         self.metrics.sample(self.sim.now)
+        if self.overload is not None:
+            # Straggler detection piggybacks on the metrics tick so the
+            # detector adds no events of its own to the simulation.
+            self.overload.observe(self.sim.now)
 
     def _run_autoscaler(self, side: str) -> None:
         hpa = self.autoscalers[side]
         active = self.engine.groups[side].active_units()
         pod_names = self.instrumentation.joiner_pod_names(active)
         mean = self.metrics.mean_utilisation(pod_names, hpa.config.metric)
+        if (self.overload is not None and hpa.config.metric == "backlog"
+                and mean is not None):
+            # A straggler's lag lives in its broker inbox, not just its
+            # pod executor; fold it into the backlog scaling signal.
+            mean += self.overload.mean_inbox_depth(side)
         decision = hpa.evaluate(self.sim.now, len(active), mean)
         if decision.action == "scale-out":
             added = self.engine.scale_out(
@@ -448,13 +472,42 @@ class SimulatedCluster:
             return
         if t.ts >= duration:
             return
+        state = {"offered": False, "attempts": 0}
 
         def ingest() -> None:
+            manager = self.overload
+            if manager is not None:
+                if not state["offered"]:
+                    state["offered"] = True
+                    manager.record_offered(t)
+                verdict = manager.admission_decision(t)
+                if verdict == DEFER:
+                    # Producer blocked: retry later *without* pumping the
+                    # next arrival, so the whole source stalls and the
+                    # backpressure surfaces as rising admission delay.
+                    state["attempts"] += 1
+                    manager.record_deferral(t, self.sim.now,
+                                            state["attempts"])
+                    # Watermarks must keep advancing while the source
+                    # is stalled, or buffered joiner work (and the
+                    # credit grants it produces) would never release.
+                    self.engine.maintain_punctuations(self.sim.now)
+                    self.sim.schedule_after(manager.config.admission_retry,
+                                            ingest, label="admission-retry")
+                    return
+                if verdict == SHED:
+                    manager.record_shed(t, self.sim.now)
+                    self._pump(arrivals, duration)
+                    return
+                manager.record_admitted(t, self.sim.now)
             self.engine.ingest(t)
             self._ingested += 1
             self._pump(arrivals, duration)
 
-        self.sim.schedule_at(t.ts, ingest, label="ingest")
+        # A deferral stall can push the clock past the next arrival's
+        # timestamp; the blocked producer then offers it as soon as it
+        # can (max), and the gap is visible as admission delay.
+        self.sim.schedule_at(max(t.ts, self.sim.now), ingest, label="ingest")
 
     # ------------------------------------------------------------------
     # Run
@@ -512,4 +565,6 @@ class SimulatedCluster:
         self.report.metrics = self.registry.snapshot()
         if isinstance(self.tracer, Tracer):
             self.report.stages = compute_stage_breakdown(self.tracer)
+        if self.overload is not None:
+            self.report.overload = self.overload.report()
         return self.report

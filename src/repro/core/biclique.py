@@ -24,6 +24,7 @@ Scaling follows the join-biclique property that units are independent:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..broker.broker import Broker
 from ..broker.channels import ChannelLayer
@@ -40,6 +41,9 @@ from .router import Router, joiner_inbox
 from .routing import HashRouting, JoinerGroup, RandomRouting, RoutingStrategy
 from .tuples import JoinResult, StreamTuple
 from .windows import FullHistoryWindow, TimeWindow
+
+if TYPE_CHECKING:
+    from ..overload.manager import OverloadManager
 
 ENTRY_DESTINATION = "tuples.exchange"
 ROUTER_GROUP = "routergroup"
@@ -165,11 +169,15 @@ class BicliqueEngine:
     def __init__(self, config: BicliqueConfig, predicate: JoinPredicate,
                  broker: Broker | None = None,
                  instrumentation: EngineInstrumentation | None = None,
-                 tracer: NoopTracer = NOOP_TRACER) -> None:
+                 tracer: NoopTracer = NOOP_TRACER,
+                 overload: "OverloadManager | None" = None) -> None:
         self.config = config
         self.predicate = predicate
         self.instrumentation = instrumentation or EngineInstrumentation()
         self.broker = broker if broker is not None else Broker()
+        #: Overload manager (bounded queues, credits, shedding); wired
+        #: through every joiner/router attach below when present.
+        self.overload = overload
         #: Causal tracer threaded into every router/joiner (no-op by
         #: default; see :mod:`repro.obs.trace`).
         self.tracer = tracer
@@ -218,6 +226,14 @@ class BicliqueEngine:
         for _ in range(config.routers):
             self._add_router(f"router{self._router_seq}")
             self._router_seq += 1
+        if self.overload is not None:
+            # The entry queue exists once the first router subscribed;
+            # its fill ratio is the admission-control severity signal.
+            self.overload.attach_entry(f"{ENTRY_DESTINATION}.{ROUTER_GROUP}")
+            if isinstance(self.strategy, RandomRouting):
+                # Content-insensitive store placement is free to avoid
+                # straggling units; hash placement is not (correctness).
+                self.strategy.hot_filter = self.overload.hot_units
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -285,6 +301,8 @@ class BicliqueEngine:
             joiner_inbox(joiner.unit_id), joiner.unit_id, callback,
             group=f"{joiner.unit_id}.group",
             manual_ack=self.broker.is_simulated)
+        if self.overload is not None:
+            self.overload.attach_joiner(joiner)
 
     def _add_router(self, router_id: str, *, counter_floor: int = 0) -> Router:
         router = Router(router_id, self.strategy, self.channels,
@@ -303,6 +321,8 @@ class BicliqueEngine:
         self.channels.subscribe(ENTRY_DESTINATION, router_id,
                                 callback, group=ROUTER_GROUP,
                                 manual_ack=self.broker.is_simulated)
+        if self.overload is not None:
+            self.overload.attach_router(router)
         return router
 
     # ------------------------------------------------------------------
@@ -330,6 +350,17 @@ class BicliqueEngine:
         """Have every router broadcast its current punctuation."""
         for router in self.routers:
             router.emit_punctuation()
+
+    def maintain_punctuations(self, now: float) -> None:
+        """Keep watermarks advancing while admission is stalled.
+
+        Parked deliveries are not yet stamped with a routing counter,
+        so the routers' current punctuations stay truthful.  Without
+        this a fully blocked producer deadlocks: no ingest means no
+        punctuations, joiners never release their reorder buffers, no
+        credits are granted, and the entry queue never drains.
+        """
+        self._maybe_punctuate(now)
 
     def finish(self) -> None:
         """End-of-stream: final punctuations release all buffered tuples."""
@@ -403,6 +434,8 @@ class BicliqueEngine:
                 if self.replay_log is not None:
                     self.replay_log.forget(unit_id)
                 group.remove_unit(unit_id)
+                if self.overload is not None:
+                    self.overload.detach_joiner(unit_id)
                 self.instrumentation.on_joiner_removed(joiner)
                 removed.append(unit_id)
                 if self.tracer.enabled:
@@ -444,7 +477,12 @@ class BicliqueEngine:
             self._router_seq += 1
         while len(self.routers) > count:
             router = self.routers.pop()
+            # Anything parked under backpressure must go out before the
+            # final punctuation, which promises every stamped counter
+            # has been sent.
+            router.release_parked()
             router.emit_punctuation()
+            router.retired = True
             self.channels.unsubscribe(
                 f"{ENTRY_DESTINATION}.{ROUTER_GROUP}", router.router_id)
             for joiner in self.joiners.values():
@@ -579,6 +617,10 @@ class BicliqueEngine:
             raise ScalingError(f"unknown or already-crashed router "
                                f"{router_id!r}")
         self.routers.remove(router)
+        # Parked deliveries die with the pod unacked; the broker
+        # requeues them for the surviving pool.  The retired flag stops
+        # a pending credit wakeup from routing through the corpse.
+        router.retired = True
         self._crashed_routers[router_id] = router.next_counter
         entry_queue = f"{ENTRY_DESTINATION}.{ROUTER_GROUP}"
         if self.broker.is_simulated:
@@ -673,6 +715,8 @@ class BicliqueEngine:
                          "Bytes sent across all message kinds."
                          ).set_total(net.bytes_sent)
         self.broker.export_metrics(registry)
+        if self.overload is not None:
+            self.overload.export_metrics(registry)
         for router in self.routers:
             router.export_metrics(registry)
         for joiner in self.joiners.values():

@@ -121,6 +121,12 @@ class Joiner:
         #: Set by the engine when the broker runs in simulated mode.
         self.acker: Callable[[int], None] | None = None
         self._ack_tags: dict[tuple[int, str, str], int] = {}
+        #: Credit-grant hook (set by the overload manager): called once
+        #: per *processed* data envelope, returning one flow-control
+        #: credit to the router pool.  Punctuations are exempt (control
+        #: traffic), and reorder-buffer duplicates never reach
+        #: processing, so grants cannot outrun acquisitions.
+        self.credit_grant: Callable[[], None] | None = None
 
     # ------------------------------------------------------------------
     # Memory / load introspection (feeds the cluster resource model)
@@ -293,6 +299,8 @@ class Joiner:
             self._probe(t)
         else:  # pragma: no cover - Envelope constrains kinds
             raise ConfigurationError(f"unknown envelope kind {envelope.kind!r}")
+        if self.credit_grant is not None:
+            self.credit_grant()
 
     def _store(self, t: StreamTuple) -> None:
         if t.relation != self.side:

@@ -15,19 +15,22 @@ router tier trivially scalable behind the competing-consumer queue.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from ..broker.channels import ChannelLayer
 from ..broker.message import Delivery
 from ..metrics.counters import NetworkStats, ThroughputWindow
-from ..obs.trace import NOOP_TRACER, SPAN_ENQUEUE, SPAN_ROUTE, NoopTracer
+from ..obs.trace import (NOOP_TRACER, SPAN_ENQUEUE, SPAN_ROUTE, SPAN_THROTTLE,
+                         NoopTracer)
 from .ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE, Envelope
 from .routing import RoutingStrategy
 from .tuples import StreamTuple
 
 if TYPE_CHECKING:
     from ..obs.registry import MetricsRegistry
+    from ..overload.credits import CreditController
     from .recovery import ReplayLog
 
 
@@ -75,6 +78,23 @@ class Router:
         #: stamped with a fresh counter and routed a second time.
         self._routed_tags: set[int] = set()
         self.duplicates_dropped = 0
+        #: Credit pool (set by the overload manager); when any joiner's
+        #: credits run dry the router *parks* incoming deliveries
+        #: instead of routing them.
+        self.flow: "CreditController | None" = None
+        #: Simulation clock used to timestamp parked-work drains.
+        self.clock: Callable[[], float] | None = None
+        #: Bound on the park buffer (drop-oldest policies only); the
+        #: oldest parked delivery is evicted — acked and reported via
+        #: :attr:`on_park_evict` — when a newer one overflows it.
+        self.park_limit: int | None = None
+        self.on_park_evict: Callable[[StreamTuple, float], None] | None = None
+        #: Set when this router leaves the pool (crash or scale-in) so
+        #: a pending credit wakeup cannot route through a dead router.
+        self.retired = False
+        self._parked: deque[Delivery] = deque()
+        self.parks = 0
+        self.park_evictions = 0
 
     @property
     def next_counter(self) -> int:
@@ -99,15 +119,81 @@ class Router:
     # Ingestion
     # ------------------------------------------------------------------
     def on_delivery(self, delivery: Delivery) -> None:
-        """Broker callback: an input tuple reached this router."""
+        """Broker callback: an input tuple reached this router.
+
+        Under credit flow control a delivery is *parked* — buffered
+        unrouted and, crucially, unacked (so a router crash requeues
+        it, nothing is lost) — whenever the credit pool is exhausted
+        or older parked work is still waiting (FIFO: a fresh arrival
+        must not overtake a parked one).
+        """
         if delivery.tag >= 0:
             if delivery.tag in self._routed_tags:
                 self.duplicates_dropped += 1
                 return
             self._routed_tags.add(delivery.tag)
+        if self.flow is not None and (self._parked or self.flow.exhausted()):
+            self._park(delivery)
+            return
         self.route_tuple(delivery.message.payload, now=delivery.time)
         if delivery.tag >= 0 and self.acker is not None:
             self.acker(delivery.tag)
+
+    # ------------------------------------------------------------------
+    # Backpressure parking
+    # ------------------------------------------------------------------
+    def _park(self, delivery: Delivery) -> None:
+        self._parked.append(delivery)
+        self.parks += 1
+        if self.tracer.enabled:
+            payload = delivery.message.payload
+            self.tracer.record(SPAN_THROTTLE, delivery.time, self.router_id,
+                               tuple_id=getattr(payload, "ident", None),
+                               detail="park")
+        if len(self._parked) == 1 and self.flow is not None:
+            self.flow.add_waiter(self._drain_parked)
+        while (self.park_limit is not None
+               and len(self._parked) > self.park_limit):
+            victim = self._parked.popleft()
+            self.park_evictions += 1
+            if victim.tag >= 0 and self.acker is not None:
+                self.acker(victim.tag)
+            if self.on_park_evict is not None:
+                self.on_park_evict(victim.message.payload, delivery.time)
+
+    def _drain_parked(self) -> None:
+        """Credit-wakeup callback: route parked work while credits last."""
+        if self.retired or self.flow is None:
+            return
+        while self._parked and not self.flow.exhausted():
+            delivery = self._parked.popleft()
+            now = self.clock() if self.clock is not None else delivery.time
+            self.route_tuple(delivery.message.payload, now=now)
+            if delivery.tag >= 0 and self.acker is not None:
+                self.acker(delivery.tag)
+        if self._parked:
+            self.flow.add_waiter(self._drain_parked)
+
+    def release_parked(self) -> int:
+        """Route everything parked, ignoring credits.
+
+        Called before an orderly scale-in removal so the router's final
+        punctuation (a promise that every stamped counter was sent) is
+        truthful.  Returns the number of released deliveries.
+        """
+        released = 0
+        while self._parked:
+            delivery = self._parked.popleft()
+            now = self.clock() if self.clock is not None else delivery.time
+            self.route_tuple(delivery.message.payload, now=now)
+            if delivery.tag >= 0 and self.acker is not None:
+                self.acker(delivery.tag)
+            released += 1
+        return released
+
+    @property
+    def parked_count(self) -> int:
+        return len(self._parked)
 
     def route_tuple(self, t: StreamTuple, now: float) -> int:
         """Stamp and dispatch one tuple; returns messages sent."""
@@ -126,6 +212,8 @@ class Router:
         for unit_id in self.strategy.store_targets(t, now):
             self.channels.send(joiner_inbox(unit_id), store_env,
                                sender=self.router_id)
+            if self.flow is not None:
+                self.flow.acquire(unit_id)
             self.network_stats.record("store", store_env.size_bytes())
             self.stats.store_messages += 1
             sent += 1
@@ -141,6 +229,8 @@ class Router:
         for unit_id in self.strategy.join_targets(t, now):
             self.channels.send(joiner_inbox(unit_id), join_env,
                                sender=self.router_id)
+            if self.flow is not None:
+                self.flow.acquire(unit_id)
             self.network_stats.record("join", join_env.size_bytes())
             self.stats.join_messages += 1
             sent += 1
@@ -196,3 +286,9 @@ class Router:
         registry.counter("repro_router_duplicates_dropped_total",
                          "Duplicate entry deliveries dropped.",
                          labels).set_total(self.duplicates_dropped)
+        registry.counter("repro_router_parks_total",
+                         "Deliveries parked on exhausted credits.",
+                         labels).set_total(self.parks)
+        registry.counter("repro_router_park_evictions_total",
+                         "Parked deliveries evicted (drop-oldest).",
+                         labels).set_total(self.park_evictions)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from typing import Callable
 
 from ..errors import RoutingError, ScalingError
 from .predicates import ConjunctionPredicate, EquiJoinPredicate, JoinPredicate
@@ -194,9 +195,18 @@ class RandomRouting(RoutingStrategy):
         super().__init__(groups)
         self._store_rr: dict[tuple[str, int], int] = {}
         self._join_rr: dict[str, int] = {}
+        #: Straggler signal (set by the overload manager): a callable
+        #: returning the currently-hot unit ids.  Store placement is
+        #: *optional* work — any active unit is correct — so a hot pick
+        #: is deterministically substituted with a cold unit from the
+        #: same subgroup.  Join targets are never filtered: the probe
+        #: broadcast is required for correctness.
+        self.hot_filter: "Callable[[], frozenset[str]] | None" = None
+        self.hot_avoided = 0
 
     def store_targets(self, t: StreamTuple, now: float) -> list[str]:
         group = self.groups[t.relation]
+        hot = self.hot_filter() if self.hot_filter is not None else frozenset()
         targets = []
         for subgroup in range(group.subgroup_count):
             units = group.active_units(subgroup)
@@ -206,7 +216,13 @@ class RandomRouting(RoutingStrategy):
                     f"{group.side}")
             key = (group.side, subgroup)
             index = self._store_rr.get(key, 0)
-            targets.append(units[index % len(units)])
+            pick = units[index % len(units)]
+            if pick in hot:
+                cold = [u for u in units if u not in hot]
+                if cold:
+                    pick = cold[index % len(cold)]
+                    self.hot_avoided += 1
+            targets.append(pick)
             self._store_rr[key] = index + 1
         return targets
 

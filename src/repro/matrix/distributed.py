@@ -212,6 +212,11 @@ class DistributedMatrixEngine:
         for router in self.routers:
             router.emit_punctuation()
 
+    def maintain_punctuations(self, now: float) -> None:
+        """Keep watermarks advancing while admission is stalled (the
+        counterpart of :meth:`BicliqueEngine.maintain_punctuations`)."""
+        self._maybe_punctuate(now)
+
     def finish(self) -> None:
         self.punctuate_all()
         for row in self.cells:

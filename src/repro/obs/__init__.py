@@ -30,6 +30,8 @@ from .stages import (
 from .trace import (
     NOOP_TRACER,
     SPAN_KINDS,
+    SPAN_SHED,
+    SPAN_THROTTLE,
     NoopTracer,
     Span,
     Tracer,
@@ -47,6 +49,8 @@ __all__ = [
     "compute_stage_breakdown",
     "NOOP_TRACER",
     "SPAN_KINDS",
+    "SPAN_SHED",
+    "SPAN_THROTTLE",
     "NoopTracer",
     "Span",
     "Tracer",

@@ -56,9 +56,14 @@ SPAN_EMIT = "emit"
 SPAN_ARCHIVE = "archive"
 SPAN_REPLAY = "replay"
 SPAN_SCALE = "scale"
+#: Overload-management events: a tuple was shed (admission control or
+#: park eviction) or throttled (parked/deferred under backpressure).
+SPAN_SHED = "shed"
+SPAN_THROTTLE = "throttle"
 
 SPAN_KINDS = (SPAN_ROUTE, SPAN_ENQUEUE, SPAN_DELIVER, SPAN_STORE,
-              SPAN_PROBE, SPAN_EMIT, SPAN_ARCHIVE, SPAN_REPLAY, SPAN_SCALE)
+              SPAN_PROBE, SPAN_EMIT, SPAN_ARCHIVE, SPAN_REPLAY, SPAN_SCALE,
+              SPAN_SHED, SPAN_THROTTLE)
 
 #: Stable tuple identity: ``StreamTuple.ident`` — (relation, seq).
 TupleId = "tuple[str, int]"

@@ -1,0 +1,39 @@
+"""Backpressure, admission control and graceful degradation.
+
+This package is the overload-management layer on top of the bounded
+broker queues: credit-based flow control between joiners and routers
+(:mod:`~repro.overload.credits`), pluggable admission/shedding
+policies with exact per-side accounting (:mod:`~repro.overload.policies`,
+:mod:`~repro.overload.accounting`), slow-consumer detection
+(:mod:`~repro.overload.detector`) and the :class:`OverloadManager`
+facade the engines wire through (:mod:`~repro.overload.manager`).
+"""
+
+from .accounting import OverloadReport, ShedAccounting, SideLedger
+from .credits import CreditController
+from .detector import StragglerConfig, StragglerDetector
+from .manager import ADMIT, DEFER, SHED, OverloadConfig, OverloadManager
+from .policies import (POLICY_NAMES, BlockProducerPolicy, DropOldestPolicy,
+                       DropTailPolicy, SemanticSheddingPolicy, SheddingPolicy,
+                       make_policy)
+
+__all__ = [
+    "ADMIT",
+    "DEFER",
+    "SHED",
+    "POLICY_NAMES",
+    "BlockProducerPolicy",
+    "CreditController",
+    "DropOldestPolicy",
+    "DropTailPolicy",
+    "OverloadConfig",
+    "OverloadManager",
+    "OverloadReport",
+    "SemanticSheddingPolicy",
+    "ShedAccounting",
+    "SheddingPolicy",
+    "SideLedger",
+    "StragglerConfig",
+    "StragglerDetector",
+    "make_policy",
+]

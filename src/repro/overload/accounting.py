@@ -1,0 +1,160 @@
+"""Shed accounting: every dropped tuple is on the books.
+
+Load shedding is only acceptable when it is *accounted*: for each
+stream side the ledger tracks ``offered`` (tuples the workload
+presented), ``admitted`` (tuples actually ingested) and ``shed``
+(tuples dropped by any mechanism — admission control or park
+eviction), and the invariant
+
+    ``offered == admitted + shed``        (per side, exactly)
+
+must reconcile at the end of every run.  ``recall_loss`` reports the
+quality cost per side (``shed / offered``), and admission-delay
+aggregates capture how much backpressure the producer absorbed under
+the lossless (block) policy.
+
+Memory is O(1): only counters and running aggregates are kept, never
+per-tuple records — an overload ledger that itself grew with offered
+load would defeat the purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SideLedger:
+    """Offered/admitted/shed counts for one stream side."""
+
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0
+
+    @property
+    def reconciled(self) -> bool:
+        return self.offered == self.admitted + self.shed
+
+    @property
+    def recall_loss(self) -> float:
+        """Fraction of offered tuples lost to shedding."""
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+
+class ShedAccounting:
+    """Per-side offered/admitted/shed ledger plus delay aggregates."""
+
+    def __init__(self) -> None:
+        self.sides: dict[str, SideLedger] = {
+            "R": SideLedger(), "S": SideLedger()}
+        #: Shed counts keyed by mechanism ("admission", "park-evict", ...).
+        self.sheds_by_reason: dict[str, int] = {}
+        #: Individual DEFER verdicts (one tuple may defer many times).
+        self.deferrals = 0
+        #: Admitted tuples that absorbed a non-zero admission delay.
+        self.admitted_delayed = 0
+        self.total_admission_delay = 0.0
+        self.max_admission_delay = 0.0
+
+    def _side(self, relation: str) -> SideLedger:
+        return self.sides.setdefault(relation, SideLedger())
+
+    # -- recording ---------------------------------------------------------
+    def record_offered(self, relation: str) -> None:
+        self._side(relation).offered += 1
+
+    def record_admitted(self, relation: str, delay: float = 0.0) -> None:
+        self._side(relation).admitted += 1
+        if delay > 0.0:
+            self.admitted_delayed += 1
+            self.total_admission_delay += delay
+            if delay > self.max_admission_delay:
+                self.max_admission_delay = delay
+
+    def record_shed(self, relation: str, reason: str, *,
+                    after_admission: bool = False) -> None:
+        """Account one shed tuple.
+
+        ``after_admission`` marks a tuple that *was* admitted but got
+        dropped downstream (park eviction): it moves from the admitted
+        column to the shed column, so ``admitted`` always means
+        *delivered into the engine, net of later shedding* and the
+        ``offered == admitted + shed`` invariant holds at all times.
+        """
+        side = self._side(relation)
+        side.shed += 1
+        if after_admission:
+            side.admitted -= 1
+        self.sheds_by_reason[reason] = self.sheds_by_reason.get(reason, 0) + 1
+
+    def record_deferral(self) -> None:
+        self.deferrals += 1
+
+    # -- totals ------------------------------------------------------------
+    @property
+    def offered(self) -> int:
+        return sum(side.offered for side in self.sides.values())
+
+    @property
+    def admitted(self) -> int:
+        return sum(side.admitted for side in self.sides.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(side.shed for side in self.sides.values())
+
+    @property
+    def reconciled(self) -> bool:
+        """Does ``offered == admitted + shed`` hold on every side?"""
+        return all(side.reconciled for side in self.sides.values())
+
+    @property
+    def mean_admission_delay(self) -> float:
+        if self.admitted_delayed == 0:
+            return 0.0
+        return self.total_admission_delay / self.admitted_delayed
+
+
+@dataclass(frozen=True)
+class OverloadReport:
+    """End-of-run summary of the overload layer, attached to the
+    cluster report so benchmarks can assert bounds and reconciliation
+    without poking at live objects."""
+
+    policy: str
+    offered: dict[str, int]
+    admitted: dict[str, int]
+    shed: dict[str, int]
+    recall_loss: dict[str, float]
+    sheds_by_reason: dict[str, int] = field(default_factory=dict)
+    deferrals: int = 0
+    admitted_delayed: int = 0
+    total_admission_delay: float = 0.0
+    max_admission_delay: float = 0.0
+    mean_admission_delay: float = 0.0
+    parks: int = 0
+    park_evictions: int = 0
+    peak_entry_depth: int = 0
+    peak_joiner_depth: int = 0
+    entry_overflows: int = 0
+    credit_grants: int = 0
+    credit_acquires: int = 0
+    credit_stalls: int = 0
+    stragglers_flagged: int = 0
+    hot_units: tuple[str, ...] = ()
+
+    @property
+    def reconciled(self) -> bool:
+        """``offered == admitted + shed`` on every side, exactly."""
+        return all(self.offered[side] == self.admitted.get(side, 0)
+                   + self.shed.get(side, 0) for side in self.offered)
+
+    @property
+    def total_offered(self) -> int:
+        return sum(self.offered.values())
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed.values())

@@ -1,0 +1,137 @@
+"""Credit-based flow control between routers and joiners.
+
+Each joiner grants the router pool a budget of *credits* — the number
+of data envelopes it is willing to have outstanding (enqueued on its
+inbox, in transit, or buffered in its reorder stage) at once.  Routing
+a store/join envelope to a unit *acquires* one credit; the joiner
+*grants* one back each time it finishes processing an envelope.  When
+any registered unit's balance reaches zero the pool is *exhausted* and
+routers park incoming work instead of routing it, which propagates
+back to the producer as admission delay: end-to-end backpressure with
+no unbounded buffer anywhere in between.
+
+Punctuations are exempt: they are control traffic whose volume is set
+by the punctuation interval (not by offered load) and whose delivery
+is what drains the reorder buffers — withholding them under pressure
+would deadlock the drain.
+
+Exhaustion is pool-wide (any unit at zero parks *all* routing) rather
+than per-target because biclique routing is correlated: a store on one
+side fans out with joins to the whole opposite side, so per-target
+throttling would tear those multicasts apart while the slowest unit
+still gates progress.  Waiters are woken through a scheduler callback
+(one simulated event per wake, only when someone is actually parked),
+so an idle credit controller adds zero events to a run — the
+non-perturbation guarantee the differential test pins down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+
+#: Scheduler hook: schedules a zero-delay callback on the simulation
+#: event loop (e.g. ``lambda fn: sim.schedule_after(0.0, fn)``).
+ScheduleFn = Callable[[Callable[[], None]], None]
+
+
+class CreditController:
+    """Per-joiner credit balances with parked-waiter wakeups."""
+
+    def __init__(self, limit: int, *, scheduler: ScheduleFn | None = None) -> None:
+        if limit < 1:
+            raise ConfigurationError(
+                f"credit limit must be >= 1, got {limit!r}")
+        self.limit = limit
+        self._scheduler = scheduler
+        self._credits: dict[str, int] = {}
+        self._waiters: list[Callable[[], None]] = []
+        self._wake_pending = False
+        #: Lifetime counters (monotone; survive unit unregistration).
+        self.acquires = 0
+        self.grants = 0
+        #: Times the pool transitioned available -> exhausted.
+        self.stalls = 0
+
+    # -- membership --------------------------------------------------------
+    def register(self, unit_id: str) -> None:
+        """Start tracking a unit at the full credit limit.
+
+        Re-registering an existing unit keeps its current balance: a
+        restarted joiner replaces its predecessor mid-flight, and the
+        outstanding envelopes it inherits are still outstanding.
+        """
+        if unit_id not in self._credits:
+            self._credits[unit_id] = self.limit
+
+    def unregister(self, unit_id: str) -> None:
+        """Stop tracking a unit (drained/reaped); frees its gate."""
+        if self._credits.pop(unit_id, None) is not None:
+            self._wake()
+
+    @property
+    def units(self) -> tuple[str, ...]:
+        return tuple(sorted(self._credits))
+
+    def available(self, unit_id: str) -> int:
+        """Current balance of one unit (the limit when untracked)."""
+        return self._credits.get(unit_id, self.limit)
+
+    def min_available(self) -> int:
+        """The tightest balance across the pool."""
+        if not self._credits:
+            return self.limit
+        return min(self._credits.values())
+
+    # -- flow --------------------------------------------------------------
+    def exhausted(self) -> bool:
+        """Is any registered unit out of credits?"""
+        return any(balance <= 0 for balance in self._credits.values())
+
+    def acquire(self, unit_id: str) -> None:
+        """Consume one credit for an envelope routed to ``unit_id``.
+
+        Balances may go (transiently) negative: a multicast that was
+        admitted while credits were available completes atomically.
+        The next delivery then parks until grants catch up.
+        """
+        if unit_id not in self._credits:
+            return
+        was_exhausted = self.exhausted()
+        self._credits[unit_id] -= 1
+        self.acquires += 1
+        if not was_exhausted and self.exhausted():
+            self.stalls += 1
+
+    def grant(self, unit_id: str) -> None:
+        """Return one credit after the joiner processed an envelope."""
+        balance = self._credits.get(unit_id)
+        if balance is None:
+            return
+        if balance < self.limit:
+            self._credits[unit_id] = balance + 1
+        self.grants += 1
+        if not self.exhausted():
+            self._wake()
+
+    # -- waiters -----------------------------------------------------------
+    def add_waiter(self, callback: Callable[[], None]) -> None:
+        """Register a one-shot callback for the next capacity wake."""
+        self._waiters.append(callback)
+
+    def _wake(self) -> None:
+        """Schedule all parked waiters to retry (one event per wake)."""
+        if not self._waiters or self._wake_pending:
+            return
+        if self._scheduler is None:
+            self._fire()
+            return
+        self._wake_pending = True
+        self._scheduler(self._fire)
+
+    def _fire(self) -> None:
+        self._wake_pending = False
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback()

@@ -1,0 +1,138 @@
+"""Slow-consumer / straggler detection.
+
+A joiner is a *straggler* when it persistently processes envelopes
+slower than they arrive: its inbox backlog is real (above a floor)
+and its EWMA service rate has fallen below a fraction of its EWMA
+arrival rate.  The detector samples cumulative per-unit totals (inbox
+``enqueued`` as arrivals, settled deliveries as service) on the
+existing periodic metrics tick — it schedules nothing of its own —
+and exposes the currently-hot set for two consumers:
+
+- the **HPA**: mean inbox backlog augments the ``backlog`` scaling
+  signal, so sustained stragglers trigger scale-out;
+- the **routing layer**: :class:`~repro.core.routing.RandomRouting`
+  steers *optional* (load-balanced store) work away from hot units.
+  Hash/content-sensitive placement is never overridden — correctness
+  beats balance.
+
+Rates are per-second over the sampling interval, smoothed with a
+standard exponential moving average so one slow tick does not flag a
+unit and one fast tick does not clear it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StragglerConfig:
+    """Detection thresholds.
+
+    Attributes:
+        alpha: EWMA smoothing factor in (0, 1]; higher = more reactive.
+        ratio: flag when ``service_rate < ratio * arrival_rate``.
+        min_backlog: ignore units whose inbox depth is below this floor
+            (an idle unit has rate ~0/~0 and must not be flagged).
+    """
+
+    alpha: float = 0.4
+    ratio: float = 0.7
+    min_backlog: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1], got {self.alpha!r}")
+        if not 0.0 < self.ratio <= 1.0:
+            raise ConfigurationError(
+                f"ratio must be in (0, 1], got {self.ratio!r}")
+        if self.min_backlog < 1:
+            raise ConfigurationError(
+                f"min_backlog must be >= 1, got {self.min_backlog!r}")
+
+
+class _Ewma:
+    """Exponential moving average with empty-state handling."""
+
+    __slots__ = ("alpha", "value")
+
+    def __init__(self, alpha: float) -> None:
+        self.alpha = alpha
+        self.value: float | None = None
+
+    def update(self, sample: float) -> float:
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value += self.alpha * (sample - self.value)
+        return self.value
+
+
+class StragglerDetector:
+    """Per-unit arrival-vs-service EWMA comparison."""
+
+    def __init__(self, config: StragglerConfig | None = None) -> None:
+        self.config = config or StragglerConfig()
+        self._arrival: dict[str, _Ewma] = {}
+        self._service: dict[str, _Ewma] = {}
+        self._last: dict[str, tuple[float, int, int]] = {}
+        self._hot: set[str] = set()
+        #: Lifetime count of cold->hot transitions (monotone).
+        self.flagged_total = 0
+
+    # -- sampling ----------------------------------------------------------
+    def observe(self, unit_id: str, now: float, arrived_total: int,
+                serviced_total: int, backlog: int) -> None:
+        """Feed one unit's cumulative totals at sample time ``now``."""
+        previous = self._last.get(unit_id)
+        self._last[unit_id] = (now, arrived_total, serviced_total)
+        if previous is None:
+            return
+        last_now, last_arrived, last_serviced = previous
+        interval = now - last_now
+        if interval <= 0.0:
+            return
+        arrival = self._ewma(self._arrival, unit_id).update(
+            (arrived_total - last_arrived) / interval)
+        service = self._ewma(self._service, unit_id).update(
+            (serviced_total - last_serviced) / interval)
+        lagging = (backlog >= self.config.min_backlog
+                   and arrival > 0.0
+                   and service < self.config.ratio * arrival)
+        if lagging and unit_id not in self._hot:
+            self._hot.add(unit_id)
+            self.flagged_total += 1
+        elif not lagging:
+            self._hot.discard(unit_id)
+
+    def _ewma(self, table: dict[str, _Ewma], unit_id: str) -> _Ewma:
+        ewma = table.get(unit_id)
+        if ewma is None:
+            ewma = table[unit_id] = _Ewma(self.config.alpha)
+        return ewma
+
+    def forget(self, unit_id: str) -> None:
+        """Drop all state for a reaped/crashed unit."""
+        self._arrival.pop(unit_id, None)
+        self._service.pop(unit_id, None)
+        self._last.pop(unit_id, None)
+        self._hot.discard(unit_id)
+
+    # -- queries -----------------------------------------------------------
+    def hot_units(self) -> frozenset[str]:
+        """The currently-flagged stragglers."""
+        return frozenset(self._hot)
+
+    def is_straggler(self, unit_id: str) -> bool:
+        return unit_id in self._hot
+
+    def arrival_rate(self, unit_id: str) -> float:
+        ewma = self._arrival.get(unit_id)
+        return 0.0 if ewma is None or ewma.value is None else ewma.value
+
+    def service_rate(self, unit_id: str) -> float:
+        ewma = self._service.get(unit_id)
+        return 0.0 if ewma is None or ewma.value is None else ewma.value

@@ -1,0 +1,383 @@
+"""The overload manager: wiring, admission and reporting in one place.
+
+:class:`OverloadConfig` is the single user-facing knob set;
+:class:`OverloadManager` owns the moving parts — bounded-queue
+declaration, the :class:`~repro.overload.credits.CreditController`,
+the shedding policy, the :class:`ShedAccounting` ledger and the
+:class:`~repro.overload.detector.StragglerDetector` — and presents
+three narrow surfaces to the rest of the system:
+
+- **wiring hooks** (``attach_entry`` / ``attach_joiner`` /
+  ``attach_router`` / ``detach_joiner``) called by the engine as the
+  topology is built and elastically reshaped;
+- an **admission protocol** (``admission_decision`` plus the
+  ``record_*`` accounting calls) used by the cluster's producer pump;
+- **signals out**: ``hot_units()`` for the routing layer,
+  ``mean_inbox_depth()`` for the HPA backlog feed, ``export_metrics``
+  (all under the ``repro_overload_`` prefix) and ``report()`` for the
+  end-of-run summary.
+
+Everything here is passive bookkeeping until pressure actually
+appears: with generous bounds and an underloaded workload the manager
+never schedules an event, never touches workload randomness and never
+alters a routing decision, which is what makes enabling it
+byte-transparent (``tests/integration/test_overload_transparency.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import ConfigurationError
+from ..obs.trace import NOOP_TRACER, SPAN_SHED, SPAN_THROTTLE
+from ..simulation.random import SeededRng
+from .accounting import OverloadReport, ShedAccounting
+from .credits import CreditController, ScheduleFn
+from .detector import StragglerConfig, StragglerDetector
+from .policies import (ADMIT, DEFER, POLICY_NAMES, SHED, ValueFn,
+                       make_policy)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..broker.broker import Broker
+    from ..broker.queue import MessageQueue
+    from ..core.joiner import Joiner
+    from ..core.router import Router
+    from ..core.tuples import StreamTuple
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Backpressure / admission-control configuration.
+
+    Attributes:
+        policy: shedding policy name (see
+            :data:`~repro.overload.policies.POLICY_NAMES`).
+        entry_queue_depth: bound on the shared router entry queue; its
+            occupancy relative to this bound is the admission severity.
+        joiner_queue_depth: bound on each joiner inbox queue.
+        credits_per_joiner: credit budget each joiner grants the
+            router pool.
+        park_limit: per-router bound on parked deliveries when the
+            policy evicts parked work (drop-oldest).
+        admission_retry: producer retry interval after a DEFER, in
+            simulated seconds; the source of rising admission delay.
+        shed_low_watermark: severity at which semantic shedding starts.
+        shed_max_probability: shedding probability ceiling (semantic).
+        value_fn: optional tuple-utility function for semantic
+            shedding (higher value = shed less).
+        seed: seed of the policy's private random stream.
+        detect_stragglers: enable the per-joiner EWMA detector.
+        straggler: detector thresholds.
+    """
+
+    policy: str = "block"
+    entry_queue_depth: int = 512
+    joiner_queue_depth: int = 256
+    credits_per_joiner: int = 64
+    park_limit: int = 64
+    admission_retry: float = 0.02
+    shed_low_watermark: float = 0.5
+    shed_max_probability: float = 1.0
+    value_fn: ValueFn | None = None
+    seed: int = 7
+    detect_stragglers: bool = True
+    straggler: StragglerConfig = StragglerConfig()
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; expected one of "
+                f"{POLICY_NAMES}")
+        for attr in ("entry_queue_depth", "joiner_queue_depth",
+                     "credits_per_joiner", "park_limit"):
+            if getattr(self, attr) < 1:
+                raise ConfigurationError(
+                    f"{attr} must be >= 1, got {getattr(self, attr)!r}")
+        if self.admission_retry <= 0.0:
+            raise ConfigurationError(
+                f"admission_retry must be > 0, got {self.admission_retry!r}")
+
+
+class OverloadManager:
+    """Owns bounded queues, credits, shedding and straggler state."""
+
+    def __init__(self, config: OverloadConfig,
+                 broker: "Broker", *,
+                 scheduler: ScheduleFn | None = None,
+                 clock: Callable[[], float] | None = None,
+                 tracer=NOOP_TRACER) -> None:
+        self.config = config
+        self.broker = broker
+        self.tracer = tracer
+        self.clock = clock or (lambda: 0.0)
+        self.accounting = ShedAccounting()
+        self.credits = CreditController(config.credits_per_joiner,
+                                        scheduler=scheduler)
+        self.policy = make_policy(config.policy,
+                                  low_watermark=config.shed_low_watermark,
+                                  max_probability=config.shed_max_probability,
+                                  value_fn=config.value_fn)
+        self.detector = (StragglerDetector(config.straggler)
+                         if config.detect_stragglers else None)
+        self._rng = SeededRng(config.seed, "overload")
+        self._entry_queue: "MessageQueue | None" = None
+        self._joiner_queues: dict[str, "MessageQueue"] = {}
+        self._routers: list["Router"] = []
+        #: Peak depth of inboxes that have since been deleted.
+        self._retired_peak_joiner = 0
+
+    # ------------------------------------------------------------------
+    # Wiring hooks (called by the engine)
+    # ------------------------------------------------------------------
+    def attach_entry(self, queue_name: str) -> None:
+        """Bound the shared entry queue; its fill ratio drives admission."""
+        self._entry_queue = self.broker.declare_queue(
+            queue_name, max_depth=self.config.entry_queue_depth)
+
+    def attach_inbox(self, unit_id: str, queue_name: str) -> None:
+        """Bound one consumer inbox and track it for depth signals.
+
+        The credit-free variant of :meth:`attach_joiner`, used by
+        runtimes whose consumers cannot grant credits (the matrix's
+        auto-ack cells): the queue is bounded and feeds the straggler /
+        peak-depth signals, while flow control rests on admission
+        control alone.
+        """
+        queue = self.broker.declare_queue(
+            queue_name, max_depth=self.config.joiner_queue_depth)
+        self._joiner_queues[unit_id] = queue
+
+    def attach_joiner(self, joiner: "Joiner") -> None:
+        """Bound the unit's inbox and enrol it in the credit pool."""
+        if joiner.inbox_queue is None:
+            raise ConfigurationError(
+                f"joiner {joiner.unit_id!r} has no inbox queue yet")
+        self.attach_inbox(joiner.unit_id, joiner.inbox_queue)
+        self.credits.register(joiner.unit_id)
+        unit_id = joiner.unit_id
+        joiner.credit_grant = lambda: self.credits.grant(unit_id)
+
+    def detach_joiner(self, unit_id: str) -> None:
+        """Forget a drained/reaped unit (frees its credit gate)."""
+        queue = self._joiner_queues.pop(unit_id, None)
+        if queue is not None and queue.peak_depth > self._retired_peak_joiner:
+            self._retired_peak_joiner = queue.peak_depth
+        self.credits.unregister(unit_id)
+        if self.detector is not None:
+            self.detector.forget(unit_id)
+
+    def attach_router(self, router: "Router") -> None:
+        """Put the router under credit flow control (and park bounds)."""
+        router.flow = self.credits
+        router.clock = self.clock
+        if self.policy.evicts_parked:
+            router.park_limit = self.config.park_limit
+            router.on_park_evict = self._on_park_evict
+        self._routers.append(router)
+
+    def _on_park_evict(self, t: "StreamTuple", now: float) -> None:
+        self.accounting.record_shed(t.relation, "park-evict",
+                                    after_admission=True)
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_SHED, now, "overload",
+                               tuple_id=t.ident, detail="park-evict")
+
+    # ------------------------------------------------------------------
+    # Admission protocol (called by the producer pump)
+    # ------------------------------------------------------------------
+    def severity(self) -> float:
+        """Entry-queue occupancy relative to its bound (>= 1 = full)."""
+        queue = self._entry_queue
+        if queue is None or queue.max_depth is None:
+            return 0.0
+        return queue.depth / queue.max_depth
+
+    def admission_decision(self, t: "StreamTuple") -> str:
+        """ADMIT / DEFER / SHED verdict for one offered tuple."""
+        return self.policy.decide(t, self.severity(), self._rng)
+
+    def record_offered(self, t: "StreamTuple") -> None:
+        self.accounting.record_offered(t.relation)
+
+    def record_admitted(self, t: "StreamTuple", now: float) -> None:
+        self.accounting.record_admitted(t.relation, max(0.0, now - t.ts))
+
+    def record_shed(self, t: "StreamTuple", now: float,
+                    reason: str = "admission") -> None:
+        self.accounting.record_shed(t.relation, reason)
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_SHED, now, "admission",
+                               tuple_id=t.ident, detail=reason)
+
+    def record_deferral(self, t: "StreamTuple", now: float,
+                        attempt: int) -> None:
+        self.accounting.record_deferral()
+        if self.tracer.enabled and attempt == 1:
+            # One throttle span per tuple, on its first deferral — a
+            # long stall would otherwise flood the trace with retries.
+            self.tracer.record(SPAN_THROTTLE, now, "admission",
+                               tuple_id=t.ident, detail="defer")
+
+    # ------------------------------------------------------------------
+    # Signals out
+    # ------------------------------------------------------------------
+    def observe(self, now: float) -> None:
+        """Feed the straggler detector from inbox totals (metrics tick)."""
+        if self.detector is None:
+            return
+        for unit_id, queue in sorted(self._joiner_queues.items()):
+            # Settled = enqueued minus still-occupying (acked or dropped),
+            # i.e. envelopes the unit has fully processed: the service
+            # counterpart of the arrival total.
+            self.detector.observe(unit_id, now, queue.enqueued,
+                                  queue.enqueued - queue.depth, queue.depth)
+
+    def hot_units(self) -> frozenset[str]:
+        """Currently-flagged stragglers, for the routing layer."""
+        if self.detector is None:
+            return frozenset()
+        return self.detector.hot_units()
+
+    def mean_inbox_depth(self, side: str | None = None) -> float:
+        """Mean joiner-inbox occupancy, the HPA backlog augmentation.
+
+        ``side`` restricts the mean to one relation's units (unit ids
+        are prefixed with their side letter).
+        """
+        depths = [q.depth for unit_id, q in self._joiner_queues.items()
+                  if side is None or unit_id.startswith(side)]
+        if not depths:
+            return 0.0
+        return sum(depths) / len(depths)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def parks(self) -> int:
+        return sum(router.parks for router in self._routers)
+
+    @property
+    def park_evictions(self) -> int:
+        return sum(router.park_evictions for router in self._routers)
+
+    @property
+    def peak_entry_depth(self) -> int:
+        return 0 if self._entry_queue is None else self._entry_queue.peak_depth
+
+    @property
+    def peak_joiner_depth(self) -> int:
+        live = max((q.peak_depth for q in self._joiner_queues.values()),
+                   default=0)
+        return max(live, self._retired_peak_joiner)
+
+    @property
+    def entry_overflows(self) -> int:
+        return 0 if self._entry_queue is None else self._entry_queue.overflows
+
+    def export_metrics(self, registry) -> None:
+        """Publish overload totals under the ``repro_overload_`` prefix."""
+        acc = self.accounting
+        for side in sorted(acc.sides):
+            labels = {"side": side}
+            ledger = acc.sides[side]
+            registry.counter("repro_overload_offered_total",
+                             "Tuples offered for admission.",
+                             labels).set_total(ledger.offered)
+            registry.counter("repro_overload_admitted_total",
+                             "Tuples admitted into the engine.",
+                             labels).set_total(ledger.admitted)
+            registry.counter("repro_overload_shed_total",
+                             "Tuples shed by the overload layer.",
+                             labels).set_total(ledger.shed)
+            registry.gauge("repro_overload_recall_loss",
+                           "Fraction of offered tuples shed.",
+                           labels).set(ledger.recall_loss)
+        for reason in sorted(acc.sheds_by_reason):
+            registry.counter("repro_overload_shed_by_reason_total",
+                             "Shed tuples by mechanism.",
+                             {"reason": reason}
+                             ).set_total(acc.sheds_by_reason[reason])
+        registry.counter("repro_overload_deferrals_total",
+                         "Producer deferrals (block backpressure)."
+                         ).set_total(acc.deferrals)
+        registry.counter("repro_overload_admission_delay_seconds_total",
+                         "Cumulative admission delay absorbed."
+                         ).set_total(acc.total_admission_delay)
+        registry.gauge("repro_overload_admission_delay_seconds_max",
+                       "Largest single-tuple admission delay."
+                       ).set(acc.max_admission_delay)
+        registry.counter("repro_overload_parks_total",
+                         "Deliveries parked by routers on dry credits."
+                         ).set_total(self.parks)
+        registry.counter("repro_overload_park_evictions_total",
+                         "Parked tuples evicted (drop-oldest)."
+                         ).set_total(self.park_evictions)
+        registry.counter("repro_overload_credit_acquires_total",
+                         "Credits consumed by routed envelopes."
+                         ).set_total(self.credits.acquires)
+        registry.counter("repro_overload_credit_grants_total",
+                         "Credits granted back by joiners."
+                         ).set_total(self.credits.grants)
+        registry.counter("repro_overload_credit_stalls_total",
+                         "Transitions of the credit pool to exhausted."
+                         ).set_total(self.credits.stalls)
+        registry.gauge("repro_overload_credits_min",
+                       "Tightest credit balance across the pool."
+                       ).set(self.credits.min_available())
+        for unit_id in self.credits.units:
+            registry.gauge("repro_overload_credits",
+                           "Available credits per joiner.",
+                           {"unit": unit_id}
+                           ).set(self.credits.available(unit_id))
+        registry.gauge("repro_overload_entry_depth",
+                       "Current entry-queue occupancy."
+                       ).set(0 if self._entry_queue is None
+                             else self._entry_queue.depth)
+        registry.gauge("repro_overload_entry_peak_depth",
+                       "Peak entry-queue occupancy."
+                       ).set(self.peak_entry_depth)
+        registry.gauge("repro_overload_joiner_peak_depth",
+                       "Peak joiner-inbox occupancy."
+                       ).set(self.peak_joiner_depth)
+        if self.detector is not None:
+            registry.counter("repro_overload_stragglers_flagged_total",
+                             "Cold-to-hot straggler transitions."
+                             ).set_total(self.detector.flagged_total)
+            registry.gauge("repro_overload_stragglers",
+                           "Currently-flagged straggler units."
+                           ).set(len(self.detector.hot_units()))
+
+    def report(self) -> OverloadReport:
+        """Freeze the end-of-run summary."""
+        acc = self.accounting
+        return OverloadReport(
+            policy=self.config.policy,
+            offered={s: acc.sides[s].offered for s in sorted(acc.sides)},
+            admitted={s: acc.sides[s].admitted for s in sorted(acc.sides)},
+            shed={s: acc.sides[s].shed for s in sorted(acc.sides)},
+            recall_loss={s: acc.sides[s].recall_loss
+                         for s in sorted(acc.sides)},
+            sheds_by_reason=dict(sorted(acc.sheds_by_reason.items())),
+            deferrals=acc.deferrals,
+            admitted_delayed=acc.admitted_delayed,
+            total_admission_delay=acc.total_admission_delay,
+            max_admission_delay=acc.max_admission_delay,
+            mean_admission_delay=acc.mean_admission_delay,
+            parks=self.parks,
+            park_evictions=self.park_evictions,
+            peak_entry_depth=self.peak_entry_depth,
+            peak_joiner_depth=self.peak_joiner_depth,
+            entry_overflows=self.entry_overflows,
+            credit_grants=self.credits.grants,
+            credit_acquires=self.credits.acquires,
+            credit_stalls=self.credits.stalls,
+            stragglers_flagged=(0 if self.detector is None
+                                else self.detector.flagged_total),
+            hot_units=tuple(sorted(self.hot_units())),
+        )
+
+
+# Re-exported for callers that only need the verdict constants.
+__all__ = ["OverloadConfig", "OverloadManager", "ADMIT", "DEFER", "SHED"]

@@ -1,0 +1,171 @@
+"""Pluggable admission-control / load-shedding policies.
+
+When offered load exceeds capacity something has to give; a policy
+decides *what*.  Each policy sees one source tuple at admission time
+together with the current overload ``severity`` — the entry queue's
+occupancy relative to its configured bound (``depth / max_depth``, so
+``>= 1.0`` means the queue is full) — and returns one of three
+verdicts:
+
+``ADMIT``
+    Ingest the tuple now.
+``DEFER``
+    Do not ingest yet; the producer is re-scheduled after a short
+    retry interval, so sustained overload surfaces as *rising
+    admission delay* on the simulated clock (the block-producer
+    behaviour: lossless, but latency grows).
+``SHED``
+    Drop the tuple at the door.  Every shed is accounted by the
+    :class:`~repro.overload.accounting.ShedAccounting` ledger so the
+    ``offered == admitted + shed`` invariant reconciles exactly.
+
+The ``drop-oldest`` policy is the one policy that sheds *old* data
+instead of new: it always admits and instead bounds the routers'
+park buffers, evicting the oldest parked tuple when a fresh one
+arrives (``evicts_parked`` signals the wiring layer to enable park
+eviction).  ``semantic`` sheds probabilistically above a low
+watermark, preferring low-*value* tuples — the utility-based load
+shedding of Tatbul et al. adapted to the join setting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.tuples import StreamTuple
+    from ..simulation.random import SeededRng
+
+#: Admission verdicts.
+ADMIT = "admit"
+DEFER = "defer"
+SHED = "shed"
+
+#: Registered policy names, in documentation order.
+POLICY_NAMES = ("block", "drop-tail", "drop-oldest", "semantic")
+
+#: Optional tuple-value function for semantic shedding: maps a tuple to
+#: a utility in [0, 1]; higher-value tuples are shed less often.
+ValueFn = Callable[["StreamTuple"], float]
+
+
+class SheddingPolicy:
+    """Base class: admit everything, never shed."""
+
+    name = "admit-all"
+    #: Does this policy bound the router park buffers by evicting the
+    #: oldest parked tuple (drop-oldest semantics)?
+    evicts_parked = False
+
+    def decide(self, t: "StreamTuple", severity: float,
+               rng: "SeededRng") -> str:
+        return ADMIT
+
+
+class BlockProducerPolicy(SheddingPolicy):
+    """Lossless backpressure: defer the producer while the entry queue
+    is full.  Nothing is ever shed; overload shows up as admission
+    delay (and, transitively, end-to-end latency)."""
+
+    name = "block"
+
+    def decide(self, t: "StreamTuple", severity: float,
+               rng: "SeededRng") -> str:
+        return DEFER if severity >= 1.0 else ADMIT
+
+
+class DropTailPolicy(SheddingPolicy):
+    """Shed the *newest* tuples once the entry queue is full.
+
+    Keeps latency of admitted tuples bounded at the cost of recall:
+    the freshest arrivals are sacrificed while the queue drains.
+    """
+
+    name = "drop-tail"
+
+    def decide(self, t: "StreamTuple", severity: float,
+               rng: "SeededRng") -> str:
+        return SHED if severity >= 1.0 else ADMIT
+
+
+class DropOldestPolicy(SheddingPolicy):
+    """Prefer fresh data: admit everything, evict the *oldest* parked
+    tuple when a router's bounded park buffer overflows.
+
+    Admission never blocks or sheds; the loss happens downstream where
+    age is known, so the system always works on the newest data.  Total
+    buffered occupancy stays bounded by ``routers x park_limit`` plus
+    the in-transit window.
+    """
+
+    name = "drop-oldest"
+    evicts_parked = True
+
+    def decide(self, t: "StreamTuple", severity: float,
+               rng: "SeededRng") -> str:
+        return ADMIT
+
+
+class SemanticSheddingPolicy(SheddingPolicy):
+    """Probabilistic utility-based shedding.
+
+    Above ``low_watermark`` severity, each tuple is shed with
+    probability ``max_probability * pressure * (1 - value(t))`` where
+    ``pressure`` ramps linearly from 0 at the watermark to 1 at a full
+    queue — so low-value tuples are shed first and shedding intensity
+    tracks the overload.  A full queue additionally defers admission
+    (the block backstop) so the bound holds even when every tuple is
+    high-value.
+    """
+
+    name = "semantic"
+
+    def __init__(self, *, low_watermark: float = 0.5,
+                 max_probability: float = 1.0,
+                 value_fn: ValueFn | None = None) -> None:
+        if not 0.0 <= low_watermark < 1.0:
+            raise ConfigurationError(
+                f"low_watermark must be in [0, 1), got {low_watermark!r}")
+        if not 0.0 <= max_probability <= 1.0:
+            raise ConfigurationError(
+                f"max_probability must be in [0, 1], got {max_probability!r}")
+        self.low_watermark = low_watermark
+        self.max_probability = max_probability
+        self.value_fn = value_fn
+
+    def value(self, t: "StreamTuple") -> float:
+        """The tuple's utility in [0, 1] (0 when no value_fn is set)."""
+        if self.value_fn is None:
+            return 0.0
+        return min(1.0, max(0.0, self.value_fn(t)))
+
+    def decide(self, t: "StreamTuple", severity: float,
+               rng: "SeededRng") -> str:
+        if severity <= self.low_watermark:
+            return ADMIT
+        pressure = min(1.0, (severity - self.low_watermark)
+                       / (1.0 - self.low_watermark))
+        probability = self.max_probability * pressure * (1.0 - self.value(t))
+        if probability > 0.0 and rng.random() < probability:
+            return SHED
+        return DEFER if severity >= 1.0 else ADMIT
+
+
+def make_policy(name: str, *, low_watermark: float = 0.5,
+                max_probability: float = 1.0,
+                value_fn: ValueFn | None = None) -> SheddingPolicy:
+    """Instantiate a policy by registered name."""
+    if name == "block":
+        return BlockProducerPolicy()
+    if name == "drop-tail":
+        return DropTailPolicy()
+    if name == "drop-oldest":
+        return DropOldestPolicy()
+    if name == "semantic":
+        return SemanticSheddingPolicy(low_watermark=low_watermark,
+                                      max_probability=max_probability,
+                                      value_fn=value_fn)
+    raise ConfigurationError(
+        f"unknown shedding policy {name!r}; expected one of {POLICY_NAMES}")

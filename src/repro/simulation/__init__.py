@@ -26,6 +26,7 @@ from .network import (
     NetworkModel,
     PartitionNetwork,
     PerChannelDelayNetwork,
+    ReorderNetwork,
     ZeroDelayNetwork,
 )
 from .random import SeededRng
@@ -46,4 +47,5 @@ __all__ = [
     "LossyNetwork",
     "PartitionNetwork",
     "PerChannelDelayNetwork",
+    "ReorderNetwork",
 ]

@@ -6,10 +6,13 @@ models here decide how long each message spends "on the wire" so that
 the simulator can both (a) model realistic latency and (b) deliberately
 provoke the out-of-order interleavings the ordering protocol must fix.
 
-All models guarantee **pairwise FIFO**: two messages sent on the same
-``(sender, receiver)`` channel are never reordered, matching the AMQP
-per-queue guarantee the thesis builds on (Definition 8).  Cross-channel
-order is where the models differ.
+The delay models guarantee **pairwise FIFO**: two messages sent on the
+same ``(sender, receiver)`` channel are never reordered, matching the
+AMQP per-queue guarantee the thesis builds on (Definition 8).  Cross-
+channel order is where the models differ.  :class:`ReorderNetwork` is
+the deliberate exception: it breaks wire-level FIFO (boundedly, seeded)
+to exercise the broker's per-channel sequence gates, which restore
+FIFO before any consumer observes the traffic.
 
 Fault injection is expressed through :meth:`NetworkModel.transmit`,
 which returns the arrival delays of every *copy* of a message that
@@ -256,3 +259,65 @@ class PartitionNetwork(NetworkModel):
             self.blackholed += 1
             return []
         return self.inner.transmit(sender, receiver, now)
+
+
+class ReorderNetwork(NetworkModel):
+    """Deliberately violates wire-level pairwise FIFO, boundedly.
+
+    Wraps any delay model.  With probability ``reorder_probability`` a
+    message "overtakes" traffic in flight on its own channel: its
+    arrival is drawn between the latest pending arrival (exclusive
+    above) and the latest arrival it is *not* allowed to pass, so it
+    lands before messages sent earlier.  The inversion is bounded by
+    construction: at most the ``max_inflight`` most recent pending
+    arrivals can be overtaken, and delivery never precedes the send
+    time.
+
+    This is the one model in this module that breaks the wire-level
+    FIFO contract on purpose.  The broker's per-channel sequence gates
+    (:class:`~repro.broker.broker._ChannelGate`) hold early arrivals
+    until their predecessors land, so consumers — and the ordering
+    protocol above them — still observe pairwise-FIFO delivery; the
+    integration tests assert exactly that masking.
+    """
+
+    def __init__(self, inner: NetworkModel, rng: SeededRng, *,
+                 reorder_probability: float = 0.3,
+                 max_inflight: int = 4) -> None:
+        super().__init__()
+        if not 0.0 <= reorder_probability <= 1.0:
+            raise SimulationError(
+                f"reorder probability must be in [0, 1], got "
+                f"{reorder_probability!r}")
+        if max_inflight < 1:
+            raise SimulationError(
+                f"max_inflight must be >= 1, got {max_inflight!r}")
+        self.inner = inner
+        self._rng = rng
+        self.reorder_probability = reorder_probability
+        self.max_inflight = max_inflight
+        self._pending: dict[tuple[str, str], list[float]] = {}
+        #: Messages whose planned arrival precedes an earlier send's.
+        self.reordered = 0
+
+    def raw_delay(self, sender: str, receiver: str) -> float:
+        return self.inner.raw_delay(sender, receiver)
+
+    def delay(self, sender: str, receiver: str, now: float) -> float:
+        channel = (sender, receiver)
+        inflight = [a for a in self._pending.get(channel, ()) if a > now]
+        arrival = now + self.inner.delay(sender, receiver, now)
+        if inflight and self._rng.random() < self.reorder_probability:
+            # The most recent `max_inflight` pending arrivals may be
+            # overtaken; everything older is a hard floor, so the
+            # inversion distance is bounded by construction.
+            ahead = sorted(inflight, reverse=True)[:self.max_inflight]
+            upper = ahead[0]
+            floor = max([now] + [a for a in inflight if a not in ahead])
+            if upper > floor:
+                arrival = floor + self._rng.random() * (upper - floor)
+                if arrival < upper:
+                    self.reordered += 1
+        inflight.append(arrival)
+        self._pending[channel] = inflight
+        return arrival - now

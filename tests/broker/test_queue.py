@@ -42,6 +42,55 @@ class TestConsumers:
             MessageQueue("q").select_consumer()
 
 
+class TestRoundRobinAfterRemoval:
+    """Removing a consumer must not bias dispatch onto the earliest
+    survivor (the rotation cursor is adjusted, not reset)."""
+
+    def make(self, *ids):
+        queue = MessageQueue("q")
+        for cid in ids:
+            queue.add_consumer(cid, lambda d: None)
+        return queue
+
+    def test_rotation_continues_relative_to_survivors(self):
+        queue = self.make("a", "b", "c")
+        assert queue.offer(msg(0)).consumer_id == "a"
+        queue.remove_consumer("a")  # cursor pointed at "b": keep it there
+        picks = [queue.offer(msg(i)).consumer_id for i in range(4)]
+        assert picks == ["b", "c", "b", "c"]
+
+    def test_removing_consumer_behind_cursor(self):
+        queue = self.make("a", "b", "c")
+        assert queue.offer(msg(0)).consumer_id == "a"
+        assert queue.offer(msg(1)).consumer_id == "b"
+        queue.remove_consumer("a")  # behind the cursor: shift it back
+        picks = [queue.offer(msg(i)).consumer_id for i in range(4)]
+        assert picks == ["c", "b", "c", "b"]
+
+    def test_removing_last_slot_wraps_cursor(self):
+        queue = self.make("a", "b", "c")
+        assert queue.offer(msg(0)).consumer_id == "a"
+        assert queue.offer(msg(1)).consumer_id == "b"
+        assert queue.offer(msg(2)).consumer_id == "c"
+        # Cursor wrapped to "a"; removing "c" must keep it on "a".
+        queue.remove_consumer("c")
+        picks = [queue.offer(msg(i)).consumer_id for i in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_no_skew_over_many_removals(self):
+        """After every scale-in, the survivors still share load evenly
+        (the old reset-to-zero cursor skewed it onto the first one)."""
+        queue = self.make("a", "b", "c", "d")
+        counts = {"a": 0, "b": 0, "c": 0, "d": 0}
+        for victim in ("d", "c"):
+            for i in range(5):
+                counts[queue.offer(msg(i)).consumer_id] += 1
+            queue.remove_consumer(victim)
+        for i in range(10):
+            counts[queue.offer(msg(i)).consumer_id] += 1
+        assert counts["a"] == counts["b"]
+
+
 class TestBacklog:
     def test_messages_buffer_without_consumers(self):
         queue = MessageQueue("q")
@@ -66,3 +115,79 @@ class TestBacklog:
         queue.offer(msg(2))
         assert queue.enqueued == 2
         assert queue.dispatched == 2
+
+
+class TestBoundedQueue:
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(BrokerError):
+            MessageQueue("q", max_depth=0)
+
+    def test_depth_counts_backlog_plus_in_flight(self):
+        queue = MessageQueue("q", max_depth=4)
+        queue.offer(msg(1))
+        queue.offer(msg(2))
+        queue.in_flight = 2  # broker-maintained
+        assert queue.depth == 4
+        assert queue.is_full
+        assert not queue.has_capacity
+
+    def test_unbounded_queue_is_never_full(self):
+        queue = MessageQueue("q")
+        for i in range(100):
+            queue.offer(msg(i))
+        assert not queue.is_full
+
+    def test_peak_depth_high_water_mark(self):
+        queue = MessageQueue("q", max_depth=10)
+        for i in range(3):
+            queue.offer(msg(i))
+        queue.add_consumer("a", lambda d: None)
+        queue.drain_backlog()
+        assert queue.peak_depth == 3
+
+    def test_evict_oldest_drops_backlog_head(self):
+        queue = MessageQueue("q", max_depth=2)
+        queue.offer(msg(1))
+        queue.offer(msg(2))
+        victim = queue.evict_oldest()
+        assert victim.payload == 1
+        assert queue.evicted == 1
+        assert queue.backlog_depth == 1
+
+    def test_evict_oldest_on_empty_backlog(self):
+        queue = MessageQueue("q", max_depth=2)
+        assert queue.evict_oldest() is None
+        assert queue.evicted == 0
+
+
+class TestRequeueInterleaving:
+    """Crash-requeued messages stay ahead of anything newer: the
+    redelivery contract the recovery subsystem relies on."""
+
+    def test_requeued_messages_drain_before_newer_backlog(self):
+        queue = MessageQueue("q")
+        queue.offer(msg(3))
+        queue.offer(msg(4))
+        queue.requeue([msg(1), msg(2)])  # crash victims, original order
+        queue.add_consumer("a", lambda d: None)
+        assigned = queue.drain_backlog()
+        assert [m.payload for m, _ in assigned] == [1, 2, 3, 4]
+
+    def test_interleaved_requeue_and_offer_rounds(self):
+        queue = MessageQueue("q")
+        queue.offer(msg(5))
+        queue.requeue([msg(1), msg(2)])
+        queue.offer(msg(6))
+        queue.requeue([msg(0)])
+        queue.add_consumer("a", lambda d: None)
+        assigned = queue.drain_backlog()
+        # Each requeue batch goes to the very front, in batch order.
+        assert [m.payload for m, _ in assigned] == [0, 1, 2, 5, 6]
+        assert queue.requeued == 3
+
+    def test_requeue_counts_toward_capacity(self):
+        queue = MessageQueue("q", max_depth=2)
+        queue.requeue([msg(1), msg(2)])
+        assert queue.depth == 2
+        assert queue.is_full
+        assert queue.peak_depth == 2

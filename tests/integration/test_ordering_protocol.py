@@ -17,6 +17,7 @@ from repro.harness import check_exactly_once, reference_join
 from repro.simulation import (
     JitterNetwork,
     PerChannelDelayNetwork,
+    ReorderNetwork,
     SeededRng,
     Simulator,
 )
@@ -91,6 +92,32 @@ class TestProtocolUnderDisorder:
             return JitterNetwork(base=0.005, jitter=0.0,
                                  rng=SeededRng(1, "net"))
         check = run_on_network(no_jitter, ordered=False)
+        assert check.ok, check
+
+
+class TestReorderNetworkMasked:
+    """A wire that violates pairwise FIFO (ReorderNetwork) is repaired
+    by the broker's per-channel sequence gates before the ordering
+    protocol ever sees the traffic — so even the *unordered* engine,
+    which is defenceless against in-channel inversions, stays exact on
+    a single router."""
+
+    @staticmethod
+    def reorder(sim):
+        return ReorderNetwork(
+            JitterNetwork(base=0.005, jitter=0.05, rng=SeededRng(99, "net")),
+            SeededRng(17, "reorder"),
+            reorder_probability=0.5, max_inflight=4)
+
+    def test_ordered_engine_exact_on_reordering_wire(self):
+        check = run_on_network(self.reorder, ordered=True, routing="random")
+        assert check.ok, check
+
+    def test_gates_mask_inversions_for_single_router(self):
+        """One router + unordered engine relies *entirely* on channel
+        FIFO; only the sequence gates stand between the wire inversions
+        and duplicate/missed results."""
+        check = run_on_network(self.reorder, ordered=False, routers=1)
         assert check.ok, check
 
 

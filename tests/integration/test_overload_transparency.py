@@ -1,0 +1,97 @@
+"""Overload-layer transparency: enabling backpressure must not change
+a run that never hits its limits.
+
+The differential counterpart of ``test_trace_transparency``: the same
+seeded, comfortably-underloaded workload is run with the overload layer
+off and with backpressure + credits enabled at generous bounds.  Every
+observable product of the run — join results, metrics snapshot,
+autoscaling timeline and decisions — must be identical; only the
+``repro_overload_*`` metric family (which exists solely in the enabled
+run) may differ, and every pressure indicator in it must be zero.
+"""
+
+import pytest
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow, merge_by_time
+from repro.cluster import HpaConfig, SimulatedCluster
+from repro.overload import OverloadConfig
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+PREDICATE = EquiJoinPredicate("k", "k")
+WINDOW = TimeWindow(seconds=4.0)
+DURATION = 18.0
+
+#: Generous bounds an underloaded run never approaches.
+GENEROUS = dict(entry_queue_depth=10_000, joiner_queue_depth=10_000,
+                credits_per_joiner=10_000)
+
+
+def run_once(seed, overload, *, rate=30.0):
+    wl = EquiJoinWorkload(keys=UniformKeys(12), seed=seed)
+    r, s = wl.materialise(ConstantRate(rate), DURATION)
+    arrivals = list(merge_by_time(r, s))
+    cluster = SimulatedCluster(
+        BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                       routing="hash", punctuation_interval=0.2),
+        PREDICATE,
+        hpa={"R": HpaConfig(min_replicas=1, max_replicas=3, period=10.0)},
+        overload=overload)
+    report = cluster.run(iter(arrivals), DURATION)
+    return cluster, report
+
+
+def observable_outcome(cluster, report):
+    """Everything a run produces, minus the overload layer's own
+    telemetry (asserted separately)."""
+    metrics = {k: v for k, v in (report.metrics or {}).items()
+               if not k.startswith("repro_overload_")}
+    return {
+        "results": list(cluster.engine.results),
+        "tuples_ingested": report.tuples_ingested,
+        "result_count": report.results,
+        "metrics": metrics,
+        "timeline": list(report.timeline),
+        "hpa_decisions": report.hpa_decisions,
+        "scale_events": list(report.scale_events),
+    }
+
+
+class TestOverloadTransparency:
+    @pytest.mark.parametrize("seed", [3, 41, 1234])
+    @pytest.mark.parametrize("policy", ["block", "drop-tail", "semantic"])
+    def test_underloaded_run_is_untouched(self, seed, policy):
+        plain_cluster, plain_report = run_once(seed, None)
+        enabled_cluster, enabled_report = run_once(
+            seed, OverloadConfig(policy=policy, **GENEROUS))
+        plain = observable_outcome(plain_cluster, plain_report)
+        enabled = observable_outcome(enabled_cluster, enabled_report)
+        assert plain["result_count"] > 0
+        for key in plain:
+            assert enabled[key] == plain[key], (
+                f"overload layer ({policy}) perturbed {key!r}")
+
+    def test_overload_telemetry_reports_no_pressure(self):
+        _, report = run_once(3, OverloadConfig(policy="block", **GENEROUS))
+        o = report.overload
+        assert o.reconciled
+        assert o.total_shed == 0
+        assert o.deferrals == 0
+        assert o.parks == 0
+        assert o.credit_stalls == 0
+        assert o.max_admission_delay == 0.0
+        assert sum(o.admitted.values()) == o.total_offered
+        # The overload metric family exists and is all-clear.
+        metrics = report.metrics
+        assert metrics["repro_overload_deferrals_total"] == 0
+        assert metrics['repro_overload_shed_total{side="R"}'] == 0
+        assert metrics['repro_overload_shed_total{side="S"}'] == 0
+        assert metrics["repro_overload_parks_total"] == 0
+        assert metrics["repro_overload_credit_stalls_total"] == 0
+
+    def test_event_count_is_identical(self):
+        """The layer adds zero simulation events when never stressed —
+        the strongest non-perturbation statement available."""
+        _, plain = run_once(3, None)
+        _, enabled = run_once(3, OverloadConfig(policy="block", **GENEROUS))
+        key = "repro_sim_events_executed_total"
+        assert plain.metrics[key] == enabled.metrics[key]

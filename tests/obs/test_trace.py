@@ -43,8 +43,8 @@ class TestTracerRecording:
         assert emit.partner == ("S", 0)
 
     def test_span_kinds_cover_the_taxonomy(self):
-        assert len(SPAN_KINDS) == 9
-        assert len(set(SPAN_KINDS)) == 9
+        assert len(SPAN_KINDS) == 11
+        assert len(set(SPAN_KINDS)) == 11
 
 
 class TestValidation:

@@ -1,0 +1,69 @@
+"""Tests for repro.overload.accounting (the shed ledger)."""
+
+from repro.overload import ShedAccounting, SideLedger
+
+
+class TestSideLedger:
+    def test_reconciles_when_columns_add_up(self):
+        ledger = SideLedger(offered=10, admitted=7, shed=3)
+        assert ledger.reconciled
+        assert ledger.recall_loss == 0.3
+
+    def test_detects_unaccounted_loss(self):
+        assert not SideLedger(offered=10, admitted=7, shed=2).reconciled
+
+    def test_empty_side_has_zero_recall_loss(self):
+        assert SideLedger().recall_loss == 0.0
+
+
+class TestShedAccounting:
+    def test_offered_equals_admitted_plus_shed(self):
+        acc = ShedAccounting()
+        for _ in range(5):
+            acc.record_offered("R")
+        for _ in range(3):
+            acc.record_admitted("R")
+        for _ in range(2):
+            acc.record_shed("R", "admission")
+        assert acc.reconciled
+        assert acc.offered == 5 and acc.admitted == 3 and acc.shed == 2
+        assert acc.sheds_by_reason == {"admission": 2}
+
+    def test_sides_are_independent(self):
+        acc = ShedAccounting()
+        acc.record_offered("R")
+        acc.record_admitted("R")
+        acc.record_offered("S")
+        acc.record_shed("S", "admission")
+        assert acc.sides["R"].recall_loss == 0.0
+        assert acc.sides["S"].recall_loss == 1.0
+        assert acc.reconciled
+
+    def test_post_admission_shed_keeps_invariant(self):
+        """A park-evicted tuple was admitted first; shedding it later
+        must move it between columns, not double-count it."""
+        acc = ShedAccounting()
+        acc.record_offered("R")
+        acc.record_admitted("R")
+        assert acc.reconciled
+        acc.record_shed("R", "park-evict", after_admission=True)
+        assert acc.reconciled
+        assert acc.admitted == 0 and acc.shed == 1 and acc.offered == 1
+
+    def test_delay_aggregates(self):
+        acc = ShedAccounting()
+        acc.record_offered("R")
+        acc.record_admitted("R", delay=0.0)  # no delay: not counted
+        acc.record_offered("R")
+        acc.record_admitted("R", delay=0.4)
+        acc.record_offered("R")
+        acc.record_admitted("R", delay=0.2)
+        assert acc.admitted_delayed == 2
+        assert acc.max_admission_delay == 0.4
+        assert abs(acc.mean_admission_delay - 0.3) < 1e-12
+
+    def test_deferral_counter(self):
+        acc = ShedAccounting()
+        acc.record_deferral()
+        acc.record_deferral()
+        assert acc.deferrals == 2

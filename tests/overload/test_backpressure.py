@@ -1,0 +1,180 @@
+"""End-to-end backpressure and load-shedding on the simulated cluster.
+
+One overloaded workload (offered rate ~2.5x the joiners' service
+capacity), run under every admission policy plus an unprotected
+baseline.  The assertions are the acceptance criteria of the overload
+subsystem: bounded queues under backpressure, unbounded growth without
+it, exact ``offered == admitted + shed`` reconciliation, and the
+block-vs-shed latency/quality trade-off.
+"""
+
+import pytest
+
+from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow, merge_by_time
+from repro.cluster import SimulatedCluster
+from repro.cluster.resources import CostModel
+from repro.cluster.runtime import ClusterConfig
+from repro.overload import OverloadConfig
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+PREDICATE = EquiJoinPredicate("k", "k")
+RATE = 80.0
+DURATION = 5.0
+ENTRY_BOUND = 64
+
+
+def run_cluster(policy=None):
+    workload = EquiJoinWorkload(keys=UniformKeys(16), seed=3)
+    r, s = workload.materialise(ConstantRate(RATE), DURATION)
+    arrivals = list(merge_by_time(r, s))
+    overload = None if policy is None else OverloadConfig(
+        policy=policy, entry_queue_depth=ENTRY_BOUND,
+        joiner_queue_depth=ENTRY_BOUND, credits_per_joiner=32)
+    cluster = SimulatedCluster(
+        BicliqueConfig(window=TimeWindow(2.0), r_joiners=2, s_joiners=2,
+                       routing="random", punctuation_interval=0.2),
+        PREDICATE,
+        ClusterConfig(cost_model=CostModel().scaled(550.0)),
+        overload=overload)
+    report = cluster.run(iter(arrivals), DURATION)
+    return cluster, report
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_cluster(None)
+
+
+@pytest.fixture(scope="module")
+def block():
+    return run_cluster("block")
+
+
+@pytest.fixture(scope="module")
+def drop_tail():
+    return run_cluster("drop-tail")
+
+
+@pytest.fixture(scope="module")
+def drop_oldest():
+    return run_cluster("drop-oldest")
+
+
+@pytest.fixture(scope="module")
+def semantic():
+    return run_cluster("semantic")
+
+
+def entry_peak(cluster):
+    return cluster.overload.peak_entry_depth
+
+
+def max_joiner_peak(cluster):
+    return max(q.peak_depth for name, q in cluster.broker._queues.items()
+               if name.startswith("joiner."))
+
+
+class TestUnprotectedBaseline:
+    def test_joiner_inboxes_grow_without_bound(self, baseline):
+        """Offered load lands unchecked in the joiner inboxes: their
+        occupancy grows far past what any bounded run tolerates."""
+        cluster, report = baseline
+        assert max_joiner_peak(cluster) > 150
+        assert report.overload is None
+
+
+class TestBlockPolicy:
+    def test_bounds_entry_depth(self, block):
+        cluster, _ = block
+        assert entry_peak(cluster) <= ENTRY_BOUND
+
+    def test_credits_bound_joiner_inboxes(self, block):
+        """Each joiner's outstanding envelopes stay near its credit
+        budget (32) instead of the baseline's unbounded growth."""
+        cluster, _ = block
+        assert max_joiner_peak(cluster) <= 2 * 32
+
+    def test_lossless(self, block):
+        _, report = block
+        o = report.overload
+        assert o.total_shed == 0
+        assert o.reconciled
+        assert sum(o.admitted.values()) == o.total_offered
+
+    def test_backpressure_surfaces_as_admission_delay(self, block):
+        _, report = block
+        o = report.overload
+        assert o.deferrals > 0
+        assert o.max_admission_delay > 0.0
+        assert o.mean_admission_delay > 0.0
+
+    def test_credits_actually_stalled_routing(self, block):
+        _, report = block
+        assert report.overload.credit_stalls > 0
+        assert report.overload.parks > 0
+
+
+class TestDropTailPolicy:
+    def test_bounds_entry_depth(self, drop_tail):
+        cluster, _ = drop_tail
+        assert entry_peak(cluster) <= ENTRY_BOUND
+
+    def test_sheds_and_reconciles(self, drop_tail):
+        _, report = drop_tail
+        o = report.overload
+        assert o.total_shed > 0
+        assert o.reconciled
+        assert o.sheds_by_reason.get("admission", 0) == o.total_shed
+
+    def test_no_admission_delay(self, drop_tail):
+        """Drop-tail trades recall for latency: the producer is never
+        blocked, unlike the block policy."""
+        _, report = drop_tail
+        assert report.overload.deferrals == 0
+        assert report.overload.max_admission_delay == 0.0
+
+    def test_recall_loss_reported_per_side(self, drop_tail):
+        _, report = drop_tail
+        o = report.overload
+        for side in ("R", "S"):
+            assert o.recall_loss[side] == pytest.approx(
+                o.shed[side] / o.offered[side])
+            assert 0.0 < o.recall_loss[side] < 1.0
+
+
+class TestDropOldestPolicy:
+    def test_admits_everything_then_evicts_parked(self, drop_oldest):
+        _, report = drop_oldest
+        o = report.overload
+        assert o.park_evictions > 0
+        assert o.sheds_by_reason.get("park-evict", 0) == o.park_evictions
+
+    def test_reconciles_despite_post_admission_sheds(self, drop_oldest):
+        _, report = drop_oldest
+        o = report.overload
+        assert o.reconciled
+        assert o.total_shed == o.park_evictions
+
+
+class TestSemanticPolicy:
+    def test_sheds_and_reconciles(self, semantic):
+        _, report = semantic
+        o = report.overload
+        assert o.total_shed > 0
+        assert o.reconciled
+
+
+class TestTradeOff:
+    def test_block_keeps_more_results_than_shedding(self, block, drop_tail):
+        """The quality side of the trade-off: lossless backpressure
+        out-joins drop-tail on the same offered load."""
+        _, block_report = block
+        _, shed_report = drop_tail
+        assert block_report.results > shed_report.results
+
+    def test_shedding_avoids_the_blocking_delay(self, block, drop_tail):
+        """...and the latency side: shedding never stalls the source."""
+        _, block_report = block
+        _, shed_report = drop_tail
+        assert block_report.overload.max_admission_delay \
+            > shed_report.overload.max_admission_delay

@@ -1,0 +1,137 @@
+"""Tests for repro.overload.credits (credit-based flow control)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overload import CreditController
+
+
+class TestBalances:
+    def test_units_start_at_limit(self):
+        flow = CreditController(4)
+        flow.register("R0")
+        assert flow.available("R0") == 4
+        assert not flow.exhausted()
+
+    def test_acquire_and_grant_round_trip(self):
+        flow = CreditController(2)
+        flow.register("R0")
+        flow.acquire("R0")
+        flow.acquire("R0")
+        assert flow.exhausted()
+        flow.grant("R0")
+        assert not flow.exhausted()
+        assert flow.available("R0") == 1
+
+    def test_untracked_units_are_transparent(self):
+        flow = CreditController(2)
+        flow.acquire("ghost")  # no-op: never registered
+        flow.grant("ghost")
+        assert flow.acquires == 0 and flow.grants == 0
+
+    def test_balance_may_go_negative_for_multicast(self):
+        flow = CreditController(1)
+        flow.register("R0")
+        flow.acquire("R0")
+        flow.acquire("R0")  # admitted multicast completes atomically
+        assert flow.available("R0") == -1
+        flow.grant("R0")
+        assert flow.exhausted()  # still at 0: one grant is not enough
+
+    def test_grant_caps_at_limit(self):
+        flow = CreditController(3)
+        flow.register("R0")
+        flow.grant("R0")
+        assert flow.available("R0") == 3
+
+    def test_pool_exhausts_on_any_unit(self):
+        flow = CreditController(1)
+        flow.register("R0")
+        flow.register("R1")
+        flow.acquire("R0")
+        assert flow.exhausted()  # R1 still has credit, pool still parks
+        assert flow.min_available() == 0
+
+    def test_stall_counts_transitions_not_acquires(self):
+        flow = CreditController(1)
+        flow.register("R0")
+        flow.acquire("R0")
+        flow.acquire("R0")
+        assert flow.stalls == 1
+
+    def test_rejects_non_positive_limit(self):
+        with pytest.raises(ConfigurationError):
+            CreditController(0)
+
+
+class TestMembership:
+    def test_reregistration_keeps_balance(self):
+        """A restarted joiner inherits its predecessor's outstanding
+        envelopes — its balance must not snap back to the limit."""
+        flow = CreditController(4)
+        flow.register("R0")
+        flow.acquire("R0")
+        flow.register("R0")
+        assert flow.available("R0") == 3
+
+    def test_unregister_frees_the_gate(self):
+        flow = CreditController(1)
+        flow.register("R0")
+        flow.acquire("R0")
+        assert flow.exhausted()
+        flow.unregister("R0")
+        assert not flow.exhausted()
+
+
+class TestWaiters:
+    def test_waiter_fires_on_grant(self):
+        flow = CreditController(1)
+        flow.register("R0")
+        flow.acquire("R0")
+        fired = []
+        flow.add_waiter(lambda: fired.append(True))
+        flow.grant("R0")
+        assert fired == [True]
+
+    def test_waiter_not_woken_while_exhausted(self):
+        flow = CreditController(1)
+        flow.register("R0")
+        flow.register("R1")
+        flow.acquire("R0")
+        flow.acquire("R1")
+        fired = []
+        flow.add_waiter(lambda: fired.append(True))
+        flow.grant("R0")  # R1 still dry: no wake
+        assert fired == []
+        flow.grant("R1")
+        assert fired == [True]
+
+    def test_scheduler_deduplicates_wakes(self):
+        scheduled = []
+        flow = CreditController(2, scheduler=scheduled.append)
+        flow.register("R0")
+        flow.acquire("R0")
+        flow.add_waiter(lambda: None)
+        flow.grant("R0")
+        flow.grant("R0")  # second grant: wake already pending
+        assert len(scheduled) == 1
+
+    def test_idle_controller_schedules_nothing(self):
+        """No waiters -> no scheduler events: the non-perturbation
+        property the differential test relies on."""
+        scheduled = []
+        flow = CreditController(2, scheduler=scheduled.append)
+        flow.register("R0")
+        for _ in range(10):
+            flow.acquire("R0")
+            flow.grant("R0")
+        assert scheduled == []
+
+    def test_unregister_wakes_waiters(self):
+        flow = CreditController(1)
+        flow.register("R0")
+        flow.acquire("R0")
+        fired = []
+        flow.add_waiter(lambda: fired.append(True))
+        flow.unregister("R0")
+        assert fired == [True]

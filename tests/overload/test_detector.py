@@ -1,0 +1,73 @@
+"""Tests for repro.overload.detector (straggler detection)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overload import StragglerConfig, StragglerDetector
+
+
+def feed(detector, unit, samples, *, backlog):
+    """Feed (now, arrived_total, serviced_total) samples for one unit."""
+    for now, arrived, serviced in samples:
+        detector.observe(unit, now, arrived, serviced, backlog)
+
+
+class TestDetection:
+    def test_healthy_unit_not_flagged(self):
+        det = StragglerDetector()
+        feed(det, "R0", [(i, 10 * i, 10 * i) for i in range(6)], backlog=0)
+        assert not det.is_straggler("R0")
+
+    def test_lagging_unit_flagged(self):
+        det = StragglerDetector(StragglerConfig(min_backlog=8))
+        # Arrivals at 10/s, service at 4/s, backlog well above the floor.
+        feed(det, "R0", [(i, 10 * i, 4 * i) for i in range(6)], backlog=40)
+        assert det.is_straggler("R0")
+        assert det.hot_units() == frozenset({"R0"})
+        assert det.flagged_total == 1
+
+    def test_recovered_unit_unflagged(self):
+        det = StragglerDetector(StragglerConfig(alpha=1.0, min_backlog=8))
+        feed(det, "R0", [(i, 10 * i, 4 * i) for i in range(4)], backlog=40)
+        assert det.is_straggler("R0")
+        # Service catches up and the backlog drains.
+        feed(det, "R0", [(4 + i, 40 + 10 * i, 16 + 12 * i)
+                         for i in range(1, 4)], backlog=2)
+        assert not det.is_straggler("R0")
+        assert det.flagged_total == 1  # transitions, not ticks
+
+    def test_small_backlog_never_flags(self):
+        """An idle or nearly-idle unit must not be called a straggler
+        even if its (noise-level) rates look lagging."""
+        det = StragglerDetector(StragglerConfig(min_backlog=8))
+        feed(det, "R0", [(i, 2 * i, i) for i in range(6)], backlog=3)
+        assert not det.is_straggler("R0")
+
+    def test_first_sample_only_primes(self):
+        det = StragglerDetector()
+        det.observe("R0", 0.0, 100, 0, backlog=100)
+        assert det.arrival_rate("R0") == 0.0
+        assert not det.is_straggler("R0")
+
+    def test_rates_are_per_second_ewma(self):
+        det = StragglerDetector(StragglerConfig(alpha=1.0))
+        feed(det, "R0", [(0.0, 0, 0), (2.0, 30, 10)], backlog=20)
+        assert det.arrival_rate("R0") == pytest.approx(15.0)
+        assert det.service_rate("R0") == pytest.approx(5.0)
+
+    def test_forget_clears_state(self):
+        det = StragglerDetector(StragglerConfig(min_backlog=8))
+        feed(det, "R0", [(i, 10 * i, 4 * i) for i in range(6)], backlog=40)
+        det.forget("R0")
+        assert not det.is_straggler("R0")
+        assert det.arrival_rate("R0") == 0.0
+
+
+class TestConfigValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            StragglerConfig(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            StragglerConfig(ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            StragglerConfig(min_backlog=0)

@@ -1,0 +1,133 @@
+"""Tests for repro.overload.manager wiring glue and the hot-unit
+routing filter (the straggler signal's two consumers)."""
+
+import pytest
+
+from repro.broker import Broker
+from repro.core.routing import JoinerGroup, RandomRouting
+from repro.core.tuples import StreamTuple
+from repro.errors import ConfigurationError
+from repro.overload import OverloadConfig, OverloadManager
+
+
+def t(relation="R", ts=0.0):
+    return StreamTuple(relation, ts, {"k": 1}, seq=0)
+
+
+class DummyJoiner:
+    def __init__(self, unit_id, inbox_queue):
+        self.unit_id = unit_id
+        self.inbox_queue = inbox_queue
+        self.credit_grant = None
+
+
+def make_manager(**overrides):
+    broker = Broker()
+    config = OverloadConfig(**{"policy": "block", "entry_queue_depth": 4,
+                               "joiner_queue_depth": 8, **overrides})
+    return OverloadManager(config, broker), broker
+
+
+class TestConfigValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(entry_queue_depth=0)
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(credits_per_joiner=0)
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(admission_retry=0.0)
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(policy="nope")
+
+
+class TestSeverity:
+    def test_severity_tracks_entry_occupancy(self):
+        manager, broker = make_manager()
+        manager.attach_entry("entry")
+        queue = broker.declare_queue("entry")
+        assert queue.max_depth == 4
+        assert manager.severity() == 0.0
+        queue.in_flight = 2
+        assert manager.severity() == pytest.approx(0.5)
+        queue.in_flight = 4
+        assert manager.severity() == pytest.approx(1.0)
+
+    def test_no_entry_queue_means_no_pressure(self):
+        manager, _ = make_manager()
+        assert manager.severity() == 0.0
+
+
+class TestInboxTracking:
+    def test_mean_inbox_depth_filters_by_side(self):
+        manager, broker = make_manager()
+        for unit in ("R0", "R1", "S0"):
+            manager.attach_inbox(unit, f"joiner.{unit}.inbox.{unit}.group")
+        depths = {"R0": 4, "R1": 2, "S0": 10}
+        for unit, depth in depths.items():
+            broker.declare_queue(
+                f"joiner.{unit}.inbox.{unit}.group").in_flight = depth
+        assert manager.mean_inbox_depth("R") == pytest.approx(3.0)
+        assert manager.mean_inbox_depth("S") == pytest.approx(10.0)
+        assert manager.mean_inbox_depth() == pytest.approx(16 / 3)
+
+    def test_detach_joiner_accumulates_peak(self):
+        manager, broker = make_manager()
+        joiner = DummyJoiner("R0", "joiner.R0.inbox.R0.group")
+        manager.attach_joiner(joiner)
+        queue = broker.declare_queue("joiner.R0.inbox.R0.group")
+        queue.in_flight = 6
+        queue.note_depth()
+        manager.detach_joiner("R0")
+        assert manager.peak_joiner_depth == 6
+
+
+class TestCreditWiring:
+    def test_attach_joiner_installs_grant_hook(self):
+        manager, _ = make_manager()
+        joiner = DummyJoiner("R0", "joiner.R0.inbox.R0.group")
+        manager.attach_joiner(joiner)
+        assert manager.credits.available("R0") \
+            == manager.config.credits_per_joiner
+        joiner.credit_grant()  # must route back into the controller
+        assert manager.credits.grants == 1
+
+    def test_attach_joiner_without_inbox_rejected(self):
+        manager, _ = make_manager()
+        with pytest.raises(ConfigurationError):
+            manager.attach_joiner(DummyJoiner("R0", None))
+
+
+class TestHotUnitRoutingFilter:
+    def make_routing(self):
+        groups = {"R": JoinerGroup("R"), "S": JoinerGroup("S")}
+        for side in ("R", "S"):
+            for i in range(3):
+                groups[side].add_unit(f"{side}{i}")
+        return RandomRouting(groups)
+
+    def test_store_placement_avoids_hot_units(self):
+        routing = self.make_routing()
+        routing.hot_filter = lambda: frozenset({"R1"})
+        picks = {routing.store_targets(t("R"), 0.0)[0] for _ in range(12)}
+        assert "R1" not in picks
+        assert picks == {"R0", "R2"}
+        assert routing.hot_avoided > 0
+
+    def test_join_broadcast_never_filtered(self):
+        """Probes are correctness-critical: a hot unit still holds
+        stored state that must be probed."""
+        routing = self.make_routing()
+        routing.hot_filter = lambda: frozenset({"S0", "S1", "S2"})
+        assert routing.join_targets(t("R"), 0.0) == ["S0", "S1", "S2"]
+
+    def test_all_hot_falls_back_to_normal_rotation(self):
+        routing = self.make_routing()
+        routing.hot_filter = lambda: frozenset({"R0", "R1", "R2"})
+        picks = [routing.store_targets(t("R"), 0.0)[0] for _ in range(6)]
+        assert picks == ["R0", "R1", "R2", "R0", "R1", "R2"]
+        assert routing.hot_avoided == 0
+
+    def test_no_filter_is_pure_round_robin(self):
+        routing = self.make_routing()
+        picks = [routing.store_targets(t("R"), 0.0)[0] for _ in range(6)]
+        assert picks == ["R0", "R1", "R2", "R0", "R1", "R2"]

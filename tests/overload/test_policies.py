@@ -1,0 +1,109 @@
+"""Tests for repro.overload.policies (admission verdicts)."""
+
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.errors import ConfigurationError
+from repro.overload import (
+    ADMIT,
+    DEFER,
+    POLICY_NAMES,
+    SHED,
+    BlockProducerPolicy,
+    DropOldestPolicy,
+    DropTailPolicy,
+    SemanticSheddingPolicy,
+    make_policy,
+)
+from repro.simulation import SeededRng
+
+
+def t(value: float = 0.0) -> StreamTuple:
+    return StreamTuple("R", 0.0, {"k": 1, "v": value}, seq=0)
+
+
+RNG = SeededRng(5, "policy-test")
+
+
+class TestBlockProducer:
+    def test_admits_below_capacity(self):
+        assert BlockProducerPolicy().decide(t(), 0.99, RNG) == ADMIT
+
+    def test_defers_at_capacity(self):
+        assert BlockProducerPolicy().decide(t(), 1.0, RNG) == DEFER
+
+    def test_never_sheds(self):
+        policy = BlockProducerPolicy()
+        for severity in (0.0, 0.5, 1.0, 2.0):
+            assert policy.decide(t(), severity, RNG) != SHED
+
+
+class TestDropTail:
+    def test_admits_below_capacity(self):
+        assert DropTailPolicy().decide(t(), 0.5, RNG) == ADMIT
+
+    def test_sheds_at_capacity(self):
+        assert DropTailPolicy().decide(t(), 1.0, RNG) == SHED
+
+
+class TestDropOldest:
+    def test_always_admits(self):
+        policy = DropOldestPolicy()
+        for severity in (0.0, 1.0, 5.0):
+            assert policy.decide(t(), severity, RNG) == ADMIT
+
+    def test_signals_park_eviction(self):
+        assert DropOldestPolicy().evicts_parked
+        assert not DropTailPolicy().evicts_parked
+
+
+class TestSemantic:
+    def test_admits_below_watermark(self):
+        policy = SemanticSheddingPolicy(low_watermark=0.5)
+        rng = SeededRng(1, "sem")
+        assert all(policy.decide(t(), 0.5, rng) == ADMIT for _ in range(50))
+
+    def test_sheds_probabilistically_above_watermark(self):
+        policy = SemanticSheddingPolicy(low_watermark=0.5)
+        rng = SeededRng(1, "sem")
+        verdicts = [policy.decide(t(), 0.8, rng) for _ in range(200)]
+        assert verdicts.count(SHED) > 0
+        assert verdicts.count(ADMIT) > 0  # not a hard cut-off
+
+    def test_high_value_tuples_survive(self):
+        policy = SemanticSheddingPolicy(
+            low_watermark=0.0, value_fn=lambda tup: tup["v"])
+        rng = SeededRng(2, "sem")
+        precious = [policy.decide(t(1.0), 0.9, rng) for _ in range(100)]
+        worthless = [policy.decide(t(0.0), 0.9, rng) for _ in range(100)]
+        assert precious.count(SHED) == 0
+        assert worthless.count(SHED) > 50
+
+    def test_full_queue_defers_when_not_shedding(self):
+        """The block backstop: a full queue never admits."""
+        policy = SemanticSheddingPolicy(
+            low_watermark=0.5, value_fn=lambda tup: 1.0)
+        rng = SeededRng(3, "sem")
+        assert all(policy.decide(t(), 1.2, rng) == DEFER for _ in range(20))
+
+    def test_value_clamped_to_unit_interval(self):
+        policy = SemanticSheddingPolicy(value_fn=lambda tup: 7.5)
+        assert policy.value(t()) == 1.0
+        policy = SemanticSheddingPolicy(value_fn=lambda tup: -3.0)
+        assert policy.value(t()) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SemanticSheddingPolicy(low_watermark=1.0)
+        with pytest.raises(ConfigurationError):
+            SemanticSheddingPolicy(max_probability=1.5)
+
+
+class TestMakePolicy:
+    def test_all_registered_names_construct(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("fifo")

@@ -2,10 +2,12 @@
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.simulation import (
     FixedDelayNetwork,
     JitterNetwork,
     PerChannelDelayNetwork,
+    ReorderNetwork,
     SeededRng,
     ZeroDelayNetwork,
 )
@@ -89,3 +91,59 @@ class TestPerChannelDelay:
         arrival_a = 0.0 + net.delay("router0", "R0", 0.0)
         arrival_b = 0.1 + net.delay("router0", "S0", 0.1)
         assert arrival_b < arrival_a
+
+
+def reorder_arrivals(net, n, *, gap=0.01, channel=("a", "b")):
+    """Planned arrival time of ``n`` back-to-back sends on one channel."""
+    arrivals = []
+    for i in range(n):
+        now = i * gap
+        arrivals.append(now + net.delay(*channel, now))
+    return arrivals
+
+
+class TestReorderNetwork:
+    def make(self, **kwargs):
+        return ReorderNetwork(FixedDelayNetwork(0.1), SeededRng(7, "net"),
+                              **kwargs)
+
+    def test_breaks_wire_level_fifo_on_one_channel(self):
+        net = self.make(reorder_probability=0.5)
+        arrivals = reorder_arrivals(net, 200)
+        inversions = sum(1 for prev, cur in zip(arrivals, arrivals[1:])
+                         if cur < prev)
+        assert inversions > 0
+        assert net.reordered > 0
+
+    def test_never_delivers_before_send(self):
+        net = self.make(reorder_probability=1.0)
+        for i, arrival in enumerate(reorder_arrivals(net, 200)):
+            assert arrival >= i * 0.01
+
+    def test_inversion_distance_is_bounded(self):
+        """A message overtakes at most ``max_inflight`` predecessors."""
+        max_inflight = 3
+        net = self.make(reorder_probability=1.0, max_inflight=max_inflight)
+        arrivals = reorder_arrivals(net, 300)
+        for i, arrival in enumerate(arrivals):
+            overtaken = sum(1 for earlier in arrivals[:i]
+                            if earlier > arrival)
+            assert overtaken <= max_inflight
+
+    def test_deterministic_under_seed(self):
+        a = reorder_arrivals(self.make(reorder_probability=0.5), 100)
+        b = reorder_arrivals(self.make(reorder_probability=0.5), 100)
+        assert a == b
+
+    def test_zero_probability_is_transparent(self):
+        net = self.make(reorder_probability=0.0)
+        plain = FixedDelayNetwork(0.1)
+        assert (reorder_arrivals(net, 50)
+                == reorder_arrivals(plain, 50))
+        assert net.reordered == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            self.make(reorder_probability=1.5)
+        with pytest.raises(SimulationError):
+            self.make(max_inflight=0)
