@@ -1,0 +1,155 @@
+"""E16 (extension) — driver throughput: micro-batched data plane.
+
+Unlike E1-E15, which measure *simulated* quantities, this experiment
+measures the harness itself: real wall-clock seconds (and kernel events
+executed) to drive one fixed equi-join workload through the simulated
+cluster, with the transport micro-batching off versus on.
+
+The workload uses ContRand routing, whose broadcast join stream is the
+paper's high-fanout regime: every tuple costs one store envelope plus
+one join envelope per opposite-side joiner, so per-delivery overhead —
+one kernel event, one ack, one credit round-trip each — dominates the
+actual join work.  Batching coalesces consecutive same-inbox envelopes
+into one transport frame and must not change a single result
+(``tests/integration/test_batching_transparency.py`` proves byte
+identity; this benchmark measures what that identity costs — nothing —
+and what it buys).
+
+Emits ``BENCH_e16.json`` next to the text table; CI uploads it as an
+artifact and gates on the self-relative speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+from conftest import RESULTS_DIR, bench_once, emit
+
+from repro import BatchingConfig, BicliqueConfig, EquiJoinPredicate, TimeWindow
+from repro.cluster import SimulatedCluster
+from repro.core.streams import merge_by_time
+from repro.harness import render_table
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+PREDICATE = EquiJoinPredicate("k", "k")
+WINDOW = TimeWindow(seconds=1.0)
+DURATION = 12.0
+RATE = 600.0
+JOINERS = 8  # per side
+BATCH_SIZE = 64
+
+#: Wall-clock gate: batched must beat unbatched by at least this factor
+#: on the same machine (self-relative, so CI hardware speed cancels
+#: out).  Locally the margin is ~3.5x; the gate leaves headroom for
+#: noisy shared runners.
+MIN_SPEEDUP = 2.0
+
+STRESS_BATCH_SIZES = (8, 32, 64, 128)
+
+
+def workload():
+    wl = EquiJoinWorkload(keys=UniformKeys(256), seed=16)
+    r, s = wl.materialise(ConstantRate(RATE), DURATION)
+    return list(merge_by_time(r, s))
+
+
+def run_one(arrivals, batch_size: int | None) -> dict:
+    batching = None if batch_size is None \
+        else BatchingConfig(batch_size=batch_size)
+    cluster = SimulatedCluster(
+        BicliqueConfig(window=WINDOW, r_joiners=JOINERS, s_joiners=JOINERS,
+                       routers=2, routing="random",
+                       punctuation_interval=0.5),
+        PREDICATE, batching=batching)
+    started = time.perf_counter()
+    report = cluster.run(iter(arrivals), DURATION)
+    wall = time.perf_counter() - started
+    events = next(v for k, v in report.metrics.items()
+                  if k.startswith("repro_sim_events_executed_total"))
+    return {
+        "batch_size": batch_size or 1,
+        "wall_seconds": wall,
+        "events": int(events),
+        "results": report.results,
+        "result_keys": sorted((res.r.ident, res.s.ident)
+                              for res in cluster.engine.results),
+        "driver_tuples_per_second": len(arrivals) / wall,
+    }
+
+
+def run_experiment(batch_sizes) -> dict:
+    arrivals = workload()
+    baseline = run_one(arrivals, None)
+    batched = [run_one(arrivals, size) for size in batch_sizes]
+    return {"tuples": len(arrivals), "baseline": baseline, "batched": batched}
+
+
+def emit_e16(name: str, experiment: dict) -> None:
+    baseline = experiment["baseline"]
+    rows = [["off (seed)", f"{baseline['wall_seconds']:.2f}",
+             baseline["events"], f"{baseline['driver_tuples_per_second']:.0f}",
+             "1.00x", baseline["results"]]]
+    for run in experiment["batched"]:
+        rows.append([
+            run["batch_size"], f"{run['wall_seconds']:.2f}", run["events"],
+            f"{run['driver_tuples_per_second']:.0f}",
+            f"{baseline['wall_seconds'] / run['wall_seconds']:.2f}x",
+            run["results"]])
+    emit(name, render_table(
+        ["batch size", "wall s", "kernel events", "driver t/s",
+         "speedup", "results"],
+        rows,
+        title=f"E16: driver wall-clock, {experiment['tuples']} tuples, "
+              f"{JOINERS}+{JOINERS} joiners, ContRand broadcast "
+              f"({RATE:.0f} t/s x {DURATION:.0f}s)"))
+    payload = {
+        "experiment": "e16_driver_throughput",
+        "tuples": experiment["tuples"],
+        "config": {"rate": RATE, "duration": DURATION, "joiners": JOINERS,
+                   "routing": "random", "window_seconds": WINDOW.seconds},
+        "baseline": {k: v for k, v in baseline.items()
+                     if k != "result_keys"},
+        "batched": [{k: v for k, v in run.items() if k != "result_keys"}
+                    for run in experiment["batched"]],
+        "speedups": {str(run["batch_size"]):
+                     baseline["wall_seconds"] / run["wall_seconds"]
+                     for run in experiment["batched"]},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_e16.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def assert_invariants(experiment: dict) -> None:
+    baseline = experiment["baseline"]
+    for run in experiment["batched"]:
+        # Identical output — batching is a pure transport optimisation.
+        assert run["results"] == baseline["results"]
+        assert run["result_keys"] == baseline["result_keys"]
+        # The mechanism: strictly fewer kernel events executed.
+        assert run["events"] < baseline["events"]
+        # The payoff: real wall-clock speedup on the same machine.
+        speedup = baseline["wall_seconds"] / run["wall_seconds"]
+        assert speedup >= MIN_SPEEDUP, (
+            f"batch_size={run['batch_size']}: {speedup:.2f}x < "
+            f"{MIN_SPEEDUP}x gate")
+
+
+def test_e16_driver_throughput_smoke(benchmark):
+    experiment = bench_once(
+        benchmark, lambda: run_experiment([BATCH_SIZE]))
+    emit_e16("e16_driver_throughput", experiment)
+    assert_invariants(experiment)
+
+
+@pytest.mark.stress
+def test_e16_driver_throughput_batch_sweep(benchmark):
+    experiment = bench_once(
+        benchmark, lambda: run_experiment(list(STRESS_BATCH_SIZES)))
+    emit_e16("e16_driver_throughput_sweep", experiment)
+    assert_invariants(experiment)
+    # Amortisation grows with batch size (events monotone non-increasing).
+    events = [run["events"] for run in experiment["batched"]]
+    assert events == sorted(events, reverse=True)

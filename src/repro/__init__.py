@@ -37,6 +37,7 @@ from .core import (
     PipelineStage,
     Attribute,
     BandJoinPredicate,
+    BatchingConfig,
     BicliqueConfig,
     BicliqueEngine,
     ChainedInMemoryIndex,
@@ -69,6 +70,7 @@ __all__ = [
     "PipelineStage",
     "Attribute",
     "BandJoinPredicate",
+    "BatchingConfig",
     "BicliqueConfig",
     "BicliqueEngine",
     "ChainedInMemoryIndex",

@@ -48,7 +48,7 @@ from ..simulation.kernel import Simulator
 from ..simulation.network import NetworkModel, ZeroDelayNetwork
 from .exchange import Exchange
 from .message import Delivery, Message
-from .queue import Consumer, ConsumerFn, MessageQueue
+from .queue import Consumer, ConsumerFn, MessageQueue, message_weight
 
 logger = logging.getLogger(__name__)
 
@@ -65,6 +65,8 @@ class _PendingDelivery:
     manual_ack: bool
     seq: int
     epoch: int
+    #: Tuple-weighted capacity held while in flight (>1 for batches).
+    weight: int = 1
     attempts: int = 0
     delivered: bool = False
     events: list[Event] = field(default_factory=list)
@@ -280,7 +282,7 @@ class Broker:
         """One tracked delivery left the pipeline: release its capacity."""
         queue = self._queues.get(rec.queue_name)
         if queue is not None and queue.in_flight > 0:
-            queue.in_flight -= 1
+            queue.in_flight = max(0, queue.in_flight - rec.weight)
 
     def unacked_count(self, consumer_id: str) -> int:
         return len(self._unacked_by_consumer.get(consumer_id, {}))
@@ -290,6 +292,15 @@ class Broker:
         delivery-tag (i.e. per-channel FIFO) order."""
         recs = self._unacked_by_consumer.get(consumer_id, {})
         return [rec.message.payload
+                for tag, rec in sorted(recs.items())]
+
+    def unacked_items(self, consumer_id: str) -> list[tuple[int, object]]:
+        """``(tag, payload)`` pairs of unacknowledged deliveries, in
+        tag order.  The tag lets crash recovery correlate a partially
+        processed transport batch with the consumer's per-batch
+        bookkeeping (which members were settled before the crash)."""
+        recs = self._unacked_by_consumer.get(consumer_id, {})
+        return [(tag, rec.message.payload)
                 for tag, rec in sorted(recs.items())]
 
     def crash_consumer(self, queue_name: str, consumer_id: str) -> int:
@@ -419,11 +430,12 @@ class Broker:
             consumer_id=consumer.consumer_id, callback=consumer.callback,
             manual_ack=consumer.manual_ack, seq=seq,
             epoch=self._attach_epochs.get((queue.name, consumer.consumer_id),
-                                          0))
+                                          0),
+            weight=message_weight(message))
         self._unacked[rec.tag] = rec
         self._unacked_by_consumer.setdefault(
             rec.consumer_id, {})[rec.tag] = rec
-        queue.in_flight += 1
+        queue.in_flight += rec.weight
         queue.note_depth()
         self._transmit(rec)
 

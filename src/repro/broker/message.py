@@ -20,7 +20,7 @@ _message_ids = itertools.count()
 MESSAGE_OVERHEAD_BYTES = 32
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An AMQP-style message.
 
@@ -46,7 +46,7 @@ class Message:
         return MESSAGE_OVERHEAD_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delivery:
     """A message as seen by a consumer: payload plus delivery context.
 

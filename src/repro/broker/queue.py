@@ -21,6 +21,18 @@ from .message import Delivery, Message
 ConsumerFn = Callable[[Delivery], None]
 
 
+def message_weight(message: Message) -> int:
+    """Logical tuples carried by a message (1 unless a transport batch).
+
+    Depth accounting is tuple-weighted so that micro-batching cannot
+    launder queue occupancy: a batch of 64 envelopes takes as much
+    capacity as 64 individual messages, keeping overload bounds
+    expressed in tuples meaningful under batching.
+    """
+    count = getattr(message.payload, "tuple_count", None)
+    return count if isinstance(count, int) else 1
+
+
 @dataclass
 class Consumer:
     """A registered consumer of one queue.
@@ -62,9 +74,12 @@ class MessageQueue:
         self.dispatched = 0
         #: Messages put back by the broker after a consumer crash.
         self.requeued = 0
-        #: Dispatched-but-unacknowledged deliveries (broker-maintained);
-        #: counts toward :attr:`depth` so capacity covers the whole
-        #: pipeline, not just the buffered backlog.
+        #: Tuple-weighted occupancy of the buffered backlog (equals
+        #: ``len(_backlog)`` unless batches are queued).
+        self._backlog_weight = 0
+        #: Dispatched-but-unacknowledged deliveries (broker-maintained,
+        #: tuple-weighted); counts toward :attr:`depth` so capacity
+        #: covers the whole pipeline, not just the buffered backlog.
         self.in_flight = 0
         #: High-water mark of :attr:`depth` over the queue's lifetime.
         self.peak_depth = 0
@@ -113,8 +128,8 @@ class MessageQueue:
     # -- capacity ---------------------------------------------------------
     @property
     def depth(self) -> int:
-        """Total occupancy: buffered backlog plus in-flight deliveries."""
-        return len(self._backlog) + self.in_flight
+        """Total occupancy in *tuples*: backlog plus in-flight weight."""
+        return self._backlog_weight + self.in_flight
 
     @property
     def is_full(self) -> bool:
@@ -141,7 +156,9 @@ class MessageQueue:
         if not self._backlog:
             return None
         self.evicted += 1
-        return self._backlog.popleft()
+        victim = self._backlog.popleft()
+        self._backlog_weight -= message_weight(victim)
+        return victim
 
     # -- message flow ------------------------------------------------------
     def select_consumer(self) -> Consumer:
@@ -162,6 +179,7 @@ class MessageQueue:
         self.enqueued += 1
         if not self._consumers:
             self._backlog.append(message)
+            self._backlog_weight += message_weight(message)
             self.note_depth()
             return None
         self.dispatched += 1
@@ -172,6 +190,7 @@ class MessageQueue:
         preserving their original order ahead of anything newer."""
         for message in reversed(messages):
             self._backlog.appendleft(message)
+            self._backlog_weight += message_weight(message)
         self.requeued += len(messages)
         self.note_depth()
 
@@ -180,6 +199,7 @@ class MessageQueue:
         assigned: list[tuple[Message, Consumer]] = []
         while self._backlog and self._consumers:
             message = self._backlog.popleft()
+            self._backlog_weight -= message_weight(message)
             self.dispatched += 1
             assigned.append((message, self.select_consumer()))
         return assigned

@@ -20,6 +20,7 @@ from typing import Callable, Iterator
 
 from ..broker.broker import Broker
 from ..broker.message import Delivery
+from ..core.batching import BatchingConfig, EnvelopeBatch
 from ..core.predicates import JoinPredicate
 from ..core.tuples import StreamTuple
 from ..errors import ClusterError
@@ -75,7 +76,8 @@ class MatrixSimulatedCluster:
                  routers: int = 1,
                  network: NetworkModel | None = None,
                  heap_factory: Callable[[], JvmHeapModel] | None = None,
-                 overload: OverloadConfig | None = None) -> None:
+                 overload: OverloadConfig | None = None,
+                 batching: BatchingConfig | None = None) -> None:
         self.cluster_config = cluster_config or ClusterConfig()
         self.sim = Simulator()
         self.network = network or FixedDelayNetwork(
@@ -98,7 +100,8 @@ class MatrixSimulatedCluster:
         self.executors: dict[str, PodExecutor] = {}
         self.engine = DistributedMatrixEngine(config, predicate,
                                               broker=self.broker,
-                                              routers=routers)
+                                              routers=routers,
+                                              batching=batching)
         #: Unified metrics registry (broker + kernel + pod samples).
         self.registry = MetricsRegistry()
         self.registry.register_collector(
@@ -155,7 +158,11 @@ class MatrixSimulatedCluster:
         def callback(delivery: Delivery, cell=cell, executor=executor) -> None:
             def work(start: float) -> float:
                 before = _cell_counters(cell)
-                cell.on_envelope(delivery.message.payload, now=start)
+                payload = delivery.message.payload
+                if isinstance(payload, EnvelopeBatch):
+                    cell.on_batch(payload, now=start)
+                else:
+                    cell.on_envelope(payload, now=start)
                 after = _cell_counters(cell)
                 received = after.received - before.received
                 return self.cost.joiner_work(
@@ -249,6 +256,8 @@ class MatrixSimulatedCluster:
         self.sim.run(until=duration)
         cancel()
         self.sim.run()
+        self.engine.flush_transport()
+        self.sim.run()  # deliver the final partial batches
         self.engine.finish()
         self.registry.collect()
         return MatrixClusterReport(

@@ -26,6 +26,7 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator
 
+from ..core.batching import BatchingConfig
 from ..core.biclique import BicliqueConfig, BicliqueEngine, EngineInstrumentation
 from ..core.joiner import Joiner
 from ..core.predicates import JoinPredicate
@@ -316,7 +317,8 @@ class SimulatedCluster:
                  faults: FaultPlan | None = None,
                  supervisor: SupervisorConfig | None = None,
                  tracer: NoopTracer = NOOP_TRACER,
-                 overload: OverloadConfig | None = None) -> None:
+                 overload: OverloadConfig | None = None,
+                 batching: BatchingConfig | None = None) -> None:
         self.cluster_config = cluster_config or ClusterConfig()
         self.sim = Simulator()
         self.network = network or FixedDelayNetwork(
@@ -346,7 +348,13 @@ class SimulatedCluster:
                                      broker=self.broker,
                                      instrumentation=self.instrumentation,
                                      tracer=tracer,
-                                     overload=self.overload)
+                                     overload=self.overload,
+                                     batching=batching)
+        # Linger timers ride the simulation clock so batched runs stay
+        # deterministic (the returned Event is duck-typed cancellable).
+        self.engine.set_batch_scheduler(
+            lambda delay, fn: self.sim.schedule_after(
+                delay, fn, label="batch-linger"))
         self.autoscalers: dict[str, HorizontalPodAutoscaler] = {
             side: HorizontalPodAutoscaler(config)
             for side, config in (hpa or {}).items()}
@@ -553,6 +561,8 @@ class SimulatedCluster:
         for cancel in cancels:
             cancel()
         self.sim.run()  # drain in-flight deliveries and pod work
+        if self.engine.flush_transport():
+            self.sim.run()  # deliver the final partial batches
         self.engine.finish()
 
         self.report.duration = duration

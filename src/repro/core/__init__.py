@@ -20,6 +20,7 @@ Modules, bottom-up:
 """
 
 from .archive import ArchivedSlice, ArchiveStore, HistoricalQueryResult, query_history
+from .batching import BatchingConfig, EnvelopeBatch
 from .biclique import BicliqueConfig, BicliqueEngine
 from .chained_index import ChainedInMemoryIndex
 from .engine import RunReport, StreamJoinEngine
@@ -61,6 +62,8 @@ __all__ = [
     "ArchiveStore",
     "HistoricalQueryResult",
     "query_history",
+    "BatchingConfig",
+    "EnvelopeBatch",
     "BicliqueConfig",
     "BicliqueEngine",
     "ChainedInMemoryIndex",

@@ -33,6 +33,7 @@ from ..metrics.counters import NetworkStats
 from ..metrics.latency import LatencyRecorder
 from ..metrics.memory import MemorySnapshot
 from ..obs.trace import NOOP_TRACER, SPAN_SCALE, NoopTracer
+from .batching import BatchingConfig, EnvelopeBatch
 from .joiner import Joiner
 from .ordering import KIND_STORE, Envelope
 from .predicates import JoinPredicate
@@ -161,6 +162,10 @@ class _CrashedJoiner:
     #: Envelopes delivered but never processed (synchronous mode only;
     #: the simulated broker redelivers these itself).
     pending: list[Envelope] = field(default_factory=list)
+    #: Member keys of partially-processed transport batches the dead
+    #: incarnation already handled: the broker redelivers the whole
+    #: batch, and the replacement must drop exactly these members.
+    skip: set[tuple[int, str, str]] = field(default_factory=set)
 
 
 class BicliqueEngine:
@@ -170,11 +175,19 @@ class BicliqueEngine:
                  broker: Broker | None = None,
                  instrumentation: EngineInstrumentation | None = None,
                  tracer: NoopTracer = NOOP_TRACER,
-                 overload: "OverloadManager | None" = None) -> None:
+                 overload: "OverloadManager | None" = None,
+                 batching: BatchingConfig | None = None) -> None:
         self.config = config
         self.predicate = predicate
         self.instrumentation = instrumentation or EngineInstrumentation()
         self.broker = broker if broker is not None else Broker()
+        #: Transport micro-batching shared by every router (see
+        #: :mod:`repro.core.batching`); the default config is a no-op.
+        self.batching = batching if batching is not None else BatchingConfig()
+        #: Linger-timer hook handed to every router; the cluster runtime
+        #: installs one backed by the simulation kernel via
+        #: :meth:`set_batch_scheduler`.
+        self.batch_scheduler = None
         #: Overload manager (bounded queues, credits, shedding); wired
         #: through every joiner/router attach below when present.
         self.overload = overload
@@ -304,10 +317,17 @@ class BicliqueEngine:
         if self.overload is not None:
             self.overload.attach_joiner(joiner)
 
+    def set_batch_scheduler(self, scheduler) -> None:
+        """Install the linger-timer hook on current and future routers."""
+        self.batch_scheduler = scheduler
+        for router in self.routers:
+            router.batch_scheduler = scheduler
+
     def _add_router(self, router_id: str, *, counter_floor: int = 0) -> Router:
         router = Router(router_id, self.strategy, self.channels,
                         self.network_stats, replay_log=self.replay_log,
-                        tracer=self.tracer)
+                        tracer=self.tracer, batching=self.batching)
+        router.batch_scheduler = self.batch_scheduler
         # Align the counter *before* subscribing: subscribing drains any
         # entry-queue backlog synchronously, and tuples stamped below the
         # floor would be dropped by the joiners' dedup as regressions.
@@ -361,6 +381,17 @@ class BicliqueEngine:
         credits are granted, and the entry queue never drains.
         """
         self._maybe_punctuate(now)
+
+    def flush_transport(self) -> int:
+        """Flush every live router's buffered transport batches.
+
+        On a simulated broker the runtime must call this *before* the
+        final event-loop drain: the flush only schedules deliveries, and
+        a batch flushed after the last drain would never arrive.
+        Returns the number of transport messages sent.
+        """
+        return sum(router.flush_batches(cause="drain")
+                   for router in self.routers)
 
     def finish(self) -> None:
         """End-of-stream: final punctuations release all buffered tuples."""
@@ -511,12 +542,27 @@ class BicliqueEngine:
         recover = self.config.replay_recovery
         pending: list[Envelope] = []
         unprocessed_keys: set[tuple[int, str]] = set()
+        skip_keys: set[tuple[int, str, str]] = set()
         if self.broker.is_simulated:
             # Deliveries the dead incarnation never processed: the
             # broker will redeliver them, so they must not *also* be
-            # restored from the replay log.
-            for payload in self.broker.unacked_payloads(unit_id):
-                if isinstance(payload, Envelope) and payload.kind == KIND_STORE:
+            # restored from the replay log.  A transport batch needs
+            # member-level resolution: the broker redelivers the whole
+            # batch, but some members may already have been processed
+            # (released from the reorder buffer and settled) before the
+            # crash — those must be dropped exactly once on redelivery.
+            for tag, payload in self.broker.unacked_items(unit_id):
+                if isinstance(payload, EnvelopeBatch):
+                    delivered = tag in old._batch_refs
+                    for env in payload:
+                        key = (env.counter, env.router_id, env.kind)
+                        if delivered and key not in old._ack_tags:
+                            # Processed (or duplicate-dropped) member of
+                            # a partially-settled batch.
+                            skip_keys.add(key)
+                        elif env.kind == KIND_STORE:
+                            unprocessed_keys.add((env.counter, env.router_id))
+                elif isinstance(payload, Envelope) and payload.kind == KIND_STORE:
                     unprocessed_keys.add((payload.counter, payload.router_id))
             self.broker.crash_consumer(old.inbox_queue, unit_id)
         else:
@@ -533,7 +579,8 @@ class BicliqueEngine:
         if recover and self.replay_log is not None:
             snapshot = [e for e in self.replay_log.snapshot(unit_id)
                         if (e.counter, e.router_id) not in unprocessed_keys]
-        self._crashed[unit_id] = _CrashedJoiner(old, snapshot, pending)
+        self._crashed[unit_id] = _CrashedJoiner(old, snapshot, pending,
+                                                skip_keys)
         self.instrumentation.on_joiner_crashed(old)
         if self.tracer.enabled:
             # Best available clock: the dead unit's last processed time.
@@ -566,6 +613,7 @@ class BicliqueEngine:
             archive_expired=self.config.archive_expired,
             tracer=self.tracer)
         self.joiners[unit_id] = replacement
+        replacement.skip_once = set(state.skip)
         if state.snapshot:
             replacement.restore(state.snapshot)
         # Synchronous mode: re-inject the dead incarnation's unprocessed

@@ -30,6 +30,7 @@ avoids).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 from typing import Callable, Iterator
 
 from ..errors import IndexError_
@@ -201,16 +202,17 @@ class ChainedInMemoryIndex:
                 self._active.min_ts if self._active.min_ts is not None else probe_ts,
                 probe_ts):
             return 0  # nothing old enough to bother rebuilding for
-        survivors = [t for t in self._active.all_tuples()
-                     if not self.window.is_expired(t.ts, probe_ts)]
-        discarded = len(self._active) - len(survivors)
+        # Partition survivors/expired in a single pass over the index.
+        survivors: list[StreamTuple] = []
+        expired: list[StreamTuple] = []
+        is_expired = self.window.is_expired
+        for t in self._active.all_tuples():
+            (expired if is_expired(t.ts, probe_ts) else survivors).append(t)
+        discarded = len(expired)
         if discarded == 0:
             return 0
         if self.archive_sink is not None:
-            expired = [t for t in self._active.all_tuples()
-                       if self.window.is_expired(t.ts, probe_ts)]
-            if expired:
-                self.archive_sink(expired)
+            self.archive_sink(expired)
         self._active = self._new_subindex()
         self.stats.subindexes_created += 1
         for t in survivors:
@@ -233,15 +235,36 @@ class ChainedInMemoryIndex:
                 f"probe tuple of {probe.relation!r} against an index "
                 f"storing the same relation")
         self.expire(probe.ts)
-        self.stats.probes += 1
+        # Accumulate counters locally; flush the stats object once.
+        comparisons = 0
+        window_filtered = 0
+        probe_ts = probe.ts
+        predicate = self.predicate
+        contains = self.window.contains
         results: list[StreamTuple] = []
-        for sub in [*self._archived, self._active]:
-            matches, comparisons = sub.probe(self.predicate, probe)
-            self.stats.comparisons += comparisons
-            for m in matches:
-                if self.window.contains(m.ts, probe.ts):
-                    results.append(m)
-                else:
-                    self.stats.window_filtered += 1
-        self.stats.matches += len(results)
+        scratch: list[StreamTuple] = []
+        # Fast path (thesis §3.1.2): the window predicate is an interval
+        # in stored-ts, so a sub-index whose min_ts AND max_ts are both
+        # in-window holds *only* in-window tuples — probe it straight
+        # into the results list, no per-match check.  Only boundary
+        # sub-indexes straddling the window edge need per-tuple filtering.
+        for sub in chain(self._archived, (self._active,)):
+            min_ts = sub.min_ts
+            if min_ts is None:  # empty sub-index
+                continue
+            if contains(min_ts, probe_ts) and contains(sub.max_ts, probe_ts):
+                comparisons += sub.probe_into(predicate, probe, results)
+            else:
+                scratch.clear()
+                comparisons += sub.probe_into(predicate, probe, scratch)
+                for m in scratch:
+                    if contains(m.ts, probe_ts):
+                        results.append(m)
+                    else:
+                        window_filtered += 1
+        stats = self.stats
+        stats.probes += 1
+        stats.comparisons += comparisons
+        stats.window_filtered += window_filtered
+        stats.matches += len(results)
         return results

@@ -94,7 +94,20 @@ class TupleIndex:
 
         ``probe`` is a tuple of the *opposite* relation.  The returned
         tuples satisfy the full join predicate (but not necessarily the
-        window — the caller filters on time).
+        window — the caller filters on time).  Convenience wrapper over
+        :meth:`probe_into`.
+        """
+        matches: list[StreamTuple] = []
+        comparisons = self.probe_into(predicate, probe, matches)
+        return matches, comparisons
+
+    def probe_into(self, predicate: JoinPredicate, probe: StreamTuple,
+                   out: list[StreamTuple]) -> int:
+        """Append matching stored tuples to ``out``; return comparisons.
+
+        The allocation-free probe primitive: the chained index passes
+        one results list down the whole sub-index chain instead of
+        concatenating a fresh list per sub-index.
         """
         raise NotImplementedError
 
@@ -121,10 +134,15 @@ class BruteForceIndex(TupleIndex):
         self._account_insert(t)
         self._tuples.append(t)
 
-    def probe(self, predicate: JoinPredicate,
-              probe: StreamTuple) -> tuple[list[StreamTuple], int]:
-        matches = [t for t in self._tuples if self._ordered(predicate, probe, t)]
-        return matches, len(self._tuples)
+    def probe_into(self, predicate: JoinPredicate, probe: StreamTuple,
+                   out: list[StreamTuple]) -> int:
+        # Hoist the operand-order branch out of the scan loop.
+        matches = predicate.matches
+        if probe.relation == "R":
+            out.extend(t for t in self._tuples if matches(probe, t))
+        else:
+            out.extend(t for t in self._tuples if matches(t, probe))
+        return len(self._tuples)
 
     def all_tuples(self) -> Iterator[StreamTuple]:
         return iter(self._tuples)
@@ -149,22 +167,30 @@ class HashIndex(TupleIndex):
         self._account_insert(t)
         self._buckets.setdefault(t[self.key_attr], []).append(t)
 
-    def probe(self, predicate: JoinPredicate,
-              probe: StreamTuple) -> tuple[list[StreamTuple], int]:
+    def probe_into(self, predicate: JoinPredicate, probe: StreamTuple,
+                   out: list[StreamTuple]) -> int:
+        probe_is_r = probe.relation == "R"
+        matches = predicate.matches
         equi = _equi_conjunct(predicate)
         if equi is None:
             # Correctness fallback: scan everything.
             comparisons = 0
-            matches = []
             for bucket in self._buckets.values():
                 comparisons += len(bucket)
-                matches.extend(
-                    t for t in bucket if self._ordered(predicate, probe, t))
-            return matches, comparisons
+                if probe_is_r:
+                    out.extend(t for t in bucket if matches(probe, t))
+                else:
+                    out.extend(t for t in bucket if matches(t, probe))
+            return comparisons
         probe_attr = equi.key_attribute(probe.relation)
-        bucket = self._buckets.get(probe[probe_attr], [])
-        matches = [t for t in bucket if self._ordered(predicate, probe, t)]
-        return matches, len(bucket)
+        bucket = self._buckets.get(probe[probe_attr])
+        if not bucket:
+            return 0
+        if probe_is_r:
+            out.extend(t for t in bucket if matches(probe, t))
+        else:
+            out.extend(t for t in bucket if matches(t, probe))
+        return len(bucket)
 
     def all_tuples(self) -> Iterator[StreamTuple]:
         for bucket in self._buckets.values():
@@ -206,19 +232,21 @@ class SortedIndex(TupleIndex):
                    else bisect.bisect_right(self._keys, hi))
         return self._tuples[start:end]
 
-    def probe(self, predicate: JoinPredicate,
-              probe: StreamTuple) -> tuple[list[StreamTuple], int]:
+    def probe_into(self, predicate: JoinPredicate, probe: StreamTuple,
+                   out: list[StreamTuple]) -> int:
         indexable = predicate
         if isinstance(predicate, ConjunctionPredicate):
             indexable = predicate.indexable_conjunct
 
         candidates = self._candidates(indexable, probe)
         if candidates is None:  # unsupported shape: full scan
-            matches = [t for t in self._tuples
-                       if self._ordered(predicate, probe, t)]
-            return matches, len(self._tuples)
-        matches = [t for t in candidates if self._ordered(predicate, probe, t)]
-        return matches, len(candidates)
+            candidates = self._tuples
+        matches = predicate.matches
+        if probe.relation == "R":
+            out.extend(t for t in candidates if matches(probe, t))
+        else:
+            out.extend(t for t in candidates if matches(t, probe))
+        return len(candidates)
 
     def _candidates(self, indexable: JoinPredicate,
                     probe: StreamTuple) -> list[StreamTuple] | None:

@@ -31,6 +31,7 @@ from ..obs.trace import (
     SPAN_STORE,
     NoopTracer,
 )
+from .batching import EnvelopeBatch
 from .chained_index import ChainedInMemoryIndex
 from .ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE, Envelope, ReorderBuffer
 from .predicates import JoinPredicate
@@ -121,6 +122,16 @@ class Joiner:
         #: Set by the engine when the broker runs in simulated mode.
         self.acker: Callable[[int], None] | None = None
         self._ack_tags: dict[tuple[int, str, str], int] = {}
+        #: Outstanding member count per batch delivery tag: a batch is
+        #: acknowledged only after *every* member envelope is settled
+        #: (processed, deduplicated, or skipped), so a crash mid-batch
+        #: redelivers it.  Single-envelope tags never appear here.
+        self._batch_refs: dict[int, int] = {}
+        #: One-shot member keys to drop on arrival: set by the engine on
+        #: restart for batch members the crashed incarnation already
+        #: processed, so a redelivered partial batch cannot double-store
+        #: or double-probe them.
+        self.skip_once: set[tuple[int, str, str]] = set()
         #: Credit-grant hook (set by the overload manager): called once
         #: per *processed* data envelope, returning one flow-control
         #: credit to the router pool.  Punctuations are exempt (control
@@ -193,9 +204,13 @@ class Joiner:
     # Input
     # ------------------------------------------------------------------
     def on_delivery(self, delivery: Delivery) -> None:
-        """Broker callback: an envelope reached this joiner's inbox."""
+        """Broker callback: an envelope (or batch) reached this inbox."""
         self._now = max(self._now, delivery.time)
-        self.on_envelope(delivery.message.payload, ack_tag=delivery.tag)
+        payload = delivery.message.payload
+        if isinstance(payload, EnvelopeBatch):
+            self.on_batch(payload, ack_tag=delivery.tag)
+        else:
+            self.on_envelope(payload, ack_tag=delivery.tag)
 
     def on_envelope(self, envelope: Envelope, *, ack_tag: int = -1) -> None:
         """Accept one envelope; ``ack_tag`` is acknowledged only once
@@ -236,10 +251,59 @@ class Joiner:
         for env in released:
             self._process_released(env)
 
+    def on_batch(self, batch: EnvelopeBatch, *, ack_tag: int = -1) -> None:
+        """Accept a transport batch: one delivery, many data envelopes.
+
+        Members pass through the reorder buffer in batch (= send)
+        order, then everything releasable is processed in one pass —
+        one ack cycle and one stats flush for the whole batch.  The
+        batch tag is acknowledged only when all members are settled
+        (see :attr:`_batch_refs`), so a crash mid-batch redelivers the
+        batch rather than losing its unprocessed tail.
+        """
+        envelopes = batch.envelopes
+        self.stats.envelopes_received += len(envelopes)
+        if not self.ordered:
+            self._process_batch(envelopes)
+            if ack_tag >= 0 and self.acker is not None:
+                self.acker(ack_tag)
+            return
+        track = ack_tag >= 0
+        if track:
+            # Overwrite, not add: a duplicate batch copy shares the
+            # original's tag, and each member settles exactly once
+            # after the most recent overwrite (already-settled members
+            # decrement immediately below, buffered ones at release).
+            self._batch_refs[ack_tag] = len(envelopes)
+        reorder = self.reorder
+        push = reorder.push
+        ack_tags = self._ack_tags
+        skip = self.skip_once
+        for env in envelopes:
+            key = (env.counter, env.router_id, env.kind)
+            if skip and key in skip:
+                # Already processed by the pre-crash incarnation.
+                skip.discard(key)
+                if track:
+                    self._ack(ack_tag)
+                continue
+            original_buffered = key in ack_tags
+            if track:
+                ack_tags.setdefault(key, ack_tag)
+            if not push(env):
+                # Duplicate member; same residue rule as on_envelope.
+                if not original_buffered:
+                    ack_tags.pop(key, None)
+                    if track:
+                        self._ack(ack_tag)
+        self.stats.duplicates_dropped = reorder.duplicates_dropped
+        released = reorder.release_ready()
+        if released:
+            self._process_batch(released)
+
     def flush(self) -> None:
         """Process everything still buffered (end-of-stream)."""
-        for env in self.reorder.drain():
-            self._process_released(env)
+        self._process_batch(self.reorder.drain())
 
     # ------------------------------------------------------------------
     # Crash recovery
@@ -275,13 +339,98 @@ class Joiner:
         return (envelope.counter, envelope.router_id, envelope.kind)
 
     def _ack(self, tag: int) -> None:
-        if tag >= 0 and self.acker is not None:
+        if tag < 0 or self.acker is None:
+            return
+        refs = self._batch_refs
+        outstanding = refs.get(tag)
+        if outstanding is None:  # a single-envelope delivery
             self.acker(tag)
+        elif outstanding <= 1:  # last member of a batch settled
+            del refs[tag]
+            self.acker(tag)
+        else:
+            refs[tag] = outstanding - 1
 
     def _process_released(self, envelope: Envelope) -> None:
         self._process(envelope)
         tag = self._ack_tags.pop(self._envelope_key(envelope), -1)
         self._ack(tag)
+
+    def _process_batch(self, released: list[Envelope]) -> None:
+        """Process many released envelopes in one pass.
+
+        The amortised counterpart of :meth:`_process_released`:
+        attribute lookups (tracer, credit hook, index methods, sink)
+        are hoisted out of the loop and the
+        :class:`JoinerStats`/:class:`~repro.core.chained_index.
+        ChainedIndexStats` counters accumulate in locals, flushed once
+        at the end — one attribute store per batch, not per candidate.
+        """
+        if not released:
+            return
+        stats = self.stats
+        ack_tags = self._ack_tags
+        tracer = self.tracer
+        traced = tracer.enabled
+        credit_grant = self.credit_grant
+        result_sink = self.result_sink
+        index_probe = self.index.probe
+        index_insert = self.index.insert
+        side = self.side
+        side_is_r = side == "R"
+        policy = self.timestamp_policy
+        now = self._now
+        unit_id = self.unit_id
+        stored_n = probes_n = results_n = punctuations_n = 0
+        for env in released:
+            kind = env.kind
+            t = env.tuple
+            if kind == KIND_STORE:
+                if t.relation != side:
+                    raise ConfigurationError(
+                        f"joiner {unit_id!r} (side {side}) asked to store "
+                        f"a tuple of relation {t.relation!r}")
+                index_insert(t)
+                stored_n += 1
+                if traced:
+                    tracer.record(SPAN_STORE, now, unit_id, tuple_id=t.ident)
+            elif kind == KIND_JOIN:
+                if t.relation == side:
+                    raise ConfigurationError(
+                        f"joiner {unit_id!r} (side {side}) asked to probe "
+                        f"with a tuple of its own relation {t.relation!r}")
+                probes_n += 1
+                if traced:
+                    tracer.record(SPAN_PROBE, now, unit_id, tuple_id=t.ident)
+                for stored in index_probe(t):
+                    if side_is_r:
+                        result = make_result(
+                            stored, t, produced_at=now, producer=unit_id,
+                            timestamp_policy=policy)
+                    else:
+                        result = make_result(
+                            t, stored, produced_at=now, producer=unit_id,
+                            timestamp_policy=policy)
+                    results_n += 1
+                    if traced:
+                        tracer.record(
+                            SPAN_EMIT, now, unit_id,
+                            tuple_id=t.ident, partner=stored.ident,
+                            ref_time=max(result.r.ts, result.s.ts))
+                    result_sink(result)
+            else:  # punctuation (unordered mode only; absorbed otherwise)
+                punctuations_n += 1
+                continue
+            if credit_grant is not None:
+                credit_grant()
+            tag = ack_tags.pop((env.counter, env.router_id, kind), -1)
+            if tag >= 0:
+                self._ack(tag)
+        stats.tuples_stored += stored_n
+        stats.probes_processed += probes_n
+        stats.results_emitted += results_n
+        if punctuations_n and not self.ordered:
+            stats.punctuations_received += punctuations_n
 
     # ------------------------------------------------------------------
     # The two execution branches

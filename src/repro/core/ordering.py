@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from ..errors import OrderingError
 from .tuples import StreamTuple
@@ -45,7 +45,7 @@ KIND_PUNCTUATION = "punctuation"
 PUNCTUATION_BYTES = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A protocol message from a router to a joiner.
 
@@ -129,8 +129,15 @@ class ReorderBuffer:
         return min(self._punct.values())
 
     # -- protocol input -----------------------------------------------------
-    def add(self, envelope: Envelope) -> list[Envelope]:
-        """Accept an envelope; return newly releasable data envelopes."""
+    def push(self, envelope: Envelope) -> bool:
+        """Accept one envelope *without* releasing.
+
+        Returns ``True`` if the envelope was accepted (buffered, or a
+        punctuation absorbed), ``False`` if it was dropped as a
+        duplicate (``dedup=True`` only).  Callers batching many pushes
+        collect releasable envelopes once via :meth:`release_ready`;
+        :meth:`add` is the push-then-release convenience.
+        """
         rid = envelope.router_id
         if rid not in self._punct:
             raise OrderingError(
@@ -142,12 +149,12 @@ class ReorderBuffer:
             if envelope.counter < previous:
                 if self._dedup:
                     self.duplicates_dropped += 1
-                    return []
+                    return False
                 raise OrderingError(
                     f"punctuation regression from {rid!r}: "
                     f"{envelope.counter} after {previous}")
             self._punct[rid] = envelope.counter
-            return self._release()
+            return True
 
         # Pairwise FIFO + per-router monotone counters means counters
         # from one router must strictly increase on this channel.
@@ -155,7 +162,7 @@ class ReorderBuffer:
         if envelope.counter <= last:
             if self._dedup:
                 self.duplicates_dropped += 1
-                return []
+                return False
             raise OrderingError(
                 f"counter regression on channel from {rid!r}: "
                 f"{envelope.counter} after {last} (pairwise FIFO violated?)")
@@ -164,6 +171,27 @@ class ReorderBuffer:
         heapq.heappush(
             self._heap,
             (envelope.counter, rid, next(self._tiebreak), envelope))
+        return True
+
+    def add(self, envelope: Envelope) -> list[Envelope]:
+        """Accept an envelope; return newly releasable data envelopes."""
+        self.push(envelope)
+        return self._release()
+
+    def add_batch(self, envelopes: Iterable[Envelope]) -> list[Envelope]:
+        """Accept many envelopes, then release once.
+
+        Element-wise equivalent to calling :meth:`add` per envelope and
+        concatenating — a batch arrives on one FIFO channel, so its
+        members are in send order and pushing them before a single
+        release pass cannot release anything out of global order.
+        """
+        for envelope in envelopes:
+            self.push(envelope)
+        return self._release()
+
+    def release_ready(self) -> list[Envelope]:
+        """Release everything below the watermark (for :meth:`push` users)."""
         return self._release()
 
     def _release(self) -> list[Envelope]:

@@ -24,6 +24,7 @@ from ..broker.message import Delivery
 from ..metrics.counters import NetworkStats, ThroughputWindow
 from ..obs.trace import (NOOP_TRACER, SPAN_ENQUEUE, SPAN_ROUTE, SPAN_THROTTLE,
                          NoopTracer)
+from .batching import BatchingConfig, EnvelopeBatch
 from .ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE, Envelope
 from .routing import RoutingStrategy
 from .tuples import StreamTuple
@@ -47,6 +48,13 @@ class RouterStats:
     store_messages: int = 0
     join_messages: int = 0
     punctuations: int = 0
+    #: Transport batching counters (all zero when batching is off).
+    batches_sent: int = 0
+    batched_envelopes: int = 0
+    batch_flushes_size: int = 0
+    batch_flushes_linger: int = 0
+    batch_flushes_punctuation: int = 0
+    batch_flushes_drain: int = 0
 
 
 class Router:
@@ -56,7 +64,8 @@ class Router:
                  channels: ChannelLayer, network_stats: NetworkStats,
                  *, rate_horizon: float = 10.0,
                  replay_log: "ReplayLog | None" = None,
-                 tracer: NoopTracer = NOOP_TRACER) -> None:
+                 tracer: NoopTracer = NOOP_TRACER,
+                 batching: BatchingConfig | None = None) -> None:
         self.router_id = router_id
         #: Causal tracer (no-op by default; see :mod:`repro.obs.trace`).
         self.tracer = tracer
@@ -95,6 +104,21 @@ class Router:
         self._parked: deque[Delivery] = deque()
         self.parks = 0
         self.park_evictions = 0
+        #: Transport micro-batching (see :mod:`repro.core.batching`).
+        #: When enabled, routed envelopes buffer per destination and
+        #: ship as one :class:`EnvelopeBatch`; input-tuple acks and
+        #: replay-log records are deferred until the buffer is flushed
+        #: so a router crash loses nothing (the unacked inputs requeue).
+        self.batching = batching if batching is not None else BatchingConfig()
+        #: Linger-timer hook, set by the runtime: ``(delay, action) ->``
+        #: a cancellable event.  ``None`` disables time-based flushes.
+        self.batch_scheduler: Callable[[float, Callable[[], None]], object] \
+            | None = None
+        self._pending_batches: dict[str, list[Envelope]] = {}
+        self._pending_tuples = 0
+        self._pending_acks: list[int] = []
+        self._pending_replays: list[tuple[str, Envelope]] = []
+        self._linger_event: object | None = None
 
     @property
     def next_counter(self) -> int:
@@ -136,8 +160,7 @@ class Router:
             self._park(delivery)
             return
         self.route_tuple(delivery.message.payload, now=delivery.time)
-        if delivery.tag >= 0 and self.acker is not None:
-            self.acker(delivery.tag)
+        self._settle_input(delivery.tag, delivery.time)
 
     # ------------------------------------------------------------------
     # Backpressure parking
@@ -169,8 +192,7 @@ class Router:
             delivery = self._parked.popleft()
             now = self.clock() if self.clock is not None else delivery.time
             self.route_tuple(delivery.message.payload, now=now)
-            if delivery.tag >= 0 and self.acker is not None:
-                self.acker(delivery.tag)
+            self._settle_input(delivery.tag, now)
         if self._parked:
             self.flow.add_waiter(self._drain_parked)
 
@@ -186,10 +208,22 @@ class Router:
             delivery = self._parked.popleft()
             now = self.clock() if self.clock is not None else delivery.time
             self.route_tuple(delivery.message.payload, now=now)
-            if delivery.tag >= 0 and self.acker is not None:
-                self.acker(delivery.tag)
+            self._settle_input(delivery.tag, now)
             released += 1
         return released
+
+    def _settle_input(self, tag: int, now: float) -> None:
+        """Acknowledge a routed input delivery — immediately when every
+        envelope already shipped, deferred to the batch flush otherwise
+        (so a crash before the flush requeues the input, losing nothing).
+        """
+        if not self.batching.enabled:
+            if tag >= 0 and self.acker is not None:
+                self.acker(tag)
+            return
+        if tag >= 0:
+            self._pending_acks.append(tag)
+        self._maybe_flush(now)
 
     @property
     def parked_count(self) -> int:
@@ -206,19 +240,24 @@ class Router:
                                tuple_id=t.ident, ref_time=t.ts,
                                detail=f"counter={counter}")
 
+        batching = self.batching.enabled
         sent = 0
         store_env = Envelope(kind=KIND_STORE, router_id=self.router_id,
                              counter=counter, tuple=t)
         for unit_id in self.strategy.store_targets(t, now):
-            self.channels.send(joiner_inbox(unit_id), store_env,
-                               sender=self.router_id)
+            inbox = joiner_inbox(unit_id)
+            if batching:
+                self._buffer(inbox, store_env)
+                self._pending_replays.append((unit_id, store_env))
+            else:
+                self.channels.send(inbox, store_env, sender=self.router_id)
+                if self.replay_log is not None:
+                    self.replay_log.record(unit_id, store_env)
             if self.flow is not None:
                 self.flow.acquire(unit_id)
             self.network_stats.record("store", store_env.size_bytes())
             self.stats.store_messages += 1
             sent += 1
-            if self.replay_log is not None:
-                self.replay_log.record(unit_id, store_env)
             if self.tracer.enabled:
                 self.tracer.record(SPAN_ENQUEUE, now, self.router_id,
                                    tuple_id=t.ident,
@@ -227,8 +266,11 @@ class Router:
         join_env = Envelope(kind=KIND_JOIN, router_id=self.router_id,
                             counter=counter, tuple=t)
         for unit_id in self.strategy.join_targets(t, now):
-            self.channels.send(joiner_inbox(unit_id), join_env,
-                               sender=self.router_id)
+            inbox = joiner_inbox(unit_id)
+            if batching:
+                self._buffer(inbox, join_env)
+            else:
+                self.channels.send(inbox, join_env, sender=self.router_id)
             if self.flow is not None:
                 self.flow.acquire(unit_id)
             self.network_stats.record("join", join_env.size_bytes())
@@ -238,7 +280,82 @@ class Router:
                 self.tracer.record(SPAN_ENQUEUE, now, self.router_id,
                                    tuple_id=t.ident,
                                    detail=f"join:{unit_id}")
+        if batching:
+            self._pending_tuples += 1
         return sent
+
+    # ------------------------------------------------------------------
+    # Transport micro-batching
+    # ------------------------------------------------------------------
+    def _buffer(self, inbox: str, envelope: Envelope) -> None:
+        buf = self._pending_batches.get(inbox)
+        if buf is None:
+            self._pending_batches[inbox] = [envelope]
+        else:
+            buf.append(envelope)
+
+    def _maybe_flush(self, now: float) -> None:
+        if self._pending_tuples >= self.batching.batch_size:
+            self.flush_batches(cause="size")
+        elif (self._pending_tuples and self._linger_event is None
+                and self.batching.batch_linger > 0
+                and self.batch_scheduler is not None):
+            self._linger_event = self.batch_scheduler(
+                self.batching.batch_linger, self._on_linger)
+
+    def _on_linger(self) -> None:
+        self._linger_event = None
+        if not self.retired:
+            self.flush_batches(cause="linger")
+
+    def flush_batches(self, cause: str = "drain") -> int:
+        """Ship every buffered envelope, then fire the deferred acks.
+
+        Acks come strictly *after* the sends: an input tuple counts as
+        processed only once all its envelopes are on the wire, so a
+        crash mid-flush redelivers rather than loses it.  Returns the
+        number of transport messages sent.
+        """
+        event = self._linger_event
+        if event is not None:
+            self._linger_event = None
+            cancel = getattr(event, "cancel", None)
+            if callable(cancel):
+                cancel()
+        pending = self._pending_batches
+        sent = 0
+        if pending:
+            stats = self.stats
+            for inbox, envelopes in pending.items():
+                if len(envelopes) == 1:
+                    payload: Envelope | EnvelopeBatch = envelopes[0]
+                else:
+                    payload = EnvelopeBatch(tuple(envelopes))
+                    stats.batches_sent += 1
+                    stats.batched_envelopes += len(envelopes)
+                self.channels.send(inbox, payload, sender=self.router_id)
+                sent += 1
+            pending.clear()
+            setattr(stats, f"batch_flushes_{cause}",
+                    getattr(stats, f"batch_flushes_{cause}") + 1)
+        if self._pending_replays:
+            if self.replay_log is not None:
+                for unit_id, envelope in self._pending_replays:
+                    self.replay_log.record(unit_id, envelope)
+            self._pending_replays.clear()
+        self._pending_tuples = 0
+        if self._pending_acks:
+            acks = self._pending_acks
+            self._pending_acks = []
+            if self.acker is not None:
+                for tag in acks:
+                    self.acker(tag)
+        return sent
+
+    @property
+    def pending_batched_tuples(self) -> int:
+        """Tuples routed but still sitting in the batch buffers."""
+        return self._pending_tuples
 
     # ------------------------------------------------------------------
     # Punctuations (ordering protocol, §3.3)
@@ -248,8 +365,13 @@ class Router:
 
         The punctuation promises that all tuples with counters below
         :attr:`next_counter` have already been sent on every channel.
-        Returns the number of punctuation messages sent.
+        Buffered batches are therefore flushed first — a punctuation
+        overtaking a buffered envelope would be a lie the ordering
+        protocol turns into a counter regression.  Returns the number
+        of punctuation messages sent.
         """
+        if self._pending_tuples or self._pending_acks:
+            self.flush_batches(cause="punctuation")
         env = Envelope(kind=KIND_PUNCTUATION, router_id=self.router_id,
                        counter=self._next_counter)
         sent = 0
@@ -292,3 +414,18 @@ class Router:
         registry.counter("repro_router_park_evictions_total",
                          "Parked deliveries evicted (drop-oldest).",
                          labels).set_total(self.park_evictions)
+        if self.batching.enabled:
+            # The repro_batch_* family exists only when batching is on,
+            # keeping unbatched metric snapshots byte-identical to seed.
+            registry.counter("repro_batch_messages_total",
+                             "EnvelopeBatch transport messages sent.",
+                             labels).set_total(self.stats.batches_sent)
+            registry.counter("repro_batch_envelopes_total",
+                             "Data envelopes shipped inside batches.",
+                             labels).set_total(self.stats.batched_envelopes)
+            for cause in ("size", "linger", "punctuation", "drain"):
+                registry.counter(
+                    f"repro_batch_flushes_{cause}_total",
+                    f"Batch buffer flushes triggered by {cause}.",
+                    labels).set_total(
+                        getattr(self.stats, f"batch_flushes_{cause}"))

@@ -84,7 +84,7 @@ class Schema:
         return f"Schema({self.name!r}: <{names}>)"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamTuple:
     """An immutable streaming tuple.
 
@@ -148,7 +148,7 @@ def _value_size(value: Any) -> int:
     return sys.getsizeof(value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinResult:
     """The concatenation of a matched ``(r, s)`` pair (Definition 4).
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..core.batching import EnvelopeBatch
 from ..core.chained_index import ChainedInMemoryIndex
 from ..core.ordering import KIND_PUNCTUATION, Envelope, ReorderBuffer
 from ..core.predicates import JoinPredicate
@@ -89,6 +90,16 @@ class MatrixCell:
             self._process(envelope)
             return
         for released in self.reorder.add(envelope):
+            self._process(released)
+
+    def on_batch(self, batch: EnvelopeBatch, now: float = 0.0) -> None:
+        """Unpack a transport batch in member order (one delivery)."""
+        self._now = max(self._now, now)
+        if not self.ordered:
+            for envelope in batch:
+                self._process(envelope)
+            return
+        for released in self.reorder.add_batch(batch):
             self._process(released)
 
     def flush(self) -> None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..broker.broker import Broker
 from ..broker.channels import ChannelLayer
 from ..broker.message import Delivery
+from ..core.batching import BatchingConfig, EnvelopeBatch
 from ..core.ordering import KIND_PUNCTUATION, KIND_STORE, Envelope
 from ..core.predicates import JoinPredicate
 from ..core.routing import stable_hash
@@ -51,6 +52,9 @@ class _MatrixRouter:
         self.engine = engine
         self._next_counter = 0
         self.tuples_ingested = 0
+        self.batching = engine.batching
+        self._pending: dict[str, list[Envelope]] = {}
+        self._pending_tuples = 0
 
     @property
     def next_counter(self) -> int:
@@ -70,12 +74,36 @@ class _MatrixRouter:
         self.tuples_ingested += 1
         envelope = Envelope(kind=KIND_STORE, router_id=self.router_id,
                             counter=counter, tuple=t)
+        batching = self.batching.enabled
         for row, col in engine.target_coords(t):
-            engine.channels.send(cell_inbox(row, col), envelope,
-                                 sender=self.router_id)
+            if batching:
+                self._pending.setdefault(cell_inbox(row, col),
+                                         []).append(envelope)
+            else:
+                engine.channels.send(cell_inbox(row, col), envelope,
+                                     sender=self.router_id)
             engine.network_stats.record("store", envelope.size_bytes())
+        if batching:
+            self._pending_tuples += 1
+            if self._pending_tuples >= self.batching.batch_size:
+                self.flush_batches()
+
+    def flush_batches(self) -> None:
+        """Ship every buffered inbox as one batch message (FIFO-safe:
+        buffered order equals stamped-counter order per channel)."""
+        engine = self.engine
+        for inbox, envelopes in self._pending.items():
+            payload: Envelope | EnvelopeBatch = envelopes[0] \
+                if len(envelopes) == 1 else EnvelopeBatch(tuple(envelopes))
+            engine.channels.send(inbox, payload, sender=self.router_id)
+        self._pending.clear()
+        self._pending_tuples = 0
 
     def emit_punctuation(self) -> None:
+        # The punctuation promises every stamped counter below it has
+        # been *sent*; anything still buffered must go out first.
+        if self._pending_tuples:
+            self.flush_batches()
         envelope = Envelope(kind=KIND_PUNCTUATION, router_id=self.router_id,
                             counter=self._next_counter)
         for row in range(self.engine.rows):
@@ -90,11 +118,13 @@ class DistributedMatrixEngine:
     """A join-matrix grid wired through the broker substrate."""
 
     def __init__(self, config: MatrixConfig, predicate: JoinPredicate,
-                 broker: Broker | None = None, *, routers: int = 1) -> None:
+                 broker: Broker | None = None, *, routers: int = 1,
+                 batching: BatchingConfig | None = None) -> None:
         if routers < 1:
             raise ConfigurationError("need at least one matrix router")
         self.config = config
         self.predicate = predicate
+        self.batching = batching if batching is not None else BatchingConfig()
         self.broker = broker if broker is not None else Broker()
         self.channels = ChannelLayer(self.broker)
         self.network_stats = NetworkStats()
@@ -143,8 +173,11 @@ class DistributedMatrixEngine:
                 consumer_id = f"cell-{row}-{col}-g{generation}"
 
                 def callback(delivery: Delivery, cell=cell) -> None:
-                    cell.on_envelope(delivery.message.payload,
-                                     now=delivery.time)
+                    payload = delivery.message.payload
+                    if isinstance(payload, EnvelopeBatch):
+                        cell.on_batch(payload, now=delivery.time)
+                    else:
+                        cell.on_envelope(payload, now=delivery.time)
 
                 self.channels.subscribe(inbox, consumer_id, callback,
                                         group=f"{inbox}.group")
@@ -216,6 +249,13 @@ class DistributedMatrixEngine:
         """Keep watermarks advancing while admission is stalled (the
         counterpart of :meth:`BicliqueEngine.maintain_punctuations`)."""
         self._maybe_punctuate(now)
+
+    def flush_transport(self) -> None:
+        """Flush every router's buffered transport batches (must run
+        before the simulator's final drain — see
+        :meth:`repro.core.biclique.BicliqueEngine.flush_transport`)."""
+        for router in self.routers:
+            router.flush_batches()
 
     def finish(self) -> None:
         self.punctuate_all()

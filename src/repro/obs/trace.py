@@ -190,11 +190,21 @@ class Tracer(NoopTracer):
 
         Classifies the payload: protocol envelopes yield a ``deliver``
         span tagged with the envelope kind (punctuations are skipped —
-        they are watermark signals, not tuple events); raw
+        they are watermark signals, not tuple events); a transport
+        batch yields one span per member envelope, so a tuple's causal
+        chain is the same whether it travelled batched or not; raw
         :class:`~repro.core.tuples.StreamTuple` payloads are entry-queue
         deliveries to a router, tagged ``entry``.
         """
         payload = delivery.message.payload
+        envelopes = getattr(payload, "envelopes", None)
+        if envelopes is not None:  # an EnvelopeBatch
+            time, consumer = delivery.time, delivery.consumer
+            for env in envelopes:
+                if env.tuple is not None:
+                    self.record(SPAN_DELIVER, time, consumer,
+                                tuple_id=env.tuple.ident, detail=env.kind)
+            return
         tuple_ = getattr(payload, "tuple", None)
         if tuple_ is not None:  # a data Envelope
             self.record(SPAN_DELIVER, delivery.time, delivery.consumer,

@@ -19,7 +19,7 @@ from ..errors import SimulationError
 Action = Callable[[], Any]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled simulation event.
 

@@ -1,0 +1,340 @@
+"""Unit tests for the transport micro-batching building blocks.
+
+Covers the :mod:`repro.core.batching` data types, the batch-aware
+:class:`~repro.core.ordering.ReorderBuffer` entry points, the
+``probe_into`` fast path of the sub-indexes, the single-pass monolithic
+expiry, tuple-weighted queue depth accounting, and the router's
+buffer/flush/deferred-ack discipline.
+"""
+
+import pytest
+
+from repro import BatchingConfig, EquiJoinPredicate, TimeWindow
+from repro.broker.message import Message
+from repro.broker.queue import MessageQueue, message_weight
+from repro.core.batching import EnvelopeBatch, iter_envelopes, payload_tuple_count
+from repro.core.chained_index import ChainedInMemoryIndex
+from repro.core.indexes import index_factory
+from repro.core.ordering import (KIND_JOIN, KIND_PUNCTUATION, KIND_STORE,
+                                 Envelope, ReorderBuffer)
+from repro.core.router import Router
+from repro.core.streams import StreamSource
+from repro.errors import ConfigurationError
+from repro.metrics.counters import NetworkStats
+
+PREDICATE = EquiJoinPredicate("k", "k")
+
+
+def tuples(n, relation="R", keys=4, dt=0.1):
+    source = StreamSource(relation)
+    return [source.emit(i * dt, {"k": i % keys, "v": float(i)})
+            for i in range(n)]
+
+
+def env(counter, router_id="r0", kind=KIND_STORE, t=None):
+    if t is None:
+        t = tuples(1)[0]
+    return Envelope(kind=kind, router_id=router_id, counter=counter, tuple=t)
+
+
+class TestBatchingConfig:
+    def test_defaults_are_disabled(self):
+        config = BatchingConfig()
+        assert config.batch_size == 1
+        assert not config.enabled
+
+    def test_enabled_when_size_above_one(self):
+        assert BatchingConfig(batch_size=2).enabled
+
+    def test_rejects_zero_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(batch_size=0)
+
+    def test_rejects_negative_linger(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(batch_size=8, batch_linger=-0.1)
+
+
+class TestEnvelopeBatch:
+    def test_preserves_member_order(self):
+        members = [env(i) for i in range(5)]
+        batch = EnvelopeBatch(tuple(members))
+        assert list(batch) == members
+        assert len(batch) == 5
+        assert batch.tuple_count == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            EnvelopeBatch(())
+
+    def test_rejects_punctuations(self):
+        punctuation = Envelope(kind=KIND_PUNCTUATION, router_id="r0", counter=3)
+        with pytest.raises(ConfigurationError):
+            EnvelopeBatch((env(0), punctuation))
+
+    def test_size_is_sum_of_members(self):
+        members = [env(i) for i in range(3)]
+        batch = EnvelopeBatch(tuple(members))
+        assert batch.size_bytes() == sum(e.size_bytes() for e in members)
+
+    def test_payload_tuple_count(self):
+        assert payload_tuple_count(EnvelopeBatch((env(0), env(1)))) == 2
+        assert payload_tuple_count(env(0)) == 1
+        assert payload_tuple_count("punctuation") == 1
+
+    def test_iter_envelopes(self):
+        members = (env(0), env(1))
+        assert list(iter_envelopes(EnvelopeBatch(members))) == list(members)
+        assert list(iter_envelopes(members[0])) == [members[0]]
+        assert list(iter_envelopes(object())) == []
+
+
+class TestReorderBufferBatch:
+    def buffer(self, routers=("r0", "r1")):
+        buf = ReorderBuffer()
+        for router_id in routers:
+            buf.register_router(router_id)
+        return buf
+
+    def test_push_accepts_without_releasing(self):
+        buf = self.buffer()
+        assert buf.push(env(0, "r0"))
+        assert buf.pending == 1
+        assert buf.release_ready() == []  # no punctuation yet
+
+    def test_add_batch_equals_sequential_adds(self):
+        ts = tuples(6)
+        sequence = [env(i, "r0", KIND_STORE, ts[i]) for i in range(3)]
+        sequence.append(Envelope(kind=KIND_PUNCTUATION, router_id="r0",
+                                 counter=3))
+        sequence.append(Envelope(kind=KIND_PUNCTUATION, router_id="r1",
+                                 counter=3))
+
+        one_by_one = self.buffer()
+        released_a = []
+        for e in sequence:
+            released_a.extend(one_by_one.add(e))
+
+        batched = self.buffer()
+        released_b = batched.add_batch(sequence)
+        assert released_a == released_b
+        assert [e.counter for e in released_b] == [0, 1, 2]
+
+    def test_add_batch_drops_duplicates_when_dedup(self):
+        buf = ReorderBuffer(dedup=True)
+        buf.register_router("r0")
+        first = env(0, "r0")
+        buf.add_batch([first, first])
+        assert buf.duplicates_dropped == 1
+
+
+class TestProbeInto:
+    @pytest.mark.parametrize("predicate", [
+        EquiJoinPredicate("k", "k"),
+        pytest.param(None, id="cross"),
+    ])
+    def test_probe_wrapper_matches_probe_into(self, predicate):
+        from repro.core.predicates import CrossPredicate
+        predicate = predicate or CrossPredicate()
+        index = index_factory(predicate, "S")()
+        for t in tuples(20, relation="S"):
+            index.insert(t)
+        probe = tuples(1, relation="R", keys=1)[0]
+
+        matches, comparisons = index.probe(predicate, probe)
+        out = []
+        comparisons_into = index.probe_into(predicate, probe, out)
+        assert out == matches
+        assert comparisons_into == comparisons
+
+    def test_probe_into_appends_to_existing_list(self):
+        index = index_factory(PREDICATE, "S")()
+        for t in tuples(8, relation="S"):
+            index.insert(t)
+        probe = tuples(1, relation="R", keys=1)[0]
+        out = ["sentinel"]
+        index.probe_into(PREDICATE, probe, out)
+        assert out[0] == "sentinel"
+        assert len(out) > 1
+
+
+class TestChainedIndexFastPath:
+    def test_boundary_filter_matches_per_tuple_filter(self):
+        """A fully-in-window sub-index must yield the same matches the
+        per-tuple window filter would."""
+        window = TimeWindow(seconds=2.0)
+        chained = ChainedInMemoryIndex(PREDICATE, "S", window,
+                                       archive_period=0.5)
+        stored = tuples(30, relation="S", dt=0.1)
+        for t in stored:
+            chained.insert(t)
+        probe = StreamSource("R").emit(3.0, {"k": 0})
+        matches = chained.probe(probe)
+        expected = [t for t in stored
+                    if t["k"] == 0 and window.contains(t.ts, probe.ts)]
+        assert sorted(m.ident for m in matches) == \
+            sorted(t.ident for t in expected)
+
+    def test_monolithic_expiry_single_pass_with_sink(self):
+        window = TimeWindow(seconds=1.0)
+        archived: list = []
+        chained = ChainedInMemoryIndex(PREDICATE, "S", window,
+                                       archive_period=None,
+                                       archive_sink=archived.extend)
+        stored = tuples(30, relation="S", dt=0.1)  # ts 0.0 .. 2.9
+        for t in stored:
+            chained.insert(t)
+        discarded = chained.expire(probe_ts=3.0)
+        expired = [t for t in stored if window.is_expired(t.ts, 3.0)]
+        assert discarded == len(expired)
+        assert sorted(t.ident for t in archived) == \
+            sorted(t.ident for t in expired)
+        assert len(chained) == len(stored) - discarded
+        assert chained.stats.tuples_expired == discarded
+
+
+class TestTupleWeightedDepth:
+    def message(self, payload):
+        return Message(routing_key="x", payload=payload)
+
+    def test_message_weight(self):
+        assert message_weight(self.message(env(0))) == 1
+        batch = EnvelopeBatch(tuple(env(i) for i in range(5)))
+        assert message_weight(self.message(batch)) == 5
+        assert message_weight(self.message("opaque")) == 1
+
+    def test_backlog_depth_counts_tuples(self):
+        queue = MessageQueue("q")
+        batch = EnvelopeBatch(tuple(env(i) for i in range(4)))
+        queue.offer(self.message(batch))  # no consumer: buffered
+        queue.offer(self.message(env(9)))
+        assert queue.backlog_depth == 2  # messages
+        assert queue.depth == 5          # tuples
+
+    def test_eviction_restores_weight(self):
+        queue = MessageQueue("q")
+        batch = EnvelopeBatch(tuple(env(i) for i in range(4)))
+        queue.offer(self.message(batch))
+        queue.evict_oldest()
+        assert queue.depth == 0
+
+
+class _RecordingChannels:
+    """ChannelLayer stand-in recording (destination, payload) sends."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, destination, payload, *, sender=""):
+        self.sent.append((destination, payload))
+
+
+class _StaticStrategy:
+    """Routing stub: one store target, one join target."""
+
+    def store_targets(self, t, now):
+        return ["u-store"]
+
+    def join_targets(self, t, now):
+        return ["u-join"]
+
+    def all_unit_ids(self):
+        return ["u-store", "u-join"]
+
+
+def make_router(batch_size=4, linger=0.0):
+    router = Router("r0", _StaticStrategy(), _RecordingChannels(),
+                    NetworkStats(),
+                    batching=BatchingConfig(batch_size=batch_size,
+                                            batch_linger=linger))
+    return router
+
+
+class TestRouterBatching:
+    def test_buffers_until_size_then_flushes(self):
+        router = make_router(batch_size=3)
+        for i, t in enumerate(tuples(2)):
+            router.route_tuple(t, now=0.0)
+            router._settle_input(-1, 0.0)
+        assert router.channels.sent == []
+        assert router.pending_batched_tuples == 2
+        router.route_tuple(tuples(3)[2], now=0.0)
+        router._settle_input(-1, 0.0)
+        assert router.pending_batched_tuples == 0
+        # Two inboxes, each one batch of 3 members.
+        assert len(router.channels.sent) == 2
+        for _dest, payload in router.channels.sent:
+            assert isinstance(payload, EnvelopeBatch)
+            assert len(payload) == 3
+        assert router.stats.batch_flushes_size == 1
+        assert router.stats.batches_sent == 2
+        assert router.stats.batched_envelopes == 6
+
+    def test_singleton_buffer_ships_bare_envelope(self):
+        router = make_router(batch_size=2)
+        for t in tuples(1):
+            router.route_tuple(t, now=0.0)
+        router.flush_batches()
+        assert all(isinstance(payload, Envelope)
+                   for _dest, payload in router.channels.sent)
+        assert router.stats.batches_sent == 0
+
+    def test_punctuation_flushes_buffers_first(self):
+        router = make_router(batch_size=100)
+        for t in tuples(3):
+            router.route_tuple(t, now=0.0)
+        router.emit_punctuation()
+        kinds = [getattr(p, "kind", "batch")
+                 for _dest, p in router.channels.sent]
+        # Both data batches precede every punctuation.
+        assert kinds[:2] == ["batch", "batch"]
+        assert set(kinds[2:]) == {KIND_PUNCTUATION}
+        assert router.stats.batch_flushes_punctuation == 1
+
+    def test_acks_deferred_until_flush_and_fire_after_sends(self):
+        events = []
+        router = make_router(batch_size=2)
+        router.acker = lambda tag: events.append(("ack", tag))
+        original_send = router.channels.send
+
+        def send(dest, payload, *, sender=""):
+            events.append(("send", dest))
+            original_send(dest, payload, sender=sender)
+
+        router.channels.send = send
+        ts = tuples(2)
+        router.route_tuple(ts[0], now=0.0)
+        router._settle_input(7, 0.0)
+        assert events == []  # nothing acked before the flush
+        router.route_tuple(ts[1], now=0.0)
+        router._settle_input(8, 0.0)
+        assert [e[0] for e in events] == ["send", "send", "ack", "ack"]
+        assert [tag for kind, tag in events if kind == "ack"] == [7, 8]
+
+    def test_linger_timer_flushes(self):
+        scheduled = []
+
+        class FakeEvent:
+            cancelled = False
+
+            def cancel(self):
+                self.cancelled = True
+
+        router = make_router(batch_size=100, linger=0.5)
+        router.batch_scheduler = lambda delay, fn: (
+            scheduled.append((delay, fn)) or FakeEvent())
+        router.route_tuple(tuples(1)[0], now=0.0)
+        router._settle_input(-1, 0.0)
+        assert scheduled and scheduled[0][0] == 0.5
+        scheduled[0][1]()  # fire the linger
+        assert router.pending_batched_tuples == 0
+        assert router.stats.batch_flushes_linger == 1
+
+    def test_join_kind_batches_alongside_store(self):
+        router = make_router(batch_size=2)
+        for t in tuples(2):
+            router.route_tuple(t, now=0.0)
+            router._settle_input(-1, 0.0)
+        by_dest = dict(router.channels.sent)
+        assert {e.kind for e in by_dest["joiner.u-store.inbox"]} == {KIND_STORE}
+        assert {e.kind for e in by_dest["joiner.u-join.inbox"]} == {KIND_JOIN}

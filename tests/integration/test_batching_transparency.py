@@ -1,0 +1,231 @@
+"""Transport-batching transparency: batching must never change results.
+
+The differential counterpart of ``test_overload_transparency`` for the
+micro-batched data plane.  The same seeded workload is run with
+batching off (the seed behaviour), at ``batch_size=8`` and at
+``batch_size=64``:
+
+- **synchronous mode** demands full identity — the results *list*
+  (content and order), every joiner's logical counters, every chained
+  index's counters, every router's logical counters and the causal
+  trace must be byte-equal;
+- **simulated mode** demands logical identity — identical result pair
+  sets, identical per-component logical counters, a zero-pressure
+  overload ledger — while executing strictly *fewer* simulator events
+  (the whole point of batching);
+- batching must stay transparent under crash/replay recovery and under
+  a wire-level reordering network.
+
+Only the ``repro_batch_*`` metric family (which exists solely in the
+batched runs) may appear on one side of the diff.
+"""
+
+import pytest
+
+from repro import (
+    BatchingConfig,
+    BicliqueConfig,
+    BicliqueEngine,
+    EquiJoinPredicate,
+    TimeWindow,
+    merge_by_time,
+)
+from repro.cluster import SimulatedCluster
+from repro.cluster.matrix_runtime import MatrixSimulatedCluster
+from repro.matrix.engine import MatrixConfig
+from repro.obs.trace import SPAN_DELIVER, Tracer
+from repro.simulation import SeededRng
+from repro.simulation.faults import CrashFault, FaultPlan
+from repro.simulation.network import FixedDelayNetwork, ReorderNetwork
+from repro.workloads import ConstantRate, EquiJoinWorkload, UniformKeys
+
+PREDICATE = EquiJoinPredicate("k", "k")
+WINDOW = TimeWindow(seconds=4.0)
+DURATION = 15.0
+SEEDS = [3, 41, 1234]
+BATCHINGS = [None, BatchingConfig(batch_size=8), BatchingConfig(batch_size=64)]
+
+
+def biclique_config(**overrides):
+    defaults = dict(window=WINDOW, r_joiners=2, s_joiners=2, routers=2,
+                    routing="hash", archive_period=1.0,
+                    punctuation_interval=0.2)
+    defaults.update(overrides)
+    return BicliqueConfig(**defaults)
+
+
+def arrivals_for(seed, rate=40.0, duration=DURATION):
+    wl = EquiJoinWorkload(keys=UniformKeys(16), seed=seed)
+    r, s = wl.materialise(ConstantRate(rate), duration)
+    return r, s, list(merge_by_time(r, s))
+
+
+def logical_counters(engine):
+    """Every batching-independent counter the engine exposes."""
+    return {
+        "joiners": {uid: (j.stats.envelopes_received, j.stats.tuples_stored,
+                          j.stats.probes_processed, j.stats.results_emitted,
+                          j.stats.punctuations_received,
+                          j.stats.duplicates_dropped)
+                    for uid, j in engine.joiners.items()},
+        "indexes": {uid: (j.index.stats.inserts, j.index.stats.probes,
+                          j.index.stats.comparisons, j.index.stats.matches,
+                          j.index.stats.window_filtered,
+                          j.index.stats.tuples_expired)
+                    for uid, j in engine.joiners.items()},
+        "routers": {r.router_id: (r.stats.tuples_ingested,
+                                  r.stats.store_messages,
+                                  r.stats.join_messages,
+                                  r.stats.punctuations)
+                    for r in engine.routers},
+        "network_bytes": engine.network_stats.bytes_sent,
+    }
+
+
+def split_trace(tracer):
+    """(ordered non-deliver spans, deliver-span multiset).
+
+    Batching moves *when* a delivery lands and groups member deliveries
+    together, so deliver spans compare as a time-free multiset; every
+    other span kind must match exactly, in order.
+    """
+    ordered = [(s.kind, s.actor, s.tuple_id, s.partner, s.detail)
+               for s in tracer.spans if s.kind != SPAN_DELIVER]
+    delivers = sorted((s.actor, s.tuple_id, s.detail)
+                      for s in tracer.spans if s.kind == SPAN_DELIVER)
+    return ordered, delivers
+
+
+# ---------------------------------------------------------------------------
+# Synchronous mode: byte identity
+# ---------------------------------------------------------------------------
+def run_sync(seed, batching):
+    _r, _s, arrivals = arrivals_for(seed)
+    tracer = Tracer()
+    engine = BicliqueEngine(biclique_config(), PREDICATE, tracer=tracer,
+                            batching=batching)
+    for t in arrivals:
+        engine.ingest(t)
+    engine.finish()
+    return engine, tracer
+
+
+class TestSyncByteIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("batching", BATCHINGS[1:],
+                             ids=["batch8", "batch64"])
+    def test_results_and_counters_identical(self, seed, batching):
+        baseline, base_trace = run_sync(seed, None)
+        batched, batch_trace = run_sync(seed, batching)
+        assert batched.results == baseline.results  # content AND order
+        assert logical_counters(batched) == logical_counters(baseline)
+        base_ordered, base_delivers = split_trace(base_trace)
+        batch_ordered, batch_delivers = split_trace(batch_trace)
+        assert batch_ordered == base_ordered
+        assert batch_delivers == base_delivers
+
+    def test_batched_run_actually_batched(self):
+        batched, _ = run_sync(SEEDS[0], BatchingConfig(batch_size=8))
+        assert sum(r.stats.batches_sent for r in batched.routers) > 0
+
+
+# ---------------------------------------------------------------------------
+# Simulated mode: logical identity, fewer events
+# ---------------------------------------------------------------------------
+def run_cluster(seed, batching, *, network=None, faults=None,
+                replay_recovery=False):
+    _r, _s, arrivals = arrivals_for(seed)
+    cluster = SimulatedCluster(
+        biclique_config(replay_recovery=replay_recovery),
+        PREDICATE, network=network, faults=faults, batching=batching)
+    report = cluster.run(iter(arrivals), DURATION)
+    return cluster, report
+
+
+def result_keys(engine):
+    return sorted((res.r.ident, res.s.ident) for res in engine.results)
+
+
+class TestSimulatedLogicalIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_identical_results_and_counters(self, seed):
+        base, base_report = run_cluster(seed, None)
+        runs = [run_cluster(seed, b) for b in BATCHINGS[1:]]
+        for cluster, report in runs:
+            assert result_keys(cluster.engine) == result_keys(base.engine)
+            assert report.tuples_ingested == base_report.tuples_ingested
+            assert report.results == base_report.results
+            assert logical_counters(cluster.engine) == \
+                logical_counters(base.engine)
+
+    def test_unbatched_metrics_unchanged_by_feature(self):
+        """With batching disabled the repro_batch_* family must not
+        exist at all: the snapshot stays identical to the seed's."""
+        _cluster, report = run_cluster(SEEDS[0], None)
+        assert not any(k.startswith("repro_batch_")
+                       for k in report.metrics)
+
+    def test_batched_run_executes_fewer_events(self):
+        def events(report):
+            return next(v for k, v in report.metrics.items()
+                        if k.startswith("repro_sim_events_executed_total"))
+
+        _b, base_report = run_cluster(SEEDS[0], None)
+        _c, batched_report = run_cluster(SEEDS[0], BatchingConfig(batch_size=8))
+        assert events(batched_report) < events(base_report)
+        assert any(k.startswith("repro_batch_messages_total")
+                   for k in batched_report.metrics)
+
+
+class TestBatchingUnderFaults:
+    @pytest.mark.parametrize("batching", BATCHINGS[1:],
+                             ids=["batch8", "batch64"])
+    def test_crash_replay_recovery_is_exact(self, batching):
+        """With window-replay recovery a mid-run crash loses nothing and
+        duplicates nothing — batched exactly like unbatched."""
+        faults = FaultPlan((CrashFault(at=DURATION / 2, target="R0",
+                                       outage=0.5),))
+        base, _ = run_cluster(7, None, faults=faults, replay_recovery=True)
+        batched, _ = run_cluster(7, batching, faults=faults,
+                                 replay_recovery=True)
+        base_keys = result_keys(base.engine)
+        batch_keys = result_keys(batched.engine)
+        assert batch_keys == base_keys
+        # Exactly-once: no pair produced twice in either run.
+        assert len(set(batch_keys)) == len(batch_keys)
+        assert len(set(base_keys)) == len(base_keys)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reordering_network_transparent(self, seed):
+        """The ordering protocol already repairs wire-level disorder;
+        batches must ride through it unchanged."""
+        def net():
+            return ReorderNetwork(FixedDelayNetwork(0.002),
+                                  SeededRng(seed, "reorder-net"),
+                                  reorder_probability=0.3)
+
+        base, _ = run_cluster(seed, None, network=net())
+        batched, _ = run_cluster(seed, BatchingConfig(batch_size=8),
+                                 network=net())
+        assert result_keys(batched.engine) == result_keys(base.engine)
+
+
+# ---------------------------------------------------------------------------
+# The matrix deployment gets the same guarantee
+# ---------------------------------------------------------------------------
+class TestMatrixBatching:
+    def run_matrix(self, batching):
+        _r, _s, arrivals = arrivals_for(11, rate=30.0, duration=10.0)
+        cluster = MatrixSimulatedCluster(
+            MatrixConfig(window=WINDOW, rows=2, cols=2,
+                         punctuation_interval=0.2),
+            PREDICATE, routers=2, batching=batching)
+        cluster.run(iter(arrivals), 10.0)
+        return sorted((res.r.ident, res.s.ident)
+                      for res in cluster.engine.results)
+
+    def test_identical_result_sets(self):
+        base = self.run_matrix(None)
+        assert base  # the workload joins something
+        assert self.run_matrix(BatchingConfig(batch_size=8)) == base
+        assert self.run_matrix(BatchingConfig(batch_size=64)) == base
