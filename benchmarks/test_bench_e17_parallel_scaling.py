@@ -1,0 +1,169 @@
+"""E17 (extension) — wall-clock scaling of the multiprocess runtime.
+
+E1 reports the *simulated* throughput scaling of the paper's Figure 9;
+this experiment measures the real thing: wall-clock seconds to push one
+fixed CPU-bound workload through :class:`repro.parallel.ParallelCluster`
+at 1/2/4/8 worker processes.  The join predicate is deliberately
+expensive (:class:`repro.core.predicates.ExpensivePredicate` wraps a
+band join with a data-dependent spin loop), so the run is dominated by
+joiner CPU — the component the worker pool actually parallelises —
+rather than by coordinator-side routing and IPC.
+
+Two kinds of assertion:
+
+- **correctness always**: every worker count produces the identical
+  result multiset (the differential guarantee, here exercised at
+  benchmark scale);
+- **speedup when the hardware can deliver it**: the wall-clock gates
+  (>=1.5x at 2 workers, >=2x at 4) apply only when the machine exposes
+  at least that many cores — a single-core CI runner still checks
+  correctness and still emits the JSON, it just cannot certify scaling.
+
+Emits ``BENCH_e17.json`` next to the text table; CI uploads it as an
+artifact and gates on the self-relative speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import pytest
+from conftest import RESULTS_DIR, bench_once, emit
+
+from repro import (BandJoinPredicate, BicliqueConfig, ExpensivePredicate,
+                   StreamTuple, TimeWindow)
+from repro.harness import render_table
+from repro.parallel import ParallelCluster, ParallelConfig
+
+PREDICATE = ExpensivePredicate(BandJoinPredicate("v", "v", 1.0), spin=150)
+WINDOW = TimeWindow(seconds=0.6)
+TUPLES_PER_SIDE = 400
+JOINERS = 8  # per side, fixed across worker counts
+TRANSFER_BATCH = 64
+
+SMOKE_WORKERS = (1, 2)
+STRESS_WORKERS = (1, 2, 4, 8)
+
+#: Self-relative wall-clock gates, applied only when the machine has at
+#: least as many usable cores as worker processes (see cpu_count()).
+MIN_SPEEDUP = {2: 1.5, 4: 2.0}
+
+
+def cpu_count() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def workload() -> list[StreamTuple]:
+    rng = random.Random(17)
+    arrivals, ts, seqs = [], 0.0, {"R": 0, "S": 0}
+    for _ in range(2 * TUPLES_PER_SIDE):
+        ts += rng.uniform(0.0005, 0.003)
+        relation = "R" if rng.random() < 0.5 else "S"
+        arrivals.append(StreamTuple(
+            relation=relation, ts=ts,
+            values={"v": rng.uniform(0.0, 20.0)}, seq=seqs[relation]))
+        seqs[relation] += 1
+    return arrivals
+
+
+def run_one(arrivals: list[StreamTuple], workers: int) -> dict:
+    cluster = ParallelCluster(
+        BicliqueConfig(window=WINDOW, r_joiners=JOINERS, s_joiners=JOINERS,
+                       routers=2, routing="random", archive_period=0.2,
+                       punctuation_interval=0.05),
+        PREDICATE, ParallelConfig(workers=workers,
+                                  transfer_batch=TRANSFER_BATCH))
+    started = time.perf_counter()
+    results, report = cluster.run(iter(arrivals))
+    wall = time.perf_counter() - started
+    return {
+        "workers": workers,
+        "wall_seconds": wall,
+        "results": report.results,
+        "result_keys": sorted(res.key for res in results),
+        "tuples_per_second": len(arrivals) / wall,
+        "batches": int(report.metrics["repro_parallel_batches_total"]),
+        "restarts": report.restarts,
+    }
+
+
+def run_experiment(worker_counts) -> dict:
+    arrivals = workload()
+    return {"tuples": len(arrivals), "cpus": cpu_count(),
+            "runs": [run_one(arrivals, w) for w in worker_counts]}
+
+
+def emit_e17(name: str, experiment: dict) -> None:
+    baseline = experiment["runs"][0]
+    rows = []
+    for run in experiment["runs"]:
+        rows.append([
+            run["workers"], f"{run['wall_seconds']:.2f}",
+            f"{run['tuples_per_second']:.0f}",
+            f"{baseline['wall_seconds'] / run['wall_seconds']:.2f}x",
+            run["batches"], run["results"]])
+    emit(name, render_table(
+        ["workers", "wall s", "tuples/s", "speedup", "batches", "results"],
+        rows,
+        title=f"E17: multiprocess wall-clock scaling, "
+              f"{experiment['tuples']} tuples, {JOINERS}+{JOINERS} joiners, "
+              f"expensive band join ({experiment['cpus']} cores visible)"))
+    payload = {
+        "experiment": "e17_parallel_scaling",
+        "tuples": experiment["tuples"],
+        "cpus": experiment["cpus"],
+        "config": {"joiners": JOINERS, "routing": "random",
+                   "window_seconds": WINDOW.seconds, "spin": PREDICATE.spin,
+                   "transfer_batch": TRANSFER_BATCH},
+        "runs": [{k: v for k, v in run.items() if k != "result_keys"}
+                 for run in experiment["runs"]],
+        "speedups": {str(run["workers"]):
+                     baseline["wall_seconds"] / run["wall_seconds"]
+                     for run in experiment["runs"]},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_e17.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def assert_invariants(experiment: dict) -> None:
+    baseline = experiment["runs"][0]
+    cpus = experiment["cpus"]
+    assert baseline["workers"] == 1
+    for run in experiment["runs"]:
+        # Identical output at every pool size — parallelism is a pure
+        # execution-layer change (the differential suite proves this at
+        # test scale; here it holds at benchmark scale too).
+        assert run["results"] == baseline["results"]
+        assert run["result_keys"] == baseline["result_keys"]
+        assert run["restarts"] == 0
+        # The payoff, where the hardware can deliver it: real wall-clock
+        # speedup against the single-worker run on the same machine.
+        gate = MIN_SPEEDUP.get(run["workers"])
+        if gate is not None and cpus >= run["workers"]:
+            speedup = baseline["wall_seconds"] / run["wall_seconds"]
+            assert speedup >= gate, (
+                f"{run['workers']} workers on {cpus} cores: "
+                f"{speedup:.2f}x < {gate}x gate")
+
+
+def test_e17_parallel_scaling_smoke(benchmark):
+    experiment = bench_once(
+        benchmark, lambda: run_experiment(list(SMOKE_WORKERS)))
+    emit_e17("e17_parallel_scaling", experiment)
+    assert_invariants(experiment)
+
+
+@pytest.mark.stress
+def test_e17_parallel_scaling_sweep(benchmark):
+    experiment = bench_once(
+        benchmark, lambda: run_experiment(list(STRESS_WORKERS)))
+    emit_e17("e17_parallel_scaling_sweep", experiment)
+    assert_invariants(experiment)

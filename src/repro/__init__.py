@@ -17,7 +17,10 @@ The package implements, from scratch and in pure Python:
   (:mod:`repro.harness`);
 - end-to-end **observability** (:mod:`repro.obs`): causal tuple
   tracing, a unified metrics registry with Prometheus-style
-  exposition, and the per-stage latency breakdown.
+  exposition, and the per-stage latency breakdown;
+- a **real multiprocess execution runtime** (:mod:`repro.parallel`):
+  the same joiners behind worker processes with a wire codec,
+  supervision with replay recovery, and wall-clock scaling.
 
 Quickstart::
 
@@ -46,6 +49,7 @@ from .core import (
     FullHistoryWindow,
     CrossPredicate,
     EquiJoinPredicate,
+    ExpensivePredicate,
     JoinPredicate,
     JoinResult,
     RunReport,
@@ -79,6 +83,7 @@ __all__ = [
     "FullHistoryWindow",
     "CrossPredicate",
     "EquiJoinPredicate",
+    "ExpensivePredicate",
     "JoinPredicate",
     "JoinResult",
     "ReproError",

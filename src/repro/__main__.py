@@ -3,6 +3,9 @@
 Commands:
     demo        run a small verified stream join and print the report
     autoscale   run a compressed Figure-20-style autoscaling timeline
+    parallel    run the same join on real worker processes (optional
+                argument: worker count, default 2) and verify the
+                results against the single-process reference
     info        print the package overview and pointers
 
 Everything heavier lives in ``examples/`` and ``benchmarks/``.
@@ -73,6 +76,34 @@ def _autoscale() -> int:
     return 0
 
 
+def _parallel(workers: int = 2) -> int:
+    from repro import (BicliqueConfig, EquiJoinPredicate, TimeWindow,
+                       merge_by_time, stream_from_pairs)
+    from repro.harness import check_exactly_once, reference_join
+    from repro.parallel import ParallelCluster, ParallelConfig
+
+    r = stream_from_pairs(
+        "R", [(float(i), {"k": i % 7}) for i in range(200)])
+    s = stream_from_pairs(
+        "S", [(i * 1.1, {"k": i % 7}) for i in range(180)])
+    predicate = EquiJoinPredicate("k", "k")
+    window = TimeWindow(seconds=30.0)
+    cluster = ParallelCluster(
+        BicliqueConfig(window=window, r_joiners=2, s_joiners=2, routers=2,
+                       archive_period=5.0),
+        predicate, ParallelConfig(workers=workers))
+    results, report = cluster.run(merge_by_time(r, s))
+    check = check_exactly_once(results,
+                               reference_join(r, s, predicate, window))
+    print(f"parallel runtime ({cluster.routing_mode} routing, "
+          f"{report.workers} workers): {report.results} results in "
+          f"{report.duration:.2f}s wall")
+    print(f"batches: {report.metrics['repro_parallel_batches_total']:.0f}, "
+          f"restarts: {report.restarts}")
+    print(f"exactly-once check: {'OK' if check.ok else f'FAILED {check}'}")
+    return 0 if check.ok else 1
+
+
 def _info() -> int:
     import repro
     print(repro.__doc__)
@@ -84,12 +115,15 @@ def _info() -> int:
 
 def main(argv: list[str]) -> int:
     command = argv[1] if len(argv) > 1 else "info"
-    handlers = {"demo": _demo, "autoscale": _autoscale, "info": _info}
+    handlers = {"demo": _demo, "autoscale": _autoscale,
+                "parallel": _parallel, "info": _info}
     handler = handlers.get(command)
     if handler is None:
         print(f"unknown command {command!r}; "
               f"choose from {sorted(handlers)}", file=sys.stderr)
         return 2
+    if command == "parallel" and len(argv) > 2:
+        return _parallel(workers=int(argv[2]))
     return handler()
 
 

@@ -48,6 +48,7 @@ from .predicates import (
     ConjunctionPredicate,
     CrossPredicate,
     EquiJoinPredicate,
+    ExpensivePredicate,
     JoinPredicate,
     ThetaJoinPredicate,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "ConjunctionPredicate",
     "CrossPredicate",
     "EquiJoinPredicate",
+    "ExpensivePredicate",
     "JoinPredicate",
     "ThetaJoinPredicate",
     "Router",

@@ -194,3 +194,46 @@ class CrossPredicate(JoinPredicate):
 
     def __str__(self) -> str:
         return "TRUE"
+
+
+@dataclass(frozen=True)
+class ExpensivePredicate(JoinPredicate):
+    """A wrapped predicate with an artificial per-evaluation CPU cost.
+
+    Each :meth:`matches` call spins a small deterministic LCG loop
+    (``spin`` iterations) before delegating to the wrapped predicate —
+    a stand-in for genuinely expensive predicates (regex matching,
+    geo-distance, UDFs) whose cost dominates the join.  This makes the
+    workload CPU-bound in pure Python, which is what the E17 scaling
+    benchmark needs: transport and interpreter overheads stay fixed
+    while the parallelisable fraction grows with ``spin``.
+
+    Deliberately *not* indexable (``key_attribute`` returns ``None``
+    and the selectivity class is ``"high"``): every probe compares
+    against the full window, so each comparison pays the spin cost and
+    total work scales with stored-tuples × probes — the worst case the
+    runtime is supposed to spread across cores.
+    """
+
+    inner: JoinPredicate
+    spin: int = 50
+
+    selectivity_class = "high"
+
+    def __post_init__(self) -> None:
+        if self.spin < 0:
+            raise PredicateError(f"spin must be >= 0, got {self.spin!r}")
+
+    def matches(self, r: StreamTuple, s: StreamTuple) -> bool:
+        # A data-dependent LCG the optimiser cannot hoist; the result
+        # feeds an always-false branch so semantics stay the inner
+        # predicate's.
+        state = (r.seq * 2654435761 + s.seq * 40503 + 12345) & 0xFFFFFFFF
+        for _ in range(self.spin):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        if state == 0xDEADBEEF:  # pragma: no cover - 2**-31 chance
+            return False
+        return self.inner.matches(r, s)
+
+    def __str__(self) -> str:
+        return f"expensive[{self.spin}]({self.inner})"

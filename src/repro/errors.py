@@ -69,5 +69,27 @@ class ClusterError(ReproError):
     """The cluster substrate (pods/deployments/autoscaler) failed."""
 
 
+class ParallelError(ReproError):
+    """The multiprocess execution runtime reached an invalid state.
+
+    Examples: a worker process died more times than the supervision
+    restart budget allows, or a worker reported an unrecoverable
+    exception from its command loop.
+    """
+
+
+class CodecError(ParallelError):
+    """A wire frame could not be decoded.
+
+    Raised on magic/version mismatches, truncated frames and checksum
+    failures — the coordinator treats a corrupt frame from a dying
+    worker as end-of-stream, never as data.
+    """
+
+
 class ScalingError(ClusterError):
     """A scale-out/scale-in request could not be satisfied."""
+
+
+class WorkerCrashError(ParallelError):
+    """A worker process failed and could not be recovered."""

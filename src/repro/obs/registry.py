@@ -44,10 +44,24 @@ def _label_key(labels: Mapping[str, str] | None) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline would otherwise corrupt the
+    sample line (or silently change the label value a scraper parses).
+    Escaping order matters: backslashes first, or the escapes
+    themselves get re-escaped.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _render_labels(key: LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"'
+                     for name, value in key)
     return "{" + inner + "}"
 
 
@@ -227,6 +241,51 @@ class MetricsRegistry:
         return sorted(((name, labels, metric)
                        for (name, labels), metric in self._metrics.items()),
                       key=lambda item: (item[0], item[1]))
+
+    # ------------------------------------------------------------------
+    # Cross-registry merge (multiprocess backhaul)
+    # ------------------------------------------------------------------
+    def dump(self) -> list[tuple[str, str, str, LabelKey, float | list[float]]]:
+        """The registry as structured, picklable merge entries.
+
+        Each entry is ``(name, kind, help, label_key, value)`` with a
+        histogram's value being its raw observation list.  This is the
+        wire form of :meth:`absorb`: worker processes dump their local
+        registries and the coordinator merges them, keeping
+        ``report.metrics`` whole across process boundaries (the flat
+        :meth:`snapshot` strings cannot be merged — label rendering is
+        one-way).
+        """
+        entries: list[tuple[str, str, str, LabelKey, float | list[float]]] = []
+        for name, labels, metric in self._sorted_items():
+            value: float | list[float]
+            if isinstance(metric, Histogram):
+                value = list(metric.values)
+            else:
+                value = metric.value
+            entries.append((name, metric.kind, self._help.get(name, ""),
+                            labels, value))
+        return entries
+
+    def absorb(self, entries: Iterable[
+            tuple[str, str, str, LabelKey, float | list[float]]]) -> None:
+        """Merge :meth:`dump` entries from another registry into this one.
+
+        Counters and gauges merge by addition (per-unit/per-worker label
+        sets are disjoint across processes, so addition is exact there
+        and sums shared names meaningfully otherwise); histograms merge
+        by concatenating observations, so quantiles are computed over
+        the union, not averaged averages.
+        """
+        for name, kind, help_text, labels, value in entries:
+            label_map = dict(labels)
+            if kind == Histogram.kind:
+                assert isinstance(value, list)
+                self.histogram(name, help_text, label_map).values.extend(value)
+            elif kind == Gauge.kind:
+                self.gauge(name, help_text, label_map).inc(value)
+            else:
+                self.counter(name, help_text, label_map).inc(value)
 
     # ------------------------------------------------------------------
     # Output

@@ -119,6 +119,9 @@ class NoopTracer:
     def observe_delivery(self, delivery: "Delivery") -> None:
         """Accept and discard a broker delivery observation."""
 
+    def absorb(self, spans) -> None:
+        """Accept and discard spans backhauled from another tracer."""
+
 
 #: Shared no-op tracer instance used as the default everywhere.
 NOOP_TRACER = NoopTracer()
@@ -215,6 +218,21 @@ class Tracer(NoopTracer):
             self.record(SPAN_DELIVER, delivery.time, delivery.consumer,
                         tuple_id=ident, detail="entry")
         # else: punctuation or foreign payload — not tuple-keyed, skip.
+
+    def absorb(self, spans) -> None:
+        """Merge spans backhauled from another tracer (worker backhaul).
+
+        Sampling was already applied by the recording tracer, so spans
+        are taken as-is; only the local :attr:`max_spans` memory bound
+        still applies.  Chronological interleaving is left to readers
+        (the stage-breakdown query sorts per tuple), matching how
+        :meth:`record` already appends across actors.
+        """
+        for span in spans:
+            if len(self.spans) >= self.max_spans:
+                self.dropped_spans += 1
+                continue
+            self.spans.append(span)
 
     # ------------------------------------------------------------------
     # Queries

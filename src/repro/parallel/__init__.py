@@ -1,0 +1,79 @@
+"""Real multiprocess execution runtime for the join-biclique.
+
+The simulated cluster (:mod:`repro.cluster`) models distribution —
+queueing, failures, autoscaling — inside one interpreter, which is the
+right tool for controlled experiments but cannot demonstrate wall-clock
+speedups: every simulated pod shares one Python GIL.  This package runs
+the *same* joiner logic (:class:`~repro.core.joiner.Joiner`, reused
+unchanged) across real worker processes:
+
+- :mod:`repro.parallel.codec` — the versioned, checksummed wire frame
+  every cross-process message travels in;
+- :mod:`repro.parallel.commands` — the command/output protocol of the
+  worker loop, including the atomic ``BatchDone`` settlement frame the
+  exactly-once guarantee rests on;
+- :mod:`repro.parallel.worker` — the worker process entry point and
+  the coordinator-side :class:`WorkerHandle` (process lifecycle,
+  unacked-batch ledger, heartbeat bookkeeping);
+- :mod:`repro.parallel.parallel_cluster` — the coordinator:
+  engine-mirrored topology and stamping, coordinator-side ordering,
+  supervision with replay-log recovery, and metrics/trace backhaul.
+
+The E17 benchmark (``benchmarks/test_bench_e17_parallel_scaling.py``)
+measures the wall-clock scaling this runtime exists to provide, and
+``tests/parallel/test_differential.py`` proves the results identical
+to the single-process engine — including under worker kills.
+"""
+
+from .codec import decode_frame, encode_frame, try_decode_frame
+from .commands import (
+    BatchDone,
+    Deliver,
+    Drain,
+    Drained,
+    Expire,
+    Ping,
+    Pong,
+    Punctuate,
+    Restore,
+    Snapshot,
+    SnapshotResult,
+    Stop,
+    UnitSpec,
+    WorkerFailure,
+    WorkerSpec,
+)
+from .parallel_cluster import (
+    MAX_ROUTERS,
+    ParallelCluster,
+    ParallelConfig,
+    ParallelReport,
+)
+from .worker import WorkerHandle, worker_main
+
+__all__ = [
+    "BatchDone",
+    "Deliver",
+    "Drain",
+    "Drained",
+    "Expire",
+    "MAX_ROUTERS",
+    "ParallelCluster",
+    "ParallelConfig",
+    "ParallelReport",
+    "Ping",
+    "Pong",
+    "Punctuate",
+    "Restore",
+    "Snapshot",
+    "SnapshotResult",
+    "Stop",
+    "UnitSpec",
+    "WorkerFailure",
+    "WorkerHandle",
+    "WorkerSpec",
+    "decode_frame",
+    "encode_frame",
+    "try_decode_frame",
+    "worker_main",
+]

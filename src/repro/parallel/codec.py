@@ -1,0 +1,102 @@
+"""The wire codec of the multiprocess runtime.
+
+Everything that crosses a process boundary — commands, envelope
+batches, punctuations, result frames — travels as one *frame*:
+
+    ``magic (4) | version (1) | reserved (3) | length (4) | crc32 (4)``
+    followed by ``length`` bytes of pickled payload.
+
+The payload is pickle (protocol 5): the protocol types on the wire
+path (:class:`~repro.core.tuples.StreamTuple`,
+:class:`~repro.core.ordering.Envelope`,
+:class:`~repro.core.batching.EnvelopeBatch`, the command/output
+dataclasses of :mod:`repro.parallel.commands`) are plain frozen
+dataclasses that round-trip natively, and ``tests/core/
+test_wire_pickle.py`` guards that assumption independently of this
+module.  What the explicit header adds over bare pickle:
+
+- **versioning** — a coordinator never feeds a frame from a different
+  codec revision to ``pickle.loads``; mixed-version deployments fail
+  loudly at the header, not deep inside unpickling;
+- **integrity** — the CRC32 of the payload is checked before
+  unpickling.  The transport (``multiprocessing`` pipes) already
+  preserves message boundaries, but a worker killed mid-``send`` can
+  leave a torn frame in the pipe; the checksum turns that into a clean
+  :class:`~repro.errors.CodecError` the supervisor treats as
+  end-of-stream;
+- **bounded trust** — :func:`decode_frame` validates length before
+  touching the payload, so a corrupt header cannot make the decoder
+  read past the buffer.
+
+Frames are self-contained ``bytes``; the runtime sends them with
+``Connection.send_bytes`` (outputs) and as queue items (commands), so
+this module is the single serialisation layer in both directions.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from typing import Any
+
+from ..errors import CodecError
+
+#: Frame magic: identifies a repro parallel-runtime wire frame.
+MAGIC = b"RPWF"
+#: Current codec revision; bump on any incompatible payload change.
+VERSION = 1
+
+#: ``magic | version | reserved×3 | payload length | payload crc32``.
+_HEADER = struct.Struct(">4sB3xII")
+HEADER_SIZE = _HEADER.size
+
+#: Pickle protocol 5 (Python 3.8+): out-of-band-capable, fastest framing.
+_PICKLE_PROTOCOL = 5
+
+
+def encode_frame(obj: Any) -> bytes:
+    """Serialise one payload object into a self-contained wire frame."""
+    payload = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+    return _HEADER.pack(MAGIC, VERSION, len(payload),
+                        zlib.crc32(payload)) + payload
+
+
+def decode_frame(data: bytes) -> Any:
+    """Decode one frame produced by :func:`encode_frame`.
+
+    Raises :class:`~repro.errors.CodecError` on a short buffer, wrong
+    magic, unknown version, length mismatch or checksum failure — the
+    payload is never unpickled unless the header fully validates.
+    """
+    if len(data) < HEADER_SIZE:
+        raise CodecError(
+            f"frame too short: {len(data)} bytes < {HEADER_SIZE}-byte header")
+    magic, version, length, crc = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CodecError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != VERSION:
+        raise CodecError(
+            f"unsupported codec version {version} (speaking {VERSION})")
+    payload = data[HEADER_SIZE:]
+    if len(payload) != length:
+        raise CodecError(
+            f"frame length mismatch: header says {length}, "
+            f"got {len(payload)} payload bytes")
+    if zlib.crc32(payload) != crc:
+        raise CodecError("frame checksum mismatch (torn write?)")
+    return pickle.loads(payload)
+
+
+def try_decode_frame(data: bytes) -> tuple[bool, Any]:
+    """Best-effort decode: ``(True, obj)`` or ``(False, None)``.
+
+    Used when draining the output pipe of a dead worker, where the last
+    frame may be torn: a valid prefix of frames is applied, the first
+    corrupt one ends the drain instead of raising.
+    """
+    try:
+        return True, decode_frame(data)
+    except (CodecError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return False, None

@@ -1,0 +1,218 @@
+"""Command/output protocol of the worker command loop.
+
+The coordinator drives each worker through a FIFO command channel and
+reads a FIFO output channel back.  Both directions carry codec frames
+(:mod:`repro.parallel.codec`) whose payloads are the dataclasses below
+— all plain frozen dataclasses built from the existing wire-path types
+(:class:`~repro.core.ordering.Envelope`,
+:class:`~repro.core.batching.EnvelopeBatch`,
+:class:`~repro.core.tuples.JoinResult`), so they pickle natively.
+
+The exactly-once contract hangs on one property: a worker processes
+each :class:`Deliver` synchronously to completion and emits **one
+atomic output frame** (:class:`BatchDone`) carrying the batch's results
+*and* its acknowledgement.  A worker killed before that frame reaches
+the coordinator leaves the batch unacknowledged, so the supervisor
+redelivers it to the replacement; a frame that did arrive settles the
+batch forever.  There is no state in between — partial-batch
+settlement, the hard case of the single-process crash path, cannot
+occur here by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.batching import EnvelopeBatch
+from ..core.ordering import Envelope
+from ..core.tuples import JoinResult
+
+# ---------------------------------------------------------------------------
+# Worker bootstrap
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """One joiner unit hosted by a worker: identity and relation side."""
+
+    unit_id: str
+    side: str
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to build its joiners.
+
+    Shipped as the worker's first codec frame; must stay picklable
+    under the ``spawn`` start method (no live objects, only config).
+    """
+
+    worker_id: str
+    units: tuple[UnitSpec, ...]
+    predicate: object
+    window: object
+    archive_period: float | None
+    timestamp_policy: str = "max"
+    expiry_slack: float = 0.0
+    #: ``None`` disables worker-side tracing; otherwise the sample rate
+    #: of a worker-local :class:`~repro.obs.trace.Tracer` whose spans
+    #: are backhauled in the :class:`Drained` frame.
+    trace_sample_rate: float | None = None
+    trace_max_spans: int = 100_000
+    #: Coordinator's ``time.time()`` at start: worker span times are
+    #: seconds since this shared epoch, comparable across processes.
+    epoch: float = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Commands (coordinator → worker)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Deliver:
+    """Deliver one transport batch to one hosted unit.
+
+    ``seq`` identifies the batch for acknowledgement and redelivery;
+    sequence numbers are per-worker, strictly increasing, and preserved
+    across a worker restart (the replacement sees the same batches
+    under the same numbers, in the same order).
+    """
+
+    seq: int
+    unit_id: str
+    batch: EnvelopeBatch
+
+
+@dataclass(frozen=True)
+class Punctuate:
+    """A router punctuation, applied to every unit the worker hosts.
+
+    Punctuations are control traffic: never batched, never
+    acknowledged, never redelivered.  The ordering protocol itself runs
+    on the coordinator (which releases envelopes in global order before
+    dispatch), so worker-side punctuations only keep the per-joiner
+    stats aligned with the single-process engine.
+    """
+
+    router_id: str
+    counter: int
+
+
+@dataclass(frozen=True)
+class Restore:
+    """Rebuild one unit's window state from replayed store envelopes.
+
+    Sent to a replacement worker before any redelivery; the worker runs
+    :meth:`repro.core.joiner.Joiner.restore` (store-only — replayed
+    tuples never probe, so nothing is emitted twice).
+    """
+
+    unit_id: str
+    envelopes: tuple[Envelope, ...]
+
+
+@dataclass(frozen=True)
+class Expire:
+    """Proactively expire window state older than ``before_ts``.
+
+    Probe-driven expiry already bounds memory under traffic; this
+    command bounds it during long idle stretches.  ``unit_id=None``
+    applies to every hosted unit.
+    """
+
+    before_ts: float
+    unit_id: str | None = None
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Request a :class:`SnapshotResult` of per-unit state counters."""
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Heartbeat probe; the worker echoes ``seq`` back as a :class:`Pong`."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class Drain:
+    """End-of-stream: flush every joiner, backhaul metrics and spans.
+
+    The command channel is FIFO, so by the time the worker answers with
+    :class:`Drained` every batch delivered before the drain has been
+    processed and acknowledged.
+    """
+
+
+@dataclass(frozen=True)
+class Stop:
+    """Terminate the command loop; the worker exits cleanly."""
+
+
+# ---------------------------------------------------------------------------
+# Outputs (worker → coordinator)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchDone:
+    """The atomic settlement frame of one :class:`Deliver` command.
+
+    Carries the acknowledgement (``seq``) and every join result the
+    batch produced, in one frame — the exactly-once unit of the
+    runtime (see the module docstring).
+    """
+
+    seq: int
+    unit_id: str
+    results: tuple[JoinResult, ...]
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Heartbeat reply; echoes the :class:`Ping` sequence number."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class SnapshotResult:
+    """Per-unit state counters: unit id → ``{stored, results, ...}``."""
+
+    units: dict[str, dict[str, int]]
+
+
+@dataclass(frozen=True)
+class Drained:
+    """Terminal frame of a graceful drain.
+
+    Attributes:
+        worker_id: the draining worker.
+        metrics: a :meth:`~repro.obs.registry.MetricsRegistry.dump` of
+            the worker's registry (joiner/index counters under their
+            usual names plus ``repro_worker_*``), absorbed into the
+            coordinator registry so ``report.metrics`` spans processes.
+        spans: the worker tracer's spans (empty when tracing is off).
+        stats: per-unit processing counters, for the report.
+    """
+
+    worker_id: str
+    metrics: tuple
+    spans: tuple
+    stats: dict[str, dict[str, int]]
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """The worker's command loop raised; carries the traceback text.
+
+    The worker sends this frame and exits non-zero; the coordinator
+    raises :class:`~repro.errors.ParallelError` — a logic error must
+    fail the run, not trigger crash recovery."""
+
+    worker_id: str
+    message: str

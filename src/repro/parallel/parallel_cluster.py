@@ -1,0 +1,626 @@
+"""The coordinator of the real multiprocess execution runtime.
+
+:class:`ParallelCluster` runs a join-biclique deployment across real
+worker *processes* (one Python interpreter each, hence real cores) while
+keeping the single-process engines' semantics bit for bit:
+
+- **Topology** mirrors :class:`~repro.core.biclique.BicliqueEngine`:
+  the same :class:`~repro.core.routing.JoinerGroup` membership, the
+  same routing strategy construction (ContRand round-robin/broadcast or
+  ContHash partition epochs), the same ``R0..``/``S0..`` unit naming
+  and ``router0..`` stamping identities.
+- **Ordering** is decided on the coordinator.  The cluster is the sole
+  stamping entity, so it already emits envelopes in global
+  ``(counter, router_id)`` order; workers run their joiners *unordered*
+  over FIFO channels, and processing in arrival order is
+  order-consistent by construction (see :mod:`repro.parallel.worker`).
+  This is why the router pool is capped at ten stampers: with
+  round-robin stamping, ingest order equals global order exactly when
+  the router-id string sort matches the pool index order, which holds
+  for ``router0``..``router9`` and breaks at ``router10`` < ``router2``.
+- **Exactly-once** rests on two disciplines.  A worker settles each
+  delivered batch with one atomic :class:`~repro.parallel.commands.
+  BatchDone` frame (results + acknowledgement together), so a killed
+  worker leaves a batch either fully settled or fully redeliverable.
+  And the coordinator records store envelopes into its
+  :class:`~repro.core.recovery.ReplayLog` only *on acknowledgement*
+  (log-on-ack), so a replacement's restored snapshot (acked stores)
+  and its redelivered batches (unacked suffix) are disjoint by
+  construction — together they reproduce the exact per-unit sequence
+  the dead incarnation was processing.
+- **Supervision**: dead or silent workers are detected (process
+  liveness, heartbeat pings), killed if hung, and replaced;
+  the replacement is restored from the replay log and the outstanding
+  batches are redelivered, all bounded by a restart budget.
+- **Observability backhaul**: on drain every worker ships its metrics
+  registry dump and tracer spans home; the coordinator absorbs them so
+  ``report.metrics`` and ``report.stages`` look exactly like a
+  single-process run's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
+
+from ..core.batching import EnvelopeBatch
+from ..core.biclique import BicliqueConfig
+from ..core.ordering import KIND_JOIN, KIND_STORE, Envelope
+from ..core.predicates import JoinPredicate
+from ..core.recovery import ReplayLog
+from ..core.routing import (HashRouting, JoinerGroup, RandomRouting,
+                            RoutingStrategy)
+from ..core.tuples import JoinResult, StreamTuple
+from ..errors import (CodecError, ConfigurationError, ParallelError,
+                      WorkerCrashError)
+from ..obs.registry import MetricsRegistry
+from ..obs.stages import StageBreakdown, compute_stage_breakdown
+from ..obs.trace import (NOOP_TRACER, SPAN_ENQUEUE, SPAN_ROUTE, SPAN_SCALE,
+                         NoopTracer)
+from .codec import encode_frame, try_decode_frame
+from .commands import (BatchDone, Deliver, Drain, Drained, Pong, Punctuate,
+                       Restore, SnapshotResult, Stop, UnitSpec, WorkerFailure,
+                       WorkerSpec)
+from .worker import WorkerHandle
+
+#: Largest router pool whose id string sort equals its index order
+#: ("router10" sorts before "router2"); see the module docstring.
+MAX_ROUTERS = 10
+
+
+@dataclass
+class ParallelConfig:
+    """Tuning knobs of the multiprocess runtime (not of the join).
+
+    Attributes:
+        workers: worker processes in the pool.
+        transfer_batch: envelopes per :class:`~repro.parallel.commands.
+            Deliver` batch — the IPC amortisation unit (the parallel
+            analogue of transport micro-batching).
+        max_unacked: per-worker in-flight batch bound; the coordinator
+            drains acknowledgements instead of sending past it, which
+            both bounds redelivery work after a crash and backpressures
+            ingestion to the slowest worker.
+        start_method: ``multiprocessing`` start method (``None`` =
+            platform default).
+        heartbeat_interval: seconds of silence before the supervisor
+            probes a worker with a ping.
+        heartbeat_timeout: seconds an outstanding ping may go
+            unanswered before the worker is declared hung and killed.
+        supervise_every: run supervision (liveness, pings, output
+            pumping) every this-many ingested tuples.
+        restart_limit: replacements allowed per worker before the run
+            fails with :class:`~repro.errors.WorkerCrashError`.
+    """
+
+    workers: int = 2
+    transfer_batch: int = 32
+    max_unacked: int = 32
+    start_method: str | None = None
+    heartbeat_interval: float = 1.0
+    heartbeat_timeout: float = 30.0
+    supervise_every: int = 64
+    restart_limit: int = 3
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("need at least one worker process")
+        if self.transfer_batch < 1:
+            raise ConfigurationError("transfer_batch must be >= 1")
+        if self.max_unacked < 1:
+            raise ConfigurationError("max_unacked must be >= 1")
+        if self.supervise_every < 1:
+            raise ConfigurationError("supervise_every must be >= 1")
+        if self.restart_limit < 0:
+            raise ConfigurationError("restart_limit must be >= 0")
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ConfigurationError("heartbeat settings must be positive")
+
+
+@dataclass
+class _Stamper:
+    """One stamping identity of the coordinator-side router pool."""
+
+    router_id: str
+    next_counter: int = 0
+    tuples_ingested: int = 0
+    punctuations: int = 0
+
+
+@dataclass(frozen=True)
+class ParallelReport:
+    """Outcome of one multiprocess run.
+
+    Attributes:
+        duration: wall-clock seconds from cluster start to drain end.
+        tuples_ingested: input tuples stamped and dispatched.
+        results: join results produced (exactly-once settled).
+        restarts: worker processes replaced after crashes/hangs.
+        workers: size of the worker pool.
+        metrics: the merged coordinator+worker registry snapshot.
+        stages: per-stage latency decomposition (traced runs only).
+        worker_stats: worker id → per-unit processing counters.
+    """
+
+    duration: float
+    tuples_ingested: int
+    results: int
+    restarts: int
+    workers: int
+    metrics: dict[str, float] = field(default_factory=dict)
+    stages: StageBreakdown | None = None
+    worker_stats: dict[str, dict] = field(default_factory=dict)
+
+
+class ParallelCluster:
+    """A join-biclique deployment over real worker processes.
+
+    Mirrors the synchronous engines' API shape: construct with a
+    :class:`~repro.core.biclique.BicliqueConfig` and a predicate,
+    :meth:`ingest` tuples (either side, interleaved), :meth:`drain` for
+    the report — or :meth:`run` for the whole loop.  ``results`` holds
+    the emitted :class:`~repro.core.tuples.JoinResult` objects.
+
+    The cluster is also a context manager; exiting it kills any
+    still-running workers (a drained cluster is already closed).
+    """
+
+    def __init__(self, config: BicliqueConfig, predicate: JoinPredicate,
+                 parallel: ParallelConfig | None = None, *,
+                 tracer: NoopTracer = NOOP_TRACER) -> None:
+        if config.routers > MAX_ROUTERS:
+            raise ConfigurationError(
+                f"the parallel runtime supports at most {MAX_ROUTERS} "
+                f"routers, got {config.routers}: coordinator-side ordering "
+                f"requires the router-id string sort to match the pool "
+                f"index order (breaks at 'router10' < 'router2')")
+        self.config = config
+        self.predicate = predicate
+        self.parallel = parallel if parallel is not None else ParallelConfig()
+        self.tracer = tracer
+
+        self.groups = {
+            "R": JoinerGroup("R", config.r_subgroups),
+            "S": JoinerGroup("S", config.s_subgroups),
+        }
+        self.strategy = self._build_strategy()
+        r_units = [f"R{i}" for i in range(config.r_joiners)]
+        s_units = [f"S{i}" for i in range(config.s_joiners)]
+        for unit_id in r_units:
+            self.groups["R"].add_unit(unit_id)
+        for unit_id in s_units:
+            self.groups["S"].add_unit(unit_id)
+        self.strategy.on_membership_change(0.0)
+
+        #: Log-on-ack store-envelope retention: the recovery source for
+        #: replacement workers (see the module docstring).
+        self.replay_log = ReplayLog(
+            retention=config.window.seconds + config.expiry_slack)
+        self._stampers = [_Stamper(f"router{i}")
+                          for i in range(config.routers)]
+        self._rr = 0
+        self._last_punctuation_ts: float | None = None
+        self._epoch = time.time()
+
+        self.results: list[JoinResult] = []
+        self.results_count = 0
+        self.tuples_ingested = 0
+        self.restarts = 0
+        self.batches_sent = 0
+        self.registry = MetricsRegistry()
+        self._ingests_since_supervise = 0
+        self._closed = False
+
+        # Spread each side round-robin across the pool independently, so
+        # every worker hosts a mix of R and S units whenever unit counts
+        # allow (a worker death then degrades both sides evenly).
+        per_worker: list[list[UnitSpec]] = [
+            [] for _ in range(self.parallel.workers)]
+        for i, unit_id in enumerate(r_units):
+            per_worker[i % self.parallel.workers].append(
+                UnitSpec(unit_id, "R"))
+        for i, unit_id in enumerate(s_units):
+            per_worker[i % self.parallel.workers].append(
+                UnitSpec(unit_id, "S"))
+
+        sample_rate = tracer.sample_rate if tracer.enabled else None
+        ctx = mp.get_context(self.parallel.start_method)
+        self.handles: list[WorkerHandle] = []
+        self._unit_worker: dict[str, WorkerHandle] = {}
+        self._buffers: dict[str, list[Envelope]] = {}
+        for index, units in enumerate(per_worker):
+            spec = WorkerSpec(
+                worker_id=f"worker{index}", units=tuple(units),
+                predicate=predicate, window=config.window,
+                archive_period=config.archive_period,
+                timestamp_policy=config.timestamp_policy,
+                expiry_slack=config.expiry_slack,
+                trace_sample_rate=sample_rate, epoch=self._epoch)
+            handle = WorkerHandle(spec.worker_id, tuple(units),
+                                  encode_frame(spec), ctx)
+            self.handles.append(handle)
+            for unit in units:
+                self._unit_worker[unit.unit_id] = handle
+                self._buffers[unit.unit_id] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_strategy(self) -> RoutingStrategy:
+        # Mirrors BicliqueEngine._build_strategy: the differential tests
+        # rely on both runtimes resolving "auto" identically.
+        mode = self.config.routing
+        if mode == "auto":
+            mode = ("hash" if self.predicate.selectivity_class == "low"
+                    else "random")
+        if mode == "hash":
+            return HashRouting(self.groups, self.predicate,
+                               self.config.window,
+                               partitions=self.config.hash_partitions)
+        return RandomRouting(self.groups)
+
+    @property
+    def routing_mode(self) -> str:
+        """The resolved routing strategy name."""
+        return "hash" if isinstance(self.strategy, HashRouting) else "random"
+
+    def unit_ids(self, side: str | None = None) -> list[str]:
+        """Unit ids of one side (or both), engine-style."""
+        if side is None:
+            return sorted(self._unit_worker)
+        return self.groups[side].all_units()
+
+    @property
+    def worker_ids(self) -> list[str]:
+        return [handle.worker_id for handle in self.handles]
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, t: StreamTuple) -> None:
+        """Stamp, route and dispatch one tuple (either relation).
+
+        Mirrors the engine's ingest path: punctuations are emitted when
+        stream time has advanced one punctuation interval, the tuple is
+        stamped by the next round-robin stamper, and its store/join
+        envelopes are buffered per target unit, shipping as a
+        :class:`~repro.parallel.commands.Deliver` batch every
+        ``transfer_batch`` envelopes.
+        """
+        if self._closed:
+            raise ParallelError("cluster is closed")
+        self._ingests_since_supervise += 1
+        if self._ingests_since_supervise >= self.parallel.supervise_every:
+            self._ingests_since_supervise = 0
+            self._supervise()
+            self._pump(0)
+        self._maybe_punctuate(t.ts)
+
+        stamper = self._stampers[self._rr]
+        self._rr = (self._rr + 1) % len(self._stampers)
+        counter = stamper.next_counter
+        stamper.next_counter += 1
+        stamper.tuples_ingested += 1
+        self.tuples_ingested += 1
+
+        traced = self.tracer.enabled
+        if traced:
+            now_wall = time.time() - self._epoch
+            self.tracer.record(SPAN_ROUTE, now_wall, stamper.router_id,
+                               tuple_id=t.ident, ref_time=t.ts,
+                               detail=f"counter={counter}")
+
+        store_env = Envelope(kind=KIND_STORE, router_id=stamper.router_id,
+                             counter=counter, tuple=t)
+        for unit_id in self.strategy.store_targets(t, t.ts):
+            self._buffer(unit_id, store_env)
+            if traced:
+                self.tracer.record(SPAN_ENQUEUE, now_wall, stamper.router_id,
+                                   tuple_id=t.ident,
+                                   detail=f"store:{unit_id}")
+        join_env = Envelope(kind=KIND_JOIN, router_id=stamper.router_id,
+                            counter=counter, tuple=t)
+        for unit_id in self.strategy.join_targets(t, t.ts):
+            self._buffer(unit_id, join_env)
+            if traced:
+                self.tracer.record(SPAN_ENQUEUE, now_wall, stamper.router_id,
+                                   tuple_id=t.ident,
+                                   detail=f"join:{unit_id}")
+
+    def _buffer(self, unit_id: str, envelope: Envelope) -> None:
+        buf = self._buffers[unit_id]
+        buf.append(envelope)
+        if len(buf) >= self.parallel.transfer_batch:
+            self._flush_unit(unit_id)
+
+    def _flush_unit(self, unit_id: str) -> None:
+        buf = self._buffers[unit_id]
+        if not buf:
+            return
+        handle = self._unit_worker[unit_id]
+        # Flow control: never run more than max_unacked batches ahead
+        # of a worker; drain acknowledgements (and supervise, in case
+        # the worker we are waiting on is dead) until there is room.
+        while len(handle.unacked) >= self.parallel.max_unacked:
+            self._pump(0.05)
+            self._supervise()
+        batch = EnvelopeBatch(tuple(buf))
+        buf.clear()
+        handle.deliver(Deliver(seq=handle.next_seq, unit_id=unit_id,
+                               batch=batch))
+        handle.next_seq += 1
+        self.batches_sent += 1
+
+    def _maybe_punctuate(self, ts: float) -> None:
+        if self._last_punctuation_ts is None:
+            self._last_punctuation_ts = ts
+            return
+        if ts - self._last_punctuation_ts >= self.config.punctuation_interval:
+            self.punctuate_all()
+            self._last_punctuation_ts = ts
+
+    def punctuate_all(self) -> None:
+        """Broadcast every stamper's punctuation to every worker.
+
+        Buffered envelopes are flushed first: a punctuation promises
+        that every counter below it has been sent, and the command
+        channel is FIFO per worker, so flushing before sending keeps
+        the promise truthful.
+        """
+        for unit_id in self._buffers:
+            self._flush_unit(unit_id)
+        for stamper in self._stampers:
+            punctuation = Punctuate(router_id=stamper.router_id,
+                                    counter=stamper.next_counter)
+            for handle in self.handles:
+                handle.send(punctuation)
+            stamper.punctuations += 1
+
+    # ------------------------------------------------------------------
+    # Output pumping and frame application
+    # ------------------------------------------------------------------
+    def _pump(self, timeout: float) -> None:
+        """Apply every output frame currently readable, waiting up to
+        ``timeout`` seconds for the first one."""
+        by_conn = {id(handle.conn): handle for handle in self.handles
+                   if handle.conn is not None and not handle.conn.closed}
+        if not by_conn:
+            return
+        ready = _wait_connections(
+            [handle.conn for handle in by_conn.values()], timeout)
+        for conn in ready:
+            handle = by_conn[id(conn)]
+            try:
+                while conn.poll(0):
+                    frame = conn.recv_bytes()
+                    ok, obj = try_decode_frame(frame)
+                    if not ok:
+                        raise CodecError(
+                            f"corrupt frame from {handle.worker_id}")
+                    self._apply(handle, obj)
+            except (EOFError, OSError, CodecError):
+                # The worker died (EOF / torn frame): recover it.
+                self._recover(handle)
+
+    def _apply(self, handle: WorkerHandle, frame) -> None:
+        if isinstance(frame, BatchDone):
+            if frame.seq not in handle.unacked:
+                raise ParallelError(
+                    f"{handle.worker_id} acknowledged unknown batch "
+                    f"seq={frame.seq}")
+            command = handle.ack(frame.seq)
+            # Log-on-ack: only settled stores enter the replay log, so
+            # restore material and redelivered batches stay disjoint.
+            for env in command.batch:
+                if env.kind == KIND_STORE:
+                    self.replay_log.record(command.unit_id, env)
+            if frame.results:
+                self.results_count += len(frame.results)
+                if self.config.retain_results:
+                    self.results.extend(frame.results)
+            handle.note_contact()
+        elif isinstance(frame, Pong):
+            handle.note_contact()
+        elif isinstance(frame, Drained):
+            handle.drained = frame
+            handle.note_contact()
+        elif isinstance(frame, SnapshotResult):
+            handle.last_snapshot = frame
+            handle.note_contact()
+        elif isinstance(frame, WorkerFailure):
+            # A logic error in the worker must fail the run loudly,
+            # never trigger crash recovery.
+            raise ParallelError(
+                f"worker {frame.worker_id} failed:\n{frame.message}")
+        else:
+            raise ParallelError(
+                f"unexpected frame {frame!r} from {handle.worker_id}")
+
+    # ------------------------------------------------------------------
+    # Supervision and recovery
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        for handle in self.handles:
+            if not handle.alive:
+                self._recover(handle)
+            elif (handle.ping_sent is not None
+                  and time.monotonic() - handle.ping_sent
+                  > self.parallel.heartbeat_timeout):
+                # Alive but silent past the timeout: hung.  Kill it and
+                # treat it like any other dead worker.
+                handle.kill()
+                self._recover(handle)
+            else:
+                handle.maybe_ping(self.parallel.heartbeat_interval)
+
+    def _recover(self, handle: WorkerHandle) -> None:
+        """Replace a dead worker: drain its last frames, respawn,
+        restore acked window state, redeliver the unacked suffix."""
+        if handle.restarts >= self.parallel.restart_limit:
+            raise WorkerCrashError(
+                f"worker {handle.worker_id} exceeded its restart budget "
+                f"({self.parallel.restart_limit})")
+        self._drain_leftover(handle)
+        handle.respawn()
+        self.restarts += 1
+        for unit in handle.units:
+            # Defensive filter: with log-on-ack nothing outstanding can
+            # be in the log, but replaying a redelivered store twice
+            # would be state corruption, so exclude by construction.
+            outstanding = handle.outstanding_store_keys(unit.unit_id)
+            snapshot = tuple(
+                env for env in self.replay_log.snapshot(unit.unit_id)
+                if (env.counter, env.router_id) not in outstanding)
+            if snapshot:
+                handle.send(Restore(unit_id=unit.unit_id,
+                                    envelopes=snapshot))
+        redelivered = handle.redeliver_outstanding()
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_SCALE, time.time() - self._epoch,
+                               handle.worker_id,
+                               detail=f"respawn:redelivered={redelivered}")
+
+    def _drain_leftover(self, handle: WorkerHandle) -> None:
+        """Settle the complete frames a dead worker left in its pipe.
+
+        Every fully written BatchDone still counts (the settlement
+        frame arrived); the first torn frame — or EOF — ends the drain.
+        """
+        conn = handle.conn
+        if conn is None or conn.closed:
+            return
+        while True:
+            try:
+                if not conn.poll(0):
+                    break
+                data = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            ok, frame = try_decode_frame(data)
+            if not ok:
+                break
+            self._apply(handle, frame)
+
+    def kill_worker(self, worker_id: str) -> None:
+        """Fault injection: SIGKILL one worker process mid-run.
+
+        Supervision detects the death (at the latest on the next
+        supervise tick or pump) and runs the recovery path; the run's
+        results remain exactly-once.
+        """
+        for handle in self.handles:
+            if handle.worker_id == worker_id:
+                handle.kill()
+                return
+        raise ParallelError(f"unknown worker {worker_id!r}")
+
+    # ------------------------------------------------------------------
+    # Drain and reporting
+    # ------------------------------------------------------------------
+    def drain(self) -> ParallelReport:
+        """End-of-stream: flush, punctuate, settle every batch, collect
+        each worker's metrics/spans, stop the pool, build the report."""
+        if self._closed:
+            raise ParallelError("cluster is closed")
+        self.punctuate_all()
+        drain_marks: dict[str, int] = {}
+        for handle in self.handles:
+            handle.send(Drain())
+            drain_marks[handle.worker_id] = handle.restarts
+        while any(handle.drained is None or handle.unacked
+                  for handle in self.handles):
+            self._pump(0.1)
+            self._supervise()
+            for handle in self.handles:
+                # A worker replaced mid-drain needs the Drain command
+                # again (only Deliver lives in the redelivery ledger).
+                if (handle.drained is None
+                        and handle.restarts != drain_marks[handle.worker_id]):
+                    handle.send(Drain())
+                    drain_marks[handle.worker_id] = handle.restarts
+        for handle in self.handles:
+            handle.send(Stop())
+        for handle in self.handles:
+            handle.close_channels()
+        self._closed = True
+
+        for handle in self.handles:
+            assert handle.drained is not None
+            self.registry.absorb(handle.drained.metrics)
+            if self.tracer.enabled and handle.drained.spans:
+                self.tracer.absorb(handle.drained.spans)
+        self._export_metrics()
+        stages = (compute_stage_breakdown(self.tracer)
+                  if self.tracer.enabled else None)
+        return ParallelReport(
+            duration=time.time() - self._epoch,
+            tuples_ingested=self.tuples_ingested,
+            results=self.results_count,
+            restarts=self.restarts,
+            workers=len(self.handles),
+            metrics=self.registry.snapshot(),
+            stages=stages,
+            worker_stats={handle.worker_id: dict(handle.drained.stats)
+                          for handle in self.handles})
+
+    def _export_metrics(self) -> None:
+        for stamper in self._stampers:
+            labels = {"router": stamper.router_id}
+            self.registry.counter(
+                "repro_router_tuples_ingested_total",
+                "Input tuples stamped and routed.",
+                labels).set_total(stamper.tuples_ingested)
+            self.registry.counter(
+                "repro_router_punctuations_total",
+                "Punctuation broadcasts emitted.",
+                labels).set_total(stamper.punctuations)
+        self.registry.counter(
+            "repro_engine_results_total",
+            "Join results produced across all units."
+            ).set_total(self.results_count)
+        self.registry.counter(
+            "repro_parallel_batches_total",
+            "Transport batches delivered to worker processes."
+            ).set_total(self.batches_sent)
+        self.registry.counter(
+            "repro_parallel_worker_restarts_total",
+            "Worker processes replaced after crashes or hangs."
+            ).set_total(self.restarts)
+        self.registry.gauge(
+            "repro_parallel_workers",
+            "Worker processes in the pool.").set(len(self.handles))
+
+    def run(self, arrivals) -> tuple[list[JoinResult], ParallelReport]:
+        """Ingest an arrival sequence (interleaved tuples of both
+        relations, event-time order), then drain; engine-style return
+        of ``(results, report)``."""
+        for t in arrivals:
+            self.ingest(t)
+        report = self.drain()
+        return self.results, report
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker (idempotent; drained clusters are closed)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self.handles:
+            try:
+                handle.send(Stop())
+            except (OSError, ValueError):
+                pass
+        for handle in self.handles:
+            handle.close_channels()
+            if handle.alive:
+                handle.kill()
+
+    def __enter__(self) -> "ParallelCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

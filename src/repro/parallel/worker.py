@@ -1,0 +1,327 @@
+"""Worker processes: joiner units behind a command loop.
+
+A worker process hosts one or more :class:`~repro.core.joiner.Joiner`
+units — the *same* joiner class the single-process engines run, reused
+unchanged as the logic layer — behind a FIFO command loop
+(:func:`worker_main`).  Commands arrive on a ``multiprocessing`` queue,
+outputs leave on a pipe; both directions carry codec frames
+(:mod:`repro.parallel.codec`).
+
+Why the joiners run *unordered* here: the ordering protocol's release
+decision (everything below the min-over-routers watermark, in global
+``(counter, router_id)`` order) is taken by the coordinator, which is
+the sole stamping entity and therefore already knows the global order
+at dispatch time.  Each Deliver batch reaches the worker with its
+envelopes in released global order on a FIFO channel, so processing in
+arrival order *is* order-consistent processing — and it keeps the
+worker free of cross-batch settlement state, which is what makes the
+one-frame-per-batch exactly-once contract of
+:mod:`repro.parallel.commands` possible.
+
+The coordinator side of the pair is :class:`WorkerHandle`: process
+lifecycle, the unacknowledged-batch ledger that drives redelivery, and
+the heartbeat bookkeeping the supervisor reads.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from typing import TYPE_CHECKING
+
+from ..core.joiner import Joiner
+from ..core.ordering import KIND_PUNCTUATION, KIND_STORE, Envelope
+from ..core.tuples import JoinResult
+from ..errors import ParallelError
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import NOOP_TRACER, SPAN_DELIVER, Tracer
+from .codec import decode_frame, encode_frame
+from .commands import (
+    BatchDone,
+    Deliver,
+    Drain,
+    Drained,
+    Expire,
+    Ping,
+    Pong,
+    Punctuate,
+    Restore,
+    Snapshot,
+    SnapshotResult,
+    Stop,
+    WorkerFailure,
+    WorkerSpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import multiprocessing as _mp
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+def _build_joiners(spec: WorkerSpec, sink, tracer) -> dict[str, Joiner]:
+    return {
+        unit.unit_id: Joiner(
+            unit_id=unit.unit_id, side=unit.side,
+            predicate=spec.predicate, window=spec.window,
+            archive_period=spec.archive_period, result_sink=sink,
+            ordered=False, timestamp_policy=spec.timestamp_policy,
+            expiry_slack=spec.expiry_slack, tracer=tracer)
+        for unit in spec.units
+    }
+
+
+def _drained_frame(spec: WorkerSpec, joiners: dict[str, Joiner],
+                   tracer, commands_seen: int) -> Drained:
+    registry = MetricsRegistry()
+    for joiner in joiners.values():
+        joiner.export_metrics(registry)
+    labels = {"worker": spec.worker_id}
+    registry.gauge("repro_worker_units",
+                   "Joiner units hosted by this worker process.",
+                   labels).set(len(joiners))
+    registry.counter("repro_worker_commands_total",
+                     "Commands processed by the worker command loop.",
+                     labels).set_total(commands_seen)
+    stats = {
+        unit_id: {
+            "envelopes_received": j.stats.envelopes_received,
+            "tuples_stored": j.stats.tuples_stored,
+            "probes_processed": j.stats.probes_processed,
+            "results_emitted": j.stats.results_emitted,
+            "punctuations_received": j.stats.punctuations_received,
+            "tuples_restored": j.stats.tuples_restored,
+            "stored_tuples": j.stored_tuples,
+        }
+        for unit_id, j in joiners.items()
+    }
+    spans = tuple(tracer.spans) if tracer.enabled else ()
+    return Drained(worker_id=spec.worker_id, metrics=tuple(registry.dump()),
+                   spans=spans, stats=stats)
+
+
+def worker_main(spec_frame: bytes, cmd_queue, out_conn) -> None:
+    """The worker process entry point (must stay module-level: ``spawn``
+    pickles it by qualified name).
+
+    Reads codec-framed commands from ``cmd_queue`` in FIFO order,
+    processes each one synchronously to completion, and writes codec-
+    framed outputs to ``out_conn``.  Every :class:`Deliver` yields
+    exactly one :class:`BatchDone` frame carrying both the results and
+    the acknowledgement — the atomic settlement unit the supervisor's
+    exactly-once argument rests on.
+    """
+    spec: WorkerSpec = decode_frame(spec_frame)
+    tracer = NOOP_TRACER
+    if spec.trace_sample_rate is not None:
+        tracer = Tracer(sample_rate=spec.trace_sample_rate,
+                        max_spans=spec.trace_max_spans)
+    results: list[JoinResult] = []
+    joiners = _build_joiners(spec, results.append, tracer)
+    commands_seen = 0
+    try:
+        while True:
+            command = decode_frame(cmd_queue.get())
+            commands_seen += 1
+            if isinstance(command, Deliver):
+                joiner = joiners[command.unit_id]
+                if tracer.enabled:
+                    # Wall time on the shared epoch, so worker spans are
+                    # comparable with coordinator route/enqueue spans.
+                    now = time.time() - spec.epoch
+                    joiner._now = now
+                    for env in command.batch:
+                        if env.tuple is not None:
+                            # The per-envelope deliver span the stage
+                            # decomposition's transit/process split needs.
+                            tracer.record(SPAN_DELIVER, now,
+                                          command.unit_id,
+                                          tuple_id=env.tuple.ident,
+                                          detail=env.kind)
+                joiner.on_batch(command.batch)
+                out_conn.send_bytes(encode_frame(BatchDone(
+                    seq=command.seq, unit_id=command.unit_id,
+                    results=tuple(results))))
+                results.clear()
+            elif isinstance(command, Punctuate):
+                punctuation = Envelope(kind=KIND_PUNCTUATION,
+                                       router_id=command.router_id,
+                                       counter=command.counter)
+                for joiner in joiners.values():
+                    joiner.on_envelope(punctuation)
+            elif isinstance(command, Ping):
+                out_conn.send_bytes(encode_frame(Pong(seq=command.seq)))
+            elif isinstance(command, Restore):
+                joiners[command.unit_id].restore(list(command.envelopes))
+            elif isinstance(command, Expire):
+                targets = (joiners.values() if command.unit_id is None
+                           else (joiners[command.unit_id],))
+                for joiner in targets:
+                    joiner.index.expire(command.before_ts)
+            elif isinstance(command, Snapshot):
+                out_conn.send_bytes(encode_frame(SnapshotResult(units={
+                    unit_id: {"stored": j.stored_tuples,
+                              "results": j.stats.results_emitted,
+                              "probes": j.stats.probes_processed}
+                    for unit_id, j in joiners.items()})))
+            elif isinstance(command, Drain):
+                for joiner in joiners.values():
+                    joiner.flush()
+                out_conn.send_bytes(encode_frame(_drained_frame(
+                    spec, joiners, tracer, commands_seen)))
+            elif isinstance(command, Stop):
+                break
+            else:
+                raise ParallelError(f"unknown command {command!r}")
+    except Exception:  # noqa: BLE001 - forwarded to the coordinator
+        try:
+            out_conn.send_bytes(encode_frame(WorkerFailure(
+                worker_id=spec.worker_id,
+                message=traceback.format_exc())))
+        except OSError:  # pragma: no cover - coordinator already gone
+            pass
+        raise
+    finally:
+        out_conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+class WorkerHandle:
+    """Coordinator-side lifecycle and ledger of one worker process.
+
+    Owns the process object, the command queue, the output pipe, and
+    the unacknowledged-batch ledger ``unacked`` (seq →
+    :class:`~repro.parallel.commands.Deliver`) that redelivery and
+    replay-log exclusion are computed from.  The handle survives its
+    process: :meth:`respawn` attaches a fresh process (new queue and
+    pipe) while keeping the sequence counter and the ledger, so a
+    replacement sees the same outstanding batches under the same
+    numbers.
+    """
+
+    def __init__(self, worker_id: str, units: tuple, spec_frame: bytes,
+                 ctx) -> None:
+        self.worker_id = worker_id
+        self.units = units
+        self._spec_frame = spec_frame
+        self._ctx = ctx
+        self.next_seq = 0
+        #: Outstanding Deliver commands awaiting their BatchDone frame.
+        self.unacked: dict[int, Deliver] = {}
+        self.restarts = 0
+        self.drained: "Drained | None" = None
+        self.last_snapshot: "SnapshotResult | None" = None
+        self.last_contact = time.monotonic()
+        self.ping_sent: float | None = None
+        self._next_ping = 0
+        self.process: "_mp.process.BaseProcess | None" = None
+        self.cmd_queue = None
+        self.conn = None
+        self._spawn()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _spawn(self) -> None:
+        self.cmd_queue = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        self.process = self._ctx.Process(
+            target=worker_main,
+            args=(self._spec_frame, self.cmd_queue, send_conn),
+            name=f"repro-{self.worker_id}", daemon=True)
+        self.process.start()
+        # Close the parent's copy of the write end: once the child dies,
+        # every writer is gone and the read end sees EOF instead of
+        # blocking forever.
+        send_conn.close()
+        self.conn = recv_conn
+        self.last_contact = time.monotonic()
+        self.ping_sent = None
+
+    def respawn(self) -> None:
+        """Attach a replacement process; the ledger and seq counter stay."""
+        self.close_channels()
+        self.restarts += 1
+        self._spawn()
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker process (fault injection / hung worker)."""
+        if self.process is not None and self.process.pid is not None:
+            try:
+                os.kill(self.process.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+            self.process.join(timeout=5.0)
+
+    def close_channels(self) -> None:
+        """Release the dead (or stopping) process's IPC resources."""
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+        if self.cmd_queue is not None:
+            self.cmd_queue.close()
+            # The feeder thread may hold frames the dead worker never
+            # read; joining it would block forever.
+            self.cmd_queue.cancel_join_thread()
+        if self.process is not None:
+            self.process.join(timeout=5.0)
+
+    # -- command channel ---------------------------------------------------
+    def send(self, command) -> None:
+        self.cmd_queue.put(encode_frame(command))
+
+    def deliver(self, command: Deliver) -> None:
+        """Send a batch and enter it into the unacked ledger."""
+        self.unacked[command.seq] = command
+        self.send(command)
+
+    def redeliver_outstanding(self) -> int:
+        """Re-send every unacked batch, in sequence order, to the
+        replacement process; returns the number redelivered."""
+        outstanding = sorted(self.unacked)
+        for seq in outstanding:
+            self.send(self.unacked[seq])
+        return len(outstanding)
+
+    def ack(self, seq: int) -> Deliver:
+        """Settle one batch; returns the settled command (for replay)."""
+        return self.unacked.pop(seq)
+
+    def maybe_ping(self, interval: float) -> None:
+        """Send a heartbeat probe if the worker has been quiet too long."""
+        now = time.monotonic()
+        if self.ping_sent is None and now - self.last_contact >= interval:
+            self.ping_sent = now
+            self._next_ping += 1
+            self.send(Ping(seq=self._next_ping))
+
+    def note_contact(self) -> None:
+        self.last_contact = time.monotonic()
+        self.ping_sent = None
+
+    def silent_for(self) -> float:
+        """Seconds since the last frame (or successful spawn)."""
+        return time.monotonic() - self.last_contact
+
+    # -- store-envelope bookkeeping ---------------------------------------
+    def outstanding_store_keys(self, unit_id: str) -> set:
+        """``(counter, router_id)`` of store envelopes in unacked batches
+        of one unit — these will be redelivered, so a replacement must
+        not *also* restore them from the replay log."""
+        keys = set()
+        for command in self.unacked.values():
+            if command.unit_id != unit_id:
+                continue
+            for env in command.batch:
+                if env.kind == KIND_STORE:
+                    keys.add((env.counter, env.router_id))
+        return keys

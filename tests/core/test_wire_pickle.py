@@ -1,0 +1,78 @@
+"""Pickle round-trip guards for the wire-path dataclasses.
+
+The multiprocess runtime (:mod:`repro.parallel`) moves the protocol
+types across process boundaries via pickle, and ``slots=True`` frozen
+dataclasses have historically been a pickling trap (no ``__dict__``,
+``__getstate__`` behaviour changed across Python versions).  These
+tests pin the property independently of the parallel suite: every type
+that may appear inside a wire frame must round-trip to an *equal*
+object under every pickle protocol the codec might speak.
+"""
+
+import pickle
+
+import pytest
+
+from repro.broker.message import Delivery, Message
+from repro.core.batching import EnvelopeBatch
+from repro.core.ordering import KIND_JOIN, KIND_PUNCTUATION, KIND_STORE, Envelope
+from repro.core.tuples import StreamTuple, make_result
+
+PROTOCOLS = sorted({2, pickle.DEFAULT_PROTOCOL, pickle.HIGHEST_PROTOCOL})
+
+
+def roundtrip(obj, protocol):
+    return pickle.loads(pickle.dumps(obj, protocol=protocol))
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestWirePickle:
+    def test_stream_tuple(self, protocol):
+        t = StreamTuple(relation="R", ts=1.5, values={"k": 3, "v": "x"},
+                        seq=42)
+        clone = roundtrip(t, protocol)
+        assert clone == t
+        assert clone.ident == t.ident
+        assert clone["k"] == 3
+
+    def test_envelope_all_kinds(self, protocol):
+        t = StreamTuple(relation="S", ts=2.0, values={"k": 1}, seq=7)
+        for env in (
+            Envelope(kind=KIND_STORE, router_id="router0", counter=3,
+                     tuple=t),
+            Envelope(kind=KIND_JOIN, router_id="router1", counter=4,
+                     tuple=t),
+            Envelope(kind=KIND_PUNCTUATION, router_id="router0", counter=9),
+        ):
+            clone = roundtrip(env, protocol)
+            assert clone == env
+            assert clone.order_key == env.order_key
+
+    def test_envelope_batch(self, protocol):
+        t = StreamTuple(relation="R", ts=0.5, values={"k": 2}, seq=1)
+        batch = EnvelopeBatch((
+            Envelope(kind=KIND_STORE, router_id="router0", counter=0,
+                     tuple=t),
+            Envelope(kind=KIND_JOIN, router_id="router0", counter=1,
+                     tuple=t),
+        ))
+        clone = roundtrip(batch, protocol)
+        assert list(clone) == list(batch)
+        assert clone.tuple_count == batch.tuple_count
+
+    def test_join_result(self, protocol):
+        r = StreamTuple(relation="R", ts=1.0, values={"k": 5}, seq=0)
+        s = StreamTuple(relation="S", ts=1.2, values={"k": 5}, seq=0)
+        result = make_result(r, s, produced_at=1.3)
+        clone = roundtrip(result, protocol)
+        assert clone == result
+        assert clone.key == result.key
+
+    def test_broker_message_and_delivery(self, protocol):
+        message = Message(routing_key="joiner.R0.inbox", payload={"x": 1},
+                          sender="router0")
+        delivery = Delivery(message=message, queue="q", consumer="R0",
+                            time=3.0, tag=17, redelivered=True)
+        clone = roundtrip(delivery, protocol)
+        assert clone == delivery
+        assert clone.message.payload == {"x": 1}

@@ -113,3 +113,75 @@ class TestRegistry:
 
     def test_expose_text_empty_registry(self):
         assert MetricsRegistry().expose_text() == ""
+
+
+class TestLabelEscaping:
+    """Prometheus label values must escape ``\\``, ``"`` and newlines.
+
+    Regression: un-escaped values used to corrupt the exposition line
+    (a quote ends the value early; a newline splits the sample)."""
+
+    def test_backslash_quote_and_newline_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("m_total", labels={"p": 'a"b'}).inc(1)
+        reg.counter("m_total", labels={"p": "c\\d"}).inc(2)
+        reg.counter("m_total", labels={"p": "e\nf"}).inc(3)
+        text = reg.expose_text()
+        assert 'm_total{p="a\\"b"} 1' in text
+        assert 'm_total{p="c\\\\d"} 2' in text
+        assert 'm_total{p="e\\nf"} 3' in text
+        # The raw newline must never survive into the exposition: all
+        # three series render as exactly three single-line samples.
+        samples = [line for line in text.splitlines()
+                   if line.startswith("m_total{")]
+        assert len(samples) == 3
+
+    def test_backslash_escaped_before_quote(self):
+        # Order matters: escaping the quote first would double-escape.
+        reg = MetricsRegistry()
+        reg.gauge("g", labels={"p": '\\"'}).set(1)
+        assert 'g{p="\\\\\\""} 1' in reg.expose_text()
+
+    def test_snapshot_keys_carry_escapes(self):
+        reg = MetricsRegistry()
+        reg.counter("m_total", labels={"p": 'x"y'}).inc(1)
+        assert list(reg.snapshot()) == ['m_total{p="x\\"y"}']
+
+
+class TestDumpAbsorb:
+    """The cross-process merge API the parallel runtime backhauls with."""
+
+    def test_round_trip_preserves_snapshot(self):
+        src = MetricsRegistry()
+        src.counter("c_total", "Counts.", {"unit": "R0"}).inc(5)
+        src.gauge("g", "Level.").set(7)
+        src.histogram("h", "Dist.").observe(1.0)
+        src.histogram("h", "Dist.").observe(3.0)
+        dst = MetricsRegistry()
+        dst.absorb(src.dump())
+        assert dst.snapshot() == src.snapshot()
+        assert dst.expose_text() == src.expose_text()
+
+    def test_absorb_merges_additively(self):
+        dst = MetricsRegistry()
+        dst.counter("c_total", labels={"w": "0"}).inc(2)
+        dst.histogram("h").observe(1.0)
+        other = MetricsRegistry()
+        other.counter("c_total", labels={"w": "0"}).inc(3)
+        other.counter("c_total", labels={"w": "1"}).inc(4)
+        other.histogram("h").observe(9.0)
+        dst.absorb(other.dump())
+        assert dst.value("c_total", {"w": "0"}) == 5
+        assert dst.value("c_total", {"w": "1"}) == 4
+        # Histograms concatenate observations (quantiles over the
+        # union), not averaged summaries.
+        assert sorted(dst.histogram("h").values) == [1.0, 9.0]
+
+    def test_dump_entries_are_plain_data(self):
+        import pickle
+
+        reg = MetricsRegistry()
+        reg.counter("c_total", "Help.", {"a": "b"}).inc(1)
+        reg.histogram("h").observe(2.0)
+        entries = reg.dump()
+        assert entries == pickle.loads(pickle.dumps(entries))

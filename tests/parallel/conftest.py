@@ -1,0 +1,36 @@
+"""Shared fixtures of the multiprocess-runtime suite."""
+
+import random
+
+import pytest
+
+from repro.core.tuples import StreamTuple
+
+
+def make_arrivals(seed: int, n: int = 400, *, key_space: int = 12,
+                  value_space: int = 40) -> list[StreamTuple]:
+    """A deterministic interleaved two-relation arrival sequence.
+
+    Timestamps advance by small random steps (so punctuations and
+    window expiry both trigger); each tuple carries an equi-join key
+    ``k`` and a numeric band attribute ``v``.
+    """
+    rng = random.Random(seed)
+    arrivals: list[StreamTuple] = []
+    ts = 0.0
+    seqs = {"R": 0, "S": 0}
+    for _ in range(n):
+        ts += rng.uniform(0.0005, 0.003)
+        relation = "R" if rng.random() < 0.5 else "S"
+        arrivals.append(StreamTuple(
+            relation=relation, ts=ts,
+            values={"k": rng.randint(0, key_space),
+                    "v": rng.randint(0, value_space)},
+            seq=seqs[relation]))
+        seqs[relation] += 1
+    return arrivals
+
+
+@pytest.fixture
+def arrivals():
+    return make_arrivals(7)

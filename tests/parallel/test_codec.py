@@ -1,0 +1,86 @@
+"""Tests for repro.parallel.codec: the wire frame format."""
+
+import struct
+
+import pytest
+
+from repro.core.ordering import KIND_STORE, Envelope
+from repro.core.tuples import StreamTuple
+from repro.errors import CodecError, ParallelError, ReproError
+from repro.parallel import decode_frame, encode_frame, try_decode_frame
+from repro.parallel.codec import HEADER_SIZE, MAGIC, VERSION
+
+
+def sample_payload():
+    t = StreamTuple(relation="R", ts=1.0, values={"k": 3}, seq=5)
+    return Envelope(kind=KIND_STORE, router_id="router0", counter=7, tuple=t)
+
+
+class TestRoundTrip:
+    def test_frame_round_trips(self):
+        payload = sample_payload()
+        frame = encode_frame(payload)
+        assert decode_frame(frame) == payload
+
+    def test_header_layout(self):
+        frame = encode_frame({"x": 1})
+        assert frame[:4] == MAGIC
+        assert frame[4] == VERSION
+        (length,) = struct.unpack_from(">I", frame, 8)
+        assert length == len(frame) - HEADER_SIZE
+
+    def test_arbitrary_picklables(self):
+        for obj in (None, 42, "text", [1, 2], {"a": (1, 2)}):
+            assert decode_frame(encode_frame(obj)) == obj
+
+
+class TestValidation:
+    def test_short_buffer_rejected(self):
+        with pytest.raises(CodecError, match="too short"):
+            decode_frame(b"RP")
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame(1))
+        frame[:4] = b"XXXX"
+        with pytest.raises(CodecError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_version_mismatch_rejected(self):
+        frame = bytearray(encode_frame(1))
+        frame[4] = VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            decode_frame(bytes(frame))
+
+    def test_truncated_payload_rejected(self):
+        frame = encode_frame(sample_payload())
+        with pytest.raises(CodecError, match="length mismatch"):
+            decode_frame(frame[:-3])
+
+    def test_corrupt_payload_rejected_by_checksum(self):
+        frame = bytearray(encode_frame(sample_payload()))
+        frame[-1] ^= 0xFF
+        with pytest.raises(CodecError, match="checksum"):
+            decode_frame(bytes(frame))
+
+    def test_codec_error_is_parallel_and_repro_error(self):
+        # Supervisors catch the subsystem base class.
+        assert issubclass(CodecError, ParallelError)
+        assert issubclass(CodecError, ReproError)
+
+
+class TestTryDecode:
+    def test_valid_frame(self):
+        ok, obj = try_decode_frame(encode_frame("hello"))
+        assert ok and obj == "hello"
+
+    def test_torn_frame_is_not_an_exception(self):
+        frame = encode_frame(sample_payload())
+        for cut in (0, 3, HEADER_SIZE, len(frame) - 1):
+            ok, obj = try_decode_frame(frame[:cut])
+            assert not ok and obj is None
+
+    def test_bitflip_is_not_an_exception(self):
+        frame = bytearray(encode_frame(sample_payload()))
+        frame[HEADER_SIZE + 1] ^= 0x55
+        ok, obj = try_decode_frame(bytes(frame))
+        assert not ok and obj is None

@@ -1,0 +1,174 @@
+"""Tests for the ParallelCluster coordinator: API mirror, config
+validation, reporting, metrics backhaul, lifecycle, CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.biclique import BicliqueConfig
+from repro.core.predicates import BandJoinPredicate, EquiJoinPredicate
+from repro.core.windows import TimeWindow
+from repro.errors import ConfigurationError, ParallelError
+from repro.obs.trace import Tracer
+from repro.parallel import MAX_ROUTERS, ParallelCluster, ParallelConfig
+
+from .conftest import make_arrivals
+
+
+def make_config(**overrides):
+    defaults = dict(window=TimeWindow(30.0), r_joiners=2, s_joiners=2,
+                    routers=2, archive_period=5.0)
+    defaults.update(overrides)
+    return BicliqueConfig(**defaults)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("field, value", [
+        ("workers", 0), ("transfer_batch", 0), ("max_unacked", 0),
+        ("supervise_every", 0), ("restart_limit", -1),
+        ("heartbeat_interval", 0.0), ("heartbeat_timeout", -1.0),
+    ])
+    def test_rejects_bad_knobs(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(**{field: value})
+
+    def test_rejects_router_pool_past_sort_order_cap(self):
+        with pytest.raises(ConfigurationError, match="router"):
+            ParallelCluster(make_config(routers=MAX_ROUTERS + 1),
+                            EquiJoinPredicate("k", "k"))
+
+    def test_accepts_router_pool_at_cap(self):
+        with ParallelCluster(make_config(routers=MAX_ROUTERS),
+                             EquiJoinPredicate("k", "k"),
+                             ParallelConfig(workers=1)) as cluster:
+            assert len(cluster._stampers) == MAX_ROUTERS
+
+
+class TestApiMirror:
+    def test_auto_routing_resolves_like_the_engine(self):
+        with ParallelCluster(make_config(), EquiJoinPredicate("k", "k"),
+                             ParallelConfig(workers=1)) as low:
+            assert low.routing_mode == "hash"
+        with ParallelCluster(make_config(), BandJoinPredicate("v", "v", 2.0),
+                             ParallelConfig(workers=1)) as high:
+            assert high.routing_mode == "random"
+
+    def test_unit_naming_and_worker_assignment(self):
+        with ParallelCluster(make_config(r_joiners=3, s_joiners=2),
+                             EquiJoinPredicate("k", "k"),
+                             ParallelConfig(workers=2)) as cluster:
+            assert cluster.unit_ids("R") == ["R0", "R1", "R2"]
+            assert cluster.unit_ids("S") == ["S0", "S1"]
+            assert cluster.unit_ids() == ["R0", "R1", "R2", "S0", "S1"]
+            assert cluster.worker_ids == ["worker0", "worker1"]
+            # Interleaved round-robin: every worker hosts both sides.
+            for handle in cluster.handles:
+                sides = {unit.side for unit in handle.units}
+                assert sides == {"R", "S"}
+
+    def test_run_returns_results_and_report(self, arrivals):
+        cluster = ParallelCluster(make_config(), EquiJoinPredicate("k", "k"),
+                                  ParallelConfig(workers=2))
+        results, report = cluster.run(arrivals)
+        assert report.tuples_ingested == len(arrivals)
+        assert report.results == len(results) > 0
+        assert report.restarts == 0
+        assert report.workers == 2
+        assert report.duration > 0
+        assert report.stages is None  # untraced run
+        assert set(report.worker_stats) == {"worker0", "worker1"}
+
+    def test_retain_results_false_keeps_count_only(self, arrivals):
+        cluster = ParallelCluster(make_config(retain_results=False),
+                                  EquiJoinPredicate("k", "k"),
+                                  ParallelConfig(workers=1))
+        results, report = cluster.run(arrivals)
+        assert results == []
+        assert report.results > 0
+
+
+class TestMetricsBackhaul:
+    def test_report_metrics_merge_worker_and_coordinator(self, arrivals):
+        cluster = ParallelCluster(make_config(), EquiJoinPredicate("k", "k"),
+                                  ParallelConfig(workers=2))
+        _, report = cluster.run(arrivals)
+        metrics = report.metrics
+        # Coordinator-side series.
+        assert metrics['repro_router_tuples_ingested_total{router="router0"}'] \
+            + metrics['repro_router_tuples_ingested_total{router="router1"}'] \
+            == len(arrivals)
+        assert metrics["repro_engine_results_total"] == report.results
+        assert metrics["repro_parallel_batches_total"] == cluster.batches_sent
+        assert metrics["repro_parallel_worker_restarts_total"] == 0
+        assert metrics["repro_parallel_workers"] == 2
+        # Worker-side series survived the dump/absorb backhaul.
+        assert metrics['repro_worker_units{worker="worker0"}'] == 2
+        stored = [v for k, v in metrics.items()
+                  if k.startswith("repro_joiner_tuples_stored_total")]
+        assert stored and sum(stored) > 0
+
+    def test_traced_run_produces_stage_breakdown(self, arrivals):
+        tracer = Tracer(sample_rate=1.0)
+        cluster = ParallelCluster(make_config(), EquiJoinPredicate("k", "k"),
+                                  ParallelConfig(workers=2), tracer=tracer)
+        _, report = cluster.run(arrivals)
+        assert report.stages is not None
+        assert report.stages.samples == report.results
+        assert report.stages.skipped == 0
+
+
+class TestLifecycle:
+    def test_single_use_after_drain(self, arrivals):
+        cluster = ParallelCluster(make_config(), EquiJoinPredicate("k", "k"),
+                                  ParallelConfig(workers=1))
+        cluster.run(arrivals)
+        with pytest.raises(ParallelError, match="closed"):
+            cluster.ingest(arrivals[0])
+        with pytest.raises(ParallelError, match="closed"):
+            cluster.drain()
+
+    def test_context_manager_kills_undrained_workers(self):
+        with ParallelCluster(make_config(), EquiJoinPredicate("k", "k"),
+                             ParallelConfig(workers=2)) as cluster:
+            handles = cluster.handles
+            assert all(handle.alive for handle in handles)
+        assert not any(handle.alive for handle in handles)
+
+    def test_close_is_idempotent(self):
+        cluster = ParallelCluster(make_config(), EquiJoinPredicate("k", "k"),
+                                  ParallelConfig(workers=1))
+        cluster.close()
+        cluster.close()
+
+    def test_kill_worker_rejects_unknown_id(self):
+        with ParallelCluster(make_config(), EquiJoinPredicate("k", "k"),
+                             ParallelConfig(workers=1)) as cluster:
+            with pytest.raises(ParallelError, match="unknown worker"):
+                cluster.kill_worker("worker99")
+
+
+class TestBackpressure:
+    def test_max_unacked_bounds_the_ledger(self):
+        arrivals = make_arrivals(11, n=600)
+        parallel = ParallelConfig(workers=1, transfer_batch=4, max_unacked=2)
+        cluster = ParallelCluster(make_config(), EquiJoinPredicate("k", "k"),
+                                  parallel)
+        orig_flush = cluster._flush_unit
+        high_water = 0
+
+        def watching_flush(unit_id):
+            nonlocal high_water
+            high_water = max(high_water, *(len(h.unacked)
+                                           for h in cluster.handles))
+            orig_flush(unit_id)
+
+        cluster._flush_unit = watching_flush
+        cluster.run(arrivals)
+        assert 0 < high_water <= parallel.max_unacked
+
+
+class TestCli:
+    def test_parallel_subcommand_smoke(self, capsys):
+        assert main(["repro", "parallel"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel runtime" in out
+        assert "exactly-once check: OK" in out

@@ -1,0 +1,201 @@
+"""Tests for the worker process command loop and its coordinator handle.
+
+These spawn one real worker process via :class:`WorkerHandle` and speak
+the command protocol directly — below :class:`ParallelCluster`, so each
+protocol obligation (one BatchDone per Deliver, Pong, SnapshotResult,
+Restore, Drained, the failure frame) is checked in isolation.
+"""
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.core.batching import EnvelopeBatch
+from repro.core.ordering import KIND_JOIN, KIND_STORE, Envelope
+from repro.core.predicates import EquiJoinPredicate
+from repro.core.tuples import StreamTuple
+from repro.core.windows import TimeWindow
+from repro.parallel import (
+    BatchDone,
+    Deliver,
+    Drain,
+    Drained,
+    Ping,
+    Pong,
+    Punctuate,
+    Restore,
+    Snapshot,
+    SnapshotResult,
+    Stop,
+    UnitSpec,
+    WorkerFailure,
+    WorkerHandle,
+    WorkerSpec,
+    decode_frame,
+    encode_frame,
+)
+
+TIMEOUT = 20.0
+
+
+def make_handle(units=(UnitSpec("R0", "R"), UnitSpec("S0", "S"))):
+    spec = WorkerSpec(
+        worker_id="workerT", units=tuple(units),
+        predicate=EquiJoinPredicate("k", "k"), window=TimeWindow(60.0),
+        archive_period=10.0, epoch=time.time())
+    return WorkerHandle(spec.worker_id, tuple(units), encode_frame(spec),
+                        mp.get_context())
+
+
+def recv_frame(handle, timeout=TIMEOUT):
+    assert handle.conn.poll(timeout), "no frame from worker in time"
+    return decode_frame(handle.conn.recv_bytes())
+
+
+def store(unit_seq, rel, ts, key, counter):
+    t = StreamTuple(relation=rel, ts=ts, values={"k": key}, seq=unit_seq)
+    return Envelope(kind=KIND_STORE, router_id="router0", counter=counter,
+                    tuple=t)
+
+
+def probe(unit_seq, rel, ts, key, counter):
+    t = StreamTuple(relation=rel, ts=ts, values={"k": key}, seq=unit_seq)
+    return Envelope(kind=KIND_JOIN, router_id="router0", counter=counter,
+                    tuple=t)
+
+
+@pytest.fixture
+def handle():
+    h = make_handle()
+    yield h
+    try:
+        h.send(Stop())
+    except (OSError, ValueError):
+        pass
+    h.close_channels()
+    if h.alive:
+        h.kill()
+
+
+class TestCommandLoop:
+    def test_deliver_yields_one_batchdone_with_results(self, handle):
+        handle.deliver(Deliver(seq=0, unit_id="R0", batch=EnvelopeBatch((
+            store(0, "R", 1.0, 5, 0),))))
+        done = recv_frame(handle)
+        assert isinstance(done, BatchDone)
+        assert done.seq == 0 and done.unit_id == "R0"
+        assert done.results == ()  # store only, nothing to join yet
+        handle.ack(done.seq)
+
+        handle.deliver(Deliver(seq=1, unit_id="R0", batch=EnvelopeBatch((
+            probe(0, "S", 1.1, 5, 1),))))
+        done = recv_frame(handle)
+        assert done.seq == 1 and len(done.results) == 1
+        assert done.results[0].r["k"] == 5
+        handle.ack(done.seq)
+        assert not handle.unacked
+
+    def test_ping_pong(self, handle):
+        handle.send(Ping(seq=3))
+        pong = recv_frame(handle)
+        assert isinstance(pong, Pong) and pong.seq == 3
+
+    def test_snapshot_reports_per_unit_state(self, handle):
+        handle.deliver(Deliver(seq=0, unit_id="R0", batch=EnvelopeBatch((
+            store(0, "R", 1.0, 1, 0), store(1, "R", 1.2, 2, 1)))))
+        recv_frame(handle)
+        handle.send(Snapshot())
+        snap = recv_frame(handle)
+        assert isinstance(snap, SnapshotResult)
+        assert snap.units["R0"]["stored"] == 2
+        assert snap.units["S0"]["stored"] == 0
+
+    def test_restore_rebuilds_store_state(self, handle):
+        handle.send(Restore(unit_id="R0", envelopes=(
+            store(0, "R", 1.0, 7, 0), store(1, "R", 1.1, 7, 1))))
+        # Probing after restore must match the restored tuples.
+        handle.deliver(Deliver(seq=0, unit_id="R0", batch=EnvelopeBatch((
+            probe(0, "S", 1.2, 7, 2),))))
+        done = recv_frame(handle)
+        assert len(done.results) == 2
+
+    def test_punctuation_is_fanned_to_all_units(self, handle):
+        handle.send(Punctuate(router_id="router0", counter=10))
+        handle.send(Drain())
+        drained = recv_frame(handle)
+        assert isinstance(drained, Drained)
+        for unit_id in ("R0", "S0"):
+            assert drained.stats[unit_id]["punctuations_received"] == 1
+
+    def test_drained_carries_metrics_and_stats(self, handle):
+        handle.deliver(Deliver(seq=0, unit_id="R0", batch=EnvelopeBatch((
+            store(0, "R", 1.0, 4, 0),))))
+        recv_frame(handle)
+        handle.send(Drain())
+        drained = recv_frame(handle)
+        assert drained.worker_id == "workerT"
+        assert drained.stats["R0"]["tuples_stored"] == 1
+        names = {entry[0] for entry in drained.metrics}
+        assert "repro_worker_units" in names
+        assert "repro_worker_commands_total" in names
+
+    def test_logic_error_produces_failure_frame(self, handle):
+        # An unknown unit id is a coordinator bug, not a crash: the
+        # worker forwards the traceback instead of dying silently.
+        handle.deliver(Deliver(seq=0, unit_id="NOPE", batch=EnvelopeBatch((
+            store(0, "R", 1.0, 1, 0),))))
+        failure = recv_frame(handle)
+        assert isinstance(failure, WorkerFailure)
+        assert failure.worker_id == "workerT"
+        assert "KeyError" in failure.message
+
+
+class TestHandleLifecycle:
+    def test_kill_and_respawn_keeps_ledger_and_seq(self, handle):
+        handle.deliver(Deliver(seq=0, unit_id="R0", batch=EnvelopeBatch((
+            store(0, "R", 1.0, 9, 0),))))
+        recv_frame(handle)  # settled, but not acked by us: stays unacked
+        handle.kill()
+        assert not handle.alive
+        before = dict(handle.unacked)
+        handle.respawn()
+        assert handle.alive
+        assert handle.restarts == 1
+        assert handle.unacked == before
+        assert handle.redeliver_outstanding() == 1
+        done = recv_frame(handle)
+        assert done.seq == 0
+
+    def test_dead_worker_pipe_reads_eof(self, handle):
+        handle.kill()
+        # The parent closed its copy of the write end at spawn time, so
+        # the child's death leaves zero writers: recv must raise EOF
+        # rather than block forever.
+        deadline = time.monotonic() + TIMEOUT
+        while time.monotonic() < deadline:
+            try:
+                if handle.conn.poll(0.1):
+                    handle.conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+        else:
+            pytest.fail("no EOF from dead worker's pipe")
+
+    def test_outstanding_store_keys_filters_by_unit_and_kind(self, handle):
+        handle.unacked[0] = Deliver(seq=0, unit_id="R0", batch=EnvelopeBatch((
+            store(0, "R", 1.0, 1, 11), probe(1, "S", 1.1, 1, 12))))
+        handle.unacked[1] = Deliver(seq=1, unit_id="S0", batch=EnvelopeBatch((
+            store(0, "S", 1.2, 2, 13),)))
+        assert handle.outstanding_store_keys("R0") == {(11, "router0")}
+        assert handle.outstanding_store_keys("S0") == {(13, "router0")}
+
+    def test_silent_for_and_note_contact(self, handle):
+        handle.note_contact()
+        assert handle.silent_for() < 1.0
+        handle.maybe_ping(0.0)  # interval elapsed: ping goes out
+        assert handle.ping_sent is not None
+        pong = recv_frame(handle)
+        assert isinstance(pong, Pong)
+        handle.note_contact()
+        assert handle.ping_sent is None

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.harness",
     "repro.obs",
+    "repro.parallel",
 ]
 
 
