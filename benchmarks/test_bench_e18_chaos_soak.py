@@ -1,0 +1,117 @@
+"""E18 (extension) — chaos soak of the real multiprocess runtime.
+
+The paper's joint claim is that elasticity and failure handling
+*compose* without losing results; E18 certifies the multiprocess
+runtime's half of it under adversarial fault schedules.  A fixed-seed
+soak (:mod:`repro.chaos.soak`) runs ten rounds of workload × randomized
+fault plan — SIGKILL, SIGSTOP+SIGCONT, frame corruption in all three
+modes, pipe stalls, and command-loop hangs against live worker
+processes — and every round is scored against the window-semantics
+reference join.
+
+Gates (all hard):
+
+- **zero lost, zero duplicated, zero spurious** results in every round;
+- the plan actually covered the acceptance fault kinds (kill, stall,
+  corruption, pipe stall) — a seed drift that waters the plan down
+  fails loudly instead of silently certifying less;
+- at least one corrupt-frame recovery went through **quarantine +
+  respawn** (the coordinator survived garbage from a live worker).
+
+Emits ``BENCH_e18.json`` (the soak scorecard plus derived coverage);
+CI's ``e18-chaos-smoke`` job runs the smoke variant, fails on any
+lost/duplicate result, and uploads the scorecard artifact.  The
+``soak``-marked variant is the standing long grid.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from conftest import RESULTS_DIR, bench_once, emit
+
+from repro.chaos import SoakConfig, run_soak
+from repro.harness import render_table
+
+#: The fixed CI smoke shape: deterministic seed, ten rounds, three
+#: faults per round, every fault kind in the draw pool.
+SMOKE = SoakConfig(rounds=10, seed=2015, tuples_per_round=320,
+                   faults_per_round=3)
+
+#: The standing long grid: more rounds, denser faults.
+SOAK = SoakConfig(rounds=30, seed=2015, tuples_per_round=400,
+                  faults_per_round=5)
+
+#: Fault kinds the acceptance criteria name; the smoke plan must have
+#: actually injected each family at least once across its rounds.
+REQUIRED_FAMILIES = {
+    "kill": ("kill",),
+    "stall": ("stall",),
+    "corrupt": ("corrupt_flip", "corrupt_truncate", "corrupt_duplicate"),
+    "pipe_stall": ("pipe_stall",),
+}
+
+
+def emit_e18(name: str, scorecard: dict) -> None:
+    rows = []
+    for entry in scorecard["rounds"]:
+        rows.append([
+            entry["round"], entry["mode"], entry["expected"],
+            entry["lost"], entry["duplicated"], entry["restarts"],
+            entry["quarantines"], entry["redeliveries"],
+            ",".join(entry["faults"]) or "-"])
+    totals = scorecard["totals"]
+    emit(name, render_table(
+        ["round", "mode", "expected", "lost", "dup", "restarts",
+         "quarantines", "redeliveries", "faults"],
+        rows,
+        title=f"E18: chaos soak, {totals['rounds']} rounds, "
+              f"{totals['expected']} expected results, "
+              f"faults={totals['faults_injected']}"))
+    payload = {"experiment": "e18_chaos_soak", **scorecard}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_e18.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def assert_invariants(scorecard: dict, *, check_coverage: bool) -> None:
+    totals = scorecard["totals"]
+    for entry in scorecard["rounds"]:
+        assert not entry["failure"], (
+            f"round {entry['round']} crashed the coordinator: "
+            f"{entry['failure']}")
+        assert entry["lost"] == 0, f"round {entry['round']} lost results"
+        assert entry["duplicated"] == 0, (
+            f"round {entry['round']} duplicated results")
+        assert entry["spurious"] == 0, (
+            f"round {entry['round']} produced spurious results")
+    assert scorecard["ok"]
+    assert totals["lost"] == 0 and totals["duplicated"] == 0
+
+    if not check_coverage:
+        return
+    injected = totals["faults_injected"]
+    for family, kinds in REQUIRED_FAMILIES.items():
+        assert any(injected.get(kind, 0) > 0 for kind in kinds), (
+            f"the plan never injected a {family!r} fault — seed drift? "
+            f"injected: {injected}")
+    # The acceptance criterion's corrupt-frame case: recovery went
+    # through quarantine+respawn, not a coordinator crash.
+    assert totals["quarantines"] >= 1, (
+        "no corrupt-frame recovery exercised the quarantine path")
+    assert totals["redeliveries"] >= 1, (
+        "no recovery ever redelivered an in-flight batch")
+
+
+def test_e18_chaos_soak_smoke(benchmark):
+    scorecard = bench_once(benchmark, lambda: run_soak(SMOKE))
+    emit_e18("e18_chaos_soak", scorecard)
+    assert_invariants(scorecard, check_coverage=True)
+
+
+@pytest.mark.soak
+def test_e18_chaos_soak_grid(benchmark):
+    scorecard = bench_once(benchmark, lambda: run_soak(SOAK))
+    emit_e18("e18_chaos_soak_grid", scorecard)
+    assert_invariants(scorecard, check_coverage=True)

@@ -6,6 +6,9 @@ Commands:
     parallel    run the same join on real worker processes (optional
                 argument: worker count, default 2) and verify the
                 results against the single-process reference
+    soak        run the chaos soak harness against the parallel
+                runtime (optional arguments: rounds, seed, output
+                scorecard path) and fail on any lost/duplicate result
     info        print the package overview and pointers
 
 Everything heavier lives in ``examples/`` and ``benchmarks/``.
@@ -104,6 +107,32 @@ def _parallel(workers: int = 2) -> int:
     return 0 if check.ok else 1
 
 
+def _soak(rounds: int | None = None, seed: int | None = None,
+          out: str | None = None) -> int:
+    from repro.chaos import SoakConfig, run_soak, write_scorecard
+    from repro.chaos.soak import format_round
+
+    config = SoakConfig(
+        rounds=rounds if rounds is not None else SoakConfig.rounds,
+        seed=seed if seed is not None else SoakConfig.seed)
+    print(f"chaos soak: {config.rounds} rounds, seed {config.seed}, "
+          f"{config.faults_per_round} faults/round over "
+          f"{config.workers} workers")
+    scorecard = run_soak(config,
+                         progress=lambda s: print(format_round(s)))
+    totals = scorecard["totals"]
+    print(f"\ntotals: {totals['produced']}/{totals['expected']} results, "
+          f"lost={totals['lost']} dup={totals['duplicated']} "
+          f"restarts={totals['restarts']} "
+          f"quarantines={totals['quarantines']}")
+    print(f"faults injected: {totals['faults_injected']}")
+    if out is not None:
+        write_scorecard(scorecard, out)
+        print(f"scorecard written to {out}")
+    print(f"verdict: {'OK' if scorecard['ok'] else 'FAILED'}")
+    return 0 if scorecard["ok"] else 1
+
+
 def _info() -> int:
     import repro
     print(repro.__doc__)
@@ -116,7 +145,7 @@ def _info() -> int:
 def main(argv: list[str]) -> int:
     command = argv[1] if len(argv) > 1 else "info"
     handlers = {"demo": _demo, "autoscale": _autoscale,
-                "parallel": _parallel, "info": _info}
+                "parallel": _parallel, "soak": _soak, "info": _info}
     handler = handlers.get(command)
     if handler is None:
         print(f"unknown command {command!r}; "
@@ -124,6 +153,11 @@ def main(argv: list[str]) -> int:
         return 2
     if command == "parallel" and len(argv) > 2:
         return _parallel(workers=int(argv[2]))
+    if command == "soak":
+        return _soak(
+            rounds=int(argv[2]) if len(argv) > 2 else None,
+            seed=int(argv[3]) if len(argv) > 3 else None,
+            out=argv[4] if len(argv) > 4 else None)
     return handler()
 
 

@@ -112,6 +112,25 @@ class MessageQueue:
         self._rr_next = self._rr_next % len(self._consumers) \
             if self._consumers else 0
 
+    def reset_rotation(self, *, sort: bool = False) -> None:
+        """Restart round-robin dispatch at the first consumer.
+
+        With ``sort=True`` the consumer list is first reordered by
+        consumer id.  This is the broker half of the router-pool
+        counter realignment (see ``BicliqueEngine.scale_routers``):
+        after every pool counter has been advanced to a common floor F,
+        restarting the rotation at the smallest consumer id makes the
+        stamped ``(counter, router_id)`` keys — ``(F, r0), (F, r1), …,
+        (F+1, r0), …`` — strictly increasing in dispatch order again.
+        Without the reset, a pool whose rotation pointer sits mid-cycle
+        stamps keys that *invert* arrival order (a later tuple gets a
+        smaller key), which the ordering protocol turns into missed
+        pairs at the joiners.
+        """
+        if sort:
+            self._consumers.sort(key=lambda c: c.consumer_id)
+        self._rr_next = 0
+
     @property
     def consumer_ids(self) -> list[str]:
         return [c.consumer_id for c in self._consumers]

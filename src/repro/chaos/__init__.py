@@ -1,0 +1,42 @@
+"""Chaos engineering for the real multiprocess runtime.
+
+What :mod:`repro.simulation.faults` is to the simulated cluster, this
+package is to :class:`~repro.parallel.parallel_cluster.ParallelCluster`
+— except the faults here are *real*: SIGKILL and SIGSTOP of live
+worker processes, byte-level corruption and reordering-free stalls of
+actual pipe frames, and in-band command-loop hangs.  Three layers:
+
+- :mod:`repro.chaos.plan` — the fault vocabulary (frozen dataclasses
+  keyed by ingest index) and a seeded randomized plan generator;
+- :mod:`repro.chaos.injector` — the runtime that executes a plan
+  against a live cluster through the coordinator's fault-injection
+  hooks (never enabled unless a :class:`ChaosConfig` is passed in);
+- :mod:`repro.chaos.soak` — the standing soak harness: bounded rounds
+  of workload × randomized faults, scored for lost/duplicate results
+  against the window-semantics reference join, emitted as a JSON
+  scorecard (``python -m repro soak``).
+
+The acceptance bar is the paper's: elasticity and failure handling
+must *compose* — every injected fault is survived with zero lost and
+zero duplicated join results.
+"""
+
+from .injector import ChaosInjector
+from .plan import (ALL_FAULT_KINDS, ChaosConfig, CorruptFrame, HangWorker,
+                   KillWorker, PipeStall, StallWorker, random_fault_plan)
+from .soak import SoakConfig, run_soak, write_scorecard
+
+__all__ = [
+    "ALL_FAULT_KINDS",
+    "ChaosConfig",
+    "ChaosInjector",
+    "CorruptFrame",
+    "HangWorker",
+    "KillWorker",
+    "PipeStall",
+    "SoakConfig",
+    "StallWorker",
+    "random_fault_plan",
+    "run_soak",
+    "write_scorecard",
+]

@@ -1,0 +1,180 @@
+"""The chaos injector: executes a fault plan against a live cluster.
+
+The coordinator owns the hook points and calls them at well-defined
+moments; the injector owns the schedule and all fault state:
+
+- :meth:`ChaosInjector.on_ingest` — called at the top of every
+  ``ParallelCluster.ingest``; fires each fault whose ``at_tuple`` has
+  been reached, through the cluster's fault-injection API
+  (``kill_worker`` / ``stop_worker`` / ``hang_worker``) or by arming
+  frame-level state consumed below.
+- :meth:`ChaosInjector.on_output_frame` — called for every raw frame
+  the coordinator reads from a worker pipe, *before* decoding; returns
+  the frames to actually process (possibly corrupted, duplicated, or
+  withheld).
+- :meth:`ChaosInjector.release_due` — stalled frames whose hold
+  expired, in per-worker FIFO order.  A pipe stall withholds **every**
+  subsequent frame of that worker until release: letting newer frames
+  overtake held ones would settle batches out of sequence order and
+  break the prefix-settlement invariant the exactly-once recovery
+  argument rests on.
+- :meth:`ChaosInjector.tick` — timer-driven work (due SIGCONTs),
+  called from the supervisor.
+- :meth:`ChaosInjector.resume_all` — SIGCONT anything still stopped,
+  called when the cluster closes.
+
+Byte corruption is deterministic (fixed positions, XOR 0xFF) so a
+seeded plan reproduces the exact same wire damage.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+
+from ..parallel.codec import HEADER_SIZE
+from ..parallel.worker import WorkerHandle
+from .plan import (ChaosConfig, CorruptFrame, HangWorker, KillWorker,
+                   PipeStall, StallWorker)
+
+
+class _Stall:
+    """One active pipe stall: a release deadline and the held frames."""
+
+    __slots__ = ("deadline", "frames")
+
+    def __init__(self, deadline: float) -> None:
+        self.deadline = deadline
+        self.frames: list[bytes] = []
+
+
+def corrupt_bytes(data: bytes, mode: str) -> list[bytes]:
+    """Apply one corruption mode to a raw frame; returns the frames to
+    deliver in its place (two for ``duplicate``)."""
+    if mode == "flip":
+        # XOR one payload byte: the header survives, the CRC must not.
+        if len(data) <= HEADER_SIZE:
+            return [data[:-1] + bytes([data[-1] ^ 0xFF])] if data else [b""]
+        pos = HEADER_SIZE + (len(data) - HEADER_SIZE) // 2
+        return [data[:pos] + bytes([data[pos] ^ 0xFF]) + data[pos + 1:]]
+    if mode == "truncate":
+        # A torn write: keep the header plus half the payload, so the
+        # length check (not just the CRC) gets exercised too.
+        keep = HEADER_SIZE + max(0, (len(data) - HEADER_SIZE) // 2)
+        return [data[:keep]]
+    if mode == "duplicate":
+        return [data, data]
+    raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+class ChaosInjector:
+    """Runtime state of one fault plan against one cluster run.
+
+    Single-use: construct per cluster, pass as ``ParallelCluster(...,
+    chaos=injector)``.  ``injected`` counts executed faults by kind —
+    exported by the coordinator as
+    ``repro_parallel_faults_injected_total{kind=...}``.
+    """
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self._pending = deque(config.faults)  # sorted by at_tuple
+        #: worker id → queue of armed corruption modes (one per frame).
+        self._armed: dict[str, deque[str]] = {}
+        #: worker id → active pipe stall.
+        self._stalls: dict[str, _Stall] = {}
+        #: (resume_at, pid) of scheduled SIGCONTs.
+        self._sigconts: list[tuple[float, int]] = []
+        self.injected: Counter[str] = Counter()
+
+    # -- plan execution ----------------------------------------------------
+    def on_ingest(self, cluster) -> None:
+        """Fire every fault due at the cluster's current ingest count."""
+        while (self._pending
+               and self._pending[0].at_tuple <= cluster.tuples_ingested):
+            fault = self._pending.popleft()
+            self._fire(cluster, fault)
+
+    def _fire(self, cluster, fault) -> None:
+        worker_id = cluster.worker_ids[fault.worker
+                                       % len(cluster.worker_ids)]
+        if isinstance(fault, KillWorker):
+            cluster.kill_worker(worker_id)
+        elif isinstance(fault, StallWorker):
+            pid = cluster.stop_worker(worker_id)
+            if pid is not None:
+                self._sigconts.append(
+                    (time.monotonic() + fault.duration, pid))
+        elif isinstance(fault, HangWorker):
+            cluster.hang_worker(worker_id, fault.seconds)
+        elif isinstance(fault, CorruptFrame):
+            arms = self._armed.setdefault(worker_id, deque())
+            arms.extend([fault.mode] * fault.count)
+        elif isinstance(fault, PipeStall):
+            deadline = time.monotonic() + fault.duration
+            stall = self._stalls.get(worker_id)
+            if stall is None:
+                self._stalls[worker_id] = _Stall(deadline)
+            else:
+                # Overlapping stalls extend the hold; frames stay FIFO.
+                stall.deadline = max(stall.deadline, deadline)
+        else:  # pragma: no cover - plan validation prevents this
+            raise TypeError(f"unknown fault {fault!r}")
+        key = (f"corrupt_{fault.mode}" if isinstance(fault, CorruptFrame)
+               else fault.kind)
+        self.injected[key] += 1
+
+    # -- frame boundary ----------------------------------------------------
+    def on_output_frame(self, worker_id: str, data: bytes) -> list[bytes]:
+        """Filter one raw frame read from ``worker_id``'s pipe."""
+        stall = self._stalls.get(worker_id)
+        if stall is not None:
+            # Hold unconditionally while the stall exists — even past
+            # the deadline — so release_due drains strictly in order.
+            stall.frames.append(data)
+            return []
+        arms = self._armed.get(worker_id)
+        if arms:
+            return corrupt_bytes(data, arms.popleft())
+        return [data]
+
+    def release_due(self) -> list[tuple[str, bytes]]:
+        """Expired stalls' frames, per-worker FIFO, ready to process."""
+        now = time.monotonic()
+        released: list[tuple[str, bytes]] = []
+        for worker_id in [w for w, s in self._stalls.items()
+                          if s.deadline <= now]:
+            stall = self._stalls.pop(worker_id)
+            released.extend((worker_id, frame) for frame in stall.frames)
+        return released
+
+    # -- timers ------------------------------------------------------------
+    def tick(self, cluster=None) -> None:
+        """Deliver due SIGCONTs (dead pids are ignored — the supervisor
+        may have killed the stopped worker first)."""
+        now = time.monotonic()
+        due = [pid for at, pid in self._sigconts if at <= now]
+        self._sigconts = [(at, pid) for at, pid in self._sigconts
+                          if at > now]
+        for pid in due:
+            WorkerHandle.resume(pid)
+
+    def resume_all(self) -> None:
+        """SIGCONT every still-scheduled pid immediately (cluster
+        shutdown: nothing may stay stopped past the run)."""
+        for _, pid in self._sigconts:
+            WorkerHandle.resume(pid)
+        self._sigconts.clear()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """Every scheduled fault has fired and nothing is held back."""
+        return (not self._pending and not self._sigconts
+                and not self._stalls
+                and not any(self._armed.values()))
+
+    @property
+    def holding(self) -> int:
+        """Frames currently withheld by active pipe stalls."""
+        return sum(len(s.frames) for s in self._stalls.values())

@@ -1,0 +1,223 @@
+"""Fault plans for the multiprocess runtime.
+
+A chaos run is described by a :class:`ChaosConfig`: a validated,
+ingest-index-sorted tuple of fault events, each a frozen dataclass in
+the style of :mod:`repro.simulation.faults` — declarative data, no
+behaviour.  ``at_tuple`` is the coordinator's ingest count at which the
+fault fires (``0`` = before the first tuple); ``worker`` is an index
+into the cluster's worker pool, taken modulo the pool size so plans
+are portable across pool configurations.
+
+:func:`random_fault_plan` draws a deterministic plan from a seeded
+``random.Random`` — the soak harness's source of adversarial but
+reproducible schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import ClassVar, Union
+
+from ..errors import ConfigurationError
+
+#: Corruption modes of :class:`CorruptFrame`.
+CORRUPT_MODES = ("flip", "truncate", "duplicate")
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """SIGKILL one worker process: the classic fail-stop crash."""
+
+    at_tuple: int
+    worker: int
+    kind: ClassVar[str] = "kill"
+
+    def __post_init__(self) -> None:
+        _validate_base(self)
+
+
+@dataclass(frozen=True)
+class StallWorker:
+    """SIGSTOP one worker, SIGCONT it ``duration`` seconds later.
+
+    The hung-but-alive case: the process passes liveness checks but
+    answers nothing.  Short stalls are absorbed (the backlog settles on
+    resume); stalls outliving the heartbeat/deadline escalation get the
+    worker killed and replayed — either way exactly-once must hold.
+    """
+
+    at_tuple: int
+    worker: int
+    duration: float = 0.3
+    kind: ClassVar[str] = "stall"
+
+    def __post_init__(self) -> None:
+        _validate_base(self)
+        _validate_duration(self.duration)
+
+
+@dataclass(frozen=True)
+class HangWorker:
+    """Block one worker's command loop in-band for ``seconds``.
+
+    Unlike :class:`StallWorker` the process keeps running — this
+    models a pathological computation inside the loop, injected via
+    the :class:`~repro.parallel.commands.Hang` command.
+    """
+
+    at_tuple: int
+    worker: int
+    seconds: float = 0.3
+    kind: ClassVar[str] = "hang"
+
+    def __post_init__(self) -> None:
+        _validate_base(self)
+        _validate_duration(self.seconds)
+
+
+@dataclass(frozen=True)
+class CorruptFrame:
+    """Corrupt the next ``count`` output frames of one worker.
+
+    Injected at the codec boundary on the coordinator side, so the
+    worker itself is untouched — this is the torn/garbled-channel
+    case.  Modes: ``flip`` XORs one payload byte (CRC must catch it),
+    ``truncate`` cuts the frame short (header/length validation must
+    catch it), ``duplicate`` delivers the frame twice (the settlement
+    path must treat the second as a redundant ack).
+    """
+
+    at_tuple: int
+    worker: int
+    mode: str = "flip"
+    count: int = 1
+    kind: ClassVar[str] = "corrupt"
+
+    def __post_init__(self) -> None:
+        _validate_base(self)
+        if self.mode not in CORRUPT_MODES:
+            raise ConfigurationError(
+                f"unknown corruption mode {self.mode!r} "
+                f"(expected one of {CORRUPT_MODES})")
+        if self.count < 1:
+            raise ConfigurationError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class PipeStall:
+    """Withhold one worker's output frames for ``duration`` seconds.
+
+    Frames produced while the stall is active are buffered by the
+    injector and released later *in order* — per-worker FIFO is
+    preserved, because settled frames must remain a seq-order prefix
+    (out-of-order settlement would break the restore/redelivery
+    disjointness the exactly-once argument rests on).  From the
+    coordinator's view this is indistinguishable from a hung worker,
+    so it may trigger a kill: the late frames then surface as
+    redundant acks, never as duplicates.
+    """
+
+    at_tuple: int
+    worker: int
+    duration: float = 0.3
+    kind: ClassVar[str] = "pipe_stall"
+
+    def __post_init__(self) -> None:
+        _validate_base(self)
+        _validate_duration(self.duration)
+
+
+Fault = Union[KillWorker, StallWorker, HangWorker, CorruptFrame, PipeStall]
+
+#: Every fault kind the generator can draw, including the three
+#: corruption modes spelled out (``corrupt_flip`` etc.).
+ALL_FAULT_KINDS = ("kill", "stall", "hang", "corrupt_flip",
+                   "corrupt_truncate", "corrupt_duplicate", "pipe_stall")
+
+
+def _validate_base(fault) -> None:
+    if fault.at_tuple < 0:
+        raise ConfigurationError("at_tuple must be >= 0")
+    if fault.worker < 0:
+        raise ConfigurationError("worker index must be >= 0")
+
+
+def _validate_duration(seconds: float) -> None:
+    if seconds <= 0:
+        raise ConfigurationError("durations must be positive")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A validated fault schedule for one cluster run.
+
+    Passing a ``ChaosConfig`` (via a :class:`~repro.chaos.injector.
+    ChaosInjector`) is the *only* way faults reach a cluster — a
+    cluster built without one runs exactly the production code paths.
+    """
+
+    faults: tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Keep the schedule sorted by firing index so the injector can
+        # consume it as a queue (stable: ties fire in authoring order).
+        object.__setattr__(self, "faults", tuple(
+            sorted(self.faults, key=lambda f: f.at_tuple)))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        """The distinct fault kinds present, sorted."""
+        return tuple(sorted({f.kind for f in self.faults}))
+
+
+def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
+                      faults: int = 3,
+                      kinds: tuple[str, ...] = ALL_FAULT_KINDS,
+                      min_duration: float = 0.05,
+                      max_duration: float = 0.3) -> ChaosConfig:
+    """Draw a deterministic randomized fault plan.
+
+    ``rng`` may be a seed (int) or a ``random.Random``; the same seed
+    and arguments always produce the same plan.  Fault indices are
+    spread over the middle of the run (``[n/10, 9n/10)``) so every
+    fault fires while tuples are still arriving and recovery is
+    exercised under ingest pressure, not during drain.
+    """
+    if n_tuples < 1:
+        raise ConfigurationError("n_tuples must be >= 1")
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    if faults < 0:
+        raise ConfigurationError("faults must be >= 0")
+    unknown = set(kinds) - set(ALL_FAULT_KINDS)
+    if unknown:
+        raise ConfigurationError(f"unknown fault kinds {sorted(unknown)}")
+    if not kinds:
+        raise ConfigurationError("need at least one fault kind")
+    if isinstance(rng, int):
+        rng = Random(rng)
+
+    lo, hi = max(1, n_tuples // 10), max(2, 9 * n_tuples // 10)
+    events: list[Fault] = []
+    for _ in range(faults):
+        kind = rng.choice(kinds)
+        at = rng.randrange(lo, hi)
+        worker = rng.randrange(workers)
+        duration = rng.uniform(min_duration, max_duration)
+        if kind == "kill":
+            events.append(KillWorker(at, worker))
+        elif kind == "stall":
+            events.append(StallWorker(at, worker, duration))
+        elif kind == "hang":
+            events.append(HangWorker(at, worker, duration))
+        elif kind == "pipe_stall":
+            events.append(PipeStall(at, worker, duration))
+        else:
+            mode = kind.removeprefix("corrupt_")
+            events.append(CorruptFrame(at, worker, mode,
+                                       count=rng.randrange(1, 3)))
+    return ChaosConfig(faults=tuple(events))

@@ -1,0 +1,243 @@
+"""The standing soak harness: workload × randomized faults, scored.
+
+One soak run is ``rounds`` independent cluster runs.  Each round draws
+a deterministic workload and a deterministic fault plan from its own
+sub-seed, runs them against a real :class:`~repro.parallel.
+parallel_cluster.ParallelCluster` with an attached
+:class:`~repro.chaos.injector.ChaosInjector`, and scores the settled
+results against :func:`~repro.harness.reference.reference_join` — the
+independent window-semantics oracle.  Routing alternates between hash
+(equi-join) and random (band-join) rounds, so both strategies take the
+same beating.
+
+The verdict is binary per round: zero lost, zero duplicated, zero
+spurious results, or the round fails.  :func:`run_soak` aggregates the
+rounds into a JSON-serialisable *scorecard* (``ok`` only when every
+round passed) — the artifact the E18 benchmark and the CI chaos-smoke
+job gate on, written by :func:`write_scorecard`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from random import Random
+
+from ..core.biclique import BicliqueConfig
+from ..core.predicates import BandJoinPredicate, EquiJoinPredicate
+from ..core.tuples import StreamTuple
+from ..core.windows import TimeWindow
+from ..errors import ConfigurationError
+from ..harness.reference import check_exactly_once, reference_join
+from ..parallel import ParallelCluster, ParallelConfig
+from .injector import ChaosInjector
+from .plan import ALL_FAULT_KINDS, random_fault_plan
+
+#: Decorrelates per-round sub-seeds drawn from one soak seed.
+_SEED_STRIDE = 10007
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak campaign: how many rounds, how hard, which faults.
+
+    The defaults are the CI smoke shape: 10 short rounds, 3 faults
+    each, every fault kind enabled, ~1 minute wall on two cores.
+    """
+
+    rounds: int = 10
+    seed: int = 2015
+    tuples_per_round: int = 320
+    faults_per_round: int = 3
+    workers: int = 2
+    kinds: tuple[str, ...] = ALL_FAULT_KINDS
+    window: float = 0.2
+    key_space: int = 12
+    value_space: int = 40
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ConfigurationError("rounds must be >= 1")
+        if self.tuples_per_round < 10:
+            raise ConfigurationError("tuples_per_round must be >= 10")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.faults_per_round < 0:
+            raise ConfigurationError("faults_per_round must be >= 0")
+
+
+@dataclass(frozen=True)
+class RoundScore:
+    """Outcome of one round, JSON-shaped via ``dataclasses.asdict``."""
+
+    round: int
+    seed: int
+    mode: str
+    faults: tuple[str, ...]
+    expected: int
+    produced: int
+    lost: int
+    duplicated: int
+    spurious: int
+    restarts: int
+    quarantines: int
+    redeliveries: int
+    redundant_acks: int
+    corrupt_frames: int
+    duration: float
+    ok: bool
+    failure: str = ""
+    faults_injected: dict = field(default_factory=dict)
+
+
+def make_workload(rng: Random, n: int, *, key_space: int = 12,
+                  value_space: int = 40) -> list[StreamTuple]:
+    """A deterministic interleaved two-relation arrival sequence
+    (timestamps advance by small random steps so punctuations and
+    window expiry both trigger mid-round)."""
+    arrivals: list[StreamTuple] = []
+    ts = 0.0
+    seqs = {"R": 0, "S": 0}
+    for _ in range(n):
+        ts += rng.uniform(0.0005, 0.003)
+        relation = "R" if rng.random() < 0.5 else "S"
+        arrivals.append(StreamTuple(
+            relation=relation, ts=ts,
+            values={"k": rng.randint(0, key_space),
+                    "v": rng.randint(0, value_space)},
+            seq=seqs[relation]))
+        seqs[relation] += 1
+    return arrivals
+
+
+def _round_parallel_config(config: SoakConfig) -> ParallelConfig:
+    # Tuned for fault density, not throughput: small batches so killed
+    # workers hold unacked work, tight supervision so every fault is
+    # noticed while tuples still arrive, and a restart budget that a
+    # plan of pure kills cannot exhaust (each fault burns at most one
+    # restart, plus slack for deadline kills of stalled pipes).
+    return ParallelConfig(
+        workers=config.workers, transfer_batch=8, max_unacked=8,
+        supervise_every=16, heartbeat_interval=0.2, heartbeat_timeout=1.0,
+        restart_limit=2 * config.faults_per_round + 4,
+        command_deadline=0.5, deadline_retries=2, deadline_backoff_cap=4)
+
+
+def run_round(config: SoakConfig, round_index: int) -> RoundScore:
+    """Run and score one workload × fault-plan round."""
+    round_seed = config.seed * _SEED_STRIDE + round_index
+    rng = Random(round_seed)
+    arrivals = make_workload(rng, config.tuples_per_round,
+                             key_space=config.key_space,
+                             value_space=config.value_space)
+    # Alternate routing strategies across rounds: equi-join resolves to
+    # hash routing, band-join to random routing.
+    if round_index % 2 == 0:
+        mode, predicate = "hash", EquiJoinPredicate("k", "k")
+    else:
+        mode, predicate = "random", BandJoinPredicate("v", "v", 1.0)
+    window = TimeWindow(config.window)
+    plan = random_fault_plan(rng, len(arrivals), config.workers,
+                             faults=config.faults_per_round,
+                             kinds=config.kinds)
+    injector = ChaosInjector(plan)
+    cluster = ParallelCluster(
+        BicliqueConfig(window=window, r_joiners=2, s_joiners=2, routers=2,
+                       archive_period=0.05, punctuation_interval=0.02),
+        predicate, _round_parallel_config(config), chaos=injector)
+
+    started = time.monotonic()
+    failure = ""
+    report = None
+    with cluster:
+        try:
+            results, report = cluster.run(arrivals)
+        except Exception as exc:  # noqa: BLE001 - scored, not raised
+            # A crashed coordinator is the worst score a round can get:
+            # the whole point of the hardening is that no injected
+            # fault reaches here.
+            failure = f"{type(exc).__name__}: {exc}"
+            results = cluster.results
+    duration = time.monotonic() - started
+
+    r_stream = [t for t in arrivals if t.relation == "R"]
+    s_stream = [t for t in arrivals if t.relation == "S"]
+    expected = reference_join(r_stream, s_stream, predicate, window)
+    check = check_exactly_once(results, expected)
+    return RoundScore(
+        round=round_index, seed=round_seed, mode=mode,
+        faults=tuple(f"{f.kind}@{f.at_tuple}" for f in plan.faults),
+        expected=check.expected, produced=check.produced,
+        lost=check.missing, duplicated=check.duplicates,
+        spurious=check.spurious,
+        restarts=report.restarts if report else cluster.restarts,
+        quarantines=cluster.quarantines,
+        redeliveries=cluster.redeliveries,
+        redundant_acks=cluster.redundant_acks,
+        corrupt_frames=cluster.corrupt_frames,
+        duration=duration,
+        ok=check.ok and not failure,
+        failure=failure,
+        faults_injected=dict(injector.injected))
+
+
+def run_soak(config: SoakConfig | None = None, *,
+             progress=None) -> dict:
+    """Run a full soak campaign; returns the scorecard dict.
+
+    ``progress`` (optional) is called with each :class:`RoundScore` as
+    it completes — the CLI uses it to print a live table.
+    """
+    config = config if config is not None else SoakConfig()
+    scores = []
+    for index in range(config.rounds):
+        score = run_round(config, index)
+        if progress is not None:
+            progress(score)
+        scores.append(score)
+
+    totals = {
+        "rounds": len(scores),
+        "rounds_failed": sum(1 for s in scores if not s.ok),
+        "expected": sum(s.expected for s in scores),
+        "produced": sum(s.produced for s in scores),
+        "lost": sum(s.lost for s in scores),
+        "duplicated": sum(s.duplicated for s in scores),
+        "spurious": sum(s.spurious for s in scores),
+        "restarts": sum(s.restarts for s in scores),
+        "quarantines": sum(s.quarantines for s in scores),
+        "redeliveries": sum(s.redeliveries for s in scores),
+        "redundant_acks": sum(s.redundant_acks for s in scores),
+        "duration": sum(s.duration for s in scores),
+    }
+    faults_injected: dict[str, int] = {}
+    for score in scores:
+        for kind, count in score.faults_injected.items():
+            faults_injected[kind] = faults_injected.get(kind, 0) + count
+    totals["faults_injected"] = faults_injected
+    return {
+        "harness": "repro.chaos.soak",
+        "config": asdict(config),
+        "rounds": [asdict(s) for s in scores],
+        "totals": totals,
+        "ok": all(s.ok for s in scores),
+    }
+
+
+def write_scorecard(scorecard: dict, path) -> None:
+    """Write one scorecard as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(scorecard, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_round(score: RoundScore) -> str:
+    """One fixed-width table line per round (CLI progress output)."""
+    verdict = "ok" if score.ok else "FAIL"
+    faults = ",".join(score.faults) or "-"
+    return (f"round {score.round:2d} [{score.mode:>6}] "
+            f"expected={score.expected:4d} lost={score.lost} "
+            f"dup={score.duplicated} restarts={score.restarts} "
+            f"quarantines={score.quarantines} {score.duration:5.1f}s "
+            f"{verdict}  {faults}")

@@ -494,6 +494,7 @@ class BicliqueEngine:
         """
         if count < 1:
             raise ScalingError("router pool needs at least one instance")
+        grew = len(self.routers) < count
         while len(self.routers) < count:
             # Never reuse a router id: in-flight envelopes from a
             # previously removed router must not alias a new counter
@@ -503,11 +504,22 @@ class BicliqueEngine:
             # everything currently in flight.
             counter_floor = max(
                 (router.next_counter for router in self.routers), default=0)
+            # Align the *survivors* to the same floor too: pool counters
+            # drift apart across resizes (each newcomer floors at the
+            # then-max), and a skewed pool stamps keys that invert
+            # arrival order — see _realign_router_pool.
+            for router in self.routers:
+                router.advance_counter_to(counter_floor)
             self._add_router(f"router{self._router_seq}",
                              counter_floor=counter_floor)
             self._router_seq += 1
+        if grew:
+            self._realign_router_pool()
         while len(self.routers) > count:
             router = self.routers.pop()
+            # NB: removal needs no realignment — the queue preserves the
+            # rotation position relative to the survivors, so the
+            # counters keep following the rotation.
             # Anything parked under backpressure must go out before the
             # final punctuation, which promises every stamped counter
             # has been sent.
@@ -518,6 +530,35 @@ class BicliqueEngine:
                 f"{ENTRY_DESTINATION}.{ROUTER_GROUP}", router.router_id)
             for joiner in self.joiners.values():
                 joiner.unregister_router(router.router_id)
+
+    def _realign_router_pool(self) -> None:
+        """Re-establish arrival-order stamping after a pool change.
+
+        The ordering protocol releases envelopes in global
+        ``(counter, router_id)`` order, which extends *arrival* order
+        only while the pool's counters follow the entry-queue rotation.
+        Inserting a router mid-cycle (scale-out, crash restart) breaks
+        that: the newcomer is floored at the pool max while the
+        survivors sit mid-rotation, so a later tuple can be stamped
+        with a smaller key than an earlier one — at a joiner the later
+        probe then releases *before* the earlier store and the pair is
+        silently missed (thesis Fig. 8 (c); the fuzz-found
+        hash+resize result loss).
+
+        The repair: every pool counter is advanced to the common floor
+        F = max(next_counter) and the entry queue's round-robin
+        rotation is restarted at the smallest router id.  Stamps then
+        proceed ``(F, router0), (F, router1), …, (F+1, router0), …`` —
+        strictly increasing in dispatch order — and every previously
+        stamped key is at most ``(F-1, ·)``, so the extended order is
+        consistent with everything already in flight.
+        """
+        floor = max((r.next_counter for r in self.routers), default=0)
+        for router in self.routers:
+            router.advance_counter_to(floor)
+        entry_queue = self.broker.queue(
+            f"{ENTRY_DESTINATION}.{ROUTER_GROUP}")
+        entry_queue.reset_rotation(sort=True)
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -702,6 +743,7 @@ class BicliqueEngine:
         pool_floor = max((r.next_counter for r in self.routers), default=0)
         router = self._add_router(router_id,
                                   counter_floor=max(counter, pool_floor))
+        self._realign_router_pool()
         if self.tracer.enabled:
             self.tracer.record(SPAN_SCALE, 0.0, router_id,
                                detail="restart_router")

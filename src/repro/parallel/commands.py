@@ -139,6 +139,22 @@ class Ping:
 
 
 @dataclass(frozen=True)
+class Hang:
+    """Chaos injection: block the command loop for ``seconds``.
+
+    Models a worker stuck in a long synchronous computation (a GC
+    pause, a pathological probe): the process stays alive but answers
+    nothing — not even pings — until the sleep ends.  Batches queued
+    behind the hang settle late; if the hang outlives the heartbeat
+    timeout the supervisor kills and replaces the worker, and the
+    command (being neither a Deliver nor ledgered) is *not* replayed.
+    Only the chaos injector sends this.
+    """
+
+    seconds: float
+
+
+@dataclass(frozen=True)
 class Drain:
     """End-of-stream: flush every joiner, backhaul metrics and spans.
 

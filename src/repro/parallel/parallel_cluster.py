@@ -53,16 +53,15 @@ from ..core.recovery import ReplayLog
 from ..core.routing import (HashRouting, JoinerGroup, RandomRouting,
                             RoutingStrategy)
 from ..core.tuples import JoinResult, StreamTuple
-from ..errors import (CodecError, ConfigurationError, ParallelError,
-                      WorkerCrashError)
+from ..errors import ConfigurationError, ParallelError, WorkerCrashError
 from ..obs.registry import MetricsRegistry
 from ..obs.stages import StageBreakdown, compute_stage_breakdown
 from ..obs.trace import (NOOP_TRACER, SPAN_ENQUEUE, SPAN_ROUTE, SPAN_SCALE,
                          NoopTracer)
 from .codec import encode_frame, try_decode_frame
-from .commands import (BatchDone, Deliver, Drain, Drained, Pong, Punctuate,
-                       Restore, SnapshotResult, Stop, UnitSpec, WorkerFailure,
-                       WorkerSpec)
+from .commands import (BatchDone, Deliver, Drain, Drained, Hang, Pong,
+                       Punctuate, Restore, SnapshotResult, Stop, UnitSpec,
+                       WorkerFailure, WorkerSpec)
 from .worker import WorkerHandle
 
 #: Largest router pool whose id string sort equals its index order
@@ -93,6 +92,19 @@ class ParallelConfig:
             pumping) every this-many ingested tuples.
         restart_limit: replacements allowed per worker before the run
             fails with :class:`~repro.errors.WorkerCrashError`.
+        command_deadline: seconds a delivered batch may stay
+            unacknowledged before the supervisor escalates (``None``
+            disables the deadline path; heartbeats still apply).  The
+            escalation is capped-exponential: each miss doubles the
+            allowance (up to ``deadline_backoff_cap`` × the base) and
+            probes the worker with a ping; only after
+            ``deadline_retries`` probes is the worker killed and
+            replaced — so a merely *slow* worker costs pings, not a
+            slot of the restart budget.
+        deadline_retries: ping probes sent on successive deadline
+            misses before the worker is killed and recovered.
+        deadline_backoff_cap: ceiling on the exponential backoff
+            multiplier applied to ``command_deadline`` per strike.
     """
 
     workers: int = 2
@@ -103,6 +115,9 @@ class ParallelConfig:
     heartbeat_timeout: float = 30.0
     supervise_every: int = 64
     restart_limit: int = 3
+    command_deadline: float | None = None
+    deadline_retries: int = 2
+    deadline_backoff_cap: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -117,6 +132,12 @@ class ParallelConfig:
             raise ConfigurationError("restart_limit must be >= 0")
         if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
             raise ConfigurationError("heartbeat settings must be positive")
+        if self.command_deadline is not None and self.command_deadline <= 0:
+            raise ConfigurationError("command_deadline must be positive")
+        if self.deadline_retries < 0:
+            raise ConfigurationError("deadline_retries must be >= 0")
+        if self.deadline_backoff_cap < 1:
+            raise ConfigurationError("deadline_backoff_cap must be >= 1")
 
 
 @dataclass
@@ -139,6 +160,8 @@ class ParallelReport:
         results: join results produced (exactly-once settled).
         restarts: worker processes replaced after crashes/hangs.
         workers: size of the worker pool.
+        quarantines: live workers replaced for sending corrupt frames.
+        redeliveries: batches re-sent to replacement workers.
         metrics: the merged coordinator+worker registry snapshot.
         stages: per-stage latency decomposition (traced runs only).
         worker_stats: worker id → per-unit processing counters.
@@ -149,6 +172,8 @@ class ParallelReport:
     results: int
     restarts: int
     workers: int
+    quarantines: int = 0
+    redeliveries: int = 0
     metrics: dict[str, float] = field(default_factory=dict)
     stages: StageBreakdown | None = None
     worker_stats: dict[str, dict] = field(default_factory=dict)
@@ -169,7 +194,7 @@ class ParallelCluster:
 
     def __init__(self, config: BicliqueConfig, predicate: JoinPredicate,
                  parallel: ParallelConfig | None = None, *,
-                 tracer: NoopTracer = NOOP_TRACER) -> None:
+                 tracer: NoopTracer = NOOP_TRACER, chaos=None) -> None:
         if config.routers > MAX_ROUTERS:
             raise ConfigurationError(
                 f"the parallel runtime supports at most {MAX_ROUTERS} "
@@ -209,6 +234,20 @@ class ParallelCluster:
         self.tuples_ingested = 0
         self.restarts = 0
         self.batches_sent = 0
+        #: Live workers replaced because their channel produced garbage.
+        self.quarantines = 0
+        #: Unacked batches re-sent to replacement workers.
+        self.redeliveries = 0
+        #: Frames that failed codec validation (CRC/header/length).
+        self.corrupt_frames = 0
+        #: BatchDone frames whose seq was already settled (duplicate or
+        #: stale settlement frames — tolerated, never re-applied).
+        self.redundant_acks = 0
+        #: Workers killed by per-command deadline escalation.
+        self.deadline_kills = 0
+        #: Chaos injector (None outside chaos runs).  The cluster only
+        #: calls its hook methods; all fault scheduling lives there.
+        self._chaos = chaos
         self.registry = MetricsRegistry()
         self._ingests_since_supervise = 0
         self._closed = False
@@ -291,6 +330,9 @@ class ParallelCluster:
         """
         if self._closed:
             raise ParallelError("cluster is closed")
+        if self._chaos is not None:
+            # Fire every fault scheduled at or before this ingest index.
+            self._chaos.on_ingest(self)
         self._ingests_since_supervise += 1
         if self._ingests_since_supervise >= self.parallel.supervise_every:
             self._ingests_since_supervise = 0
@@ -384,6 +426,13 @@ class ParallelCluster:
     def _pump(self, timeout: float) -> None:
         """Apply every output frame currently readable, waiting up to
         ``timeout`` seconds for the first one."""
+        if self._chaos is not None:
+            # Stalled frames whose hold expired re-enter here, in the
+            # per-worker order they were withheld in (FIFO preserved).
+            for worker_id, data in self._chaos.release_due():
+                handle = self._handle_by_id(worker_id)
+                if handle is not None:
+                    self._handle_frame(handle, data)
         by_conn = {id(handle.conn): handle for handle in self.handles
                    if handle.conn is not None and not handle.conn.closed}
         if not by_conn:
@@ -391,25 +440,55 @@ class ParallelCluster:
         ready = _wait_connections(
             [handle.conn for handle in by_conn.values()], timeout)
         for conn in ready:
-            handle = by_conn[id(conn)]
-            try:
-                while conn.poll(0):
-                    frame = conn.recv_bytes()
-                    ok, obj = try_decode_frame(frame)
-                    if not ok:
-                        raise CodecError(
-                            f"corrupt frame from {handle.worker_id}")
-                    self._apply(handle, obj)
-            except (EOFError, OSError, CodecError):
-                # The worker died (EOF / torn frame): recover it.
-                self._recover(handle)
+            self._read_conn(by_conn[id(conn)])
+
+    def _read_conn(self, handle: WorkerHandle) -> None:
+        """Drain one worker's output pipe, surviving every frame fault.
+
+        EOF/OSError mean the process died → normal recovery.  A frame
+        that fails codec validation from a *live* worker means the
+        channel can no longer be trusted → quarantine (kill + recover
+        without settling anything else from the pipe), never a
+        coordinator crash.
+        """
+        conn = handle.conn
+        try:
+            while conn.poll(0):
+                data = conn.recv_bytes()
+                if self._chaos is not None:
+                    payloads = self._chaos.on_output_frame(
+                        handle.worker_id, data)
+                else:
+                    payloads = (data,)
+                for payload in payloads:
+                    if not self._handle_frame(handle, payload):
+                        return
+        except (EOFError, OSError):
+            # The worker died: recover it (complete frames it left in
+            # the pipe still settle — see _drain_leftover).
+            self._recover(handle)
+
+    def _handle_frame(self, handle: WorkerHandle, data: bytes) -> bool:
+        """Decode and apply one raw frame; returns False when the frame
+        was corrupt and the worker has been quarantined (stop reading)."""
+        ok, frame = try_decode_frame(data)
+        if not ok:
+            self.corrupt_frames += 1
+            self._quarantine(handle)
+            return False
+        self._apply(handle, frame)
+        return True
 
     def _apply(self, handle: WorkerHandle, frame) -> None:
         if isinstance(frame, BatchDone):
             if frame.seq not in handle.unacked:
-                raise ParallelError(
-                    f"{handle.worker_id} acknowledged unknown batch "
-                    f"seq={frame.seq}")
+                # Already settled: a duplicated frame, or a stalled
+                # frame from a previous incarnation released after its
+                # batch was redelivered and re-settled.  First
+                # settlement wins; re-applying would double results and
+                # replay-log records, so drop it (counted).
+                self.redundant_acks += 1
+                return
             command = handle.ack(frame.seq)
             # Log-on-ack: only settled stores enter the replay log, so
             # restore material and redelivered batches stay disjoint.
@@ -442,6 +521,9 @@ class ParallelCluster:
     # Supervision and recovery
     # ------------------------------------------------------------------
     def _supervise(self) -> None:
+        if self._chaos is not None:
+            # Due SIGCONTs (and any other timer-driven chaos work).
+            self._chaos.tick(self)
         for handle in self.handles:
             if not handle.alive:
                 self._recover(handle)
@@ -452,17 +534,68 @@ class ParallelCluster:
                 # treat it like any other dead worker.
                 handle.kill()
                 self._recover(handle)
+            elif self._deadline_overdue(handle):
+                continue  # escalation handled (probe or kill+recover)
             else:
                 handle.maybe_ping(self.parallel.heartbeat_interval)
 
-    def _recover(self, handle: WorkerHandle) -> None:
+    def _deadline_overdue(self, handle: WorkerHandle) -> bool:
+        """Per-command deadline escalation for one live worker.
+
+        The oldest outstanding batch gets ``command_deadline`` seconds,
+        doubled per strike up to ``deadline_backoff_cap``×.  Each miss
+        below ``deadline_retries`` costs a ping probe (a slow worker
+        that eventually acks resets the strikes for free); the final
+        miss kills and recovers — spending the restart budget only
+        after the backoff ladder is exhausted.
+        """
+        deadline = self.parallel.command_deadline
+        if deadline is None:
+            return False
+        age = handle.oldest_outstanding_age()
+        if age is None:
+            return False
+        allowance = deadline * min(2 ** handle.deadline_strikes,
+                                   self.parallel.deadline_backoff_cap)
+        if age <= allowance:
+            return False
+        if handle.deadline_strikes < self.parallel.deadline_retries:
+            handle.deadline_strikes += 1
+            handle.probe()
+            return True
+        self.deadline_kills += 1
+        handle.kill()
+        self._recover(handle)
+        return True
+
+    def _quarantine(self, handle: WorkerHandle) -> None:
+        """Replace a live worker whose channel produced a corrupt frame.
+
+        The rest of its pipe is *not* settled: settled frames must form
+        a seq-order prefix (restore material and redelivered batches
+        are disjoint only then), and everything after a corrupt frame
+        is past the tear — it all gets redelivered instead.
+        """
+        self.quarantines += 1
+        if handle.alive:
+            handle.kill()
+        self._recover(handle, settle_pipe=False)
+
+    def _recover(self, handle: WorkerHandle, *,
+                 settle_pipe: bool = True) -> None:
         """Replace a dead worker: drain its last frames, respawn,
         restore acked window state, redeliver the unacked suffix."""
         if handle.restarts >= self.parallel.restart_limit:
             raise WorkerCrashError(
                 f"worker {handle.worker_id} exceeded its restart budget "
                 f"({self.parallel.restart_limit})")
-        self._drain_leftover(handle)
+        if handle.alive:
+            # Defensive: every caller kills first, but respawning while
+            # the old incarnation still runs would leak a live process
+            # that keeps writing into a pipe nobody reads.
+            handle.kill()
+        if settle_pipe:
+            self._drain_leftover(handle)
         handle.respawn()
         self.restarts += 1
         for unit in handle.units:
@@ -477,6 +610,7 @@ class ParallelCluster:
                 handle.send(Restore(unit_id=unit.unit_id,
                                     envelopes=snapshot))
         redelivered = handle.redeliver_outstanding()
+        self.redeliveries += redelivered
         if self.tracer.enabled:
             self.tracer.record(SPAN_SCALE, time.time() - self._epoch,
                                handle.worker_id,
@@ -503,6 +637,18 @@ class ParallelCluster:
                 break
             self._apply(handle, frame)
 
+    def _handle_by_id(self, worker_id: str) -> WorkerHandle | None:
+        for handle in self.handles:
+            if handle.worker_id == worker_id:
+                return handle
+        return None
+
+    def _require_handle(self, worker_id: str) -> WorkerHandle:
+        handle = self._handle_by_id(worker_id)
+        if handle is None:
+            raise ParallelError(f"unknown worker {worker_id!r}")
+        return handle
+
     def kill_worker(self, worker_id: str) -> None:
         """Fault injection: SIGKILL one worker process mid-run.
 
@@ -510,11 +656,32 @@ class ParallelCluster:
         supervise tick or pump) and runs the recovery path; the run's
         results remain exactly-once.
         """
-        for handle in self.handles:
-            if handle.worker_id == worker_id:
-                handle.kill()
-                return
-        raise ParallelError(f"unknown worker {worker_id!r}")
+        self._require_handle(worker_id).kill()
+
+    def stop_worker(self, worker_id: str) -> int | None:
+        """Fault injection: SIGSTOP one worker (hung-but-alive).
+
+        Returns the stopped pid — SIGCONT that pid (not the worker id)
+        to resume, since supervision may kill and replace the stopped
+        incarnation first.  Exactly-once either way: a resumed worker
+        settles its backlog; a replaced one gets it redelivered, and
+        any late frames the old incarnation wrote land as redundant
+        acks.
+        """
+        return self._require_handle(worker_id).stop()
+
+    def continue_worker(self, pid: int) -> None:
+        """Fault injection: SIGCONT a pid stopped by :meth:`stop_worker`
+        (no-op when the supervisor already killed it)."""
+        WorkerHandle.resume(pid)
+
+    def hang_worker(self, worker_id: str, seconds: float) -> None:
+        """Fault injection: block one worker's command loop in-band.
+
+        Unlike SIGSTOP the process keeps running — it is the command
+        loop that stalls, exactly like a pathological computation.
+        """
+        self._require_handle(worker_id).send(Hang(seconds=seconds))
 
     # ------------------------------------------------------------------
     # Drain and reporting
@@ -560,6 +727,8 @@ class ParallelCluster:
             results=self.results_count,
             restarts=self.restarts,
             workers=len(self.handles),
+            quarantines=self.quarantines,
+            redeliveries=self.redeliveries,
             metrics=self.registry.snapshot(),
             stages=stages,
             worker_stats={handle.worker_id: dict(handle.drained.stats)
@@ -588,6 +757,32 @@ class ParallelCluster:
             "repro_parallel_worker_restarts_total",
             "Worker processes replaced after crashes or hangs."
             ).set_total(self.restarts)
+        self.registry.counter(
+            "repro_parallel_quarantines_total",
+            "Live workers replaced for sending corrupt frames."
+            ).set_total(self.quarantines)
+        self.registry.counter(
+            "repro_parallel_redeliveries_total",
+            "Unacked batches re-sent to replacement workers."
+            ).set_total(self.redeliveries)
+        self.registry.counter(
+            "repro_parallel_corrupt_frames_total",
+            "Output frames rejected by codec validation."
+            ).set_total(self.corrupt_frames)
+        self.registry.counter(
+            "repro_parallel_redundant_acks_total",
+            "Settlement frames for already-settled batches (dropped)."
+            ).set_total(self.redundant_acks)
+        self.registry.counter(
+            "repro_parallel_deadline_kills_total",
+            "Workers killed by per-command deadline escalation."
+            ).set_total(self.deadline_kills)
+        if self._chaos is not None:
+            for kind, injected in sorted(self._chaos.injected.items()):
+                self.registry.counter(
+                    "repro_parallel_faults_injected_total",
+                    "Faults injected by the chaos injector.",
+                    {"kind": kind}).set_total(injected)
         self.registry.gauge(
             "repro_parallel_workers",
             "Worker processes in the pool.").set(len(self.handles))
@@ -609,6 +804,10 @@ class ParallelCluster:
         if self._closed:
             return
         self._closed = True
+        if self._chaos is not None:
+            # SIGCONT anything still stopped so the kills below land on
+            # runnable processes and nothing outlives the cluster.
+            self._chaos.resume_all()
         for handle in self.handles:
             try:
                 handle.send(Stop())

@@ -44,6 +44,7 @@ from .commands import (
     Drain,
     Drained,
     Expire,
+    Hang,
     Ping,
     Pong,
     Punctuate,
@@ -154,6 +155,11 @@ def worker_main(spec_frame: bytes, cmd_queue, out_conn) -> None:
                     joiner.on_envelope(punctuation)
             elif isinstance(command, Ping):
                 out_conn.send_bytes(encode_frame(Pong(seq=command.seq)))
+            elif isinstance(command, Hang):
+                # Chaos injection: a stuck command loop.  Sleeping here
+                # (not in a thread) is the point — nothing behind this
+                # command runs until the hang ends.
+                time.sleep(command.seconds)
             elif isinstance(command, Restore):
                 joiners[command.unit_id].restore(list(command.envelopes))
             elif isinstance(command, Expire):
@@ -213,6 +219,12 @@ class WorkerHandle:
         self.next_seq = 0
         #: Outstanding Deliver commands awaiting their BatchDone frame.
         self.unacked: dict[int, Deliver] = {}
+        #: seq → monotonic time the batch was (re)delivered; drives the
+        #: per-command deadline escalation in the supervisor.
+        self.delivered_at: dict[int, float] = {}
+        #: Consecutive deadline misses survived by probing instead of
+        #: killing (capped-exponential backoff); reset on any ack.
+        self.deadline_strikes = 0
         self.restarts = 0
         self.drained: "Drained | None" = None
         self.last_snapshot: "SnapshotResult | None" = None
@@ -252,13 +264,43 @@ class WorkerHandle:
         return self.process is not None and self.process.is_alive()
 
     def kill(self) -> None:
-        """SIGKILL the worker process (fault injection / hung worker)."""
+        """SIGKILL the worker process (fault injection / hung worker).
+
+        SIGKILL cannot be blocked or handled, and it terminates a
+        SIGSTOP'd process too — the one signal guaranteed to work on
+        every fault the chaos injector produces.
+        """
         if self.process is not None and self.process.pid is not None:
             try:
                 os.kill(self.process.pid, signal.SIGKILL)
             except (ProcessLookupError, PermissionError):
                 pass
             self.process.join(timeout=5.0)
+
+    def stop(self) -> int | None:
+        """SIGSTOP the worker (chaos injection: hung-but-alive).
+
+        The process stays alive to ``is_alive()`` but answers nothing;
+        supervision must notice via heartbeat/deadline escalation.
+        Returns the stopped pid so the injector can SIGCONT *that*
+        incarnation later, even if the handle has respawned meanwhile.
+        """
+        if self.process is None or self.process.pid is None:
+            return None
+        try:
+            os.kill(self.process.pid, signal.SIGSTOP)
+        except (ProcessLookupError, PermissionError):
+            return None
+        return self.process.pid
+
+    @staticmethod
+    def resume(pid: int) -> None:
+        """SIGCONT a previously stopped pid; a dead pid is a no-op
+        (the supervisor may have killed the stopped worker already)."""
+        try:
+            os.kill(pid, signal.SIGCONT)
+        except (ProcessLookupError, PermissionError):
+            pass
 
     def close_channels(self) -> None:
         """Release the dead (or stopping) process's IPC resources."""
@@ -282,25 +324,44 @@ class WorkerHandle:
     def deliver(self, command: Deliver) -> None:
         """Send a batch and enter it into the unacked ledger."""
         self.unacked[command.seq] = command
+        self.delivered_at[command.seq] = time.monotonic()
         self.send(command)
 
     def redeliver_outstanding(self) -> int:
         """Re-send every unacked batch, in sequence order, to the
         replacement process; returns the number redelivered."""
         outstanding = sorted(self.unacked)
+        now = time.monotonic()
         for seq in outstanding:
             self.send(self.unacked[seq])
+            # Fresh deadline stamp: the replacement starts from zero.
+            self.delivered_at[seq] = now
+        self.deadline_strikes = 0
         return len(outstanding)
 
     def ack(self, seq: int) -> Deliver:
         """Settle one batch; returns the settled command (for replay)."""
+        self.delivered_at.pop(seq, None)
+        self.deadline_strikes = 0
         return self.unacked.pop(seq)
+
+    def oldest_outstanding_age(self) -> float | None:
+        """Seconds the longest-waiting unacked batch has been out."""
+        if not self.delivered_at:
+            return None
+        return time.monotonic() - min(self.delivered_at.values())
 
     def maybe_ping(self, interval: float) -> None:
         """Send a heartbeat probe if the worker has been quiet too long."""
-        now = time.monotonic()
-        if self.ping_sent is None and now - self.last_contact >= interval:
-            self.ping_sent = now
+        if self.ping_sent is None and self.silent_for() >= interval:
+            self.probe()
+
+    def probe(self) -> None:
+        """Force a heartbeat probe now (deadline escalation), unless one
+        is already outstanding — the hung-worker clock must keep running
+        from the *first* unanswered ping."""
+        if self.ping_sent is None:
+            self.ping_sent = time.monotonic()
             self._next_ping += 1
             self.send(Ping(seq=self._next_ping))
 

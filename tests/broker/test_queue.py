@@ -42,6 +42,33 @@ class TestConsumers:
             MessageQueue("q").select_consumer()
 
 
+class TestResetRotation:
+    """reset_rotation is the broker half of the router-pool counter
+    realignment (see BicliqueEngine._realign_router_pool)."""
+
+    def test_restarts_dispatch_at_the_first_consumer(self):
+        queue = MessageQueue("q")
+        queue.add_consumer("a", lambda d: None)
+        queue.add_consumer("b", lambda d: None)
+        assert queue.offer(msg(0)).consumer_id == "a"  # cursor now at b
+        queue.reset_rotation()
+        picks = [queue.offer(msg(i)).consumer_id for i in range(3)]
+        assert picks == ["a", "b", "a"]
+
+    def test_sort_reorders_by_consumer_id(self):
+        queue = MessageQueue("q")
+        for cid in ("router2", "router0", "router1"):
+            queue.add_consumer(cid, lambda d: None)
+        queue.reset_rotation(sort=True)
+        picks = [queue.offer(msg(i)).consumer_id for i in range(3)]
+        assert picks == ["router0", "router1", "router2"]
+
+    def test_reset_on_empty_queue_is_harmless(self):
+        queue = MessageQueue("q")
+        queue.reset_rotation(sort=True)
+        assert not queue.has_consumers
+
+
 class TestRoundRobinAfterRemoval:
     """Removing a consumer must not bias dispatch onto the earliest
     survivor (the rotation cursor is adjusted, not reset)."""

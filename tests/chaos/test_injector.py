@@ -1,0 +1,152 @@
+"""Injector mechanics, tested without a live cluster where possible."""
+
+import time
+
+import pytest
+
+from repro.chaos.injector import ChaosInjector, corrupt_bytes
+from repro.chaos.plan import (ChaosConfig, CorruptFrame, HangWorker,
+                              KillWorker, PipeStall, StallWorker)
+from repro.parallel.codec import encode_frame, try_decode_frame
+
+
+class _FakeCluster:
+    """Records fault-API calls the way ParallelCluster would receive
+    them; pids are synthetic (no real signals are sent)."""
+
+    def __init__(self, workers=2, tuples_ingested=0):
+        self.worker_ids = [f"worker{i}" for i in range(workers)]
+        self.tuples_ingested = tuples_ingested
+        self.calls = []
+
+    def kill_worker(self, worker_id):
+        self.calls.append(("kill", worker_id))
+
+    def stop_worker(self, worker_id):
+        self.calls.append(("stop", worker_id))
+        return None  # no real pid: nothing to SIGCONT later
+
+    def hang_worker(self, worker_id, seconds):
+        self.calls.append(("hang", worker_id, seconds))
+
+
+class TestCorruptBytes:
+    def test_flip_breaks_the_checksum(self):
+        frame = encode_frame({"k": 1})
+        (mutated,) = corrupt_bytes(frame, "flip")
+        assert mutated != frame and len(mutated) == len(frame)
+        ok, obj = try_decode_frame(mutated)
+        assert not ok and obj is None
+
+    def test_truncate_breaks_the_length(self):
+        frame = encode_frame(list(range(50)))
+        (mutated,) = corrupt_bytes(frame, "truncate")
+        assert len(mutated) < len(frame)
+        ok, _ = try_decode_frame(mutated)
+        assert not ok
+
+    def test_duplicate_returns_the_frame_twice(self):
+        frame = encode_frame("payload")
+        assert corrupt_bytes(frame, "duplicate") == [frame, frame]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            corrupt_bytes(b"x" * 32, "garble")
+
+
+class TestFiring:
+    def test_fires_due_faults_in_order(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            KillWorker(at_tuple=5, worker=0),
+            HangWorker(at_tuple=10, worker=1, seconds=0.2),
+            KillWorker(at_tuple=50, worker=1))))
+        cluster = _FakeCluster(tuples_ingested=12)
+        injector.on_ingest(cluster)
+        assert cluster.calls == [("kill", "worker0"),
+                                 ("hang", "worker1", 0.2)]
+        assert injector.injected == {"kill": 1, "hang": 1}
+        cluster.tuples_ingested = 60
+        injector.on_ingest(cluster)
+        assert cluster.calls[-1] == ("kill", "worker1")
+
+    def test_worker_index_wraps_around_the_pool(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            KillWorker(at_tuple=0, worker=5),)))
+        cluster = _FakeCluster(workers=2)
+        injector.on_ingest(cluster)
+        assert cluster.calls == [("kill", "worker1")]
+
+    def test_stall_without_pid_schedules_nothing(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            StallWorker(at_tuple=0, worker=0, duration=0.05),)))
+        injector.on_ingest(_FakeCluster())
+        assert injector.injected == {"stall": 1}
+        injector.tick()  # must not raise with nothing scheduled
+        injector.resume_all()
+
+    def test_injected_counts_corruption_modes_separately(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            CorruptFrame(at_tuple=0, worker=0, mode="flip"),
+            CorruptFrame(at_tuple=0, worker=0, mode="truncate"),)))
+        injector.on_ingest(_FakeCluster())
+        assert injector.injected == {"corrupt_flip": 1,
+                                     "corrupt_truncate": 1}
+
+
+class TestFrameBoundary:
+    def test_armed_corruption_hits_the_next_n_frames(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            CorruptFrame(at_tuple=0, worker=0, mode="flip", count=2),)))
+        injector.on_ingest(_FakeCluster())
+        good = encode_frame("x")
+        first = injector.on_output_frame("worker0", good)
+        second = injector.on_output_frame("worker0", good)
+        third = injector.on_output_frame("worker0", good)
+        assert not try_decode_frame(first[0])[0]
+        assert not try_decode_frame(second[0])[0]
+        assert third == [good]  # armament exhausted
+
+    def test_corruption_targets_only_the_armed_worker(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            CorruptFrame(at_tuple=0, worker=0),)))
+        injector.on_ingest(_FakeCluster())
+        good = encode_frame("x")
+        assert injector.on_output_frame("worker1", good) == [good]
+
+    def test_pipe_stall_holds_fifo_until_deadline(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            PipeStall(at_tuple=0, worker=0, duration=0.1),)))
+        injector.on_ingest(_FakeCluster())
+        frames = [encode_frame(i) for i in range(3)]
+        for frame in frames:
+            assert injector.on_output_frame("worker0", frame) == []
+        assert injector.holding == 3
+        assert injector.release_due() == []  # not due yet
+        time.sleep(0.12)
+        released = injector.release_due()
+        # Per-worker FIFO is load-bearing: settled frames must stay a
+        # seq-order prefix (see the injector module docstring).
+        assert released == [("worker0", f) for f in frames]
+        assert injector.holding == 0
+        # After release the stall is gone: frames flow through again.
+        assert injector.on_output_frame("worker0", frames[0]) == [frames[0]]
+
+    def test_stall_holds_frames_even_past_deadline_until_released(self):
+        """A frame arriving after the deadline but before release_due
+        must still be held — overtaking would reorder settlement."""
+        injector = ChaosInjector(ChaosConfig(faults=(
+            PipeStall(at_tuple=0, worker=0, duration=0.01),)))
+        injector.on_ingest(_FakeCluster())
+        early = encode_frame("early")
+        injector.on_output_frame("worker0", early)
+        time.sleep(0.03)  # deadline passed, release_due not yet called
+        late = encode_frame("late")
+        assert injector.on_output_frame("worker0", late) == []
+        assert injector.release_due() == [("worker0", early),
+                                          ("worker0", late)]
+
+    def test_untargeted_worker_flows_through(self):
+        injector = ChaosInjector(ChaosConfig())
+        frame = encode_frame("x")
+        assert injector.on_output_frame("worker0", frame) == [frame]
+        assert injector.exhausted

@@ -1,0 +1,98 @@
+"""Fault-plan vocabulary: validation, ordering, generator determinism."""
+
+import pytest
+
+from repro.chaos.plan import (ALL_FAULT_KINDS, ChaosConfig, CorruptFrame,
+                              HangWorker, KillWorker, PipeStall, StallWorker,
+                              random_fault_plan)
+from repro.errors import ConfigurationError
+
+
+class TestFaultValidation:
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KillWorker(at_tuple=-1, worker=0)
+        with pytest.raises(ConfigurationError):
+            KillWorker(at_tuple=0, worker=-1)
+
+    def test_nonpositive_durations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StallWorker(at_tuple=0, worker=0, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            HangWorker(at_tuple=0, worker=0, seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            PipeStall(at_tuple=0, worker=0, duration=0.0)
+
+    def test_corrupt_mode_and_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            CorruptFrame(at_tuple=0, worker=0, mode="garble")
+        with pytest.raises(ConfigurationError):
+            CorruptFrame(at_tuple=0, worker=0, count=0)
+
+    def test_faults_are_frozen(self):
+        fault = KillWorker(at_tuple=3, worker=1)
+        with pytest.raises(AttributeError):
+            fault.at_tuple = 9
+
+
+class TestChaosConfig:
+    def test_faults_sorted_by_ingest_index(self):
+        config = ChaosConfig(faults=(
+            KillWorker(at_tuple=50, worker=0),
+            StallWorker(at_tuple=10, worker=1),
+            CorruptFrame(at_tuple=30, worker=0)))
+        assert [f.at_tuple for f in config.faults] == [10, 30, 50]
+
+    def test_len_and_kinds(self):
+        config = ChaosConfig(faults=(
+            KillWorker(at_tuple=1, worker=0),
+            KillWorker(at_tuple=2, worker=1),
+            PipeStall(at_tuple=3, worker=0)))
+        assert len(config) == 3
+        assert config.kinds == ("kill", "pipe_stall")
+
+    def test_empty_plan_is_valid(self):
+        assert len(ChaosConfig()) == 0
+
+
+class TestRandomFaultPlan:
+    def test_same_seed_same_plan(self):
+        a = random_fault_plan(42, 300, 2, faults=8)
+        b = random_fault_plan(42, 300, 2, faults=8)
+        assert a.faults == b.faults
+
+    def test_different_seeds_differ(self):
+        a = random_fault_plan(1, 300, 2, faults=8)
+        b = random_fault_plan(2, 300, 2, faults=8)
+        assert a.faults != b.faults
+
+    def test_fires_in_the_middle_of_the_run(self):
+        plan = random_fault_plan(7, 300, 2, faults=20)
+        assert all(30 <= f.at_tuple < 270 for f in plan.faults)
+
+    def test_worker_indices_within_pool(self):
+        plan = random_fault_plan(7, 300, 3, faults=20)
+        assert all(0 <= f.worker < 3 for f in plan.faults)
+
+    def test_kind_restriction_respected(self):
+        plan = random_fault_plan(7, 300, 2, faults=12,
+                                 kinds=("kill", "stall"))
+        assert set(f.kind for f in plan.faults) <= {"kill", "stall"}
+
+    def test_all_kinds_reachable(self):
+        plan = random_fault_plan(5, 1000, 2, faults=120)
+        drawn = {(f"corrupt_{f.mode}" if isinstance(f, CorruptFrame)
+                  else f.kind) for f in plan.faults}
+        assert drawn == set(ALL_FAULT_KINDS)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_fault_plan(1, 0, 2)
+        with pytest.raises(ConfigurationError):
+            random_fault_plan(1, 300, 0)
+        with pytest.raises(ConfigurationError):
+            random_fault_plan(1, 300, 2, faults=-1)
+        with pytest.raises(ConfigurationError):
+            random_fault_plan(1, 300, 2, kinds=("nope",))
+        with pytest.raises(ConfigurationError):
+            random_fault_plan(1, 300, 2, kinds=())

@@ -1,0 +1,122 @@
+"""Regression: router-pool resizes must not skew the global order.
+
+The fuzz-found hash+resize result loss (ROADMAP, PR-4 era): growing the
+router pool mid-run inserted the newcomer with its counter floored at
+the pool max while the survivors sat mid-rotation, so the stamped
+``(counter, router_id)`` keys stopped extending arrival order — a later
+tuple could sort *before* an earlier one, its probe released ahead of
+the earlier tuple's store, and the pair was silently missed (thesis
+Fig. 8 (c)).  ``BicliqueEngine._realign_router_pool`` now advances the
+whole pool to a common counter floor and restarts the entry-queue
+rotation at the smallest router id on every pool grow/restart.
+"""
+
+from __future__ import annotations
+
+from repro import (BicliqueConfig, BicliqueEngine, EquiJoinPredicate,
+                   StreamSource, TimeWindow)
+from repro.core.biclique import ENTRY_DESTINATION, ROUTER_GROUP
+from repro.harness import check_exactly_once, reference_join
+
+WINDOW = TimeWindow(seconds=6.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+
+
+class _Driver:
+    """Replays one engine lifecycle and checks it against the oracle."""
+
+    def __init__(self, r_joiners: int = 2, s_joiners: int = 1) -> None:
+        self.engine = BicliqueEngine(
+            BicliqueConfig(window=WINDOW, r_joiners=r_joiners,
+                           s_joiners=s_joiners, routers=1, routing="hash",
+                           archive_period=1.5, punctuation_interval=0.4,
+                           expiry_slack=3.0),
+            PREDICATE)
+        self.r_stream: list = []
+        self.s_stream: list = []
+        self._r = StreamSource("R")
+        self._s = StreamSource("S")
+        self.now = 0.0
+
+    def ingest(self, count: int, keys: int, gap: float) -> None:
+        for _ in range(count):
+            self.now += gap
+            source = self._r if (len(self.r_stream)
+                                 <= len(self.s_stream)) else self._s
+            t = source.emit(self.now, {"k": (len(self.r_stream)
+                                             + len(self.s_stream)) % keys})
+            (self.r_stream if t.relation == "R"
+             else self.s_stream).append(t)
+            self.engine.ingest(t)
+
+    def check(self):
+        self.engine.finish()
+        expected = reference_join(self.r_stream, self.s_stream,
+                                  PREDICATE, WINDOW)
+        return check_exactly_once(self.engine.results, expected)
+
+
+class TestRouterResizeOrdering:
+    def test_pinned_resize_then_scale_out_loses_nothing(self):
+        """The minimized fuzz counterexample, replayed verbatim.
+
+        Before the fix this lost exactly one pair: the last R tuple's
+        probe sorted before an earlier S tuple's store after two pool
+        grows left the counters rotation-skewed.
+        """
+        d = _Driver()
+        d.engine.scale_routers(2)
+        d.ingest(1, 5, 0.05)
+        d.engine.scale_routers(3)
+        d.ingest(11, 1, 0.6)
+        d.engine.scale_out("R", 1, now=d.now)
+        d.ingest(1, 4, 0.2)
+        check = d.check()
+        assert check.ok, f"resize skewed the global order: {check}"
+
+    def test_roadmap_recipe_resize_then_scale_in(self):
+        """The ROADMAP reproduction shape: resize -> scale_in -> reap."""
+        d = _Driver()
+        d.ingest(12, 3, 0.6)
+        d.engine.reap_drained(now=d.now)
+        d.engine.scale_routers(2)
+        d.engine.scale_in("R", now=d.now)
+        d.ingest(12, 3, 0.6)
+        d.engine.reap_drained(now=d.now)
+        check = d.check()
+        assert check.ok, f"lost or duplicated results: {check}"
+
+    def test_repeated_grows_and_shrinks_stay_exact(self):
+        d = _Driver(r_joiners=2, s_joiners=2)
+        for routers in (3, 1, 2, 4, 2):
+            d.ingest(9, 2, 0.2)
+            d.engine.scale_routers(routers)
+        d.ingest(9, 2, 0.2)
+        check = d.check()
+        assert check.ok, f"lost or duplicated results: {check}"
+
+    def test_grow_aligns_counters_and_restarts_rotation(self):
+        """The mechanism itself: common floor + id-ordered rotation."""
+        d = _Driver()
+        d.engine.scale_routers(2)
+        d.ingest(1, 5, 0.05)
+        d.engine.scale_routers(3)
+        floors = {r.router_id: r.next_counter for r in d.engine.routers}
+        assert len(set(floors.values())) == 1, (
+            f"pool counters not aligned after grow: {floors}")
+        queue = d.engine.broker.queue(f"{ENTRY_DESTINATION}.{ROUTER_GROUP}")
+        assert queue.consumer_ids == sorted(queue.consumer_ids)
+        assert queue._rr_next == 0
+
+    def test_router_crash_restart_realigns(self):
+        d = _Driver()
+        d.engine.scale_routers(2)
+        d.ingest(7, 2, 0.2)
+        d.engine.crash_router("router0")
+        d.ingest(6, 2, 0.2)
+        d.engine.restart_router("router0")
+        d.ingest(7, 2, 0.2)
+        floors = {r.router_id: r.next_counter for r in d.engine.routers}
+        # After realignment the counters may only differ by rotation
+        # position (at most one full cycle).
+        assert max(floors.values()) - min(floors.values()) <= 1, floors

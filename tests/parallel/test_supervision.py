@@ -1,0 +1,179 @@
+"""Supervision edge cases: every fault survived, exactly-once intact.
+
+Each scenario here is one of the adversarial schedules the chaos
+subsystem generates, pinned as a deterministic regression: SIGSTOP'd
+(hung-but-alive) workers, death mid-batch, corrupt frames from live
+workers, duplicated settlement frames, restart-budget exhaustion, and
+mixed-fault differential runs across seeds.
+"""
+
+import pytest
+
+from repro.chaos import (ChaosConfig, ChaosInjector, CorruptFrame,
+                         KillWorker, PipeStall, StallWorker)
+from repro.core.biclique import BicliqueConfig
+from repro.core.predicates import BandJoinPredicate, EquiJoinPredicate
+from repro.core.windows import TimeWindow
+from repro.errors import WorkerCrashError
+from repro.harness.reference import check_exactly_once, reference_join
+from repro.parallel import ParallelCluster, ParallelConfig
+
+from .conftest import make_arrivals
+
+WINDOW = TimeWindow(0.2)
+HASH = EquiJoinPredicate("k", "k")
+BAND = BandJoinPredicate("v", "v", 1.0)
+
+
+def make_config():
+    return BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2,
+                          routers=2, archive_period=0.05,
+                          punctuation_interval=0.02)
+
+
+def fast_parallel(**overrides):
+    """Supervision tuned tight enough that every fault is noticed and
+    recovered while tuples are still arriving."""
+    defaults = dict(workers=2, transfer_batch=8, max_unacked=8,
+                    supervise_every=16, heartbeat_interval=0.1,
+                    heartbeat_timeout=0.5, command_deadline=0.3,
+                    deadline_retries=1, restart_limit=6)
+    defaults.update(overrides)
+    return ParallelConfig(**defaults)
+
+
+def assert_exactly_once(arrivals, results, predicate):
+    r_stream = [t for t in arrivals if t.relation == "R"]
+    s_stream = [t for t in arrivals if t.relation == "S"]
+    expected = reference_join(r_stream, s_stream, predicate, WINDOW)
+    check = check_exactly_once(results, expected)
+    assert check.ok, f"lost or duplicated results: {check}"
+
+
+def chaos_run(arrivals, predicate, plan, **overrides):
+    injector = ChaosInjector(plan)
+    cluster = ParallelCluster(make_config(), predicate,
+                              fast_parallel(**overrides), chaos=injector)
+    with cluster:
+        report = cluster.run(arrivals)[1]
+    return cluster, report
+
+
+class TestSigstoppedWorker:
+    def test_stopped_worker_is_killed_and_replayed_exactly_once(self):
+        """A SIGSTOP'd worker that never resumes must be detected via
+        the heartbeat/deadline escalation, killed, and its outstanding
+        batches replayed — without losing or duplicating a result."""
+        arrivals = make_arrivals(17)
+        plan = ChaosConfig(faults=(
+            StallWorker(at_tuple=150, worker=1, duration=30.0),))
+        cluster, report = chaos_run(arrivals, HASH, plan)
+        assert report.restarts >= 1
+        assert report.redeliveries >= 1
+        assert_exactly_once(arrivals, cluster.results, HASH)
+
+    def test_briefly_stopped_worker_resumes_without_restart(self):
+        """A stall shorter than every escalation threshold is absorbed:
+        the worker resumes and settles its backlog, no replacement."""
+        arrivals = make_arrivals(17)
+        plan = ChaosConfig(faults=(
+            StallWorker(at_tuple=150, worker=1, duration=0.05),))
+        cluster, report = chaos_run(
+            arrivals, HASH, plan,
+            command_deadline=5.0, heartbeat_timeout=30.0)
+        assert report.restarts == 0
+        assert_exactly_once(arrivals, cluster.results, HASH)
+
+
+class TestDeathMidBatch:
+    def test_kill_with_unacked_batches_redelivers(self):
+        """SIGKILL lands while transfer batches are outstanding: the
+        unacked suffix must be redelivered to the replacement."""
+        arrivals = make_arrivals(29)
+        plan = ChaosConfig(faults=(KillWorker(at_tuple=200, worker=0),))
+        cluster, report = chaos_run(arrivals, BAND, plan)
+        assert report.restarts >= 1
+        assert report.redeliveries >= 1, \
+            "the kill landed with nothing in flight; tighten the batch"
+        assert_exactly_once(arrivals, cluster.results, BAND)
+
+
+class TestCorruptFrames:
+    def test_corrupt_frame_quarantines_instead_of_crashing(self):
+        """The tentpole acceptance case: a corrupt frame from a live
+        worker must be survived via quarantine+respawn — never a
+        coordinator crash, never a lost result."""
+        arrivals = make_arrivals(3)
+        plan = ChaosConfig(faults=(
+            CorruptFrame(at_tuple=120, worker=0, mode="flip"),
+            CorruptFrame(at_tuple=220, worker=1, mode="truncate"),))
+        cluster, report = chaos_run(arrivals, HASH, plan)
+        assert cluster.corrupt_frames >= 1
+        assert report.quarantines >= 1
+        assert report.restarts >= report.quarantines
+        assert_exactly_once(arrivals, cluster.results, HASH)
+
+    def test_duplicate_settlement_frames_are_redundant_acks(self):
+        """A duplicated BatchDone must settle once and count the second
+        copy as a redundant ack — not raise, not double results."""
+        arrivals = make_arrivals(17)
+        plan = ChaosConfig(faults=(
+            CorruptFrame(at_tuple=100, worker=0, mode="duplicate",
+                         count=3),))
+        cluster, report = chaos_run(arrivals, HASH, plan)
+        assert cluster.redundant_acks >= 1
+        assert report.restarts == 0  # duplication is not a crash
+        assert_exactly_once(arrivals, cluster.results, HASH)
+
+    def test_pipe_stall_is_survived(self):
+        """Withheld output frames: either the worker is declared hung
+        and replayed, or the frames land late as redundant acks —
+        both must keep the results exactly-once."""
+        arrivals = make_arrivals(29)
+        plan = ChaosConfig(faults=(
+            PipeStall(at_tuple=150, worker=1, duration=0.4),))
+        cluster, _ = chaos_run(arrivals, HASH, plan)
+        assert_exactly_once(arrivals, cluster.results, HASH)
+
+
+class TestRestartBudget:
+    def test_respawn_storm_hits_the_limit(self):
+        """More kills than the budget allows must fail loudly with
+        WorkerCrashError, not loop forever."""
+        arrivals = make_arrivals(17)
+        plan = ChaosConfig(faults=tuple(
+            KillWorker(at_tuple=at, worker=0)
+            for at in (60, 120, 180, 240, 300)))
+        injector = ChaosInjector(plan)
+        cluster = ParallelCluster(
+            make_config(), HASH, fast_parallel(restart_limit=2),
+            chaos=injector)
+        with cluster:
+            with pytest.raises(WorkerCrashError):
+                cluster.run(arrivals)
+
+    def test_zero_budget_fails_on_first_crash(self):
+        arrivals = make_arrivals(17)
+        cluster = ParallelCluster(make_config(), HASH,
+                                  fast_parallel(restart_limit=0))
+        with cluster:
+            with pytest.raises(WorkerCrashError):
+                for i, t in enumerate(arrivals):
+                    if i == 100:
+                        cluster.kill_worker("worker0")
+                    cluster.ingest(t)
+                cluster.drain()
+
+
+@pytest.mark.parametrize("seed", (3, 17, 29))
+class TestMixedFaultDifferential:
+    def test_mixed_kill_and_stall_plan_is_exact(self, seed):
+        """Satellite: differential exactness across seeds under a mixed
+        SIGKILL+SIGSTOP schedule hitting both workers."""
+        arrivals = make_arrivals(seed)
+        plan = ChaosConfig(faults=(
+            StallWorker(at_tuple=100, worker=0, duration=30.0),
+            KillWorker(at_tuple=220, worker=1),))
+        cluster, report = chaos_run(arrivals, HASH, plan)
+        assert report.restarts >= 2
+        assert_exactly_once(arrivals, cluster.results, HASH)
