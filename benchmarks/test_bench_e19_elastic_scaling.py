@@ -1,0 +1,223 @@
+"""E19 (extension) — elastic scaling of the multiprocess runtime.
+
+The paper's elasticity claim, exercised on real OS processes: a
+stepped arrival rate (300 → 400 → 200 → 300 tuples/s) drives the
+predictive :class:`~repro.parallel.elastic.ElasticController`, which
+resizes the live worker pool through two-phase unit handoffs while
+tuples keep flowing.  The controller runs on a *virtual clock* (one
+tick of ``1/rate`` per ingest, ``capacity_smoothing=0``) so its
+decisions are a pure function of the schedule — the pool trajectory is
+machine-independent and the gates below are deterministic.
+
+Gates (all hard):
+
+- **zero lost, zero duplicated, zero spurious** results against the
+  window-semantics reference join;
+- the run completed **≥ 2 scale-outs and ≥ 2 scale-ins** — the pool
+  actually tracked the rate steps (4 → 5 → 3 → 4 workers);
+- the SIGKILL-during-migration variant survives **3 seeds** of
+  :class:`~repro.chaos.plan.KillDuringMigration` schedules with
+  exactly-once intact and at least one forced restart each.
+
+Emits ``BENCH_e19.json`` (scale-event scorecard: pool trajectory,
+migrations, aborted handoffs, per-seed kill results); CI's
+``e19-elastic-smoke`` job runs this smoke tier, gates on the scorecard
+and uploads it as an artifact.  The ``soak``-marked variant repeats
+the kill schedule across a wider seed sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from random import Random
+
+import pytest
+from conftest import RESULTS_DIR, bench_once, emit
+
+from repro import (BicliqueConfig, EquiJoinPredicate, TimeWindow,
+                   merge_by_time, stream_from_pairs)
+from repro.chaos import ChaosConfig, ChaosInjector, KillDuringMigration
+from repro.harness import check_exactly_once, reference_join, render_table
+from repro.parallel import (ElasticConfig, ElasticController,
+                            ParallelCluster, ParallelConfig)
+
+#: The stepped schedule: (tuples/s on the controller clock, tuples).
+STEPS = ((300, 360), (400, 480), (200, 240), (300, 360))
+
+#: Seeds for the SIGKILL-during-migration schedules (smoke tier).
+KILL_SEEDS = (101, 202, 303)
+
+#: Wider sweep for the standing soak tier.
+KILL_SEEDS_SOAK = tuple(range(101, 113))
+
+WINDOW = TimeWindow(seconds=30.0)
+PREDICATE = EquiJoinPredicate("k", "k")
+
+#: Tuned so the demand model lands cleanly between pool sizes at each
+#: step: 200 env/s × 0.8 utilisation = 160 effective env/s per worker,
+#: against 2 envelopes per tuple (store + probe under hash routing),
+#: puts 300/400/200 t/s at 4/5/3 workers.  ``capacity_smoothing=0``
+#: keeps the prior authoritative — measured settlement rates would
+#: re-introduce wall-clock noise into the trajectory.
+def make_controller(clock) -> ElasticController:
+    return ElasticController(
+        config=ElasticConfig(capacity_prior=200.0, capacity_smoothing=0.0,
+                             rate_smoothing=0.5, target_utilisation=0.8,
+                             drain_horizon=4.0, max_workers=6,
+                             sample_every=16, decide_every=0.25,
+                             tolerance=0.05, scale_down_cooldown=0.5,
+                             max_max_unacked=16),
+        clock=clock)
+
+
+def make_cluster(**kwargs) -> ParallelCluster:
+    return ParallelCluster(
+        BicliqueConfig(window=WINDOW, r_joiners=6, s_joiners=6, routers=2,
+                       archive_period=5.0),
+        PREDICATE,
+        ParallelConfig(workers=2, transfer_batch=8, max_unacked=8,
+                       supervise_every=16),
+        **kwargs)
+
+
+def make_arrivals(n_total: int):
+    r = stream_from_pairs(
+        "R", [(float(i) * 0.05, {"k": i % 7}) for i in range(n_total // 2)])
+    s = stream_from_pairs(
+        "S", [(i * 0.055, {"k": i % 7}) for i in range(n_total // 2)])
+    return list(merge_by_time(r, s))[:n_total]
+
+
+def score_results(arrivals, results) -> dict:
+    expected = reference_join([t for t in arrivals if t.relation == "R"],
+                              [t for t in arrivals if t.relation == "S"],
+                              PREDICATE, WINDOW)
+    check = check_exactly_once(results, expected)
+    return {"expected": check.expected, "produced": check.produced,
+            "lost": check.missing, "duplicated": check.duplicates,
+            "spurious": check.spurious, "ok": check.ok}
+
+
+def run_stepped_rate() -> dict:
+    """One stepped-rate run under the elastic controller."""
+    arrivals = make_arrivals(sum(n for _, n in STEPS))
+    vclock = {"t": 0.0}
+    controller = make_controller(lambda: vclock["t"])
+    cluster = make_cluster(elastic=controller)
+    pool_per_step = []
+    with cluster:
+        i = 0
+        for rate, count in STEPS:
+            for _ in range(count):
+                vclock["t"] += 1.0 / rate
+                cluster.ingest(arrivals[i])
+                i += 1
+            pool_per_step.append(cluster.active_worker_count)
+        report = cluster.drain()
+        score = score_results(arrivals, cluster.results)
+    return {
+        **score,
+        "steps": [{"rate": rate, "tuples": count}
+                  for rate, count in STEPS],
+        "pool_per_step": pool_per_step,
+        "workers_added": report.workers_added,
+        "workers_retired": report.workers_retired,
+        "migrations": report.migrations,
+        "aborted_migrations": report.aborted_migrations,
+        "final_workers": report.workers,
+        "decisions": len(controller.decisions),
+        "transfer_batch": cluster.parallel.transfer_batch,
+        "max_unacked": cluster.parallel.max_unacked,
+    }
+
+
+def run_kill_mid_migration(seed: int) -> dict:
+    """One steady-rate run with a seeded SIGKILL-during-handoff
+    schedule layered on top of the elastic controller."""
+    rng = Random(seed)
+    n_total = 600
+    arrivals = make_arrivals(n_total)
+    faults = tuple(sorted(
+        (KillDuringMigration(at_tuple=rng.randrange(60, n_total - 60),
+                             victim=rng.choice(("source", "target")))
+         for _ in range(2)), key=lambda f: f.at_tuple))
+    injector = ChaosInjector(ChaosConfig(faults=faults))
+    vclock = {"t": 0.0}
+    controller = make_controller(lambda: vclock["t"])
+    cluster = make_cluster(elastic=controller, chaos=injector)
+    with cluster:
+        for t in arrivals:
+            vclock["t"] += 1.0 / 300
+            cluster.ingest(t)
+        report = cluster.drain()
+        score = score_results(arrivals, cluster.results)
+    return {
+        **score,
+        "seed": seed,
+        "faults": [f"{f.kind}@{f.at_tuple}:{f.victim}" for f in faults],
+        "migrations": report.migrations,
+        "aborted_migrations": report.aborted_migrations,
+        "restarts": report.restarts,
+        "workers": report.workers,
+    }
+
+
+def emit_e19(name: str, stepped: dict, kills: list[dict]) -> None:
+    step_rows = [[f"{s['rate']} t/s", s["tuples"], pool]
+                 for s, pool in zip(stepped["steps"],
+                                    stepped["pool_per_step"])]
+    table = render_table(
+        ["step", "tuples", "pool after"], step_rows,
+        title=f"E19: elastic scaling — added={stepped['workers_added']} "
+              f"retired={stepped['workers_retired']} "
+              f"migrations={stepped['migrations']} "
+              f"lost={stepped['lost']} dup={stepped['duplicated']}")
+    kill_rows = [[k["seed"], ",".join(k["faults"]), k["migrations"],
+                  k["restarts"], k["lost"], k["duplicated"]]
+                 for k in kills]
+    table += "\n" + render_table(
+        ["seed", "kill schedule", "migrations", "restarts", "lost", "dup"],
+        kill_rows, title="E19: SIGKILL during migration")
+    emit(name, table)
+    payload = {"experiment": "e19_elastic_scaling",
+               "stepped_rate": stepped,
+               "kill_mid_migration": kills,
+               "ok": (stepped["ok"] and all(k["ok"] for k in kills))}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_e19.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def assert_invariants(stepped: dict, kills: list[dict]) -> None:
+    assert stepped["lost"] == 0 and stepped["duplicated"] == 0 \
+        and stepped["spurious"] == 0, f"stepped run not exactly-once: " \
+        f"{stepped}"
+    assert stepped["workers_added"] >= 2, (
+        f"pool never tracked the rate steps up: {stepped['pool_per_step']}")
+    assert stepped["workers_retired"] >= 2, (
+        f"pool never tracked the rate steps down: "
+        f"{stepped['pool_per_step']}")
+    assert stepped["migrations"] >= stepped["workers_added"], (
+        "scale-outs without rebalancing handoffs")
+    for kill in kills:
+        assert kill["lost"] == 0 and kill["duplicated"] == 0 \
+            and kill["spurious"] == 0, (
+            f"seed {kill['seed']} lost results under kill-mid-migration: "
+            f"{kill}")
+        assert kill["restarts"] >= 1, (
+            f"seed {kill['seed']} never actually killed a handoff side")
+
+
+def test_e19_elastic_scaling_smoke(benchmark):
+    stepped = bench_once(benchmark, run_stepped_rate)
+    kills = [run_kill_mid_migration(seed) for seed in KILL_SEEDS]
+    emit_e19("e19_elastic_scaling", stepped, kills)
+    assert_invariants(stepped, kills)
+
+
+@pytest.mark.soak
+def test_e19_elastic_scaling_grid(benchmark):
+    stepped = bench_once(benchmark, run_stepped_rate)
+    kills = [run_kill_mid_migration(seed) for seed in KILL_SEEDS_SOAK]
+    emit_e19("e19_elastic_scaling_grid", stepped, kills)
+    assert_invariants(stepped, kills)

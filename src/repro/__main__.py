@@ -8,7 +8,9 @@ Commands:
                 results against the single-process reference
     soak        run the chaos soak harness against the parallel
                 runtime (optional arguments: rounds, seed, output
-                scorecard path) and fail on any lost/duplicate result
+                scorecard path; ``--resizes``/``--no-resizes`` toggles
+                scale faults, default on) and fail on any
+                lost/duplicate result
     info        print the package overview and pointers
 
 Everything heavier lives in ``examples/`` and ``benchmarks/``.
@@ -108,23 +110,28 @@ def _parallel(workers: int = 2) -> int:
 
 
 def _soak(rounds: int | None = None, seed: int | None = None,
-          out: str | None = None) -> int:
+          out: str | None = None, resizes: bool = True) -> int:
     from repro.chaos import SoakConfig, run_soak, write_scorecard
     from repro.chaos.soak import format_round
 
     config = SoakConfig(
         rounds=rounds if rounds is not None else SoakConfig.rounds,
-        seed=seed if seed is not None else SoakConfig.seed)
+        seed=seed if seed is not None else SoakConfig.seed,
+        resizes=resizes)
     print(f"chaos soak: {config.rounds} rounds, seed {config.seed}, "
-          f"{config.faults_per_round} faults/round over "
-          f"{config.workers} workers")
+          f"{config.faults_per_round} faults/round"
+          + (f" + {config.effective_resizes} resizes/round"
+             if config.effective_resizes else "")
+          + f" over {config.workers} workers")
     scorecard = run_soak(config,
                          progress=lambda s: print(format_round(s)))
     totals = scorecard["totals"]
     print(f"\ntotals: {totals['produced']}/{totals['expected']} results, "
           f"lost={totals['lost']} dup={totals['duplicated']} "
           f"restarts={totals['restarts']} "
-          f"quarantines={totals['quarantines']}")
+          f"quarantines={totals['quarantines']} "
+          f"migrations={totals['migrations']} "
+          f"(aborted={totals['aborted_migrations']})")
     print(f"faults injected: {totals['faults_injected']}")
     if out is not None:
         write_scorecard(scorecard, out)
@@ -154,10 +161,17 @@ def main(argv: list[str]) -> int:
     if command == "parallel" and len(argv) > 2:
         return _parallel(workers=int(argv[2]))
     if command == "soak":
+        args = argv[2:]
+        resizes = True
+        if "--no-resizes" in args:
+            resizes = False
+            args = [a for a in args if a != "--no-resizes"]
+        args = [a for a in args if a != "--resizes"]  # the default
         return _soak(
-            rounds=int(argv[2]) if len(argv) > 2 else None,
-            seed=int(argv[3]) if len(argv) > 3 else None,
-            out=argv[4] if len(argv) > 4 else None)
+            rounds=int(args[0]) if len(args) > 0 else None,
+            seed=int(args[1]) if len(args) > 1 else None,
+            out=args[2] if len(args) > 2 else None,
+            resizes=resizes)
     return handler()
 
 

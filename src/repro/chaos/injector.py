@@ -32,10 +32,12 @@ from __future__ import annotations
 import time
 from collections import Counter, deque
 
+from ..errors import ParallelError
 from ..parallel.codec import HEADER_SIZE
 from ..parallel.worker import WorkerHandle
-from .plan import (ChaosConfig, CorruptFrame, HangWorker, KillWorker,
-                   PipeStall, StallWorker)
+from .plan import (ChaosConfig, CorruptFrame, HangWorker,
+                   KillDuringMigration, KillWorker, PipeStall, ScaleIn,
+                   ScaleOut, StallWorker)
 
 
 class _Stall:
@@ -96,33 +98,74 @@ class ChaosInjector:
             self._fire(cluster, fault)
 
     def _fire(self, cluster, fault) -> None:
-        worker_id = cluster.worker_ids[fault.worker
-                                       % len(cluster.worker_ids)]
-        if isinstance(fault, KillWorker):
-            cluster.kill_worker(worker_id)
-        elif isinstance(fault, StallWorker):
-            pid = cluster.stop_worker(worker_id)
-            if pid is not None:
-                self._sigconts.append(
-                    (time.monotonic() + fault.duration, pid))
-        elif isinstance(fault, HangWorker):
-            cluster.hang_worker(worker_id, fault.seconds)
-        elif isinstance(fault, CorruptFrame):
-            arms = self._armed.setdefault(worker_id, deque())
-            arms.extend([fault.mode] * fault.count)
-        elif isinstance(fault, PipeStall):
-            deadline = time.monotonic() + fault.duration
-            stall = self._stalls.get(worker_id)
-            if stall is None:
-                self._stalls[worker_id] = _Stall(deadline)
-            else:
-                # Overlapping stalls extend the hold; frames stay FIFO.
-                stall.deadline = max(stall.deadline, deadline)
-        else:  # pragma: no cover - plan validation prevents this
-            raise TypeError(f"unknown fault {fault!r}")
-        key = (f"corrupt_{fault.mode}" if isinstance(fault, CorruptFrame)
-               else fault.kind)
+        if isinstance(fault, (ScaleOut, ScaleIn, KillDuringMigration)):
+            self._fire_scale(cluster, fault)
+            key = fault.kind
+        else:
+            worker_id = cluster.worker_ids[fault.worker
+                                           % len(cluster.worker_ids)]
+            if isinstance(fault, KillWorker):
+                cluster.kill_worker(worker_id)
+            elif isinstance(fault, StallWorker):
+                pid = cluster.stop_worker(worker_id)
+                if pid is not None:
+                    self._sigconts.append(
+                        (time.monotonic() + fault.duration, pid))
+            elif isinstance(fault, HangWorker):
+                cluster.hang_worker(worker_id, fault.seconds)
+            elif isinstance(fault, CorruptFrame):
+                arms = self._armed.setdefault(worker_id, deque())
+                arms.extend([fault.mode] * fault.count)
+            elif isinstance(fault, PipeStall):
+                deadline = time.monotonic() + fault.duration
+                stall = self._stalls.get(worker_id)
+                if stall is None:
+                    self._stalls[worker_id] = _Stall(deadline)
+                else:
+                    # Overlapping stalls extend the hold; frames stay
+                    # FIFO.
+                    stall.deadline = max(stall.deadline, deadline)
+            else:  # pragma: no cover - plan validation prevents this
+                raise TypeError(f"unknown fault {fault!r}")
+            key = (f"corrupt_{fault.mode}"
+                   if isinstance(fault, CorruptFrame) else fault.kind)
         self.injected[key] += 1
+
+    def _fire_scale(self, cluster, fault) -> None:
+        """Execute one resize disturbance through the elastic API."""
+        if isinstance(fault, ScaleOut):
+            cluster.scale_to(cluster.active_worker_count + fault.count)
+        elif isinstance(fault, ScaleIn):
+            cluster.scale_to(
+                max(1, cluster.active_worker_count - fault.count))
+        else:
+            self._kill_mid_migration(cluster, fault)
+
+    def _kill_mid_migration(self, cluster, fault) -> None:
+        """Start a handoff of a currently non-migrating unit, then
+        SIGKILL the chosen side while the unit is still quiescing.
+
+        Self-contained: grows the pool to two workers first if needed,
+        and degrades to a no-op only when every unit is already
+        migrating (still counted — the plan fired it).
+        """
+        if cluster.active_worker_count < 2:
+            cluster.scale_to(2)
+        migrating = set(cluster.migrating_unit_ids)
+        for source_id in cluster.active_worker_ids:
+            for unit_id in cluster.units_of(source_id):
+                if unit_id in migrating:
+                    continue
+                try:
+                    target_id = cluster.migrate_unit(unit_id)
+                except ParallelError:
+                    # No eligible target from this source (e.g. the
+                    # rest of the pool is retiring); try another unit.
+                    continue
+                victim = (target_id if fault.victim == "target"
+                          else source_id)
+                cluster.kill_worker(victim)
+                return
 
     # -- frame boundary ----------------------------------------------------
     def on_output_frame(self, worker_id: str, data: bytes) -> list[bytes]:

@@ -128,17 +128,88 @@ class PipeStall:
         _validate_duration(self.duration)
 
 
-Fault = Union[KillWorker, StallWorker, HangWorker, CorruptFrame, PipeStall]
+@dataclass(frozen=True)
+class ScaleOut:
+    """Grow the active pool by ``count`` workers (live migration).
+
+    Not a failure but a *disturbance*: every added worker triggers
+    rebalancing handoffs that then run concurrently with whatever
+    real faults the plan schedules around them.
+    """
+
+    at_tuple: int
+    count: int = 1
+    kind: ClassVar[str] = "scale_out"
+
+    def __post_init__(self) -> None:
+        _validate_at(self.at_tuple)
+        if self.count < 1:
+            raise ConfigurationError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScaleIn:
+    """Shrink the active pool by ``count`` workers (live migration).
+
+    Clamped at one worker; shrinking a single-worker pool is a no-op
+    rather than a plan error, so randomized plans stay portable.
+    """
+
+    at_tuple: int
+    count: int = 1
+    kind: ClassVar[str] = "scale_in"
+
+    def __post_init__(self) -> None:
+        _validate_at(self.at_tuple)
+        if self.count < 1:
+            raise ConfigurationError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class KillDuringMigration:
+    """Start a live unit handoff, then immediately SIGKILL one side.
+
+    The sharpest elastic-scaling fault: the migration is still
+    quiescing when the ``victim`` (``"source"`` or ``"target"``)
+    dies, so recovery and the handoff state machine must compose —
+    the acceptance criterion behind the two-phase design.  The
+    injector picks a currently non-migrating unit at fire time (and
+    grows the pool to two workers first if needed), keeping the fault
+    self-contained and portable across plans.
+    """
+
+    at_tuple: int
+    victim: str = "source"
+    kind: ClassVar[str] = "kill_mid_migration"
+
+    def __post_init__(self) -> None:
+        _validate_at(self.at_tuple)
+        if self.victim not in ("source", "target"):
+            raise ConfigurationError(
+                f"victim must be 'source' or 'target', got {self.victim!r}")
+
+
+Fault = Union[KillWorker, StallWorker, HangWorker, CorruptFrame, PipeStall,
+              ScaleOut, ScaleIn, KillDuringMigration]
 
 #: Every fault kind the generator can draw, including the three
 #: corruption modes spelled out (``corrupt_flip`` etc.).
 ALL_FAULT_KINDS = ("kill", "stall", "hang", "corrupt_flip",
                    "corrupt_truncate", "corrupt_duplicate", "pipe_stall")
 
+#: Resize-disturbance kinds, drawn separately (``resizes=`` parameter)
+#: so plans with resizes disabled are byte-identical to pre-elastic
+#: plans under the same seed.
+SCALE_FAULT_KINDS = ("scale_out", "scale_in", "kill_mid_migration")
+
+
+def _validate_at(at_tuple: int) -> None:
+    if at_tuple < 0:
+        raise ConfigurationError("at_tuple must be >= 0")
+
 
 def _validate_base(fault) -> None:
-    if fault.at_tuple < 0:
-        raise ConfigurationError("at_tuple must be >= 0")
+    _validate_at(fault.at_tuple)
     if fault.worker < 0:
         raise ConfigurationError("worker index must be >= 0")
 
@@ -175,8 +246,9 @@ class ChaosConfig:
 
 
 def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
-                      faults: int = 3,
+                      faults: int = 3, resizes: int = 0,
                       kinds: tuple[str, ...] = ALL_FAULT_KINDS,
+                      scale_kinds: tuple[str, ...] = SCALE_FAULT_KINDS,
                       min_duration: float = 0.05,
                       max_duration: float = 0.3) -> ChaosConfig:
     """Draw a deterministic randomized fault plan.
@@ -186,18 +258,29 @@ def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
     spread over the middle of the run (``[n/10, 9n/10)``) so every
     fault fires while tuples are still arriving and recovery is
     exercised under ingest pressure, not during drain.
+
+    ``resizes`` adds that many scale disturbances (drawn from
+    ``scale_kinds``) *after* the base faults, from the same stream —
+    so under a fixed seed the base plan is identical with resizes on
+    or off, and turning resizes on only *adds* events.  Regression
+    baselines (and E18's fault-coverage gates) survive the flag.
     """
     if n_tuples < 1:
         raise ConfigurationError("n_tuples must be >= 1")
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
-    if faults < 0:
-        raise ConfigurationError("faults must be >= 0")
+    if faults < 0 or resizes < 0:
+        raise ConfigurationError("faults/resizes must be >= 0")
     unknown = set(kinds) - set(ALL_FAULT_KINDS)
     if unknown:
         raise ConfigurationError(f"unknown fault kinds {sorted(unknown)}")
     if not kinds:
         raise ConfigurationError("need at least one fault kind")
+    unknown = set(scale_kinds) - set(SCALE_FAULT_KINDS)
+    if unknown:
+        raise ConfigurationError(f"unknown scale kinds {sorted(unknown)}")
+    if resizes and not scale_kinds:
+        raise ConfigurationError("need at least one scale kind")
     if isinstance(rng, int):
         rng = Random(rng)
 
@@ -220,4 +303,14 @@ def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
             mode = kind.removeprefix("corrupt_")
             events.append(CorruptFrame(at, worker, mode,
                                        count=rng.randrange(1, 3)))
+    for _ in range(resizes):
+        kind = rng.choice(scale_kinds)
+        at = rng.randrange(lo, hi)
+        if kind == "scale_out":
+            events.append(ScaleOut(at, count=rng.randrange(1, 3)))
+        elif kind == "scale_in":
+            events.append(ScaleIn(at, count=rng.randrange(1, 3)))
+        else:
+            events.append(KillDuringMigration(
+                at, victim=rng.choice(("source", "target"))))
     return ChaosConfig(faults=tuple(events))

@@ -55,6 +55,12 @@ class SoakConfig:
     window: float = 0.2
     key_space: int = 12
     value_space: int = 40
+    #: Fold scale disturbances (scale-out/scale-in/kill-mid-migration)
+    #: into every round's plan.  Drawn *after* the base faults from the
+    #: same per-round stream, so the base plans — and therefore the
+    #: fault-coverage gates — are identical with resizes on or off.
+    resizes: bool = True
+    resizes_per_round: int = 2
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -65,6 +71,13 @@ class SoakConfig:
             raise ConfigurationError("workers must be >= 1")
         if self.faults_per_round < 0:
             raise ConfigurationError("faults_per_round must be >= 0")
+        if self.resizes_per_round < 0:
+            raise ConfigurationError("resizes_per_round must be >= 0")
+
+    @property
+    def effective_resizes(self) -> int:
+        """Scale disturbances per round after the on/off switch."""
+        return self.resizes_per_round if self.resizes else 0
 
 
 @dataclass(frozen=True)
@@ -89,6 +102,8 @@ class RoundScore:
     ok: bool
     failure: str = ""
     faults_injected: dict = field(default_factory=dict)
+    migrations: int = 0
+    aborted_migrations: int = 0
 
 
 def make_workload(rng: Random, n: int, *, key_space: int = 12,
@@ -120,7 +135,8 @@ def _round_parallel_config(config: SoakConfig) -> ParallelConfig:
     return ParallelConfig(
         workers=config.workers, transfer_batch=8, max_unacked=8,
         supervise_every=16, heartbeat_interval=0.2, heartbeat_timeout=1.0,
-        restart_limit=2 * config.faults_per_round + 4,
+        restart_limit=(2 * (config.faults_per_round
+                            + config.effective_resizes) + 4),
         command_deadline=0.5, deadline_retries=2, deadline_backoff_cap=4)
 
 
@@ -140,6 +156,7 @@ def run_round(config: SoakConfig, round_index: int) -> RoundScore:
     window = TimeWindow(config.window)
     plan = random_fault_plan(rng, len(arrivals), config.workers,
                              faults=config.faults_per_round,
+                             resizes=config.effective_resizes,
                              kinds=config.kinds)
     injector = ChaosInjector(plan)
     cluster = ParallelCluster(
@@ -179,7 +196,9 @@ def run_round(config: SoakConfig, round_index: int) -> RoundScore:
         duration=duration,
         ok=check.ok and not failure,
         failure=failure,
-        faults_injected=dict(injector.injected))
+        faults_injected=dict(injector.injected),
+        migrations=cluster.migrations_completed,
+        aborted_migrations=cluster.migrations_aborted)
 
 
 def run_soak(config: SoakConfig | None = None, *,
@@ -209,6 +228,8 @@ def run_soak(config: SoakConfig | None = None, *,
         "quarantines": sum(s.quarantines for s in scores),
         "redeliveries": sum(s.redeliveries for s in scores),
         "redundant_acks": sum(s.redundant_acks for s in scores),
+        "migrations": sum(s.migrations for s in scores),
+        "aborted_migrations": sum(s.aborted_migrations for s in scores),
         "duration": sum(s.duration for s in scores),
     }
     faults_injected: dict[str, int] = {}
@@ -239,5 +260,6 @@ def format_round(score: RoundScore) -> str:
     return (f"round {score.round:2d} [{score.mode:>6}] "
             f"expected={score.expected:4d} lost={score.lost} "
             f"dup={score.duplicated} restarts={score.restarts} "
-            f"quarantines={score.quarantines} {score.duration:5.1f}s "
+            f"quarantines={score.quarantines} "
+            f"migrations={score.migrations} {score.duration:5.1f}s "
             f"{verdict}  {faults}")

@@ -17,7 +17,11 @@ unchanged) across real worker processes:
   unacked-batch ledger, heartbeat bookkeeping);
 - :mod:`repro.parallel.parallel_cluster` — the coordinator:
   engine-mirrored topology and stamping, coordinator-side ordering,
-  supervision with replay-log recovery, and metrics/trace backhaul.
+  supervision with replay-log recovery, live unit migration for
+  elastic scale-out/scale-in, and metrics/trace backhaul;
+- :mod:`repro.parallel.elastic` — the predictive autoscaling
+  controller deciding the pool size and transport knobs from an
+  explicit load/capacity model.
 
 The E17 benchmark (``benchmarks/test_bench_e17_parallel_scaling.py``)
 measures the wall-clock scaling this runtime exists to provide, and
@@ -31,7 +35,9 @@ from .commands import (
     Deliver,
     Drain,
     Drained,
+    EvictUnit,
     Expire,
+    InstallUnit,
     Ping,
     Pong,
     Punctuate,
@@ -43,6 +49,7 @@ from .commands import (
     WorkerFailure,
     WorkerSpec,
 )
+from .elastic import ElasticConfig, ElasticController, ElasticDecision
 from .parallel_cluster import (
     MAX_ROUTERS,
     ParallelCluster,
@@ -56,7 +63,12 @@ __all__ = [
     "Deliver",
     "Drain",
     "Drained",
+    "ElasticConfig",
+    "ElasticController",
+    "ElasticDecision",
+    "EvictUnit",
     "Expire",
+    "InstallUnit",
     "MAX_ROUTERS",
     "ParallelCluster",
     "ParallelConfig",

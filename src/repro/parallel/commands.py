@@ -114,6 +114,37 @@ class Restore:
 
 
 @dataclass(frozen=True)
+class InstallUnit:
+    """Host a new joiner unit (elastic scaling: migration cutover).
+
+    Sent to the *target* worker of a live unit migration, immediately
+    followed on the same FIFO channel by a :class:`Restore` carrying
+    the unit's acked store snapshot and then by the unit's subsequent
+    :class:`Deliver` batches — channel order alone guarantees the
+    joiner exists and is restored before traffic reaches it.  A worker
+    asked to install a unit it already hosts raises (a coordinator
+    logic error must fail loudly, never silently reset window state).
+    """
+
+    unit: UnitSpec
+
+
+@dataclass(frozen=True)
+class EvictUnit:
+    """Drop a hosted joiner unit (elastic scaling: migration source).
+
+    Sent to the migration *source* after cutover.  The unit was
+    quiesced first (every one of its batches settled), so the evicted
+    state is fully represented by the coordinator's replay log.
+    Evicting a unit the worker does not host is a tolerated no-op: a
+    source that crashed after cutover respawns from a spec that no
+    longer lists the unit, so the eviction is already vacuously done.
+    """
+
+    unit_id: str
+
+
+@dataclass(frozen=True)
 class Expire:
     """Proactively expire window state older than ``before_ts``.
 

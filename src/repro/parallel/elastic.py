@@ -1,0 +1,293 @@
+"""Predictive elastic scaling of the multiprocess worker pool.
+
+The simulator's autoscaler (:mod:`repro.cluster.autoscaler`) is a
+faithful Kubernetes HPA: *reactive*, scaling on observed CPU after the
+fact.  This controller instead follows the predictive cost-model
+approach of *Performance Modeling and Vertical Autoscaling of Stream
+Joins* (see PAPERS.md): it maintains an explicit model of offered load
+and per-worker service capacity and solves for the pool size that keeps
+projected utilisation at a set-point —
+
+    demand  = λ + backlog / T_drain          (envelopes / second)
+    desired = ceil(demand / (ρ* · μ))        (workers)
+
+where λ is the EWMA envelope arrival rate, the ``backlog / T_drain``
+term converts standing queue depth into the extra service rate needed
+to clear it within one drain horizon, μ is the per-worker service
+capacity (a configured prior, optionally blended with the measured
+settlement rate), and ρ* is the target utilisation.  Because demand
+anticipates the queue instead of waiting for CPU saturation, the pool
+grows *as* a rate step arrives rather than after latency has already
+been paid — the paper's argument for model-based over threshold-based
+scaling.
+
+The same model retunes the transport knobs with the pool: the IPC
+amortisation unit (``transfer_batch``) tracks the per-unit arrival
+rate so batches represent a roughly constant time slice, and the
+in-flight bound (``max_unacked``) tracks the per-worker share of one
+drain horizon so redelivery work after a crash stays proportional to
+the horizon, not to the rate.
+
+All decisions flow through :meth:`ParallelCluster.scale_to`, so every
+resize is a live, crash-safe unit migration — the controller holds no
+state the handoff machinery depends on.
+
+Wall-clock independence: the controller reads time through an
+injectable ``clock`` callable.  Benchmarks drive it with a *virtual*
+clock derived from the arrival schedule (tuple index / offered rate),
+which makes scaling decisions a pure function of the workload — the
+E19 stepped-rate run produces the same resize sequence on any machine.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Tuning of the predictive scaling model.
+
+    Attributes:
+        capacity_prior: assumed per-worker service capacity in
+            *envelopes per second* — the μ the model starts from.  With
+            ``capacity_smoothing=0`` it is also where μ stays, making
+            decisions machine-independent (benchmarks want this).
+        capacity_smoothing: EWMA weight of the *measured* settlement
+            rate blended into μ (0 = pure prior, 1 = pure measurement).
+        rate_smoothing: EWMA weight of new arrival-rate samples in λ.
+        target_utilisation: ρ*, the projected-utilisation set-point.
+        drain_horizon: seconds within which standing backlog should be
+            cleared; converts queue depth into extra demanded rate.
+        min_workers / max_workers: pool clamp.
+        sample_every: ingests between rate/backlog samples.
+        decide_every: seconds (on the controller clock) between scaling
+            decisions; samples in between only update the EWMAs.
+        tolerance: relative dead-band on projected utilisation — no
+            resize while ``|demand / (current·ρ*·μ) - 1| <= tolerance``
+            (the HPA anti-flap guard, kept verbatim).
+        scale_down_cooldown: seconds after any resize before the pool
+            may shrink (one low sample must not kill workers).
+        tune_transport: also retune ``transfer_batch``/``max_unacked``.
+        batch_horizon: seconds of one unit's arrivals a transfer batch
+            should span.
+        min_transfer_batch / max_transfer_batch: transfer-batch clamp.
+        min_max_unacked / max_max_unacked: in-flight-bound clamp.
+    """
+
+    capacity_prior: float = 2000.0
+    capacity_smoothing: float = 0.2
+    rate_smoothing: float = 0.3
+    target_utilisation: float = 0.8
+    drain_horizon: float = 2.0
+    min_workers: int = 1
+    max_workers: int = 8
+    sample_every: int = 16
+    decide_every: float = 0.5
+    tolerance: float = 0.1
+    scale_down_cooldown: float = 1.0
+    tune_transport: bool = True
+    batch_horizon: float = 0.05
+    min_transfer_batch: int = 4
+    max_transfer_batch: int = 256
+    min_max_unacked: int = 4
+    max_max_unacked: int = 64
+
+    def __post_init__(self) -> None:
+        if self.capacity_prior <= 0:
+            raise ConfigurationError("capacity_prior must be positive")
+        if not 0.0 <= self.capacity_smoothing <= 1.0:
+            raise ConfigurationError("capacity_smoothing must be in [0, 1]")
+        if not 0.0 < self.rate_smoothing <= 1.0:
+            raise ConfigurationError("rate_smoothing must be in (0, 1]")
+        if not 0.0 < self.target_utilisation <= 1.0:
+            raise ConfigurationError("target_utilisation must be in (0, 1]")
+        if self.drain_horizon <= 0:
+            raise ConfigurationError("drain_horizon must be positive")
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ConfigurationError(
+                "need 1 <= min_workers <= max_workers, got "
+                f"{self.min_workers}..{self.max_workers}")
+        if self.sample_every < 1:
+            raise ConfigurationError("sample_every must be >= 1")
+        if self.decide_every <= 0:
+            raise ConfigurationError("decide_every must be positive")
+        if self.min_transfer_batch < 1 or self.min_max_unacked < 1:
+            raise ConfigurationError("transport clamps must be >= 1")
+
+
+@dataclass(frozen=True)
+class ElasticDecision:
+    """One scaling evaluation: the model inputs and the verdict."""
+
+    time: float
+    arrival_rate: float
+    service_rate: float
+    backlog: int
+    demand: float
+    current_workers: int
+    desired_workers: int
+
+    @property
+    def action(self) -> str:
+        if self.desired_workers > self.current_workers:
+            return "scale-out"
+        if self.desired_workers < self.current_workers:
+            return "scale-in"
+        return "none"
+
+
+@dataclass
+class ElasticController:
+    """The control loop; attach via ``ParallelCluster(..., elastic=...)``.
+
+    The cluster calls :meth:`on_ingest` once per tuple (before
+    stamping).  Every ``sample_every`` ingests the controller samples
+    the cluster's routed-envelope and settled-envelope counters to
+    update its λ and μ estimates; every ``decide_every`` clock seconds
+    it evaluates the model and applies the verdict through
+    ``cluster.scale_to`` (and, when enabled, the transport setters).
+    """
+
+    config: ElasticConfig = field(default_factory=ElasticConfig)
+    #: Time source; injectable so benchmarks can drive decisions on a
+    #: virtual clock derived from the arrival schedule.
+    clock: object = time.monotonic
+    decisions: list[ElasticDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._ingests_since_sample = 0
+        self._arrival_rate: float | None = None
+        self._capacity = self.config.capacity_prior
+        self._last_sample_time: float | None = None
+        self._last_routed = 0
+        self._last_settled = 0
+        self._last_decision_time: float | None = None
+        self._last_resize_time: float | None = None
+
+    # -- sampling ----------------------------------------------------------
+    def on_ingest(self, cluster) -> None:
+        """Per-tuple hook: sample when due, decide when due."""
+        self._ingests_since_sample += 1
+        if self._ingests_since_sample < self.config.sample_every:
+            return
+        self._ingests_since_sample = 0
+        now = self.clock()
+        self._sample(cluster, now)
+        if (self._last_decision_time is None
+                or now - self._last_decision_time
+                >= self.config.decide_every):
+            self._last_decision_time = now
+            self._decide(cluster, now)
+
+    def _sample(self, cluster, now: float) -> None:
+        # Offered load in *envelope* terms (what workers actually
+        # serve): everything routed = settled + still in flight.
+        routed = cluster.envelopes_settled + cluster.backlog_envelopes
+        settled = cluster.envelopes_settled
+        if self._last_sample_time is None:
+            self._last_sample_time = now
+            self._last_routed = routed
+            self._last_settled = settled
+            return
+        dt = now - self._last_sample_time
+        if dt <= 0:
+            return
+        rate = (routed - self._last_routed) / dt
+        if self._arrival_rate is None:
+            self._arrival_rate = rate
+        else:
+            a = self.config.rate_smoothing
+            self._arrival_rate = a * rate + (1 - a) * self._arrival_rate
+        if self.config.capacity_smoothing > 0:
+            workers = max(1, cluster.active_worker_count)
+            measured = (settled - self._last_settled) / dt / workers
+            if measured > 0:
+                a = self.config.capacity_smoothing
+                self._capacity = a * measured + (1 - a) * self._capacity
+        self._last_sample_time = now
+        self._last_routed = routed
+        self._last_settled = settled
+
+    # -- the model ---------------------------------------------------------
+    def _decide(self, cluster, now: float) -> None:
+        if self._arrival_rate is None:
+            return
+        cfg = self.config
+        backlog = cluster.backlog_envelopes
+        demand = self._arrival_rate + backlog / cfg.drain_horizon
+        current = cluster.active_worker_count
+        per_worker = cfg.target_utilisation * self._capacity
+        desired = max(1, math.ceil(demand / per_worker))
+        desired = min(max(desired, cfg.min_workers), cfg.max_workers)
+        # Anti-flap dead-band: leave the pool alone while projected
+        # utilisation sits within tolerance of the set-point.
+        if desired != current and current > 0:
+            ratio = demand / (current * per_worker)
+            if abs(ratio - 1.0) <= cfg.tolerance:
+                desired = current
+        # Stabilisation: one low sample must not kill workers.
+        if (desired < current and self._last_resize_time is not None
+                and now - self._last_resize_time < cfg.scale_down_cooldown):
+            desired = current
+        self.decisions.append(ElasticDecision(
+            time=now, arrival_rate=self._arrival_rate,
+            service_rate=self._capacity, backlog=backlog, demand=demand,
+            current_workers=current, desired_workers=desired))
+        if desired != current:
+            self._last_resize_time = now
+            cluster.scale_to(desired)
+        if cfg.tune_transport:
+            self._tune_transport(cluster, desired)
+
+    def _tune_transport(self, cluster, workers: int) -> None:
+        """Track the model with the transport knobs.
+
+        A transfer batch should span ``batch_horizon`` seconds of one
+        unit's arrivals (constant *time* slice, not constant count), and
+        the per-worker in-flight bound should cover its share of one
+        drain horizon — bounding post-crash redelivery work by the
+        horizon instead of the rate.
+        """
+        cfg = self.config
+        rate = self._arrival_rate or 0.0
+        units = max(1, len(cluster.unit_ids()))
+        batch = round(rate * cfg.batch_horizon / units)
+        batch = min(max(batch, cfg.min_transfer_batch),
+                    cfg.max_transfer_batch)
+        cluster.set_transfer_batch(batch)
+        unacked = math.ceil(rate * cfg.drain_horizon
+                            / max(1, workers) / batch)
+        unacked = min(max(unacked, cfg.min_max_unacked),
+                      cfg.max_max_unacked)
+        cluster.set_max_unacked(unacked)
+
+    # -- observability -----------------------------------------------------
+    def export_metrics(self, registry) -> None:
+        """Publish control-loop totals (called from the cluster's
+        drain-time export)."""
+        registry.counter(
+            "repro_elastic_evaluations_total",
+            "Elastic control-loop decisions evaluated."
+            ).set_total(len(self.decisions))
+        registry.counter(
+            "repro_elastic_scale_actions_total",
+            "Evaluations that resized the worker pool.").set_total(
+            sum(1 for d in self.decisions if d.action != "none"))
+        if self.decisions:
+            last = self.decisions[-1]
+            registry.gauge(
+                "repro_elastic_desired_workers",
+                "Most recent desired pool size.").set(last.desired_workers)
+            registry.gauge(
+                "repro_elastic_arrival_rate",
+                "Most recent EWMA envelope arrival rate (env/s)."
+                ).set(last.arrival_rate)
+            registry.gauge(
+                "repro_elastic_service_rate",
+                "Most recent per-worker service capacity (env/s)."
+                ).set(last.service_rate)

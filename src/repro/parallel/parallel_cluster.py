@@ -58,10 +58,10 @@ from ..obs.registry import MetricsRegistry
 from ..obs.stages import StageBreakdown, compute_stage_breakdown
 from ..obs.trace import (NOOP_TRACER, SPAN_ENQUEUE, SPAN_ROUTE, SPAN_SCALE,
                          NoopTracer)
-from .codec import encode_frame, try_decode_frame
-from .commands import (BatchDone, Deliver, Drain, Drained, Hang, Pong,
-                       Punctuate, Restore, SnapshotResult, Stop, UnitSpec,
-                       WorkerFailure, WorkerSpec)
+from .codec import try_decode_frame
+from .commands import (BatchDone, Deliver, Drain, Drained, EvictUnit, Hang,
+                       InstallUnit, Pong, Punctuate, Restore, SnapshotResult,
+                       Stop, UnitSpec, WorkerFailure, WorkerSpec)
 from .worker import WorkerHandle
 
 #: Largest router pool whose id string sort equals its index order
@@ -150,6 +150,30 @@ class _Stamper:
     punctuations: int = 0
 
 
+@dataclass
+class _Migration:
+    """One in-flight unit handoff (quiesce phase).
+
+    A migration lives in the coordinator only while its unit is
+    *quiescing*: new envelopes for the unit are held in the
+    coordinator-side buffer instead of flushing, and the migration cuts
+    over the moment the source worker has settled every outstanding
+    batch of the unit.  There is deliberately **no** post-cutover
+    phase object: once cutover rewrites the handles' unit sets and the
+    routing map, the unit is entirely the target's, and every failure
+    after that point is handled by the ordinary recovery path
+    (respawn + replay-log restore + redelivery).  That is what makes a
+    SIGKILL at any instant of a migration survivable from the unacked
+    ledger and replay log alone — there is no migration-specific state
+    to lose.
+    """
+
+    unit: UnitSpec
+    source: WorkerHandle
+    target: WorkerHandle
+    started: float
+
+
 @dataclass(frozen=True)
 class ParallelReport:
     """Outcome of one multiprocess run.
@@ -162,6 +186,11 @@ class ParallelReport:
         workers: size of the worker pool.
         quarantines: live workers replaced for sending corrupt frames.
         redeliveries: batches re-sent to replacement workers.
+        migrations: unit handoffs completed (elastic scaling).
+        aborted_migrations: handoffs abandoned pre-cutover (the unit
+            stayed on its source; nothing was transferred).
+        workers_added: worker processes added by scale-out.
+        workers_retired: worker processes removed by scale-in.
         metrics: the merged coordinator+worker registry snapshot.
         stages: per-stage latency decomposition (traced runs only).
         worker_stats: worker id → per-unit processing counters.
@@ -174,6 +203,10 @@ class ParallelReport:
     workers: int
     quarantines: int = 0
     redeliveries: int = 0
+    migrations: int = 0
+    aborted_migrations: int = 0
+    workers_added: int = 0
+    workers_retired: int = 0
     metrics: dict[str, float] = field(default_factory=dict)
     stages: StageBreakdown | None = None
     worker_stats: dict[str, dict] = field(default_factory=dict)
@@ -194,7 +227,8 @@ class ParallelCluster:
 
     def __init__(self, config: BicliqueConfig, predicate: JoinPredicate,
                  parallel: ParallelConfig | None = None, *,
-                 tracer: NoopTracer = NOOP_TRACER, chaos=None) -> None:
+                 tracer: NoopTracer = NOOP_TRACER, chaos=None,
+                 elastic=None) -> None:
         if config.routers > MAX_ROUTERS:
             raise ConfigurationError(
                 f"the parallel runtime supports at most {MAX_ROUTERS} "
@@ -245,12 +279,29 @@ class ParallelCluster:
         self.redundant_acks = 0
         #: Workers killed by per-command deadline escalation.
         self.deadline_kills = 0
+        #: Unit handoffs completed (elastic scaling).
+        self.migrations_completed = 0
+        #: Handoffs abandoned before cutover (unit stayed on source).
+        self.migrations_aborted = 0
+        #: Worker processes added by scale-out.
+        self.workers_added = 0
+        #: Worker processes removed by scale-in.
+        self.workers_retired = 0
+        #: Envelopes settled via acknowledged batches (throughput feed
+        #: of the elastic controller's service-rate estimate).
+        self.envelopes_settled = 0
         #: Chaos injector (None outside chaos runs).  The cluster only
         #: calls its hook methods; all fault scheduling lives there.
         self._chaos = chaos
+        #: Elastic controller (None = fixed pool).  Sampled on ingest;
+        #: it drives :meth:`scale_to` and the transport knobs.
+        self._elastic = elastic
         self.registry = MetricsRegistry()
         self._ingests_since_supervise = 0
         self._closed = False
+        #: unit id → in-flight handoff; a unit present here is
+        #: *quiescing* (its envelopes are held, not flushed).
+        self._migrations: dict[str, _Migration] = {}
 
         # Spread each side round-robin across the pool independently, so
         # every worker hosts a mix of R and S units whenever unit counts
@@ -264,21 +315,15 @@ class ParallelCluster:
             per_worker[i % self.parallel.workers].append(
                 UnitSpec(unit_id, "S"))
 
-        sample_rate = tracer.sample_rate if tracer.enabled else None
-        ctx = mp.get_context(self.parallel.start_method)
+        self._sample_rate = tracer.sample_rate if tracer.enabled else None
+        self._ctx = mp.get_context(self.parallel.start_method)
+        self._next_worker_index = self.parallel.workers
         self.handles: list[WorkerHandle] = []
         self._unit_worker: dict[str, WorkerHandle] = {}
         self._buffers: dict[str, list[Envelope]] = {}
         for index, units in enumerate(per_worker):
-            spec = WorkerSpec(
-                worker_id=f"worker{index}", units=tuple(units),
-                predicate=predicate, window=config.window,
-                archive_period=config.archive_period,
-                timestamp_policy=config.timestamp_policy,
-                expiry_slack=config.expiry_slack,
-                trace_sample_rate=sample_rate, epoch=self._epoch)
-            handle = WorkerHandle(spec.worker_id, tuple(units),
-                                  encode_frame(spec), ctx)
+            handle = WorkerHandle(
+                self._worker_spec(f"worker{index}", tuple(units)), self._ctx)
             self.handles.append(handle)
             for unit in units:
                 self._unit_worker[unit.unit_id] = handle
@@ -287,6 +332,16 @@ class ParallelCluster:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    def _worker_spec(self, worker_id: str,
+                     units: tuple[UnitSpec, ...]) -> WorkerSpec:
+        return WorkerSpec(
+            worker_id=worker_id, units=units,
+            predicate=self.predicate, window=self.config.window,
+            archive_period=self.config.archive_period,
+            timestamp_policy=self.config.timestamp_policy,
+            expiry_slack=self.config.expiry_slack,
+            trace_sample_rate=self._sample_rate, epoch=self._epoch)
+
     def _build_strategy(self) -> RoutingStrategy:
         # Mirrors BicliqueEngine._build_strategy: the differential tests
         # rely on both runtimes resolving "auto" identically.
@@ -315,6 +370,37 @@ class ParallelCluster:
     def worker_ids(self) -> list[str]:
         return [handle.worker_id for handle in self.handles]
 
+    @property
+    def active_worker_ids(self) -> list[str]:
+        """Workers accepting units (pool members not being retired)."""
+        return [handle.worker_id for handle in self.handles
+                if not handle.retiring]
+
+    @property
+    def active_worker_count(self) -> int:
+        """The pool size :meth:`scale_to` reasons about."""
+        return sum(1 for handle in self.handles if not handle.retiring)
+
+    def units_of(self, worker_id: str) -> tuple[str, ...]:
+        """Unit ids currently placed on one worker."""
+        return tuple(u.unit_id
+                     for u in self._require_handle(worker_id).units)
+
+    @property
+    def migrating_unit_ids(self) -> tuple[str, ...]:
+        """Units currently quiescing toward a new worker, sorted."""
+        return tuple(sorted(self._migrations))
+
+    @property
+    def backlog_envelopes(self) -> int:
+        """Envelopes routed but not yet settled: in-flight unacked
+        batches plus coordinator-side buffers (the elastic
+        controller's queue-depth signal)."""
+        in_flight = sum(len(command.batch)
+                        for handle in self.handles
+                        for command in handle.unacked.values())
+        return in_flight + sum(len(buf) for buf in self._buffers.values())
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
@@ -333,6 +419,10 @@ class ParallelCluster:
         if self._chaos is not None:
             # Fire every fault scheduled at or before this ingest index.
             self._chaos.on_ingest(self)
+        if self._elastic is not None:
+            # Sample rates/backlog and, when due, resize the pool and
+            # retune the transport knobs (see repro.parallel.elastic).
+            self._elastic.on_ingest(self)
         self._ingests_since_supervise += 1
         if self._ingests_since_supervise >= self.parallel.supervise_every:
             self._ingests_since_supervise = 0
@@ -379,7 +469,10 @@ class ParallelCluster:
 
     def _flush_unit(self, unit_id: str) -> None:
         buf = self._buffers[unit_id]
-        if not buf:
+        if not buf or unit_id in self._migrations:
+            # Quiescing: envelopes stay buffered until cutover re-routes
+            # them to the target (the hold is what lets the source's
+            # outstanding batches drain to zero).
             return
         handle = self._unit_worker[unit_id]
         # Flow control: never run more than max_unacked batches ahead
@@ -388,6 +481,14 @@ class ParallelCluster:
         while len(handle.unacked) >= self.parallel.max_unacked:
             self._pump(0.05)
             self._supervise()
+            if unit_id in self._migrations:
+                # Supervision (chaos scale-in, retirement sweeps) began
+                # quiescing this very unit while we waited: hold the
+                # batch — delivering to the source now would stretch
+                # the quiesce, and delivering after cutover would hit
+                # an evicted joiner.
+                return
+            handle = self._unit_worker[unit_id]  # cutover may re-home it
         batch = EnvelopeBatch(tuple(buf))
         buf.clear()
         handle.deliver(Deliver(seq=handle.next_seq, unit_id=unit_id,
@@ -490,6 +591,7 @@ class ParallelCluster:
                 self.redundant_acks += 1
                 return
             command = handle.ack(frame.seq)
+            self.envelopes_settled += len(command.batch)
             # Log-on-ack: only settled stores enter the replay log, so
             # restore material and redelivered batches stay disjoint.
             for env in command.batch:
@@ -524,6 +626,10 @@ class ParallelCluster:
         if self._chaos is not None:
             # Due SIGCONTs (and any other timer-driven chaos work).
             self._chaos.tick(self)
+        # Advance handoffs first: completed retirements leave the pool
+        # before the liveness sweep, so a cleanly-stopped retiree is
+        # never mistaken for a crash and respawned.
+        self._advance_migrations()
         for handle in self.handles:
             if not handle.alive:
                 self._recover(handle)
@@ -637,6 +743,309 @@ class ParallelCluster:
                 break
             self._apply(handle, frame)
 
+    # ------------------------------------------------------------------
+    # Elastic scaling: live unit migration between workers
+    # ------------------------------------------------------------------
+    #
+    # The handoff is two-phase and built entirely from the exactly-once
+    # machinery PR 5 introduced — it adds *no* new durable state:
+    #
+    # 1. **Quiesce** — the unit's envelopes are held in the coordinator
+    #    buffer (``_flush_unit`` early-outs) while the source worker
+    #    settles its outstanding batches of the unit.  The phase is
+    #    represented by one ``_Migration`` record; killing the source
+    #    here just routes through normal recovery (respawn + restore +
+    #    redeliver) and the quiesce resumes against the replacement.
+    #    Aborting here is trivial: drop the record and flushing resumes
+    #    toward the source.
+    # 2. **Cutover** — once ``unacked_for_unit == 0``, the unit's
+    #    complete acked store history *is* the replay log (log-on-ack
+    #    with zero outstanding ⇒ nothing is missing, nothing is
+    #    duplicated).  The coordinator atomically rewrites both
+    #    handles' unit sets (hence their respawn specs) and the routing
+    #    map, then sends ``InstallUnit`` + ``Restore(snapshot)`` to the
+    #    target and ``EvictUnit`` to the source.  From this instant the
+    #    unit is simply *the target's*: a SIGKILL of either side is the
+    #    ordinary crash-recovery case, with no migration left to
+    #    resume.
+    #
+    # Worker membership changes never touch routing strategies: units
+    # (and therefore ContRand rotations and ContHash epochs) are
+    # invariant under worker scaling, which is what keeps this immune
+    # to the router-pool counter-skew family of ordering bugs the PR-6
+    # ``reset_rotation`` fix pinned (placement moves, stamping doesn't).
+    def migrate_unit(self, unit_id: str,
+                     target_worker_id: str | None = None) -> str:
+        """Begin a live handoff of one unit; returns the target worker.
+
+        The handoff is asynchronous: it quiesces under continued
+        ingest and cuts over on a later supervision tick (or during
+        :meth:`drain`, which settles all handoffs first).
+        """
+        if unit_id not in self._unit_worker:
+            raise ParallelError(f"unknown unit {unit_id!r}")
+        if unit_id in self._migrations:
+            raise ParallelError(f"unit {unit_id!r} is already migrating")
+        source = self._unit_worker[unit_id]
+        if target_worker_id is None:
+            target = self._pick_target(exclude=source)
+            if target is None:
+                raise ParallelError(
+                    f"no eligible migration target for {unit_id!r}: "
+                    f"every other worker is retiring (or the pool has "
+                    f"only one worker)")
+        else:
+            target = self._require_handle(target_worker_id)
+            if target is source:
+                raise ParallelError(
+                    f"unit {unit_id!r} already lives on {target_worker_id}")
+            if target.retiring:
+                raise ParallelError(
+                    f"worker {target_worker_id} is retiring and cannot "
+                    f"receive units")
+        unit = next(u for u in source.units if u.unit_id == unit_id)
+        self._start_migration(unit, source, target)
+        return target.worker_id
+
+    def add_worker(self) -> str:
+        """Scale out by one empty worker, then rebalance units onto it.
+
+        Returns the new worker id.  Rebalancing is by live migration,
+        so the call returns while handoffs are still quiescing.
+        """
+        if self._closed:
+            raise ParallelError("cluster is closed")
+        handle = WorkerHandle(
+            self._worker_spec(f"worker{self._next_worker_index}", ()),
+            self._ctx)
+        self._next_worker_index += 1
+        self.handles.append(handle)
+        self.workers_added += 1
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_SCALE, time.time() - self._epoch,
+                               handle.worker_id, detail="add_worker")
+        self._rebalance_onto(handle)
+        return handle.worker_id
+
+    def retire_worker(self, worker_id: str | None = None) -> str:
+        """Scale in one worker: migrate its units away, then stop it.
+
+        Returns the retiring worker id.  The worker leaves the pool
+        asynchronously, once its last unit has handed off and its last
+        batch has settled; until then it is supervised (and recovered)
+        like any other member.
+        """
+        if self._closed:
+            raise ParallelError("cluster is closed")
+        if worker_id is None:
+            candidates = [h for h in self.handles if not h.retiring]
+            if len(candidates) <= 1:
+                raise ParallelError("cannot retire the last active worker")
+            # Cheapest handoff first: fewest units wins, latest-added
+            # breaks ties (LIFO keeps the founding placement stable).
+            handle = min(reversed(candidates), key=lambda h: len(h.units))
+        else:
+            handle = self._require_handle(worker_id)
+            if handle.retiring:
+                raise ParallelError(f"worker {worker_id} is already retiring")
+            if self.active_worker_count <= 1:
+                raise ParallelError("cannot retire the last active worker")
+        handle.retiring = True
+        for unit in handle.units:
+            if unit.unit_id not in self._migrations:
+                target = self._pick_target(exclude=handle)
+                if target is not None:
+                    self._start_migration(unit, handle, target)
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_SCALE, time.time() - self._epoch,
+                               handle.worker_id, detail="retire_worker")
+        return handle.worker_id
+
+    def scale_to(self, n: int) -> None:
+        """Resize the active pool to ``n`` workers by live migration.
+
+        Growing first *cancels* pending retirements (aborting their
+        still-quiescing handoffs — the cheap path when the controller
+        flaps), then adds fresh workers; shrinking retires the
+        cheapest members.  Asynchronous like its building blocks.
+        """
+        if self._closed:
+            raise ParallelError("cluster is closed")
+        if n < 1:
+            raise ConfigurationError("cannot scale below one worker")
+        while self.active_worker_count < n:
+            retiring = [h for h in self.handles if h.retiring]
+            if retiring:
+                self._unretire(retiring[-1])
+            else:
+                self.add_worker()
+        while self.active_worker_count > n:
+            self.retire_worker()
+
+    def set_transfer_batch(self, n: int) -> None:
+        """Retune the IPC amortisation unit live (elastic controller)."""
+        if n < 1:
+            raise ConfigurationError("transfer_batch must be >= 1")
+        self.parallel.transfer_batch = n
+
+    def set_max_unacked(self, n: int) -> None:
+        """Retune the in-flight bound live (elastic controller)."""
+        if n < 1:
+            raise ConfigurationError("max_unacked must be >= 1")
+        self.parallel.max_unacked = n
+
+    # -- handoff state machine ---------------------------------------------
+    def _start_migration(self, unit: UnitSpec, source: WorkerHandle,
+                         target: WorkerHandle) -> None:
+        self._migrations[unit.unit_id] = _Migration(
+            unit=unit, source=source, target=target,
+            started=time.monotonic())
+        if self.tracer.enabled:
+            self.tracer.record(
+                SPAN_SCALE, time.time() - self._epoch, unit.unit_id,
+                detail=f"migrate:{source.worker_id}->{target.worker_id}")
+
+    def _advance_migrations(self) -> None:
+        if not self._migrations and not any(h.retiring
+                                            for h in self.handles):
+            return
+        # Units that landed on a since-retiring worker (an inbound
+        # handoff completed after retire_worker ran) migrate onward.
+        for handle in self.handles:
+            if handle.retiring:
+                for unit in handle.units:
+                    if unit.unit_id not in self._migrations:
+                        target = self._pick_target(exclude=handle)
+                        if target is not None:
+                            self._start_migration(unit, handle, target)
+        for unit_id in list(self._migrations):
+            migration = self._migrations[unit_id]
+            if migration.source.unacked_for_unit(unit_id) == 0:
+                self._cutover(migration)
+        for handle in list(self.handles):
+            if handle.retiring and not handle.units and not handle.unacked:
+                self._complete_retirement(handle)
+
+    def _cutover(self, migration: _Migration) -> None:
+        """Atomically re-home a quiesced unit onto its target worker.
+
+        Coordinator state first: after the three assignments below a
+        crash of either worker recovers into the *post*-migration
+        placement (the respawn spec and the replay log agree), so the
+        commands that follow are pure delivery, safe to lose.
+        """
+        unit, source, target = (migration.unit, migration.source,
+                                migration.target)
+        source.set_units(tuple(u for u in source.units
+                               if u.unit_id != unit.unit_id))
+        target.set_units(target.units + (unit,))
+        self._unit_worker[unit.unit_id] = target
+        del self._migrations[unit.unit_id]
+        snapshot = tuple(self.replay_log.snapshot(unit.unit_id))
+        try:
+            target.send(InstallUnit(unit=unit))
+            if snapshot:
+                target.send(Restore(unit_id=unit.unit_id,
+                                    envelopes=snapshot))
+        except (OSError, ValueError):
+            pass  # dead target: its respawn installs from the new spec
+        try:
+            source.send(EvictUnit(unit_id=unit.unit_id))
+        except (OSError, ValueError):
+            pass  # dead source: its respawn spec already excludes it
+        self.migrations_completed += 1
+        if self.tracer.enabled:
+            self.tracer.record(
+                SPAN_SCALE, time.time() - self._epoch, unit.unit_id,
+                detail=f"cutover:{target.worker_id}"
+                       f":snapshot={len(snapshot)}")
+
+    def _abort_migration(self, unit_id: str) -> None:
+        """Abandon a still-quiescing handoff; the unit never left its
+        source, so dropping the record (and letting flushes resume) is
+        the complete rollback."""
+        del self._migrations[unit_id]
+        self.migrations_aborted += 1
+
+    def _unretire(self, handle: WorkerHandle) -> None:
+        """Cancel a pending retirement (scale_to flapped upward)."""
+        handle.retiring = False
+        for unit_id, migration in list(self._migrations.items()):
+            if migration.source is handle:
+                self._abort_migration(unit_id)
+
+    def _complete_retirement(self, handle: WorkerHandle) -> None:
+        """Remove a fully-drained retiree from the pool.
+
+        Safe by quiesce: zero units and zero unacked batches mean
+        every result the worker ever produced has settled and every
+        store it held is in the replay log under its new owner.
+        """
+        try:
+            handle.send(Stop())
+        except (OSError, ValueError, AttributeError):
+            pass
+        handle.close_channels()
+        if handle.alive:
+            handle.kill()
+        self.handles.remove(handle)
+        self.workers_retired += 1
+        if self.tracer.enabled:
+            self.tracer.record(SPAN_SCALE, time.time() - self._epoch,
+                               handle.worker_id, detail="retired")
+
+    def _pick_target(self, exclude: WorkerHandle) -> WorkerHandle | None:
+        """The least-loaded eligible migration target (projected load:
+        current units minus outbound handoffs plus inbound ones)."""
+        candidates = [h for h in self.handles
+                      if h is not exclude and not h.retiring]
+        if not candidates:
+            return None
+        return min(candidates, key=self._projected_units)
+
+    def _projected_units(self, handle: WorkerHandle) -> int:
+        outbound = sum(1 for m in self._migrations.values()
+                       if m.source is handle)
+        inbound = sum(1 for m in self._migrations.values()
+                      if m.target is handle)
+        return len(handle.units) - outbound + inbound
+
+    def _rebalance_onto(self, handle: WorkerHandle) -> None:
+        """Move units onto a fresh worker until it carries a fair share."""
+        share = len(self._unit_worker) // max(1, self.active_worker_count)
+        while self._projected_units(handle) < share:
+            donors = [h for h in self.handles
+                      if h is not handle and not h.retiring
+                      and self._projected_units(h) > share]
+            if not donors:
+                donors = [h for h in self.handles
+                          if h is not handle and not h.retiring
+                          and self._projected_units(h)
+                          > self._projected_units(handle) + 1]
+            if not donors:
+                return
+            donor = max(donors, key=self._projected_units)
+            movable = [u for u in donor.units
+                       if u.unit_id not in self._migrations]
+            if not movable:
+                return
+            # Alternate sides so the newcomer hosts an R/S mix (same
+            # policy as the founding placement).
+            hosted_r = sum(1 for u in handle.units if u.side == "R") \
+                + sum(1 for m in self._migrations.values()
+                      if m.target is handle and m.unit.side == "R")
+            preferred = "S" if hosted_r > 0 else "R"
+            unit = next((u for u in movable if u.side == preferred),
+                        movable[0])
+            self._start_migration(unit, donor, handle)
+
+    def _settle_migrations(self) -> None:
+        """Block until every handoff has cut over and every retiring
+        worker has left the pool (drain-time barrier)."""
+        while self._migrations or any(h.retiring for h in self.handles):
+            self._pump(0.05)
+            self._supervise()
+
     def _handle_by_id(self, worker_id: str) -> WorkerHandle | None:
         for handle in self.handles:
             if handle.worker_id == worker_id:
@@ -670,10 +1079,21 @@ class ParallelCluster:
         """
         return self._require_handle(worker_id).stop()
 
-    def continue_worker(self, pid: int) -> None:
-        """Fault injection: SIGCONT a pid stopped by :meth:`stop_worker`
-        (no-op when the supervisor already killed it)."""
-        WorkerHandle.resume(pid)
+    def continue_worker(self, pid: int | None) -> None:
+        """Fault injection: SIGCONT a pid stopped by :meth:`stop_worker`.
+
+        Tolerates every way the target can have vanished meanwhile:
+        ``None`` (the stop itself raced a kill+respawn and never
+        landed), an already-reaped pid, or a pid recycled to a process
+        we may not signal — chaos runs hit all three, and none may
+        crash the coordinator loop.
+        """
+        if pid is None:
+            return
+        try:
+            WorkerHandle.resume(pid)
+        except OSError:  # resume() guards the common cases; belt+braces
+            pass
 
     def hang_worker(self, worker_id: str, seconds: float) -> None:
         """Fault injection: block one worker's command loop in-band.
@@ -691,6 +1111,11 @@ class ParallelCluster:
         each worker's metrics/spans, stop the pool, build the report."""
         if self._closed:
             raise ParallelError("cluster is closed")
+        # Settle elasticity first: every handoff cut over, every
+        # retiree gone.  The pool is then stable for the drain
+        # handshake, and the flush below reaches every buffered
+        # envelope (no unit is still held in quiesce).
+        self._settle_migrations()
         self.punctuate_all()
         drain_marks: dict[str, int] = {}
         for handle in self.handles:
@@ -729,6 +1154,10 @@ class ParallelCluster:
             workers=len(self.handles),
             quarantines=self.quarantines,
             redeliveries=self.redeliveries,
+            migrations=self.migrations_completed,
+            aborted_migrations=self.migrations_aborted,
+            workers_added=self.workers_added,
+            workers_retired=self.workers_retired,
             metrics=self.registry.snapshot(),
             stages=stages,
             worker_stats={handle.worker_id: dict(handle.drained.stats)
@@ -777,6 +1206,24 @@ class ParallelCluster:
             "repro_parallel_deadline_kills_total",
             "Workers killed by per-command deadline escalation."
             ).set_total(self.deadline_kills)
+        self.registry.counter(
+            "repro_parallel_migrations_total",
+            "Unit handoffs completed between workers (elastic scaling)."
+            ).set_total(self.migrations_completed)
+        self.registry.counter(
+            "repro_parallel_migrations_aborted_total",
+            "Unit handoffs abandoned before cutover."
+            ).set_total(self.migrations_aborted)
+        self.registry.counter(
+            "repro_parallel_workers_added_total",
+            "Worker processes added by scale-out."
+            ).set_total(self.workers_added)
+        self.registry.counter(
+            "repro_parallel_workers_retired_total",
+            "Worker processes removed by scale-in."
+            ).set_total(self.workers_retired)
+        if self._elastic is not None:
+            self._elastic.export_metrics(self.registry)
         if self._chaos is not None:
             for kind, injected in sorted(self._chaos.injected.items()):
                 self.registry.counter(
@@ -800,10 +1247,20 @@ class ParallelCluster:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop every worker (idempotent; drained clusters are closed)."""
+        """Stop every worker; idempotent, and safe mid-migration.
+
+        A second close returns immediately (the first already tore the
+        channels down — re-joining dead processes is exactly the bug
+        this guards).  Closing with handoffs in flight abandons them:
+        quiesce records are dropped (counted as aborted — nothing was
+        transferred, nothing is owed) and retiring workers are killed
+        along with the rest of the pool.
+        """
         if self._closed:
             return
         self._closed = True
+        for unit_id in list(self._migrations):
+            self._abort_migration(unit_id)
         if self._chaos is not None:
             # SIGCONT anything still stopped so the kills below land on
             # runnable processes and nothing outlives the cluster.

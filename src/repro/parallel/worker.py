@@ -25,6 +25,7 @@ the heartbeat bookkeeping the supervisor reads.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import signal
 import time
@@ -43,8 +44,10 @@ from .commands import (
     Deliver,
     Drain,
     Drained,
+    EvictUnit,
     Expire,
     Hang,
+    InstallUnit,
     Ping,
     Pong,
     Punctuate,
@@ -52,6 +55,7 @@ from .commands import (
     Snapshot,
     SnapshotResult,
     Stop,
+    UnitSpec,
     WorkerFailure,
     WorkerSpec,
 )
@@ -63,16 +67,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # ---------------------------------------------------------------------------
 # Worker-process side
 # ---------------------------------------------------------------------------
+def _build_joiner(spec: WorkerSpec, unit: UnitSpec, sink, tracer) -> Joiner:
+    return Joiner(
+        unit_id=unit.unit_id, side=unit.side,
+        predicate=spec.predicate, window=spec.window,
+        archive_period=spec.archive_period, result_sink=sink,
+        ordered=False, timestamp_policy=spec.timestamp_policy,
+        expiry_slack=spec.expiry_slack, tracer=tracer)
+
+
 def _build_joiners(spec: WorkerSpec, sink, tracer) -> dict[str, Joiner]:
-    return {
-        unit.unit_id: Joiner(
-            unit_id=unit.unit_id, side=unit.side,
-            predicate=spec.predicate, window=spec.window,
-            archive_period=spec.archive_period, result_sink=sink,
-            ordered=False, timestamp_policy=spec.timestamp_policy,
-            expiry_slack=spec.expiry_slack, tracer=tracer)
-        for unit in spec.units
-    }
+    return {unit.unit_id: _build_joiner(spec, unit, sink, tracer)
+            for unit in spec.units}
 
 
 def _drained_frame(spec: WorkerSpec, joiners: dict[str, Joiner],
@@ -162,6 +168,19 @@ def worker_main(spec_frame: bytes, cmd_queue, out_conn) -> None:
                 time.sleep(command.seconds)
             elif isinstance(command, Restore):
                 joiners[command.unit_id].restore(list(command.envelopes))
+            elif isinstance(command, InstallUnit):
+                unit = command.unit
+                if unit.unit_id in joiners:
+                    raise ParallelError(
+                        f"unit {unit.unit_id!r} is already hosted by "
+                        f"{spec.worker_id}; a double install would reset "
+                        f"its window state")
+                joiners[unit.unit_id] = _build_joiner(
+                    spec, unit, results.append, tracer)
+            elif isinstance(command, EvictUnit):
+                # Tolerated when absent: a post-cutover respawn already
+                # excludes the unit from its spec (see commands.py).
+                joiners.pop(command.unit_id, None)
             elif isinstance(command, Expire):
                 targets = (joiners.values() if command.unit_id is None
                            else (joiners[command.unit_id],))
@@ -208,14 +227,22 @@ class WorkerHandle:
     pipe) while keeping the sequence counter and the ledger, so a
     replacement sees the same outstanding batches under the same
     numbers.
+
+    The handle also owns the authoritative *unit set* of the worker.
+    Elastic migrations rewrite it through :meth:`set_units` (which
+    re-encodes the bootstrap spec), so a replacement spawned after a
+    migration hosts exactly the post-migration units — the property
+    the mid-migration crash-safety argument rests on.
     """
 
-    def __init__(self, worker_id: str, units: tuple, spec_frame: bytes,
-                 ctx) -> None:
-        self.worker_id = worker_id
-        self.units = units
-        self._spec_frame = spec_frame
+    def __init__(self, spec: WorkerSpec, ctx) -> None:
+        self.spec = spec
+        self.worker_id = spec.worker_id
+        self._spec_frame = encode_frame(spec)
         self._ctx = ctx
+        #: Set by the coordinator while the worker is being scaled in:
+        #: its units are migrating away and no new unit may land on it.
+        self.retiring = False
         self.next_seq = 0
         #: Outstanding Deliver commands awaiting their BatchDone frame.
         self.unacked: dict[int, Deliver] = {}
@@ -235,6 +262,24 @@ class WorkerHandle:
         self.cmd_queue = None
         self.conn = None
         self._spawn()
+
+    @property
+    def units(self) -> tuple[UnitSpec, ...]:
+        """The units this worker (and any replacement of it) hosts."""
+        return self.spec.units
+
+    def set_units(self, units: tuple[UnitSpec, ...]) -> None:
+        """Rewrite the hosted unit set (migration cutover).
+
+        Only the bootstrap spec changes here — the *live* process is
+        updated separately via :class:`~repro.parallel.commands.
+        InstallUnit` / :class:`~repro.parallel.commands.EvictUnit`
+        commands.  A crash after this point respawns into the new
+        unit set, which is exactly what makes cutover atomic from the
+        recovery path's point of view.
+        """
+        self.spec = dataclasses.replace(self.spec, units=units)
+        self._spec_frame = encode_frame(self.spec)
 
     # -- lifecycle ---------------------------------------------------------
     def _spawn(self) -> None:
@@ -372,6 +417,12 @@ class WorkerHandle:
     def silent_for(self) -> float:
         """Seconds since the last frame (or successful spawn)."""
         return time.monotonic() - self.last_contact
+
+    def unacked_for_unit(self, unit_id: str) -> int:
+        """Outstanding batches of one hosted unit (the quiesce gauge:
+        a migration may cut over only once this reaches zero)."""
+        return sum(1 for command in self.unacked.values()
+                   if command.unit_id == unit_id)
 
     # -- store-envelope bookkeeping ---------------------------------------
     def outstanding_store_keys(self, unit_id: str) -> set:

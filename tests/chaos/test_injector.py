@@ -6,7 +6,9 @@ import pytest
 
 from repro.chaos.injector import ChaosInjector, corrupt_bytes
 from repro.chaos.plan import (ChaosConfig, CorruptFrame, HangWorker,
-                              KillWorker, PipeStall, StallWorker)
+                              KillDuringMigration, KillWorker, PipeStall,
+                              ScaleIn, ScaleOut, StallWorker)
+from repro.errors import ParallelError
 from repro.parallel.codec import encode_frame, try_decode_frame
 
 
@@ -28,6 +30,42 @@ class _FakeCluster:
 
     def hang_worker(self, worker_id, seconds):
         self.calls.append(("hang", worker_id, seconds))
+
+
+class _FakeElasticCluster(_FakeCluster):
+    """Adds the elastic surface the scale faults drive."""
+
+    def __init__(self, workers=2, units_per_worker=2, migrating=(),
+                 migrate_fails_for=()):
+        super().__init__(workers=workers)
+        self._units = {w: [f"{w}-U{i}" for i in range(units_per_worker)]
+                       for w in self.worker_ids}
+        self.migrating_unit_ids = tuple(migrating)
+        self._migrate_fails_for = set(migrate_fails_for)
+
+    @property
+    def active_worker_ids(self):
+        return list(self.worker_ids)
+
+    @property
+    def active_worker_count(self):
+        return len(self.worker_ids)
+
+    def units_of(self, worker_id):
+        return list(self._units[worker_id])
+
+    def scale_to(self, n):
+        self.calls.append(("scale_to", n))
+        while len(self.worker_ids) < n:
+            worker_id = f"worker{len(self.worker_ids)}"
+            self.worker_ids.append(worker_id)
+            self._units[worker_id] = []
+
+    def migrate_unit(self, unit_id, target=None):
+        if unit_id in self._migrate_fails_for:
+            raise ParallelError("no eligible target")
+        self.calls.append(("migrate", unit_id))
+        return "worker1"
 
 
 class TestCorruptBytes:
@@ -91,6 +129,76 @@ class TestFiring:
         injector.on_ingest(_FakeCluster())
         assert injector.injected == {"corrupt_flip": 1,
                                      "corrupt_truncate": 1}
+
+
+class TestScaleFaultFiring:
+    def test_scale_out_grows_by_count(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            ScaleOut(at_tuple=0, count=2),)))
+        cluster = _FakeElasticCluster(workers=2)
+        injector.on_ingest(cluster)
+        assert cluster.calls == [("scale_to", 4)]
+        assert injector.injected == {"scale_out": 1}
+
+    def test_scale_in_clamps_at_one_worker(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            ScaleIn(at_tuple=0, count=5),)))
+        cluster = _FakeElasticCluster(workers=2)
+        injector.on_ingest(cluster)
+        assert cluster.calls == [("scale_to", 1)]
+        assert injector.injected == {"scale_in": 1}
+
+    def test_kill_mid_migration_kills_the_source(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            KillDuringMigration(at_tuple=0, victim="source"),)))
+        cluster = _FakeElasticCluster(workers=2)
+        injector.on_ingest(cluster)
+        assert cluster.calls == [("migrate", "worker0-U0"),
+                                 ("kill", "worker0")]
+        assert injector.injected == {"kill_mid_migration": 1}
+
+    def test_kill_mid_migration_kills_the_target(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            KillDuringMigration(at_tuple=0, victim="target"),)))
+        cluster = _FakeElasticCluster(workers=2)
+        injector.on_ingest(cluster)
+        assert cluster.calls == [("migrate", "worker0-U0"),
+                                 ("kill", "worker1")]
+
+    def test_kill_mid_migration_grows_a_single_worker_pool_first(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            KillDuringMigration(at_tuple=0),)))
+        cluster = _FakeElasticCluster(workers=1)
+        injector.on_ingest(cluster)
+        assert cluster.calls[0] == ("scale_to", 2)
+        assert cluster.calls[-1][0] == "kill"
+
+    def test_kill_mid_migration_skips_already_migrating_units(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            KillDuringMigration(at_tuple=0),)))
+        cluster = _FakeElasticCluster(workers=2,
+                                      migrating=("worker0-U0",))
+        injector.on_ingest(cluster)
+        assert cluster.calls == [("migrate", "worker0-U1"),
+                                 ("kill", "worker0")]
+
+    def test_kill_mid_migration_tries_the_next_unit_on_failure(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            KillDuringMigration(at_tuple=0),)))
+        cluster = _FakeElasticCluster(
+            workers=2, migrate_fails_for=("worker0-U0", "worker0-U1"))
+        injector.on_ingest(cluster)
+        assert cluster.calls == [("migrate", "worker1-U0"),
+                                 ("kill", "worker1")]
+
+    def test_kill_mid_migration_degrades_to_counted_no_op(self):
+        injector = ChaosInjector(ChaosConfig(faults=(
+            KillDuringMigration(at_tuple=0),)))
+        all_units = [f"worker{w}-U{i}" for w in range(2) for i in range(2)]
+        cluster = _FakeElasticCluster(workers=2, migrating=all_units)
+        injector.on_ingest(cluster)
+        assert cluster.calls == []
+        assert injector.injected == {"kill_mid_migration": 1}
 
 
 class TestFrameBoundary:

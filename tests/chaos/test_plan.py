@@ -2,8 +2,10 @@
 
 import pytest
 
-from repro.chaos.plan import (ALL_FAULT_KINDS, ChaosConfig, CorruptFrame,
-                              HangWorker, KillWorker, PipeStall, StallWorker,
+from repro.chaos.plan import (ALL_FAULT_KINDS, SCALE_FAULT_KINDS,
+                              ChaosConfig, CorruptFrame, HangWorker,
+                              KillDuringMigration, KillWorker, PipeStall,
+                              ScaleIn, ScaleOut, StallWorker,
                               random_fault_plan)
 from repro.errors import ConfigurationError
 
@@ -33,6 +35,36 @@ class TestFaultValidation:
         fault = KillWorker(at_tuple=3, worker=1)
         with pytest.raises(AttributeError):
             fault.at_tuple = 9
+
+
+class TestScaleFaultValidation:
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScaleOut(at_tuple=-1)
+        with pytest.raises(ConfigurationError):
+            KillDuringMigration(at_tuple=-1)
+
+    def test_nonpositive_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScaleOut(at_tuple=0, count=0)
+        with pytest.raises(ConfigurationError):
+            ScaleIn(at_tuple=0, count=-1)
+
+    def test_victim_validated(self):
+        with pytest.raises(ConfigurationError):
+            KillDuringMigration(at_tuple=0, victim="bystander")
+        assert KillDuringMigration(at_tuple=0, victim="target").victim \
+            == "target"
+
+    def test_scale_faults_are_frozen_and_sortable(self):
+        fault = ScaleIn(at_tuple=3)
+        with pytest.raises(AttributeError):
+            fault.count = 9
+        config = ChaosConfig(faults=(
+            ScaleOut(at_tuple=50), KillWorker(at_tuple=10, worker=0),
+            KillDuringMigration(at_tuple=30)))
+        assert [f.at_tuple for f in config.faults] == [10, 30, 50]
+        assert config.kinds == ("kill", "kill_mid_migration", "scale_out")
 
 
 class TestChaosConfig:
@@ -96,3 +128,41 @@ class TestRandomFaultPlan:
             random_fault_plan(1, 300, 2, kinds=("nope",))
         with pytest.raises(ConfigurationError):
             random_fault_plan(1, 300, 2, kinds=())
+        with pytest.raises(ConfigurationError):
+            random_fault_plan(1, 300, 2, resizes=-1)
+        with pytest.raises(ConfigurationError):
+            random_fault_plan(1, 300, 2, resizes=1, scale_kinds=("nope",))
+        with pytest.raises(ConfigurationError):
+            random_fault_plan(1, 300, 2, resizes=1, scale_kinds=())
+
+
+class TestResizeDraws:
+    def test_resizes_only_add_events_to_the_base_plan(self):
+        """The regression-baseline property: under a fixed seed, the
+        base faults are byte-identical with resizes on or off."""
+        off = random_fault_plan(42, 300, 2, faults=6)
+        on = random_fault_plan(42, 300, 2, faults=6, resizes=3)
+        base_of_on = tuple(f for f in on.faults
+                           if f.kind not in SCALE_FAULT_KINDS)
+        assert base_of_on == off.faults
+        assert len(on) == len(off) + 3
+
+    def test_resize_events_are_scale_kinds_within_bounds(self):
+        plan = random_fault_plan(9, 300, 2, faults=0, resizes=30)
+        assert len(plan) == 30
+        for fault in plan.faults:
+            assert fault.kind in SCALE_FAULT_KINDS
+            assert 30 <= fault.at_tuple < 270
+            if isinstance(fault, (ScaleOut, ScaleIn)):
+                assert 1 <= fault.count <= 2
+            else:
+                assert fault.victim in ("source", "target")
+
+    def test_all_scale_kinds_reachable(self):
+        plan = random_fault_plan(5, 1000, 2, faults=0, resizes=60)
+        assert {f.kind for f in plan.faults} == set(SCALE_FAULT_KINDS)
+
+    def test_scale_kind_restriction_respected(self):
+        plan = random_fault_plan(7, 300, 2, faults=0, resizes=12,
+                                 scale_kinds=("kill_mid_migration",))
+        assert {f.kind for f in plan.faults} == {"kill_mid_migration"}

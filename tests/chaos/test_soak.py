@@ -26,6 +26,15 @@ class TestSoakConfig:
             SoakConfig(workers=0)
         with pytest.raises(ConfigurationError):
             SoakConfig(faults_per_round=-1)
+        with pytest.raises(ConfigurationError):
+            SoakConfig(resizes_per_round=-1)
+
+    def test_effective_resizes_follows_the_switch(self):
+        assert SoakConfig().effective_resizes == 2
+        assert SoakConfig(resizes_per_round=5).effective_resizes == 5
+        assert SoakConfig(resizes=False).effective_resizes == 0
+        assert SoakConfig(resizes=False,
+                          resizes_per_round=5).effective_resizes == 0
 
 
 class TestWorkload:
@@ -45,24 +54,36 @@ class TestWorkload:
 class TestRounds:
     def test_round_without_faults_is_clean(self):
         config = SoakConfig(rounds=1, tuples_per_round=120,
-                            faults_per_round=0, seed=11)
+                            faults_per_round=0, seed=11, resizes=False)
         score = run_round(config, 0)
         assert score.ok
         assert score.lost == 0 and score.duplicated == 0
         assert score.restarts == 0
         assert score.faults == ()
+        assert score.migrations == 0
 
     def test_round_with_kill_recovers_exactly_once(self):
         config = SoakConfig(rounds=1, tuples_per_round=200,
-                            faults_per_round=2, seed=11, kinds=("kill",))
+                            faults_per_round=2, seed=11, kinds=("kill",),
+                            resizes=False)
         score = run_round(config, 0)
         assert score.ok, f"kill round lost results: {score}"
         assert score.restarts >= 1
         assert score.faults_injected == {"kill": 2}
 
+    def test_round_with_resizes_migrates_exactly_once(self):
+        """The elastic acceptance case at soak scale: resize
+        disturbances fold in and the round still scores clean."""
+        config = SoakConfig(rounds=1, tuples_per_round=200,
+                            faults_per_round=0, seed=11)
+        score = run_round(config, 0)
+        assert score.ok, f"resize round lost results: {score}"
+        assert score.migrations >= 1
+        assert sum(score.faults_injected.values()) == 2
+
     def test_rounds_alternate_routing_modes(self):
         config = SoakConfig(rounds=2, tuples_per_round=120,
-                            faults_per_round=0, seed=11)
+                            faults_per_round=0, seed=11, resizes=False)
         assert run_round(config, 0).mode == "hash"
         assert run_round(config, 1).mode == "random"
 
@@ -80,6 +101,8 @@ class TestScorecard:
         totals = scorecard["totals"]
         assert totals["rounds"] == 2
         assert totals["lost"] == 0 and totals["duplicated"] == 0
+        assert totals["migrations"] >= 0
+        assert totals["aborted_migrations"] >= 0
         assert scorecard["ok"]
 
         out = tmp_path / "scorecard.json"
@@ -93,6 +116,7 @@ class TestScorecard:
             round=0, seed=1, mode="hash", faults=("kill@10",),
             expected=100, produced=100, lost=0, duplicated=0, spurious=0,
             restarts=1, quarantines=0, redeliveries=2, redundant_acks=0,
-            corrupt_frames=0, duration=0.5, ok=True))
+            corrupt_frames=0, duration=0.5, ok=True, migrations=3))
         assert "\n" not in line
         assert "ok" in line and "kill@10" in line
+        assert "migrations=3" in line

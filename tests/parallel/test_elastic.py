@@ -1,0 +1,231 @@
+"""The predictive elastic controller: model, guards, transport tuning.
+
+The controller only reads a handful of cluster attributes and calls
+``scale_to`` / ``set_transfer_batch`` / ``set_max_unacked``, so these
+tests drive it against a fake cluster on a virtual clock — decisions
+become a pure function of the scripted load, no processes involved.
+(The controller × real-cluster integration is E19's job.)
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.parallel import ElasticConfig, ElasticController
+
+
+class FakeCluster:
+    """Just enough surface for the controller: counters it samples and
+    the three actuators it drives, with envelopes settling at a
+    scripted per-worker service rate."""
+
+    def __init__(self, workers=2, units=8, service_rate=1000.0):
+        self.workers = workers
+        self.units = units
+        self.service_rate = service_rate
+        self.envelopes_settled = 0
+        self.backlog_envelopes = 0
+        self.transfer_batch = 32
+        self.max_unacked = 32
+        self.scale_calls: list[int] = []
+
+    @property
+    def active_worker_count(self):
+        return self.workers
+
+    def unit_ids(self):
+        return [f"U{i}" for i in range(self.units)]
+
+    def scale_to(self, n):
+        self.scale_calls.append(n)
+        self.workers = n
+
+    def set_transfer_batch(self, n):
+        self.transfer_batch = n
+
+    def set_max_unacked(self, n):
+        self.max_unacked = n
+
+    def offer(self, envelopes, dt):
+        """Route ``envelopes`` over ``dt`` seconds of cluster time:
+        workers settle what they can, the rest queues."""
+        capacity = int(self.service_rate * dt * self.workers)
+        total = self.backlog_envelopes + envelopes
+        settled = min(total, capacity)
+        self.envelopes_settled += settled
+        self.backlog_envelopes = total - settled
+
+
+class Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_controller(clock, **overrides):
+    defaults = dict(capacity_prior=1000.0, capacity_smoothing=0.0,
+                    rate_smoothing=1.0, target_utilisation=0.8,
+                    drain_horizon=10.0, min_workers=1, max_workers=8,
+                    sample_every=10, decide_every=1.0, tolerance=0.1,
+                    scale_down_cooldown=5.0, tune_transport=False)
+    defaults.update(overrides)
+    return ElasticController(config=ElasticConfig(**defaults), clock=clock)
+
+
+def drive(controller, cluster, clock, *, rate, seconds,
+          fanout=2.0, tick=0.1):
+    """Feed ``rate`` tuples/s for ``seconds`` of virtual time."""
+    per_tick = rate * tick
+    ingests = 0
+    for _ in range(int(seconds / tick)):
+        clock.t += tick
+        cluster.offer(int(per_tick * fanout), tick)
+        ingests += per_tick
+        while ingests >= 1:
+            ingests -= 1
+            controller.on_ingest(cluster)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(capacity_prior=0.0),
+        dict(capacity_smoothing=1.5),
+        dict(rate_smoothing=0.0),
+        dict(target_utilisation=0.0),
+        dict(target_utilisation=1.5),
+        dict(drain_horizon=0.0),
+        dict(min_workers=0),
+        dict(min_workers=5, max_workers=2),
+        dict(sample_every=0),
+        dict(decide_every=0.0),
+        dict(min_transfer_batch=0),
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ElasticConfig(**bad)
+
+
+class TestScalingModel:
+    def test_scales_out_on_rate_step(self):
+        """2000 env/s against 800 env/s effective per worker needs a
+        pool of three; the controller gets there predictively."""
+        clock = Clock()
+        controller = make_controller(clock)
+        cluster = FakeCluster(workers=1)
+        drive(controller, cluster, clock, rate=1000, seconds=5)
+        assert cluster.workers == 3
+        assert max(cluster.scale_calls) == 3
+
+    def test_scales_back_in_after_cooldown(self):
+        clock = Clock()
+        controller = make_controller(clock, scale_down_cooldown=2.0)
+        cluster = FakeCluster(workers=1)
+        drive(controller, cluster, clock, rate=1000, seconds=5)
+        assert cluster.workers == 3
+        drive(controller, cluster, clock, rate=200, seconds=10)
+        assert cluster.workers == 1
+
+    def test_scale_down_cooldown_holds_the_pool(self):
+        """Inside the cooldown window a low sample must not shrink."""
+        clock = Clock()
+        controller = make_controller(clock, scale_down_cooldown=1000.0)
+        cluster = FakeCluster(workers=1)
+        drive(controller, cluster, clock, rate=1000, seconds=5)
+        grown = cluster.workers
+        drive(controller, cluster, clock, rate=100, seconds=5)
+        assert cluster.workers == grown
+
+    def test_dead_band_suppresses_flapping(self):
+        """A steady rate right at a pool-size boundary must not
+        oscillate the pool."""
+        clock = Clock()
+        controller = make_controller(clock, scale_down_cooldown=0.0)
+        cluster = FakeCluster(workers=2)
+        # 1640 env/s vs 2×800 effective: raw ceil says 3 workers, but
+        # projected utilisation is only 2.5% over target — inside the
+        # tolerance band, so the pool must not move.
+        drive(controller, cluster, clock, rate=820, seconds=20)
+        assert not cluster.scale_calls
+
+    def test_backlog_adds_demand(self):
+        """Standing queue depth scales the pool even at zero arrival
+        rate — the drain-horizon term."""
+        clock = Clock()
+        controller = make_controller(clock, drain_horizon=1.0)
+        cluster = FakeCluster(workers=1, service_rate=0.0)
+        cluster.backlog_envelopes = 5000
+        drive(controller, cluster, clock, rate=50, seconds=3)
+        assert cluster.workers > 1
+
+    def test_pool_clamped_to_max_workers(self):
+        clock = Clock()
+        controller = make_controller(clock, max_workers=4)
+        cluster = FakeCluster(workers=1)
+        drive(controller, cluster, clock, rate=10000, seconds=5)
+        assert cluster.workers == 4
+
+    def test_measured_capacity_blends_into_the_prior(self):
+        """With smoothing on, a slower-than-prior worker pool raises
+        the estimated demand-per-worker and grows the pool further."""
+        clock = Clock()
+        fast = make_controller(clock, capacity_smoothing=0.0)
+        cluster = FakeCluster(workers=1, service_rate=400.0)
+        drive(fast, cluster, clock, rate=1000, seconds=8)
+        assert fast._capacity == 1000.0  # prior untouched
+
+        clock2 = Clock()
+        adaptive = make_controller(clock2, capacity_smoothing=0.5)
+        cluster2 = FakeCluster(workers=1, service_rate=400.0)
+        drive(adaptive, cluster2, clock2, rate=1000, seconds=8)
+        assert adaptive._capacity < 1000.0  # learned the slower truth
+        assert cluster2.workers >= cluster.workers
+
+
+class TestTransportTuning:
+    def test_knobs_track_the_rate_within_clamps(self):
+        clock = Clock()
+        controller = make_controller(
+            clock, tune_transport=True, batch_horizon=0.05,
+            min_transfer_batch=4, max_transfer_batch=64,
+            min_max_unacked=4, max_max_unacked=32)
+        cluster = FakeCluster(workers=2, units=8)
+        drive(controller, cluster, clock, rate=2000, seconds=4)
+        # 4000 env/s × 0.05 s / 8 units = 25 envelopes per batch.
+        assert cluster.transfer_batch == 25
+        assert 4 <= cluster.max_unacked <= 32
+
+    def test_low_rate_pins_the_clamp_floor(self):
+        clock = Clock()
+        controller = make_controller(
+            clock, tune_transport=True, drain_horizon=0.5,
+            sample_every=2, min_transfer_batch=4, min_max_unacked=4)
+        cluster = FakeCluster(workers=2, units=8)
+        drive(controller, cluster, clock, rate=2, seconds=4)
+        assert cluster.transfer_batch == 4
+        assert cluster.max_unacked == 4
+
+
+class TestObservability:
+    def test_decisions_recorded_and_metrics_exported(self):
+        clock = Clock()
+        controller = make_controller(clock)
+        cluster = FakeCluster(workers=1)
+        drive(controller, cluster, clock, rate=1000, seconds=5)
+        assert controller.decisions
+        assert any(d.action == "scale-out" for d in controller.decisions)
+        registry = MetricsRegistry()
+        controller.export_metrics(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_elastic_evaluations_total"] == len(
+            controller.decisions)
+        assert snapshot["repro_elastic_scale_actions_total"] >= 1
+        assert snapshot["repro_elastic_desired_workers"] == 3
+
+    def test_no_decision_before_first_rate_sample(self):
+        clock = Clock()
+        controller = make_controller(clock)
+        cluster = FakeCluster()
+        controller.on_ingest(cluster)  # single ingest: no sample yet
+        assert controller.decisions == []

@@ -44,8 +44,7 @@ def make_handle(units=(UnitSpec("R0", "R"), UnitSpec("S0", "S"))):
         worker_id="workerT", units=tuple(units),
         predicate=EquiJoinPredicate("k", "k"), window=TimeWindow(60.0),
         archive_period=10.0, epoch=time.time())
-    return WorkerHandle(spec.worker_id, tuple(units), encode_frame(spec),
-                        mp.get_context())
+    return WorkerHandle(spec, mp.get_context())
 
 
 def recv_frame(handle, timeout=TIMEOUT):
