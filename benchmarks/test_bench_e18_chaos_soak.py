@@ -5,7 +5,8 @@ The paper's joint claim is that elasticity and failure handling
 runtime's half of it under adversarial fault schedules.  A fixed-seed
 soak (:mod:`repro.chaos.soak`) runs ten rounds of workload × randomized
 fault plan — SIGKILL, SIGSTOP+SIGCONT, frame corruption in all three
-modes, pipe stalls, and command-loop hangs against live worker
+modes, shm-record corruption against the zero-copy ring (header and
+slab flips), pipe stalls, and command-loop hangs against live worker
 processes — and every round is scored against the window-semantics
 reference join.
 
@@ -49,6 +50,7 @@ REQUIRED_FAMILIES = {
     "kill": ("kill",),
     "stall": ("stall",),
     "corrupt": ("corrupt_flip", "corrupt_truncate", "corrupt_duplicate"),
+    "corrupt_shm": ("corrupt_shm_header", "corrupt_shm_slab"),
     "pipe_stall": ("pipe_stall",),
 }
 

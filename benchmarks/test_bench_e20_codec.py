@@ -1,0 +1,176 @@
+"""E20 (extension) — data-plane codec: pickle frames vs packed records.
+
+The shm transport's speedup claim decomposes into (a) skipping the
+pipe copy and (b) a cheaper serialisation format.  This experiment
+isolates (b): encode+decode throughput of the two codecs over the two
+data-plane payloads (:class:`~repro.parallel.commands.Deliver` and
+:class:`~repro.parallel.commands.BatchDone`) at batch sizes 8/64/256 —
+
+- **pickle**: :func:`repro.parallel.codec.encode_frame` /
+  :func:`try_decode_frame`, the versioned CRC frame every pipe message
+  travels in (so the comparison includes each format's full
+  validation cost, not just the serialiser);
+- **struct**: :func:`repro.parallel.shm.pack_record` /
+  :func:`try_unpack_record`, the columnar batch format the rings carry.
+
+Gates (self-relative CPU ratios, so runner speed and core count cancel
+out): at batch sizes 64 and 256 the packed format must encode at least
+2x faster and decode at least 1.1x faster than pickle, and the packed
+record must not be larger than the pickled frame.  Emits
+``BENCH_e20.json``; CI uploads it next to the E17 artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+import pytest
+from conftest import RESULTS_DIR, bench_once, emit
+
+from repro.core.batching import EnvelopeBatch
+from repro.core.ordering import KIND_JOIN, KIND_STORE, Envelope
+from repro.core.tuples import JoinResult, StreamTuple
+from repro.harness import render_table
+from repro.parallel import (BatchDone, Deliver, encode_frame, pack_record,
+                            try_decode_frame, try_unpack_record)
+
+BATCH_SIZES = (8, 64, 256)
+
+#: Self-relative floors, applied at the two production-shaped batch
+#: sizes (the transfer batch is 64 in E17; 8 is the latency-bound
+#: shape and informational only).
+GATED_SIZES = (64, 256)
+MIN_ENCODE_RATIO = 2.0
+MIN_DECODE_RATIO = 1.1
+
+
+def make_tuple(rng: random.Random, relation: str, seq: int) -> StreamTuple:
+    return StreamTuple(relation=relation, ts=seq * 0.001,
+                       values={"k": rng.randint(0, 12),
+                               "v": rng.uniform(0.0, 20.0)}, seq=seq)
+
+
+def make_deliver(n: int) -> Deliver:
+    rng = random.Random(20 + n)
+    envelopes = tuple(
+        Envelope(kind=KIND_JOIN if i % 2 else KIND_STORE,
+                 router_id=f"router{i % 2}", counter=i,
+                 tuple=make_tuple(rng, "R" if i % 2 else "S", i))
+        for i in range(n))
+    return Deliver(seq=7, unit_id="R3", batch=EnvelopeBatch(envelopes))
+
+
+def make_done(n: int) -> BatchDone:
+    rng = random.Random(40 + n)
+    # ~8 distinct tuples per side, reused across results — the tuple
+    # table dedup mirrors how joins actually fan out.
+    r_pool = [make_tuple(rng, "R", i) for i in range(max(1, n // 8))]
+    s_pool = [make_tuple(rng, "S", i) for i in range(max(1, n // 8))]
+    results = tuple(
+        JoinResult(r=rng.choice(r_pool), s=rng.choice(s_pool),
+                   ts=i * 0.001, produced_at=i * 0.001 + 0.5,
+                   producer=f"J{i % 4}")
+        for i in range(n))
+    return BatchDone(seq=7, unit_id="S3", results=results, busy=0.01)
+
+
+def time_loop(fn, reps: int) -> float:
+    started = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return time.perf_counter() - started
+
+
+def measure(payload, n: int) -> dict:
+    reps = max(40, 4000 // n)
+    frame = encode_frame(payload)
+    buf = bytearray()
+    assert pack_record(payload, buf)
+    record = bytes(buf)
+    ok, decoded = try_unpack_record(record)
+    assert ok and decoded == payload  # parity before speed
+
+    pickle_encode = time_loop(lambda: encode_frame(payload), reps)
+    struct_encode = time_loop(lambda: pack_record(payload, buf), reps)
+    pickle_decode = time_loop(lambda: try_decode_frame(frame), reps)
+    struct_decode = time_loop(lambda: try_unpack_record(record), reps)
+    return {
+        "payload": type(payload).__name__,
+        "batch_size": n,
+        "reps": reps,
+        "pickle_encode_us": 1e6 * pickle_encode / reps,
+        "struct_encode_us": 1e6 * struct_encode / reps,
+        "pickle_decode_us": 1e6 * pickle_decode / reps,
+        "struct_decode_us": 1e6 * struct_decode / reps,
+        "encode_ratio": pickle_encode / struct_encode,
+        "decode_ratio": pickle_decode / struct_decode,
+        "pickle_bytes": len(frame),
+        "struct_bytes": len(record),
+    }
+
+
+def run_experiment() -> dict:
+    rows = []
+    for n in BATCH_SIZES:
+        rows.append(measure(make_deliver(n), n))
+        rows.append(measure(make_done(n), n))
+    return {"rows": rows}
+
+
+def emit_e20(experiment: dict) -> None:
+    table = []
+    for row in experiment["rows"]:
+        table.append([
+            row["payload"], row["batch_size"],
+            f"{row['pickle_encode_us']:.1f}",
+            f"{row['struct_encode_us']:.1f}",
+            f"{row['encode_ratio']:.2f}x",
+            f"{row['pickle_decode_us']:.1f}",
+            f"{row['struct_decode_us']:.1f}",
+            f"{row['decode_ratio']:.2f}x",
+            f"{row['struct_bytes']}/{row['pickle_bytes']}"])
+    emit("e20_codec", render_table(
+        ["payload", "batch", "pickle enc us", "struct enc us", "enc",
+         "pickle dec us", "struct dec us", "dec", "bytes packed/pickle"],
+        table,
+        title="E20: data-plane codec, pickle frames vs packed records"))
+    payload = {"experiment": "e20_codec", **experiment,
+               "gates": {"sizes": list(GATED_SIZES),
+                         "min_encode_ratio": MIN_ENCODE_RATIO,
+                         "min_decode_ratio": MIN_DECODE_RATIO}}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_e20.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def assert_invariants(experiment: dict) -> None:
+    for row in experiment["rows"]:
+        # The packed record must never be the bigger wire format.
+        assert row["struct_bytes"] <= row["pickle_bytes"], row
+        if row["batch_size"] not in GATED_SIZES:
+            continue
+        assert row["encode_ratio"] >= MIN_ENCODE_RATIO, (
+            f"{row['payload']} n={row['batch_size']}: packed encode only "
+            f"{row['encode_ratio']:.2f}x pickle (< {MIN_ENCODE_RATIO}x)")
+        assert row["decode_ratio"] >= MIN_DECODE_RATIO, (
+            f"{row['payload']} n={row['batch_size']}: packed decode only "
+            f"{row['decode_ratio']:.2f}x pickle (< {MIN_DECODE_RATIO}x)")
+
+
+def test_e20_codec_throughput(benchmark):
+    experiment = bench_once(benchmark, run_experiment)
+    emit_e20(experiment)
+    assert_invariants(experiment)
+
+
+@pytest.mark.stress
+def test_e20_codec_throughput_repeated(benchmark):
+    """Three back-to-back runs must all clear the gates (guards against
+    a lucky single measurement ratcheting the floor)."""
+    experiments = bench_once(
+        benchmark, lambda: [run_experiment() for _ in range(3)])
+    emit_e20(experiments[-1])
+    for experiment in experiments:
+        assert_invariants(experiment)

@@ -35,7 +35,8 @@ from collections import Counter, deque
 from ..errors import ParallelError
 from ..parallel.codec import HEADER_SIZE
 from ..parallel.worker import WorkerHandle
-from .plan import (ChaosConfig, CorruptFrame, HangWorker,
+from ..parallel.shm import PAYLOAD_HEADER_SIZE
+from .plan import (ChaosConfig, CorruptFrame, CorruptShmBatch, HangWorker,
                    KillDuringMigration, KillWorker, PipeStall, ScaleIn,
                    ScaleOut, StallWorker)
 
@@ -69,6 +70,27 @@ def corrupt_bytes(data: bytes, mode: str) -> list[bytes]:
     raise ValueError(f"unknown corruption mode {mode!r}")
 
 
+def corrupt_shm_record(payload, part: str) -> bytes:
+    """Deterministically damage one packed ring record (copied out —
+    the shared segment itself is never written, mirroring how
+    :func:`corrupt_bytes` never touches the pipe)."""
+    data = bytearray(payload)
+    if part == "header":
+        # Byte 4 is the version field: header validation must reject it
+        # before any body parsing happens.
+        pos = min(4, len(data) - 1) if data else 0
+    elif part == "slab":
+        # Mid-body flip: the header stays pristine, the CRC must catch.
+        pos = PAYLOAD_HEADER_SIZE + max(
+            0, (len(data) - PAYLOAD_HEADER_SIZE) // 2)
+        pos = min(pos, len(data) - 1)
+    else:
+        raise ValueError(f"unknown shm corruption part {part!r}")
+    if data:
+        data[pos] ^= 0xFF
+    return bytes(data)
+
+
 class ChaosInjector:
     """Runtime state of one fault plan against one cluster run.
 
@@ -83,6 +105,8 @@ class ChaosInjector:
         self._pending = deque(config.faults)  # sorted by at_tuple
         #: worker id → queue of armed corruption modes (one per frame).
         self._armed: dict[str, deque[str]] = {}
+        #: worker id → queue of armed shm-record corruption parts.
+        self._armed_shm: dict[str, deque[str]] = {}
         #: worker id → active pipe stall.
         self._stalls: dict[str, _Stall] = {}
         #: (resume_at, pid) of scheduled SIGCONTs.
@@ -116,6 +140,9 @@ class ChaosInjector:
             elif isinstance(fault, CorruptFrame):
                 arms = self._armed.setdefault(worker_id, deque())
                 arms.extend([fault.mode] * fault.count)
+            elif isinstance(fault, CorruptShmBatch):
+                arms = self._armed_shm.setdefault(worker_id, deque())
+                arms.extend([fault.part] * fault.count)
             elif isinstance(fault, PipeStall):
                 deadline = time.monotonic() + fault.duration
                 stall = self._stalls.get(worker_id)
@@ -127,8 +154,12 @@ class ChaosInjector:
                     stall.deadline = max(stall.deadline, deadline)
             else:  # pragma: no cover - plan validation prevents this
                 raise TypeError(f"unknown fault {fault!r}")
-            key = (f"corrupt_{fault.mode}"
-                   if isinstance(fault, CorruptFrame) else fault.kind)
+            if isinstance(fault, CorruptFrame):
+                key = f"corrupt_{fault.mode}"
+            elif isinstance(fault, CorruptShmBatch):
+                key = f"corrupt_shm_{fault.part}"
+            else:
+                key = fault.kind
         self.injected[key] += 1
 
     def _fire_scale(self, cluster, fault) -> None:
@@ -181,6 +212,17 @@ class ChaosInjector:
             return corrupt_bytes(data, arms.popleft())
         return [data]
 
+    def on_shm_record(self, worker_id: str, payload):
+        """Filter one packed ring record popped for ``worker_id``'s
+        doorbell, before the coordinator decodes it.  Unarmed workers
+        get the payload back untouched (zero-copy path preserved);
+        an armed :class:`~repro.chaos.plan.CorruptShmBatch` pops one
+        arm and returns a damaged copy."""
+        arms = self._armed_shm.get(worker_id)
+        if arms:
+            return corrupt_shm_record(payload, arms.popleft())
+        return payload
+
     def release_due(self) -> list[tuple[str, bytes]]:
         """Expired stalls' frames, per-worker FIFO, ready to process."""
         now = time.monotonic()
@@ -215,7 +257,8 @@ class ChaosInjector:
         """Every scheduled fault has fired and nothing is held back."""
         return (not self._pending and not self._sigconts
                 and not self._stalls
-                and not any(self._armed.values()))
+                and not any(self._armed.values())
+                and not any(self._armed_shm.values()))
 
     @property
     def holding(self) -> int:

@@ -24,6 +24,10 @@ from ..errors import ConfigurationError
 #: Corruption modes of :class:`CorruptFrame`.
 CORRUPT_MODES = ("flip", "truncate", "duplicate")
 
+#: Targets of :class:`CorruptShmBatch`: the record's fixed header or
+#: its packed body (the slab).
+SHM_CORRUPT_PARTS = ("header", "slab")
+
 
 @dataclass(frozen=True)
 class KillWorker:
@@ -100,6 +104,38 @@ class CorruptFrame:
             raise ConfigurationError(
                 f"unknown corruption mode {self.mode!r} "
                 f"(expected one of {CORRUPT_MODES})")
+        if self.count < 1:
+            raise ConfigurationError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class CorruptShmBatch:
+    """Corrupt the next ``count`` shared-memory settlement records of
+    one worker.
+
+    The shm analogue of :class:`CorruptFrame`: bits flip between the
+    worker's ring write and the coordinator's decode, so the packed
+    record's own validation — not the pipe codec — must catch the
+    damage and quarantine the worker.  ``part`` picks the target:
+    ``"header"`` flips inside the fixed self-validating header (magic/
+    length bookkeeping must reject it), ``"slab"`` flips inside the
+    packed body (the CRC must).  On the pipe transport no ring records
+    exist, so the armed fault simply never consumes — harmless, which
+    keeps randomized plans portable across transports.
+    """
+
+    at_tuple: int
+    worker: int
+    part: str = "header"
+    count: int = 1
+    kind: ClassVar[str] = "corrupt_shm"
+
+    def __post_init__(self) -> None:
+        _validate_base(self)
+        if self.part not in SHM_CORRUPT_PARTS:
+            raise ConfigurationError(
+                f"unknown shm corruption part {self.part!r} "
+                f"(expected one of {SHM_CORRUPT_PARTS})")
         if self.count < 1:
             raise ConfigurationError("count must be >= 1")
 
@@ -189,8 +225,9 @@ class KillDuringMigration:
                 f"victim must be 'source' or 'target', got {self.victim!r}")
 
 
-Fault = Union[KillWorker, StallWorker, HangWorker, CorruptFrame, PipeStall,
-              ScaleOut, ScaleIn, KillDuringMigration]
+Fault = Union[KillWorker, StallWorker, HangWorker, CorruptFrame,
+              CorruptShmBatch, PipeStall, ScaleOut, ScaleIn,
+              KillDuringMigration]
 
 #: Every fault kind the generator can draw, including the three
 #: corruption modes spelled out (``corrupt_flip`` etc.).
@@ -247,6 +284,7 @@ class ChaosConfig:
 
 def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
                       faults: int = 3, resizes: int = 0,
+                      shm_faults: int = 0,
                       kinds: tuple[str, ...] = ALL_FAULT_KINDS,
                       scale_kinds: tuple[str, ...] = SCALE_FAULT_KINDS,
                       min_duration: float = 0.05,
@@ -264,13 +302,16 @@ def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
     so under a fixed seed the base plan is identical with resizes on
     or off, and turning resizes on only *adds* events.  Regression
     baselines (and E18's fault-coverage gates) survive the flag.
+    ``shm_faults`` follows the same discipline for
+    :class:`CorruptShmBatch` events: drawn after the resizes, so
+    pre-shm plans under the same seed are byte-identical prefixes.
     """
     if n_tuples < 1:
         raise ConfigurationError("n_tuples must be >= 1")
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
-    if faults < 0 or resizes < 0:
-        raise ConfigurationError("faults/resizes must be >= 0")
+    if faults < 0 or resizes < 0 or shm_faults < 0:
+        raise ConfigurationError("faults/resizes/shm_faults must be >= 0")
     unknown = set(kinds) - set(ALL_FAULT_KINDS)
     if unknown:
         raise ConfigurationError(f"unknown fault kinds {sorted(unknown)}")
@@ -313,4 +354,9 @@ def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
         else:
             events.append(KillDuringMigration(
                 at, victim=rng.choice(("source", "target"))))
+    for _ in range(shm_faults):
+        events.append(CorruptShmBatch(
+            at_tuple=rng.randrange(lo, hi), worker=rng.randrange(workers),
+            part=rng.choice(SHM_CORRUPT_PARTS),
+            count=rng.randrange(1, 3)))
     return ChaosConfig(faults=tuple(events))

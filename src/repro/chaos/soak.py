@@ -61,6 +61,12 @@ class SoakConfig:
     #: fault-coverage gates — are identical with resizes on or off.
     resizes: bool = True
     resizes_per_round: int = 2
+    #: Shm-record corruptions per round (header/slab bit flips against
+    #: the zero-copy data plane).  Drawn *after* the base faults and
+    #: resizes, so enabling them leaves every earlier draw — and
+    #: therefore the standing fault-coverage gates — untouched.  They
+    #: degrade to portable no-ops under ``transport="pipe"``.
+    shm_faults_per_round: int = 2
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -73,6 +79,8 @@ class SoakConfig:
             raise ConfigurationError("faults_per_round must be >= 0")
         if self.resizes_per_round < 0:
             raise ConfigurationError("resizes_per_round must be >= 0")
+        if self.shm_faults_per_round < 0:
+            raise ConfigurationError("shm_faults_per_round must be >= 0")
 
     @property
     def effective_resizes(self) -> int:
@@ -136,7 +144,8 @@ def _round_parallel_config(config: SoakConfig) -> ParallelConfig:
         workers=config.workers, transfer_batch=8, max_unacked=8,
         supervise_every=16, heartbeat_interval=0.2, heartbeat_timeout=1.0,
         restart_limit=(2 * (config.faults_per_round
-                            + config.effective_resizes) + 4),
+                            + config.effective_resizes
+                            + config.shm_faults_per_round) + 4),
         command_deadline=0.5, deadline_retries=2, deadline_backoff_cap=4)
 
 
@@ -157,6 +166,7 @@ def run_round(config: SoakConfig, round_index: int) -> RoundScore:
     plan = random_fault_plan(rng, len(arrivals), config.workers,
                              faults=config.faults_per_round,
                              resizes=config.effective_resizes,
+                             shm_faults=config.shm_faults_per_round,
                              kinds=config.kinds)
     injector = ChaosInjector(plan)
     cluster = ParallelCluster(

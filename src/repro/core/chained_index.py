@@ -34,7 +34,7 @@ from itertools import chain
 from typing import Callable, Iterator
 
 from ..errors import IndexError_
-from .indexes import TupleIndex, index_factory
+from .indexes import TupleIndex, index_factory, make_probe_plan
 from .predicates import JoinPredicate
 from .tuples import StreamTuple
 from .windows import TimeWindow
@@ -95,6 +95,14 @@ class ChainedInMemoryIndex:
             predicate, stored_side)
         self._archived: list[TupleIndex] = []
         self._active: TupleIndex = self._new_subindex()
+        #: Precompiled probe step: probes always come from the opposite
+        #: relation and all sub-indexes share one type, so the equi/band
+        #: conjunct and probe-key attribute are resolved once here
+        #: instead of per sub-index per probe (the chained probe's
+        #: dict-hop hot spot).
+        self._probe_plan = make_probe_plan(
+            predicate, "S" if stored_side == "R" else "R",
+            type(self._active))
         self.stats = ChainedIndexStats()
         self.stats.subindexes_created = 1
 
@@ -239,7 +247,7 @@ class ChainedInMemoryIndex:
         comparisons = 0
         window_filtered = 0
         probe_ts = probe.ts
-        predicate = self.predicate
+        probe_plan = self._probe_plan
         contains = self.window.contains
         results: list[StreamTuple] = []
         scratch: list[StreamTuple] = []
@@ -253,10 +261,10 @@ class ChainedInMemoryIndex:
             if min_ts is None:  # empty sub-index
                 continue
             if contains(min_ts, probe_ts) and contains(sub.max_ts, probe_ts):
-                comparisons += sub.probe_into(predicate, probe, results)
+                comparisons += probe_plan(sub, probe, results)
             else:
                 scratch.clear()
-                comparisons += sub.probe_into(predicate, probe, scratch)
+                comparisons += probe_plan(sub, probe, scratch)
                 for m in scratch:
                     if contains(m.ts, probe_ts):
                         results.append(m)

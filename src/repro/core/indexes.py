@@ -305,6 +305,80 @@ def _equi_conjunct(predicate: JoinPredicate) -> EquiJoinPredicate | None:
     return None
 
 
+def make_probe_plan(predicate: JoinPredicate, probe_side: str,
+                    index_type: type):
+    """Precompile the per-sub-index probe step of a chained index.
+
+    ``probe_into`` re-derives per call what is constant for a chained
+    index's whole lifetime: which side the probe comes from, the equi/
+    indexable conjunct, the probe-key attribute.  A chained probe pays
+    that per *sub-index*, so the dict hops dominate once probing itself
+    is cheap (the multicore-CPU paper's observation).  This returns a
+    closure ``plan(sub, probe, out) -> comparisons`` with all of it
+    resolved up front, for the two hot index shapes:
+
+    - :class:`HashIndex` with an equi conjunct — direct bucket lookup;
+    - :class:`SortedIndex` with a band conjunct — direct range slice;
+
+    anything else falls back to the sub-index's own ``probe_into``.
+    Every path reports *exactly* the comparisons the generic one would
+    (bucket/candidate lengths), so index counters stay byte-identical.
+    """
+    matches = predicate.matches
+    probe_is_r = probe_side == "R"
+
+    if index_type is HashIndex:
+        equi = _equi_conjunct(predicate)
+        if equi is not None:
+            probe_attr = equi.key_attribute(probe_side)
+            if probe_is_r:
+                def plan(sub, probe, out):
+                    bucket = sub._buckets.get(probe[probe_attr])
+                    if not bucket:
+                        return 0
+                    out.extend(t for t in bucket if matches(probe, t))
+                    return len(bucket)
+            else:
+                def plan(sub, probe, out):
+                    bucket = sub._buckets.get(probe[probe_attr])
+                    if not bucket:
+                        return 0
+                    out.extend(t for t in bucket if matches(t, probe))
+                    return len(bucket)
+            return plan
+
+    if index_type is SortedIndex:
+        indexable = predicate
+        if isinstance(predicate, ConjunctionPredicate):
+            indexable = predicate.indexable_conjunct
+        if isinstance(indexable, BandJoinPredicate):
+            probe_attr = indexable.key_attribute(probe_side)
+            band = indexable.band
+            if probe_is_r:
+                def plan(sub, probe, out):
+                    value = probe[probe_attr]
+                    # Same relative pad as SortedIndex._candidates: keep
+                    # the range scan a superset under float rounding.
+                    pad = (abs(value) + band) * 1e-12
+                    candidates = sub._slice(value - band - pad,
+                                            value + band + pad)
+                    out.extend(t for t in candidates if matches(probe, t))
+                    return len(candidates)
+            else:
+                def plan(sub, probe, out):
+                    value = probe[probe_attr]
+                    pad = (abs(value) + band) * 1e-12
+                    candidates = sub._slice(value - band - pad,
+                                            value + band + pad)
+                    out.extend(t for t in candidates if matches(t, probe))
+                    return len(candidates)
+            return plan
+
+    def plan(sub, probe, out):
+        return sub.probe_into(predicate, probe, out)
+    return plan
+
+
 def index_factory(predicate: JoinPredicate, stored_side: str):
     """Return a zero-argument constructor for the right index type.
 

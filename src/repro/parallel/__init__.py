@@ -12,6 +12,10 @@ unchanged) across real worker processes:
 - :mod:`repro.parallel.commands` — the command/output protocol of the
   worker loop, including the atomic ``BatchDone`` settlement frame the
   exactly-once guarantee rests on;
+- :mod:`repro.parallel.shm` — the shared-memory zero-copy data plane:
+  per-worker ring buffers carrying struct-packed columnar batches,
+  with pickled doorbell frames keeping ordering/supervision on the
+  existing channels (``transport="shm"``, the default);
 - :mod:`repro.parallel.worker` — the worker process entry point and
   the coordinator-side :class:`WorkerHandle` (process lifecycle,
   unacked-batch ledger, heartbeat bookkeeping);
@@ -32,7 +36,9 @@ to the single-process engine — including under worker kills.
 from .codec import decode_frame, encode_frame, try_decode_frame
 from .commands import (
     BatchDone,
+    BatchDoneShm,
     Deliver,
+    DeliverShm,
     Drain,
     Drained,
     EvictUnit,
@@ -56,11 +62,26 @@ from .parallel_cluster import (
     ParallelConfig,
     ParallelReport,
 )
+from .shm import (
+    DEFAULT_RING_CAPACITY,
+    RING_CORRUPT,
+    RING_EMPTY,
+    RING_OK,
+    BufferArena,
+    ShmRing,
+    TransportStats,
+    pack_record,
+    try_unpack_record,
+)
 from .worker import WorkerHandle, worker_main
 
 __all__ = [
     "BatchDone",
+    "BatchDoneShm",
+    "BufferArena",
+    "DEFAULT_RING_CAPACITY",
     "Deliver",
+    "DeliverShm",
     "Drain",
     "Drained",
     "ElasticConfig",
@@ -76,16 +97,23 @@ __all__ = [
     "Ping",
     "Pong",
     "Punctuate",
+    "RING_CORRUPT",
+    "RING_EMPTY",
+    "RING_OK",
     "Restore",
+    "ShmRing",
     "Snapshot",
     "SnapshotResult",
     "Stop",
+    "TransportStats",
     "UnitSpec",
     "WorkerFailure",
     "WorkerHandle",
     "WorkerSpec",
     "decode_frame",
     "encode_frame",
+    "pack_record",
     "try_decode_frame",
+    "try_unpack_record",
     "worker_main",
 ]

@@ -86,6 +86,26 @@ class Deliver:
 
 
 @dataclass(frozen=True)
+class DeliverShm:
+    """Doorbell for a :class:`Deliver` shipped via the shared-memory ring.
+
+    The batch's payload travels struct-packed through the worker's
+    coordinator→worker ring (:mod:`repro.parallel.shm`); this tiny
+    pickled frame travels the ordinary command channel to wake the
+    worker and carry the ordering metadata.  Doorbells and ring records
+    pair strictly 1:1 in channel order: on receipt the worker pops
+    exactly one record, which must decode to a :class:`Deliver` with
+    this ``seq`` — anything else is a protocol violation and fails the
+    worker loudly.  Because the doorbell rides the same FIFO channel as
+    full pickled ``Deliver`` frames, the two formats interleave freely
+    per batch without reordering.
+    """
+
+    seq: int
+    unit_id: str
+
+
+@dataclass(frozen=True)
 class Punctuate:
     """A router punctuation, applied to every unit the worker hosts.
 
@@ -217,6 +237,31 @@ class BatchDone:
     seq: int
     unit_id: str
     results: tuple[JoinResult, ...]
+    #: Worker wall-seconds spent processing the batch (ring decode +
+    #: join).  The coordinator subtracts it from the settle latency to
+    #: estimate transit time (queueing + both channel directions) for
+    #: the BENCH_e17 codec-timing breakdown.
+    busy: float = 0.0
+
+
+@dataclass(frozen=True)
+class BatchDoneShm:
+    """Doorbell for a :class:`BatchDone` shipped via the worker→
+    coordinator shared-memory ring.
+
+    Same strict 1:1 pairing as :class:`DeliverShm`, in the opposite
+    direction, with one asymmetry: the coordinator checks ``seq``
+    against the unacked ledger *before* popping the ring, so a
+    redundant doorbell (a chaos-duplicated frame, or a replay race)
+    leaves the ring untouched — exactly the existing redundant-ack
+    tolerance.  A popped record that is not a :class:`BatchDone` with
+    this ``seq`` quarantines the worker like any corrupt frame.
+    ``count`` (the result count) is advisory, for logging only.
+    """
+
+    seq: int
+    unit_id: str
+    count: int = 0
 
 
 @dataclass(frozen=True)

@@ -59,9 +59,12 @@ from ..obs.stages import StageBreakdown, compute_stage_breakdown
 from ..obs.trace import (NOOP_TRACER, SPAN_ENQUEUE, SPAN_ROUTE, SPAN_SCALE,
                          NoopTracer)
 from .codec import try_decode_frame
-from .commands import (BatchDone, Deliver, Drain, Drained, EvictUnit, Hang,
-                       InstallUnit, Pong, Punctuate, Restore, SnapshotResult,
-                       Stop, UnitSpec, WorkerFailure, WorkerSpec)
+from .commands import (BatchDone, BatchDoneShm, Deliver, Drain, Drained,
+                       EvictUnit, Hang, InstallUnit, Pong, Punctuate, Restore,
+                       SnapshotResult, Stop, UnitSpec, WorkerFailure,
+                       WorkerSpec)
+from .shm import (DEFAULT_RING_CAPACITY, RING_OK, BufferArena, TransportStats,
+                  try_unpack_record)
 from .worker import WorkerHandle
 
 #: Largest router pool whose id string sort equals its index order
@@ -105,6 +108,18 @@ class ParallelConfig:
             misses before the worker is killed and recovered.
         deadline_backoff_cap: ceiling on the exponential backoff
             multiplier applied to ``command_deadline`` per strike.
+        transport: data-plane transport — ``"shm"`` (the default)
+            ships batch payloads through per-worker shared-memory
+            rings with doorbells on the command/output channels,
+            ``"pipe"`` ships every payload as a pickled frame (the
+            PR-5 behaviour).  Control-plane commands always use the
+            pickle channel, and shm falls back to it per batch when a
+            payload doesn't pack or a ring is full — semantics are
+            identical either way (the differential suites run both).
+        ring_capacity: bytes per shared-memory data ring (two rings
+            per worker).  A batch larger than the free span falls
+            back to the pipe, so this is a throughput knob, not a
+            correctness bound.
     """
 
     workers: int = 2
@@ -118,10 +133,17 @@ class ParallelConfig:
     command_deadline: float | None = None
     deadline_retries: int = 2
     deadline_backoff_cap: int = 8
+    transport: str = "shm"
+    ring_capacity: int = DEFAULT_RING_CAPACITY
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigurationError("need at least one worker process")
+        if self.transport not in ("pipe", "shm"):
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r}; pick 'pipe' or 'shm'")
+        if self.ring_capacity < 4 * 1024:
+            raise ConfigurationError("ring_capacity must be >= 4 KiB")
         if self.transfer_batch < 1:
             raise ConfigurationError("transfer_batch must be >= 1")
         if self.max_unacked < 1:
@@ -318,12 +340,16 @@ class ParallelCluster:
         self._sample_rate = tracer.sample_rate if tracer.enabled else None
         self._ctx = mp.get_context(self.parallel.start_method)
         self._next_worker_index = self.parallel.workers
+        #: Pool-wide data-plane accounting and the recycled pack-buffer
+        #: arena, shared by every worker handle (the coordinator loop is
+        #: single-threaded, so sharing is free).
+        self.transport_stats = TransportStats()
+        self._arena = BufferArena()
         self.handles: list[WorkerHandle] = []
         self._unit_worker: dict[str, WorkerHandle] = {}
         self._buffers: dict[str, list[Envelope]] = {}
         for index, units in enumerate(per_worker):
-            handle = WorkerHandle(
-                self._worker_spec(f"worker{index}", tuple(units)), self._ctx)
+            handle = self._new_handle(f"worker{index}", tuple(units))
             self.handles.append(handle)
             for unit in units:
                 self._unit_worker[unit.unit_id] = handle
@@ -332,6 +358,14 @@ class ParallelCluster:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    def _new_handle(self, worker_id: str,
+                    units: tuple[UnitSpec, ...]) -> WorkerHandle:
+        return WorkerHandle(
+            self._worker_spec(worker_id, units), self._ctx,
+            transport=self.parallel.transport,
+            ring_capacity=self.parallel.ring_capacity,
+            arena=self._arena, stats=self.transport_stats)
+
     def _worker_spec(self, worker_id: str,
                      units: tuple[UnitSpec, ...]) -> WorkerSpec:
         return WorkerSpec(
@@ -577,8 +611,62 @@ class ParallelCluster:
             self.corrupt_frames += 1
             self._quarantine(handle)
             return False
+        if isinstance(frame, BatchDoneShm):
+            ok, frame = self._resolve_shm_settlement(handle, frame)
+            if not ok:
+                # The doorbell promised a BatchDone record and the ring
+                # couldn't honour it: the channel can no longer be
+                # trusted, exactly like a corrupt pipe frame.
+                self.corrupt_frames += 1
+                self._quarantine(handle)
+                return False
+            if frame is None:  # redundant doorbell; ring untouched
+                return True
         self._apply(handle, frame)
         return True
+
+    def _resolve_shm_settlement(self, handle: WorkerHandle,
+                                doorbell: BatchDoneShm):
+        """Pop and decode the one ring record a doorbell announced.
+
+        Returns ``(True, BatchDone)`` on success, ``(True, None)`` for
+        a redundant doorbell (its seq already settled — a chaos
+        duplicate or a stale frame from a previous incarnation; the
+        ring is deliberately **not** popped, which is what keeps a
+        duplicated doorbell from desynchronising the 1:1 pairing), and
+        ``(False, None)`` when the record is missing, corrupt, or not
+        the promised settlement — the caller quarantines.
+        """
+        if doorbell.seq not in handle.unacked:
+            self.redundant_acks += 1
+            return True, None
+        ring = handle.w2c_ring
+        if ring is None:
+            return False, None
+        status, payload = ring.read()
+        if status != RING_OK:
+            return False, None
+        raw = payload
+        try:
+            if self._chaos is not None:
+                # Armed CorruptShmBatch faults flip bits here, between
+                # the worker's write and our decode — the shm analogue
+                # of on_output_frame.
+                payload = self._chaos.on_shm_record(
+                    handle.worker_id, payload)
+            start = time.perf_counter()
+            ok, frame = try_unpack_record(payload)
+            self.transport_stats.decode_seconds += \
+                time.perf_counter() - start
+        finally:
+            if isinstance(raw, memoryview):
+                raw.release()
+        if (not ok or not isinstance(frame, BatchDone)
+                or frame.seq != doorbell.seq
+                or frame.unit_id != doorbell.unit_id):
+            return False, None
+        ring.consume()
+        return True, frame
 
     def _apply(self, handle: WorkerHandle, frame) -> None:
         if isinstance(frame, BatchDone):
@@ -590,7 +678,14 @@ class ParallelCluster:
                 # replay-log records, so drop it (counted).
                 self.redundant_acks += 1
                 return
+            delivered = handle.delivered_at.get(frame.seq)
             command = handle.ack(frame.seq)
+            if delivered is not None:
+                # Settle latency minus worker busy time ≈ queueing plus
+                # both channel directions — the transit component of
+                # the BENCH_e17 codec-timing breakdown.
+                self.transport_stats.transit_seconds += max(
+                    0.0, time.monotonic() - delivered - frame.busy)
             self.envelopes_settled += len(command.batch)
             # Log-on-ack: only settled stores enter the replay log, so
             # restore material and redelivered batches stay disjoint.
@@ -727,20 +822,64 @@ class ParallelCluster:
 
         Every fully written BatchDone still counts (the settlement
         frame arrived); the first torn frame — or EOF — ends the drain.
+        Pipe frames go first (their doorbells resolve ring records in
+        channel order), then any published ring record whose doorbell
+        never made it out of the dead worker.
         """
         conn = handle.conn
-        if conn is None or conn.closed:
+        if conn is not None and not conn.closed:
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    data = conn.recv_bytes()
+                except (EOFError, OSError):
+                    break
+                if not self._drain_one_leftover(handle, data):
+                    break
+        self._drain_ring_tail(handle)
+
+    def _drain_one_leftover(self, handle: WorkerHandle, data: bytes) -> bool:
+        """Apply one leftover pipe frame; False ends the drain (the
+        first torn or unresolvable frame is the tear — everything past
+        it gets redelivered instead of settled)."""
+        ok, frame = try_decode_frame(data)
+        if not ok:
+            return False
+        if isinstance(frame, BatchDoneShm):
+            ok, frame = self._resolve_shm_settlement(handle, frame)
+            if not ok:
+                return False
+            if frame is None:
+                return True
+        self._apply(handle, frame)
+        return True
+
+    def _drain_ring_tail(self, handle: WorkerHandle) -> None:
+        """Settle published ring records whose doorbells never left.
+
+        The worker writes a record strictly before sending its doorbell
+        and is sequential, so after the pipe drain the ring tail holds
+        at most a suffix of fully published, never-announced
+        settlements — in seq order, extending the settled prefix.  A
+        record that doesn't validate ends the sweep (everything from
+        there is redelivered).
+        """
+        ring = handle.w2c_ring
+        if ring is None:
             return
         while True:
+            status, payload = ring.read()
+            if status != RING_OK:
+                return
             try:
-                if not conn.poll(0):
-                    break
-                data = conn.recv_bytes()
-            except (EOFError, OSError):
-                break
-            ok, frame = try_decode_frame(data)
-            if not ok:
-                break
+                ok, frame = try_unpack_record(payload)
+            finally:
+                if isinstance(payload, memoryview):
+                    payload.release()
+            if not ok or not isinstance(frame, BatchDone):
+                return
+            ring.consume()
             self._apply(handle, frame)
 
     # ------------------------------------------------------------------
@@ -815,9 +954,7 @@ class ParallelCluster:
         """
         if self._closed:
             raise ParallelError("cluster is closed")
-        handle = WorkerHandle(
-            self._worker_spec(f"worker{self._next_worker_index}", ()),
-            self._ctx)
+        handle = self._new_handle(f"worker{self._next_worker_index}", ())
         self._next_worker_index += 1
         self.handles.append(handle)
         self.workers_added += 1
@@ -1206,6 +1343,40 @@ class ParallelCluster:
             "repro_parallel_deadline_kills_total",
             "Workers killed by per-command deadline escalation."
             ).set_total(self.deadline_kills)
+        self.registry.gauge(
+            "repro_parallel_transport_shm",
+            "1 when the shared-memory data plane is active, 0 on pipe."
+            ).set(1.0 if self.parallel.transport == "shm" else 0.0)
+        self.registry.counter(
+            "repro_parallel_shm_batches_total",
+            "Data batches shipped as packed shared-memory ring records."
+            ).set_total(self.transport_stats.shm_batches)
+        self.registry.counter(
+            "repro_parallel_pipe_fallbacks_total",
+            "Data batches that fell back to the pickled pipe frame "
+            "(non-packable payload or full ring)."
+            ).set_total(self.transport_stats.pipe_fallbacks)
+        self.registry.counter(
+            "repro_parallel_codec_encode_seconds",
+            "Coordinator wall seconds spent encoding data batches."
+            ).set_total(self.transport_stats.encode_seconds)
+        self.registry.counter(
+            "repro_parallel_codec_decode_seconds",
+            "Coordinator wall seconds spent decoding settlement records."
+            ).set_total(self.transport_stats.decode_seconds)
+        self.registry.counter(
+            "repro_parallel_transit_seconds",
+            "Settle latency minus worker busy time, summed over batches "
+            "(queueing + both channel directions)."
+            ).set_total(self.transport_stats.transit_seconds)
+        self.registry.counter(
+            "repro_parallel_arena_buffers_allocated_total",
+            "Pack buffers newly allocated by the coordinator arena."
+            ).set_total(self._arena.allocated)
+        self.registry.counter(
+            "repro_parallel_arena_buffers_reused_total",
+            "Pack-buffer acquisitions served from the recycle pool."
+            ).set_total(self._arena.reused)
         self.registry.counter(
             "repro_parallel_migrations_total",
             "Unit handoffs completed between workers (elastic scaling)."

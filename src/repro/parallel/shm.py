@@ -1,0 +1,640 @@
+"""The shared-memory zero-copy data plane of the multiprocess runtime.
+
+The pickle-over-pipe codec (:mod:`repro.parallel.codec`) is the right
+tool for the *control plane* — commands are small, rare, and carry
+arbitrary objects — but it dominates the *data plane*: every
+``Deliver``/``BatchDone`` round-trips through per-object pickling of
+frozen-slots dataclasses plus an OS pipe copy in each direction, which
+is why BENCH_e17 recorded ~415 tuples/s per worker with real cores
+buying nothing.  This module moves the data plane onto
+``multiprocessing.shared_memory`` following *Parallel Index-based
+Stream Join on a Multicore CPU* (PAPERS.md):
+
+- :class:`ShmRing` — a single-producer/single-consumer ring buffer in
+  one shared-memory segment.  The reader and writer cursors live *in*
+  the segment (offsets 0 and 8) as monotonic byte counts, so free
+  space, wraparound and emptiness are all derived arithmetic — there
+  is no out-of-band state to lose when a worker dies.
+- :func:`pack_record` / :func:`try_unpack_record` — a struct-packed
+  **columnar** batch format for the two data-plane payloads
+  (:class:`~repro.parallel.commands.Deliver` and
+  :class:`~repro.parallel.commands.BatchDone`): a fixed self-validating
+  header (magic, version, type, body length, body CRC32), packed
+  arrays of per-envelope/per-result fields (kind, router, counter,
+  tuple index), a deduplicated tuple table whose attribute values are
+  packed as per-column typed arrays, and small string tables for the
+  handful of distinct unit/router/relation names.  One ``struct`` call
+  packs a whole column, so the per-object overhead pickle pays on
+  frozen-slots dataclasses disappears.
+- :class:`BufferArena` — recycled ``bytearray`` scratch buffers for
+  coordinator-side packing (no per-batch allocation).
+
+**Crash-safety invariants** (the recovery argument leans on these):
+
+1. A record becomes visible only when the writer *publishes* the head
+   cursor, which happens strictly after the record bytes are in place.
+   A worker (or coordinator) SIGKILLed mid-write leaves the head
+   untouched: the torn bytes are invisible and the batch is simply an
+   unacked ledger entry — ordinary respawn + replay.
+2. Published bytes are immutable until the *reader* advances the tail,
+   and only the reader advances the tail — so a record returned by
+   :meth:`ShmRing.read` cannot be overwritten mid-decode.
+3. Every record self-validates (length bounds, magic, version, CRC32
+   of the body).  A record that fails validation means the channel can
+   no longer be trusted; the coordinator treats it exactly like a
+   corrupt pipe frame — quarantine: kill, respawn (fresh rings),
+   redeliver.  A torn 8-byte head write (possible only if the writer
+   dies inside the cursor store) at worst makes the reader see garbage
+   past the last record, which lands in the same quarantine path.
+4. Respawn discards both rings and creates fresh segments: nothing a
+   dead incarnation half-wrote can leak into its replacement's
+   channel.
+
+The rings carry *payloads*; ordering and wakeup stay on the existing
+pickle channels via tiny doorbell frames
+(:class:`~repro.parallel.commands.DeliverShm` /
+:class:`~repro.parallel.commands.BatchDoneShm`), so blocking semantics,
+heartbeats and supervision are untouched.  Anything the packer cannot
+express (non-columnar schemas, exotic value types, a full ring) falls
+back to the full pickled frame on the same channel — the formats
+coexist per batch, and strict per-doorbell pairing keeps settlement a
+seq-order prefix either way.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+from ..core.batching import EnvelopeBatch
+from ..core.ordering import KIND_JOIN, KIND_STORE, Envelope
+from ..core.tuples import JoinResult, StreamTuple
+from .commands import BatchDone, Deliver
+
+# ---------------------------------------------------------------------------
+# Record format
+# ---------------------------------------------------------------------------
+
+#: Magic of a struct-packed data-plane record.
+SHM_MAGIC = b"RSBF"
+#: Record format revision; bump on any incompatible layout change.
+SHM_VERSION = 1
+
+#: Record type: a packed :class:`~repro.parallel.commands.Deliver`.
+TYPE_DELIVER = 1
+#: Record type: a packed :class:`~repro.parallel.commands.BatchDone`.
+TYPE_RESULTS = 2
+
+#: ``magic | version | type | reserved | body length | body crc32``.
+_PAYLOAD_HEADER = struct.Struct("<4sBBHII")
+PAYLOAD_HEADER_SIZE = _PAYLOAD_HEADER.size
+
+#: Value-column type tags of the tuple table.
+_TAG_INT = 0
+_TAG_FLOAT = 1
+_TAG_STR = 2
+
+_KIND_CODES = {KIND_STORE: 0, KIND_JOIN: 1}
+_KIND_NAMES = {0: KIND_STORE, 1: KIND_JOIN}
+
+
+class _Unpackable(Exception):
+    """Internal: the payload cannot be expressed in the packed format
+    (caller falls back to the pickle frame)."""
+
+
+class _Truncated(Exception):
+    """Internal: a packed record ended mid-field (rejected, never raised
+    out of :func:`try_unpack_record`)."""
+
+
+# -- packing helpers --------------------------------------------------------
+def _pack_str8(buf: bytearray, s: str) -> None:
+    encoded = s.encode("utf-8")
+    if len(encoded) > 255:
+        raise _Unpackable(s)
+    buf.append(len(encoded))
+    buf += encoded
+
+
+def _pack_str_table(buf: bytearray, strings: list[str]) -> None:
+    if len(strings) > 255:
+        raise _Unpackable("string table overflow")
+    buf.append(len(strings))
+    for s in strings:
+        _pack_str8(buf, s)
+
+
+class _Interner:
+    """Builds a string table and per-item index array in one pass."""
+
+    __slots__ = ("strings", "_index")
+
+    def __init__(self) -> None:
+        self.strings: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def add(self, s: str) -> int:
+        idx = self._index.get(s)
+        if idx is None:
+            idx = self._index[s] = len(self.strings)
+            if idx > 255:
+                raise _Unpackable("string table overflow")
+            self.strings.append(s)
+        return idx
+
+
+def _pack_tuple_table(buf: bytearray, tuples: list[StreamTuple]) -> None:
+    """Columnar tuple table: relations, timestamps, seqs, then one typed
+    array per schema attribute.  Requires every tuple to share one
+    schema (attribute names in one order) and every column to be
+    monomorphic int/float/str — the common case by far; anything else
+    raises :class:`_Unpackable` and the batch ships as pickle."""
+    n = len(tuples)
+    buf += struct.pack("<I", n)
+    relations = _Interner()
+    rel_idx = bytes(relations.add(t.relation) for t in tuples)
+    _pack_str_table(buf, relations.strings)
+    buf += rel_idx
+    buf += struct.pack(f"<{n}d", *[t.ts for t in tuples])
+    buf += struct.pack(f"<{n}q", *[t.seq for t in tuples])
+    if n == 0:
+        buf.append(0)
+        return
+    schema = tuple(tuples[0].values.keys())
+    if len(schema) > 255:
+        raise _Unpackable("schema overflow")
+    for t in tuples:
+        if tuple(t.values.keys()) != schema:
+            raise _Unpackable("mixed schemas")
+    buf.append(len(schema))
+    for attr in schema:
+        _pack_str8(buf, attr)
+        column = [t.values[attr] for t in tuples]
+        kind = type(column[0])
+        if kind is int and all(type(v) is int for v in column):
+            buf.append(_TAG_INT)
+            buf += struct.pack(f"<{n}q", *column)
+        elif kind is float and all(type(v) is float for v in column):
+            buf.append(_TAG_FLOAT)
+            buf += struct.pack(f"<{n}d", *column)
+        elif kind is str and all(type(v) is str for v in column):
+            encoded = [v.encode("utf-8") for v in column]
+            buf.append(_TAG_STR)
+            buf += struct.pack(f"<{n}I", *[len(e) for e in encoded])
+            for e in encoded:
+                buf += e
+        else:
+            raise _Unpackable(f"unpackable column {attr!r}")
+
+
+def _pack_deliver_body(buf: bytearray, command: Deliver) -> None:
+    envelopes = command.batch.envelopes
+    n = len(envelopes)
+    buf += struct.pack("<QI", command.seq, n)
+    _pack_str8(buf, command.unit_id)
+    routers = _Interner()
+    tuple_table: list[StreamTuple] = []
+    tuple_index: dict[int, int] = {}
+    kinds = bytearray(n)
+    router_idx = bytearray(n)
+    counters: list[int] = []
+    tuple_idx: list[int] = []
+    for i, env in enumerate(envelopes):
+        code = _KIND_CODES.get(env.kind)
+        if code is None or env.tuple is None:
+            raise _Unpackable(env.kind)
+        kinds[i] = code
+        router_idx[i] = routers.add(env.router_id)
+        counters.append(env.counter)
+        # Dedup by object identity: a tuple referenced by several
+        # envelopes of the batch is packed (and rebuilt) once.
+        key = id(env.tuple)
+        pos = tuple_index.get(key)
+        if pos is None:
+            pos = tuple_index[key] = len(tuple_table)
+            tuple_table.append(env.tuple)
+        tuple_idx.append(pos)
+    _pack_str_table(buf, routers.strings)
+    buf += kinds
+    buf += router_idx
+    buf += struct.pack(f"<{n}Q", *counters)
+    buf += struct.pack(f"<{n}I", *tuple_idx)
+    _pack_tuple_table(buf, tuple_table)
+
+
+def _pack_results_body(buf: bytearray, done: BatchDone) -> None:
+    results = done.results
+    n = len(results)
+    buf += struct.pack("<QId", done.seq, n, done.busy)
+    _pack_str8(buf, done.unit_id)
+    producers = _Interner()
+    tuple_table: list[StreamTuple] = []
+    tuple_index: dict[int, int] = {}
+
+    def intern_tuple(t: StreamTuple) -> int:
+        key = id(t)
+        pos = tuple_index.get(key)
+        if pos is None:
+            pos = tuple_index[key] = len(tuple_table)
+            tuple_table.append(t)
+        return pos
+
+    producer_idx = bytes(producers.add(r.producer) for r in results)
+    r_idx = [intern_tuple(r.r) for r in results]
+    s_idx = [intern_tuple(r.s) for r in results]
+    _pack_str_table(buf, producers.strings)
+    buf += producer_idx
+    buf += struct.pack(f"<{n}I", *r_idx)
+    buf += struct.pack(f"<{n}I", *s_idx)
+    buf += struct.pack(f"<{n}d", *[r.ts for r in results])
+    buf += struct.pack(f"<{n}d", *[r.produced_at for r in results])
+    _pack_tuple_table(buf, tuple_table)
+
+
+def pack_record(obj: Any, buf: bytearray) -> bool:
+    """Pack one data-plane payload into ``buf`` (cleared first).
+
+    Returns ``True`` with ``buf`` holding a complete self-validating
+    record, or ``False`` when the payload cannot be expressed in the
+    packed format (unknown type, non-columnar values, out-of-range
+    ints, oversized names) — the caller then falls back to the pickle
+    frame.  ``buf`` contents are unspecified after a ``False`` return.
+    """
+    buf.clear()
+    buf += b"\x00" * PAYLOAD_HEADER_SIZE
+    try:
+        if isinstance(obj, Deliver):
+            rtype = TYPE_DELIVER
+            _pack_deliver_body(buf, obj)
+        elif isinstance(obj, BatchDone):
+            rtype = TYPE_RESULTS
+            _pack_results_body(buf, obj)
+        else:
+            return False
+    except (_Unpackable, struct.error, OverflowError, UnicodeEncodeError,
+            AttributeError, TypeError):
+        return False
+    body_len = len(buf) - PAYLOAD_HEADER_SIZE
+    crc = zlib.crc32(memoryview(buf)[PAYLOAD_HEADER_SIZE:])
+    _PAYLOAD_HEADER.pack_into(buf, 0, SHM_MAGIC, SHM_VERSION, rtype, 0,
+                              body_len, crc)
+    return True
+
+
+# -- unpacking --------------------------------------------------------------
+class _Reader:
+    """Offset-tracked reads over one record payload; every read is
+    bounds-checked so a truncated or lying record can never index past
+    the buffer."""
+
+    __slots__ = ("data", "pos", "end")
+
+    def __init__(self, data, pos: int) -> None:
+        self.data = data
+        self.pos = pos
+        self.end = len(data)
+
+    def unpack(self, fmt: str, size: int) -> tuple:
+        if self.pos + size > self.end:
+            raise _Truncated(fmt)
+        values = struct.unpack_from(fmt, self.data, self.pos)
+        self.pos += size
+        return values
+
+    def take_bytes(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > self.end:
+            raise _Truncated(n)
+        chunk = bytes(self.data[self.pos:self.pos + n])
+        self.pos += n
+        return chunk
+
+    def str8(self) -> str:
+        (length,) = self.unpack("<B", 1)
+        return self.take_bytes(length).decode("utf-8")
+
+    def str_table(self) -> list[str]:
+        (count,) = self.unpack("<B", 1)
+        return [self.str8() for _ in range(count)]
+
+
+def _unpack_tuple_table(reader: _Reader) -> list[StreamTuple]:
+    (n,) = reader.unpack("<I", 4)
+    relations = reader.str_table()
+    rel_idx = reader.take_bytes(n)
+    ts = reader.unpack(f"<{n}d", 8 * n)
+    seqs = reader.unpack(f"<{n}q", 8 * n)
+    (n_keys,) = reader.unpack("<B", 1)
+    columns: list[tuple[str, tuple]] = []
+    for _ in range(n_keys):
+        attr = reader.str8()
+        (tag,) = reader.unpack("<B", 1)
+        if tag == _TAG_INT:
+            columns.append((attr, reader.unpack(f"<{n}q", 8 * n)))
+        elif tag == _TAG_FLOAT:
+            columns.append((attr, reader.unpack(f"<{n}d", 8 * n)))
+        elif tag == _TAG_STR:
+            lengths = reader.unpack(f"<{n}I", 4 * n)
+            columns.append((attr, tuple(
+                reader.take_bytes(length).decode("utf-8")
+                for length in lengths)))
+        else:
+            raise _Truncated(f"bad column tag {tag}")
+    keys = tuple(attr for attr, _ in columns)
+    rows = zip(*(values for _, values in columns)) if columns \
+        else iter(() for _ in range(n))
+    tuples: list[StreamTuple] = []
+    for i, row in zip(range(n), rows):
+        tuples.append(StreamTuple(
+            relation=relations[rel_idx[i]], ts=ts[i],
+            values=dict(zip(keys, row)), seq=seqs[i]))
+    if len(tuples) != n:
+        raise _Truncated("tuple table rows")
+    return tuples
+
+
+def _unpack_deliver_body(reader: _Reader) -> Deliver:
+    seq, n = reader.unpack("<QI", 12)
+    unit_id = reader.str8()
+    routers = reader.str_table()
+    kinds = reader.take_bytes(n)
+    router_idx = reader.take_bytes(n)
+    counters = reader.unpack(f"<{n}Q", 8 * n)
+    tuple_idx = reader.unpack(f"<{n}I", 4 * n)
+    tuples = _unpack_tuple_table(reader)
+    envelopes = tuple(
+        Envelope(kind=_KIND_NAMES[kinds[i]],
+                 router_id=routers[router_idx[i]],
+                 counter=counters[i], tuple=tuples[tuple_idx[i]])
+        for i in range(n))
+    return Deliver(seq=seq, unit_id=unit_id,
+                   batch=EnvelopeBatch(envelopes))
+
+
+def _unpack_results_body(reader: _Reader) -> BatchDone:
+    seq, n, busy = reader.unpack("<QId", 20)
+    unit_id = reader.str8()
+    producers = reader.str_table()
+    producer_idx = reader.take_bytes(n)
+    r_idx = reader.unpack(f"<{n}I", 4 * n)
+    s_idx = reader.unpack(f"<{n}I", 4 * n)
+    ts = reader.unpack(f"<{n}d", 8 * n)
+    produced_at = reader.unpack(f"<{n}d", 8 * n)
+    tuples = _unpack_tuple_table(reader)
+    results = tuple(
+        JoinResult(r=tuples[r_idx[i]], s=tuples[s_idx[i]], ts=ts[i],
+                   produced_at=produced_at[i],
+                   producer=producers[producer_idx[i]])
+        for i in range(n))
+    return BatchDone(seq=seq, unit_id=unit_id, results=results, busy=busy)
+
+
+def try_unpack_record(payload) -> tuple[bool, Any]:
+    """Best-effort decode of one packed record: ``(True, obj)`` or
+    ``(False, None)``.
+
+    Never raises: truncations, bit flips, wrong magic/version/type,
+    lying lengths and CRC mismatches all return ``(False, None)`` — the
+    shared-memory analogue of
+    :func:`repro.parallel.codec.try_decode_frame`.
+    """
+    try:
+        if len(payload) < PAYLOAD_HEADER_SIZE:
+            return False, None
+        magic, version, rtype, _, body_len, crc = _PAYLOAD_HEADER.unpack_from(
+            payload, 0)
+        if magic != SHM_MAGIC or version != SHM_VERSION:
+            return False, None
+        if body_len != len(payload) - PAYLOAD_HEADER_SIZE:
+            return False, None
+        if zlib.crc32(memoryview(payload)[PAYLOAD_HEADER_SIZE:]) != crc:
+            return False, None
+        reader = _Reader(payload, PAYLOAD_HEADER_SIZE)
+        if rtype == TYPE_DELIVER:
+            obj = _unpack_deliver_body(reader)
+        elif rtype == TYPE_RESULTS:
+            obj = _unpack_results_body(reader)
+        else:
+            return False, None
+        if reader.pos != reader.end:
+            return False, None  # trailing garbage: not a clean record
+        return True, obj
+    except (_Truncated, struct.error, UnicodeDecodeError, KeyError,
+            IndexError, ValueError, OverflowError, MemoryError):
+        return False, None
+
+
+# ---------------------------------------------------------------------------
+# The ring buffer
+# ---------------------------------------------------------------------------
+
+#: Default per-direction ring capacity (bytes).
+DEFAULT_RING_CAPACITY = 1 << 20
+
+#: Ring layout: ``head (u64) | tail (u64) | data[capacity]``.
+_CURSOR = struct.Struct("<Q")
+_DATA_OFFSET = 16
+
+#: Per-record framing inside the ring: a 4-byte length prefix (the
+#: payload self-validates, see the record format above).
+_REC_LEN = struct.Struct("<I")
+
+RING_EMPTY = "empty"
+RING_OK = "ok"
+RING_CORRUPT = "corrupt"
+
+
+class ShmRing:
+    """A single-producer/single-consumer byte ring in shared memory.
+
+    ``head`` (bytes ever written) and ``tail`` (bytes ever consumed)
+    live at segment offsets 0 and 8; the writer publishes ``head`` only
+    after a record's bytes are fully in place, and only the reader
+    advances ``tail`` — see the module docstring for the crash-safety
+    argument this supports.  Capacity is derived from the actual
+    segment size (the OS may round up), so creator and attacher always
+    agree on the wraparound arithmetic.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY, *,
+                 name: str | None = None) -> None:
+        if name is None:
+            if capacity < 4 * 1024:
+                raise ValueError("ring capacity must be >= 4 KiB")
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=_DATA_OFFSET + capacity)
+            self._owner = True
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+            # Python < 3.13 registers attached segments with the
+            # resource tracker too.  Worker processes share the
+            # coordinator's tracker (the fd is inherited at spawn), so
+            # the attach-side register is an idempotent set-add of a
+            # name already tracked by the creator, and the creator's
+            # unlink clears it — nothing to do here.  Unregistering
+            # from the worker would instead strip the shared entry and
+            # make the coordinator's unlink trip the tracker.
+        self._buf = self._shm.buf
+        self.capacity = self._shm.size - _DATA_OFFSET
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """The segment name a peer attaches with (``name=``)."""
+        return self._shm.name
+
+    # -- cursors -------------------------------------------------------
+    @property
+    def head(self) -> int:
+        return _CURSOR.unpack_from(self._buf, 0)[0]
+
+    @property
+    def tail(self) -> int:
+        return _CURSOR.unpack_from(self._buf, 8)[0]
+
+    def _publish_head(self, value: int) -> None:
+        _CURSOR.pack_into(self._buf, 0, value)
+
+    def _publish_tail(self, value: int) -> None:
+        _CURSOR.pack_into(self._buf, 8, value)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - (self.head - self.tail)
+
+    # -- writer side ---------------------------------------------------
+    def try_write(self, payload) -> bool:
+        """Append one record; ``False`` (nothing written) when the ring
+        lacks space — the caller falls back to the pickle channel
+        instead of blocking, which is what keeps the data plane
+        deadlock-free by construction."""
+        head = self.head
+        total = _REC_LEN.size + len(payload)
+        if total > self.capacity - (head - self.tail):
+            return False
+        pos = self._copy_in(head, _REC_LEN.pack(len(payload)))
+        self._copy_in(pos, payload)
+        # Publish strictly after the bytes: a crash before this line
+        # leaves the record invisible (crash-safety invariant 1).
+        self._publish_head(head + total)
+        return True
+
+    def _copy_in(self, pos: int, data) -> int:
+        cap = self.capacity
+        offset = pos % cap
+        view = memoryview(data)
+        first = min(len(view), cap - offset)
+        start = _DATA_OFFSET + offset
+        self._buf[start:start + first] = view[:first]
+        if first < len(view):
+            self._buf[_DATA_OFFSET:_DATA_OFFSET + len(view) - first] = \
+                view[first:]
+        return pos + len(view)
+
+    # -- reader side ---------------------------------------------------
+    def read(self):
+        """Peek the record at the tail **without consuming it**.
+
+        Returns ``(RING_OK, payload)``, ``(RING_EMPTY, None)`` or
+        ``(RING_CORRUPT, None)`` when the cursors or the length prefix
+        are inconsistent (a torn head write or damaged segment — the
+        caller quarantines).  The payload is a zero-copy ``memoryview``
+        into the segment when the record is contiguous (bytes when it
+        wraps); call :meth:`consume` once it has been decoded.
+        """
+        head, tail = self.head, self.tail
+        available = head - tail
+        if available == 0:
+            return RING_EMPTY, None
+        if available < _REC_LEN.size or available > self.capacity:
+            return RING_CORRUPT, None
+        (length,) = _REC_LEN.unpack(bytes(self._slice(tail, _REC_LEN.size)))
+        if (length < PAYLOAD_HEADER_SIZE
+                or _REC_LEN.size + length > available):
+            return RING_CORRUPT, None
+        return RING_OK, self._slice(tail + _REC_LEN.size, length)
+
+    def consume(self) -> None:
+        """Advance the tail past the record last returned by
+        :meth:`read` (reader-only cursor: crash-safety invariant 2)."""
+        tail = self.tail
+        (length,) = _REC_LEN.unpack(bytes(self._slice(tail, _REC_LEN.size)))
+        self._publish_tail(tail + _REC_LEN.size + length)
+
+    def _slice(self, pos: int, n: int):
+        cap = self.capacity
+        offset = pos % cap
+        if offset + n <= cap:
+            start = _DATA_OFFSET + offset
+            return self._buf[start:start + n]
+        first = cap - offset
+        return (bytes(self._buf[_DATA_OFFSET + offset:_DATA_OFFSET + cap])
+                + bytes(self._buf[_DATA_OFFSET:_DATA_OFFSET + n - first]))
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Detach (and unlink, if this side created the segment)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._buf = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a leaked view
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Coordinator-side helpers
+# ---------------------------------------------------------------------------
+class BufferArena:
+    """Recycled ``bytearray`` scratch buffers for batch packing.
+
+    The coordinator packs every outgoing batch into an arena buffer and
+    returns it after the ring copy, so steady-state packing allocates
+    nothing per batch (``bytearray.clear`` keeps the backing storage).
+    """
+
+    __slots__ = ("_free", "allocated", "reused")
+
+    def __init__(self) -> None:
+        self._free: list[bytearray] = []
+        self.allocated = 0
+        self.reused = 0
+
+    def acquire(self) -> bytearray:
+        if self._free:
+            self.reused += 1
+            return self._free.pop()
+        self.allocated += 1
+        return bytearray()
+
+    def release(self, buf: bytearray) -> None:
+        buf.clear()
+        self._free.append(buf)
+
+
+@dataclass
+class TransportStats:
+    """Data-plane accounting, shared by every worker handle of one
+    cluster and exported into the metrics registry / BENCH artifacts.
+
+    ``transit_seconds`` is settle latency minus the worker's reported
+    per-batch busy time — i.e. queueing plus both channel directions,
+    the component the shared-memory transport exists to shrink.
+    """
+
+    encode_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    transit_seconds: float = 0.0
+    shm_batches: int = 0
+    pipe_fallbacks: int = 0

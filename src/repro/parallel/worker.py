@@ -41,7 +41,9 @@ from ..obs.trace import NOOP_TRACER, SPAN_DELIVER, Tracer
 from .codec import decode_frame, encode_frame
 from .commands import (
     BatchDone,
+    BatchDoneShm,
     Deliver,
+    DeliverShm,
     Drain,
     Drained,
     EvictUnit,
@@ -58,6 +60,15 @@ from .commands import (
     UnitSpec,
     WorkerFailure,
     WorkerSpec,
+)
+from .shm import (
+    DEFAULT_RING_CAPACITY,
+    RING_OK,
+    BufferArena,
+    ShmRing,
+    TransportStats,
+    pack_record,
+    try_unpack_record,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -82,7 +93,9 @@ def _build_joiners(spec: WorkerSpec, sink, tracer) -> dict[str, Joiner]:
 
 
 def _drained_frame(spec: WorkerSpec, joiners: dict[str, Joiner],
-                   tracer, commands_seen: int) -> Drained:
+                   tracer, commands_seen: int,
+                   encode_seconds: float = 0.0,
+                   decode_seconds: float = 0.0) -> Drained:
     registry = MetricsRegistry()
     for joiner in joiners.values():
         joiner.export_metrics(registry)
@@ -93,6 +106,14 @@ def _drained_frame(spec: WorkerSpec, joiners: dict[str, Joiner],
     registry.counter("repro_worker_commands_total",
                      "Commands processed by the worker command loop.",
                      labels).set_total(commands_seen)
+    registry.counter("repro_worker_codec_encode_seconds",
+                     "Wall seconds this worker spent encoding data-plane "
+                     "payloads (packed records and result frames).",
+                     labels).set_total(encode_seconds)
+    registry.counter("repro_worker_codec_decode_seconds",
+                     "Wall seconds this worker spent decoding data-plane "
+                     "payloads (packed records popped off the ring).",
+                     labels).set_total(decode_seconds)
     stats = {
         unit_id: {
             "envelopes_received": j.stats.envelopes_received,
@@ -110,16 +131,57 @@ def _drained_frame(spec: WorkerSpec, joiners: dict[str, Joiner],
                    spans=spans, stats=stats)
 
 
-def worker_main(spec_frame: bytes, cmd_queue, out_conn) -> None:
+def _pop_deliver(ring: ShmRing, doorbell: DeliverShm) -> Deliver:
+    """Pop exactly the one packed record the doorbell announced.
+
+    Doorbells and ring records pair 1:1 in channel order, so the record
+    at the tail *must* be a :class:`Deliver` with the doorbell's seq —
+    any mismatch means the channel state is inconsistent (a bug, not a
+    crash, because C2W records are written by the live coordinator) and
+    fails the worker loudly via :class:`~repro.errors.ParallelError`,
+    which reaches the coordinator as a :class:`WorkerFailure`.
+    """
+    status, payload = ring.read()
+    if status != RING_OK:
+        raise ParallelError(
+            f"doorbell for seq {doorbell.seq} but the ring read was "
+            f"{status!r}")
+    try:
+        ok, command = try_unpack_record(payload)
+    finally:
+        if isinstance(payload, memoryview):
+            payload.release()
+    ring.consume()
+    if (not ok or not isinstance(command, Deliver)
+            or command.seq != doorbell.seq
+            or command.unit_id != doorbell.unit_id):
+        raise ParallelError(
+            f"doorbell/ring mismatch: expected Deliver seq {doorbell.seq} "
+            f"unit {doorbell.unit_id!r}, ring held "
+            f"{type(command).__name__ if ok else 'a corrupt record'}")
+    return command
+
+
+def worker_main(spec_frame: bytes, cmd_queue, out_conn,
+                shm_names: "tuple[str, str] | None" = None) -> None:
     """The worker process entry point (must stay module-level: ``spawn``
     pickles it by qualified name).
 
     Reads codec-framed commands from ``cmd_queue`` in FIFO order,
     processes each one synchronously to completion, and writes codec-
     framed outputs to ``out_conn``.  Every :class:`Deliver` yields
-    exactly one :class:`BatchDone` frame carrying both the results and
-    the acknowledgement — the atomic settlement unit the supervisor's
+    exactly one :class:`BatchDone` settlement carrying both the results
+    and the acknowledgement — the atomic unit the supervisor's
     exactly-once argument rests on.
+
+    With ``shm_names`` (the coordinator→worker and worker→coordinator
+    ring segment names) the data plane moves to shared memory: batch
+    payloads arrive as packed records announced by :class:`DeliverShm`
+    doorbells, and results ship back through the W2C ring behind
+    :class:`BatchDoneShm` doorbells whenever they pack and fit —
+    falling back to the full pickled frame otherwise.  Settlement
+    atomicity is unchanged: the record is published before its doorbell
+    is sent, so the doorbell frame *is* the settlement event.
     """
     spec: WorkerSpec = decode_frame(spec_frame)
     tracer = NOOP_TRACER
@@ -129,11 +191,32 @@ def worker_main(spec_frame: bytes, cmd_queue, out_conn) -> None:
     results: list[JoinResult] = []
     joiners = _build_joiners(spec, results.append, tracer)
     commands_seen = 0
+    c2w = w2c = None
+    if shm_names is not None:
+        try:
+            c2w = ShmRing(name=shm_names[0])
+            w2c = ShmRing(name=shm_names[1])
+        except FileNotFoundError:
+            # The coordinator already unlinked these rings: it gave up
+            # on this incarnation (quarantine/retire racing the spawn)
+            # and will supervise the successor.  Exit quietly instead
+            # of dying with a traceback the operator cannot act on.
+            if c2w is not None:
+                c2w.close()
+            return
+    scratch = bytearray()
+    encode_seconds = 0.0
+    decode_seconds = 0.0
+    perf = time.perf_counter
     try:
         while True:
             command = decode_frame(cmd_queue.get())
             commands_seen += 1
-            if isinstance(command, Deliver):
+            if isinstance(command, (Deliver, DeliverShm)):
+                busy_from = perf()
+                if isinstance(command, DeliverShm):
+                    command = _pop_deliver(c2w, command)
+                    decode_seconds += perf() - busy_from
                 joiner = joiners[command.unit_id]
                 if tracer.enabled:
                     # Wall time on the shared epoch, so worker spans are
@@ -149,10 +232,23 @@ def worker_main(spec_frame: bytes, cmd_queue, out_conn) -> None:
                                           tuple_id=env.tuple.ident,
                                           detail=env.kind)
                 joiner.on_batch(command.batch)
-                out_conn.send_bytes(encode_frame(BatchDone(
+                done = BatchDone(
                     seq=command.seq, unit_id=command.unit_id,
-                    results=tuple(results))))
+                    results=tuple(results), busy=perf() - busy_from)
                 results.clear()
+                encode_from = perf()
+                shipped = (w2c is not None and pack_record(done, scratch)
+                           and w2c.try_write(scratch))
+                if shipped:
+                    # Record first, doorbell second: the settlement is
+                    # atomic because only the doorbell frame settles.
+                    frame = encode_frame(BatchDoneShm(
+                        seq=done.seq, unit_id=done.unit_id,
+                        count=len(done.results)))
+                else:
+                    frame = encode_frame(done)
+                encode_seconds += perf() - encode_from
+                out_conn.send_bytes(frame)
             elif isinstance(command, Punctuate):
                 punctuation = Envelope(kind=KIND_PUNCTUATION,
                                        router_id=command.router_id,
@@ -196,7 +292,8 @@ def worker_main(spec_frame: bytes, cmd_queue, out_conn) -> None:
                 for joiner in joiners.values():
                     joiner.flush()
                 out_conn.send_bytes(encode_frame(_drained_frame(
-                    spec, joiners, tracer, commands_seen)))
+                    spec, joiners, tracer, commands_seen,
+                    encode_seconds, decode_seconds)))
             elif isinstance(command, Stop):
                 break
             else:
@@ -210,6 +307,11 @@ def worker_main(spec_frame: bytes, cmd_queue, out_conn) -> None:
             pass
         raise
     finally:
+        # Detach only: the coordinator owns the segments' lifecycle.
+        if c2w is not None:
+            c2w.close()
+        if w2c is not None:
+            w2c.close()
         out_conn.close()
 
 
@@ -235,11 +337,27 @@ class WorkerHandle:
     the mid-migration crash-safety argument rests on.
     """
 
-    def __init__(self, spec: WorkerSpec, ctx) -> None:
+    def __init__(self, spec: WorkerSpec, ctx, *,
+                 transport: str = "pipe",
+                 ring_capacity: int = DEFAULT_RING_CAPACITY,
+                 arena: "BufferArena | None" = None,
+                 stats: "TransportStats | None" = None) -> None:
         self.spec = spec
         self.worker_id = spec.worker_id
         self._spec_frame = encode_frame(spec)
         self._ctx = ctx
+        self.transport = transport
+        self.ring_capacity = ring_capacity
+        #: Recycled pack buffers and data-plane accounting; the cluster
+        #: passes shared instances so the whole pool pools/aggregates
+        #: together, but a standalone handle works too.
+        self.arena = arena if arena is not None else BufferArena()
+        self.stats = stats if stats is not None else TransportStats()
+        #: Shared-memory data rings (``transport="shm"`` only).  Fresh
+        #: segments per incarnation: :meth:`respawn` discards both, so
+        #: nothing a dead worker half-wrote leaks into its replacement.
+        self.c2w_ring: "ShmRing | None" = None
+        self.w2c_ring: "ShmRing | None" = None
         #: Set by the coordinator while the worker is being scaled in:
         #: its units are migrating away and no new unit may land on it.
         self.retiring = False
@@ -285,9 +403,14 @@ class WorkerHandle:
     def _spawn(self) -> None:
         self.cmd_queue = self._ctx.Queue()
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        shm_names = None
+        if self.transport == "shm":
+            self.c2w_ring = ShmRing(self.ring_capacity)
+            self.w2c_ring = ShmRing(self.ring_capacity)
+            shm_names = (self.c2w_ring.name, self.w2c_ring.name)
         self.process = self._ctx.Process(
             target=worker_main,
-            args=(self._spec_frame, self.cmd_queue, send_conn),
+            args=(self._spec_frame, self.cmd_queue, send_conn, shm_names),
             name=f"repro-{self.worker_id}", daemon=True)
         self.process.start()
         # Close the parent's copy of the write end: once the child dies,
@@ -348,7 +471,15 @@ class WorkerHandle:
             pass
 
     def close_channels(self) -> None:
-        """Release the dead (or stopping) process's IPC resources."""
+        """Release the dead (or stopping) process's IPC resources,
+        including the shared-memory rings (the coordinator owns the
+        segments; closing unlinks them)."""
+        if self.c2w_ring is not None:
+            self.c2w_ring.close()
+            self.c2w_ring = None
+        if self.w2c_ring is not None:
+            self.w2c_ring.close()
+            self.w2c_ring = None
         if self.conn is not None:
             try:
                 self.conn.close()
@@ -366,11 +497,39 @@ class WorkerHandle:
     def send(self, command) -> None:
         self.cmd_queue.put(encode_frame(command))
 
+    def _send_data(self, command: Deliver) -> None:
+        """Ship one batch over the data plane.
+
+        On the shm transport the payload goes into the C2W ring as a
+        packed record and a :class:`DeliverShm` doorbell follows on the
+        command channel; when the batch doesn't pack (exotic payload)
+        or doesn't fit (ring full), the full pickled frame takes the
+        same channel instead — byte-order on the FIFO channel keeps the
+        two formats interchangeable per batch.
+        """
+        start = time.perf_counter()
+        if self.c2w_ring is not None:
+            buf = self.arena.acquire()
+            try:
+                shipped = (pack_record(command, buf)
+                           and self.c2w_ring.try_write(buf))
+            finally:
+                self.arena.release(buf)
+            if shipped:
+                self.stats.shm_batches += 1
+                self.send(DeliverShm(seq=command.seq,
+                                     unit_id=command.unit_id))
+                self.stats.encode_seconds += time.perf_counter() - start
+                return
+            self.stats.pipe_fallbacks += 1
+        self.send(command)
+        self.stats.encode_seconds += time.perf_counter() - start
+
     def deliver(self, command: Deliver) -> None:
         """Send a batch and enter it into the unacked ledger."""
         self.unacked[command.seq] = command
         self.delivered_at[command.seq] = time.monotonic()
-        self.send(command)
+        self._send_data(command)
 
     def redeliver_outstanding(self) -> int:
         """Re-send every unacked batch, in sequence order, to the
@@ -378,7 +537,7 @@ class WorkerHandle:
         outstanding = sorted(self.unacked)
         now = time.monotonic()
         for seq in outstanding:
-            self.send(self.unacked[seq])
+            self._send_data(self.unacked[seq])
             # Fresh deadline stamp: the replacement starts from zero.
             self.delivered_at[seq] = now
         self.deadline_strikes = 0

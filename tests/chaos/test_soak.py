@@ -28,6 +28,8 @@ class TestSoakConfig:
             SoakConfig(faults_per_round=-1)
         with pytest.raises(ConfigurationError):
             SoakConfig(resizes_per_round=-1)
+        with pytest.raises(ConfigurationError):
+            SoakConfig(shm_faults_per_round=-1)
 
     def test_effective_resizes_follows_the_switch(self):
         assert SoakConfig().effective_resizes == 2
@@ -54,7 +56,8 @@ class TestWorkload:
 class TestRounds:
     def test_round_without_faults_is_clean(self):
         config = SoakConfig(rounds=1, tuples_per_round=120,
-                            faults_per_round=0, seed=11, resizes=False)
+                            faults_per_round=0, seed=11, resizes=False,
+                            shm_faults_per_round=0)
         score = run_round(config, 0)
         assert score.ok
         assert score.lost == 0 and score.duplicated == 0
@@ -65,7 +68,7 @@ class TestRounds:
     def test_round_with_kill_recovers_exactly_once(self):
         config = SoakConfig(rounds=1, tuples_per_round=200,
                             faults_per_round=2, seed=11, kinds=("kill",),
-                            resizes=False)
+                            resizes=False, shm_faults_per_round=0)
         score = run_round(config, 0)
         assert score.ok, f"kill round lost results: {score}"
         assert score.restarts >= 1
@@ -75,11 +78,26 @@ class TestRounds:
         """The elastic acceptance case at soak scale: resize
         disturbances fold in and the round still scores clean."""
         config = SoakConfig(rounds=1, tuples_per_round=200,
-                            faults_per_round=0, seed=11)
+                            faults_per_round=0, seed=11,
+                            shm_faults_per_round=0)
         score = run_round(config, 0)
         assert score.ok, f"resize round lost results: {score}"
         assert score.migrations >= 1
         assert sum(score.faults_injected.values()) == 2
+
+    def test_round_with_shm_faults_quarantines_exactly_once(self):
+        """The default plan corrupts ring records; every flip must be
+        caught (quarantine, not bad data) and the round still scores
+        exactly-once."""
+        config = SoakConfig(rounds=1, tuples_per_round=120,
+                            faults_per_round=0, seed=11, resizes=False)
+        score = run_round(config, 0)
+        assert score.ok, f"shm-fault round lost results: {score}"
+        assert set(score.faults_injected) <= {"corrupt_shm_header",
+                                              "corrupt_shm_slab"}
+        assert sum(score.faults_injected.values()) == 2
+        assert score.quarantines >= 1
+        assert score.corrupt_frames >= 1
 
     def test_rounds_alternate_routing_modes(self):
         config = SoakConfig(rounds=2, tuples_per_round=120,

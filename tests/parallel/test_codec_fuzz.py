@@ -1,10 +1,11 @@
-"""Property-based hardening of the wire codec.
+"""Property-based hardening of the wire codec and the shm batch format.
 
-The contract under attack: :func:`try_decode_frame` must *never* raise
-on arbitrary bytes, and must never return a corrupt payload as valid —
-any mutation that survives header validation has to be caught by the
-CRC.  These properties are what lets the coordinator treat every
-corrupt frame as a clean quarantine signal instead of a crash.
+The contract under attack: :func:`try_decode_frame` and
+:func:`try_unpack_record` must *never* raise on arbitrary bytes, and
+must never return a corrupt payload as valid — any mutation that
+survives header validation has to be caught by the CRC.  These
+properties are what lets the coordinator treat every corrupt frame (or
+ring record) as a clean quarantine signal instead of a crash.
 """
 
 import struct
@@ -13,9 +14,14 @@ import zlib
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.batching import EnvelopeBatch
+from repro.core.ordering import KIND_JOIN, KIND_STORE, Envelope
+from repro.core.tuples import JoinResult, StreamTuple
 from repro.parallel.codec import (HEADER_SIZE, MAGIC, VERSION, encode_frame,
                                   try_decode_frame)
-from repro.parallel.commands import BatchDone, Pong
+from repro.parallel.commands import BatchDone, Deliver, Pong
+from repro.parallel.shm import (SHM_MAGIC, SHM_VERSION, ShmRing,
+                                pack_record, try_unpack_record)
 
 #: A few representative wire payloads (cheap to build per example).
 PAYLOADS = st.sampled_from([
@@ -105,6 +111,137 @@ class TestMutatedFrames:
         header = struct.pack(">4sB3xII", MAGIC, VERSION, len(body), crc)
         ok, _ = try_decode_frame(header + body)
         assert not ok
+
+
+def _tuple(relation, ts, seq, key):
+    return StreamTuple(relation=relation, ts=ts,
+                       values={"k": key, "v": float(key)}, seq=seq)
+
+
+def _deliver(n):
+    shared = _tuple("R", 0.5, 0, 3)
+    envelopes = tuple(
+        Envelope(kind=KIND_JOIN if i % 2 else KIND_STORE,
+                 router_id=f"router{i % 2}", counter=i,
+                 tuple=shared if i % 3 == 0 else _tuple("R", float(i), i, i))
+        for i in range(n))
+    return Deliver(seq=n, unit_id="R0", batch=EnvelopeBatch(envelopes))
+
+
+def _done(n):
+    r, s = _tuple("R", 1.0, 1, 2), _tuple("S", 2.0, 2, 2)
+    return BatchDone(seq=n, unit_id="S1", busy=0.01, results=tuple(
+        JoinResult(r=r, s=s, ts=2.0 + i, produced_at=3.0 + i,
+                   producer=f"J{i % 2}") for i in range(n)))
+
+
+def _record(obj):
+    buf = bytearray()
+    assert pack_record(obj, buf)
+    return bytes(buf)
+
+
+#: Representative shm data-plane records (both types, several sizes).
+SHM_RECORDS = st.sampled_from([
+    _record(obj) for obj in
+    (_deliver(1), _deliver(8), _done(0), _done(1), _done(8))])
+
+
+class TestShmRecordFuzz:
+    """The shm analogue of the frame properties above: the packed batch
+    format must reject — and never raise on — anything but a pristine
+    record."""
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=300)
+    def test_never_raises_on_random_bytes(self, data):
+        ok, obj = try_unpack_record(data)
+        if not ok:
+            assert obj is None
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=200)
+    def test_random_bytes_with_valid_magic_still_safe(self, tail):
+        ok, obj = try_unpack_record(
+            SHM_MAGIC + bytes([SHM_VERSION]) + tail)
+        if not ok:
+            assert obj is None
+
+    @given(SHM_RECORDS, st.data())
+    @settings(max_examples=300)
+    def test_bit_flip_never_yields_a_wrong_payload(self, record, data):
+        pos = data.draw(st.integers(0, len(record) - 1))
+        bit = data.draw(st.integers(0, 7))
+        mutated = (record[:pos] + bytes([record[pos] ^ (1 << bit)])
+                   + record[pos + 1:])
+        ok, obj = try_unpack_record(mutated)
+        if ok:
+            # Only the header's reserved pad (bytes 6-7) is don't-care;
+            # a decode after any other flip would be corrupt data.
+            clean_ok, clean = try_unpack_record(record)
+            assert clean_ok and obj == clean
+            assert 6 <= pos <= 7
+
+    @given(SHM_RECORDS, st.data())
+    @settings(max_examples=300)
+    def test_truncation_never_decodes(self, record, data):
+        cut = data.draw(st.integers(0, len(record) - 1))
+        assert try_unpack_record(record[:cut]) == (False, None)
+
+    @given(SHM_RECORDS, SHM_RECORDS, st.data())
+    @settings(max_examples=200)
+    def test_spliced_records_never_decode_as_a_chimera(self, a, b, data):
+        cut = data.draw(st.integers(1, min(len(a), len(b)) - 1))
+        ok, obj = try_unpack_record(a[:cut] + b[cut:])
+        if ok:
+            assert obj in (try_unpack_record(a)[1], try_unpack_record(b)[1])
+
+    @given(SHM_RECORDS)
+    @settings(max_examples=25)
+    def test_wrong_version_rejected(self, record):
+        mutated = record[:4] + bytes([SHM_VERSION + 1]) + record[5:]
+        assert try_unpack_record(mutated) == (False, None)
+
+    @given(SHM_RECORDS, st.binary(min_size=1, max_size=32))
+    @settings(max_examples=100)
+    def test_trailing_garbage_with_fixed_length_fails_the_crc(
+            self, record, garbage):
+        body = record[16:] + garbage
+        header = struct.pack("<4sBBHII", SHM_MAGIC, SHM_VERSION,
+                             record[5], 0,
+                             len(body), struct.unpack_from("<I", record, 12)[0])
+        assert try_unpack_record(header + body) == (False, None)
+
+    @given(SHM_RECORDS)
+    @settings(max_examples=25)
+    def test_clean_records_round_trip(self, record):
+        ok, obj = try_unpack_record(record)
+        assert ok and obj is not None
+
+
+class TestTornRing:
+    """A writer killed mid-publish leaves at worst a prefix of the
+    record visible; the reader must classify every cut as empty or
+    corrupt — a torn ring can never surface a decodable record."""
+
+    @given(SHM_RECORDS, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_partial_publish_never_reads_valid(self, record, data):
+        ring = ShmRing(8192)
+        try:
+            total = 4 + len(record)
+            ring._copy_in(ring.head, struct.pack("<I", len(record)))
+            ring._copy_in(ring.head + 4, record)
+            cut = data.draw(st.integers(0, total - 1))
+            ring._publish_head(ring.tail + cut)
+            status, payload = ring.read()
+            if status == "ok":
+                # A cut that exposes a shorter stale length can surface
+                # a truncated payload — it must fail validation.
+                assert try_unpack_record(payload) == (False, None)
+                del payload
+        finally:
+            ring.close()
 
 
 class TestRoundTrip:

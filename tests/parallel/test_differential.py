@@ -8,6 +8,10 @@ worker SIGKILLed mid-run (crash recovery must be invisible in the
 output).  The kill cases additionally check the settled results
 against the window-semantics reference join: zero lost, zero
 duplicated (the at-least-once + log-on-ack argument, end to end).
+
+Every case runs on both transports: the shared-memory data plane must
+be output-transparent with the pipe baseline, clean and under kills
+(fresh-ring respawn + replay).
 """
 
 import pytest
@@ -42,13 +46,14 @@ def engine_keys(arrivals, predicate):
     return sorted(r.key for r in results)
 
 
-def cluster_run(arrivals, predicate, *, kill_at=None):
+def cluster_run(arrivals, predicate, *, kill_at=None, transport="shm"):
     # supervise_every small enough that the death is noticed while
     # tuples are still arriving; transfer_batch small enough that the
     # killed worker holds unacked batches.
     cluster = ParallelCluster(
         make_config(), predicate,
-        ParallelConfig(workers=2, transfer_batch=8, supervise_every=16))
+        ParallelConfig(workers=2, transfer_batch=8, supervise_every=16,
+                       transport=transport))
     with cluster:
         for i, t in enumerate(arrivals):
             if kill_at is not None and i == kill_at:
@@ -58,21 +63,24 @@ def cluster_run(arrivals, predicate, *, kill_at=None):
     return cluster.results, report
 
 
+@pytest.mark.parametrize("transport", ("pipe", "shm"))
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("mode", sorted(PREDICATES))
 class TestDifferential:
-    def test_clean_run_matches_engine(self, seed, mode):
+    def test_clean_run_matches_engine(self, seed, mode, transport):
         predicate = PREDICATES[mode]
         arrivals = make_arrivals(seed)
-        results, report = cluster_run(arrivals, predicate)
+        results, report = cluster_run(arrivals, predicate,
+                                      transport=transport)
         assert report.restarts == 0
         assert sorted(r.key for r in results) == engine_keys(
             arrivals, predicate)
 
-    def test_worker_kill_matches_engine(self, seed, mode):
+    def test_worker_kill_matches_engine(self, seed, mode, transport):
         predicate = PREDICATES[mode]
         arrivals = make_arrivals(seed)
-        results, report = cluster_run(arrivals, predicate, kill_at=200)
+        results, report = cluster_run(arrivals, predicate, kill_at=200,
+                                      transport=transport)
         assert report.restarts >= 1
         assert sorted(r.key for r in results) == engine_keys(
             arrivals, predicate)

@@ -1,0 +1,262 @@
+"""Shared-memory data plane: record format, ring buffer, arena.
+
+The properties under test are the crash-safety invariants the recovery
+argument leans on (see :mod:`repro.parallel.shm`): unpublished writes
+are invisible, published records are immutable until consumed, every
+record self-validates, and anything the packer cannot express falls
+back cleanly instead of shipping garbage.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.batching import EnvelopeBatch
+from repro.core.ordering import KIND_JOIN, KIND_STORE, Envelope
+from repro.core.tuples import JoinResult, StreamTuple
+from repro.parallel.commands import BatchDone, Deliver, Ping
+from repro.parallel.shm import (_DATA_OFFSET, PAYLOAD_HEADER_SIZE,
+                                RING_CORRUPT, RING_EMPTY, RING_OK,
+                                BufferArena, ShmRing, pack_record,
+                                try_unpack_record)
+
+
+def make_tuple(relation="R", ts=1.5, seq=3, **values):
+    values = values or {"k": 7, "v": 2.5, "tag": "blue"}
+    return StreamTuple(relation=relation, ts=ts, values=values, seq=seq)
+
+
+def make_deliver(n=4, unit_id="R0"):
+    shared = make_tuple()
+    envelopes = []
+    for i in range(n):
+        t = shared if i % 2 else make_tuple(ts=1.0 + i, seq=i)
+        kind = KIND_STORE if i % 2 else KIND_JOIN
+        envelopes.append(Envelope(kind=kind, router_id=f"router{i % 2}",
+                                  counter=10 + i, tuple=t))
+    return Deliver(seq=9, unit_id=unit_id,
+                   batch=EnvelopeBatch(tuple(envelopes)))
+
+
+def make_done(n=3):
+    r = make_tuple("R", 1.0, 1)
+    s = make_tuple("S", 2.0, 2)
+    results = tuple(
+        JoinResult(r=r, s=s, ts=2.0 + i, produced_at=3.0 + i,
+                   producer=f"J{i % 2}")
+        for i in range(n))
+    return BatchDone(seq=4, unit_id="S1", results=results, busy=0.25)
+
+
+def packed(obj):
+    buf = bytearray()
+    assert pack_record(obj, buf)
+    return bytes(buf)
+
+
+class TestRecordFormat:
+    @pytest.mark.parametrize("obj", [
+        make_deliver(), make_deliver(n=1), make_done(), make_done(n=0),
+        BatchDone(seq=1, unit_id="R0", results=()),
+    ])
+    def test_round_trip(self, obj):
+        ok, decoded = try_unpack_record(packed(obj))
+        assert ok and decoded == obj
+
+    def test_tuple_table_dedups_by_identity(self):
+        """A tuple referenced by several envelopes is packed once and
+        rebuilt as one shared object."""
+        command = make_deliver(n=6)
+        ok, decoded = try_unpack_record(packed(command))
+        assert ok
+        shared = {id(e.tuple) for e in decoded.batch.envelopes[1::2]}
+        assert len(shared) == 1
+
+    def test_busy_survives_the_round_trip(self):
+        ok, decoded = try_unpack_record(packed(make_done()))
+        assert ok and decoded.busy == 0.25
+
+    @pytest.mark.parametrize("obj", [
+        Ping(seq=1),                                         # not data-plane
+        Deliver(seq=1, unit_id="R0", batch=EnvelopeBatch((
+            Envelope(kind=KIND_STORE, router_id="r", counter=1,
+                     tuple=make_tuple(k=[1, 2])),))),        # list value
+        Deliver(seq=1, unit_id="R0", batch=EnvelopeBatch((
+            Envelope(kind=KIND_STORE, router_id="r", counter=1,
+                     tuple=make_tuple(a=1)),
+            Envelope(kind=KIND_STORE, router_id="r", counter=2,
+                     tuple=make_tuple(b=1)),))),             # mixed schemas
+        Deliver(seq=1, unit_id="u" * 300, batch=EnvelopeBatch((
+            Envelope(kind=KIND_STORE, router_id="r", counter=1,
+                     tuple=make_tuple()),))),                # oversized name
+        BatchDone(seq=1, unit_id="R0", results=(
+            JoinResult(r=make_tuple(k=True), s=make_tuple(), ts=1.0,
+                       produced_at=1.0, producer="J0"),)),   # bool column
+    ])
+    def test_unpackable_payloads_fall_back(self, obj):
+        assert pack_record(obj, bytearray()) is False
+
+    def test_pack_clears_the_scratch_buffer(self):
+        buf = bytearray(b"stale bytes from the previous batch")
+        assert pack_record(make_done(), buf)
+        ok, decoded = try_unpack_record(bytes(buf))
+        assert ok and decoded == make_done()
+
+    def test_bad_magic_version_and_crc_rejected(self):
+        record = packed(make_deliver())
+        assert try_unpack_record(b"XXXX" + record[4:]) == (False, None)
+        assert try_unpack_record(
+            record[:4] + b"\xff" + record[5:]) == (False, None)
+        flipped = bytearray(record)
+        flipped[-1] ^= 0xFF
+        assert try_unpack_record(bytes(flipped)) == (False, None)
+
+    def test_truncation_rejected(self):
+        record = packed(make_done())
+        for cut in (0, PAYLOAD_HEADER_SIZE - 1, len(record) // 2,
+                    len(record) - 1):
+            assert try_unpack_record(record[:cut]) == (False, None)
+
+
+class TestShmRing:
+    def test_write_peek_consume(self):
+        ring = ShmRing(4096)
+        try:
+            record = b"abcdefgh" * 4  # >= the minimum record size
+            assert ring.read() == (RING_EMPTY, None)
+            assert ring.try_write(record)
+            status, payload = ring.read()
+            assert status == RING_OK and bytes(payload) == record
+            # Peek again without consuming: same record, cursors fixed.
+            del payload  # release the memoryview before re-reading
+            status, payload = ring.read()
+            assert status == RING_OK and bytes(payload) == record
+            del payload
+            ring.consume()
+            assert ring.read() == (RING_EMPTY, None)
+            assert ring.free_bytes == ring.capacity
+        finally:
+            ring.close()
+
+    def test_fifo_order_and_wraparound(self):
+        """Records keep FIFO order across many laps of a small ring —
+        including records that straddle the physical end."""
+        ring = ShmRing(4096)
+        try:
+            payloads = [bytes([i]) * (700 + i) for i in range(40)]
+            for i, payload in enumerate(payloads):
+                while not ring.try_write(payload):
+                    status, got = ring.read()
+                    assert status == RING_OK
+                    expected = payloads[i - len(payloads) + 40 - 1]
+                    del got
+                    ring.consume()
+                assert ring.head - ring.tail <= ring.capacity
+            # Drain the rest, checking the suffix arrives intact.
+            drained = []
+            while True:
+                status, payload = ring.read()
+                if status == RING_EMPTY:
+                    break
+                assert status == RING_OK
+                drained.append(bytes(payload))
+                del payload
+                ring.consume()
+            assert drained == payloads[-len(drained):]
+        finally:
+            ring.close()
+
+    def test_full_ring_refuses_without_writing(self):
+        ring = ShmRing(4096)
+        try:
+            big = b"x" * (ring.capacity - 8)
+            assert ring.try_write(big)
+            head = ring.head
+            assert not ring.try_write(b"does not fit")
+            assert ring.head == head  # nothing published
+        finally:
+            ring.close()
+
+    def test_oversized_record_never_fits(self):
+        ring = ShmRing(4096)
+        try:
+            assert not ring.try_write(b"x" * (ring.capacity + 1))
+        finally:
+            ring.close()
+
+    def test_unpublished_write_is_invisible(self):
+        """Crash-safety invariant 1: bytes copied in before the head is
+        published (a writer SIGKILLed mid-write) do not exist."""
+        ring = ShmRing(4096)
+        try:
+            ring._copy_in(ring.head, b"\x03\x00\x00\x00torn")
+            assert ring.read() == (RING_EMPTY, None)
+        finally:
+            ring.close()
+
+    def test_torn_head_write_reports_corrupt(self):
+        """A head advanced by less than a length prefix (torn cursor
+        store) cannot be a valid record boundary."""
+        ring = ShmRing(4096)
+        try:
+            ring._publish_head(ring.tail + 2)
+            assert ring.read() == (RING_CORRUPT, None)
+        finally:
+            ring.close()
+
+    def test_lying_length_prefix_reports_corrupt(self):
+        ring = ShmRing(4096)
+        try:
+            assert ring.try_write(b"y" * 64)
+            # Overwrite the length prefix with a value past the head.
+            struct.pack_into("<I", ring._shm.buf, _DATA_OFFSET, 1 << 20)
+            assert ring.read() == (RING_CORRUPT, None)
+            # And with one below the minimum valid record size.
+            struct.pack_into("<I", ring._shm.buf, _DATA_OFFSET, 1)
+            assert ring.read() == (RING_CORRUPT, None)
+        finally:
+            ring.close()
+
+    def test_attach_by_name_shares_the_segment(self):
+        owner = ShmRing(4096)
+        peer = None
+        try:
+            peer = ShmRing(name=owner.name)
+            assert peer.capacity == owner.capacity
+            record = b"hello from the owner"
+            assert owner.try_write(record)
+            status, payload = peer.read()
+            assert status == RING_OK and bytes(payload) == record
+            del payload
+            peer.consume()
+            assert owner.read() == (RING_EMPTY, None)
+        finally:
+            if peer is not None:
+                peer.close()
+            owner.close()
+
+    def test_capacity_floor_enforced(self):
+        with pytest.raises(ValueError):
+            ShmRing(16)
+
+    def test_close_is_idempotent(self):
+        ring = ShmRing(4096)
+        ring.close()
+        ring.close()
+
+
+class TestBufferArena:
+    def test_buffers_are_recycled(self):
+        arena = BufferArena()
+        buf = arena.acquire()
+        buf += b"payload"
+        arena.release(buf)
+        again = arena.acquire()
+        assert again is buf and len(again) == 0
+        assert arena.allocated == 1 and arena.reused == 1
+
+    def test_concurrent_acquires_get_distinct_buffers(self):
+        arena = BufferArena()
+        a, b = arena.acquire(), arena.acquire()
+        assert a is not b
+        assert arena.allocated == 2
