@@ -28,11 +28,14 @@ lost/duplicate result, and uploads the scorecard artifact.  The
 from __future__ import annotations
 
 import json
+from random import Random
 
 import pytest
 from conftest import RESULTS_DIR, bench_once, emit
 
-from repro.chaos import SoakConfig, run_soak
+from repro.chaos import (NETWORK_FAULT_KINDS, SoakConfig, random_fault_plan,
+                         run_soak)
+from repro.chaos.soak import make_workload
 from repro.harness import render_table
 
 #: The fixed CI smoke shape: deterministic seed, ten rounds, three
@@ -44,6 +47,13 @@ SMOKE = SoakConfig(rounds=10, seed=2015, tuples_per_round=320,
 SOAK = SoakConfig(rounds=30, seed=2015, tuples_per_round=400,
                   faults_per_round=5)
 
+#: The gateway variant: the same seeded base plans (network faults are
+#: drawn after every other category) plus network-edge chaos, with the
+#: whole workload routed through a loopback ingest gateway.
+GATEWAY_SMOKE = SoakConfig(rounds=10, seed=2015, tuples_per_round=320,
+                           faults_per_round=3, gateway=True,
+                           network_faults_per_round=2)
+
 #: Fault kinds the acceptance criteria name; the smoke plan must have
 #: actually injected each family at least once across its rounds.
 REQUIRED_FAMILIES = {
@@ -54,8 +64,18 @@ REQUIRED_FAMILIES = {
     "pipe_stall": ("pipe_stall",),
 }
 
+#: Additionally required when the soak runs through the gateway: every
+#: network-edge fault family must actually have fired at the client.
+NETWORK_FAMILIES = {
+    "drop_connection": ("drop_connection",),
+    "slowloris": ("slowloris",),
+    "partial_write": ("partial_write",),
+    "malformed_frame": ("malformed_frame",),
+}
 
-def emit_e18(name: str, scorecard: dict) -> None:
+
+def emit_e18(name: str, scorecard: dict, *,
+             artifact: str = "BENCH_e18.json") -> None:
     rows = []
     for entry in scorecard["rounds"]:
         rows.append([
@@ -71,13 +91,14 @@ def emit_e18(name: str, scorecard: dict) -> None:
         title=f"E18: chaos soak, {totals['rounds']} rounds, "
               f"{totals['expected']} expected results, "
               f"faults={totals['faults_injected']}"))
-    payload = {"experiment": "e18_chaos_soak", **scorecard}
+    payload = {"experiment": name, **scorecard}
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_e18.json").write_text(
+    (RESULTS_DIR / artifact).write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
-def assert_invariants(scorecard: dict, *, check_coverage: bool) -> None:
+def assert_invariants(scorecard: dict, *, check_coverage: bool,
+                      families: dict | None = None) -> None:
     totals = scorecard["totals"]
     for entry in scorecard["rounds"]:
         assert not entry["failure"], (
@@ -94,7 +115,8 @@ def assert_invariants(scorecard: dict, *, check_coverage: bool) -> None:
     if not check_coverage:
         return
     injected = totals["faults_injected"]
-    for family, kinds in REQUIRED_FAMILIES.items():
+    families = families if families is not None else REQUIRED_FAMILIES
+    for family, kinds in families.items():
         assert any(injected.get(kind, 0) > 0 for kind in kinds), (
             f"the plan never injected a {family!r} fault — seed drift? "
             f"injected: {injected}")
@@ -110,6 +132,39 @@ def test_e18_chaos_soak_smoke(benchmark):
     scorecard = bench_once(benchmark, lambda: run_soak(SMOKE))
     emit_e18("e18_chaos_soak", scorecard)
     assert_invariants(scorecard, check_coverage=True)
+
+
+def test_e18_gateway_soak_smoke(benchmark):
+    """The same soak routed through a loopback ingest gateway: the
+    network-edge faults compose with process chaos at zero lost/dup."""
+    scorecard = bench_once(benchmark, lambda: run_soak(GATEWAY_SMOKE))
+    emit_e18("e18_gateway_soak", scorecard,
+             artifact="BENCH_e18_gateway.json")
+    assert_invariants(
+        scorecard, check_coverage=True,
+        families={**REQUIRED_FAMILIES, **NETWORK_FAMILIES})
+    totals = scorecard["totals"]
+    assert totals["network_faults"] > 0
+    # The seeded base plans are byte-identical with the gateway on or
+    # off: replaying each round's draws *without* network faults must
+    # reproduce exactly the non-network faults the round scheduled.
+    for entry in scorecard["rounds"]:
+        rng = Random(entry["seed"])
+        arrivals = len(make_workload(rng, GATEWAY_SMOKE.tuples_per_round,
+                                     key_space=GATEWAY_SMOKE.key_space,
+                                     value_space=GATEWAY_SMOKE.value_space))
+        base = random_fault_plan(
+            rng, arrivals, GATEWAY_SMOKE.workers,
+            faults=GATEWAY_SMOKE.faults_per_round,
+            resizes=GATEWAY_SMOKE.effective_resizes,
+            shm_faults=GATEWAY_SMOKE.shm_faults_per_round,
+            kinds=GATEWAY_SMOKE.kinds)
+        expected = [f"{f.kind}@{f.at_tuple}" for f in base.faults]
+        scheduled = [s for s in entry["faults"]
+                     if s.split("@")[0] not in NETWORK_FAULT_KINDS]
+        assert scheduled == expected, (
+            f"round {entry['round']}: gateway mode perturbed the seeded "
+            f"base plan")
 
 
 @pytest.mark.soak

@@ -1,0 +1,207 @@
+"""E21 (extension) — network ingest gateway: concurrent clients,
+exactly-once admission, live metrics.
+
+The gateway is the system's network edge (PR: ingest gateway); E21
+certifies it under concurrency: N independent TCP clients stream a
+partitioned workload through one :class:`IngestGateway` into a live
+two-worker :class:`ParallelCluster`, with a deliberately small
+hand-off queue and the ``drop-tail`` admission policy so real sheds
+happen mid-run and the clients' at-least-once retry loops have to
+recover them.
+
+Gates (all hard):
+
+- the settled join results are **multiset-equal** to the
+  single-process reference join — interleaved multi-client ingest
+  loses nothing, duplicates nothing;
+- the admission ledger reconciles exactly: per side,
+  ``offered == admitted + shed``, and admitted equals the workload
+  size (every tuple admitted exactly once despite retries);
+- a **mid-traffic** ``/metrics`` scrape returns valid Prometheus
+  exposition carrying the ``repro_gateway_*`` counters.
+
+Emits ``BENCH_e21.json`` (ingest throughput, ack-latency p50/p99, the
+shed/duplicate ledger) for CI's ``e21-gateway-smoke`` job; the
+``stress``-marked variant sweeps the client count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from random import Random
+
+import pytest
+from conftest import RESULTS_DIR, bench_once, emit
+
+from repro.chaos.soak import make_workload
+from repro.core.biclique import BicliqueConfig
+from repro.core.predicates import EquiJoinPredicate
+from repro.core.windows import TimeWindow
+from repro.gateway import GatewayClient, GatewayConfig, IngestGateway
+from repro.harness import check_exactly_once, reference_join, render_table
+from repro.overload.manager import OverloadConfig, OverloadManager
+from repro.parallel import ParallelCluster, ParallelConfig
+
+#: The CI smoke shape: 8 concurrent clients, 1600 tuples.
+SMOKE_CLIENTS = 8
+SMOKE_TUPLES = 1600
+
+#: The window must cover the workload's event-time span: multi-client
+#: interleave reorders arrivals, and expiry must not eat the disorder.
+WINDOW = TimeWindow(60.0)
+
+
+def run_gateway_experiment(n_clients: int, n_tuples: int,
+                           *, seed: int = 21) -> dict:
+    """One full edge-to-settlement run; returns the measured row."""
+    arrivals = make_workload(Random(seed), n_tuples)
+    predicate = EquiJoinPredicate("k", "k")
+    cluster = ParallelCluster(
+        BicliqueConfig(window=WINDOW, r_joiners=2, s_joiners=2, routers=2,
+                       archive_period=5.0, punctuation_interval=1.0),
+        predicate,
+        ParallelConfig(workers=2, transfer_batch=16, max_unacked=16))
+    manager = OverloadManager(OverloadConfig(policy="drop-tail"))
+    # The hand-off bound sits *below* the client count: with every
+    # client keeping one record in flight, the queue can actually fill
+    # and drop-tail sheds happen for the retry loops to recover.
+    config = GatewayConfig(handoff_depth=max(2, n_clients // 2))
+
+    reports = [None] * n_clients
+    scrape = {}
+
+    def drive(index: int, port: int) -> None:
+        client = GatewayClient("127.0.0.1", port)
+        try:
+            reports[index] = client.stream(arrivals[index::n_clients])
+        finally:
+            client.close()
+
+    with cluster:
+        with IngestGateway(cluster, manager, config) as gateway:
+            threads = [threading.Thread(target=drive,
+                                        args=(i, gateway.port))
+                       for i in range(n_clients)]
+            started = time.monotonic()
+            for thread in threads:
+                thread.start()
+            # Mid-traffic observability: scrape while clients stream.
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{gateway.port}/metrics",
+                    timeout=10) as resp:
+                scrape["content_type"] = resp.headers["Content-Type"]
+                scrape["text"] = resp.read().decode()
+            for thread in threads:
+                thread.join()
+            ingest_wall = time.monotonic() - started
+            gateway.drain()
+        gateway.registry.collect()  # absorb the final ack latencies
+        hist = gateway.registry.histogram(
+            "repro_gateway_ack_latency_seconds")
+        report = cluster.drain()
+        results = cluster.results
+
+    assert all(r is not None for r in reports), "a client thread died"
+    expected = reference_join(
+        [t for t in arrivals if t.relation == "R"],
+        [t for t in arrivals if t.relation == "S"], predicate, WINDOW)
+    check = check_exactly_once(results, expected)
+    ledger = {side: {"offered": led.offered, "admitted": led.admitted,
+                     "shed": led.shed}
+              for side, led in sorted(manager.accounting.sides.items())}
+    stats = gateway.stats
+    return {
+        "clients": n_clients,
+        "tuples": n_tuples,
+        "acked": sum(r.acked + r.duplicates for r in reports),
+        "sheds_retried": sum(r.sheds_retried for r in reports),
+        "resets": sum(r.resets for r in reports),
+        "ingest_wall_s": ingest_wall,
+        "ingest_tuples_per_s": n_tuples / ingest_wall,
+        "ack_p50_ms": hist.quantile(0.5) * 1e3,
+        "ack_p99_ms": hist.quantile(0.99) * 1e3,
+        "gateway": {"records_in": stats.records_in, "acks": stats.acks,
+                    "sheds": stats.sheds, "duplicates": stats.duplicates,
+                    "disconnects": stats.disconnects},
+        "ledger": ledger,
+        "join_results": report.results,
+        "expected_results": check.expected,
+        "lost": check.missing,
+        "duplicated": check.duplicates,
+        "spurious": check.spurious,
+        "ok": check.ok,
+        "scrape": scrape,
+    }
+
+
+def assert_invariants(row: dict) -> None:
+    assert row["ok"], (
+        f"multiset mismatch: lost={row['lost']} dup={row['duplicated']} "
+        f"spurious={row['spurious']}")
+    assert row["acked"] == row["tuples"], (
+        "some tuple was never acknowledged")
+    for side, led in row["ledger"].items():
+        assert led["offered"] == led["admitted"] + led["shed"], (
+            f"side {side}: ledger does not reconcile: {led}")
+    admitted = sum(led["admitted"] for led in row["ledger"].values())
+    assert admitted == row["tuples"], (
+        f"admitted {admitted} != workload {row['tuples']} — dedup or "
+        f"retry leak")
+    # The mid-traffic scrape is valid Prometheus text exposition.
+    assert row["scrape"]["content_type"].startswith("text/plain")
+    seen = set()
+    for line in row["scrape"]["text"].splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        float(value)
+        seen.add(name.split("{")[0])
+    assert {"repro_gateway_connections_total",
+            "repro_gateway_records_in_total",
+            "repro_gateway_acks_total",
+            "repro_gateway_sheds_total",
+            "repro_gateway_malformed_total",
+            "repro_gateway_disconnects_total"} <= seen, sorted(seen)
+
+
+def emit_e21(name: str, rows: list[dict]) -> None:
+    table = [[r["clients"], r["tuples"],
+              f"{r['ingest_tuples_per_s']:,.0f}",
+              f"{r['ack_p50_ms']:.2f}", f"{r['ack_p99_ms']:.2f}",
+              r["gateway"]["sheds"], r["gateway"]["duplicates"],
+              r["resets"], r["join_results"], r["lost"], r["duplicated"]]
+             for r in rows]
+    emit(name, render_table(
+        ["clients", "tuples", "ingest/s", "ack p50 ms", "ack p99 ms",
+         "sheds", "dups", "resets", "results", "lost", "dup"],
+        table,
+        title="E21: concurrent TCP clients through the ingest gateway "
+              "(drop-tail admission, 2 workers)"))
+    payload = {"experiment": "e21_gateway",
+               "rows": [{k: v for k, v in r.items() if k != "scrape"}
+                        for r in rows]}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_e21.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_e21_gateway_smoke(benchmark):
+    row = bench_once(
+        benchmark,
+        lambda: run_gateway_experiment(SMOKE_CLIENTS, SMOKE_TUPLES))
+    emit_e21("e21_gateway", [row])
+    assert row["clients"] >= 8
+    assert_invariants(row)
+
+
+@pytest.mark.stress
+def test_e21_gateway_client_sweep(benchmark):
+    rows = bench_once(benchmark, lambda: [
+        run_gateway_experiment(n, 2400, seed=21 + n)
+        for n in (4, 8, 16)])
+    emit_e21("e21_gateway_sweep", rows)
+    for row in rows:
+        assert_invariants(row)

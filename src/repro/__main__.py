@@ -6,11 +6,14 @@ Commands:
     parallel    run the same join on real worker processes (optional
                 argument: worker count, default 2) and verify the
                 results against the single-process reference
+    serve       run a live ingest gateway (TCP + WebSocket + HTTP
+                ``/metrics``) in front of a real parallel cluster
     soak        run the chaos soak harness against the parallel
                 runtime (optional arguments: rounds, seed, output
                 scorecard path; ``--resizes``/``--no-resizes`` toggles
-                scale faults, default on) and fail on any
-                lost/duplicate result
+                scale faults, ``--gateway`` routes every round through
+                a loopback ingest gateway with network-edge faults)
+                and fail on any lost/duplicate result
     info        print the package overview and pointers
 
 Everything heavier lives in ``examples/`` and ``benchmarks/``.
@@ -19,6 +22,21 @@ Everything heavier lives in ``examples/`` and ``benchmarks/``.
 from __future__ import annotations
 
 import sys
+
+USAGE = """\
+usage: python -m repro <command> [args]
+
+commands:
+  demo       run a small verified stream join and print the report
+  autoscale  run a compressed Figure-20-style autoscaling timeline
+  parallel   run the join on real worker processes  [workers]
+  serve      run a live ingest gateway fronting a parallel cluster
+             [--port N] [--http-port N] [--workers N] [--duration SECONDS]
+  soak       run the chaos soak harness  [rounds [seed [scorecard.json]]]
+             [--resizes | --no-resizes] [--gateway]
+  info       print the package overview and pointers (default)
+
+python -m repro --help prints this message."""
 
 
 def _demo() -> int:
@@ -109,19 +127,66 @@ def _parallel(workers: int = 2) -> int:
     return 0 if check.ok else 1
 
 
+def _serve(port: int = 0, http_port: int | None = None, workers: int = 2,
+           duration: float | None = None) -> int:
+    """Run a live ingest gateway until interrupted (or ``duration``)."""
+    import time
+
+    from repro import BicliqueConfig, EquiJoinPredicate, TimeWindow
+    from repro.gateway import GatewayConfig, IngestGateway
+    from repro.overload.manager import OverloadConfig, OverloadManager
+    from repro.parallel import ParallelCluster, ParallelConfig
+
+    cluster = ParallelCluster(
+        BicliqueConfig(window=TimeWindow(seconds=30.0), r_joiners=2,
+                       s_joiners=2, routers=2, archive_period=5.0),
+        EquiJoinPredicate("k", "k"), ParallelConfig(workers=workers))
+    manager = OverloadManager(OverloadConfig(policy="block",
+                                             entry_queue_depth=1024))
+    with cluster:
+        gateway = IngestGateway(cluster, manager,
+                                GatewayConfig(port=port,
+                                              http_port=http_port)).start()
+        host = gateway.config.host
+        print(f"ingest gateway on {host}:{gateway.port} "
+              f"(newline-JSON TCP + WebSocket)")
+        print(f"metrics: http://{host}:{gateway.http_port}/metrics")
+        try:
+            if duration is not None:
+                time.sleep(duration)
+            else:
+                while True:
+                    time.sleep(1.0)
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        gateway.drain()
+        gateway.close()
+        report = cluster.drain()
+        stats = gateway.stats
+        print(f"served {stats.connections} connections: "
+              f"{stats.records_in} records in, {stats.acks} admitted, "
+              f"{stats.sheds} shed, {stats.malformed} malformed; "
+              f"{report.results} join results")
+    return 0
+
+
 def _soak(rounds: int | None = None, seed: int | None = None,
-          out: str | None = None, resizes: bool = True) -> int:
+          out: str | None = None, resizes: bool = True,
+          gateway: bool = False) -> int:
     from repro.chaos import SoakConfig, run_soak, write_scorecard
     from repro.chaos.soak import format_round
 
     config = SoakConfig(
         rounds=rounds if rounds is not None else SoakConfig.rounds,
         seed=seed if seed is not None else SoakConfig.seed,
-        resizes=resizes)
+        resizes=resizes, gateway=gateway)
     print(f"chaos soak: {config.rounds} rounds, seed {config.seed}, "
           f"{config.faults_per_round} faults/round"
           + (f" + {config.effective_resizes} resizes/round"
              if config.effective_resizes else "")
+          + (f" + {config.effective_network_faults} network faults/round "
+             f"through a loopback gateway"
+             if config.effective_network_faults else "")
           + f" over {config.workers} workers")
     scorecard = run_soak(config,
                          progress=lambda s: print(format_round(s)))
@@ -131,7 +196,10 @@ def _soak(rounds: int | None = None, seed: int | None = None,
           f"restarts={totals['restarts']} "
           f"quarantines={totals['quarantines']} "
           f"migrations={totals['migrations']} "
-          f"(aborted={totals['aborted_migrations']})")
+          f"(aborted={totals['aborted_migrations']})"
+          + (f" network_faults={totals['network_faults']} "
+             f"client_resets={totals['client_resets']}"
+             if gateway else ""))
     print(f"faults injected: {totals['faults_injected']}")
     if out is not None:
         write_scorecard(scorecard, out)
@@ -149,29 +217,62 @@ def _info() -> int:
     return 0
 
 
+def _parse_serve_args(args: list[str]) -> dict | None:
+    """``serve`` flag parsing; ``None`` means malformed (usage error)."""
+    options = {"port": 0, "http_port": None, "workers": 2, "duration": None}
+    flags = {"--port": ("port", int), "--http-port": ("http_port", int),
+             "--workers": ("workers", int),
+             "--duration": ("duration", float)}
+    index = 0
+    while index < len(args):
+        spec = flags.get(args[index])
+        if spec is None or index + 1 >= len(args):
+            return None
+        name, convert = spec
+        try:
+            options[name] = convert(args[index + 1])
+        except ValueError:
+            return None
+        index += 2
+    return options
+
+
 def main(argv: list[str]) -> int:
     command = argv[1] if len(argv) > 1 else "info"
+    if command in ("--help", "-h", "help"):
+        print(USAGE)
+        return 0
     handlers = {"demo": _demo, "autoscale": _autoscale,
-                "parallel": _parallel, "soak": _soak, "info": _info}
+                "parallel": _parallel, "serve": _serve, "soak": _soak,
+                "info": _info}
     handler = handlers.get(command)
     if handler is None:
-        print(f"unknown command {command!r}; "
-              f"choose from {sorted(handlers)}", file=sys.stderr)
+        print(f"unknown command {command!r}\n{USAGE}", file=sys.stderr)
         return 2
     if command == "parallel" and len(argv) > 2:
         return _parallel(workers=int(argv[2]))
+    if command == "serve":
+        options = _parse_serve_args(argv[2:])
+        if options is None:
+            print(f"bad serve arguments {argv[2:]!r}\n{USAGE}",
+                  file=sys.stderr)
+            return 2
+        return _serve(**options)
     if command == "soak":
         args = argv[2:]
         resizes = True
+        gateway = False
         if "--no-resizes" in args:
             resizes = False
-            args = [a for a in args if a != "--no-resizes"]
-        args = [a for a in args if a != "--resizes"]  # the default
+        if "--gateway" in args:
+            gateway = True
+        args = [a for a in args
+                if a not in ("--resizes", "--no-resizes", "--gateway")]
         return _soak(
             rounds=int(args[0]) if len(args) > 0 else None,
             seed=int(args[1]) if len(args) > 1 else None,
             out=args[2] if len(args) > 2 else None,
-            resizes=resizes)
+            resizes=resizes, gateway=gateway)
     return handler()
 
 

@@ -22,24 +22,30 @@ zero duplicated join results.
 """
 
 from .injector import ChaosInjector
-from .plan import (ALL_FAULT_KINDS, SCALE_FAULT_KINDS, ChaosConfig,
-                   CorruptFrame, HangWorker, KillDuringMigration, KillWorker,
-                   PipeStall, ScaleIn, ScaleOut, StallWorker,
-                   random_fault_plan)
+from .plan import (ALL_FAULT_KINDS, NETWORK_FAULT_KINDS, SCALE_FAULT_KINDS,
+                   ChaosConfig, CorruptFrame, DropConnection, HangWorker,
+                   KillDuringMigration, KillWorker, MalformedFrame,
+                   PartialWrite, PipeStall, ScaleIn, ScaleOut,
+                   SlowlorisClient, StallWorker, random_fault_plan)
 from .soak import SoakConfig, run_soak, write_scorecard
 
 __all__ = [
     "ALL_FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
     "SCALE_FAULT_KINDS",
     "ChaosConfig",
     "ChaosInjector",
     "CorruptFrame",
+    "DropConnection",
     "HangWorker",
     "KillDuringMigration",
     "KillWorker",
+    "MalformedFrame",
+    "PartialWrite",
     "PipeStall",
     "ScaleIn",
     "ScaleOut",
+    "SlowlorisClient",
     "SoakConfig",
     "StallWorker",
     "random_fault_plan",

@@ -36,9 +36,9 @@ from ..errors import ParallelError
 from ..parallel.codec import HEADER_SIZE
 from ..parallel.worker import WorkerHandle
 from ..parallel.shm import PAYLOAD_HEADER_SIZE
-from .plan import (ChaosConfig, CorruptFrame, CorruptShmBatch, HangWorker,
-                   KillDuringMigration, KillWorker, PipeStall, ScaleIn,
-                   ScaleOut, StallWorker)
+from .plan import (NETWORK_FAULT_KINDS, ChaosConfig, CorruptFrame,
+                   CorruptShmBatch, HangWorker, KillDuringMigration,
+                   KillWorker, PipeStall, ScaleIn, ScaleOut, StallWorker)
 
 
 class _Stall:
@@ -102,7 +102,14 @@ class ChaosInjector:
 
     def __init__(self, config: ChaosConfig) -> None:
         self.config = config
-        self._pending = deque(config.faults)  # sorted by at_tuple
+        #: Coordinator-side faults, sorted by at_tuple.  Network-edge
+        #: faults live in their own queue: they key on the *client's
+        #: send index* and are consumed by the gateway driver through
+        #: :meth:`network_faults_due`, never by the coordinator hooks.
+        self._pending = deque(f for f in config.faults
+                              if f.kind not in NETWORK_FAULT_KINDS)
+        self._network = deque(f for f in config.faults
+                              if f.kind in NETWORK_FAULT_KINDS)
         #: worker id → queue of armed corruption modes (one per frame).
         self._armed: dict[str, deque[str]] = {}
         #: worker id → queue of armed shm-record corruption parts.
@@ -198,6 +205,21 @@ class ChaosInjector:
                 cluster.kill_worker(victim)
                 return
 
+    # -- network edge ------------------------------------------------------
+    def network_faults_due(self, sent: int) -> list:
+        """Pop every network-edge fault due at the client's send count.
+
+        The gateway-aware driver calls this before each send; returned
+        faults are counted as injected (the driver executes them
+        unconditionally — there is no arming state to consume later).
+        """
+        due = []
+        while self._network and self._network[0].at_tuple <= sent:
+            fault = self._network.popleft()
+            self.injected[fault.kind] += 1
+            due.append(fault)
+        return due
+
     # -- frame boundary ----------------------------------------------------
     def on_output_frame(self, worker_id: str, data: bytes) -> list[bytes]:
         """Filter one raw frame read from ``worker_id``'s pipe."""
@@ -255,8 +277,8 @@ class ChaosInjector:
     @property
     def exhausted(self) -> bool:
         """Every scheduled fault has fired and nothing is held back."""
-        return (not self._pending and not self._sigconts
-                and not self._stalls
+        return (not self._pending and not self._network
+                and not self._sigconts and not self._stalls
                 and not any(self._armed.values())
                 and not any(self._armed_shm.values()))
 

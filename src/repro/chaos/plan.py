@@ -225,9 +225,90 @@ class KillDuringMigration:
                 f"victim must be 'source' or 'target', got {self.victim!r}")
 
 
+@dataclass(frozen=True)
+class DropConnection:
+    """Abruptly reset the driving client's connection before send
+    ``at_tuple``.
+
+    No close frame, no drain — the gateway sees a mid-stream EOF
+    (possibly with replies still in flight, so the client loses acks
+    it must recover via ``duplicate`` answers after reconnecting).
+    Network faults are keyed by the *client's send index*, not the
+    coordinator's ingest count, and are consumed by the gateway-aware
+    driver through :meth:`~repro.chaos.injector.ChaosInjector.
+    network_faults_due`.
+    """
+
+    at_tuple: int
+    kind: ClassVar[str] = "drop_connection"
+
+    def __post_init__(self) -> None:
+        _validate_at(self.at_tuple)
+
+
+@dataclass(frozen=True)
+class SlowlorisClient:
+    """Open a side connection that sends a frame prefix, then stalls.
+
+    The classic slow-drip attacker: the partial frame pins gateway
+    buffer state without ever completing.  The gateway's
+    ``idle_deadline`` guard must disconnect it within ``duration``
+    seconds of patience — and the stalled connection must never slow
+    the driving client down.
+    """
+
+    at_tuple: int
+    duration: float = 0.5
+    kind: ClassVar[str] = "slowloris"
+
+    def __post_init__(self) -> None:
+        _validate_at(self.at_tuple)
+        _validate_duration(self.duration)
+
+
+@dataclass(frozen=True)
+class PartialWrite:
+    """Send half of record ``at_tuple``'s frame, then reset the
+    connection.
+
+    The torn-write case: the gateway must discard the incomplete tail
+    without crashing or admitting a mangled record, and the client's
+    resend on the fresh connection must keep the stream exactly-once
+    (server-side identity dedup absorbs any ack the reset ate).
+    """
+
+    at_tuple: int
+    kind: ClassVar[str] = "partial_write"
+
+    def __post_init__(self) -> None:
+        _validate_at(self.at_tuple)
+
+
+@dataclass(frozen=True)
+class MalformedFrame:
+    """Send ``count`` syntactically invalid frames before record
+    ``at_tuple``.
+
+    The gateway must answer each with an ``error`` reply (counted in
+    ``repro_gateway_malformed_total``) and keep the connection's reply
+    sequencing intact — malformed input never crashes the accept loop
+    and never desynchronises the ack stream.
+    """
+
+    at_tuple: int
+    count: int = 1
+    kind: ClassVar[str] = "malformed_frame"
+
+    def __post_init__(self) -> None:
+        _validate_at(self.at_tuple)
+        if self.count < 1:
+            raise ConfigurationError("count must be >= 1")
+
+
 Fault = Union[KillWorker, StallWorker, HangWorker, CorruptFrame,
               CorruptShmBatch, PipeStall, ScaleOut, ScaleIn,
-              KillDuringMigration]
+              KillDuringMigration, DropConnection, SlowlorisClient,
+              PartialWrite, MalformedFrame]
 
 #: Every fault kind the generator can draw, including the three
 #: corruption modes spelled out (``corrupt_flip`` etc.).
@@ -238,6 +319,11 @@ ALL_FAULT_KINDS = ("kill", "stall", "hang", "corrupt_flip",
 #: so plans with resizes disabled are byte-identical to pre-elastic
 #: plans under the same seed.
 SCALE_FAULT_KINDS = ("scale_out", "scale_in", "kill_mid_migration")
+
+#: Network-edge fault kinds (``network_faults=`` parameter), executed
+#: by the gateway-aware client driver rather than the coordinator.
+NETWORK_FAULT_KINDS = ("drop_connection", "slowloris", "partial_write",
+                       "malformed_frame")
 
 
 def _validate_at(at_tuple: int) -> None:
@@ -284,9 +370,10 @@ class ChaosConfig:
 
 def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
                       faults: int = 3, resizes: int = 0,
-                      shm_faults: int = 0,
+                      shm_faults: int = 0, network_faults: int = 0,
                       kinds: tuple[str, ...] = ALL_FAULT_KINDS,
                       scale_kinds: tuple[str, ...] = SCALE_FAULT_KINDS,
+                      network_kinds: tuple[str, ...] = NETWORK_FAULT_KINDS,
                       min_duration: float = 0.05,
                       max_duration: float = 0.3) -> ChaosConfig:
     """Draw a deterministic randomized fault plan.
@@ -305,13 +392,18 @@ def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
     ``shm_faults`` follows the same discipline for
     :class:`CorruptShmBatch` events: drawn after the resizes, so
     pre-shm plans under the same seed are byte-identical prefixes.
+    ``network_faults`` (gateway-edge events, drawn from
+    ``network_kinds``) come last of all, extending the discipline —
+    every seeded pre-gateway plan is a byte-identical prefix of its
+    gateway variant.
     """
     if n_tuples < 1:
         raise ConfigurationError("n_tuples must be >= 1")
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
-    if faults < 0 or resizes < 0 or shm_faults < 0:
-        raise ConfigurationError("faults/resizes/shm_faults must be >= 0")
+    if faults < 0 or resizes < 0 or shm_faults < 0 or network_faults < 0:
+        raise ConfigurationError(
+            "faults/resizes/shm_faults/network_faults must be >= 0")
     unknown = set(kinds) - set(ALL_FAULT_KINDS)
     if unknown:
         raise ConfigurationError(f"unknown fault kinds {sorted(unknown)}")
@@ -322,6 +414,11 @@ def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
         raise ConfigurationError(f"unknown scale kinds {sorted(unknown)}")
     if resizes and not scale_kinds:
         raise ConfigurationError("need at least one scale kind")
+    unknown = set(network_kinds) - set(NETWORK_FAULT_KINDS)
+    if unknown:
+        raise ConfigurationError(f"unknown network kinds {sorted(unknown)}")
+    if network_faults and not network_kinds:
+        raise ConfigurationError("need at least one network kind")
     if isinstance(rng, int):
         rng = Random(rng)
 
@@ -359,4 +456,16 @@ def random_fault_plan(rng: Random | int, n_tuples: int, workers: int, *,
             at_tuple=rng.randrange(lo, hi), worker=rng.randrange(workers),
             part=rng.choice(SHM_CORRUPT_PARTS),
             count=rng.randrange(1, 3)))
+    for _ in range(network_faults):
+        kind = rng.choice(network_kinds)
+        at = rng.randrange(lo, hi)
+        if kind == "drop_connection":
+            events.append(DropConnection(at))
+        elif kind == "slowloris":
+            events.append(SlowlorisClient(
+                at, duration=rng.uniform(min_duration, max_duration)))
+        elif kind == "partial_write":
+            events.append(PartialWrite(at))
+        else:
+            events.append(MalformedFrame(at, count=rng.randrange(1, 3)))
     return ChaosConfig(faults=tuple(events))

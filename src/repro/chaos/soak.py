@@ -32,7 +32,7 @@ from ..errors import ConfigurationError
 from ..harness.reference import check_exactly_once, reference_join
 from ..parallel import ParallelCluster, ParallelConfig
 from .injector import ChaosInjector
-from .plan import ALL_FAULT_KINDS, random_fault_plan
+from .plan import ALL_FAULT_KINDS, NETWORK_FAULT_KINDS, random_fault_plan
 
 #: Decorrelates per-round sub-seeds drawn from one soak seed.
 _SEED_STRIDE = 10007
@@ -67,6 +67,15 @@ class SoakConfig:
     #: therefore the standing fault-coverage gates — untouched.  They
     #: degrade to portable no-ops under ``transport="pipe"``.
     shm_faults_per_round: int = 2
+    #: Route every round's arrivals through a loopback ingest gateway
+    #: (``python -m repro soak --gateway``): a real TCP client drives
+    #: the workload record by record and the plan gains network-edge
+    #: faults — connection drops, slowloris side-connections, partial
+    #: writes, malformed frames.  Network faults are drawn *after*
+    #: every other category, so seeded base plans stay byte-identical
+    #: prefixes with the gateway on or off.
+    gateway: bool = False
+    network_faults_per_round: int = 2
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -81,11 +90,18 @@ class SoakConfig:
             raise ConfigurationError("resizes_per_round must be >= 0")
         if self.shm_faults_per_round < 0:
             raise ConfigurationError("shm_faults_per_round must be >= 0")
+        if self.network_faults_per_round < 0:
+            raise ConfigurationError("network_faults_per_round must be >= 0")
 
     @property
     def effective_resizes(self) -> int:
         """Scale disturbances per round after the on/off switch."""
         return self.resizes_per_round if self.resizes else 0
+
+    @property
+    def effective_network_faults(self) -> int:
+        """Network-edge faults per round after the gateway switch."""
+        return self.network_faults_per_round if self.gateway else 0
 
 
 @dataclass(frozen=True)
@@ -112,6 +128,11 @@ class RoundScore:
     faults_injected: dict = field(default_factory=dict)
     migrations: int = 0
     aborted_migrations: int = 0
+    #: Network-edge faults executed by the gateway driver (0 outside
+    #: ``--gateway`` rounds), and the connection resets the driving
+    #: client performed healing them.
+    network_faults: int = 0
+    client_resets: int = 0
 
 
 def make_workload(rng: Random, n: int, *, key_space: int = 12,
@@ -149,6 +170,57 @@ def _round_parallel_config(config: SoakConfig) -> ParallelConfig:
         command_deadline=0.5, deadline_retries=2, deadline_backoff_cap=4)
 
 
+def _run_gateway_round(cluster, injector: ChaosInjector, arrivals):
+    """Drive one round's arrivals through a loopback ingest gateway.
+
+    A single TCP client streams the workload in order (in-order
+    resends plus server-side identity dedup keep ingest exactly-once
+    and ordered); the plan's network faults are executed by the
+    client's ``fault_hook`` at their scheduled send indices —
+    slowloris faults open *side* connections that the gateway's idle
+    guard must reap without slowing the driver down.
+    """
+    # Local import: the chaos package must stay importable (and the
+    # non-gateway soak runnable) without the gateway subsystem loaded.
+    from ..gateway.client import GatewayClient, open_slowloris
+    from ..gateway.server import GatewayConfig, IngestGateway
+
+    pending_actions: list[str] = []
+    lorises: list = []
+    gateway = IngestGateway(cluster, None, GatewayConfig(
+        handoff_depth=512, idle_deadline=0.15, drain_deadline=2.0)).start()
+
+    def fault_hook(index: int):
+        for fault in injector.network_faults_due(index):
+            if fault.kind == "drop_connection":
+                pending_actions.append("drop")
+            elif fault.kind == "partial_write":
+                pending_actions.append("partial")
+            elif fault.kind == "malformed_frame":
+                pending_actions.extend(["malformed"] * fault.count)
+            else:  # slowloris: a stalling side connection
+                lorises.append(
+                    open_slowloris("127.0.0.1", gateway.port))
+        return pending_actions.pop(0) if pending_actions else None
+
+    client = GatewayClient("127.0.0.1", gateway.port)
+    try:
+        client_report = client.stream(arrivals, fault_hook=fault_hook)
+    finally:
+        client.close()
+        for sock in lorises:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        try:
+            gateway.drain()
+        finally:
+            gateway.close()
+    report = cluster.drain()
+    return cluster.results, report, client_report.resets
+
+
 def run_round(config: SoakConfig, round_index: int) -> RoundScore:
     """Run and score one workload × fault-plan round."""
     round_seed = config.seed * _SEED_STRIDE + round_index
@@ -167,6 +239,7 @@ def run_round(config: SoakConfig, round_index: int) -> RoundScore:
                              faults=config.faults_per_round,
                              resizes=config.effective_resizes,
                              shm_faults=config.shm_faults_per_round,
+                             network_faults=config.effective_network_faults,
                              kinds=config.kinds)
     injector = ChaosInjector(plan)
     cluster = ParallelCluster(
@@ -177,9 +250,14 @@ def run_round(config: SoakConfig, round_index: int) -> RoundScore:
     started = time.monotonic()
     failure = ""
     report = None
+    client_resets = 0
     with cluster:
         try:
-            results, report = cluster.run(arrivals)
+            if config.gateway:
+                results, report, client_resets = _run_gateway_round(
+                    cluster, injector, arrivals)
+            else:
+                results, report = cluster.run(arrivals)
         except Exception as exc:  # noqa: BLE001 - scored, not raised
             # A crashed coordinator is the worst score a round can get:
             # the whole point of the hardening is that no injected
@@ -208,7 +286,10 @@ def run_round(config: SoakConfig, round_index: int) -> RoundScore:
         failure=failure,
         faults_injected=dict(injector.injected),
         migrations=cluster.migrations_completed,
-        aborted_migrations=cluster.migrations_aborted)
+        aborted_migrations=cluster.migrations_aborted,
+        network_faults=sum(count for kind, count in injector.injected.items()
+                           if kind in NETWORK_FAULT_KINDS),
+        client_resets=client_resets)
 
 
 def run_soak(config: SoakConfig | None = None, *,
@@ -240,6 +321,8 @@ def run_soak(config: SoakConfig | None = None, *,
         "redundant_acks": sum(s.redundant_acks for s in scores),
         "migrations": sum(s.migrations for s in scores),
         "aborted_migrations": sum(s.aborted_migrations for s in scores),
+        "network_faults": sum(s.network_faults for s in scores),
+        "client_resets": sum(s.client_resets for s in scores),
         "duration": sum(s.duration for s in scores),
     }
     faults_injected: dict[str, int] = {}

@@ -91,5 +91,24 @@ class ScalingError(ClusterError):
     """A scale-out/scale-in request could not be satisfied."""
 
 
+class GatewayError(ReproError):
+    """The network ingest gateway reached an invalid state.
+
+    Examples: the gateway was started twice, drained before being
+    started, or its bridge thread died with an unexpected exception.
+    """
+
+
+class ProtocolError(GatewayError):
+    """A client frame violated the ingest wire protocol.
+
+    Raised on malformed JSON records, schema violations (missing or
+    mistyped fields), oversized frames and RFC-6455 framing errors.
+    The gateway answers with an error reply (or closes the connection
+    for unrecoverable framing damage) — a protocol error from one
+    client never crashes the accept loop.
+    """
+
+
 class WorkerCrashError(ParallelError):
     """A worker process failed and could not be recovered."""

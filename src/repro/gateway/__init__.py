@@ -1,0 +1,64 @@
+"""The network ingest gateway: the system's asyncio TCP/WebSocket edge.
+
+Until this package existed every tuple entered the system through
+in-process calls; :class:`IngestGateway` gives it a real network edge
+fronting the live :class:`~repro.parallel.parallel_cluster.
+ParallelCluster`, with the PR-3 admission machinery as its overload
+story and the metrics registry's Prometheus exposition served live.
+Three layers plus a client:
+
+- :mod:`repro.gateway.protocol` — the wire formats: newline-delimited
+  JSON records over TCP and a minimal RFC-6455 WebSocket codec
+  (stdlib only), both total over arbitrary bytes;
+- :mod:`repro.gateway.server` — :class:`IngestGateway`: the asyncio
+  accept loop in its own thread, a bounded hand-off queue into the
+  cluster bridge thread, ADMIT/DEFER/SHED admission verdicts mapped
+  to acks, read-pausing backpressure and shed replies;
+- :mod:`repro.gateway.http` — ``GET /metrics`` (Prometheus text
+  exposition), ``/healthz`` and ``/report``;
+- :mod:`repro.gateway.client` — :class:`GatewayClient`, the
+  at-least-once bench/test driver whose retry loop composes with
+  server-side dedup into exactly-once admission
+  (``python -m repro serve`` wires a live gateway up).
+
+See ``docs/serving.md`` for the protocol spec and operational notes.
+"""
+
+from .client import (MALFORMED_FRAME, SLOWLORIS_PREFIX, ClientReport,
+                     GatewayClient, open_slowloris)
+from .http import METRICS_CONTENT_TYPE, handle_http_request, render_response
+from .protocol import (MAX_RECORD_BYTES, STATUS_ADMITTED, STATUS_DUPLICATE,
+                       STATUS_ERROR, STATUS_SHED, LineDecoder, Record,
+                       WsFrame, WsMessageAssembler, decode_record,
+                       decode_reply, encode_record, encode_reply,
+                       encode_ws_frame, try_decode_ws_frame)
+from .server import GatewayConfig, GatewayStats, IngestGateway
+
+__all__ = [
+    "ClientReport",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayStats",
+    "IngestGateway",
+    "LineDecoder",
+    "MALFORMED_FRAME",
+    "MAX_RECORD_BYTES",
+    "METRICS_CONTENT_TYPE",
+    "SLOWLORIS_PREFIX",
+    "Record",
+    "STATUS_ADMITTED",
+    "STATUS_DUPLICATE",
+    "STATUS_ERROR",
+    "STATUS_SHED",
+    "WsFrame",
+    "WsMessageAssembler",
+    "decode_record",
+    "decode_reply",
+    "encode_record",
+    "encode_reply",
+    "encode_ws_frame",
+    "handle_http_request",
+    "open_slowloris",
+    "render_response",
+    "try_decode_ws_frame",
+]

@@ -1,0 +1,332 @@
+"""A synchronous test/bench client for the ingest gateway.
+
+:class:`GatewayClient` speaks both gateway framings — ``mode="tcp"``
+for the newline-delimited line protocol, ``mode="ws"`` for the
+RFC-6455 WebSocket layer (handshake, masked client frames) — over a
+plain blocking socket, one request/reply at a time.
+
+:meth:`GatewayClient.stream` is the **at-least-once driver** the
+benchmarks and the chaos soak build on: every tuple is resubmitted
+until the gateway acknowledges it (``admitted`` — or ``duplicate``,
+which means an earlier ack was lost in a connection reset), with
+``shed`` replies retried after a backoff and connection failures
+healed by reconnect-and-resend.  Because tuples carry their identity
+``(relation, seq)`` to the server, the retry loop composes with the
+gateway's dedup into exactly-once admission.
+
+The ``fault_hook`` parameter injects network chaos from the outside:
+the soak harness maps its fault plan onto hook actions (``"drop"``,
+``"partial"``, ``"malformed"``, ``"slowloris"``) so client-side
+misbehaviour is seeded and reproducible — see
+:mod:`repro.chaos.soak`.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+
+from ..core.tuples import StreamTuple
+from ..errors import GatewayError, ProtocolError
+from .protocol import (OP_CLOSE, OP_PING, OP_PONG, STATUS_ADMITTED,
+                       STATUS_DUPLICATE, STATUS_ERROR, STATUS_SHED,
+                       LineDecoder, decode_reply, encode_record,
+                       encode_ws_frame, try_decode_ws_frame,
+                       websocket_accept)
+
+#: A frame no JSON parser accepts, for malformed-frame injection.
+MALFORMED_FRAME = b"this is not a record\n"
+
+#: A record prefix that never completes, for slowloris connections.
+SLOWLORIS_PREFIX = b'{"relation": "R", "ts": '
+
+
+@dataclass
+class ClientReport:
+    """Outcome of one :meth:`GatewayClient.stream` drive.
+
+    ``acked`` counts fresh admissions, ``duplicates`` acknowledgements
+    recovered after a lost ack — their sum equals the records the
+    gateway holds exactly once.  ``resets`` counts reconnects (both
+    injected and organic), ``sheds_retried`` shed replies absorbed by
+    the retry loop, ``malformed_sent``/``partial_writes`` the injected
+    damage.
+    """
+
+    sent: int = 0
+    acked: int = 0
+    duplicates: int = 0
+    sheds_retried: int = 0
+    resets: int = 0
+    malformed_sent: int = 0
+    partial_writes: int = 0
+    errors: int = 0
+    replies: list = field(default_factory=list)
+
+
+class GatewayClient:
+    """One blocking connection to the gateway (line or WebSocket)."""
+
+    def __init__(self, host: str, port: int, *, mode: str = "tcp",
+                 timeout: float = 10.0) -> None:
+        if mode not in ("tcp", "ws"):
+            raise GatewayError(f"unknown client mode {mode!r}")
+        self.host = host
+        self.port = port
+        self.mode = mode
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._lines = LineDecoder()
+        self._ws_buffer = bytearray()
+        self._ready_lines: list[bytes] = []
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def connect(self) -> "GatewayClient":
+        if self._sock is not None:
+            return self
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._lines = LineDecoder()
+        self._ws_buffer = bytearray()
+        self._ready_lines = []
+        if self.mode == "ws":
+            self._handshake()
+        return self
+
+    def _handshake(self) -> None:
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        request = (f"GET /ingest HTTP/1.1\r\n"
+                   f"Host: {self.host}:{self.port}\r\n"
+                   f"Upgrade: websocket\r\n"
+                   f"Connection: Upgrade\r\n"
+                   f"Sec-WebSocket-Key: {key}\r\n"
+                   f"Sec-WebSocket-Version: 13\r\n"
+                   f"\r\n").encode("ascii")
+        assert self._sock is not None
+        self._sock.sendall(request)
+        head = bytearray()
+        while b"\r\n\r\n" not in head:
+            data = self._sock.recv(4096)
+            if not data:
+                raise GatewayError("connection closed during WS handshake")
+            head.extend(data)
+        raw, _, leftover = bytes(head).partition(b"\r\n\r\n")
+        text = raw.decode("latin-1")
+        if " 101 " not in text.split("\r\n")[0]:
+            raise GatewayError(f"WS upgrade refused: {text.splitlines()[0]}")
+        accept = ""
+        for line in text.split("\r\n")[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "sec-websocket-accept":
+                accept = value.strip()
+        if accept != websocket_accept(key):
+            raise GatewayError("WS handshake accept mismatch")
+        self._ws_buffer.extend(leftover)
+
+    def close(self) -> None:
+        """Orderly close (a WS connection sends its close frame)."""
+        if self._sock is None:
+            return
+        try:
+            if self.mode == "ws":
+                self._sock.sendall(
+                    encode_ws_frame(b"", OP_CLOSE, mask=os.urandom(4)))
+        except OSError:
+            pass
+        self.kill_connection()
+
+    def kill_connection(self) -> None:
+        """Abrupt teardown (the ``drop`` chaos action): no close frame,
+        no drain — the next send reconnects."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "GatewayClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Frame I/O
+    # ------------------------------------------------------------------
+    def _encode(self, t: StreamTuple) -> bytes:
+        payload = encode_record(t)
+        if self.mode == "ws":
+            return encode_ws_frame(payload.rstrip(b"\n"),
+                                   mask=os.urandom(4))
+        return payload
+
+    def send_raw(self, data: bytes) -> None:
+        """Ship raw bytes (fault injection uses this directly)."""
+        self.connect()
+        assert self._sock is not None
+        self._sock.sendall(data)
+
+    def send_record(self, t: StreamTuple) -> None:
+        self.send_raw(self._encode(t))
+
+    def recv_reply(self) -> dict:
+        """Block for the next reply (FIFO per connection)."""
+        if self.mode == "ws":
+            return self._recv_ws_reply()
+        return self._recv_line_reply()
+
+    def _recv_line_reply(self) -> dict:
+        assert self._sock is not None
+        while not self._ready_lines:
+            data = self._sock.recv(64 * 1024)
+            if not data:
+                raise ConnectionError("gateway closed the connection")
+            self._ready_lines.extend(self._lines.feed(data))
+        return decode_reply(self._ready_lines.pop(0))
+
+    def _recv_ws_reply(self) -> dict:
+        assert self._sock is not None
+        while True:
+            decoded = try_decode_ws_frame(self._ws_buffer,
+                                          require_mask=False)
+            if decoded is not None:
+                consumed, frame = decoded
+                del self._ws_buffer[:consumed]
+                if frame.opcode == OP_CLOSE:
+                    raise ConnectionError("gateway sent a close frame")
+                if frame.opcode == OP_PING:
+                    self._sock.sendall(encode_ws_frame(
+                        frame.payload, OP_PONG, mask=os.urandom(4)))
+                    continue
+                if frame.opcode == OP_PONG:
+                    continue
+                return decode_reply(frame.payload)
+            data = self._sock.recv(64 * 1024)
+            if not data:
+                raise ConnectionError("gateway closed the connection")
+            self._ws_buffer.extend(data)
+
+    def submit(self, t: StreamTuple) -> dict:
+        """One synchronous send + reply."""
+        self.send_record(t)
+        return self.recv_reply()
+
+    # ------------------------------------------------------------------
+    # The at-least-once driver
+    # ------------------------------------------------------------------
+    def stream(self, tuples, *, retry_backoff: float = 0.002,
+               max_attempts: int = 10_000,
+               fault_hook=None, collect_replies: bool = False
+               ) -> ClientReport:
+        """Drive a tuple sequence to acknowledged admission.
+
+        Every tuple is retried until the gateway answers ``admitted``
+        or ``duplicate``; ``shed`` waits ``retry_backoff`` seconds and
+        resubmits; connection failures reconnect and resend the
+        in-flight tuple.  ``fault_hook(index)`` may return a chaos
+        action to inject *before* tuple ``index`` is driven:
+        ``"drop"`` (abrupt reconnect), ``"partial"`` (torn frame, then
+        abrupt reconnect), ``"malformed"`` (an unparseable frame whose
+        error reply is consumed), or ``None``.
+        """
+        report = ClientReport()
+        for index, t in enumerate(tuples):
+            action = fault_hook(index) if fault_hook is not None else None
+            if action is not None:
+                self._inject(action, t, report)
+            self._drive_one(t, report, retry_backoff, max_attempts,
+                            collect_replies)
+        return report
+
+    def _inject(self, action: str, t: StreamTuple,
+                report: ClientReport) -> None:
+        if action == "drop":
+            self.kill_connection()
+            report.resets += 1
+            return
+        if action == "partial":
+            # A torn frame the server can never complete, then an
+            # abrupt reset: the gateway discards the tail; the record
+            # is resent whole on the fresh connection.
+            data = self._encode(t)
+            try:
+                self.send_raw(data[:max(1, len(data) // 2)])
+            except OSError:
+                pass
+            report.partial_writes += 1
+            self.kill_connection()
+            report.resets += 1
+            return
+        if action == "malformed":
+            frame = MALFORMED_FRAME
+            if self.mode == "ws":
+                frame = encode_ws_frame(frame.rstrip(b"\n"),
+                                        mask=os.urandom(4))
+            try:
+                self.send_raw(frame)
+                reply = self.recv_reply()
+                if reply.get("status") != STATUS_ERROR:
+                    raise GatewayError(
+                        f"malformed frame drew {reply!r}, expected an "
+                        f"error reply")
+            except (ConnectionError, TimeoutError, OSError, ProtocolError):
+                self.kill_connection()
+                report.resets += 1
+            report.malformed_sent += 1
+            return
+        raise GatewayError(f"unknown fault action {action!r}")
+
+    def _drive_one(self, t: StreamTuple, report: ClientReport,
+                   retry_backoff: float, max_attempts: int,
+                   collect_replies: bool) -> None:
+        for _ in range(max_attempts):
+            try:
+                reply = self.submit(t)
+            except (ConnectionError, TimeoutError, OSError, ProtocolError):
+                self.kill_connection()
+                report.resets += 1
+                continue
+            report.sent += 1
+            if collect_replies:
+                report.replies.append(reply)
+            status = reply.get("status")
+            if status == STATUS_ADMITTED:
+                report.acked += 1
+                return
+            if status == STATUS_DUPLICATE:
+                report.duplicates += 1
+                return
+            if status == STATUS_SHED:
+                report.sheds_retried += 1
+                time.sleep(retry_backoff)
+                continue
+            # An error reply to a well-formed record is a server-side
+            # bug; count it and stop retrying this tuple.
+            report.errors += 1
+            return
+        raise GatewayError(
+            f"tuple {t.ident} not admitted after {max_attempts} attempts")
+
+
+def open_slowloris(host: str, port: int,
+                   prefix: bytes = SLOWLORIS_PREFIX) -> socket.socket:
+    """Open a connection that sends a frame prefix and then stalls.
+
+    The caller holds the socket; the gateway's ``idle_deadline`` guard
+    should eventually disconnect it (``recv`` returns ``b""``).
+    """
+    sock = socket.create_connection((host, port), timeout=30.0)
+    sock.sendall(prefix)
+    return sock
+
+
+__all__ = ["ClientReport", "GatewayClient", "open_slowloris",
+           "MALFORMED_FRAME", "SLOWLORIS_PREFIX"]

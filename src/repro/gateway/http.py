@@ -1,0 +1,73 @@
+"""The gateway's plain-HTTP observability endpoint.
+
+Three routes, all read-only and served straight off the ingest port
+(or a dedicated ``http_port`` — see :class:`~repro.gateway.server.
+GatewayConfig`):
+
+- ``GET /metrics`` — the live :class:`~repro.obs.registry.
+  MetricsRegistry` in Prometheus text exposition format.  The
+  gateway's registered collector publishes the ``repro_gateway_*``
+  counters (and the overload manager's ``repro_overload_*`` family)
+  immediately before rendering, so a scrape mid-traffic sees current
+  totals;
+- ``GET /healthz`` — liveness as a tiny JSON document;
+- ``GET /report`` — the full edge report (connection/record counters,
+  hand-off depth, cluster progress, the overload ledger) as JSON.
+
+Anything else is a 404; non-GET/HEAD methods are a 405.  This is an
+exposition endpoint, not a web framework: one request per connection,
+``Connection: close``, no keep-alive.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .protocol import HttpRequest
+
+#: Prometheus text exposition content type (version 0.0.4).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_STATUS_LINES = {
+    200: "200 OK",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+}
+
+
+def render_response(status: int, content_type: str,
+                    body: bytes | str) -> bytes:
+    """One complete HTTP/1.1 response (headers + body)."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    status_line = _STATUS_LINES.get(status, f"{status} Error")
+    head = (f"HTTP/1.1 {status_line}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n")
+    return head.encode("ascii") + body
+
+
+def handle_http_request(request: HttpRequest, gateway) -> bytes:
+    """Route one parsed request against a live gateway."""
+    if request.method not in ("GET", "HEAD"):
+        return render_response(
+            405, "application/json",
+            json.dumps({"error": f"method {request.method} not allowed"}))
+    path = request.path.split("?", 1)[0]
+    if path == "/metrics":
+        gateway.registry.collect()
+        return render_response(200, METRICS_CONTENT_TYPE,
+                               gateway.registry.expose_text())
+    if path == "/healthz":
+        return render_response(200, "application/json", json.dumps({
+            "status": "ok",
+            "open_connections": gateway.stats.open_connections,
+            "handoff_depth": gateway.handoff.depth(),
+        }))
+    if path == "/report":
+        return render_response(200, "application/json",
+                               json.dumps(gateway.report(), sort_keys=True))
+    return render_response(404, "application/json",
+                           json.dumps({"error": f"unknown path {path}"}))

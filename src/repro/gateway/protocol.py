@@ -1,0 +1,451 @@
+"""Wire protocols of the network ingest gateway.
+
+Two client-facing framings decode to the same thing — one JSON
+*record* per frame, turned into a :class:`~repro.core.tuples.
+StreamTuple` at the edge:
+
+- the **line protocol**: newline-delimited JSON over a raw TCP
+  connection.  :class:`LineDecoder` reassembles complete lines from
+  arbitrarily torn reads (a record may arrive byte by byte, or many
+  records in one segment) and bounds the in-progress line so a client
+  cannot balloon gateway memory by never sending the newline;
+- a **minimal RFC-6455 WebSocket** layer: :func:`parse_http_request` +
+  :func:`websocket_accept` for the upgrade handshake,
+  :func:`try_decode_ws_frame` / :func:`encode_ws_frame` for the frame
+  codec (76-style masking, 7/16/64-bit lengths, control frames), and
+  :class:`WsMessageAssembler` for fragmented messages.  Stdlib only.
+
+Records and replies
+-------------------
+
+A record is a JSON object with required ``relation`` (string), ``ts``
+(finite number) and ``values`` (object) fields plus an optional
+integer ``seq``.  A client that supplies ``seq`` names the tuple's
+stable identity ``(relation, seq)`` — the gateway deduplicates
+resubmissions on it, which is what turns the client's at-least-once
+retry loop into exactly-once admission.  Records without ``seq`` are
+numbered by the gateway (no cross-reconnect dedup).
+
+The gateway answers every received frame with exactly one JSON reply
+line carrying the per-connection sequence number ``seq`` (0-based
+arrival index on this connection) and a ``status``:
+
+``admitted``   the record was accepted into the hand-off queue;
+``shed``       the admission policy rejected it (retryable);
+``duplicate``  its ``(relation, seq)`` identity was already admitted;
+``error``      the frame was malformed (``error`` holds the reason).
+
+Replies are emitted in arrival order, so a client can match them to
+its sends by counting — no request ids needed.
+
+Every decoder in this module is *total* over byte strings: malformed
+input raises :class:`~repro.errors.ProtocolError` (or reports
+incompleteness), never anything else — fuzzed in
+``tests/gateway/test_protocol.py`` and ``test_websocket.py``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import math
+import struct
+from dataclasses import dataclass
+
+from ..core.tuples import StreamTuple
+from ..errors import ProtocolError
+
+#: Default bound on one record frame (line or WebSocket message).
+MAX_RECORD_BYTES = 64 * 1024
+
+#: Reply statuses (see the module docstring).
+STATUS_ADMITTED = "admitted"
+STATUS_SHED = "shed"
+STATUS_DUPLICATE = "duplicate"
+STATUS_ERROR = "error"
+
+# ---------------------------------------------------------------------------
+# JSON records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Record:
+    """One decoded client record, pre-admission.
+
+    ``seq`` is the client-supplied identity sequence or ``None`` when
+    the gateway should assign one (see the module docstring).
+    """
+
+    relation: str
+    ts: float
+    values: dict
+    seq: int | None = None
+
+    def to_tuple(self, seq: int | None = None) -> StreamTuple:
+        """Materialise the :class:`StreamTuple` (``seq`` fills a
+        gateway-assigned sequence when the client sent none)."""
+        resolved = self.seq if self.seq is not None else seq
+        if resolved is None:
+            raise ProtocolError("record has no sequence number")
+        return StreamTuple(relation=self.relation, ts=self.ts,
+                           values=self.values, seq=resolved)
+
+
+def decode_record(data: bytes | str) -> Record:
+    """Parse one record frame; raises :class:`ProtocolError` on any
+    malformed input (bad UTF-8, bad JSON, wrong shape, wrong types)."""
+    try:
+        text = data.decode("utf-8") if isinstance(data, bytes) else data
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"record is not UTF-8: {exc}") from None
+    try:
+        obj = json.loads(text)
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise ProtocolError(f"record is not JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"record must be a JSON object, got {type(obj).__name__}")
+    relation = obj.get("relation")
+    if not isinstance(relation, str) or not relation:
+        raise ProtocolError("record needs a non-empty string 'relation'")
+    ts = obj.get("ts")
+    if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+        raise ProtocolError("record needs a numeric 'ts'")
+    ts = float(ts)
+    if not math.isfinite(ts):
+        raise ProtocolError("record 'ts' must be finite")
+    values = obj.get("values")
+    if not isinstance(values, dict):
+        raise ProtocolError("record needs an object 'values'")
+    seq = obj.get("seq")
+    if seq is not None and (isinstance(seq, bool)
+                            or not isinstance(seq, int) or seq < 0):
+        raise ProtocolError("record 'seq' must be a non-negative integer")
+    return Record(relation=relation, ts=ts, values=values, seq=seq)
+
+
+def encode_record(t: StreamTuple) -> bytes:
+    """One tuple as a line-protocol frame (newline-terminated)."""
+    payload = {"relation": t.relation, "ts": t.ts,
+               "values": dict(t.values), "seq": t.seq}
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+def encode_reply(seq: int, status: str, **extra) -> bytes:
+    """One reply as a newline-terminated JSON line."""
+    payload = {"seq": seq, "status": status}
+    payload.update(extra)
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_reply(line: bytes | str) -> dict:
+    """Parse one reply line (client side); raises ProtocolError."""
+    try:
+        text = line.decode("utf-8") if isinstance(line, bytes) else line
+        obj = json.loads(text)
+    except (UnicodeDecodeError, json.JSONDecodeError, ValueError) as exc:
+        raise ProtocolError(f"reply is not JSON: {exc}") from None
+    if not isinstance(obj, dict) or "status" not in obj:
+        raise ProtocolError(f"reply has no status: {obj!r}")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Line framing
+# ---------------------------------------------------------------------------
+
+
+class LineDecoder:
+    """Reassembles newline-delimited frames from torn TCP reads.
+
+    ``feed`` accepts any byte split — one byte at a time, or a segment
+    holding many pipelined frames — and returns the *complete* lines
+    it closed (without the terminator; a bare ``\\r`` before the
+    ``\\n`` is stripped).  The in-progress tail is bounded by
+    ``max_line``: exceeding it raises :class:`ProtocolError` once,
+    after which the decoder must be discarded (the connection is
+    beyond resynchronisation).
+    """
+
+    def __init__(self, max_line: int = MAX_RECORD_BYTES) -> None:
+        if max_line < 2:
+            raise ProtocolError("max_line must be >= 2")
+        self.max_line = max_line
+        self._tail = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes of the incomplete trailing line (slowloris signal)."""
+        return len(self._tail)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb one read; return the frames it completed, in order."""
+        self._tail.extend(data)
+        if b"\n" not in self._tail:
+            if len(self._tail) > self.max_line:
+                raise ProtocolError(
+                    f"line exceeds {self.max_line} bytes without a "
+                    f"terminator")
+            return []
+        *complete, tail = bytes(self._tail).split(b"\n")
+        self._tail = bytearray(tail)
+        if len(self._tail) > self.max_line:
+            raise ProtocolError(
+                f"line exceeds {self.max_line} bytes without a terminator")
+        lines = []
+        for line in complete:
+            if len(line) > self.max_line:
+                raise ProtocolError(f"line exceeds {self.max_line} bytes")
+            lines.append(line.rstrip(b"\r"))
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# HTTP request parsing (upgrade handshake + the /metrics endpoint)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed HTTP/1.x request head (no body)."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+def parse_http_request(head: bytes) -> HttpRequest:
+    """Parse a request head (everything before the blank line).
+
+    Header names are lower-cased; duplicate headers keep the first
+    value.  Raises :class:`ProtocolError` on anything that is not a
+    minimal well-formed HTTP/1.x request.
+    """
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 is total
+        raise ProtocolError(f"undecodable request head: {exc}") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, path = parts[0], parts[1]
+    if not method.isalpha():
+        raise ProtocolError(f"malformed method {method!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers.setdefault(name.strip().lower(), value.strip())
+    return HttpRequest(method=method, path=path, headers=headers)
+
+
+# ---------------------------------------------------------------------------
+# RFC 6455 WebSocket: handshake
+# ---------------------------------------------------------------------------
+
+#: The protocol-fixed handshake GUID (RFC 6455 §1.3).
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: Frame opcodes.
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_CONTROL_OPCODES = frozenset({OP_CLOSE, OP_PING, OP_PONG})
+_DATA_OPCODES = frozenset({OP_CONT, OP_TEXT, OP_BINARY})
+
+
+def websocket_accept(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client key."""
+    digest = hashlib.sha1((key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def is_websocket_upgrade(request: HttpRequest) -> bool:
+    """Does this request ask for an RFC-6455 upgrade?"""
+    return (request.method == "GET"
+            and "websocket" in request.header("upgrade").lower()
+            and bool(request.header("sec-websocket-key")))
+
+
+def websocket_handshake_response(request: HttpRequest) -> bytes:
+    """The 101 response completing an upgrade handshake."""
+    key = request.header("sec-websocket-key")
+    if not key:
+        raise ProtocolError("upgrade request lacks Sec-WebSocket-Key")
+    return ("HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {websocket_accept(key)}\r\n"
+            "\r\n").encode("ascii")
+
+
+# ---------------------------------------------------------------------------
+# RFC 6455 WebSocket: frame codec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WsFrame:
+    """One decoded WebSocket frame."""
+
+    fin: bool
+    opcode: int
+    payload: bytes
+
+
+def try_decode_ws_frame(buffer: bytes | bytearray | memoryview, *,
+                        require_mask: bool = True,
+                        max_payload: int = MAX_RECORD_BYTES,
+                        ) -> tuple[int, WsFrame] | None:
+    """Decode one frame from the head of ``buffer``.
+
+    Returns ``None`` while the buffer holds only a frame prefix (read
+    more), or ``(consumed_bytes, frame)`` for a complete frame.
+    Protocol violations — reserved bits, unknown opcodes, oversized or
+    fragmented control frames, a missing client mask when
+    ``require_mask``, payloads beyond ``max_payload`` — raise
+    :class:`ProtocolError`; nothing else escapes, whatever the bytes.
+    """
+    buf = bytes(buffer[:14])  # longest possible header
+    if len(buf) < 2:
+        return None
+    b0, b1 = buf[0], buf[1]
+    fin = bool(b0 & 0x80)
+    if b0 & 0x70:
+        raise ProtocolError("reserved frame bits set (no extension "
+                            "was negotiated)")
+    opcode = b0 & 0x0F
+    if opcode not in _DATA_OPCODES and opcode not in _CONTROL_OPCODES:
+        raise ProtocolError(f"unknown opcode {opcode:#x}")
+    masked = bool(b1 & 0x80)
+    if require_mask and not masked:
+        raise ProtocolError("client frames must be masked (RFC 6455 §5.1)")
+    length = b1 & 0x7F
+    offset = 2
+    if opcode in _CONTROL_OPCODES:
+        if length > 125:
+            raise ProtocolError("control frames carry at most 125 bytes")
+        if not fin:
+            raise ProtocolError("control frames must not be fragmented")
+    if length == 126:
+        if len(buf) < offset + 2:
+            return None
+        (length,) = struct.unpack_from("!H", buf, offset)
+        offset += 2
+    elif length == 127:
+        if len(buf) < offset + 8:
+            return None
+        (length,) = struct.unpack_from("!Q", buf, offset)
+        offset += 8
+        if length > 2**62:
+            raise ProtocolError("64-bit length with the top bit set")
+    if length > max_payload:
+        raise ProtocolError(
+            f"frame payload of {length} bytes exceeds the {max_payload} "
+            f"byte bound")
+    mask = b""
+    if masked:
+        if len(buf) < offset + 4:
+            return None
+        mask = buf[offset:offset + 4]
+        offset += 4
+    total = offset + length
+    if len(buffer) < total:
+        return None
+    payload = bytes(buffer[offset:total])
+    if masked:
+        payload = _mask(payload, mask)
+    return total, WsFrame(fin=fin, opcode=opcode, payload=payload)
+
+
+def encode_ws_frame(payload: bytes, opcode: int = OP_TEXT, *,
+                    fin: bool = True, mask: bytes | None = None) -> bytes:
+    """Encode one frame (``mask`` = 4-byte key for client frames)."""
+    if opcode not in _DATA_OPCODES and opcode not in _CONTROL_OPCODES:
+        raise ProtocolError(f"unknown opcode {opcode:#x}")
+    if opcode in _CONTROL_OPCODES and len(payload) > 125:
+        raise ProtocolError("control frames carry at most 125 bytes")
+    head = bytearray()
+    head.append((0x80 if fin else 0) | opcode)
+    mask_bit = 0x80 if mask is not None else 0
+    n = len(payload)
+    if n <= 125:
+        head.append(mask_bit | n)
+    elif n <= 0xFFFF:
+        head.append(mask_bit | 126)
+        head.extend(struct.pack("!H", n))
+    else:
+        head.append(mask_bit | 127)
+        head.extend(struct.pack("!Q", n))
+    if mask is not None:
+        if len(mask) != 4:
+            raise ProtocolError("mask keys are exactly 4 bytes")
+        head.extend(mask)
+        payload = _mask(payload, mask)
+    return bytes(head) + payload
+
+
+def _mask(payload: bytes, key: bytes) -> bytes:
+    """XOR-mask/unmask (the operation is its own inverse)."""
+    repeated = (key * (len(payload) // 4 + 1))[:len(payload)]
+    return bytes(a ^ b for a, b in zip(payload, repeated))
+
+
+class WsMessageAssembler:
+    """Reassembles complete messages from (possibly fragmented) frames.
+
+    Data frames accumulate until FIN; control frames pass through
+    untouched (they may interleave with a fragmented message).  The
+    accumulated message is bounded by ``max_payload`` so fragmentation
+    cannot sidestep the frame-size bound.
+    """
+
+    def __init__(self, max_payload: int = MAX_RECORD_BYTES) -> None:
+        self.max_payload = max_payload
+        self._parts: list[bytes] = []
+        self._opcode: int | None = None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes of the incomplete message (slowloris signal)."""
+        return sum(len(p) for p in self._parts)
+
+    def add(self, frame: WsFrame) -> WsFrame | None:
+        """Absorb one frame; returns the completed message (a frame
+        with the initial data opcode and the stitched payload), the
+        control frame itself, or ``None`` mid-fragmentation."""
+        if frame.opcode in _CONTROL_OPCODES:
+            return frame
+        if frame.opcode == OP_CONT:
+            if self._opcode is None:
+                raise ProtocolError("continuation frame without a message")
+        else:
+            if self._opcode is not None:
+                raise ProtocolError("new data frame inside a fragmented "
+                                    "message")
+            self._opcode = frame.opcode
+        self._parts.append(frame.payload)
+        if self.pending_bytes > self.max_payload:
+            raise ProtocolError(
+                f"fragmented message exceeds the {self.max_payload} byte "
+                f"bound")
+        if not frame.fin:
+            return None
+        message = WsFrame(fin=True, opcode=self._opcode,
+                          payload=b"".join(self._parts))
+        self._parts.clear()
+        self._opcode = None
+        return message

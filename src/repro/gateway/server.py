@@ -1,0 +1,788 @@
+"""The asyncio ingest gateway fronting a live :class:`ParallelCluster`.
+
+:class:`IngestGateway` is the system's network edge.  It owns two
+threads next to the caller's:
+
+- the **asyncio thread** runs the event loop with the TCP acceptor.
+  Every connection is sniffed on its first bytes: an HTTP request line
+  either upgrades to RFC-6455 WebSocket ingest (``Upgrade: websocket``)
+  or is answered by the :mod:`repro.gateway.http` endpoint
+  (``/metrics``, ``/healthz``, ``/report``); anything else speaks the
+  newline-delimited JSON line protocol.  Records decode at the edge
+  into :class:`~repro.core.tuples.StreamTuple`\\ s and every frame is
+  answered with exactly one in-order JSON reply;
+- the **bridge thread** pops admitted tuples off a bounded hand-off
+  queue and drives ``cluster.ingest`` / ``cluster.poll`` /
+  ``cluster.flush`` — :class:`~repro.parallel.parallel_cluster.
+  ParallelCluster` is single-threaded by design, so exactly one thread
+  ever touches it while the gateway runs.
+
+Overload semantics at the edge
+------------------------------
+
+The hand-off queue is the gateway's *entry queue* in the PR-3 sense:
+its fill ratio is registered with the
+:class:`~repro.overload.manager.OverloadManager` via
+``attach_entry_source``, so the same admission policies that rule the
+simulated runtimes rule the network edge.  Per offered record the
+verdict maps to connection behaviour:
+
+- **ADMIT** — the tuple enters the hand-off queue and the client gets
+  an ``admitted`` reply (its acknowledgement);
+- **DEFER** — the connection's transport stops reading
+  (``pause_reading``), the handler retries admission every
+  ``admission_retry`` seconds, and a client that stays deferred past
+  ``defer_deadline`` is shed-and-disconnected — backpressure can slow
+  a client down but never wedge the accept loop;
+- **SHED** — an explicit ``shed`` reply; shedding is *retryable*, so a
+  client that resubmits keeps at-least-once semantics while the ledger
+  still counts every offer (``offered == admitted + shed`` holds
+  end-to-end).
+
+Duplicates (a client-supplied ``(relation, seq)`` identity that was
+already admitted) are acknowledged with a ``duplicate`` reply and shed
+from the ledger's point of view — resubmission after a lost ack is how
+the client's at-least-once retry becomes exactly-once admission.
+
+Slow clients: a connection whose partially-received frame makes no
+progress for ``idle_deadline`` seconds is disconnected (the slowloris
+guard), as is one whose reply backlog won't drain within
+``drain_deadline`` seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.tuples import StreamTuple
+from ..errors import ConfigurationError, GatewayError, ProtocolError
+from ..obs.registry import MetricsRegistry
+from ..overload.policies import ADMIT, SHED
+from .http import handle_http_request
+from .protocol import (MAX_RECORD_BYTES, OP_CLOSE, OP_PING, OP_PONG,
+                       STATUS_ADMITTED, STATUS_DUPLICATE, STATUS_ERROR,
+                       STATUS_SHED, LineDecoder, Record, WsMessageAssembler,
+                       decode_record, encode_reply, encode_ws_frame,
+                       is_websocket_upgrade, parse_http_request,
+                       try_decode_ws_frame, websocket_handshake_response)
+
+#: An HTTP request line opens with an upper-case method and a space;
+#: line-protocol frames open with JSON (sniffed on the first bytes).
+_HTTP_SNIFF = re.compile(rb"^[A-Z]{2,8} ")
+
+
+@dataclass
+class GatewayConfig:
+    """Tuning knobs of the network edge.
+
+    Attributes:
+        host: bind address of the ingest listener.
+        port: ingest port (``0`` = ephemeral; the bound port is
+            published as :attr:`IngestGateway.port` after ``start``).
+        http_port: optional second listener that speaks *only* HTTP
+            (``/metrics`` scrapers that must not share the ingest
+            port); ``None`` disables it — the ingest port answers
+            plain HTTP requests either way.
+        handoff_depth: bound on the hand-off queue between the asyncio
+            thread and the bridge thread; its fill ratio is the
+            admission severity at the edge.
+        admission_retry: seconds between admission retries while a
+            connection is deferred (read-paused).
+        defer_deadline: seconds a record may stay deferred before the
+            gateway sheds it and disconnects the client.
+        idle_deadline: seconds a *partially received* frame may make no
+            progress before the connection is dropped (slowloris
+            guard); complete-frame-aligned idleness is unbounded.
+        drain_deadline: seconds a reply write may take to drain before
+            the client is considered dead and disconnected.
+        max_record_bytes: per-frame size bound (line or WS message).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    http_port: int | None = None
+    handoff_depth: int = 1024
+    admission_retry: float = 0.005
+    defer_deadline: float = 5.0
+    idle_deadline: float = 2.0
+    drain_deadline: float = 5.0
+    max_record_bytes: int = MAX_RECORD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.handoff_depth < 1:
+            raise ConfigurationError("handoff_depth must be >= 1")
+        if self.admission_retry <= 0:
+            raise ConfigurationError("admission_retry must be > 0")
+        for attr in ("defer_deadline", "idle_deadline", "drain_deadline"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{attr} must be > 0")
+        if self.max_record_bytes < 2:
+            raise ConfigurationError("max_record_bytes must be >= 2")
+
+
+@dataclass
+class GatewayStats:
+    """Live counters of the edge (all mutated on the asyncio thread).
+
+    Attributes mirror the ``repro_gateway_*`` metrics; reading them
+    from other threads is safe (plain int loads).
+    """
+
+    connections: int = 0
+    ws_connections: int = 0
+    open_connections: int = 0
+    records_in: int = 0
+    acks: int = 0
+    sheds: int = 0
+    duplicates: int = 0
+    deferrals: int = 0
+    malformed: int = 0
+    disconnects: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    http_requests: int = 0
+
+
+class _Handoff:
+    """The bounded, thread-safe queue between edge and bridge."""
+
+    def __init__(self, max_depth: int) -> None:
+        self.max_depth = max_depth
+        self._items: deque[StreamTuple] = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self.pushed = 0
+        self.popped = 0
+
+    def depth(self) -> int:
+        return len(self._items)  # atomic under the GIL
+
+    def try_push(self, item: StreamTuple) -> bool:
+        with self._ready:
+            if len(self._items) >= self.max_depth:
+                return False
+            self._items.append(item)
+            self.pushed += 1
+            self._ready.notify()
+            return True
+
+    def pop(self, timeout: float) -> StreamTuple | None:
+        with self._ready:
+            if not self._items:
+                self._ready.wait(timeout)
+            if not self._items:
+                return None
+            self.popped += 1
+            return self._items.popleft()
+
+
+class _Connection:
+    """Per-connection edge state: reply sequencing and dedup input."""
+
+    __slots__ = ("next_seq",)
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+
+    def take_seq(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+
+class IngestGateway:
+    """The network edge: asyncio servers plus the cluster bridge.
+
+    Lifecycle: :meth:`start` binds the listeners and launches both
+    threads; :meth:`drain` blocks until every admitted record has been
+    ingested into the cluster; :meth:`close` stops the servers and the
+    bridge (draining first) and leaves the cluster to the caller —
+    usable as a context manager.
+    """
+
+    def __init__(self, cluster, manager=None,
+                 config: GatewayConfig | None = None, *,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.cluster = cluster
+        self.manager = manager
+        self.config = config if config is not None else GatewayConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = GatewayStats()
+        self.handoff = _Handoff(self.config.handoff_depth)
+        #: Client-supplied identities already admitted (dedup set).
+        self._admitted_ids: set[tuple[str, int]] = set()
+        #: Per-relation counters for records sent without a ``seq``.
+        self._assigned_seqs: dict[str, int] = {}
+        self._ack_latency: list[float] = []  # exported as a histogram
+        self.port: int | None = None
+        self.http_port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._bridge_thread: threading.Thread | None = None
+        self._servers: list[asyncio.AbstractServer] = []
+        self._stopping = threading.Event()
+        self._started = False
+        self._closed = False
+        self._bridge_error: BaseException | None = None
+        self._loop_error: BaseException | None = None
+        self._loop_ready = threading.Event()
+        self.registry.register_collector(self._export_metrics)
+        if self.manager is not None:
+            self.manager.attach_entry_source(self.handoff.depth,
+                                             self.config.handoff_depth)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "IngestGateway":
+        """Bind the listeners and launch the edge + bridge threads."""
+        if self._started:
+            raise GatewayError("gateway already started")
+        self._started = True
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="gateway-loop", daemon=True)
+        self._loop_thread.start()
+        self._loop_ready.wait(10.0)
+        if self._loop_error is not None:
+            raise GatewayError(
+                f"gateway failed to start: {self._loop_error!r}")
+        if self.port is None:
+            raise GatewayError("gateway event loop did not come up")
+        self._bridge_thread = threading.Thread(
+            target=self._run_bridge, name="gateway-bridge", daemon=True)
+        self._bridge_thread.start()
+        return self
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Block until every admitted record reached ``cluster.ingest``.
+
+        Raises :class:`GatewayError` if the bridge died or the queue
+        does not empty within ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while self.handoff.depth() > 0:
+            self._check_bridge()
+            if time.monotonic() > deadline:
+                raise GatewayError(
+                    f"hand-off queue did not drain within {timeout}s "
+                    f"({self.handoff.depth()} records pending)")
+            time.sleep(0.005)
+        self._check_bridge()
+
+    def close(self) -> None:
+        """Stop the servers and the bridge; idempotent.
+
+        Admitted records still in the hand-off queue are ingested
+        before the bridge exits (no accepted write is dropped on the
+        floor); the cluster itself stays open for the caller to drain.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(
+                self._shutdown_servers(), loop).result(timeout=10.0)
+            loop.call_soon_threadsafe(loop.stop)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=10.0)
+        self._stopping.set()
+        if self._bridge_thread is not None:
+            self._bridge_thread.join(timeout=30.0)
+        self._check_bridge()
+
+    def __enter__(self) -> "IngestGateway":
+        return self.start() if not self._started else self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_bridge(self) -> None:
+        if self._bridge_error is not None:
+            raise GatewayError(
+                f"gateway bridge thread died: {self._bridge_error!r}"
+            ) from self._bridge_error
+
+    # ------------------------------------------------------------------
+    # Bridge thread: the only toucher of the cluster while running
+    # ------------------------------------------------------------------
+    def _run_bridge(self) -> None:
+        try:
+            idle_polls = 0
+            while True:
+                t = self.handoff.pop(timeout=0.02)
+                if t is not None:
+                    idle_polls = 0
+                    self.cluster.ingest(t)
+                    continue
+                if self._stopping.is_set() and self.handoff.depth() == 0:
+                    break
+                # Idle gap: keep settlement/supervision advancing and
+                # flush short tails so acked records make progress even
+                # when no new traffic arrives.
+                idle_polls += 1
+                if idle_polls >= 2:
+                    self.cluster.flush()
+                self.cluster.poll(0.0)
+            self.cluster.flush()
+            self.cluster.poll(0.0)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            self._bridge_error = exc
+
+    # ------------------------------------------------------------------
+    # Asyncio thread
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(asyncio.start_server(
+                self._serve_connection, self.config.host, self.config.port))
+            self._servers.append(server)
+            self.port = server.sockets[0].getsockname()[1]
+            if self.config.http_port is not None:
+                http_server = loop.run_until_complete(asyncio.start_server(
+                    self._serve_http_only, self.config.host,
+                    self.config.http_port))
+                self._servers.append(http_server)
+                self.http_port = http_server.sockets[0].getsockname()[1]
+            else:
+                self.http_port = self.port
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            self._loop_error = exc
+            self._loop_ready.set()
+            loop.close()
+            return
+        self._loop_ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    async def _shutdown_servers(self) -> None:
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        # Cancel connections still parked on reads (slow or abandoned
+        # clients) so the loop stops with no task left pending.
+        current = asyncio.current_task()
+        tasks = [t for t in asyncio.all_tasks() if t is not current]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.wait(tasks, timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.stats.connections += 1
+        self.stats.open_connections += 1
+        try:
+            await self._dispatch(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # client went away; nothing to clean beyond the finally
+        except ProtocolError:
+            pass  # unrecoverable framing damage; connection dropped
+        except asyncio.CancelledError:
+            # Top-level connection task: cancellation only arrives from
+            # _shutdown_servers, which awaits this task — finishing
+            # normally here keeps the stream-protocol callback quiet.
+            pass
+        finally:
+            self.stats.open_connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError re-fires at this await when shutdown
+                # cancelled the connection task: the close is already
+                # under way, and completing normally keeps the
+                # stream-protocol callback quiet.
+                pass
+
+    async def _dispatch(self, reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter) -> None:
+        """Sniff the first bytes and route to line / WS / HTTP."""
+        first = await self._read_some(reader, writer, pending=False)
+        if not first:
+            return
+        if self._looks_like_http(first):
+            await self._serve_http_connection(first, reader, writer)
+            return
+        await self._serve_line(first, reader, writer)
+
+    @staticmethod
+    def _looks_like_http(first: bytes) -> bool:
+        return _HTTP_SNIFF.match(first) is not None
+
+    async def _read_some(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter, *,
+                         pending: bool) -> bytes:
+        """One read, bounded by the slowloris guard.
+
+        ``pending`` says a partial frame is outstanding: then a read
+        that makes no progress within ``idle_deadline`` disconnects.
+        Without pending data the connection may idle forever.
+        """
+        while True:
+            try:
+                return await asyncio.wait_for(
+                    reader.read(64 * 1024),
+                    timeout=self.config.idle_deadline if pending else None)
+            except asyncio.TimeoutError:
+                self.stats.disconnects += 1
+                writer.close()
+                return b""
+
+    # -- line protocol -------------------------------------------------
+    async def _serve_line(self, first: bytes, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        decoder = LineDecoder(max_line=self.config.max_record_bytes)
+        conn = _Connection()
+        data = first
+        while data:
+            self.stats.bytes_in += len(data)
+            try:
+                lines = decoder.feed(data)
+            except ProtocolError as exc:
+                # Past resynchronisation: answer once, then hang up.
+                self.stats.malformed += 1
+                self.stats.disconnects += 1
+                await self._reply(writer, encode_reply(
+                    conn.take_seq(), STATUS_ERROR, error=str(exc)))
+                return
+            for line in lines:
+                if not line:
+                    continue  # bare keep-alive newline
+                reply = await self._process_record(conn, line, writer)
+                if reply is None:
+                    return  # defer deadline hit; already disconnected
+                await self._reply(writer, reply)
+            data = await self._read_some(
+                reader, writer, pending=decoder.pending_bytes > 0)
+
+    # -- WebSocket -----------------------------------------------------
+    async def _serve_http_connection(self, first: bytes,
+                                     reader: asyncio.StreamReader,
+                                     writer: asyncio.StreamWriter) -> None:
+        buffer = bytearray(first)
+        while b"\r\n\r\n" not in buffer and b"\n\n" not in buffer:
+            if len(buffer) > self.config.max_record_bytes:
+                raise ProtocolError("oversized request head")
+            data = await self._read_some(reader, writer, pending=True)
+            if not data:
+                return
+            buffer.extend(data)
+        head, _, rest = bytes(buffer).partition(b"\r\n\r\n")
+        if not rest and b"\n\n" in buffer:
+            head, _, rest = bytes(buffer).partition(b"\n\n")
+        request = parse_http_request(head)
+        if is_websocket_upgrade(request):
+            writer.write(websocket_handshake_response(request))
+            await writer.drain()
+            self.stats.ws_connections += 1
+            await self._serve_websocket(rest, reader, writer)
+            return
+        self.stats.http_requests += 1
+        response = handle_http_request(request, self)
+        writer.write(response)
+        self.stats.bytes_out += len(response)
+        await writer.drain()
+
+    async def _serve_http_only(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        """The dedicated HTTP listener (no ingest, no upgrade)."""
+        self.stats.connections += 1
+        self.stats.open_connections += 1
+        try:
+            buffer = bytearray()
+            while b"\r\n\r\n" not in buffer and b"\n\n" not in buffer:
+                data = await asyncio.wait_for(
+                    reader.read(64 * 1024),
+                    timeout=self.config.idle_deadline)
+                if not data:
+                    return
+                buffer.extend(data)
+                if len(buffer) > self.config.max_record_bytes:
+                    return
+            head = bytes(buffer).split(b"\r\n\r\n")[0].split(b"\n\n")[0]
+            self.stats.http_requests += 1
+            response = handle_http_request(parse_http_request(head), self)
+            writer.write(response)
+            self.stats.bytes_out += len(response)
+            await writer.drain()
+        except (asyncio.TimeoutError, ProtocolError,
+                ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self.stats.open_connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError re-fires at this await when shutdown
+                # cancelled the connection task: the close is already
+                # under way, and completing normally keeps the
+                # stream-protocol callback quiet.
+                pass
+
+    async def _serve_websocket(self, initial: bytes,
+                               reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        buffer = bytearray(initial)
+        assembler = WsMessageAssembler(
+            max_payload=self.config.max_record_bytes)
+        conn = _Connection()
+        while True:
+            progress = True
+            while progress:
+                try:
+                    decoded = try_decode_ws_frame(
+                        buffer, require_mask=True,
+                        max_payload=self.config.max_record_bytes)
+                except ProtocolError as exc:
+                    self.stats.malformed += 1
+                    self.stats.disconnects += 1
+                    await self._reply(writer, encode_ws_frame(
+                        encode_reply(conn.take_seq(), STATUS_ERROR,
+                                     error=str(exc))))
+                    await self._reply(writer,
+                                      encode_ws_frame(b"", OP_CLOSE))
+                    return
+                if decoded is None:
+                    progress = False
+                    continue
+                consumed, frame = decoded
+                del buffer[:consumed]
+                message = assembler.add(frame)
+                if message is None:
+                    continue
+                if message.opcode == OP_CLOSE:
+                    await self._reply(
+                        writer, encode_ws_frame(message.payload, OP_CLOSE))
+                    return
+                if message.opcode == OP_PING:
+                    await self._reply(
+                        writer, encode_ws_frame(message.payload, OP_PONG))
+                    continue
+                if message.opcode == OP_PONG:
+                    continue
+                reply = await self._process_record(
+                    conn, message.payload, writer)
+                if reply is None:
+                    return
+                await self._reply(writer, encode_ws_frame(reply))
+            pending = len(buffer) > 0 or assembler.pending_bytes > 0
+            data = await self._read_some(reader, writer, pending=pending)
+            if not data:
+                return
+            self.stats.bytes_in += len(data)
+            buffer.extend(data)
+
+    # -- shared record path --------------------------------------------
+    async def _process_record(self, conn: _Connection, payload: bytes,
+                              writer: asyncio.StreamWriter) -> bytes | None:
+        """Decode + admit one record; returns the reply line, or
+        ``None`` when the defer deadline disconnected the client."""
+        self.stats.records_in += 1
+        seq = conn.take_seq()
+        try:
+            record = decode_record(payload)
+        except ProtocolError as exc:
+            self.stats.malformed += 1
+            return encode_reply(seq, STATUS_ERROR, error=str(exc))
+        t = self._materialise(record)
+        if record.seq is not None:
+            if t.ident in self._admitted_ids:
+                # Resubmission after a lost ack: acknowledge without
+                # re-admitting; counted as a shed so the ledger's
+                # offered == admitted + shed stays exact.
+                self.stats.duplicates += 1
+                if self.manager is not None:
+                    self.manager.record_offered(t)
+                    self.manager.record_shed(t, t.ts, reason="duplicate")
+                return encode_reply(seq, STATUS_DUPLICATE)
+        return await self._admit(conn, seq, t, writer)
+
+    def _materialise(self, record: Record) -> StreamTuple:
+        if record.seq is not None:
+            return record.to_tuple()
+        assigned = self._assigned_seqs.get(record.relation, 0)
+        self._assigned_seqs[record.relation] = assigned + 1
+        return record.to_tuple(seq=assigned)
+
+    async def _admit(self, conn: _Connection, seq: int, t: StreamTuple,
+                     writer: asyncio.StreamWriter) -> bytes | None:
+        manager = self.manager
+        arrived = time.monotonic()
+        if manager is not None:
+            manager.record_offered(t)
+        attempt = 0
+        paused = False
+        try:
+            while True:
+                verdict = ADMIT if manager is None \
+                    else manager.admission_decision(t)
+                if verdict == SHED:
+                    self.stats.sheds += 1
+                    if manager is not None:
+                        manager.record_shed(t, t.ts)
+                    return encode_reply(seq, STATUS_SHED)
+                if verdict == ADMIT and self.handoff.try_push(t):
+                    waited = time.monotonic() - arrived
+                    if manager is not None:
+                        # Synthetic "now": event time plus the wall
+                        # seconds the record waited at the edge, so
+                        # admission-delay accounting measures the wait,
+                        # not the wall/event clock skew.
+                        manager.record_admitted(t, t.ts + waited)
+                    self.stats.acks += 1
+                    self._ack_latency.append(waited)
+                    self._admitted_ids.add(t.ident)
+                    return encode_reply(seq, STATUS_ADMITTED)
+                # DEFER (or an admit race against a full queue): stop
+                # reading this client and retry shortly.
+                attempt += 1
+                self.stats.deferrals += 1
+                if manager is not None:
+                    manager.record_deferral(t, t.ts, attempt)
+                if not paused:
+                    paused = True
+                    try:
+                        writer.transport.pause_reading()
+                    except (AttributeError, RuntimeError):
+                        pass
+                if time.monotonic() - arrived > self.config.defer_deadline:
+                    self.stats.sheds += 1
+                    self.stats.disconnects += 1
+                    if manager is not None:
+                        manager.record_shed(t, t.ts, reason="defer-timeout")
+                    await self._reply(writer, encode_reply(
+                        seq, STATUS_SHED, error="defer deadline exceeded"))
+                    writer.close()
+                    return None
+                await asyncio.sleep(self._retry_interval())
+        finally:
+            if paused:
+                try:
+                    writer.transport.resume_reading()
+                except (AttributeError, RuntimeError):
+                    pass
+
+    def _retry_interval(self) -> float:
+        if self.manager is not None:
+            return self.manager.config.admission_retry
+        return self.config.admission_retry
+
+    async def _reply(self, writer: asyncio.StreamWriter,
+                     data: bytes) -> None:
+        writer.write(data)
+        self.stats.bytes_out += len(data)
+        try:
+            await asyncio.wait_for(writer.drain(),
+                                   timeout=self.config.drain_deadline)
+        except asyncio.TimeoutError:
+            # The client stopped reading its replies: dead weight.
+            self.stats.disconnects += 1
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _export_metrics(self) -> None:
+        """Registry collector: publish the edge counters (pull model)."""
+        reg = self.registry
+        s = self.stats
+        reg.counter("repro_gateway_connections_total",
+                    "Client connections accepted.").set_total(s.connections)
+        reg.counter("repro_gateway_ws_connections_total",
+                    "Connections upgraded to WebSocket."
+                    ).set_total(s.ws_connections)
+        reg.gauge("repro_gateway_connections_open",
+                  "Currently open connections.").set(s.open_connections)
+        reg.counter("repro_gateway_records_in_total",
+                    "Record frames received.").set_total(s.records_in)
+        reg.counter("repro_gateway_acks_total",
+                    "Records admitted and acknowledged."
+                    ).set_total(s.acks)
+        reg.counter("repro_gateway_sheds_total",
+                    "Records shed at admission (retryable)."
+                    ).set_total(s.sheds)
+        reg.counter("repro_gateway_duplicates_total",
+                    "Resubmitted records deduplicated on identity."
+                    ).set_total(s.duplicates)
+        reg.counter("repro_gateway_deferrals_total",
+                    "Admission retries under DEFER backpressure."
+                    ).set_total(s.deferrals)
+        reg.counter("repro_gateway_malformed_total",
+                    "Frames rejected by the protocol layer."
+                    ).set_total(s.malformed)
+        reg.counter("repro_gateway_disconnects_total",
+                    "Connections dropped by the gateway (slowloris, "
+                    "defer timeouts, drain stalls)."
+                    ).set_total(s.disconnects)
+        reg.counter("repro_gateway_bytes_in_total",
+                    "Payload bytes received.").set_total(s.bytes_in)
+        reg.counter("repro_gateway_bytes_out_total",
+                    "Reply bytes written.").set_total(s.bytes_out)
+        reg.counter("repro_gateway_http_requests_total",
+                    "Plain HTTP requests served."
+                    ).set_total(s.http_requests)
+        reg.gauge("repro_gateway_handoff_depth",
+                  "Records waiting in the hand-off queue."
+                  ).set(self.handoff.depth())
+        hist = reg.histogram(
+            "repro_gateway_ack_latency_seconds",
+            "Wall seconds from frame receipt to admission ack.")
+        pending, self._ack_latency = self._ack_latency, []
+        if pending:
+            hist.values.extend(pending)
+        cluster = self.cluster
+        reg.gauge("repro_gateway_cluster_ingested",
+                  "Tuples the bridge has ingested into the cluster."
+                  ).set(getattr(cluster, "tuples_ingested", 0))
+        reg.gauge("repro_gateway_cluster_results",
+                  "Join results settled by the cluster so far."
+                  ).set(getattr(cluster, "results_count", 0))
+        if self.manager is not None:
+            self.manager.export_metrics(reg)
+
+    def report(self) -> dict:
+        """The edge state as one JSON-ready dict (``/report``)."""
+        s = self.stats
+        out = {
+            "connections": s.connections,
+            "ws_connections": s.ws_connections,
+            "open_connections": s.open_connections,
+            "records_in": s.records_in,
+            "acks": s.acks,
+            "sheds": s.sheds,
+            "duplicates": s.duplicates,
+            "deferrals": s.deferrals,
+            "malformed": s.malformed,
+            "disconnects": s.disconnects,
+            "bytes_in": s.bytes_in,
+            "bytes_out": s.bytes_out,
+            "handoff_depth": self.handoff.depth(),
+            "cluster_ingested": getattr(self.cluster,
+                                        "tuples_ingested", 0),
+            "cluster_results": getattr(self.cluster, "results_count", 0),
+        }
+        if self.manager is not None:
+            acc = self.manager.accounting
+            out["overload"] = {
+                side: {"offered": acc.sides[side].offered,
+                       "admitted": acc.sides[side].admitted,
+                       "shed": acc.sides[side].shed}
+                for side in sorted(acc.sides)}
+        return out

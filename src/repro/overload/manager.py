@@ -103,7 +103,7 @@ class OverloadManager:
     """Owns bounded queues, credits, shedding and straggler state."""
 
     def __init__(self, config: OverloadConfig,
-                 broker: "Broker", *,
+                 broker: "Broker | None" = None, *,
                  scheduler: ScheduleFn | None = None,
                  clock: Callable[[], float] | None = None,
                  tracer=NOOP_TRACER) -> None:
@@ -122,6 +122,10 @@ class OverloadManager:
                          if config.detect_stragglers else None)
         self._rng = SeededRng(config.seed, "overload")
         self._entry_queue: "MessageQueue | None" = None
+        #: External severity source: ``(depth_fn, max_depth)`` for
+        #: runtimes whose entry queue is not a broker queue (the
+        #: network ingest gateway's hand-off queue).
+        self._entry_source: tuple[Callable[[], int], int] | None = None
         self._joiner_queues: dict[str, "MessageQueue"] = {}
         self._routers: list["Router"] = []
         #: Peak depth of inboxes that have since been deleted.
@@ -132,8 +136,28 @@ class OverloadManager:
     # ------------------------------------------------------------------
     def attach_entry(self, queue_name: str) -> None:
         """Bound the shared entry queue; its fill ratio drives admission."""
+        if self.broker is None:
+            raise ConfigurationError(
+                "attach_entry needs a broker; external runtimes use "
+                "attach_entry_source instead")
         self._entry_queue = self.broker.declare_queue(
             queue_name, max_depth=self.config.entry_queue_depth)
+
+    def attach_entry_source(self, depth_fn: Callable[[], int],
+                            max_depth: int) -> None:
+        """Drive admission severity from an external bounded queue.
+
+        The broker-free variant of :meth:`attach_entry` for runtimes
+        whose entry point is not a broker queue — the network ingest
+        gateway registers its hand-off queue's depth here, so the same
+        admission policies rule at the network edge.  ``depth_fn`` is
+        sampled on every :meth:`severity` call and must be cheap and
+        thread-safe.
+        """
+        if max_depth < 1:
+            raise ConfigurationError(
+                f"max_depth must be >= 1, got {max_depth!r}")
+        self._entry_source = (depth_fn, max_depth)
 
     def attach_inbox(self, unit_id: str, queue_name: str) -> None:
         """Bound one consumer inbox and track it for depth signals.
@@ -188,6 +212,9 @@ class OverloadManager:
     # ------------------------------------------------------------------
     def severity(self) -> float:
         """Entry-queue occupancy relative to its bound (>= 1 = full)."""
+        if self._entry_source is not None:
+            depth_fn, max_depth = self._entry_source
+            return depth_fn() / max_depth
         queue = self._entry_queue
         if queue is None or queue.max_depth is None:
             return 0.0

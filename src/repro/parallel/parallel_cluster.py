@@ -495,6 +495,35 @@ class ParallelCluster:
                                    tuple_id=t.ident,
                                    detail=f"join:{unit_id}")
 
+    def poll(self, timeout: float = 0.0) -> None:
+        """Service the runtime without ingesting: apply readable output
+        frames (waiting up to ``timeout`` seconds for the first one) and
+        run one supervision pass.
+
+        External drivers that ingest at network pace — the ingest
+        gateway's bridge thread — call this in their idle gaps so
+        settlement, heartbeats and crash recovery keep advancing while
+        no tuples arrive.
+        """
+        if self._closed:
+            raise ParallelError("cluster is closed")
+        self._pump(timeout)
+        self._supervise()
+
+    def flush(self) -> None:
+        """Ship every coordinator-side buffered envelope now.
+
+        Ingest batches per unit up to ``transfer_batch``; a driver that
+        pauses (end of a client burst, drain of the hand-off queue)
+        calls this so short tails don't sit in the buffers waiting for
+        a batch to fill.  Quiescing units keep holding, as in
+        :meth:`ingest`.
+        """
+        if self._closed:
+            raise ParallelError("cluster is closed")
+        for unit_id in self._buffers:
+            self._flush_unit(unit_id)
+
     def _buffer(self, unit_id: str, envelope: Envelope) -> None:
         buf = self._buffers[unit_id]
         buf.append(envelope)

@@ -1,0 +1,1 @@
+"""Tests of the network ingest gateway (protocol, server, CLI)."""

@@ -1,0 +1,70 @@
+"""The ``python -m repro`` command-line contract.
+
+Pinned here so scripts (and CI) can rely on it: unknown commands exit
+2 with the usage block on stderr, ``--help`` exits 0 with the same
+block on stdout, and every advertised command is registered.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import USAGE, main
+
+
+class TestContract:
+    def test_help_exits_zero_with_usage(self, capsys):
+        for flag in ("--help", "-h", "help"):
+            assert main(["repro", flag]) == 0
+        out = capsys.readouterr().out
+        assert "usage: python -m repro" in out
+        assert out.count("usage: python -m repro") == 3
+
+    def test_unknown_command_exits_two_with_usage_on_stderr(self, capsys):
+        assert main(["repro", "frobnicate"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown command 'frobnicate'" in captured.err
+        assert "usage: python -m repro" in captured.err
+        assert captured.out == ""
+
+    def test_every_advertised_command_is_registered(self, capsys):
+        # The usage block and the dispatch table must not drift apart.
+        advertised = [line.split()[0] for line in USAGE.splitlines()
+                      if line.startswith("  ") and not line.startswith("   ")]
+        assert advertised == ["demo", "autoscale", "parallel", "serve",
+                              "soak", "info"]
+        for command in advertised:
+            result = main(["repro", command, "--definitely-not-a-flag"]) \
+                if command == "serve" else None
+            if command == "serve":
+                assert result == 2  # malformed flags: usage error
+        capsys.readouterr()
+
+    def test_bad_serve_arguments_exit_two(self, capsys):
+        for args in (["--port"], ["--port", "nope"], ["--bogus", "1"]):
+            assert main(["repro", "serve", *args]) == 2
+        err = capsys.readouterr().err
+        assert err.count("usage: python -m repro") == 3
+
+
+@pytest.mark.stress
+class TestServeCommand:
+    def test_serve_runs_and_reports(self, capsys):
+        assert main(["repro", "serve", "--duration", "0.5",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ingest gateway on 127.0.0.1:" in out
+        assert "/metrics" in out
+        assert "served 0 connections" in out
+
+    def test_soak_gateway_flag(self, capsys, tmp_path):
+        out_path = tmp_path / "scorecard.json"
+        assert main(["repro", "soak", "1", "99", str(out_path),
+                     "--gateway"]) == 0
+        scorecard = json.loads(out_path.read_text())
+        assert scorecard["ok"]
+        assert scorecard["config"]["gateway"] is True
+        assert "network_faults" in scorecard["totals"]
+        assert "client_resets" in scorecard["totals"]
+        out = capsys.readouterr().out
+        assert "network faults/round through a loopback gateway" in out

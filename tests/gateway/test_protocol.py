@@ -1,0 +1,155 @@
+"""The line protocol: record codec and newline framing.
+
+The decoders must be *total*: any byte string either decodes or
+raises :class:`ProtocolError` — nothing else may escape, however the
+input was torn, pipelined, or corrupted.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuples import StreamTuple
+from repro.errors import ProtocolError
+from repro.gateway import (LineDecoder, Record, decode_record, decode_reply,
+                           encode_record, encode_reply)
+
+
+def make_tuple(seq=3):
+    return StreamTuple(relation="R", ts=1.25, values={"k": 7, "v": 2},
+                       seq=seq)
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        t = make_tuple()
+        record = decode_record(encode_record(t).rstrip(b"\n"))
+        assert record == Record(relation="R", ts=1.25,
+                                values={"k": 7, "v": 2}, seq=3)
+        assert record.to_tuple() == t
+
+    def test_client_seq_names_identity(self):
+        record = decode_record(b'{"relation":"S","ts":0,"values":{}}')
+        assert record.seq is None
+        # Gateway-assigned sequence fills in at materialisation.
+        assert record.to_tuple(seq=11).ident == ("S", 11)
+        with pytest.raises(ProtocolError):
+            record.to_tuple()  # no sequence from either side
+
+    @pytest.mark.parametrize("payload", [
+        b"\xff\xfe not utf-8",
+        b"not json at all",
+        b"[1, 2, 3]",
+        b'"just a string"',
+        b"{}",
+        b'{"relation":"","ts":0,"values":{}}',
+        b'{"relation":42,"ts":0,"values":{}}',
+        b'{"ts":0,"values":{}}',
+        b'{"relation":"R","values":{}}',
+        b'{"relation":"R","ts":"nope","values":{}}',
+        b'{"relation":"R","ts":true,"values":{}}',
+        b'{"relation":"R","ts":NaN,"values":{}}',
+        b'{"relation":"R","ts":Infinity,"values":{}}',
+        b'{"relation":"R","ts":0}',
+        b'{"relation":"R","ts":0,"values":[]}',
+        b'{"relation":"R","ts":0,"values":{},"seq":-1}',
+        b'{"relation":"R","ts":0,"values":{},"seq":true}',
+        b'{"relation":"R","ts":0,"values":{},"seq":1.5}',
+    ])
+    def test_malformed_records_raise_protocol_error(self, payload):
+        with pytest.raises(ProtocolError):
+            decode_record(payload)
+
+    def test_reply_roundtrip(self):
+        line = encode_reply(4, "admitted", extra="x")
+        assert line.endswith(b"\n")
+        assert decode_reply(line) == {"seq": 4, "status": "admitted",
+                                      "extra": "x"}
+
+    @pytest.mark.parametrize("line", [b"\xff", b"nope", b"[]",
+                                      b'{"seq": 1}'])
+    def test_malformed_replies_raise(self, line):
+        with pytest.raises(ProtocolError):
+            decode_reply(line)
+
+
+class TestLineDecoder:
+    def test_pipelined_frames_in_one_segment(self):
+        decoder = LineDecoder()
+        assert decoder.feed(b"one\ntwo\r\nthree\nfour") == \
+            [b"one", b"two", b"three"]
+        assert decoder.pending_bytes == len(b"four")
+        assert decoder.feed(b"\n") == [b"four"]
+        assert decoder.pending_bytes == 0
+
+    def test_torn_byte_by_byte(self):
+        decoder = LineDecoder()
+        frames = []
+        for byte in b'{"a": 1}\n{"b": 2}\n':
+            frames.extend(decoder.feed(bytes([byte])))
+        assert frames == [b'{"a": 1}', b'{"b": 2}']
+
+    def test_blank_lines_pass_through(self):
+        assert LineDecoder().feed(b"\n\nx\n") == [b"", b"", b"x"]
+
+    def test_oversized_unterminated_line_raises(self):
+        decoder = LineDecoder(max_line=8)
+        decoder.feed(b"12345678")  # exactly at the bound: still legal
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"9")
+
+    def test_oversized_completed_line_raises(self):
+        with pytest.raises(ProtocolError):
+            LineDecoder(max_line=4).feed(b"123456789\n")
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.binary(max_size=40).filter(lambda b: b"\n" not in b),
+                    min_size=1, max_size=10),
+           st.data())
+    def test_any_chunking_reassembles_the_same_frames(self, lines, data):
+        stream = b"\n".join(lines) + b"\n"
+        cuts = sorted(data.draw(st.lists(
+            st.integers(0, len(stream)), max_size=6)))
+        decoder = LineDecoder(max_line=64)
+        frames = []
+        last = 0
+        for cut in cuts + [len(stream)]:
+            frames.extend(decoder.feed(stream[last:cut]))
+            last = cut
+        assert frames == [line.rstrip(b"\r") for line in lines]
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_decoder_is_total(self, data):
+        decoder = LineDecoder(max_line=32)
+        try:
+            for frame in decoder.feed(data):
+                decode_record(frame)
+        except ProtocolError:
+            pass  # the only exception the edge has to handle
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=200))
+def test_decode_record_is_total(data):
+    try:
+        decode_record(data)
+    except ProtocolError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(st.characters(codec="utf-8"), max_size=30),
+       st.floats(allow_nan=False, allow_infinity=False,
+                 allow_subnormal=False),
+       st.integers(0, 2**40))
+def test_record_roundtrip_fuzz(relation, ts, seq):
+    if not relation:
+        return
+    t = StreamTuple(relation=relation, ts=ts, values={"x": 1}, seq=seq)
+    decoded = decode_record(encode_record(t).rstrip(b"\n")).to_tuple()
+    assert decoded == t
+    # The frame is itself valid JSON for any relation text.
+    json.loads(encode_record(t))

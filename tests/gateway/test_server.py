@@ -1,0 +1,337 @@
+"""Integration tests of the ingest gateway against a fake cluster.
+
+The gateway only needs ``ingest`` / ``poll`` / ``flush`` from its
+cluster, so these tests substitute an in-memory fake and exercise the
+real network stack: admission verdicts mapped to replies and
+connection behaviour, identity dedup, the slowloris guard, and the
+HTTP endpoints — all over actual loopback sockets.
+"""
+
+import json
+import socket
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.gateway import (MALFORMED_FRAME, GatewayClient, GatewayConfig,
+                           IngestGateway, decode_reply, encode_record,
+                           open_slowloris)
+from repro.overload.manager import OverloadConfig, OverloadManager
+
+
+class FakeCluster:
+    """The minimal surface the bridge thread drives."""
+
+    def __init__(self, ingest_delay: float = 0.0) -> None:
+        self.ingested: list[StreamTuple] = []
+        self.ingest_delay = ingest_delay
+        self.polls = 0
+        self.flushes = 0
+
+    def ingest(self, t: StreamTuple) -> None:
+        if self.ingest_delay:
+            time.sleep(self.ingest_delay)
+        self.ingested.append(t)
+
+    def poll(self, timeout: float = 0.0) -> None:
+        self.polls += 1
+
+    def flush(self) -> None:
+        self.flushes += 1
+
+    @property
+    def tuples_ingested(self) -> int:
+        return len(self.ingested)
+
+
+def make_tuples(n, relation="R"):
+    return [StreamTuple(relation=relation, ts=0.001 * i,
+                        values={"k": i % 5}, seq=i) for i in range(n)]
+
+
+def http_get(port, path):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=5) as resp:
+        return resp.status, resp.headers, resp.read()
+
+
+class TestIngest:
+    def test_line_protocol_acks_and_ingests(self):
+        cluster = FakeCluster()
+        with IngestGateway(cluster) as gateway:
+            client = GatewayClient("127.0.0.1", gateway.port)
+            report = client.stream(make_tuples(20), collect_replies=True)
+            client.close()
+            gateway.drain()
+        assert report.acked == 20
+        assert all(r["status"] == "admitted" for r in report.replies)
+        # Replies are matched to sends by counting: seqs are 0..n-1.
+        assert [r["seq"] for r in report.replies] == list(range(20))
+        assert cluster.ingested == make_tuples(20)
+        assert gateway.stats.acks == 20
+        assert cluster.polls > 0 and cluster.flushes > 0
+
+    def test_websocket_ingest(self):
+        cluster = FakeCluster()
+        with IngestGateway(cluster) as gateway:
+            client = GatewayClient("127.0.0.1", gateway.port, mode="ws")
+            report = client.stream(make_tuples(12))
+            client.close()
+            gateway.drain()
+        assert report.acked == 12
+        assert gateway.stats.ws_connections == 1
+        assert cluster.ingested == make_tuples(12)
+
+    def test_resubmission_is_deduplicated(self):
+        cluster = FakeCluster()
+        manager = OverloadManager(OverloadConfig(policy="block"))
+        with IngestGateway(cluster, manager) as gateway:
+            client = GatewayClient("127.0.0.1", gateway.port).connect()
+            t = make_tuples(1)[0]
+            assert client.submit(t)["status"] == "admitted"
+            assert client.submit(t)["status"] == "duplicate"
+            client.close()
+            gateway.drain()
+        assert cluster.ingested == [t]
+        assert gateway.stats.duplicates == 1
+        # The duplicate counts as offered + shed: the ledger reconciles.
+        ledger = manager.accounting.sides["R"]
+        assert ledger.offered == 2
+        assert (ledger.admitted, ledger.shed) == (1, 1)
+
+    def test_gateway_assigns_seqs_when_client_sends_none(self):
+        cluster = FakeCluster()
+        with IngestGateway(cluster) as gateway:
+            client = GatewayClient("127.0.0.1", gateway.port).connect()
+            for _ in range(3):
+                client.send_raw(b'{"relation":"R","ts":0,"values":{}}\n')
+            statuses = [client.recv_reply()["status"] for _ in range(3)]
+            client.close()
+            gateway.drain()
+        assert statuses == ["admitted"] * 3
+        assert [t.seq for t in cluster.ingested] == [0, 1, 2]
+
+    def test_malformed_record_replies_error_and_connection_survives(self):
+        cluster = FakeCluster()
+        with IngestGateway(cluster) as gateway:
+            client = GatewayClient("127.0.0.1", gateway.port).connect()
+            client.send_raw(MALFORMED_FRAME)
+            assert client.recv_reply()["status"] == "error"
+            assert client.submit(make_tuples(1)[0])["status"] == "admitted"
+            client.close()
+            gateway.drain()
+        assert gateway.stats.malformed == 1
+        assert len(cluster.ingested) == 1
+
+    def test_oversized_line_disconnects(self):
+        with IngestGateway(FakeCluster(),
+                           config=GatewayConfig(max_record_bytes=64)
+                           ) as gateway:
+            sock = socket.create_connection(
+                ("127.0.0.1", gateway.port), timeout=5)
+            sock.sendall(b'{"pad": "' + b"x" * 200 + b'"}\n')
+            buf = b""
+            while b"\n" not in buf:
+                data = sock.recv(1024)
+                if not data:
+                    break
+                buf += data
+            assert decode_reply(buf.split(b"\n")[0])["status"] == "error"
+            # The connection is beyond resynchronisation: closed.
+            assert sock.recv(1024) == b""
+            sock.close()
+        assert gateway.stats.disconnects == 1
+
+
+class TestAdmission:
+    def test_drop_tail_sheds_then_client_retry_recovers(self):
+        # A slow cluster keeps the tiny hand-off queue full, so some
+        # offers shed; the client's retry loop must still land every
+        # tuple exactly once.
+        cluster = FakeCluster(ingest_delay=0.002)
+        manager = OverloadManager(OverloadConfig(policy="drop-tail"))
+        config = GatewayConfig(handoff_depth=2)
+        with IngestGateway(cluster, manager, config) as gateway:
+            client = GatewayClient("127.0.0.1", gateway.port)
+            report = client.stream(make_tuples(40))
+            client.close()
+            gateway.drain()
+        assert report.acked == 40
+        assert gateway.stats.sheds == report.sheds_retried > 0
+        assert sorted(t.seq for t in cluster.ingested) == list(range(40))
+        ledger = manager.accounting.sides["R"]
+        assert ledger.offered == ledger.admitted + ledger.shed
+        assert ledger.admitted == 40
+
+    def test_block_policy_defers_then_admits(self):
+        cluster = FakeCluster(ingest_delay=0.002)
+        manager = OverloadManager(OverloadConfig(policy="block"))
+        config = GatewayConfig(handoff_depth=2, defer_deadline=30.0)
+        with IngestGateway(cluster, manager, config) as gateway:
+            client = GatewayClient("127.0.0.1", gateway.port)
+            report = client.stream(make_tuples(40))
+            client.close()
+            gateway.drain()
+        # Backpressure slows the client but never sheds or loses.
+        assert report.acked == 40
+        assert report.sheds_retried == 0
+        assert gateway.stats.deferrals > 0
+        assert cluster.ingested == make_tuples(40)
+
+    def test_defer_deadline_sheds_and_disconnects(self):
+        cluster = FakeCluster(ingest_delay=0.5)  # slow vs. the deadline
+        manager = OverloadManager(OverloadConfig(policy="block"))
+        config = GatewayConfig(handoff_depth=1, defer_deadline=0.1,
+                               drain_deadline=1.0)
+        with IngestGateway(cluster, manager, config) as gateway:
+            client = GatewayClient("127.0.0.1", gateway.port).connect()
+            for t in make_tuples(3):
+                client.send_raw(encode_record(t))
+            statuses = []
+            try:
+                while len(statuses) < 3:
+                    statuses.append(client.recv_reply()["status"])
+            except ConnectionError:
+                pass
+            client.kill_connection()
+            assert "shed" in statuses
+            assert gateway.stats.disconnects >= 1
+
+
+class TestSlowloris:
+    def test_partial_frame_idle_disconnects(self):
+        config = GatewayConfig(idle_deadline=0.15)
+        with IngestGateway(FakeCluster(), config=config) as gateway:
+            sock = open_slowloris("127.0.0.1", gateway.port)
+            deadline = time.monotonic() + 5.0
+            closed = False
+            sock.settimeout(0.2)
+            while time.monotonic() < deadline and not closed:
+                try:
+                    closed = sock.recv(64) == b""
+                except socket.timeout:
+                    pass
+            sock.close()
+            assert closed, "slowloris connection was never reaped"
+            assert gateway.stats.disconnects == 1
+
+    def test_complete_frame_idleness_is_unbounded(self):
+        # Idle between complete frames is legal: only a *partial*
+        # frame trips the guard.
+        config = GatewayConfig(idle_deadline=0.15)
+        with IngestGateway(FakeCluster(), config=config) as gateway:
+            client = GatewayClient("127.0.0.1", gateway.port).connect()
+            assert client.submit(make_tuples(1)[0])["status"] == "admitted"
+            time.sleep(0.4)  # several idle deadlines, zero pending bytes
+            t2 = StreamTuple(relation="R", ts=1.0, values={}, seq=99)
+            assert client.submit(t2)["status"] == "admitted"
+            client.close()
+        assert gateway.stats.disconnects == 0
+
+
+class TestHttp:
+    def test_metrics_healthz_report_and_errors(self):
+        cluster = FakeCluster()
+        with IngestGateway(cluster) as gateway:
+            client = GatewayClient("127.0.0.1", gateway.port)
+            client.stream(make_tuples(5))
+
+            status, headers, body = http_get(gateway.port, "/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            text = body.decode()
+            assert "repro_gateway_records_in_total 5" in text
+            assert "repro_gateway_acks_total 5" in text
+            # Valid exposition: every non-comment line is "name value".
+            for line in text.splitlines():
+                if line and not line.startswith("#"):
+                    name, value = line.rsplit(" ", 1)
+                    assert name and float(value) is not None
+
+            status, _, body = http_get(gateway.port, "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+            status, _, body = http_get(gateway.port, "/report")
+            report = json.loads(body)
+            assert report["records_in"] == 5
+            assert report["acks"] == 5
+
+            with pytest.raises(urllib.error.HTTPError) as err:
+                http_get(gateway.port, "/nope")
+            assert err.value.code == 404
+            client.close()
+            gateway.drain()
+        assert gateway.stats.http_requests >= 4
+
+    def test_post_is_rejected(self):
+        with IngestGateway(FakeCluster()) as gateway:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{gateway.port}/metrics",
+                data=b"x", method="POST")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=5)
+            assert err.value.code == 405
+
+    def test_dedicated_http_listener(self):
+        config = GatewayConfig(http_port=0)
+        with IngestGateway(FakeCluster(), config=config) as gateway:
+            assert gateway.http_port != gateway.port
+            status, _, body = http_get(gateway.http_port, "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+
+class TestLifecycle:
+    def test_double_start_raises(self):
+        from repro.errors import GatewayError
+        gateway = IngestGateway(FakeCluster()).start()
+        try:
+            with pytest.raises(GatewayError):
+                gateway.start()
+        finally:
+            gateway.close()
+
+    def test_close_is_idempotent_and_drains_the_handoff(self):
+        cluster = FakeCluster()
+        gateway = IngestGateway(cluster).start()
+        client = GatewayClient("127.0.0.1", gateway.port)
+        client.stream(make_tuples(10))
+        client.close()
+        gateway.close()
+        gateway.close()
+        # Every admitted record reached the cluster before the bridge
+        # exited: no accepted write is dropped on the floor.
+        assert cluster.ingested == make_tuples(10)
+
+
+def test_client_fault_hook_injects_and_recovers():
+    """The chaos client survives its own injected faults."""
+    cluster = FakeCluster()
+    actions = {3: "drop", 7: "partial", 11: "malformed"}
+    with IngestGateway(cluster) as gateway:
+        client = GatewayClient("127.0.0.1", gateway.port)
+        report = client.stream(make_tuples(20),
+                               fault_hook=lambda i: actions.get(i))
+        client.close()
+        gateway.drain()
+    assert report.acked == 20
+    assert report.resets == 2  # drop + partial each kill the connection
+    assert report.malformed_sent == 1
+    assert sorted(t.seq for t in cluster.ingested) == list(range(20))
+
+
+def test_reply_decode_reply_contract():
+    """Client-visible replies decode with the public helper."""
+    cluster = FakeCluster()
+    with IngestGateway(cluster) as gateway:
+        sock = socket.create_connection(("127.0.0.1", gateway.port))
+        sock.sendall(encode_record(make_tuples(1)[0]))
+        line = b""
+        while not line.endswith(b"\n"):
+            line += sock.recv(1024)
+        sock.close()
+    reply = decode_reply(line)
+    assert reply == {"seq": 0, "status": "admitted"}

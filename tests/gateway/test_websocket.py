@@ -1,0 +1,173 @@
+"""The minimal RFC-6455 layer: handshake, frame codec, reassembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.gateway import (WsFrame, WsMessageAssembler, encode_ws_frame,
+                           try_decode_ws_frame)
+from repro.gateway.protocol import (OP_BINARY, OP_CLOSE, OP_CONT, OP_PING,
+                                    OP_TEXT, HttpRequest,
+                                    is_websocket_upgrade, parse_http_request,
+                                    websocket_accept,
+                                    websocket_handshake_response)
+
+
+class TestHandshake:
+    def test_rfc_6455_worked_example(self):
+        # The accept value from RFC 6455 §1.3 — pins the GUID + SHA-1 +
+        # base64 pipeline byte for byte.
+        assert websocket_accept("dGhlIHNhbXBsZSBub25jZQ==") == \
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+    def test_upgrade_detection_and_response(self):
+        head = (b"GET /ingest HTTP/1.1\r\n"
+                b"Host: example\r\n"
+                b"Upgrade: WebSocket\r\n"
+                b"Connection: Upgrade\r\n"
+                b"Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n")
+        request = parse_http_request(head)
+        assert request.method == "GET"
+        assert request.header("upgrade") == "WebSocket"
+        assert is_websocket_upgrade(request)
+        response = websocket_handshake_response(request)
+        assert response.startswith(b"HTTP/1.1 101")
+        assert b"s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" in response
+
+    def test_plain_get_is_not_an_upgrade(self):
+        request = parse_http_request(b"GET /metrics HTTP/1.1\r\n")
+        assert not is_websocket_upgrade(request)
+
+    def test_handshake_without_key_raises(self):
+        with pytest.raises(ProtocolError):
+            websocket_handshake_response(
+                HttpRequest(method="GET", path="/", headers={}))
+
+    @pytest.mark.parametrize("head", [
+        b"", b"GET /",  b"GET / SPDY/3", b"G@T / HTTP/1.1",
+        b"GET / HTTP/1.1\r\nbroken header line",
+    ])
+    def test_malformed_request_heads_raise(self, head):
+        with pytest.raises(ProtocolError):
+            parse_http_request(head)
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 0xFFFF, 0x10000])
+    @pytest.mark.parametrize("mask", [None, b"\x01\x02\x03\x04"])
+    def test_roundtrip_across_length_encodings(self, size, mask):
+        payload = bytes(i % 251 for i in range(size))
+        wire = encode_ws_frame(payload, OP_BINARY, mask=mask)
+        decoded = try_decode_ws_frame(wire, require_mask=mask is not None,
+                                      max_payload=2 * size + 16)
+        assert decoded is not None
+        consumed, frame = decoded
+        assert consumed == len(wire)
+        assert frame == WsFrame(fin=True, opcode=OP_BINARY, payload=payload)
+
+    def test_prefixes_report_incomplete_never_raise(self):
+        wire = encode_ws_frame(b"x" * 300, mask=b"abcd")
+        for cut in range(len(wire)):
+            assert try_decode_ws_frame(wire[:cut]) is None
+
+    def test_pipelined_frames_decode_in_order(self):
+        wire = (encode_ws_frame(b"one", mask=b"aaaa")
+                + encode_ws_frame(b"two", mask=b"bbbb"))
+        consumed, first = try_decode_ws_frame(wire)
+        assert first.payload == b"one"
+        _, second = try_decode_ws_frame(wire[consumed:])
+        assert second.payload == b"two"
+
+    def test_unmasked_client_frame_raises(self):
+        with pytest.raises(ProtocolError):
+            try_decode_ws_frame(encode_ws_frame(b"x"), require_mask=True)
+
+    def test_reserved_bits_raise(self):
+        wire = bytearray(encode_ws_frame(b"x", mask=b"aaaa"))
+        wire[0] |= 0x40
+        with pytest.raises(ProtocolError):
+            try_decode_ws_frame(bytes(wire))
+
+    def test_unknown_opcode_raises(self):
+        wire = bytearray(encode_ws_frame(b"x", mask=b"aaaa"))
+        wire[0] = (wire[0] & 0xF0) | 0x3
+        with pytest.raises(ProtocolError):
+            try_decode_ws_frame(bytes(wire))
+
+    def test_oversized_payload_raises(self):
+        wire = encode_ws_frame(b"x" * 64, mask=b"aaaa")
+        with pytest.raises(ProtocolError):
+            try_decode_ws_frame(wire, max_payload=32)
+
+    def test_control_frames_bounded_and_unfragmented(self):
+        with pytest.raises(ProtocolError):
+            encode_ws_frame(b"x" * 126, OP_PING)
+        fragmented_ping = bytes([OP_PING, 0x80 | 1]) + b"aaaa" + b"x"
+        with pytest.raises(ProtocolError):
+            try_decode_ws_frame(fragmented_ping)
+
+    def test_bad_mask_key_length_raises(self):
+        with pytest.raises(ProtocolError):
+            encode_ws_frame(b"x", mask=b"ab")
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_decoder_is_total(self, data):
+        try:
+            try_decode_ws_frame(data, max_payload=16)
+        except ProtocolError:
+            pass  # the only exception the edge has to handle
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=500), st.binary(min_size=4, max_size=4))
+    def test_masked_roundtrip_fuzz(self, payload, mask):
+        wire = encode_ws_frame(payload, OP_BINARY, mask=mask)
+        consumed, frame = try_decode_ws_frame(wire)
+        assert (consumed, frame.payload) == (len(wire), payload)
+
+
+class TestMessageAssembler:
+    def test_fragmented_message_reassembles(self):
+        assembler = WsMessageAssembler()
+        assert assembler.add(
+            WsFrame(fin=False, opcode=OP_TEXT, payload=b"hel")) is None
+        assert assembler.pending_bytes == 3
+        message = assembler.add(
+            WsFrame(fin=True, opcode=OP_CONT, payload=b"lo"))
+        assert message == WsFrame(fin=True, opcode=OP_TEXT, payload=b"hello")
+        assert assembler.pending_bytes == 0
+
+    def test_control_frames_interleave(self):
+        assembler = WsMessageAssembler()
+        assembler.add(WsFrame(fin=False, opcode=OP_TEXT, payload=b"a"))
+        ping = WsFrame(fin=True, opcode=OP_PING, payload=b"hb")
+        assert assembler.add(ping) is ping
+        close = WsFrame(fin=True, opcode=OP_CLOSE, payload=b"")
+        assert assembler.add(close) is close
+        message = assembler.add(
+            WsFrame(fin=True, opcode=OP_CONT, payload=b"b"))
+        assert message.payload == b"ab"
+
+    def test_unfragmented_message_passes_straight_through(self):
+        message = WsMessageAssembler().add(
+            WsFrame(fin=True, opcode=OP_BINARY, payload=b"whole"))
+        assert message == WsFrame(fin=True, opcode=OP_BINARY,
+                                  payload=b"whole")
+
+    def test_stray_continuation_raises(self):
+        with pytest.raises(ProtocolError):
+            WsMessageAssembler().add(
+                WsFrame(fin=True, opcode=OP_CONT, payload=b"x"))
+
+    def test_new_data_frame_mid_message_raises(self):
+        assembler = WsMessageAssembler()
+        assembler.add(WsFrame(fin=False, opcode=OP_TEXT, payload=b"a"))
+        with pytest.raises(ProtocolError):
+            assembler.add(WsFrame(fin=False, opcode=OP_TEXT, payload=b"b"))
+
+    def test_fragmentation_cannot_sidestep_the_size_bound(self):
+        assembler = WsMessageAssembler(max_payload=4)
+        assembler.add(WsFrame(fin=False, opcode=OP_TEXT, payload=b"123"))
+        with pytest.raises(ProtocolError):
+            assembler.add(WsFrame(fin=False, opcode=OP_CONT, payload=b"45"))

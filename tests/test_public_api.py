@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.harness",
     "repro.obs",
     "repro.parallel",
+    "repro.gateway",
 ]
 
 
